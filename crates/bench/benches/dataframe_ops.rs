@@ -1,0 +1,51 @@
+//! Dataframe-substrate benchmarks: the operator costs that dominate the
+//! Kaggle workloads' feature engineering (joins, group-bys, one-hot,
+//! filters).
+
+use co_dataframe::ops::{self, AggFn, Predicate};
+use co_dataframe::{Column, ColumnData, DataFrame};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table(rows: usize, keys: i64) -> DataFrame {
+    DataFrame::new(vec![
+        Column::source("bench", "sk_id", ColumnData::Int((0..rows).map(|i| i as i64 % keys).collect())),
+        Column::source("bench", "x", ColumnData::Float((0..rows).map(|i| (i as f64).sin()).collect())),
+        Column::source(
+            "bench",
+            "cat",
+            ColumnData::Str((0..rows).map(|i| format!("c{}", i % 8)).collect()),
+        ),
+    ])
+    .expect("equal lengths")
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataframe_ops");
+    group.sample_size(20);
+    for &rows in &[10_000usize, 100_000] {
+        let left = table(rows, (rows / 4) as i64);
+        let right = table(rows / 2, (rows / 4) as i64);
+        group.bench_with_input(BenchmarkId::new("inner_join", rows), &rows, |b, _| {
+            b.iter(|| black_box(ops::inner_join(&left, &right, "sk_id").expect("joins")));
+        });
+        group.bench_with_input(BenchmarkId::new("groupby_mean", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(ops::groupby_agg(&left, "sk_id", &[("x", AggFn::Mean)]).expect("groups"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("filter", rows), &rows, |b, _| {
+            b.iter(|| black_box(ops::filter(&left, &Predicate::gt_f("x", 0.0)).expect("filters")));
+        });
+        group.bench_with_input(BenchmarkId::new("one_hot", rows), &rows, |b, _| {
+            b.iter(|| black_box(ops::one_hot(&left, "cat", 8).expect("encodes")));
+        });
+        group.bench_with_input(BenchmarkId::new("sort", rows), &rows, |b, _| {
+            b.iter(|| black_box(ops::sort_by(&left, "x", true).expect("sorts")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Storage-manager benchmarks: column-deduplicated vs plain stores for
+//! overlapping artifacts (the mechanism behind Figure 6's 8x packing).
+
+use co_dataframe::ops::{self, MapFn};
+use co_dataframe::{Column, ColumnData, DataFrame};
+use co_graph::{ArtifactId, StorageManager, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A chain of frames each sharing all-but-one column with its parent.
+fn overlapping_chain(rows: usize, depth: usize) -> Vec<DataFrame> {
+    let base = DataFrame::new(vec![Column::source(
+        "bench",
+        "c0",
+        ColumnData::Float((0..rows).map(|i| i as f64).collect()),
+    )])
+    .expect("one column");
+    let mut frames = vec![base];
+    for d in 1..depth {
+        let prev = frames.last().expect("nonempty");
+        let next =
+            ops::map_column(prev, "c0", &MapFn::AddConst(d as f64), &format!("c{d}")).expect("maps");
+        frames.push(next);
+    }
+    frames
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_manager");
+    group.sample_size(20);
+    for &rows in &[10_000usize, 100_000] {
+        let frames = overlapping_chain(rows, 10);
+        for (label, dedup) in [("dedup", true), ("plain", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("store_{label}"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let mut sm = StorageManager::new(dedup);
+                        for (i, f) in frames.iter().enumerate() {
+                            sm.store(ArtifactId(i as u64), &Value::Dataset(f.clone()));
+                        }
+                        black_box(sm.unique_bytes())
+                    });
+                },
+            );
+        }
+        // Retrieval with reassembly from the column store.
+        let mut sm = StorageManager::new(true);
+        for (i, f) in frames.iter().enumerate() {
+            sm.store(ArtifactId(i as u64), &Value::Dataset(f.clone()));
+        }
+        group.bench_with_input(BenchmarkId::new("get_dedup", rows), &rows, |b, _| {
+            b.iter(|| black_box(sm.get(ArtifactId(9)).expect("stored")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

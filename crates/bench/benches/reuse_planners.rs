@@ -1,0 +1,68 @@
+//! Microbenchmark behind Figure 9(d): planning time of the linear-time
+//! reuse algorithm vs the Helix max-flow baseline as workload DAGs grow.
+
+use co_core::optimizer::{AllMaterializedReuse, HelixReuse, LinearReuse, ReusePlanner};
+use co_core::CostModel;
+use co_workloads::synthetic::{synthetic_workload, SyntheticConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_planners(c: &mut Criterion) {
+    let cost = CostModel::memory();
+    let mut group = c.benchmark_group("reuse_planning");
+    group.sample_size(10);
+    for nodes in [500usize, 1000, 2000] {
+        let config = SyntheticConfig {
+            n_nodes_min: nodes,
+            n_nodes_max: nodes,
+            ..SyntheticConfig::default()
+        };
+        let (dag, eg) = synthetic_workload(&config, 1).expect("generates");
+        group.bench_with_input(BenchmarkId::new("LN", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(LinearReuse.plan(&dag, &eg, &cost)));
+        });
+        group.bench_with_input(BenchmarkId::new("HL_maxflow", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(HelixReuse.plan(&dag, &eg, &cost)));
+        });
+        group.bench_with_input(BenchmarkId::new("ALL_M", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(AllMaterializedReuse.plan(&dag, &eg, &cost)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the same DAG planned under memory/disk/remote load-cost
+/// models. As loads get slower, LN's plan diverges from ALL_M's
+/// (load-everything) — the paper's §7.4 remark that "LN and HL outperform
+/// ALL_M with a larger margin in scenarios where EG is on disk". The
+/// bench reports planning time; the plan-quality gap is printed once.
+fn bench_costmodel(c: &mut Criterion) {
+    let config =
+        SyntheticConfig { n_nodes_min: 1000, n_nodes_max: 1000, ..SyntheticConfig::default() };
+    let (dag, eg) = synthetic_workload(&config, 3).expect("generates");
+    let mut group = c.benchmark_group("reuse_costmodel");
+    group.sample_size(20);
+    for (label, cost) in [
+        ("memory", CostModel::memory()),
+        ("disk", CostModel::disk()),
+        ("remote", CostModel::remote()),
+    ] {
+        // One-off plan-quality comparison, printed alongside the bench.
+        let ln = LinearReuse.plan(&dag, &eg, &cost);
+        let all_m = AllMaterializedReuse.plan(&dag, &eg, &cost);
+        let ln_cost = co_core::optimizer::plan_execution_cost(&dag, &eg, &cost, &ln);
+        let all_cost = co_core::optimizer::plan_execution_cost(&dag, &eg, &cost, &all_m);
+        println!(
+            "reuse_costmodel/{label}: LN plan {ln_cost:.3}s vs ALL_M {all_cost:.3}s \
+             ({:.2}x worse to load everything)",
+            all_cost / ln_cost.max(1e-12)
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(LinearReuse.plan(&dag, &eg, &cost)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners, bench_costmodel);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerate the paper's figure10 (see `co_bench::figures::figure10`).
+fn main() {
+    co_bench::figures::figure10::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's figure4 (see `co_bench::figures::figure4`).
+fn main() {
+    co_bench::figures::figure4::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's figure5 (see `co_bench::figures::figure5`).
+fn main() {
+    co_bench::figures::figure5::run();
+}

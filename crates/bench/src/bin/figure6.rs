@@ -1,0 +1,4 @@
+//! Regenerate the paper's figure6 (see `co_bench::figures::figure6`).
+fn main() {
+    co_bench::figures::figure6::run();
+}

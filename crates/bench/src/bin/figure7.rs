@@ -1,0 +1,4 @@
+//! Regenerate the paper's figure7 (see `co_bench::figures::figure7`).
+fn main() {
+    co_bench::figures::figure7::run();
+}

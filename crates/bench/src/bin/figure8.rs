@@ -1,0 +1,4 @@
+//! Regenerate the paper's figure8 (see `co_bench::figures::figure8`).
+fn main() {
+    co_bench::figures::figure8::run();
+}

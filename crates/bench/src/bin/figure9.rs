@@ -1,0 +1,4 @@
+//! Regenerate the paper's figure9 (see `co_bench::figures::figure9`).
+fn main() {
+    co_bench::figures::figure9::run();
+}

@@ -1,0 +1,14 @@
+//! Regenerate every table and figure in one run; TSV series land in
+//! `target/figures/`.
+fn main() {
+    let start = std::time::Instant::now();
+    co_bench::figures::table1::run();
+    co_bench::figures::figure4::run();
+    co_bench::figures::figure5::run();
+    co_bench::figures::figure6::run();
+    co_bench::figures::figure7::run();
+    co_bench::figures::figure8::run();
+    co_bench::figures::figure9::run();
+    co_bench::figures::figure10::run();
+    println!("\nall figures regenerated in {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's table1 (see `co_bench::figures::table1`).
+fn main() {
+    co_bench::figures::table1::run();
+}

@@ -1,0 +1,49 @@
+//! Figure 5: cumulative run time of the eight Kaggle workloads executed
+//! in sequence under CO, KG, and HL. The reproduced shape: CO well below
+//! KG (the paper reports ~50% cumulative saving), HL in between.
+
+use crate::{s3, write_tsv, BUDGET_GRID};
+use co_core::server::{MaterializerKind, ReuseKind};
+use co_workloads::kaggle;
+use co_workloads::runner::{cumulative_run_times, run_sequence};
+
+/// Run and print Figure 5.
+pub fn run() {
+    println!("== Figure 5: cumulative run time, Workloads 1-8 in sequence ==");
+    let data = super::bench_data();
+    let footprint = super::all_footprint(&data);
+    let budget = (footprint as f64 * BUDGET_GRID[1].1) as u64;
+
+    let mut series = Vec::new();
+    for (label, materializer, reuse) in [
+        ("CO", MaterializerKind::StorageAware, ReuseKind::Linear),
+        ("KG", MaterializerKind::None, ReuseKind::None),
+        ("HL", MaterializerKind::Helix, ReuseKind::Helix),
+    ] {
+        let srv = super::server(materializer, reuse, budget);
+        let reports =
+            run_sequence(&srv, kaggle::all_workloads(&data).expect("builds")).expect("runs");
+        series.push((label, cumulative_run_times(&reports)));
+    }
+
+    println!("workload   CO(s)     KG(s)     HL(s)");
+    let mut rows = Vec::new();
+    for i in 0..8 {
+        println!(
+            "W{}       {:>7.3}   {:>7.3}   {:>7.3}",
+            i + 1,
+            series[0].1[i],
+            series[1].1[i],
+            series[2].1[i]
+        );
+        rows.push(vec![
+            format!("W{}", i + 1),
+            s3(series[0].1[i]),
+            s3(series[1].1[i]),
+            s3(series[2].1[i]),
+        ]);
+    }
+    let saving = (1.0 - series[0].1[7] / series[1].1[7]) * 100.0;
+    println!("CO saves {saving:.0}% of the cumulative run time vs KG");
+    write_tsv("figure5.tsv", &["workload", "co_s", "kg_s", "hl_s"], &rows);
+}

@@ -1,0 +1,69 @@
+//! Figure 6: the *real* (logical) size of the materialized artifacts
+//! after each workload, for four budgets and four materializers. The
+//! reproduced shape: HM/HL stay at or below the budget; SA's
+//! deduplication stores a logical footprint a multiple of the budget
+//! (the paper reports up to 8x), approaching ALL for larger budgets.
+
+use crate::{write_tsv, BUDGET_GRID};
+use co_core::server::{MaterializerKind, ReuseKind};
+use co_workloads::kaggle;
+
+/// Run and print Figure 6.
+pub fn run() {
+    println!("== Figure 6: real size of materialized artifacts ==");
+    let data = super::bench_data();
+    let footprint = super::all_footprint(&data);
+    println!("ALL footprint = {:.1} MB", footprint as f64 / (1 << 20) as f64);
+
+    let mut rows = Vec::new();
+    for (budget_label, fraction) in BUDGET_GRID {
+        let budget = (footprint as f64 * fraction) as u64;
+        println!(
+            "\n-- budget {budget_label} ({:.1} MB) --",
+            budget as f64 / (1 << 20) as f64
+        );
+        println!("workload   SA(MB)   HM(MB)   HL(MB)   ALL(MB)");
+        let mut per_system: Vec<Vec<f64>> = Vec::new();
+        for (materializer, reuse) in [
+            (MaterializerKind::StorageAware, ReuseKind::Linear),
+            (MaterializerKind::Greedy, ReuseKind::Linear),
+            (MaterializerKind::Helix, ReuseKind::Helix),
+            (MaterializerKind::All, ReuseKind::Linear),
+        ] {
+            let srv = super::server(materializer, reuse, budget);
+            let mut sizes = Vec::new();
+            for dag in kaggle::all_workloads(&data).expect("builds") {
+                srv.run_workload(dag).expect("runs");
+                let (_, _, logical) = srv.storage_stats();
+                sizes.push(logical as f64 / (1 << 20) as f64);
+            }
+            per_system.push(sizes);
+        }
+        #[allow(clippy::needless_range_loop)] // four parallel series
+        for i in 0..8 {
+            println!(
+                "W{}       {:>7.1}  {:>7.1}  {:>7.1}  {:>7.1}",
+                i + 1,
+                per_system[0][i],
+                per_system[1][i],
+                per_system[2][i],
+                per_system[3][i]
+            );
+            rows.push(vec![
+                budget_label.to_owned(),
+                format!("W{}", i + 1),
+                format!("{:.2}", per_system[0][i]),
+                format!("{:.2}", per_system[1][i]),
+                format!("{:.2}", per_system[2][i]),
+                format!("{:.2}", per_system[3][i]),
+            ]);
+        }
+        let ratio = per_system[0][7] / (footprint as f64 * fraction / (1 << 20) as f64);
+        println!("SA stores {ratio:.1}x its budget (logical/budget)");
+    }
+    write_tsv(
+        "figure6.tsv",
+        &["budget", "workload", "sa_mb", "hm_mb", "hl_mb", "all_mb"],
+        &rows,
+    );
+}

@@ -1,0 +1,82 @@
+//! Figure 7: (a) total run time of the eight-workload sequence per
+//! materializer and budget; (b) cumulative speedup vs the KG baseline for
+//! SA and HL at the two smaller budgets plus ALL. Reproduced shape: SA
+//! tracks ALL even at small budgets; HL only slightly beats the baseline.
+
+use crate::{s3, write_tsv, BUDGET_GRID};
+use co_core::server::{MaterializerKind, ReuseKind};
+use co_workloads::kaggle;
+use co_workloads::runner::{cumulative_run_times, run_sequence};
+
+fn sequence_cumulative(
+    data: &co_workloads::data::HomeCredit,
+    materializer: MaterializerKind,
+    reuse: ReuseKind,
+    budget: u64,
+) -> Vec<f64> {
+    let srv = super::server(materializer, reuse, budget);
+    let reports = run_sequence(&srv, kaggle::all_workloads(data).expect("builds")).expect("runs");
+    cumulative_run_times(&reports)
+}
+
+/// Run and print Figure 7.
+pub fn run() {
+    println!("== Figure 7: total run time and speedup per materializer ==");
+    let data = super::bench_data();
+    let footprint = super::all_footprint(&data);
+
+    // (a) total run time per budget.
+    println!("\n(a) total run time of W1-8 (s)");
+    println!("budget    SA       HM       HL       ALL");
+    let mut rows_a = Vec::new();
+    let mut kept: Vec<(String, Vec<f64>)> = Vec::new(); // for (b)
+    for (budget_label, fraction) in BUDGET_GRID {
+        let budget = (footprint as f64 * fraction) as u64;
+        let mut totals = Vec::new();
+        for (label, materializer, reuse) in [
+            ("SA", MaterializerKind::StorageAware, ReuseKind::Linear),
+            ("HM", MaterializerKind::Greedy, ReuseKind::Linear),
+            ("HL", MaterializerKind::Helix, ReuseKind::Helix),
+            ("ALL", MaterializerKind::All, ReuseKind::Linear),
+        ] {
+            let cumulative = sequence_cumulative(&data, materializer, reuse, budget);
+            totals.push(*cumulative.last().expect("8 workloads"));
+            if matches!((label, budget_label), ("SA", "8GB") | ("SA", "16GB") | ("HL", "8GB") | ("HL", "16GB"))
+            {
+                kept.push((format!("{label}-{budget_label}"), cumulative));
+            } else if label == "ALL" && budget_label == "8GB" {
+                kept.push(("ALL".to_owned(), cumulative));
+            }
+        }
+        println!(
+            "{budget_label:<8} {:>7.3}  {:>7.3}  {:>7.3}  {:>7.3}",
+            totals[0], totals[1], totals[2], totals[3]
+        );
+        rows_a.push(vec![
+            budget_label.to_owned(),
+            s3(totals[0]),
+            s3(totals[1]),
+            s3(totals[2]),
+            s3(totals[3]),
+        ]);
+    }
+    write_tsv("figure7a.tsv", &["budget", "sa_s", "hm_s", "hl_s", "all_s"], &rows_a);
+
+    // (b) cumulative speedup vs KG.
+    let kg = sequence_cumulative(&data, MaterializerKind::None, ReuseKind::None, 0);
+    println!("\n(b) cumulative speedup vs KG");
+    let labels: Vec<&str> = kept.iter().map(|(l, _)| l.as_str()).collect();
+    println!("workload  {}", labels.join("  "));
+    let mut rows_b = Vec::new();
+    for i in 0..8 {
+        let speedups: Vec<f64> = kept.iter().map(|(_, c)| kg[i] / c[i]).collect();
+        let rendered: Vec<String> = speedups.iter().map(|s| format!("{s:>7.2}")).collect();
+        println!("W{}       {}", i + 1, rendered.join("  "));
+        let mut row = vec![format!("W{}", i + 1)];
+        row.extend(speedups.iter().map(|s| format!("{s:.3}")));
+        rows_b.push(row);
+    }
+    let mut header: Vec<&str> = vec!["workload"];
+    header.extend(labels.iter());
+    write_tsv("figure7b.tsv", &header, &rows_b);
+}

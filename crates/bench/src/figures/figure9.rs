@@ -1,0 +1,146 @@
+//! Figure 9: reuse-algorithm comparison.
+//!
+//! (a)/(b): cumulative run time of the Kaggle sequence for the four reuse
+//! strategies (LN, HL, ALL_M, ALL_C) under the heuristics-based and
+//! storage-aware materializers. (c): cumulative speedup vs ALL_C under
+//! SA. (d): the planner-overhead scaling study — LN vs HL (Edmonds–Karp)
+//! across thousands of synthetic workloads; the paper reports a 40x gap
+//! at 10 000 workloads.
+
+use crate::{full_scale, s3, write_tsv, BUDGET_GRID};
+use co_core::optimizer::{HelixReuse, LinearReuse, ReusePlanner};
+use co_core::server::{MaterializerKind, ReuseKind};
+use co_core::CostModel;
+use co_workloads::kaggle;
+use co_workloads::runner::{cumulative_run_times, run_sequence};
+use co_workloads::synthetic::{synthetic_workload, SyntheticConfig};
+use std::time::Instant;
+
+const REUSES: [(&str, ReuseKind); 4] = [
+    ("LN", ReuseKind::Linear),
+    ("HL", ReuseKind::Helix),
+    ("ALL_M", ReuseKind::AllMaterialized),
+    ("ALL_C", ReuseKind::None),
+];
+
+fn panel(
+    data: &co_workloads::data::HomeCredit,
+    materializer: MaterializerKind,
+    budget: u64,
+) -> Vec<(&'static str, Vec<f64>)> {
+    REUSES
+        .iter()
+        .map(|(label, reuse)| {
+            let srv = super::server(materializer, *reuse, budget);
+            let reports =
+                run_sequence(&srv, kaggle::all_workloads(data).expect("builds")).expect("runs");
+            (*label, cumulative_run_times(&reports))
+        })
+        .collect()
+}
+
+fn print_panel(name: &str, series: &[(&'static str, Vec<f64>)], rows: &mut Vec<Vec<String>>) {
+    println!("\n({name}) workload   LN(s)    HL(s)    ALL_M(s)  ALL_C(s)");
+    for i in 0..8 {
+        println!(
+            "    W{}        {:>7.3}  {:>7.3}  {:>7.3}   {:>7.3}",
+            i + 1,
+            series[0].1[i],
+            series[1].1[i],
+            series[2].1[i],
+            series[3].1[i]
+        );
+        rows.push(vec![
+            name.to_owned(),
+            format!("W{}", i + 1),
+            s3(series[0].1[i]),
+            s3(series[1].1[i]),
+            s3(series[2].1[i]),
+            s3(series[3].1[i]),
+        ]);
+    }
+}
+
+/// Run and print Figure 9.
+pub fn run() {
+    println!("== Figure 9: reuse methods ==");
+    let data = super::bench_data();
+    let footprint = super::all_footprint(&data);
+    let budget = (footprint as f64 * BUDGET_GRID[1].1) as u64;
+
+    let mut rows = Vec::new();
+    let hm = panel(&data, MaterializerKind::Greedy, budget);
+    print_panel("a:heuristics-based", &hm, &mut rows);
+    let sa = panel(&data, MaterializerKind::StorageAware, budget);
+    print_panel("b:storage-aware", &sa, &mut rows);
+    write_tsv(
+        "figure9ab.tsv",
+        &["panel", "workload", "ln_s", "hl_s", "all_m_s", "all_c_s"],
+        &rows,
+    );
+
+    // (c) speedup vs ALL_C under SA.
+    println!("\n(c) cumulative speedup vs ALL_C (storage-aware)");
+    let all_c = &sa[3].1;
+    let mut rows = Vec::new();
+    for i in 0..8 {
+        let speedups: Vec<f64> = sa[..3].iter().map(|(_, c)| all_c[i] / c[i]).collect();
+        println!(
+            "    W{}   LN {:.2}   HL {:.2}   ALL_M {:.2}",
+            i + 1,
+            speedups[0],
+            speedups[1],
+            speedups[2]
+        );
+        rows.push(vec![
+            format!("W{}", i + 1),
+            format!("{:.3}", speedups[0]),
+            format!("{:.3}", speedups[1]),
+            format!("{:.3}", speedups[2]),
+        ]);
+    }
+    write_tsv("figure9c.tsv", &["workload", "ln", "hl", "all_m"], &rows);
+
+    // (d) planner overhead on synthetic workloads.
+    let n = if full_scale() { 10_000 } else { 1000 };
+    println!("\n(d) reuse overhead, {n} synthetic workloads (500-2000 nodes)");
+    let config = SyntheticConfig::default();
+    let cost = CostModel::memory();
+    let mut ln_cumulative = 0.0;
+    let mut hl_cumulative = 0.0;
+    let mut rows = Vec::new();
+    let checkpoints: Vec<usize> =
+        [1usize, 10, 100, 1000, 10_000].iter().copied().filter(|&c| c <= n).collect();
+    for idx in 0..n {
+        let (dag, eg) = synthetic_workload(&config, idx as u64).expect("generates");
+        let start = Instant::now();
+        let ln_plan = LinearReuse.plan(&dag, &eg, &cost);
+        ln_cumulative += start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let hl_plan = HelixReuse.plan(&dag, &eg, &cost);
+        hl_cumulative += start.elapsed().as_secs_f64();
+        // The plans must agree on cost-optimality direction.
+        debug_assert!(hl_plan.estimated_cost <= ln_plan.estimated_cost + 1e-6);
+        let _ = (ln_plan, hl_plan);
+        if checkpoints.contains(&(idx + 1)) {
+            println!(
+                "    after {:>6} workloads: LN {:.3}s, HL {:.3}s ({:.0}x)",
+                idx + 1,
+                ln_cumulative,
+                hl_cumulative,
+                hl_cumulative / ln_cumulative.max(1e-12)
+            );
+            rows.push(vec![
+                (idx + 1).to_string(),
+                format!("{ln_cumulative:.4}"),
+                format!("{hl_cumulative:.4}"),
+            ]);
+        }
+    }
+    println!(
+        "    total: LN {ln_cumulative:.2}s vs HL {hl_cumulative:.2}s ({:.0}x overhead ratio)",
+        hl_cumulative / ln_cumulative.max(1e-12)
+    );
+    rows.push(vec![n.to_string(), format!("{ln_cumulative:.4}"), format!("{hl_cumulative:.4}")]);
+    write_tsv("figure9d.tsv", &["n_workloads", "ln_cum_s", "hl_cum_s"], &rows);
+}

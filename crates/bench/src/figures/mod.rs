@@ -1,0 +1,52 @@
+//! One module per reproduced table/figure.
+
+pub mod figure10;
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod figure7;
+pub mod figure8;
+pub mod figure9;
+pub mod table1;
+
+use co_core::server::{MaterializerKind, ReuseKind};
+use co_core::{CostModel, OptimizerServer, ServerConfig};
+use co_workloads::data::{home_credit, HomeCredit, HomeCreditScale};
+use co_workloads::kaggle;
+
+/// The Kaggle data scale used by the harnesses.
+#[must_use]
+pub fn bench_scale() -> HomeCreditScale {
+    HomeCreditScale::default()
+}
+
+/// Generate the benchmark dataset (deterministic).
+#[must_use]
+pub fn bench_data() -> HomeCredit {
+    home_credit(&bench_scale())
+}
+
+/// Build a server with an explicit materializer/reuse combination.
+#[must_use]
+pub fn server(materializer: MaterializerKind, reuse: ReuseKind, budget: u64) -> OptimizerServer {
+    OptimizerServer::new(ServerConfig {
+        budget,
+        alpha: 0.5,
+        materializer,
+        reuse,
+        cost: CostModel::memory(),
+        warmstart: false,
+    })
+}
+
+/// The footprint materializing *everything* would occupy: the analogue of
+/// the paper's "130 GB of artifacts", measured by running the full
+/// sequence against an ALL-materializing server.
+pub fn all_footprint(data: &HomeCredit) -> u64 {
+    let srv = server(MaterializerKind::All, ReuseKind::Linear, u64::MAX);
+    for dag in kaggle::all_workloads(data).expect("workloads build") {
+        srv.run_workload(dag).expect("workload runs");
+    }
+    let (_, _, logical) = srv.storage_stats();
+    logical
+}

@@ -1,0 +1,60 @@
+//! Table 1: per-workload artifact counts (`N`) and total artifact sizes
+//! (`S`), with the paper's reported values alongside for shape
+//! comparison (the reproduction runs ~3x smaller workloads on MB-scale
+//! data; the *relative* ordering — W2/W3 largest, W4 smallest — is the
+//! reproduced property).
+
+use crate::{s3, write_tsv};
+use co_core::server::{MaterializerKind, ReuseKind};
+use co_workloads::kaggle;
+
+/// Paper values: (N artifacts, S in GB).
+const PAPER: [(u64, f64); 8] = [
+    (397, 14.5),
+    (406, 25.0),
+    (146, 83.5),
+    (280, 10.0),
+    (402, 13.8),
+    (121, 21.0),
+    (145, 83.0),
+    (341, 21.1),
+];
+
+/// Run and print Table 1.
+pub fn run() {
+    println!("== Table 1: Kaggle workload artifact counts and sizes ==");
+    let data = super::bench_data();
+    let mut rows = Vec::new();
+    println!("workload  N(ours)  S(ours MB)  exec(s)   N(paper)  S(paper GB)");
+    for (i, dag) in kaggle::all_workloads(&data).expect("workloads build").into_iter().enumerate()
+    {
+        // A fresh baseline server per workload: measure it in isolation.
+        let srv = super::server(MaterializerKind::None, ReuseKind::None, 0);
+        let (executed, report) = srv.run_workload(dag).expect("workload runs");
+        let n = executed.n_nodes();
+        let size_mb = executed.total_size() as f64 / (1 << 20) as f64;
+        let (paper_n, paper_s) = PAPER[i];
+        println!(
+            "W{}        {:>5}    {:>8.1}   {:>7.3}   {:>6}    {:>8.1}",
+            i + 1,
+            n,
+            size_mb,
+            report.run_seconds(),
+            paper_n,
+            paper_s
+        );
+        rows.push(vec![
+            format!("W{}", i + 1),
+            n.to_string(),
+            format!("{size_mb:.2}"),
+            s3(report.run_seconds()),
+            paper_n.to_string(),
+            format!("{paper_s}"),
+        ]);
+    }
+    write_tsv(
+        "table1.tsv",
+        &["workload", "n_artifacts", "size_mb", "exec_s", "paper_n", "paper_s_gb"],
+        &rows,
+    );
+}

@@ -1,0 +1,450 @@
+//! The client-side script builder — the Rust analogue of the paper's
+//! wrapper-pandas / wrapper-sklearn DSL (Listing 1). A [`Script`] builds a
+//! [`co_graph::WorkloadDag`] by chaining operations on node handles; the
+//! paper's example translates almost line by line:
+//!
+//! ```
+//! use co_core::dsl::Script;
+//! use co_dataframe::{Column, ColumnData, DataFrame};
+//! use co_ml::feature::VectorizerParams;
+//! use co_ml::linear::SvmParams;
+//!
+//! let train = DataFrame::new(vec![
+//!     Column::source("train", "ad_desc", ColumnData::Str(vec![
+//!         "red shoes".into(), "blue hat".into(), "red hat sale".into(), "old shoes".into(),
+//!     ])),
+//!     Column::source("train", "ts", ColumnData::Float(vec![1.0, 2.0, 3.0, 4.0])),
+//!     Column::source("train", "u_id", ColumnData::Float(vec![1.0, 2.0, 1.0, 3.0])),
+//!     Column::source("train", "price", ColumnData::Float(vec![9.0, 5.0, 7.0, 3.0])),
+//!     Column::source("train", "y", ColumnData::Int(vec![1, 0, 1, 0])),
+//! ]).unwrap();
+//!
+//! let mut s = Script::new();
+//! let train = s.load("train.csv", train);
+//! let ad_desc = s.select(train, &["ad_desc"]).unwrap();
+//! let count_vectorized = s
+//!     .count_vectorize(ad_desc, "ad_desc", VectorizerParams { max_features: 10, min_token_len: 2 })
+//!     .unwrap();
+//! let t_subset = s.select(train, &["ts", "u_id", "price", "y"]).unwrap();
+//! let top_features = s.select_k_best(t_subset, "y", 2).unwrap();
+//! let y = s.select(train, &["y"]).unwrap();
+//! let x = s.hconcat(&[count_vectorized, top_features, y]).unwrap();
+//! let model = s.train_svm(x, "y", SvmParams::default()).unwrap();
+//! s.output(model).unwrap();
+//! let dag = s.into_dag();
+//! assert!(dag.n_nodes() > 6);
+//! ```
+
+use crate::ops::*;
+use co_dataframe::ops::{AggFn, BinFn, MapFn, Predicate, StrFn};
+use co_dataframe::DataFrame;
+use co_graph::{NodeId, Result, Value, WorkloadDag};
+use co_ml::feature::{ImputeStrategy, PcaParams, ScaleKind, VectorizerParams};
+use co_ml::linear::{LogisticParams, RidgeParams, SvmParams};
+use co_ml::tree::{ForestParams, GbtParams, TreeParams};
+use std::sync::Arc;
+
+/// A workload script under construction.
+#[derive(Default)]
+pub struct Script {
+    dag: WorkloadDag,
+}
+
+impl Script {
+    /// An empty script.
+    #[must_use]
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// Load a source dataset (`pd.read_csv`). The name identifies the
+    /// dataset across workloads.
+    pub fn load(&mut self, name: &str, df: DataFrame) -> NodeId {
+        self.dag.add_source(name, Value::Dataset(df))
+    }
+
+    /// Mark a node as a requested output (terminal vertex).
+    pub fn output(&mut self, node: NodeId) -> Result<()> {
+        self.dag.mark_terminal(node)
+    }
+
+    /// Finish building and take the DAG.
+    #[must_use]
+    pub fn into_dag(self) -> WorkloadDag {
+        self.dag
+    }
+
+    /// Read access to the DAG under construction.
+    #[must_use]
+    pub fn dag(&self) -> &WorkloadDag {
+        &self.dag
+    }
+
+    // --- data operations -------------------------------------------------
+
+    /// Projection.
+    pub fn select(&mut self, node: NodeId, columns: &[&str]) -> Result<NodeId> {
+        let columns = columns.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(SelectOp { columns }), &[node])
+    }
+
+    /// Drop columns.
+    pub fn drop_columns(&mut self, node: NodeId, columns: &[&str]) -> Result<NodeId> {
+        let columns = columns.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(DropColumnsOp { columns }), &[node])
+    }
+
+    /// Rename a column.
+    pub fn rename(&mut self, node: NodeId, from: &str, to: &str) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(RenameOp { from: from.into(), to: to.into() }), &[node])
+    }
+
+    /// Row filter.
+    pub fn filter(&mut self, node: NodeId, predicate: Predicate) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(FilterOp { predicate }), &[node])
+    }
+
+    /// Drop rows with missing values.
+    pub fn dropna(&mut self, node: NodeId, subset: &[&str]) -> Result<NodeId> {
+        let subset = subset.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(DropNaOp { subset }), &[node])
+    }
+
+    /// Unary column transform.
+    pub fn map(&mut self, node: NodeId, column: &str, f: MapFn, out: &str) -> Result<NodeId> {
+        self.dag
+            .add_op(Arc::new(MapOp { column: column.into(), f, out: out.into() }), &[node])
+    }
+
+    /// Binary column arithmetic.
+    pub fn binary(
+        &mut self,
+        node: NodeId,
+        left: &str,
+        right: &str,
+        f: BinFn,
+        out: &str,
+    ) -> Result<NodeId> {
+        self.dag.add_op(
+            Arc::new(BinaryOp { left: left.into(), right: right.into(), f, out: out.into() }),
+            &[node],
+        )
+    }
+
+    /// String-derived numeric feature.
+    pub fn str_feature(
+        &mut self,
+        node: NodeId,
+        column: &str,
+        f: StrFn,
+        out: &str,
+    ) -> Result<NodeId> {
+        self.dag.add_op(
+            Arc::new(StrFeatureOp { column: column.into(), f, out: out.into() }),
+            &[node],
+        )
+    }
+
+    /// Inner join on an integer key.
+    pub fn join(&mut self, left: NodeId, right: NodeId, on: &str) -> Result<NodeId> {
+        self.dag
+            .add_op(Arc::new(JoinOp { on: on.into(), how: JoinHow::Inner }), &[left, right])
+    }
+
+    /// Left outer join on an integer key.
+    pub fn left_join(&mut self, left: NodeId, right: NodeId, on: &str) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(JoinOp { on: on.into(), how: JoinHow::Left }), &[left, right])
+    }
+
+    /// Horizontal concatenation (`pd.concat(axis=1)`).
+    pub fn hconcat(&mut self, nodes: &[NodeId]) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(HConcatOp), nodes)
+    }
+
+    /// Vertical concatenation.
+    pub fn vconcat(&mut self, nodes: &[NodeId]) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(VConcatOp), nodes)
+    }
+
+    /// Alignment (paper §7.2): both frames restricted to their common
+    /// columns, as two single-output operations.
+    pub fn align(&mut self, a: NodeId, b: NodeId) -> Result<(NodeId, NodeId)> {
+        let left = self.dag.add_op(Arc::new(AlignOp { side: 0 }), &[a, b])?;
+        let right = self.dag.add_op(Arc::new(AlignOp { side: 1 }), &[a, b])?;
+        Ok((left, right))
+    }
+
+    /// Group-by aggregation.
+    pub fn groupby(
+        &mut self,
+        node: NodeId,
+        key: &str,
+        aggs: &[(&str, AggFn)],
+    ) -> Result<NodeId> {
+        let aggs = aggs.iter().map(|(c, f)| ((*c).to_owned(), *f)).collect();
+        self.dag.add_op(Arc::new(GroupByOp { key: key.into(), aggs }), &[node])
+    }
+
+    /// One-hot encode a categorical column.
+    pub fn one_hot(&mut self, node: NodeId, column: &str, max_categories: usize) -> Result<NodeId> {
+        self.dag
+            .add_op(Arc::new(OneHotOp { column: column.into(), max_categories }), &[node])
+    }
+
+    /// Label-encode a categorical column.
+    pub fn label_encode(&mut self, node: NodeId, column: &str) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(LabelEncodeOp { column: column.into() }), &[node])
+    }
+
+    /// Seeded row sample.
+    pub fn sample(&mut self, node: NodeId, n: usize, seed: u64) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(SampleOp { n, seed }), &[node])
+    }
+
+    /// Sort rows.
+    pub fn sort(&mut self, node: NodeId, column: &str, ascending: bool) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(SortOp { column: column.into(), ascending }), &[node])
+    }
+
+    /// Scale numeric columns.
+    pub fn scale(&mut self, node: NodeId, kind: ScaleKind, columns: &[&str]) -> Result<NodeId> {
+        let columns = columns.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(ScaleOp { kind, columns }), &[node])
+    }
+
+    /// Impute missing values.
+    pub fn impute(
+        &mut self,
+        node: NodeId,
+        strategy: ImputeStrategy,
+        columns: &[&str],
+    ) -> Result<NodeId> {
+        let columns = columns.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(ImputeOp { strategy, columns }), &[node])
+    }
+
+    /// Bag-of-words vectorisation (`CountVectorizer`).
+    pub fn count_vectorize(
+        &mut self,
+        node: NodeId,
+        column: &str,
+        params: VectorizerParams,
+    ) -> Result<NodeId> {
+        self.dag
+            .add_op(Arc::new(CountVectorizeOp { column: column.into(), params }), &[node])
+    }
+
+    /// TF-IDF vectorisation (`TfidfVectorizer`).
+    pub fn tfidf_vectorize(
+        &mut self,
+        node: NodeId,
+        column: &str,
+        params: VectorizerParams,
+    ) -> Result<NodeId> {
+        self.dag
+            .add_op(Arc::new(TfidfVectorizeOp { column: column.into(), params }), &[node])
+    }
+
+    /// Univariate feature selection (`SelectKBest`).
+    pub fn select_k_best(&mut self, node: NodeId, label: &str, k: usize) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(SelectKBestOp { label: label.into(), k }), &[node])
+    }
+
+    /// PCA projection.
+    pub fn pca(&mut self, node: NodeId, columns: &[&str], params: PcaParams) -> Result<NodeId> {
+        let columns = columns.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(PcaOp { columns, params }), &[node])
+    }
+
+    /// K-means cluster-distance features over the named columns.
+    pub fn cluster_features(
+        &mut self,
+        node: NodeId,
+        columns: &[&str],
+        params: co_ml::cluster::KMeansParams,
+    ) -> Result<NodeId> {
+        let columns = columns.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(ClusterFeaturesOp { columns, params }), &[node])
+    }
+
+    /// Degree-2 polynomial features.
+    pub fn poly(&mut self, node: NodeId, columns: &[&str]) -> Result<NodeId> {
+        let columns = columns.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(PolyOp { columns }), &[node])
+    }
+
+    /// Whole-column aggregate (an `Aggregate` terminal candidate).
+    pub fn agg(&mut self, node: NodeId, column: &str, f: AggFn) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(AggOp { column: column.into(), f }), &[node])
+    }
+
+    /// Frequency table.
+    pub fn value_counts(&mut self, node: NodeId, column: &str) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(ValueCountsOp { column: column.into() }), &[node])
+    }
+
+    /// Summary statistics (a visualization terminal).
+    pub fn describe(&mut self, node: NodeId) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(DescribeOp), &[node])
+    }
+
+    /// Correlation matrix (a visualization terminal).
+    pub fn corr(&mut self, node: NodeId) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(CorrOp), &[node])
+    }
+
+    // --- training and evaluation ----------------------------------------
+
+    /// Train logistic regression on all numeric columns except `label`.
+    pub fn train_logistic(
+        &mut self,
+        node: NodeId,
+        label: &str,
+        params: LogisticParams,
+    ) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(TrainLogisticOp { label: label.into(), params }), &[node])
+    }
+
+    /// Train a linear SVM.
+    pub fn train_svm(&mut self, node: NodeId, label: &str, params: SvmParams) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(TrainSvmOp { label: label.into(), params }), &[node])
+    }
+
+    /// Train ridge regression.
+    pub fn train_ridge(
+        &mut self,
+        node: NodeId,
+        label: &str,
+        params: RidgeParams,
+    ) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(TrainRidgeOp { label: label.into(), params }), &[node])
+    }
+
+    /// Train a decision tree.
+    pub fn train_tree(&mut self, node: NodeId, label: &str, params: TreeParams) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(TrainTreeOp { label: label.into(), params }), &[node])
+    }
+
+    /// Train a random forest.
+    pub fn train_forest(
+        &mut self,
+        node: NodeId,
+        label: &str,
+        params: ForestParams,
+    ) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(TrainForestOp { label: label.into(), params }), &[node])
+    }
+
+    /// Train gradient-boosted trees.
+    pub fn train_gbt(&mut self, node: NodeId, label: &str, params: GbtParams) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(TrainGbtOp { label: label.into(), params }), &[node])
+    }
+
+    /// Apply a model to a dataset, appending a probability column named
+    /// `out` (columns in `exclude` — typically the label — are left out of
+    /// the feature matrix).
+    pub fn predict(
+        &mut self,
+        model: NodeId,
+        data: NodeId,
+        out: &str,
+        exclude: &[&str],
+    ) -> Result<NodeId> {
+        let exclude = exclude.iter().map(|s| (*s).to_owned()).collect();
+        self.dag.add_op(Arc::new(PredictOp { out: out.into(), exclude }), &[model, data])
+    }
+
+    /// Evaluate a model on a labelled dataset; the score becomes the
+    /// model vertex's quality.
+    pub fn evaluate(
+        &mut self,
+        model: NodeId,
+        data: NodeId,
+        label: &str,
+        metric: EvalMetric,
+    ) -> Result<NodeId> {
+        self.dag.add_op(Arc::new(EvaluateOp { label: label.into(), metric }), &[model, data])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::{Column, ColumnData};
+
+    fn frame() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float((0..50).map(f64::from).collect())),
+            Column::source("t", "y", ColumnData::Int((0..50).map(|i| i64::from(i >= 25)).collect())),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn chains_build_one_dag() {
+        let mut s = Script::new();
+        let data = s.load("t", frame());
+        let filtered = s.filter(data, Predicate::gt_f("x", 5.0)).unwrap();
+        let scaled = s.scale(filtered, ScaleKind::Standard, &["x"]).unwrap();
+        let model = s.train_logistic(scaled, "y", LogisticParams::default()).unwrap();
+        let score = s.evaluate(model, scaled, "y", EvalMetric::RocAuc).unwrap();
+        s.output(score).unwrap();
+        let dag = s.into_dag();
+        assert_eq!(dag.n_nodes(), 5);
+        assert_eq!(dag.terminals().len(), 1);
+        assert_eq!(dag.sources().len(), 1);
+    }
+
+    #[test]
+    fn identical_scripts_share_artifact_identities() {
+        let build = || {
+            let mut s = Script::new();
+            let data = s.load("t", frame());
+            let f = s.filter(data, Predicate::gt_f("x", 5.0)).unwrap();
+            let m = s.train_logistic(f, "y", LogisticParams::default()).unwrap();
+            s.output(m).unwrap();
+            s.into_dag()
+        };
+        let a = build();
+        let b = build();
+        let ids_a: Vec<_> = a.nodes().iter().map(|n| n.artifact).collect();
+        let ids_b: Vec<_> = b.nodes().iter().map(|n| n.artifact).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn modified_scripts_diverge_after_the_change() {
+        let mut s1 = Script::new();
+        let d1 = s1.load("t", frame());
+        let f1 = s1.filter(d1, Predicate::gt_f("x", 5.0)).unwrap();
+        let m1 = s1.train_logistic(f1, "y", LogisticParams::default()).unwrap();
+        s1.output(m1).unwrap();
+
+        let mut s2 = Script::new();
+        let d2 = s2.load("t", frame());
+        let f2 = s2.filter(d2, Predicate::gt_f("x", 5.0)).unwrap();
+        let m2 = s2
+            .train_logistic(f2, "y", LogisticParams { lr: 0.01, ..LogisticParams::default() })
+            .unwrap();
+        s2.output(m2).unwrap();
+
+        let a = s1.into_dag();
+        let b = s2.into_dag();
+        // Shared prefix: source and filter agree.
+        assert_eq!(a.nodes()[f1.0].artifact, b.nodes()[f2.0].artifact);
+        // Models differ (different hyperparameters).
+        assert_ne!(a.nodes()[m1.0].artifact, b.nodes()[m2.0].artifact);
+    }
+
+    #[test]
+    fn align_produces_two_nodes() {
+        let mut s = Script::new();
+        let a = s.load("a", frame());
+        let b = s.load("b", frame());
+        let (la, lb) = s.align(a, b).unwrap();
+        assert_ne!(la, lb);
+        s.output(la).unwrap();
+        s.output(lb).unwrap();
+        assert_eq!(s.dag().terminals().len(), 2);
+    }
+}

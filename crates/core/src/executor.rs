@@ -1,0 +1,535 @@
+//! The client-side executor (paper §3.1, step 4).
+//!
+//! Runs the optimized DAG in topological order: loads planned artifacts
+//! from the Experiment Graph (charging the modelled load cost), executes
+//! the remaining operations while measuring wall-clock compute time, and
+//! annotates every produced vertex with ⟨compute-time, size⟩ for the
+//! updater. Training operations are warmstarted from the best candidate
+//! model when the session enables it (§6.2).
+
+use crate::cost::CostModel;
+use crate::optimizer::ReusePlan;
+use crate::report::ExecutionReport;
+use crate::warmstart;
+use co_graph::{ExperimentGraph, GraphError, NodeId, NodeKind, Result, Value, WorkloadDag};
+use std::time::Instant;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutorConfig {
+    /// Load-cost model for reused artifacts.
+    pub cost: CostModel,
+    /// Warmstart model training operations when a candidate exists
+    /// (the paper only warmstarts "when users explicitly request it").
+    pub warmstart: bool,
+}
+
+/// Execute an optimized workload DAG against the Experiment Graph.
+///
+/// On success every terminal node of `dag` holds its value
+/// (`node.computed`), and executed nodes carry fresh
+/// ⟨compute-time, size⟩ annotations.
+pub fn execute(
+    dag: &mut WorkloadDag,
+    plan: &ReusePlan,
+    eg: &ExperimentGraph,
+    config: &ExecutorConfig,
+) -> Result<ExecutionReport> {
+    let n = dag.n_nodes();
+    if plan.load.len() != n {
+        return Err(GraphError::InvalidStructure(format!(
+            "plan covers {} nodes, workload has {n}",
+            plan.load.len()
+        )));
+    }
+
+    // Backward pass: which nodes must be produced, and how.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Action {
+        Skip,
+        Load,
+        Compute,
+    }
+    let mut action = vec![Action::Skip; n];
+    let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
+    if stack.is_empty() {
+        return Err(GraphError::NoTerminals);
+    }
+    let mut visited = vec![false; n];
+    while let Some(i) = stack.pop() {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        if dag.node(NodeId(i))?.computed.is_some() {
+            continue; // already in client memory
+        }
+        if plan.load[i] {
+            action[i] = Action::Load;
+            continue;
+        }
+        action[i] = Action::Compute;
+        stack.extend(dag.parents(NodeId(i)).iter().map(|p| p.0));
+    }
+
+    let mut report = ExecutionReport::default();
+
+    // Forward pass in topological (index) order.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed by node id
+    for i in 0..n {
+        match action[i] {
+            Action::Skip => {
+                if dag.node(NodeId(i))?.computed.is_none() {
+                    report.nodes_skipped += 1;
+                }
+            }
+            Action::Load => {
+                let artifact = dag.node(NodeId(i))?.artifact;
+                let value = eg
+                    .storage()
+                    .get(artifact)
+                    .ok_or(GraphError::NotMaterialized(artifact.0))?;
+                report.load_seconds += config.cost.load_cost(value.nbytes() as u64);
+                report.artifacts_loaded += 1;
+                if let Value::Model(m) = &value {
+                    dag.node_mut(NodeId(i))?.quality = m.quality;
+                    report.best_model_quality = report.best_model_quality.max(m.quality);
+                }
+                dag.set_computed(NodeId(i), value)?;
+            }
+            Action::Compute => {
+                let edge = dag.producer(NodeId(i)).ok_or_else(|| {
+                    GraphError::InvalidStructure(format!("node {i} must be computed but has no producer"))
+                })?;
+                let op = std::sync::Arc::clone(&edge.op);
+                let input_ids = edge.inputs.clone();
+
+                // Warmstart lookup happens before borrowing input values.
+                let warm_model = if config.warmstart && op.warmstartable() {
+                    op.model_kind().and_then(|kind| {
+                        let train_input = dag.nodes()[input_ids[0].0].artifact;
+                        let own = dag.nodes()[i].artifact;
+                        warmstart::find_candidate(eg, train_input, kind, own)
+                    })
+                } else {
+                    None
+                };
+                if warm_model.is_some() {
+                    report.warmstarts += 1;
+                }
+
+                let inputs: Vec<&Value> = input_ids
+                    .iter()
+                    .map(|p| {
+                        dag.nodes()[p.0].computed.as_ref().ok_or_else(|| {
+                            GraphError::InvalidStructure(format!(
+                                "input node {} of node {i} has no value",
+                                p.0
+                            ))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+
+                let start = Instant::now();
+                let value = op.run_warm(&inputs, warm_model.as_ref())?;
+                let elapsed = start.elapsed().as_secs_f64();
+                report.compute_seconds += elapsed;
+                report.ops_executed += 1;
+
+                if let Value::Model(m) = &value {
+                    dag.node_mut(NodeId(i))?.quality = m.quality;
+                    report.best_model_quality = report.best_model_quality.max(m.quality);
+                }
+                // Evaluation feedback: refine the input model's quality.
+                if op.is_evaluation() {
+                    if let Some(score) = value.as_aggregate().and_then(|s| s.as_f64()) {
+                        for p in &input_ids {
+                            if dag.nodes()[p.0].kind == NodeKind::Model {
+                                let node = dag.node_mut(*p)?;
+                                node.quality = score.clamp(0.0, 1.0);
+                                report.best_model_quality =
+                                    report.best_model_quality.max(node.quality);
+                            }
+                        }
+                    }
+                }
+                let size = value.nbytes() as u64;
+                dag.set_computed(NodeId(i), value)?;
+                dag.annotate(NodeId(i), elapsed, size)?;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Execute an optimized workload DAG with **level-parallel** operation
+/// execution: operations whose inputs are all available run concurrently
+/// on scoped threads (e.g. the three model trainings of the paper's
+/// Workload 1 proceed at once).
+///
+/// Semantics match [`execute`] exactly — same values, same annotations,
+/// same report fields. `compute_seconds` remains the *sum* of per-op
+/// times (the resource cost); wall-clock time can be lower. Warmstart
+/// candidate lookup happens before each level is dispatched, so two
+/// same-level trainings never observe each other (deterministic).
+pub fn execute_parallel(
+    dag: &mut WorkloadDag,
+    plan: &ReusePlan,
+    eg: &ExperimentGraph,
+    config: &ExecutorConfig,
+) -> Result<ExecutionReport> {
+    let n = dag.n_nodes();
+    if plan.load.len() != n {
+        return Err(GraphError::InvalidStructure(format!(
+            "plan covers {} nodes, workload has {n}",
+            plan.load.len()
+        )));
+    }
+    // Backward pass, identical to the sequential executor.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Action {
+        Skip,
+        Load,
+        Compute,
+    }
+    let mut action = vec![Action::Skip; n];
+    let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
+    if stack.is_empty() {
+        return Err(GraphError::NoTerminals);
+    }
+    let mut visited = vec![false; n];
+    while let Some(i) = stack.pop() {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        if dag.node(NodeId(i))?.computed.is_some() {
+            continue;
+        }
+        if plan.load[i] {
+            action[i] = Action::Load;
+            continue;
+        }
+        action[i] = Action::Compute;
+        stack.extend(dag.parents(NodeId(i)).iter().map(|p| p.0));
+    }
+
+    let mut report = ExecutionReport::default();
+
+    // Resolve loads and count skips up front (loads are Arc clones plus a
+    // charged cost — not worth a thread).
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed by node id
+    for i in 0..n {
+        match action[i] {
+            Action::Skip => {
+                if dag.node(NodeId(i))?.computed.is_none() {
+                    report.nodes_skipped += 1;
+                }
+            }
+            Action::Load => {
+                let artifact = dag.node(NodeId(i))?.artifact;
+                let value = eg
+                    .storage()
+                    .get(artifact)
+                    .ok_or(GraphError::NotMaterialized(artifact.0))?;
+                report.load_seconds += config.cost.load_cost(value.nbytes() as u64);
+                report.artifacts_loaded += 1;
+                if let Value::Model(m) = &value {
+                    dag.node_mut(NodeId(i))?.quality = m.quality;
+                    report.best_model_quality = report.best_model_quality.max(m.quality);
+                }
+                dag.set_computed(NodeId(i), value)?;
+            }
+            Action::Compute => {}
+        }
+    }
+
+    // Level assignment among compute nodes: level = 1 + max(parent
+    // compute levels); available inputs are level 0.
+    let mut level = vec![0usize; n];
+    let mut pending: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if action[i] == Action::Compute {
+            let l = dag
+                .parents(NodeId(i))
+                .iter()
+                .map(|p| if action[p.0] == Action::Compute { level[p.0] + 1 } else { 1 })
+                .max()
+                .unwrap_or(1);
+            level[i] = l;
+            pending.push(i);
+        }
+    }
+    pending.sort_by_key(|&i| level[i]);
+
+    // Execute level by level.
+    let mut idx = 0;
+    while idx < pending.len() {
+        let current_level = level[pending[idx]];
+        let mut batch = Vec::new();
+        while idx < pending.len() && level[pending[idx]] == current_level {
+            batch.push(pending[idx]);
+            idx += 1;
+        }
+        // Gather per-node work before spawning (warmstarts included).
+        struct Work {
+            node: usize,
+            op: co_graph::operation::OpRef,
+            inputs: Vec<Value>,
+            warm: Option<co_ml::TrainedModel>,
+        }
+        let mut work = Vec::with_capacity(batch.len());
+        for &i in &batch {
+            let edge = dag.producer(NodeId(i)).ok_or_else(|| {
+                GraphError::InvalidStructure(format!("node {i} must be computed but has no producer"))
+            })?;
+            let op = std::sync::Arc::clone(&edge.op);
+            let input_ids = edge.inputs.clone();
+            let warm = if config.warmstart && op.warmstartable() {
+                op.model_kind().and_then(|kind| {
+                    let train_input = dag.nodes()[input_ids[0].0].artifact;
+                    let own = dag.nodes()[i].artifact;
+                    warmstart::find_candidate(eg, train_input, kind, own)
+                })
+            } else {
+                None
+            };
+            if warm.is_some() {
+                report.warmstarts += 1;
+            }
+            let inputs: Vec<Value> = input_ids
+                .iter()
+                .map(|p| {
+                    dag.nodes()[p.0].computed.clone().ok_or_else(|| {
+                        GraphError::InvalidStructure(format!(
+                            "input node {} of node {i} has no value",
+                            p.0
+                        ))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            work.push(Work { node: i, op, inputs, warm });
+        }
+
+        // Run the batch on scoped threads.
+        type Outcome = (usize, Result<Value>, f64);
+        let results: Vec<Outcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .iter()
+                .map(|w| {
+                    scope.spawn(move || {
+                        let refs: Vec<&Value> = w.inputs.iter().collect();
+                        let start = Instant::now();
+                        let out = w.op.run_warm(&refs, w.warm.as_ref());
+                        (w.node, out, start.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("operation thread panicked")).collect()
+        });
+
+        for (i, outcome, elapsed) in results {
+            let value = outcome?;
+            report.compute_seconds += elapsed;
+            report.ops_executed += 1;
+            if let Value::Model(m) = &value {
+                dag.node_mut(NodeId(i))?.quality = m.quality;
+                report.best_model_quality = report.best_model_quality.max(m.quality);
+            }
+            let op = std::sync::Arc::clone(&dag.producer(NodeId(i)).expect("checked").op);
+            let input_ids = dag.producer(NodeId(i)).expect("checked").inputs.clone();
+            if op.is_evaluation() {
+                if let Some(score) = value.as_aggregate().and_then(|s| s.as_f64()) {
+                    for p in &input_ids {
+                        if dag.nodes()[p.0].kind == NodeKind::Model {
+                            let node = dag.node_mut(*p)?;
+                            node.quality = score.clamp(0.0, 1.0);
+                            report.best_model_quality =
+                                report.best_model_quality.max(node.quality);
+                        }
+                    }
+                }
+            }
+            let size = value.nbytes() as u64;
+            dag.set_computed(NodeId(i), value)?;
+            dag.annotate(NodeId(i), elapsed, size)?;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AggOp, FilterOp, MapOp, SelectOp};
+    use co_dataframe::ops::{AggFn, MapFn, Predicate};
+    use co_dataframe::{Column, ColumnData, DataFrame};
+    use std::sync::Arc;
+
+    fn source_frame() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float((0..100).map(f64::from).collect())),
+            Column::source("t", "y", ColumnData::Int((0..100).map(|i| i64::from(i % 2)).collect())),
+        ])
+        .unwrap()
+    }
+
+    fn pipeline() -> (WorkloadDag, NodeId, NodeId) {
+        let mut dag = WorkloadDag::new();
+        let src = dag.add_source("t", Value::Dataset(source_frame()));
+        let filtered = dag
+            .add_op(Arc::new(FilterOp { predicate: Predicate::gt_f("x", 10.0) }), &[src])
+            .unwrap();
+        let mapped = dag
+            .add_op(
+                Arc::new(MapOp { column: "x".into(), f: MapFn::Log1p, out: "lx".into() }),
+                &[filtered],
+            )
+            .unwrap();
+        let result = dag
+            .add_op(Arc::new(AggOp { column: "lx".into(), f: AggFn::Mean }), &[mapped])
+            .unwrap();
+        dag.mark_terminal(result).unwrap();
+        (dag, mapped, result)
+    }
+
+    #[test]
+    fn executes_full_pipeline_and_annotates() {
+        let (mut dag, mapped, result) = pipeline();
+        let plan = ReusePlan::compute_everything(&dag);
+        let eg = ExperimentGraph::new(true);
+        let report = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap();
+        assert_eq!(report.ops_executed, 3);
+        assert_eq!(report.artifacts_loaded, 0);
+        let value = dag.node(result).unwrap().computed.as_ref().unwrap();
+        assert!(value.as_aggregate().unwrap().as_f64().unwrap() > 0.0);
+        assert!(dag.node(mapped).unwrap().compute_time.is_some());
+        assert!(dag.node(mapped).unwrap().size.unwrap() > 0);
+    }
+
+    #[test]
+    fn loads_skip_upstream_work() {
+        // First run populates EG; materialize the mapped artifact; second
+        // run with a plan loading it must execute only the aggregate.
+        let (mut dag1, mapped, _) = pipeline();
+        let plan = ReusePlan::compute_everything(&dag1);
+        let mut eg = ExperimentGraph::new(true);
+        execute(&mut dag1, &plan, &eg, &ExecutorConfig::default()).unwrap();
+        eg.update_with_workload(&dag1).unwrap();
+        let mapped_artifact = dag1.nodes()[mapped.0].artifact;
+        let content = dag1.node(mapped).unwrap().computed.clone().unwrap();
+        eg.storage_mut().store(mapped_artifact, &content);
+
+        let (mut dag2, mapped2, result2) = pipeline();
+        let mut load = vec![false; dag2.n_nodes()];
+        load[mapped2.0] = true;
+        let plan = ReusePlan { load, estimated_cost: 0.0 };
+        let report = execute(&mut dag2, &plan, &eg, &ExecutorConfig::default()).unwrap();
+        assert_eq!(report.ops_executed, 1); // only the aggregate
+        assert_eq!(report.artifacts_loaded, 1);
+        assert!(report.load_seconds > 0.0);
+        assert_eq!(report.nodes_skipped, 1); // the filter node
+        let v1 = dag1.node(result2).unwrap().computed.as_ref().unwrap();
+        let v2 = dag2.node(result2).unwrap().computed.as_ref().unwrap();
+        assert_eq!(v1.as_aggregate(), v2.as_aggregate());
+    }
+
+    #[test]
+    fn loading_unmaterialized_artifact_fails() {
+        let (mut dag, mapped, _) = pipeline();
+        let mut load = vec![false; dag.n_nodes()];
+        load[mapped.0] = true;
+        let plan = ReusePlan { load, estimated_cost: 0.0 };
+        let eg = ExperimentGraph::new(true);
+        let err = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap_err();
+        assert!(matches!(err, GraphError::NotMaterialized(_)));
+    }
+
+    #[test]
+    fn off_path_nodes_are_skipped() {
+        let (mut dag, _, _) = pipeline();
+        // A dangling projection nobody asked for.
+        let src = NodeId(0);
+        dag.add_op(Arc::new(SelectOp { columns: vec!["x".into()] }), &[src]).unwrap();
+        let plan = ReusePlan::compute_everything(&dag);
+        let eg = ExperimentGraph::new(true);
+        let report = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap();
+        assert_eq!(report.ops_executed, 3);
+        assert_eq!(report.nodes_skipped, 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // A diamond with two independent mid-branches: both executors
+        // produce identical values and annotations.
+        let mut sequential = WorkloadDag::new();
+        let mut parallel = WorkloadDag::new();
+        for dag in [&mut sequential, &mut parallel] {
+            let src = dag.add_source("t", Value::Dataset(source_frame()));
+            let a = dag
+                .add_op(Arc::new(FilterOp { predicate: Predicate::gt_f("x", 10.0) }), &[src])
+                .unwrap();
+            let b = dag
+                .add_op(Arc::new(FilterOp { predicate: Predicate::lt_f("x", 90.0) }), &[src])
+                .unwrap();
+            let ma = dag
+                .add_op(Arc::new(AggOp { column: "x".into(), f: AggFn::Mean }), &[a])
+                .unwrap();
+            let mb = dag
+                .add_op(Arc::new(AggOp { column: "x".into(), f: AggFn::Mean }), &[b])
+                .unwrap();
+            dag.mark_terminal(ma).unwrap();
+            dag.mark_terminal(mb).unwrap();
+        }
+        let eg = ExperimentGraph::new(true);
+        let plan_seq = ReusePlan::compute_everything(&sequential);
+        let plan_par = ReusePlan::compute_everything(&parallel);
+        let r1 = execute(&mut sequential, &plan_seq, &eg, &ExecutorConfig::default()).unwrap();
+        let r2 =
+            execute_parallel(&mut parallel, &plan_par, &eg, &ExecutorConfig::default()).unwrap();
+        assert_eq!(r1.ops_executed, r2.ops_executed);
+        assert_eq!(r1.nodes_skipped, r2.nodes_skipped);
+        for (a, b) in sequential.nodes().iter().zip(parallel.nodes()) {
+            assert_eq!(a.artifact, b.artifact);
+            match (&a.computed, &b.computed) {
+                (Some(Value::Aggregate(x)), Some(Value::Aggregate(y))) => assert_eq!(x, y),
+                (Some(Value::Dataset(x)), Some(Value::Dataset(y))) => {
+                    assert_eq!(x.column_ids(), y.column_ids())
+                }
+                (x, y) => assert_eq!(x.is_some(), y.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_loads_and_dependencies() {
+        let (mut dag1, mapped, _) = pipeline();
+        let plan = ReusePlan::compute_everything(&dag1);
+        let mut eg = ExperimentGraph::new(true);
+        execute(&mut dag1, &plan, &eg, &ExecutorConfig::default()).unwrap();
+        eg.update_with_workload(&dag1).unwrap();
+        let mapped_artifact = dag1.nodes()[mapped.0].artifact;
+        let content = dag1.node(mapped).unwrap().computed.clone().unwrap();
+        eg.storage_mut().store(mapped_artifact, &content);
+
+        let (mut dag2, mapped2, result2) = pipeline();
+        let mut load = vec![false; dag2.n_nodes()];
+        load[mapped2.0] = true;
+        let plan = ReusePlan { load, estimated_cost: 0.0 };
+        let report =
+            execute_parallel(&mut dag2, &plan, &eg, &ExecutorConfig::default()).unwrap();
+        assert_eq!(report.ops_executed, 1);
+        assert_eq!(report.artifacts_loaded, 1);
+        let v1 = dag1.node(result2).unwrap().computed.as_ref().unwrap();
+        let v2 = dag2.node(result2).unwrap().computed.as_ref().unwrap();
+        assert_eq!(v1.as_aggregate(), v2.as_aggregate());
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected() {
+        let (mut dag, _, _) = pipeline();
+        let plan = ReusePlan { load: vec![false], estimated_cost: 0.0 };
+        let eg = ExperimentGraph::new(true);
+        assert!(execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).is_err());
+    }
+}

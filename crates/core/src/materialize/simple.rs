@@ -1,0 +1,65 @@
+//! Trivial materializers: `ALL` stores every artifact it can (the
+//! paper's unbounded upper bound in Figures 6/7), `NONE` stores nothing
+//! beyond the sources (the `KG` baseline).
+
+use super::Materializer;
+use crate::cost::CostModel;
+use co_graph::{ArtifactId, ExperimentGraph, Value};
+use std::collections::HashMap;
+
+/// Materialize everything whose content is available.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllMaterializer;
+
+impl Materializer for AllMaterializer {
+    fn name(&self) -> &'static str {
+        "ALL"
+    }
+
+    fn run(
+        &self,
+        eg: &mut ExperimentGraph,
+        available: &HashMap<ArtifactId, Value>,
+        _cost: &CostModel,
+    ) {
+        for (id, value) in available {
+            if !eg.is_materialized(*id) {
+                eg.storage_mut().store(*id, value);
+            }
+        }
+    }
+}
+
+/// Materialize nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoneMaterializer;
+
+impl Materializer for NoneMaterializer {
+    fn name(&self) -> &'static str {
+        "NONE"
+    }
+
+    fn run(
+        &self,
+        _eg: &mut ExperimentGraph,
+        _available: &HashMap<ArtifactId, Value>,
+        _cost: &CostModel,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialize::testutil::chain_eg;
+
+    #[test]
+    fn all_stores_everything_none_stores_nothing() {
+        let (mut eg, ids, available) =
+            chain_eg(&[("a", 1.0, 4, 0.0), ("b", 1.0, 4, 0.0)], false);
+        NoneMaterializer.run(&mut eg, &available, &CostModel::default());
+        assert!(ids.iter().all(|id| !eg.is_materialized(*id)));
+        AllMaterializer.run(&mut eg, &available, &CostModel::default());
+        assert!(ids.iter().all(|id| eg.is_materialized(*id)));
+    }
+}

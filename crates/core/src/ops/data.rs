@@ -1,0 +1,918 @@
+//! Data-preprocessing operations (the paper's `DataOperation`s).
+
+use super::{arity, dataset_input};
+use co_dataframe::ops as df_ops;
+use co_dataframe::ops::{AggFn, BinFn, MapFn, Predicate, StrFn};
+use co_graph::{GraphError, NodeKind, Operation, Result, Value};
+use co_ml::feature::{self, ImputeStrategy, PcaParams, ScaleKind, VectorizerParams};
+
+fn df_err(op: &str, e: co_dataframe::DfError) -> GraphError {
+    GraphError::from_df(op, &e)
+}
+
+fn ml_err(op: &str, e: co_ml::MlError) -> GraphError {
+    GraphError::from_ml(op, &e)
+}
+
+/// Projection (`df[cols]`).
+pub struct SelectOp {
+    /// Columns to keep, in order.
+    pub columns: Vec<String>,
+}
+
+impl Operation for SelectOp {
+    fn name(&self) -> &str {
+        "select"
+    }
+    fn params_digest(&self) -> String {
+        self.columns.join(",")
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        Ok(Value::Dataset(df.select(&cols).map_err(|e| df_err(self.name(), e))?))
+    }
+}
+
+/// Drop columns.
+pub struct DropColumnsOp {
+    /// Columns to remove.
+    pub columns: Vec<String>,
+}
+
+impl Operation for DropColumnsOp {
+    fn name(&self) -> &str {
+        "drop_columns"
+    }
+    fn params_digest(&self) -> String {
+        self.columns.join(",")
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        Ok(Value::Dataset(df.drop_columns(&cols).map_err(|e| df_err(self.name(), e))?))
+    }
+}
+
+/// Rename a column.
+pub struct RenameOp {
+    /// Existing name.
+    pub from: String,
+    /// New name.
+    pub to: String,
+}
+
+impl Operation for RenameOp {
+    fn name(&self) -> &str {
+        "rename"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}->{}", self.from, self.to)
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(df.rename(&self.from, &self.to).map_err(|e| df_err(self.name(), e))?))
+    }
+}
+
+/// Row filter.
+pub struct FilterOp {
+    /// Row predicate.
+    pub predicate: Predicate,
+}
+
+impl Operation for FilterOp {
+    fn name(&self) -> &str {
+        "filter"
+    }
+    fn params_digest(&self) -> String {
+        self.predicate.digest()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::filter(df, &self.predicate).map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Drop rows with missing values.
+pub struct DropNaOp {
+    /// Columns to consider (empty = all).
+    pub subset: Vec<String>,
+}
+
+impl Operation for DropNaOp {
+    fn name(&self) -> &str {
+        "dropna"
+    }
+    fn params_digest(&self) -> String {
+        self.subset.join(",")
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let subset: Vec<&str> = self.subset.iter().map(String::as_str).collect();
+        Ok(Value::Dataset(df_ops::dropna(df, &subset).map_err(|e| df_err(self.name(), e))?))
+    }
+}
+
+/// Unary column transform.
+pub struct MapOp {
+    /// Input column.
+    pub column: String,
+    /// Transform.
+    pub f: MapFn,
+    /// Output column (may equal `column` to replace in place).
+    pub out: String,
+}
+
+impl Operation for MapOp {
+    fn name(&self) -> &str {
+        "map"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}:{}:{}", self.column, self.f.digest(), self.out)
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::map_column(df, &self.column, &self.f, &self.out)
+                .map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Binary column arithmetic.
+pub struct BinaryOp {
+    /// Left column.
+    pub left: String,
+    /// Right column.
+    pub right: String,
+    /// Arithmetic function.
+    pub f: BinFn,
+    /// Output column.
+    pub out: String,
+}
+
+impl Operation for BinaryOp {
+    fn name(&self) -> &str {
+        "binary_op"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}:{}:{}:{}", self.left, self.right, self.f.name(), self.out)
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::binary_op(df, &self.left, &self.right, self.f, &self.out)
+                .map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Numeric feature from a string column.
+pub struct StrFeatureOp {
+    /// Input text column.
+    pub column: String,
+    /// Feature function.
+    pub f: StrFn,
+    /// Output column.
+    pub out: String,
+}
+
+impl Operation for StrFeatureOp {
+    fn name(&self) -> &str {
+        "str_feature"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}:{}:{}", self.column, self.f.name(), self.out)
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::str_feature(df, &self.column, self.f, &self.out)
+                .map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Join flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinHow {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer join.
+    Left,
+}
+
+/// Two-input equi-join on an integer key (a paper *supernode* operation).
+pub struct JoinOp {
+    /// Key column present in both inputs.
+    pub on: String,
+    /// Join flavour.
+    pub how: JoinHow,
+}
+
+impl Operation for JoinOp {
+    fn name(&self) -> &str {
+        match self.how {
+            JoinHow::Inner => "inner_join",
+            JoinHow::Left => "left_join",
+        }
+    }
+    fn params_digest(&self) -> String {
+        self.on.clone()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 2)?;
+        let left = dataset_input(self.name(), inputs, 0)?;
+        let right = dataset_input(self.name(), inputs, 1)?;
+        let joined = match self.how {
+            JoinHow::Inner => df_ops::inner_join(left, right, &self.on),
+            JoinHow::Left => df_ops::left_join(left, right, &self.on),
+        }
+        .map_err(|e| df_err(self.name(), e))?;
+        Ok(Value::Dataset(joined))
+    }
+}
+
+/// Horizontal concatenation (pandas `concat(axis=1)`), any arity >= 1.
+pub struct HConcatOp;
+
+impl Operation for HConcatOp {
+    fn name(&self) -> &str {
+        "hconcat"
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        let frames: Vec<&co_dataframe::DataFrame> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| dataset_input(self.name(), inputs, i))
+            .collect::<Result<_>>()?;
+        Ok(Value::Dataset(df_ops::hconcat(&frames).map_err(|e| df_err(self.name(), e))?))
+    }
+}
+
+/// Vertical concatenation (row stacking), any arity >= 1.
+pub struct VConcatOp;
+
+impl Operation for VConcatOp {
+    fn name(&self) -> &str {
+        "vconcat"
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        let frames: Vec<&co_dataframe::DataFrame> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| dataset_input(self.name(), inputs, i))
+            .collect::<Result<_>>()?;
+        Ok(Value::Dataset(df_ops::vconcat(&frames).map_err(|e| df_err(self.name(), e))?))
+    }
+}
+
+/// The paper's alignment operation (§7.2), re-implemented as two
+/// single-output operations: `side = 0` returns the left frame restricted
+/// to the common columns, `side = 1` the right frame. Each output's cost
+/// and size can then be measured independently — exactly the workaround
+/// the paper describes for multi-output operations.
+pub struct AlignOp {
+    /// 0 = left output, 1 = right output.
+    pub side: usize,
+}
+
+impl Operation for AlignOp {
+    fn name(&self) -> &str {
+        "align"
+    }
+    fn params_digest(&self) -> String {
+        self.side.to_string()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 2)?;
+        let a = dataset_input(self.name(), inputs, 0)?;
+        let b = dataset_input(self.name(), inputs, 1)?;
+        let (left, right) = df_ops::align(a, b).map_err(|e| df_err(self.name(), e))?;
+        Ok(Value::Dataset(if self.side == 0 { left } else { right }))
+    }
+}
+
+/// Group-by aggregation.
+pub struct GroupByOp {
+    /// Key column.
+    pub key: String,
+    /// `(column, aggregate)` pairs.
+    pub aggs: Vec<(String, AggFn)>,
+}
+
+impl Operation for GroupByOp {
+    fn name(&self) -> &str {
+        "groupby"
+    }
+    fn params_digest(&self) -> String {
+        let aggs: Vec<String> =
+            self.aggs.iter().map(|(c, f)| format!("{c}:{}", f.name())).collect();
+        format!("{}|{}", self.key, aggs.join(","))
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let aggs: Vec<(&str, AggFn)> =
+            self.aggs.iter().map(|(c, f)| (c.as_str(), *f)).collect();
+        Ok(Value::Dataset(
+            df_ops::groupby_agg(df, &self.key, &aggs).map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// One-hot encode a string column.
+pub struct OneHotOp {
+    /// Column to encode.
+    pub column: String,
+    /// Keep this many categories.
+    pub max_categories: usize,
+}
+
+impl Operation for OneHotOp {
+    fn name(&self) -> &str {
+        "one_hot"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}:{}", self.column, self.max_categories)
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::one_hot(df, &self.column, self.max_categories)
+                .map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Label-encode a string column.
+pub struct LabelEncodeOp {
+    /// Column to encode.
+    pub column: String,
+}
+
+impl Operation for LabelEncodeOp {
+    fn name(&self) -> &str {
+        "label_encode"
+    }
+    fn params_digest(&self) -> String {
+        self.column.clone()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::label_encode(df, &self.column).map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Seeded row sample (the paper's Listing 2 example).
+pub struct SampleOp {
+    /// Rows to draw.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Operation for SampleOp {
+    fn name(&self) -> &str {
+        "sample"
+    }
+    fn params_digest(&self) -> String {
+        format!("n={},seed={}", self.n, self.seed)
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::sample(df, self.n, self.seed).map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Sort rows by a column.
+pub struct SortOp {
+    /// Sort key column.
+    pub column: String,
+    /// Ascending order?
+    pub ascending: bool,
+}
+
+impl Operation for SortOp {
+    fn name(&self) -> &str {
+        "sort"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}:{}", self.column, self.ascending)
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::sort_by(df, &self.column, self.ascending)
+                .map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Scale numeric columns.
+pub struct ScaleOp {
+    /// Standard or min-max.
+    pub kind: ScaleKind,
+    /// Columns to scale.
+    pub columns: Vec<String>,
+}
+
+impl Operation for ScaleOp {
+    fn name(&self) -> &str {
+        "scale"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.kind.name(), self.columns.join(","))
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        Ok(Value::Dataset(
+            feature::scale(df, self.kind, &cols).map_err(|e| ml_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Impute missing values.
+pub struct ImputeOp {
+    /// Fill strategy.
+    pub strategy: ImputeStrategy,
+    /// Columns to fill.
+    pub columns: Vec<String>,
+}
+
+impl Operation for ImputeOp {
+    fn name(&self) -> &str {
+        "impute"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.strategy.digest(), self.columns.join(","))
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        Ok(Value::Dataset(
+            feature::impute(df, self.strategy, &cols).map_err(|e| ml_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Bag-of-words vectorisation of a text column.
+pub struct CountVectorizeOp {
+    /// Text column.
+    pub column: String,
+    /// Vocabulary parameters.
+    pub params: VectorizerParams,
+}
+
+impl Operation for CountVectorizeOp {
+    fn name(&self) -> &str {
+        "count_vectorize"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.column, self.params.digest())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            feature::count_vectorize(df, &self.column, &self.params)
+                .map_err(|e| ml_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// TF-IDF vectorisation of a text column.
+pub struct TfidfVectorizeOp {
+    /// Text column.
+    pub column: String,
+    /// Vocabulary parameters.
+    pub params: VectorizerParams,
+}
+
+impl Operation for TfidfVectorizeOp {
+    fn name(&self) -> &str {
+        "tfidf_vectorize"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.column, self.params.digest())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            feature::tfidf_vectorize(df, &self.column, &self.params)
+                .map_err(|e| ml_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Univariate feature selection.
+pub struct SelectKBestOp {
+    /// Label column (excluded from the output).
+    pub label: String,
+    /// Number of features to keep.
+    pub k: usize,
+}
+
+impl Operation for SelectKBestOp {
+    fn name(&self) -> &str {
+        "select_k_best"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|k={}", self.label, self.k)
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            feature::select_k_best(df, &self.label, self.k)
+                .map_err(|e| ml_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// PCA projection of numeric columns.
+pub struct PcaOp {
+    /// Input columns.
+    pub columns: Vec<String>,
+    /// PCA parameters.
+    pub params: PcaParams,
+}
+
+impl Operation for PcaOp {
+    fn name(&self) -> &str {
+        "pca"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.params.digest(), self.columns.join(","))
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        Ok(Value::Dataset(
+            feature::pca(df, &cols, &self.params).map_err(|e| ml_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// K-means cluster-distance features: fit k-means on the named numeric
+/// columns and append one `Float` distance column per centroid
+/// (`cluster_d0..`). Like [`PcaOp`], a feature-engineering *model* in the
+/// paper's sense, wrapped as a data operation over its training input.
+pub struct ClusterFeaturesOp {
+    /// Input columns.
+    pub columns: Vec<String>,
+    /// K-means hyperparameters.
+    pub params: co_ml::cluster::KMeansParams,
+}
+
+impl Operation for ClusterFeaturesOp {
+    fn name(&self) -> &str {
+        "cluster_features"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.params.digest(), self.columns.join(","))
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        let sub = df.select(&cols).map_err(|e| df_err(self.name(), e))?;
+        let x = co_ml::dataset::features_only(&sub).map_err(|e| ml_err(self.name(), e))?;
+        let model = co_ml::cluster::KMeans::new(self.params.clone())
+            .fit(&x)
+            .map_err(|e| ml_err(self.name(), e))?;
+        let distances = model.transform(&x);
+        let base = co_dataframe::ColumnId::derive_many(
+            &sub.column_ids(),
+            self.op_hash(),
+        );
+        let mut out = df.clone();
+        for c in 0..distances.cols() {
+            let id = base.derive(co_dataframe::hash::fnv1a_parts(&["cluster", &c.to_string()]));
+            out = out
+                .with_column(co_dataframe::Column::derived(
+                    &format!("cluster_d{c}"),
+                    id,
+                    co_dataframe::ColumnData::Float(distances.column(c)),
+                ))
+                .map_err(|e| df_err(self.name(), e))?;
+        }
+        Ok(Value::Dataset(out))
+    }
+}
+
+/// Degree-2 polynomial feature expansion.
+pub struct PolyOp {
+    /// Input columns.
+    pub columns: Vec<String>,
+}
+
+impl Operation for PolyOp {
+    fn name(&self) -> &str {
+        "poly2"
+    }
+    fn params_digest(&self) -> String {
+        self.columns.join(",")
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        Ok(Value::Dataset(
+            feature::polynomial_features(df, &cols).map_err(|e| ml_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Whole-column aggregate producing an `Aggregate` artifact.
+pub struct AggOp {
+    /// Column to aggregate.
+    pub column: String,
+    /// Aggregate function.
+    pub f: AggFn,
+}
+
+impl Operation for AggOp {
+    fn name(&self) -> &str {
+        "agg"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}:{}", self.column, self.f.name())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Aggregate
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Aggregate(
+            df_ops::agg_column(df, &self.column, self.f).map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Frequency table of a column.
+pub struct ValueCountsOp {
+    /// Column to count.
+    pub column: String,
+}
+
+impl Operation for ValueCountsOp {
+    fn name(&self) -> &str {
+        "value_counts"
+    }
+    fn params_digest(&self) -> String {
+        self.column.clone()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(
+            df_ops::value_counts(df, &self.column).map_err(|e| df_err(self.name(), e))?,
+        ))
+    }
+}
+
+/// Summary statistics (a typical visualization terminal).
+pub struct DescribeOp;
+
+impl Operation for DescribeOp {
+    fn name(&self) -> &str {
+        "describe"
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(df_ops::describe(df).map_err(|e| df_err(self.name(), e))?))
+    }
+}
+
+/// Pearson correlation matrix (a typical visualization terminal).
+pub struct CorrOp;
+
+impl Operation for CorrOp {
+    fn name(&self) -> &str {
+        "corr"
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        Ok(Value::Dataset(df_ops::corr_matrix(df).map_err(|e| df_err(self.name(), e))?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::{Column, ColumnData, DataFrame};
+
+    fn dataset() -> Value {
+        Value::Dataset(
+            DataFrame::new(vec![
+                Column::source("t", "x", ColumnData::Float(vec![1.0, 2.0, 3.0])),
+                Column::source("t", "k", ColumnData::Int(vec![1, 1, 2])),
+                Column::source("t", "s", ColumnData::Str(vec!["a".into(), "b".into(), "a".into()])),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn single_input_ops_run() {
+        let v = dataset();
+        let inputs = [&v];
+        let out = SelectOp { columns: vec!["x".into()] }.run(&inputs).unwrap();
+        assert_eq!(out.as_dataset().unwrap().n_cols(), 1);
+        let out = FilterOp { predicate: Predicate::gt_f("x", 1.5) }.run(&inputs).unwrap();
+        assert_eq!(out.as_dataset().unwrap().n_rows(), 2);
+        let out = MapOp { column: "x".into(), f: MapFn::Abs, out: "ax".into() }
+            .run(&inputs)
+            .unwrap();
+        assert!(out.as_dataset().unwrap().has_column("ax"));
+        let out = GroupByOp { key: "k".into(), aggs: vec![("x".into(), AggFn::Sum)] }
+            .run(&inputs)
+            .unwrap();
+        assert_eq!(out.as_dataset().unwrap().n_rows(), 2);
+        let out = OneHotOp { column: "s".into(), max_categories: 2 }.run(&inputs).unwrap();
+        assert!(out.as_dataset().unwrap().has_column("s=a"));
+        let out = AggOp { column: "x".into(), f: AggFn::Mean }.run(&inputs).unwrap();
+        assert_eq!(out.as_aggregate().unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn multi_input_ops_validate_arity() {
+        let v = dataset();
+        let op = JoinOp { on: "k".into(), how: JoinHow::Inner };
+        assert!(op.run(&[&v]).is_err());
+        let out = op.run(&[&v, &v]).unwrap();
+        assert!(out.as_dataset().unwrap().n_rows() > 0);
+        let align = AlignOp { side: 0 };
+        assert!(align.run(&[&v]).is_err());
+        let out = align.run(&[&v, &v]).unwrap();
+        assert_eq!(out.as_dataset().unwrap().n_cols(), 3);
+    }
+
+    #[test]
+    fn cluster_features_append_distances() {
+        let v = dataset();
+        let op = ClusterFeaturesOp {
+            columns: vec!["x".into(), "k".into()],
+            params: co_ml::cluster::KMeansParams { k: 2, ..Default::default() },
+        };
+        let out = op.run(&[&v]).unwrap();
+        let df = out.as_dataset().unwrap();
+        assert!(df.has_column("cluster_d0"));
+        assert!(df.has_column("cluster_d1"));
+        assert_eq!(df.n_cols(), 5); // originals + 2 distance columns
+        // Original columns untouched (ids preserved).
+        assert_eq!(
+            df.column("s").unwrap().id(),
+            v.as_dataset().unwrap().column("s").unwrap().id()
+        );
+        // Deterministic lineage.
+        let again = op.run(&[&v]).unwrap();
+        assert_eq!(
+            again.as_dataset().unwrap().column("cluster_d0").unwrap().id(),
+            df.column("cluster_d0").unwrap().id()
+        );
+    }
+
+    #[test]
+    fn op_hashes_distinguish_params() {
+        let a = SelectOp { columns: vec!["x".into()] };
+        let b = SelectOp { columns: vec!["k".into()] };
+        assert_ne!(a.op_hash(), b.op_hash());
+        let f1 = FilterOp { predicate: Predicate::gt_f("x", 1.0) };
+        let f2 = FilterOp { predicate: Predicate::gt_f("x", 2.0) };
+        assert_ne!(f1.op_hash(), f2.op_hash());
+        // Different op types never collide on the same digest.
+        assert_ne!(a.op_hash(), DropColumnsOp { columns: vec!["x".into()] }.op_hash());
+    }
+
+    #[test]
+    fn wrong_input_kind_is_reported() {
+        let agg = Value::Aggregate(co_dataframe::Scalar::Int(1));
+        let err = SelectOp { columns: vec![] }.run(&[&agg]).unwrap_err();
+        assert!(matches!(err, GraphError::BadOperationInput { .. }));
+    }
+}

@@ -1,0 +1,51 @@
+//! The standard operation library: implementations of
+//! [`co_graph::Operation`] wrapping the dataframe and ML substrates.
+//!
+//! These are the operations the paper's wrapper-pandas / wrapper-sklearn
+//! parser emits (Listing 1); user-defined operations implement the same
+//! trait (Listing 2).
+
+mod data;
+mod train;
+
+pub use data::{
+    AggOp, AlignOp, BinaryOp, ClusterFeaturesOp, CorrOp, CountVectorizeOp, DescribeOp,
+    DropColumnsOp, DropNaOp,
+    FilterOp, GroupByOp, HConcatOp, ImputeOp, JoinHow, JoinOp, LabelEncodeOp, MapOp, OneHotOp,
+    PcaOp, PolyOp, RenameOp, SampleOp, ScaleOp, SelectKBestOp, SelectOp, SortOp, StrFeatureOp,
+    TfidfVectorizeOp, ValueCountsOp, VConcatOp,
+};
+pub use train::{
+    EvalMetric, EvaluateOp, PredictOp, TrainForestOp, TrainGbtOp, TrainLogisticOp,
+    TrainRidgeOp, TrainSvmOp, TrainTreeOp,
+};
+
+use co_dataframe::DataFrame;
+use co_graph::{GraphError, Value};
+
+/// Extract the `idx`-th input as a dataset, with a contextual error.
+pub(crate) fn dataset_input<'a>(
+    op: &str,
+    inputs: &[&'a Value],
+    idx: usize,
+) -> co_graph::Result<&'a DataFrame> {
+    inputs
+        .get(idx)
+        .and_then(|v| v.as_dataset())
+        .ok_or_else(|| GraphError::BadOperationInput {
+            op: op.to_owned(),
+            message: format!("input {idx} must be a dataset ({} inputs given)", inputs.len()),
+        })
+}
+
+/// Require an exact input arity.
+pub(crate) fn arity(op: &str, inputs: &[&Value], n: usize) -> co_graph::Result<()> {
+    if inputs.len() == n {
+        Ok(())
+    } else {
+        Err(GraphError::BadOperationInput {
+            op: op.to_owned(),
+            message: format!("expected {n} inputs, got {}", inputs.len()),
+        })
+    }
+}

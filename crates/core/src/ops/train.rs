@@ -1,0 +1,532 @@
+//! Model-training and evaluation operations (the paper's
+//! `TrainOperation`s).
+//!
+//! Training operations take a single `Dataset` input containing the label
+//! column, fit the model on all numeric feature columns, and emit a
+//! `Model` artifact whose initial quality `q` is the training-set ROC AUC.
+//! A downstream [`EvaluateOp`] refines `q` with a held-out score (the
+//! executor feeds the evaluation result back to the model vertex).
+//!
+//! Iterative trainers declare themselves warmstartable (paper §4.2:
+//! "users must specify whether the training operation can be warmstarted")
+//! and accept an initialiser through `run_warm`.
+
+use super::{arity, dataset_input};
+use co_graph::{GraphError, ModelArtifact, NodeKind, Operation, Result, Value};
+use co_ml::dataset::supervised;
+use co_ml::linear::{
+    LinearSvc, LogisticParams, LogisticRegression, RidgeParams, RidgeRegression, SvmParams,
+};
+use co_ml::metrics::{accuracy, log_loss, roc_auc};
+use co_ml::tree::{
+    DecisionTree, ForestParams, GbtParams, GradientBoosting, RandomForest, TreeParams,
+};
+use co_ml::{Matrix, ModelKind, TrainedModel};
+
+fn ml_err(op: &str, e: co_ml::MlError) -> GraphError {
+    GraphError::from_ml(op, &e)
+}
+
+/// Fit + wrap: score the model on its training data for the initial `q`.
+fn model_value(model: TrainedModel, x: &Matrix, y: &[f64]) -> Value {
+    let quality = roc_auc(y, &model.predict_proba(x));
+    Value::Model(ModelArtifact::new(model, quality))
+}
+
+/// Extract a warmstart initialiser of the expected family.
+fn warm_of<'a, F, M>(warmstart: Option<&'a TrainedModel>, extract: F) -> Option<&'a M>
+where
+    F: Fn(&'a TrainedModel) -> Option<&'a M>,
+{
+    warmstart.and_then(extract)
+}
+
+/// Train logistic regression.
+pub struct TrainLogisticOp {
+    /// Label column.
+    pub label: String,
+    /// Hyperparameters.
+    pub params: LogisticParams,
+}
+
+impl Operation for TrainLogisticOp {
+    fn name(&self) -> &str {
+        "train_logistic"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.label, self.params.digest())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Model
+    }
+    fn warmstartable(&self) -> bool {
+        true
+    }
+    fn model_kind(&self) -> Option<ModelKind> {
+        Some(ModelKind::Logistic)
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        self.run_warm(inputs, None)
+    }
+    fn run_warm(&self, inputs: &[&Value], warmstart: Option<&TrainedModel>) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
+        let init = warm_of(warmstart, |m| match m {
+            TrainedModel::Logistic(l) => Some(l),
+            _ => None,
+        });
+        let model = LogisticRegression::new(self.params.clone())
+            .fit_warm(&sup.x, &sup.y, init)
+            .map_err(|e| ml_err(self.name(), e))?;
+        Ok(model_value(TrainedModel::Logistic(model), &sup.x, &sup.y))
+    }
+}
+
+/// Train a linear SVM.
+pub struct TrainSvmOp {
+    /// Label column.
+    pub label: String,
+    /// Hyperparameters.
+    pub params: SvmParams,
+}
+
+impl Operation for TrainSvmOp {
+    fn name(&self) -> &str {
+        "train_svm"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.label, self.params.digest())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Model
+    }
+    fn warmstartable(&self) -> bool {
+        true
+    }
+    fn model_kind(&self) -> Option<ModelKind> {
+        Some(ModelKind::Svm)
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        self.run_warm(inputs, None)
+    }
+    fn run_warm(&self, inputs: &[&Value], warmstart: Option<&TrainedModel>) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
+        let init = warm_of(warmstart, |m| match m {
+            TrainedModel::Svm(s) => Some(s),
+            _ => None,
+        });
+        let model = LinearSvc::new(self.params.clone())
+            .fit_warm(&sup.x, &sup.y, init)
+            .map_err(|e| ml_err(self.name(), e))?;
+        Ok(model_value(TrainedModel::Svm(model), &sup.x, &sup.y))
+    }
+}
+
+/// Train ridge regression.
+pub struct TrainRidgeOp {
+    /// Label column.
+    pub label: String,
+    /// Hyperparameters.
+    pub params: RidgeParams,
+}
+
+impl Operation for TrainRidgeOp {
+    fn name(&self) -> &str {
+        "train_ridge"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.label, self.params.digest())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Model
+    }
+    fn warmstartable(&self) -> bool {
+        true
+    }
+    fn model_kind(&self) -> Option<ModelKind> {
+        Some(ModelKind::Ridge)
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        self.run_warm(inputs, None)
+    }
+    fn run_warm(&self, inputs: &[&Value], warmstart: Option<&TrainedModel>) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
+        let init = warm_of(warmstart, |m| match m {
+            TrainedModel::Ridge(r) => Some(r),
+            _ => None,
+        });
+        let model = RidgeRegression::new(self.params.clone())
+            .fit_warm(&sup.x, &sup.y, init)
+            .map_err(|e| ml_err(self.name(), e))?;
+        Ok(model_value(TrainedModel::Ridge(model), &sup.x, &sup.y))
+    }
+}
+
+/// Train a single decision tree.
+pub struct TrainTreeOp {
+    /// Label column.
+    pub label: String,
+    /// Hyperparameters.
+    pub params: TreeParams,
+}
+
+impl Operation for TrainTreeOp {
+    fn name(&self) -> &str {
+        "train_tree"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.label, self.params.digest())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Model
+    }
+    fn model_kind(&self) -> Option<ModelKind> {
+        Some(ModelKind::Tree)
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
+        let model = DecisionTree::fit(&sup.x, &sup.y, &self.params)
+            .map_err(|e| ml_err(self.name(), e))?;
+        Ok(model_value(TrainedModel::Tree(model), &sup.x, &sup.y))
+    }
+}
+
+/// Train a random forest.
+pub struct TrainForestOp {
+    /// Label column.
+    pub label: String,
+    /// Hyperparameters.
+    pub params: ForestParams,
+}
+
+impl Operation for TrainForestOp {
+    fn name(&self) -> &str {
+        "train_forest"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.label, self.params.digest())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Model
+    }
+    fn model_kind(&self) -> Option<ModelKind> {
+        Some(ModelKind::Forest)
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
+        let model = RandomForest::new(self.params.clone())
+            .fit(&sup.x, &sup.y)
+            .map_err(|e| ml_err(self.name(), e))?;
+        Ok(model_value(TrainedModel::Forest(model), &sup.x, &sup.y))
+    }
+}
+
+/// Train gradient-boosted trees.
+pub struct TrainGbtOp {
+    /// Label column.
+    pub label: String,
+    /// Hyperparameters.
+    pub params: GbtParams,
+}
+
+impl Operation for TrainGbtOp {
+    fn name(&self) -> &str {
+        "train_gbt"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.label, self.params.digest())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Model
+    }
+    fn warmstartable(&self) -> bool {
+        true
+    }
+    fn model_kind(&self) -> Option<ModelKind> {
+        Some(ModelKind::Gbt)
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        self.run_warm(inputs, None)
+    }
+    fn run_warm(&self, inputs: &[&Value], warmstart: Option<&TrainedModel>) -> Result<Value> {
+        arity(self.name(), inputs, 1)?;
+        let df = dataset_input(self.name(), inputs, 0)?;
+        let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
+        let init = warm_of(warmstart, |m| match m {
+            TrainedModel::Gbt(g) => Some(g),
+            _ => None,
+        });
+        let model = GradientBoosting::new(self.params.clone())
+            .fit_warm(&sup.x, &sup.y, init)
+            .map_err(|e| ml_err(self.name(), e))?;
+        Ok(model_value(TrainedModel::Gbt(model), &sup.x, &sup.y))
+    }
+}
+
+/// Which score an [`EvaluateOp`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMetric {
+    /// Area under the ROC curve (the paper's Kaggle metric).
+    RocAuc,
+    /// Classification accuracy.
+    Accuracy,
+    /// `1 - normalized log-loss` (so that higher is better, in `[0, 1]`).
+    InvLogLoss,
+}
+
+impl EvalMetric {
+    /// Short stable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalMetric::RocAuc => "roc_auc",
+            EvalMetric::Accuracy => "accuracy",
+            EvalMetric::InvLogLoss => "inv_log_loss",
+        }
+    }
+}
+
+/// Score a model on a labelled dataset: inputs are `[model, dataset]`, the
+/// output is an `Aggregate` score in `[0, 1]`. The executor propagates the
+/// score back to the model vertex's quality attribute.
+pub struct EvaluateOp {
+    /// Label column in the evaluation dataset.
+    pub label: String,
+    /// Metric to report.
+    pub metric: EvalMetric,
+}
+
+impl Operation for EvaluateOp {
+    fn name(&self) -> &str {
+        "evaluate"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.label, self.metric.name())
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Aggregate
+    }
+    fn is_evaluation(&self) -> bool {
+        true
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 2)?;
+        let model = inputs[0].as_model().ok_or_else(|| GraphError::BadOperationInput {
+            op: self.name().to_owned(),
+            message: "input 0 must be a model".to_owned(),
+        })?;
+        let df = dataset_input(self.name(), inputs, 1)?;
+        let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
+        let probs = model.model.predict_proba(&sup.x);
+        let score = match self.metric {
+            EvalMetric::RocAuc => roc_auc(&sup.y, &probs),
+            EvalMetric::Accuracy => accuracy(&sup.y, &probs),
+            EvalMetric::InvLogLoss => 1.0 / (1.0 + log_loss(&sup.y, &probs)),
+        };
+        Ok(Value::Aggregate(co_dataframe::Scalar::Float(score)))
+    }
+}
+
+/// Apply a model to a dataset (paper §4.1: a model either feeds feature
+/// engineering or "perform\[s\] predictions on a test dataset"). Inputs are
+/// `[model, dataset]`; the output is the dataset with an appended `Float`
+/// column of class-1 probabilities.
+pub struct PredictOp {
+    /// Name of the appended prediction column.
+    pub out: String,
+    /// Columns to exclude from the feature matrix (typically the label,
+    /// when predicting on a labelled dataset).
+    pub exclude: Vec<String>,
+}
+
+impl Operation for PredictOp {
+    fn name(&self) -> &str {
+        "predict"
+    }
+    fn params_digest(&self) -> String {
+        format!("{}|{}", self.out, self.exclude.join(","))
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> Result<Value> {
+        arity(self.name(), inputs, 2)?;
+        let model = inputs[0].as_model().ok_or_else(|| GraphError::BadOperationInput {
+            op: self.name().to_owned(),
+            message: "input 0 must be a model".to_owned(),
+        })?;
+        let df = dataset_input(self.name(), inputs, 1)?;
+        let feature_frame = if self.exclude.is_empty() {
+            df.clone()
+        } else {
+            let drop: Vec<&str> = self
+                .exclude
+                .iter()
+                .map(String::as_str)
+                .filter(|c| df.has_column(c))
+                .collect();
+            df.drop_columns(&drop).map_err(|e| GraphError::from_df(self.name(), &e))?
+        };
+        let x = co_ml::dataset::features_only(&feature_frame)
+            .map_err(|e| ml_err(self.name(), e))?;
+        let probs = model.model.predict_proba(&x);
+        // The prediction column derives from every feature column plus the
+        // model's operation identity.
+        let sig = co_dataframe::hash::fnv1a_parts(&[
+            "predict",
+            &self.out,
+            model.model.kind().name(),
+            &model.model.params_digest(),
+        ]);
+        let id = co_dataframe::ColumnId::derive_many(&df.column_ids(), sig);
+        let out = df
+            .with_column(co_dataframe::Column::derived(
+                &self.out,
+                id,
+                co_dataframe::ColumnData::Float(probs),
+            ))
+            .map_err(|e| GraphError::from_df(self.name(), &e))?;
+        Ok(Value::Dataset(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::{Column, ColumnData, DataFrame};
+
+    fn labelled() -> Value {
+        // Feature scaled into [0, 2]: full-batch gradient descent with the
+        // default learning rate needs sane feature magnitudes (real
+        // pipelines scale before training, as the workloads do).
+        let x: Vec<f64> = (0..40).map(|i| i as f64 / 20.0).collect();
+        let y: Vec<i64> = (0..40).map(|i| i64::from(i >= 20)).collect();
+        Value::Dataset(
+            DataFrame::new(vec![
+                Column::source("t", "x", ColumnData::Float(x)),
+                Column::source("t", "y", ColumnData::Int(y)),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn trainers_emit_scored_models() {
+        let data = labelled();
+        let inputs = [&data];
+        let ops: Vec<Box<dyn Operation>> = vec![
+            Box::new(TrainLogisticOp { label: "y".into(), params: LogisticParams::default() }),
+            Box::new(TrainSvmOp { label: "y".into(), params: SvmParams::default() }),
+            Box::new(TrainGbtOp {
+                label: "y".into(),
+                params: GbtParams { n_estimators: 5, ..GbtParams::default() },
+            }),
+            Box::new(TrainForestOp {
+                label: "y".into(),
+                params: ForestParams { n_estimators: 5, ..ForestParams::default() },
+            }),
+            Box::new(TrainTreeOp { label: "y".into(), params: TreeParams::default() }),
+        ];
+        for op in ops {
+            let out = op.run(&inputs).unwrap();
+            let m = out.as_model().expect("model output");
+            assert!(m.quality > 0.9, "{} quality = {}", op.name(), m.quality);
+        }
+    }
+
+    #[test]
+    fn warmstart_flags_match_model_kinds() {
+        let lr = TrainLogisticOp { label: "y".into(), params: LogisticParams::default() };
+        assert!(lr.warmstartable());
+        assert_eq!(lr.model_kind(), Some(ModelKind::Logistic));
+        let forest = TrainForestOp { label: "y".into(), params: ForestParams::default() };
+        assert!(!forest.warmstartable());
+    }
+
+    #[test]
+    fn warmstart_of_wrong_family_is_ignored() {
+        let data = labelled();
+        let inputs = [&data];
+        let gbt_model = TrainGbtOp {
+            label: "y".into(),
+            params: GbtParams { n_estimators: 3, ..GbtParams::default() },
+        }
+        .run(&inputs)
+        .unwrap();
+        let lr = TrainLogisticOp { label: "y".into(), params: LogisticParams::default() };
+        // A GBT initialiser cannot seed logistic regression; cold start.
+        let warm = lr
+            .run_warm(&inputs, Some(&gbt_model.as_model().unwrap().model))
+            .unwrap();
+        let cold = lr.run(&inputs).unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn evaluation_scores_models() {
+        let data = labelled();
+        let model = TrainLogisticOp { label: "y".into(), params: LogisticParams::default() }
+            .run(&[&data])
+            .unwrap();
+        for metric in [EvalMetric::RocAuc, EvalMetric::Accuracy, EvalMetric::InvLogLoss] {
+            let eval = EvaluateOp { label: "y".into(), metric };
+            assert!(eval.is_evaluation());
+            let out = eval.run(&[&model, &data]).unwrap();
+            let score = out.as_aggregate().unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&score));
+            assert!(score > 0.8, "{} = {score}", metric.name());
+        }
+        // Wrong input order is rejected.
+        let eval = EvaluateOp { label: "y".into(), metric: EvalMetric::RocAuc };
+        assert!(eval.run(&[&data, &model]).is_err());
+    }
+
+    #[test]
+    fn predict_appends_probabilities() {
+        let data = labelled();
+        let model = TrainLogisticOp { label: "y".into(), params: LogisticParams::default() }
+            .run(&[&data])
+            .unwrap();
+        let op = PredictOp { out: "p_default".into(), exclude: vec!["y".into()] };
+        let out = op.run(&[&model, &data]).unwrap();
+        let df = out.as_dataset().unwrap();
+        assert!(df.has_column("p_default"));
+        assert!(df.has_column("y")); // label kept in the output frame
+        let probs = df.column("p_default").unwrap().floats().unwrap();
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Predictions track the labels on this separable data.
+        let labels = df.column("y").unwrap().ints().unwrap();
+        let auc = roc_auc(
+            &labels.iter().map(|&l| l as f64).collect::<Vec<_>>(),
+            probs,
+        );
+        assert!(auc > 0.9, "auc = {auc}");
+        // Lineage: the prediction column is deterministic in its inputs.
+        let again = op.run(&[&model, &data]).unwrap();
+        assert_eq!(
+            again.as_dataset().unwrap().column("p_default").unwrap().id(),
+            df.column("p_default").unwrap().id()
+        );
+        // Wrong input order is rejected.
+        assert!(op.run(&[&data, &model]).is_err());
+    }
+
+    #[test]
+    fn hyperparameters_change_op_identity() {
+        let a = TrainGbtOp { label: "y".into(), params: GbtParams::default() };
+        let b = TrainGbtOp {
+            label: "y".into(),
+            params: GbtParams { n_estimators: 99, ..GbtParams::default() },
+        };
+        assert_ne!(a.op_hash(), b.op_hash());
+    }
+}

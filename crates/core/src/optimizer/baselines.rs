@@ -1,0 +1,112 @@
+//! Trivial reuse baselines from the paper's §7.4: `ALL_M` reuses every
+//! materialized artifact; `ALL_C` recomputes everything.
+
+use super::{node_costs, ReusePlan, ReusePlanner};
+use crate::cost::CostModel;
+use co_graph::{ExperimentGraph, NodeId, WorkloadDag};
+
+/// Load every materialized artifact on the execution path (`ALL_M`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllMaterializedReuse;
+
+impl ReusePlanner for AllMaterializedReuse {
+    fn name(&self) -> &'static str {
+        "ALL_M"
+    }
+
+    fn plan(&self, dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> ReusePlan {
+        let costs = node_costs(dag, eg, cost);
+        let n = dag.n_nodes();
+        // Greedy: walking back from the terminals, the first materialized
+        // vertex on every path is loaded unconditionally.
+        let mut load = vec![false; n];
+        let mut visited = vec![false; n];
+        let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
+        let mut estimated = 0.0;
+        while let Some(i) = stack.pop() {
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            if costs.computed[i] {
+                continue;
+            }
+            if costs.cl[i].is_finite() {
+                load[i] = true;
+                estimated += costs.cl[i];
+                continue;
+            }
+            if costs.ci[i].is_finite() {
+                estimated += costs.ci[i];
+            }
+            stack.extend(dag.parents(NodeId(i)).iter().map(|p| p.0));
+        }
+        ReusePlan { load, estimated_cost: estimated }
+    }
+}
+
+/// Recompute everything (`ALL_C` — also the plain client baseline `KG`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoReuse;
+
+impl ReusePlanner for NoReuse {
+    fn name(&self) -> &'static str {
+        "ALL_C"
+    }
+
+    fn plan(&self, dag: &WorkloadDag, _eg: &ExperimentGraph, _cost: &CostModel) -> ReusePlan {
+        ReusePlan::compute_everything(dag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::Scalar;
+    use co_graph::{NodeKind, Operation, Value};
+    use std::sync::Arc;
+
+    struct Tag(&'static str);
+    impl Operation for Tag {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn params_digest(&self) -> String {
+            String::new()
+        }
+        fn output_kind(&self) -> NodeKind {
+            NodeKind::Dataset
+        }
+        fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+            Ok(Value::Aggregate(Scalar::Float(0.0)))
+        }
+    }
+
+    fn agg() -> Value {
+        Value::Aggregate(Scalar::Float(0.0))
+    }
+
+    #[test]
+    fn all_m_loads_first_materialized_and_all_c_loads_nothing() {
+        let mut dag = co_graph::WorkloadDag::new();
+        let s = dag.add_source("s", agg());
+        let a = dag.add_op(Arc::new(Tag("a")), &[s]).unwrap();
+        let b = dag.add_op(Arc::new(Tag("b")), &[a]).unwrap();
+        dag.mark_terminal(b).unwrap();
+        let mut prior = dag.clone();
+        prior.annotate(a, 1.0, 1_000_000).unwrap();
+        prior.annotate(b, 1.0, 1_000_000).unwrap();
+        let mut eg = co_graph::ExperimentGraph::new(true);
+        eg.update_with_workload(&prior).unwrap();
+        for n in [a, b] {
+            eg.storage_mut().store(dag.nodes()[n.0].artifact, &agg());
+        }
+        let cost = CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 };
+        // ALL_M loads b (hides a) even though loading costs 1e6 seconds.
+        let plan = AllMaterializedReuse.plan(&dag, &eg, &cost);
+        assert_eq!(plan.load, vec![false, false, true]);
+        assert_eq!(plan.estimated_cost, 1e6);
+        let plan = NoReuse.plan(&dag, &eg, &cost);
+        assert_eq!(plan.n_loads(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The Helix reuse baseline: reduce the pruned workload DAG to a
+//! project-selection instance and solve it exactly with min-cut
+//! (paper §7.1: "Helix reduces the workload DAG into an instance of the
+//! project selection problem (PSP) and solves it via the Max-Flow
+//! algorithm ... Edmonds-Karp ... O(|V|·|E|²)").
+//!
+//! ## Reduction (documented in `DESIGN.md` §2)
+//!
+//! Choose a computed set `C` and a loaded set `L ⊆ materialized`
+//! minimizing `Σ_{v∈C} Ci(v) + Σ_{v∈L} Cl(v)` subject to: terminals are
+//! available (`∈ C ∪ L`) and every computed vertex's parents are
+//! available.
+//!
+//! Network: per workload vertex `v`, two flow nodes `x_v` and `m_v`.
+//! * `x_v → T` with capacity `Ci(v)` (0 if already computed) — cutting it
+//!   puts `v` on the source side: *computed*.
+//! * `m_v → x_v` with capacity `Cl(v)` (infinite if unmaterialized) —
+//!   cutting it *loads* `v`.
+//! * `x_child → m_parent` with capacity ∞ for every DAG edge of a
+//!   non-computed child — computing a vertex demands its parents.
+//! * `S → m_t` with capacity ∞ for every terminal.
+//!
+//! The min cut value equals the optimal plan cost; the loaded set is the
+//! set of `m_v → x_v` edges crossing the cut.
+
+use super::maxflow::{FlowNetwork, INF, STRUCTURAL_INF};
+use super::{node_costs, ReusePlan, ReusePlanner};
+use crate::cost::CostModel;
+use co_graph::{ExperimentGraph, NodeId, WorkloadDag};
+
+/// The Helix max-flow planner (the paper's `HL`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HelixReuse;
+
+impl ReusePlanner for HelixReuse {
+    fn name(&self) -> &'static str {
+        "HL"
+    }
+
+    fn plan(&self, dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> ReusePlan {
+        let costs = node_costs(dag, eg, cost);
+        let n = dag.n_nodes();
+        // Node layout: x_v = 2v, m_v = 2v + 1, S = 2n, T = 2n + 1.
+        let (s, t) = (2 * n, 2 * n + 1);
+        let mut net = FlowNetwork::new(2 * n + 2);
+
+        for i in 0..n {
+            // Unknown compute cost: a real cost that will be paid if the
+            // vertex must be computed — the *cost* infinity tier.
+            let ci = if costs.computed[i] { 0.0 } else { costs.ci[i] };
+            net.add_edge(2 * i, t, if ci.is_finite() { ci } else { INF });
+            // Unmaterialized artifacts can never be loaded: cutting the
+            // load edge must be strictly worse than any pile of unknown
+            // compute costs — the *structural* infinity tier.
+            let cl = costs.cl[i];
+            net.add_edge(2 * i + 1, 2 * i, if cl.is_finite() { cl } else { STRUCTURAL_INF });
+            if !costs.computed[i] {
+                for p in dag.parents(NodeId(i)) {
+                    net.add_edge(2 * i, 2 * p.0 + 1, STRUCTURAL_INF);
+                }
+            }
+        }
+        for term in dag.terminals() {
+            net.add_edge(s, 2 * term.0 + 1, STRUCTURAL_INF);
+        }
+
+        let cut_value = net.max_flow(s, t);
+        let side = net.min_cut_source_side(s);
+
+        // Loaded vertices: m_v on the source side, x_v on the sink side,
+        // and actually loadable.
+        let mut load = vec![false; n];
+        for i in 0..n {
+            if side[2 * i + 1] && !side[2 * i] && costs.cl[i].is_finite() && !costs.computed[i] {
+                load[i] = true;
+            }
+        }
+        ReusePlan { load, estimated_cost: cut_value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{plan_execution_cost, LinearReuse};
+    use co_dataframe::Scalar;
+    use co_graph::{NodeKind, Operation, Value};
+    use std::sync::Arc;
+
+    struct Tag(&'static str);
+    impl Operation for Tag {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn params_digest(&self) -> String {
+            String::new()
+        }
+        fn output_kind(&self) -> NodeKind {
+            NodeKind::Dataset
+        }
+        fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+            Ok(Value::Aggregate(Scalar::Float(0.0)))
+        }
+    }
+
+    fn op(label: &'static str) -> Arc<Tag> {
+        Arc::new(Tag(label))
+    }
+
+    fn agg() -> Value {
+        Value::Aggregate(Scalar::Float(0.0))
+    }
+
+    fn unit_cost() -> CostModel {
+        CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 }
+    }
+
+    /// Build a chain s -> a -> b with given ⟨Ci, Cl-as-size⟩ and
+    /// materialization flags, returning (dag, eg).
+    fn chain(
+        a_cost: (f64, u64, bool),
+        b_cost: (f64, u64, bool),
+    ) -> (co_graph::WorkloadDag, co_graph::ExperimentGraph) {
+        let mut dag = co_graph::WorkloadDag::new();
+        let s = dag.add_source("s", agg());
+        let a = dag.add_op(op("a"), &[s]).unwrap();
+        let b = dag.add_op(op("b"), &[a]).unwrap();
+        dag.mark_terminal(b).unwrap();
+        let mut prior = dag.clone();
+        prior.annotate(a, a_cost.0, a_cost.1).unwrap();
+        prior.annotate(b, b_cost.0, b_cost.1).unwrap();
+        let mut eg = co_graph::ExperimentGraph::new(true);
+        eg.update_with_workload(&prior).unwrap();
+        if a_cost.2 {
+            eg.storage_mut().store(dag.nodes()[a.0].artifact, &agg());
+        }
+        if b_cost.2 {
+            eg.storage_mut().store(dag.nodes()[b.0].artifact, &agg());
+        }
+        (dag, eg)
+    }
+
+    #[test]
+    fn loads_the_cheap_terminal() {
+        // a: Ci=10 unmaterialized; b: Ci=10, Cl=3, materialized.
+        let (dag, eg) = chain((10.0, 0, false), (10.0, 3, true));
+        let plan = HelixReuse.plan(&dag, &eg, &unit_cost());
+        assert_eq!(plan.load, vec![false, false, true]);
+        assert_eq!(plan.estimated_cost, 3.0);
+    }
+
+    #[test]
+    fn recomputes_when_loads_are_expensive() {
+        let (dag, eg) = chain((1.0, 100, true), (1.0, 100, true));
+        let plan = HelixReuse.plan(&dag, &eg, &unit_cost());
+        assert_eq!(plan.n_loads(), 0);
+        assert_eq!(plan.estimated_cost, 2.0);
+    }
+
+    #[test]
+    fn load_hides_upstream_load() {
+        // Both a and b are cheap to load; loading b alone suffices.
+        let (dag, eg) = chain((10.0, 2, true), (10.0, 3, true));
+        let plan = HelixReuse.plan(&dag, &eg, &unit_cost());
+        assert_eq!(plan.load, vec![false, false, true]);
+        assert_eq!(plan.estimated_cost, 3.0);
+    }
+
+    #[test]
+    fn mixed_load_and_compute() {
+        // a cheap to load (2), b expensive to load (100) but cheap to
+        // compute (1): load a, compute b.
+        let (dag, eg) = chain((10.0, 2, true), (1.0, 100, true));
+        let plan = HelixReuse.plan(&dag, &eg, &unit_cost());
+        assert_eq!(plan.load, vec![false, true, false]);
+        assert_eq!(plan.estimated_cost, 3.0);
+    }
+
+    #[test]
+    fn agrees_with_linear_on_figure3_style_chains() {
+        for a in [(10.0, 2, true), (5.0, 100, true), (3.0, 0, false)] {
+            for b in [(10.0, 3, true), (1.0, 50, true), (7.0, 0, false)] {
+                let (dag, eg) = chain(a, b);
+                let hl = HelixReuse.plan(&dag, &eg, &unit_cost());
+                let ln = LinearReuse.plan(&dag, &eg, &unit_cost());
+                let cost = unit_cost();
+                assert_eq!(
+                    plan_execution_cost(&dag, &eg, &cost, &hl),
+                    plan_execution_cost(&dag, &eg, &cost, &ln),
+                    "a={a:?} b={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_terminal_still_loads_upstream() {
+        // s -> a (materialized, Ci=10, Cl=2) -> t (NOT in EG: a brand-new
+        // training op). The planner must still load `a` under `t`.
+        let mut dag = co_graph::WorkloadDag::new();
+        let s = dag.add_source("s", agg());
+        let a = dag.add_op(op("a"), &[s]).unwrap();
+        let t = dag.add_op(op("t_new"), &[a]).unwrap();
+        dag.mark_terminal(t).unwrap();
+        // The prior workload that EG knows stops at `a`.
+        let mut prior = co_graph::WorkloadDag::new();
+        let ps = prior.add_source("s", agg());
+        let pa = prior.add_op(op("a"), &[ps]).unwrap();
+        prior.mark_terminal(pa).unwrap();
+        prior.annotate(pa, 10.0, 2).unwrap();
+        let mut eg = co_graph::ExperimentGraph::new(true);
+        eg.update_with_workload(&prior).unwrap();
+        eg.storage_mut().store(prior.nodes()[pa.0].artifact, &agg());
+
+        let hl = HelixReuse.plan(&dag, &eg, &unit_cost());
+        let ln = LinearReuse.plan(&dag, &eg, &unit_cost());
+        assert!(ln.load[a.0], "LN loads a");
+        assert!(hl.load[a.0], "HL must load a despite the unknown terminal");
+    }
+
+    #[test]
+    fn diamond_exactness() {
+        // Diamond: s -> p (expensive, 10s) -> {a, b} (1s each) -> join m
+        // (1s, materialized at Cl = 20). True recompute cost of m is
+        // 10 + 1 + 1 + 1 = 13 because p is shared; the linear pass prices
+        // it at 10+1 + 10+1 + 1 = 23 (double-counting p) and loads m at
+        // 20. The exact max-flow planner computes everything.
+        let mut dag = co_graph::WorkloadDag::new();
+        let s = dag.add_source("s", agg());
+        let p = dag.add_op(op("p"), &[s]).unwrap();
+        let a = dag.add_op(op("a"), &[p]).unwrap();
+        let b = dag.add_op(op("b"), &[p]).unwrap();
+        let m = dag.add_op(op("m"), &[a, b]).unwrap();
+        dag.mark_terminal(m).unwrap();
+        let mut prior = dag.clone();
+        prior.annotate(p, 10.0, 1000).unwrap();
+        prior.annotate(a, 1.0, 1000).unwrap();
+        prior.annotate(b, 1.0, 1000).unwrap();
+        prior.annotate(m, 1.0, 20).unwrap();
+        let mut eg = co_graph::ExperimentGraph::new(true);
+        eg.update_with_workload(&prior).unwrap();
+        eg.storage_mut().store(dag.nodes()[m.0].artifact, &agg());
+        let cost = unit_cost();
+        let hl = HelixReuse.plan(&dag, &eg, &cost);
+        let ln = LinearReuse.plan(&dag, &eg, &cost);
+        let hl_cost = plan_execution_cost(&dag, &eg, &cost, &hl);
+        let ln_cost = plan_execution_cost(&dag, &eg, &cost, &ln);
+        assert_eq!(hl_cost, 13.0, "exact planner computes through the diamond");
+        assert!(!hl.load[m.0]);
+        // Documents the linear algorithm's known diamond approximation.
+        assert_eq!(ln_cost, 20.0, "linear planner loads m at 20");
+        assert!(ln.load[m.0]);
+        assert!(hl_cost <= ln_cost);
+    }
+}

@@ -1,0 +1,176 @@
+//! Edmonds–Karp max-flow / min-cut, used by the Helix reuse baseline
+//! (the paper cites Edmonds & Karp \[7\] and notes the `O(|V|·|E|²)` bound).
+
+/// Capacity standing in for an *unknown cost* (an unmaterialized
+/// artifact's load cost, an unseen operation's compute cost). Large
+/// enough to dominate any real plan cost.
+pub const INF: f64 = 1e15;
+
+/// Capacity for *structural* edges that must never be cut (terminal
+/// demands, compute→parent requirements). Strictly larger than any sum of
+/// [`INF`] costs a workload can accumulate: with a single tier, pushing
+/// one `INF` unit of flow through a structural edge would saturate it and
+/// falsely disconnect the rest of the network. (f64 precision at 1e24 is
+/// ~1e8, far below `INF`, so subtracting cost-tier flow stays exact
+/// enough.)
+pub const STRUCTURAL_INF: f64 = 1e24;
+
+/// A directed flow network with `f64` capacities.
+pub struct FlowNetwork {
+    /// Per-node adjacency: indices into `edges`.
+    adj: Vec<Vec<usize>>,
+    /// Edge list; `edges[i ^ 1]` is the reverse edge of `edges[i]`.
+    edges: Vec<Edge>,
+}
+
+struct Edge {
+    to: usize,
+    cap: f64,
+}
+
+impl FlowNetwork {
+    /// A network with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge with the given capacity (plus its implicit
+    /// zero-capacity reverse edge).
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        debug_assert!(cap >= 0.0);
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap });
+        self.edges.push(Edge { to: from, cap: 0.0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+    }
+
+    /// Run Edmonds–Karp from `s` to `t`; returns the max-flow value and
+    /// mutates residual capacities in place.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut total = 0.0;
+        loop {
+            // BFS for the shortest augmenting path.
+            let mut parent_edge: Vec<Option<usize>> = vec![None; self.adj.len()];
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            let mut reached = false;
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid];
+                    if e.cap > 1e-12 && parent_edge[e.to].is_none() && e.to != s {
+                        parent_edge[e.to] = Some(eid);
+                        if e.to == t {
+                            reached = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if !reached {
+                return total;
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = f64::INFINITY;
+            let mut v = t;
+            while v != s {
+                let eid = parent_edge[v].expect("path exists");
+                bottleneck = bottleneck.min(self.edges[eid].cap);
+                v = self.edges[eid ^ 1].to;
+            }
+            // Augment.
+            let mut v = t;
+            while v != s {
+                let eid = parent_edge[v].expect("path exists");
+                self.edges[eid].cap -= bottleneck;
+                self.edges[eid ^ 1].cap += bottleneck;
+                v = self.edges[eid ^ 1].to;
+            }
+            total += bottleneck;
+        }
+    }
+
+    /// After [`FlowNetwork::max_flow`], the set of nodes reachable from
+    /// `s` in the residual graph — the source side of a minimum cut.
+    #[must_use]
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.adj.len()];
+        let mut stack = vec![s];
+        side[s] = true;
+        while let Some(u) = stack.pop() {
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid];
+                if e.cap > 1e-12 && !side[e.to] {
+                    side[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_small_network() {
+        // s=0, t=3: s->1 (3), s->2 (2), 1->2 (5), 1->3 (2), 2->3 (3).
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(0, 2, 2.0);
+        net.add_edge(1, 2, 5.0);
+        net.add_edge(1, 3, 2.0);
+        net.add_edge(2, 3, 3.0);
+        assert_eq!(net.max_flow(0, 3), 5.0);
+    }
+
+    #[test]
+    fn min_cut_separates_s_from_t() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(1, 2, 10.0);
+        net.add_edge(2, 3, 10.0);
+        let flow = net.max_flow(0, 3);
+        assert_eq!(flow, 1.0);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[1] && !side[2] && !side[3]); // cut on the 1.0 edge
+    }
+
+    #[test]
+    fn disconnected_network_has_zero_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4.0);
+        assert_eq!(net.max_flow(0, 2), 0.0);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0] && side[1] && !side[2]);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1.5);
+        net.add_edge(0, 1, 2.5);
+        assert_eq!(net.max_flow(0, 1), 4.0);
+    }
+
+    #[test]
+    fn inf_edges_never_cut() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, INF);
+        net.add_edge(1, 2, 7.0);
+        assert_eq!(net.max_flow(0, 2), 7.0);
+        let side = net.min_cut_source_side(0);
+        assert!(side[1]); // the INF edge survives in the residual
+    }
+}

@@ -1,0 +1,206 @@
+//! Reuse planning: given a pruned workload DAG and the Experiment Graph,
+//! decide which materialized artifacts to load and which to recompute
+//! (paper §6).
+//!
+//! Planners:
+//! * [`LinearReuse`] — the paper's linear-time forward/backward algorithm
+//!   (Algorithm 2).
+//! * [`HelixReuse`] — the Helix baseline: reduce to project selection and
+//!   solve exactly with Edmonds–Karp max-flow (polynomial time).
+//! * [`AllMaterializedReuse`] — load every materialized artifact (ALL_M).
+//! * [`NoReuse`] — recompute everything (ALL_C).
+
+mod baselines;
+mod helix;
+mod linear;
+pub mod maxflow;
+
+pub use baselines::{AllMaterializedReuse, NoReuse};
+pub use helix::HelixReuse;
+pub use linear::LinearReuse;
+
+use crate::cost::CostModel;
+use co_graph::{ExperimentGraph, NodeId, WorkloadDag};
+
+/// The optimizer's output: which workload nodes to load from the
+/// Experiment Graph. Everything else needed for the terminals is
+/// computed; nodes hidden behind loads are skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReusePlan {
+    /// `load[i]` — load node `i`'s artifact instead of computing it.
+    pub load: Vec<bool>,
+    /// The planner's estimate of the total execution cost (seconds).
+    pub estimated_cost: f64,
+}
+
+impl ReusePlan {
+    /// A plan that loads nothing.
+    #[must_use]
+    pub fn compute_everything(dag: &WorkloadDag) -> Self {
+        ReusePlan { load: vec![false; dag.n_nodes()], estimated_cost: f64::INFINITY }
+    }
+
+    /// Number of artifacts the plan loads.
+    #[must_use]
+    pub fn n_loads(&self) -> usize {
+        self.load.iter().filter(|&&l| l).count()
+    }
+}
+
+/// A reuse-planning strategy.
+pub trait ReusePlanner: Send + Sync {
+    /// Short name used in reports ("LN", "HL", ...).
+    fn name(&self) -> &'static str;
+
+    /// Produce a plan for the (already locally pruned) workload DAG.
+    fn plan(&self, dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> ReusePlan;
+}
+
+/// Per-node planning inputs shared by all planners: `Ci` (compute cost
+/// given parents), `Cl` (load cost), and whether the client already holds
+/// the value (paper §6.1 preliminaries).
+pub(crate) struct NodeCosts {
+    pub ci: Vec<f64>,
+    pub cl: Vec<f64>,
+    pub computed: Vec<bool>,
+}
+
+pub(crate) fn node_costs(
+    dag: &WorkloadDag,
+    eg: &ExperimentGraph,
+    cost: &CostModel,
+) -> NodeCosts {
+    let n = dag.n_nodes();
+    let mut ci = vec![f64::INFINITY; n];
+    let mut cl = vec![f64::INFINITY; n];
+    let mut computed = vec![false; n];
+    for (i, node) in dag.nodes().iter().enumerate() {
+        computed[i] = node.computed.is_some();
+        if let Ok(v) = eg.vertex(node.artifact) {
+            // Known artifact: the graph has measured its compute time.
+            ci[i] = v.compute_time;
+            if eg.is_materialized(node.artifact) {
+                cl[i] = cost.load_cost(v.size);
+            }
+        }
+        // Artifacts unknown to EG keep Ci = Cl = infinity (paper: "EG has
+        // no prior information about them"); the executor still computes
+        // them — infinity only means the planner cannot trade them off.
+    }
+    NodeCosts { ci, cl, computed }
+}
+
+/// Render a plan as a human-readable decision table (an `EXPLAIN` for
+/// workload DAGs): one row per node on the execution path, with the
+/// operation, its decision, and the costs the planner weighed.
+#[must_use]
+pub fn explain_plan(
+    dag: &WorkloadDag,
+    eg: &ExperimentGraph,
+    cost: &CostModel,
+    plan: &ReusePlan,
+) -> String {
+    use std::fmt::Write as _;
+    let costs = node_costs(dag, eg, cost);
+    let mut needed = vec![false; dag.n_nodes()];
+    let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
+    while let Some(i) = stack.pop() {
+        if needed[i] {
+            continue;
+        }
+        needed[i] = true;
+        if costs.computed[i] || plan.load[i] {
+            continue;
+        }
+        stack.extend(dag.parents(NodeId(i)).iter().map(|n| n.0));
+    }
+    let fmt_cost = |c: f64| {
+        if c.is_finite() {
+            format!("{:>9.4}s", c)
+        } else {
+            "  unknown".to_owned()
+        }
+    };
+    let mut out = String::from(
+        "node  decision  operation                 Ci         Cl\n\
+         ----  --------  ------------------  ---------  ---------\n",
+    );
+    for (i, node) in dag.nodes().iter().enumerate() {
+        if !needed[i] {
+            continue;
+        }
+        let op_name = dag
+            .producer(NodeId(i))
+            .map(|e| e.op.name().to_owned())
+            .or_else(|| node.name.clone())
+            .unwrap_or_default();
+        let decision = if costs.computed[i] {
+            "have"
+        } else if plan.load[i] {
+            "LOAD"
+        } else {
+            "compute"
+        };
+        let _ = writeln!(
+            out,
+            "{i:>4}  {decision:<8}  {op_name:<18}  {}  {}",
+            fmt_cost(costs.ci[i]),
+            fmt_cost(costs.cl[i]),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "loads: {}   estimated plan cost: {}",
+        plan.n_loads(),
+        if plan.estimated_cost.is_finite() {
+            format!("{:.4}s", plan.estimated_cost)
+        } else {
+            "unknown (new operations present)".to_owned()
+        }
+    );
+    out
+}
+
+/// The true cost of executing `plan` on `dag`: measured compute times of
+/// every node that must be computed (each counted once, resolving shared
+/// ancestors exactly) plus load costs of the loaded set. Nodes absent from
+/// the Experiment Graph contribute their annotated compute time if the
+/// client measured one, else 0 (unknown).
+///
+/// Used to compare planners (the linear algorithm against the exact
+/// max-flow solution) on equal footing.
+#[must_use]
+pub fn plan_execution_cost(
+    dag: &WorkloadDag,
+    eg: &ExperimentGraph,
+    cost: &CostModel,
+    plan: &ReusePlan,
+) -> f64 {
+    let costs = node_costs(dag, eg, cost);
+    let mut needed_compute = vec![false; dag.n_nodes()];
+    let mut total = 0.0;
+    let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
+    let mut visited = vec![false; dag.n_nodes()];
+    while let Some(i) = stack.pop() {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        if costs.computed[i] {
+            continue;
+        }
+        if plan.load[i] {
+            total += costs.cl[i];
+            continue;
+        }
+        needed_compute[i] = true;
+        let node_ci = if costs.ci[i].is_finite() {
+            costs.ci[i]
+        } else {
+            dag.nodes()[i].compute_time.unwrap_or(0.0)
+        };
+        total += node_ci;
+        stack.extend(dag.parents(NodeId(i)).iter().map(|n| n.0));
+    }
+    total
+}

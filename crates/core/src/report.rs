@@ -1,0 +1,83 @@
+//! Execution reports: what a workload run cost and where the time went.
+
+/// The outcome of executing one (optimized) workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionReport {
+    /// Wall-clock seconds spent actually running operations.
+    pub compute_seconds: f64,
+    /// Modelled seconds charged for loading reused artifacts from the
+    /// Experiment Graph (see `CostModel` and DESIGN.md).
+    pub load_seconds: f64,
+    /// Seconds the server spent in the reuse planner (the paper's "reuse
+    /// overhead", Figure 9(d)).
+    pub optimizer_seconds: f64,
+    /// Seconds the server spent in the materialization algorithm.
+    pub materializer_seconds: f64,
+    /// Operations executed.
+    pub ops_executed: usize,
+    /// Artifacts loaded from the Experiment Graph.
+    pub artifacts_loaded: usize,
+    /// Nodes skipped entirely (pruned, already computed, or hidden behind
+    /// a load).
+    pub nodes_skipped: usize,
+    /// Training operations that were warmstarted.
+    pub warmstarts: usize,
+    /// Quality of the best model trained in this run (0 if none).
+    pub best_model_quality: f64,
+}
+
+impl ExecutionReport {
+    /// Total client-visible run time: compute + charged loads.
+    #[must_use]
+    pub fn run_seconds(&self) -> f64 {
+        self.compute_seconds + self.load_seconds
+    }
+
+    /// Total including server-side overheads.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.run_seconds() + self.optimizer_seconds + self.materializer_seconds
+    }
+
+    /// Merge another report into this one (for cumulative scenario runs).
+    pub fn accumulate(&mut self, other: &ExecutionReport) {
+        self.compute_seconds += other.compute_seconds;
+        self.load_seconds += other.load_seconds;
+        self.optimizer_seconds += other.optimizer_seconds;
+        self.materializer_seconds += other.materializer_seconds;
+        self.ops_executed += other.ops_executed;
+        self.artifacts_loaded += other.artifacts_loaded;
+        self.nodes_skipped += other.nodes_skipped;
+        self.warmstarts += other.warmstarts;
+        self.best_model_quality = self.best_model_quality.max(other.best_model_quality);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = ExecutionReport {
+            compute_seconds: 1.0,
+            load_seconds: 0.5,
+            optimizer_seconds: 0.1,
+            ops_executed: 3,
+            best_model_quality: 0.7,
+            ..ExecutionReport::default()
+        };
+        assert_eq!(a.run_seconds(), 1.5);
+        assert!((a.total_seconds() - 1.6).abs() < 1e-12);
+        let b = ExecutionReport {
+            compute_seconds: 2.0,
+            artifacts_loaded: 4,
+            best_model_quality: 0.9,
+            ..ExecutionReport::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.compute_seconds, 3.0);
+        assert_eq!(a.artifacts_loaded, 4);
+        assert_eq!(a.best_model_quality, 0.9);
+    }
+}

@@ -1,0 +1,485 @@
+//! The server: one shared Experiment Graph, an optimizer, and an updater
+//! (paper Figure 2). [`OptimizerServer::run_workload`] drives a whole
+//! client/server round trip: prune → plan → execute → update →
+//! materialize.
+
+use crate::cost::CostModel;
+use crate::executor::{self, ExecutorConfig};
+use crate::materialize::{
+    AllMaterializer, GreedyMaterializer, HelixMaterializer, Materializer, NoneMaterializer,
+    StorageAwareMaterializer,
+};
+use crate::optimizer::{
+    AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse, ReusePlanner,
+};
+use crate::report::ExecutionReport;
+use co_graph::{ArtifactId, ExperimentGraph, Result, Value, WorkloadDag};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Which materialization algorithm the updater runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaterializerKind {
+    /// Storage-aware with column dedup (`SA`, the paper's default).
+    StorageAware,
+    /// ML-based greedy with nominal sizes (`HM`).
+    Greedy,
+    /// Greedy with an artifact-count cap (Figure 8(b)'s one-artifact
+    /// budget).
+    GreedyCapped(usize),
+    /// The Helix baseline (`HL`).
+    Helix,
+    /// Materialize everything (`ALL`).
+    All,
+    /// Materialize nothing (`KG` baseline).
+    None,
+}
+
+/// Which reuse planner the optimizer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseKind {
+    /// Linear-time forward/backward (`LN`, the paper's algorithm).
+    Linear,
+    /// Helix PSP + max-flow (`HL`).
+    Helix,
+    /// Load every materialized artifact (`ALL_M`).
+    AllMaterialized,
+    /// Recompute everything (`ALL_C` / `KG`).
+    None,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Storage budget in bytes.
+    pub budget: u64,
+    /// Quality-vs-cost weight `α` (paper default 0.5).
+    pub alpha: f64,
+    /// Materialization algorithm.
+    pub materializer: MaterializerKind,
+    /// Reuse planner.
+    pub reuse: ReuseKind,
+    /// Load-cost model.
+    pub cost: CostModel,
+    /// Warmstart training operations.
+    pub warmstart: bool,
+}
+
+impl ServerConfig {
+    /// The paper's default configuration: storage-aware materialization,
+    /// linear reuse, α = 0.5, in-memory EG, no warmstarting.
+    #[must_use]
+    pub fn collaborative(budget: u64) -> Self {
+        ServerConfig {
+            budget,
+            alpha: 0.5,
+            materializer: MaterializerKind::StorageAware,
+            reuse: ReuseKind::Linear,
+            cost: CostModel::memory(),
+            warmstart: false,
+        }
+    }
+
+    /// The `KG` baseline: no storage, no reuse — every workload runs from
+    /// scratch.
+    #[must_use]
+    pub fn baseline() -> Self {
+        ServerConfig {
+            budget: 0,
+            alpha: 0.5,
+            materializer: MaterializerKind::None,
+            reuse: ReuseKind::None,
+            cost: CostModel::memory(),
+            warmstart: false,
+        }
+    }
+
+    /// The Helix comparison system: Helix materializer + Helix reuse.
+    #[must_use]
+    pub fn helix(budget: u64) -> Self {
+        ServerConfig {
+            budget,
+            alpha: 0.5,
+            materializer: MaterializerKind::Helix,
+            reuse: ReuseKind::Helix,
+            cost: CostModel::memory(),
+            warmstart: false,
+        }
+    }
+}
+
+/// Cumulative statistics over a server's lifetime — the dashboard
+/// counters of the motivating example ("saves hundreds of hours of
+/// execution time ... reduces the required resources and operation cost
+/// of Kaggle").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Workloads served.
+    pub workloads: usize,
+    /// Operations actually executed across all workloads.
+    pub ops_executed: usize,
+    /// Artifacts served from the Experiment Graph.
+    pub artifacts_loaded: usize,
+    /// Training operations warmstarted.
+    pub warmstarts: usize,
+    /// Total client-visible run time (compute + charged loads), seconds.
+    pub run_seconds: f64,
+    /// Estimated time the same submissions would have cost with no reuse
+    /// at all, seconds (from the Experiment Graph's recorded compute
+    /// times).
+    pub baseline_seconds: f64,
+}
+
+impl ServerStats {
+    /// Estimated seconds saved by the optimizer so far.
+    #[must_use]
+    pub fn seconds_saved(&self) -> f64 {
+        (self.baseline_seconds - self.run_seconds).max(0.0)
+    }
+}
+
+/// The collaborative optimizer server.
+pub struct OptimizerServer {
+    eg: RwLock<ExperimentGraph>,
+    config: ServerConfig,
+    materializer: Box<dyn Materializer>,
+    planner: Box<dyn ReusePlanner>,
+    stats: parking_lot::Mutex<ServerStats>,
+}
+
+impl OptimizerServer {
+    /// Create a server. The Experiment Graph store deduplicates columns
+    /// iff the configured materializer is storage-aware.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        let dedup = config.materializer == MaterializerKind::StorageAware;
+        let materializer: Box<dyn Materializer> = match config.materializer {
+            MaterializerKind::StorageAware => Box::new(StorageAwareMaterializer {
+                budget: config.budget,
+                alpha: config.alpha,
+            }),
+            MaterializerKind::Greedy => Box::new(GreedyMaterializer {
+                budget: config.budget,
+                alpha: config.alpha,
+                max_artifacts: None,
+            }),
+            MaterializerKind::GreedyCapped(n) => Box::new(GreedyMaterializer {
+                budget: config.budget,
+                alpha: config.alpha,
+                max_artifacts: Some(n),
+            }),
+            MaterializerKind::Helix => Box::new(HelixMaterializer { budget: config.budget }),
+            MaterializerKind::All => Box::new(AllMaterializer),
+            MaterializerKind::None => Box::new(NoneMaterializer),
+        };
+        let planner: Box<dyn ReusePlanner> = match config.reuse {
+            ReuseKind::Linear => Box::new(LinearReuse),
+            ReuseKind::Helix => Box::new(HelixReuse),
+            ReuseKind::AllMaterialized => Box::new(AllMaterializedReuse),
+            ReuseKind::None => Box::new(NoReuse),
+        };
+        OptimizerServer {
+            eg: RwLock::new(ExperimentGraph::new(dedup)),
+            config,
+            materializer,
+            planner,
+            stats: parking_lot::Mutex::new(ServerStats::default()),
+        }
+    }
+
+    /// Create a server around an existing Experiment Graph — e.g. one
+    /// restored from a meta-data snapshot (`co_graph::snapshot`) after a
+    /// restart. The graph's store must match the configured
+    /// materializer's deduplication mode.
+    #[must_use]
+    pub fn with_graph(config: ServerConfig, eg: ExperimentGraph) -> Self {
+        let mut server = OptimizerServer::new(config);
+        server.eg = RwLock::new(eg);
+        server
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Run one workload end to end. Returns the executed DAG (terminal
+    /// values populated) and the execution report.
+    pub fn run_workload(&self, mut dag: WorkloadDag) -> Result<(WorkloadDag, ExecutionReport)> {
+        // Step 2 (client): local pruning.
+        dag.prune()?;
+
+        // Step 3 (server): reuse planning, timed as optimizer overhead.
+        let exec_config =
+            ExecutorConfig { cost: self.config.cost, warmstart: self.config.warmstart };
+        let (plan, optimizer_seconds, mut report) = {
+            let eg = self.eg.read();
+            let start = Instant::now();
+            let plan = self.planner.plan(&dag, &eg, &self.config.cost);
+            let optimizer_seconds = start.elapsed().as_secs_f64();
+            // Step 4 (client): execution against the read-locked graph.
+            let report = executor::execute(&mut dag, &plan, &eg, &exec_config)?;
+            (plan, optimizer_seconds, report)
+        };
+        let _ = plan;
+        report.optimizer_seconds = optimizer_seconds;
+
+        // Step 5 (server): update + materialize.
+        let start = Instant::now();
+        {
+            let mut eg = self.eg.write();
+            eg.update_with_workload(&dag)?;
+            let available = available_contents(&dag);
+            self.materializer.run(&mut eg, &available, &self.config.cost);
+        }
+        report.materializer_seconds = start.elapsed().as_secs_f64();
+
+        // Dashboard counters: estimate what this submission would have
+        // cost with no reuse at all — the sum of recorded compute times
+        // over every (distinct) node the terminals require.
+        {
+            let eg = self.eg.read();
+            let mut baseline = 0.0;
+            let mut visited = vec![false; dag.n_nodes()];
+            let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
+            while let Some(i) = stack.pop() {
+                if std::mem::replace(&mut visited[i], true) {
+                    continue;
+                }
+                let node = &dag.nodes()[i];
+                baseline += node
+                    .compute_time
+                    .or_else(|| eg.vertex(node.artifact).ok().map(|v| v.compute_time))
+                    .unwrap_or(0.0);
+                stack.extend(dag.parents(co_graph::NodeId(i)).iter().map(|p| p.0));
+            }
+            let mut stats = self.stats.lock();
+            stats.workloads += 1;
+            stats.ops_executed += report.ops_executed;
+            stats.artifacts_loaded += report.artifacts_loaded;
+            stats.warmstarts += report.warmstarts;
+            stats.run_seconds += report.run_seconds();
+            stats.baseline_seconds += baseline;
+        }
+        Ok((dag, report))
+    }
+
+    /// Cumulative lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// `EXPLAIN` for a workload: prune, plan against the current
+    /// Experiment Graph, and render the decision table — without
+    /// executing anything or touching the graph.
+    pub fn explain(&self, mut dag: WorkloadDag) -> Result<String> {
+        dag.prune()?;
+        let eg = self.eg.read();
+        let plan = self.planner.plan(&dag, &eg, &self.config.cost);
+        Ok(crate::optimizer::explain_plan(&dag, &eg, &self.config.cost, &plan))
+    }
+
+    /// Read access to the Experiment Graph (shared lock).
+    pub fn eg(&self) -> parking_lot::RwLockReadGuard<'_, ExperimentGraph> {
+        self.eg.read()
+    }
+
+    /// Summary of storage state: (number of materialized artifacts,
+    /// unique bytes held, logical bytes materialized).
+    #[must_use]
+    pub fn storage_stats(&self) -> (usize, u64, u64) {
+        let eg = self.eg.read();
+        let s = eg.storage();
+        (s.n_artifacts(), s.unique_bytes(), s.logical_bytes())
+    }
+}
+
+/// Contents produced by an executed workload, keyed by artifact.
+fn available_contents(dag: &WorkloadDag) -> HashMap<ArtifactId, Value> {
+    dag.nodes()
+        .iter()
+        .filter_map(|n| n.computed.as_ref().map(|v| (n.artifact, v.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::Script;
+    use co_dataframe::ops::{MapFn, Predicate};
+    use co_dataframe::{Column, ColumnData, DataFrame};
+    use co_ml::linear::LogisticParams;
+
+    fn frame() -> DataFrame {
+        let n = 4000;
+        DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float((0..n).map(f64::from).collect())),
+            Column::source(
+                "t",
+                "y",
+                ColumnData::Int((0..n).map(|i| i64::from(i >= n / 2)).collect()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn workload() -> WorkloadDag {
+        let mut s = Script::new();
+        let data = s.load("t", frame());
+        let f = s.filter(data, Predicate::gt_f("x", 100.0)).unwrap();
+        let m = s.map(f, "x", MapFn::Log1p, "lx").unwrap();
+        let model = s.train_logistic(m, "y", LogisticParams::default()).unwrap();
+        s.output(model).unwrap();
+        s.into_dag()
+    }
+
+    #[test]
+    fn repeated_workload_is_loaded_not_recomputed() {
+        let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+        let (_, first) = server.run_workload(workload()).unwrap();
+        assert!(first.ops_executed > 0);
+        assert_eq!(first.artifacts_loaded, 0);
+
+        let (_, second) = server.run_workload(workload()).unwrap();
+        // The second run loads the terminal (or an ancestor) instead of
+        // re-training.
+        assert!(second.artifacts_loaded >= 1);
+        assert!(second.ops_executed < first.ops_executed);
+        assert!(second.run_seconds() < first.run_seconds());
+    }
+
+    #[test]
+    fn baseline_never_reuses() {
+        let server = OptimizerServer::new(ServerConfig::baseline());
+        let (_, first) = server.run_workload(workload()).unwrap();
+        let (_, second) = server.run_workload(workload()).unwrap();
+        assert_eq!(second.artifacts_loaded, 0);
+        assert_eq!(second.ops_executed, first.ops_executed);
+        // Only sources are stored.
+        let (n, ..) = server.storage_stats();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn modified_workload_reuses_shared_prefix() {
+        let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+        server.run_workload(workload()).unwrap();
+
+        // Same feature pipeline, different hyperparameters.
+        let mut s = Script::new();
+        let data = s.load("t", frame());
+        let f = s.filter(data, Predicate::gt_f("x", 100.0)).unwrap();
+        let m = s.map(f, "x", MapFn::Log1p, "lx").unwrap();
+        let model = s
+            .train_logistic(m, "y", LogisticParams { lr: 0.9, ..LogisticParams::default() })
+            .unwrap();
+        s.output(model).unwrap();
+
+        let (_, report) = server.run_workload(s.into_dag()).unwrap();
+        // The feature frame is loaded; only the new training op runs.
+        assert_eq!(report.ops_executed, 1);
+        assert!(report.artifacts_loaded >= 1);
+    }
+
+    #[test]
+    fn helix_configuration_runs_end_to_end() {
+        let server = OptimizerServer::new(ServerConfig::helix(u64::MAX));
+        let (_, first) = server.run_workload(workload()).unwrap();
+        let (_, second) = server.run_workload(workload()).unwrap();
+        assert!(second.run_seconds() <= first.run_seconds());
+        assert!(second.artifacts_loaded >= 1);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_the_graph() {
+        let server = std::sync::Arc::new(OptimizerServer::new(ServerConfig::collaborative(
+            u64::MAX,
+        )));
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                let server = std::sync::Arc::clone(&server);
+                scope.spawn(move |_| {
+                    let (_, report) = server.run_workload(workload()).unwrap();
+                    assert!(report.run_seconds() > 0.0);
+                });
+            }
+        })
+        .unwrap();
+        // All four sessions converged onto one set of artifacts.
+        let eg = server.eg();
+        let dag = workload();
+        for node in dag.nodes() {
+            assert!(eg.contains(node.artifact));
+        }
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate_and_estimate_savings() {
+        let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+        server.run_workload(workload()).unwrap();
+        server.run_workload(workload()).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.workloads, 2);
+        assert!(stats.artifacts_loaded >= 1);
+        assert!(stats.run_seconds > 0.0);
+        // The second (fully reused) run makes the baseline exceed actual.
+        assert!(
+            stats.seconds_saved() > 0.0,
+            "baseline {} vs actual {}",
+            stats.baseline_seconds,
+            stats.run_seconds
+        );
+        // A no-reuse server saves nothing (up to timing noise: its
+        // baseline equals what it actually did).
+        let kg = OptimizerServer::new(ServerConfig::baseline());
+        kg.run_workload(workload()).unwrap();
+        let kg_stats = kg.stats();
+        assert_eq!(kg_stats.workloads, 1);
+        assert!(kg_stats.seconds_saved() < kg_stats.run_seconds * 0.5);
+    }
+
+    #[test]
+    fn explain_renders_decisions_without_executing() {
+        let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+        // Cold graph: everything computes.
+        let text = server.explain(workload()).unwrap();
+        assert!(text.contains("compute"));
+        assert!(!text.contains("LOAD"));
+        assert!(text.contains("train_logistic"));
+        // Explain must not have executed or stored anything.
+        let (n, ..) = server.storage_stats();
+        assert_eq!(n, 0);
+
+        server.run_workload(workload()).unwrap();
+        let text = server.explain(workload()).unwrap();
+        assert!(text.contains("LOAD"), "after a run the plan loads:\n{text}");
+    }
+
+    #[test]
+    fn warmstart_counts_are_reported() {
+        let mut config = ServerConfig::collaborative(u64::MAX);
+        config.warmstart = true;
+        let server = OptimizerServer::new(config);
+        server.run_workload(workload()).unwrap();
+
+        // Different hyperparameters: exact reuse impossible, warmstart
+        // candidate exists.
+        let mut s = Script::new();
+        let data = s.load("t", frame());
+        let f = s.filter(data, Predicate::gt_f("x", 100.0)).unwrap();
+        let m = s.map(f, "x", MapFn::Log1p, "lx").unwrap();
+        let model = s
+            .train_logistic(
+                m,
+                "y",
+                LogisticParams { max_iter: 50, ..LogisticParams::default() },
+            )
+            .unwrap();
+        s.output(model).unwrap();
+        let (_, report) = server.run_workload(s.into_dag()).unwrap();
+        assert_eq!(report.warmstarts, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Warmstart candidate search (paper §6.2).
+//!
+//! "A warmstarting candidate is a model that is trained on the same
+//! artifact and is of the same type as the model in the workload DAG.
+//! When there are multiple candidates ... we select the model with the
+//! highest quality."
+
+use co_graph::{ArtifactId, ExperimentGraph, NodeKind};
+use co_ml::{ModelKind, TrainedModel};
+
+/// Find the best warmstart candidate for a training operation that
+/// consumes `train_input` and produces a model of `kind`. `exclude` is the
+/// artifact the operation itself would produce (an exact match is a reuse,
+/// not a warmstart). Returns the materialized model with the highest
+/// quality, if any.
+#[must_use]
+pub fn find_candidate(
+    eg: &ExperimentGraph,
+    train_input: ArtifactId,
+    kind: ModelKind,
+    exclude: ArtifactId,
+) -> Option<TrainedModel> {
+    let input = eg.vertex(train_input).ok()?;
+    let mut best: Option<(f64, ArtifactId)> = None;
+    for &child in &input.children {
+        if child == exclude {
+            continue;
+        }
+        let Ok(v) = eg.vertex(child) else { continue };
+        if v.kind != NodeKind::Model || !eg.is_materialized(child) {
+            continue;
+        }
+        // Model vertices describe themselves as "<kind>:<params>".
+        if !v.description.starts_with(kind.name())
+            || v.description.as_bytes().get(kind.name().len()) != Some(&b':')
+        {
+            continue;
+        }
+        if best.is_none_or(|(q, _)| v.quality > q) {
+            best = Some((v.quality, child));
+        }
+    }
+    let (_, candidate) = best?;
+    eg.storage().get(candidate)?.as_model().map(|m| m.model.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::Scalar;
+    use co_graph::{ModelArtifact, Operation, Value, WorkloadDag};
+    use co_ml::linear::{LogisticParams, LogisticRegression};
+    use co_ml::Matrix;
+    use std::sync::Arc;
+
+    struct TrainTag {
+        label: &'static str,
+        quality: f64,
+    }
+    impl Operation for TrainTag {
+        fn name(&self) -> &str {
+            self.label
+        }
+        fn params_digest(&self) -> String {
+            String::new()
+        }
+        fn output_kind(&self) -> NodeKind {
+            NodeKind::Model
+        }
+        fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+            Ok(Value::Model(ModelArtifact::new(logistic(), self.quality)))
+        }
+    }
+
+    fn logistic() -> TrainedModel {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        TrainedModel::Logistic(
+            LogisticRegression::new(LogisticParams::default()).fit(&x, &[0.0, 1.0]).unwrap(),
+        )
+    }
+
+    fn model_value(q: f64) -> Value {
+        Value::Model(ModelArtifact::new(logistic(), q))
+    }
+
+    /// Build an EG where `data` has two trained logistic models (q = 0.6
+    /// materialized, q = 0.9 maybe materialized) and one aggregate child.
+    fn setup(materialize_best: bool) -> (ExperimentGraph, ArtifactId, ArtifactId) {
+        let mut dag = WorkloadDag::new();
+        let data = dag.add_source("data", Value::Aggregate(Scalar::Float(0.0)));
+        let weak = dag.add_op(Arc::new(TrainTag { label: "train_a", quality: 0.6 }), &[data]).unwrap();
+        let strong =
+            dag.add_op(Arc::new(TrainTag { label: "train_b", quality: 0.9 }), &[data]).unwrap();
+        dag.mark_terminal(strong).unwrap();
+        dag.mark_terminal(weak).unwrap();
+        for (n, q) in [(weak, 0.6), (strong, 0.9)] {
+            dag.annotate(n, 1.0, 100).unwrap();
+            dag.node_mut(n).unwrap().quality = q;
+            dag.set_computed(n, model_value(q)).unwrap();
+        }
+        let mut eg = ExperimentGraph::new(true);
+        eg.update_with_workload(&dag).unwrap();
+        // Descriptions come from computed values; materialize contents.
+        let weak_id = dag.nodes()[weak.0].artifact;
+        let strong_id = dag.nodes()[strong.0].artifact;
+        eg.storage_mut().store(weak_id, &model_value(0.6));
+        if materialize_best {
+            eg.storage_mut().store(strong_id, &model_value(0.9));
+        }
+        (eg, dag.nodes()[data.0].artifact, strong_id)
+    }
+
+    #[test]
+    fn picks_highest_quality_materialized_model() {
+        let (eg, data, _strong) = setup(true);
+        let m = find_candidate(&eg, data, ModelKind::Logistic, ArtifactId(0)).unwrap();
+        assert_eq!(m.kind(), ModelKind::Logistic);
+        // The strong model (q = 0.9) wins; verify by quality lookup.
+        let input = eg.vertex(data).unwrap();
+        let best_q = input
+            .children
+            .iter()
+            .filter(|c| eg.is_materialized(**c))
+            .map(|c| eg.vertex(*c).unwrap().quality)
+            .fold(0.0, f64::max);
+        assert_eq!(best_q, 0.9);
+    }
+
+    #[test]
+    fn falls_back_to_weaker_materialized_model() {
+        let (eg, data, _) = setup(false);
+        // Only the weak model is materialized; it is still a candidate.
+        let m = find_candidate(&eg, data, ModelKind::Logistic, ArtifactId(0));
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn excludes_exact_match_and_wrong_kind() {
+        let (eg, data, strong_id) = setup(true);
+        // Excluding the strong model falls back to the weak one.
+        let m = find_candidate(&eg, data, ModelKind::Logistic, strong_id);
+        assert!(m.is_some());
+        // No SVM was ever trained on this artifact.
+        assert!(find_candidate(&eg, data, ModelKind::Svm, ArtifactId(0)).is_none());
+        // Unknown input artifact.
+        assert!(find_candidate(&eg, ArtifactId(123), ModelKind::Logistic, ArtifactId(0)).is_none());
+    }
+}

@@ -1,0 +1,362 @@
+//! Columns and column-id lineage.
+//!
+//! A [`Column`] is a named, immutable, reference-counted buffer of values
+//! plus a [`ColumnId`]. The id encodes *how the column was produced*: source
+//! columns hash their dataset and column name; an operation that changes the
+//! content of a column derives a new id from the operation hash and the input
+//! id (paper §5.3). Operations that merely move a column between frames
+//! (projection, horizontal concat, alignment) keep the id, which is what lets
+//! the storage-aware materializer deduplicate artifacts.
+
+use crate::error::{DfError, Result};
+use crate::hash;
+use crate::scalar::Scalar;
+use crate::schema::DType;
+use std::fmt;
+use std::sync::Arc;
+
+/// Lineage identifier of a column (paper §5.3).
+///
+/// Invariants (property-tested in `ops`):
+/// * columns untouched by an operation keep their id;
+/// * two columns have the same id iff the same operations were applied to the
+///   same source column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u64);
+
+impl ColumnId {
+    /// Id for a raw source column: hash of dataset name and column name.
+    #[must_use]
+    pub fn source(dataset: &str, column: &str) -> Self {
+        ColumnId(hash::fnv1a_parts(&["src", dataset, column]))
+    }
+
+    /// Derive the id of a column affected by an operation.
+    #[must_use]
+    pub fn derive(self, op_hash: u64) -> Self {
+        ColumnId(hash::combine(op_hash, self.0))
+    }
+
+    /// Derive an id for a column produced from several input columns
+    /// (e.g. a binary arithmetic op or a group-by aggregate keyed on
+    /// another column).
+    #[must_use]
+    pub fn derive_many(inputs: &[ColumnId], op_hash: u64) -> Self {
+        let mut parts = Vec::with_capacity(inputs.len() + 1);
+        parts.push(op_hash);
+        parts.extend(inputs.iter().map(|c| c.0));
+        ColumnId(hash::combine_all(&parts))
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The typed buffer backing a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit signed integers.
+    Int(Vec<i64>),
+    /// 64-bit floats; `NaN` encodes missing.
+    Float(Vec<f64>),
+    /// UTF-8 strings.
+    Str(Vec<String>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element type.
+    #[must_use]
+    pub fn dtype(&self) -> DType {
+        match self {
+            ColumnData::Int(_) => DType::Int,
+            ColumnData::Float(_) => DType::Float,
+            ColumnData::Str(_) => DType::Str,
+            ColumnData::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Approximate content size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.iter().map(|s| s.len() + 8).sum(),
+        }
+    }
+
+    /// Value at row `i`; panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Scalar {
+        match self {
+            ColumnData::Int(v) => Scalar::Int(v[i]),
+            ColumnData::Float(v) => Scalar::Float(v[i]),
+            ColumnData::Str(v) => Scalar::Str(v[i].clone()),
+            ColumnData::Bool(v) => Scalar::Bool(v[i]),
+        }
+    }
+
+    /// Gather rows at the given indices (indices may repeat or reorder).
+    #[must_use]
+    pub fn take(&self, indices: &[usize]) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Keep rows where `mask` is true. `mask.len()` must equal `self.len()`.
+    #[must_use]
+    pub fn filter(&self, mask: &[bool]) -> ColumnData {
+        debug_assert_eq!(mask.len(), self.len());
+        fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
+            v.iter().zip(mask).filter(|(_, &m)| m).map(|(x, _)| x.clone()).collect()
+        }
+        match self {
+            ColumnData::Int(v) => ColumnData::Int(keep(v, mask)),
+            ColumnData::Float(v) => ColumnData::Float(keep(v, mask)),
+            ColumnData::Str(v) => ColumnData::Str(keep(v, mask)),
+            ColumnData::Bool(v) => ColumnData::Bool(keep(v, mask)),
+        }
+    }
+
+    /// Numeric view of the column as `f64`s. Ints and bools cast; strings
+    /// fail.
+    pub fn to_f64(&self) -> Result<Vec<f64>> {
+        match self {
+            ColumnData::Int(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+            ColumnData::Float(v) => Ok(v.clone()),
+            ColumnData::Bool(v) => Ok(v.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()),
+            ColumnData::Str(_) => Err(DfError::TypeMismatch {
+                column: String::new(),
+                expected: "numeric",
+                found: "str",
+            }),
+        }
+    }
+}
+
+/// A named column with lineage id and shared immutable data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    id: ColumnId,
+    data: Arc<ColumnData>,
+}
+
+impl Column {
+    /// A raw source column (id derived from dataset + column name).
+    #[must_use]
+    pub fn source(dataset: &str, name: &str, data: ColumnData) -> Self {
+        Column { name: name.to_owned(), id: ColumnId::source(dataset, name), data: Arc::new(data) }
+    }
+
+    /// A column produced by an operation, with an explicitly derived id.
+    #[must_use]
+    pub fn derived(name: &str, id: ColumnId, data: ColumnData) -> Self {
+        Column { name: name.to_owned(), id, data: Arc::new(data) }
+    }
+
+    /// A column wrapping already-shared data (no copy).
+    #[must_use]
+    pub fn from_arc(name: &str, id: ColumnId, data: Arc<ColumnData>) -> Self {
+        Column { name: name.to_owned(), id, data }
+    }
+
+    /// Column name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lineage id.
+    #[must_use]
+    pub fn id(&self) -> ColumnId {
+        self.id
+    }
+
+    /// Element type.
+    #[must_use]
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Content size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        self.data.nbytes()
+    }
+
+    /// Shared handle to the underlying data.
+    #[must_use]
+    pub fn data(&self) -> &Arc<ColumnData> {
+        &self.data
+    }
+
+    /// Same data, new name, same id (renaming does not change lineage).
+    #[must_use]
+    pub fn renamed(&self, name: &str) -> Column {
+        Column { name: name.to_owned(), id: self.id, data: Arc::clone(&self.data) }
+    }
+
+    /// Same data and name with a different lineage id.
+    #[must_use]
+    pub fn with_id(&self, id: ColumnId) -> Column {
+        Column { name: self.name.clone(), id, data: Arc::clone(&self.data) }
+    }
+
+    /// Integer slice view, or a type error.
+    pub fn ints(&self) -> Result<&[i64]> {
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Ok(v),
+            other => Err(self.type_err("int", other)),
+        }
+    }
+
+    /// Float slice view, or a type error.
+    pub fn floats(&self) -> Result<&[f64]> {
+        match self.data.as_ref() {
+            ColumnData::Float(v) => Ok(v),
+            other => Err(self.type_err("float", other)),
+        }
+    }
+
+    /// String slice view, or a type error.
+    pub fn strs(&self) -> Result<&[String]> {
+        match self.data.as_ref() {
+            ColumnData::Str(v) => Ok(v),
+            other => Err(self.type_err("str", other)),
+        }
+    }
+
+    /// Bool slice view, or a type error.
+    pub fn bools(&self) -> Result<&[bool]> {
+        match self.data.as_ref() {
+            ColumnData::Bool(v) => Ok(v),
+            other => Err(self.type_err("bool", other)),
+        }
+    }
+
+    /// Numeric (`f64`) copy of the column; ints and bools cast.
+    pub fn to_f64(&self) -> Result<Vec<f64>> {
+        self.data.to_f64().map_err(|_| DfError::TypeMismatch {
+            column: self.name.clone(),
+            expected: "numeric",
+            found: self.dtype().name(),
+        })
+    }
+
+    /// Value at row `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Scalar {
+        self.data.get(i)
+    }
+
+    fn type_err(&self, expected: &'static str, found: &ColumnData) -> DfError {
+        DfError::TypeMismatch {
+            column: self.name.clone(),
+            expected,
+            found: found.dtype().name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_ids_are_stable_and_distinct() {
+        let a = ColumnId::source("train", "price");
+        let b = ColumnId::source("train", "price");
+        let c = ColumnId::source("train", "y");
+        let d = ColumnId::source("test", "price");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn derive_depends_on_op_and_input() {
+        let base = ColumnId::source("train", "price");
+        assert_ne!(base.derive(1), base.derive(2));
+        assert_ne!(base.derive(1), ColumnId::source("train", "y").derive(1));
+        // Same op on the same column from two different frames agrees.
+        assert_eq!(base.derive(7), ColumnId::source("train", "price").derive(7));
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let data = ColumnData::Int(vec![10, 20, 30, 40]);
+        assert_eq!(data.take(&[3, 0, 0]), ColumnData::Int(vec![40, 10, 10]));
+        assert_eq!(
+            data.filter(&[true, false, true, false]),
+            ColumnData::Int(vec![10, 30])
+        );
+    }
+
+    #[test]
+    fn nbytes_accounting() {
+        assert_eq!(ColumnData::Int(vec![1, 2]).nbytes(), 16);
+        assert_eq!(ColumnData::Bool(vec![true; 5]).nbytes(), 5);
+        assert_eq!(ColumnData::Str(vec!["ab".into()]).nbytes(), 10);
+    }
+
+    #[test]
+    fn renames_keep_lineage() {
+        let c = Column::source("train", "price", ColumnData::Float(vec![1.0]));
+        let r = c.renamed("cost");
+        assert_eq!(r.name(), "cost");
+        assert_eq!(r.id(), c.id());
+        assert!(Arc::ptr_eq(c.data(), r.data()));
+    }
+
+    #[test]
+    fn typed_views() {
+        let c = Column::source("t", "a", ColumnData::Int(vec![1]));
+        assert!(c.ints().is_ok());
+        assert!(c.floats().is_err());
+        assert_eq!(c.to_f64().unwrap(), vec![1.0]);
+        let s = Column::source("t", "s", ColumnData::Str(vec!["x".into()]));
+        assert!(s.to_f64().is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for dataframe operations.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DfError>;
+
+/// Errors produced by dataframe construction and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfError {
+    /// A referenced column does not exist in the frame.
+    ColumnNotFound(String),
+    /// Two columns (or frames) that must have equal length do not.
+    LengthMismatch { expected: usize, found: usize, context: String },
+    /// An operation was applied to a column of an unsupported type.
+    TypeMismatch { column: String, expected: &'static str, found: &'static str },
+    /// A frame would contain duplicate column names.
+    DuplicateColumn(String),
+    /// A frame must contain at least one column/row for this operation.
+    Empty(String),
+    /// Malformed CSV input.
+    Csv { line: usize, message: String },
+    /// Invalid argument (bad parameter value, empty selection, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            DfError::LengthMismatch { expected, found, context } => {
+                write!(f, "length mismatch in {context}: expected {expected}, found {found}")
+            }
+            DfError::TypeMismatch { column, expected, found } => {
+                write!(f, "type mismatch on column {column:?}: expected {expected}, found {found}")
+            }
+            DfError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            DfError::Empty(context) => write!(f, "empty input: {context}"),
+            DfError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            DfError::InvalidArgument(message) => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DfError::ColumnNotFound("price".into());
+        assert!(err.to_string().contains("price"));
+        let err = DfError::LengthMismatch { expected: 3, found: 2, context: "with_column".into() };
+        assert!(err.to_string().contains("expected 3"));
+        let err = DfError::TypeMismatch { column: "y".into(), expected: "float", found: "str" };
+        assert!(err.to_string().contains("float"));
+    }
+}

@@ -1,0 +1,310 @@
+//! The [`DataFrame`]: an ordered collection of equal-length [`Column`]s.
+
+use crate::column::{Column, ColumnId};
+use crate::error::{DfError, Result};
+use crate::scalar::Scalar;
+use crate::schema::{Field, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An immutable, column-oriented table.
+///
+/// Structural operations that do not touch column *content* — projection,
+/// renaming, horizontal concatenation — preserve column ids and share the
+/// underlying buffers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataFrame {
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl DataFrame {
+    /// Build a frame from columns. All columns must have equal length and
+    /// unique names.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        let n_rows = columns.first().map_or(0, Column::len);
+        let mut seen = HashMap::with_capacity(columns.len());
+        for c in &columns {
+            if c.len() != n_rows {
+                return Err(DfError::LengthMismatch {
+                    expected: n_rows,
+                    found: c.len(),
+                    context: format!("DataFrame::new (column {:?})", c.name()),
+                });
+            }
+            if seen.insert(c.name().to_owned(), ()).is_some() {
+                return Err(DfError::DuplicateColumn(c.name().to_owned()));
+            }
+        }
+        Ok(DataFrame { columns, n_rows })
+    }
+
+    /// An empty frame (0 rows, 0 columns).
+    #[must_use]
+    pub fn empty() -> Self {
+        DataFrame::default()
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The ordered columns.
+    #[must_use]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Ordered column names.
+    #[must_use]
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(Column::name).collect()
+    }
+
+    /// True when a column with this name exists.
+    #[must_use]
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name() == name)
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| DfError::ColumnNotFound(name.to_owned()))
+    }
+
+    /// Positional column access.
+    #[must_use]
+    pub fn column_at(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Schema (names, types, ids, sizes).
+    #[must_use]
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| Field {
+                    name: c.name().to_owned(),
+                    dtype: c.dtype(),
+                    id: c.id(),
+                    nbytes: c.nbytes(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Total content size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        self.columns.iter().map(Column::nbytes).sum()
+    }
+
+    /// Lineage ids of all columns, in order.
+    #[must_use]
+    pub fn column_ids(&self) -> Vec<ColumnId> {
+        self.columns.iter().map(Column::id).collect()
+    }
+
+    /// Projection: keep the named columns, in the given order. Preserves
+    /// column ids (a projection does not change content).
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let cols = names
+            .iter()
+            .map(|n| self.column(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        DataFrame::new(cols)
+    }
+
+    /// Drop the named columns; the rest keep their ids and order.
+    pub fn drop_columns(&self, names: &[&str]) -> Result<DataFrame> {
+        for n in names {
+            // Surface typos instead of silently keeping everything.
+            self.column(n)?;
+        }
+        let cols = self
+            .columns
+            .iter()
+            .filter(|c| !names.contains(&c.name()))
+            .cloned()
+            .collect();
+        DataFrame::new(cols)
+    }
+
+    /// Rename a column (lineage id unchanged).
+    pub fn rename(&self, from: &str, to: &str) -> Result<DataFrame> {
+        self.column(from)?;
+        if from != to && self.has_column(to) {
+            return Err(DfError::DuplicateColumn(to.to_owned()));
+        }
+        let cols = self
+            .columns
+            .iter()
+            .map(|c| if c.name() == from { c.renamed(to) } else { c.clone() })
+            .collect();
+        DataFrame::new(cols)
+    }
+
+    /// Add (or replace) a column. The column must match the frame's row
+    /// count; on an empty frame it defines the row count.
+    pub fn with_column(&self, column: Column) -> Result<DataFrame> {
+        if !self.columns.is_empty() && column.len() != self.n_rows {
+            return Err(DfError::LengthMismatch {
+                expected: self.n_rows,
+                found: column.len(),
+                context: format!("with_column({:?})", column.name()),
+            });
+        }
+        let mut cols: Vec<Column> =
+            self.columns.iter().filter(|c| c.name() != column.name()).cloned().collect();
+        cols.push(column);
+        DataFrame::new(cols)
+    }
+
+    /// First `n` rows (by construction a content change: callers in the op
+    /// layer are responsible for deriving ids; this helper keeps ids).
+    #[must_use]
+    pub fn head(&self, n: usize) -> DataFrame {
+        let take: Vec<usize> = (0..self.n_rows.min(n)).collect();
+        self.take_rows(&take)
+    }
+
+    /// Gather rows by index, keeping column names and ids.
+    ///
+    /// This is a plumbing primitive; semantic operations in [`crate::ops`]
+    /// wrap it and derive new column ids.
+    #[must_use]
+    pub fn take_rows(&self, indices: &[usize]) -> DataFrame {
+        let cols = self
+            .columns
+            .iter()
+            .map(|c| Column::derived(c.name(), c.id(), c.data().take(indices)))
+            .collect();
+        DataFrame { columns: cols, n_rows: indices.len() }
+    }
+
+    /// One row as scalars.
+    #[must_use]
+    pub fn row(&self, i: usize) -> Vec<Scalar> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Map every column id through `f` (used by ops that affect all
+    /// columns, e.g. row filters).
+    #[must_use]
+    pub fn map_ids(&self, f: impl Fn(ColumnId) -> ColumnId) -> DataFrame {
+        let cols = self.columns.iter().map(|c| c.with_id(f(c.id()))).collect();
+        DataFrame { columns: cols, n_rows: self.n_rows }
+    }
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DataFrame [{} rows x {} cols]", self.n_rows, self.n_cols())?;
+        let header: Vec<&str> = self.column_names();
+        writeln!(f, "{}", header.join("\t"))?;
+        for i in 0..self.n_rows.min(10) {
+            let row: Vec<String> = self.row(i).iter().map(ToString::to_string).collect();
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        if self.n_rows > 10 {
+            writeln!(f, "... ({} more rows)", self.n_rows - 10)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnData;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "a", ColumnData::Int(vec![1, 2, 3])),
+            Column::source("t", "b", ColumnData::Float(vec![1.5, 2.5, 3.5])),
+            Column::source("t", "s", ColumnData::Str(vec!["x".into(), "y".into(), "z".into()])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let err = DataFrame::new(vec![
+            Column::source("t", "a", ColumnData::Int(vec![1, 2])),
+            Column::source("t", "b", ColumnData::Int(vec![1])),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, DfError::LengthMismatch { .. }));
+
+        let err = DataFrame::new(vec![
+            Column::source("t", "a", ColumnData::Int(vec![1])),
+            Column::source("u", "a", ColumnData::Int(vec![1])),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, DfError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn select_preserves_ids_and_order() {
+        let d = df();
+        let p = d.select(&["s", "a"]).unwrap();
+        assert_eq!(p.column_names(), vec!["s", "a"]);
+        assert_eq!(p.column("a").unwrap().id(), d.column("a").unwrap().id());
+        assert!(d.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn drop_and_rename() {
+        let d = df();
+        let dropped = d.drop_columns(&["b"]).unwrap();
+        assert_eq!(dropped.column_names(), vec!["a", "s"]);
+        assert!(d.drop_columns(&["zz"]).is_err());
+
+        let renamed = d.rename("a", "alpha").unwrap();
+        assert_eq!(renamed.column("alpha").unwrap().id(), d.column("a").unwrap().id());
+        assert!(d.rename("a", "b").is_err());
+    }
+
+    #[test]
+    fn with_column_replaces() {
+        let d = df();
+        let d2 = d
+            .with_column(Column::source("t", "a", ColumnData::Int(vec![9, 9, 9])))
+            .unwrap();
+        assert_eq!(d2.n_cols(), 3);
+        assert_eq!(d2.column("a").unwrap().ints().unwrap(), &[9, 9, 9]);
+        assert!(d
+            .with_column(Column::source("t", "c", ColumnData::Int(vec![1])))
+            .is_err());
+    }
+
+    #[test]
+    fn take_rows_and_head() {
+        let d = df();
+        let t = d.take_rows(&[2, 0]);
+        assert_eq!(t.column("a").unwrap().ints().unwrap(), &[3, 1]);
+        assert_eq!(d.head(2).n_rows(), 2);
+        assert_eq!(d.head(99).n_rows(), 3);
+    }
+
+    #[test]
+    fn schema_and_nbytes() {
+        let d = df();
+        let s = d.schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(d.nbytes(), s.nbytes());
+        assert!(d.nbytes() > 0);
+    }
+}

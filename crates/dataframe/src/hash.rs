@@ -1,0 +1,120 @@
+//! Stable, dependency-free hashing used for operation signatures and column
+//! ids.
+//!
+//! The optimizer identifies artifacts and operations by hash (paper §4.1:
+//! "for every operation, the system computes a hash based on the operation
+//! name and its parameters"). Rust's [`std::collections::hash_map::DefaultHasher`]
+//! is not guaranteed stable across releases, so we use FNV-1a, which is
+//! deterministic, fast for the short strings we hash, and trivially
+//! implemented.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash a byte slice with FNV-1a (64-bit).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_with_seed(FNV_OFFSET, bytes)
+}
+
+/// Continue an FNV-1a hash from an existing state.
+///
+/// Feeding parts one by one is equivalent to hashing their concatenation,
+/// so callers that need injectivity across parts must add separators (see
+/// [`fnv1a_parts`]).
+#[must_use]
+pub fn fnv1a_with_seed(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Hash a sequence of string parts, separating them so that
+/// `["ab", "c"]` and `["a", "bc"]` hash differently.
+#[must_use]
+pub fn fnv1a_parts(parts: &[&str]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for part in parts {
+        hash = fnv1a_with_seed(hash, part.as_bytes());
+        // Unit separator: cannot appear in the middle of a UTF-8 code point,
+        // and is never produced by our digests.
+        hash = fnv1a_with_seed(hash, &[0x1f]);
+    }
+    hash
+}
+
+/// Combine two 64-bit hashes into one.
+///
+/// Used to derive a new [`crate::ColumnId`] from an operation hash and an
+/// input column id (paper §5.3), and to chain artifact ids through a DAG.
+#[must_use]
+pub fn combine(a: u64, b: u64) -> u64 {
+    let mut hash = fnv1a_with_seed(FNV_OFFSET, &a.to_le_bytes());
+    hash = fnv1a_with_seed(hash, &b.to_le_bytes());
+    hash
+}
+
+/// Combine an ordered list of hashes into one.
+#[must_use]
+pub fn combine_all(parts: &[u64]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for p in parts {
+        hash = fnv1a_with_seed(hash, &p.to_le_bytes());
+    }
+    hash
+}
+
+/// Render a float so that it hashes stably (`1` and `1.0` agree, NaN is
+/// canonical).
+#[must_use]
+pub fn float_digest(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_owned()
+    } else {
+        // `{:?}` prints the shortest representation that round-trips.
+        format!("{x:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Reference values for FNV-1a 64-bit.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn parts_are_separated() {
+        assert_ne!(fnv1a_parts(&["ab", "c"]), fnv1a_parts(&["a", "bc"]));
+        assert_ne!(fnv1a_parts(&["ab"]), fnv1a_parts(&["ab", ""]));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+        assert_ne!(combine_all(&[1, 2, 3]), combine_all(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn float_digest_round_trips() {
+        assert_eq!(float_digest(1.0), "1.0");
+        assert_eq!(float_digest(0.1), "0.1");
+        assert_eq!(float_digest(f64::NAN), "NaN");
+        assert_ne!(float_digest(1.5), float_digest(1.25));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(fnv1a_parts(&["filter", "x<3"]), fnv1a_parts(&["filter", "x<3"]));
+    }
+}

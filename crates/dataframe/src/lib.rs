@@ -1,0 +1,55 @@
+//! # co-dataframe
+//!
+//! A small, self-contained columnar dataframe engine: the "pandas substrate"
+//! of the collaborative ML workload optimizer (Derakhshan et al., SIGMOD 2020).
+//!
+//! The engine provides the operations the paper's Kaggle/OpenML workloads rely
+//! on — projection, row filtering, column maps, hash joins, concatenation,
+//! group-by aggregation, one-hot encoding, sampling, sorting, and the paper's
+//! *alignment* operation — plus two features the optimizer itself depends on:
+//!
+//! 1. **Column-id lineage** (paper §5.3): every column carries a [`ColumnId`].
+//!    Operations derive new ids for *affected* columns by hashing the
+//!    operation signature with the input column id, while unaffected columns
+//!    keep their ids. Two columns in two different artifacts share an id if
+//!    and only if the same chain of operations produced them — the invariant
+//!    the storage-aware materializer's deduplication builds on.
+//! 2. **Cheap size accounting**: [`DataFrame::nbytes`] reports content size so
+//!    the materializer can reason about storage budgets.
+//!
+//! Columns are immutable and reference-counted ([`std::sync::Arc`]), so
+//! projections, horizontal concatenation, and alignment are O(#columns) and
+//! share underlying buffers — mirroring how the paper's artifact store holds
+//! one copy of each deduplicated column.
+//!
+//! ```
+//! use co_dataframe::{DataFrame, Column, ColumnData};
+//! use co_dataframe::ops::{filter, Predicate};
+//!
+//! let df = DataFrame::new(vec![
+//!     Column::source("train", "price", ColumnData::Float(vec![1.0, 5.0, 3.0])),
+//!     Column::source("train", "y", ColumnData::Int(vec![0, 1, 1])),
+//! ]).unwrap();
+//! let cheap = filter(&df, &Predicate::lt_f("price", 4.0)).unwrap();
+//! assert_eq!(cheap.n_rows(), 2);
+//! // Row filtering affects every column, so ids change:
+//! assert_ne!(df.column("y").unwrap().id(), cheap.column("y").unwrap().id());
+//! // Pure projection keeps ids:
+//! let proj = df.select(&["y"]).unwrap();
+//! assert_eq!(df.column("y").unwrap().id(), proj.column("y").unwrap().id());
+//! ```
+
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod frame;
+pub mod hash;
+pub mod ops;
+pub mod scalar;
+pub mod schema;
+
+pub use column::{Column, ColumnData, ColumnId};
+pub use error::{DfError, Result};
+pub use frame::DataFrame;
+pub use scalar::Scalar;
+pub use schema::{DType, Field, Schema};

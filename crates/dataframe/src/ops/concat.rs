@@ -1,0 +1,221 @@
+//! Concatenation and alignment.
+//!
+//! * [`hconcat`] (pandas `concat(axis=1)`) moves whole columns between
+//!   frames without touching content — column ids are **preserved**, which is
+//!   the main deduplication opportunity the storage-aware materializer
+//!   exploits (feature matrices assembled from previously stored parts cost
+//!   almost nothing extra to materialize).
+//! * [`vconcat`] (axis=0) stacks rows, changing content — ids are derived.
+//! * [`align`] is the paper's alignment operation (§7.2): keep only the
+//!   columns common to both frames. Rows are untouched, so ids are
+//!   preserved. It returns *two* frames; the operator layer wraps it as two
+//!   single-output operations, mirroring the paper's own re-implementation
+//!   note.
+
+use crate::column::{Column, ColumnId};
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::hash;
+
+/// Stable operation signature for [`hconcat`].
+#[must_use]
+pub fn hconcat_signature(n_inputs: usize) -> u64 {
+    hash::fnv1a_parts(&["hconcat", &n_inputs.to_string()])
+}
+
+/// Horizontal concatenation: all frames must have the same row count.
+/// Duplicate names are suffixed `_1`, `_2`, ... by frame position; renaming
+/// does not change lineage ids.
+pub fn hconcat(frames: &[&DataFrame]) -> Result<DataFrame> {
+    let Some(first) = frames.first() else {
+        return Err(DfError::Empty("hconcat of zero frames".to_owned()));
+    };
+    let n_rows = first.n_rows();
+    let mut out: Vec<Column> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for (fi, frame) in frames.iter().enumerate() {
+        if frame.n_rows() != n_rows {
+            return Err(DfError::LengthMismatch {
+                expected: n_rows,
+                found: frame.n_rows(),
+                context: format!("hconcat frame {fi}"),
+            });
+        }
+        for c in frame.columns() {
+            let mut name = c.name().to_owned();
+            if names.iter().any(|n| n == &name) {
+                name = format!("{}_{}", c.name(), fi);
+                let mut bump = fi;
+                while names.iter().any(|n| n == &name) {
+                    bump += 1;
+                    name = format!("{}_{}", c.name(), bump);
+                }
+            }
+            names.push(name.clone());
+            out.push(c.renamed(&name));
+        }
+    }
+    DataFrame::new(out)
+}
+
+/// Stable operation signature for [`vconcat`].
+#[must_use]
+pub fn vconcat_signature(n_inputs: usize) -> u64 {
+    hash::fnv1a_parts(&["vconcat", &n_inputs.to_string()])
+}
+
+/// Vertical concatenation: frames must share the same schema (names and
+/// types, in order). Output ids derive from all stacked input ids.
+pub fn vconcat(frames: &[&DataFrame]) -> Result<DataFrame> {
+    let Some(first) = frames.first() else {
+        return Err(DfError::Empty("vconcat of zero frames".to_owned()));
+    };
+    let sig = vconcat_signature(frames.len());
+    for f in &frames[1..] {
+        if f.n_cols() != first.n_cols() {
+            return Err(DfError::LengthMismatch {
+                expected: first.n_cols(),
+                found: f.n_cols(),
+                context: "vconcat column counts".to_owned(),
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(first.n_cols());
+    for (ci, base) in first.columns().iter().enumerate() {
+        let mut ids = Vec::with_capacity(frames.len());
+        let mut stacked = base.data().as_ref().clone();
+        ids.push(base.id());
+        for f in &frames[1..] {
+            let c = f.column_at(ci).expect("column count checked above");
+            if c.name() != base.name() || c.dtype() != base.dtype() {
+                return Err(DfError::TypeMismatch {
+                    column: c.name().to_owned(),
+                    expected: base.dtype().name(),
+                    found: c.dtype().name(),
+                });
+            }
+            ids.push(c.id());
+            stacked = append(stacked, c);
+        }
+        let id = ColumnId::derive_many(&ids, sig);
+        out.push(Column::derived(base.name(), id, stacked));
+    }
+    DataFrame::new(out)
+}
+
+fn append(mut acc: crate::column::ColumnData, col: &Column) -> crate::column::ColumnData {
+    use crate::column::ColumnData as CD;
+    match (&mut acc, col.data().as_ref()) {
+        (CD::Int(a), CD::Int(b)) => a.extend_from_slice(b),
+        (CD::Float(a), CD::Float(b)) => a.extend_from_slice(b),
+        (CD::Str(a), CD::Str(b)) => a.extend_from_slice(b),
+        (CD::Bool(a), CD::Bool(b)) => a.extend_from_slice(b),
+        _ => unreachable!("dtype equality checked by caller"),
+    }
+    acc
+}
+
+/// Stable operation signature for [`align`]. `side` is 0 for the left output
+/// and 1 for the right output, so the two outputs are distinct operations at
+/// the artifact level.
+#[must_use]
+pub fn align_signature(side: usize) -> u64 {
+    hash::fnv1a_parts(&["align", &side.to_string()])
+}
+
+/// The paper's alignment operation: return both frames restricted to their
+/// common columns (in the left frame's order). Pure projection — ids are
+/// preserved.
+pub fn align(a: &DataFrame, b: &DataFrame) -> Result<(DataFrame, DataFrame)> {
+    let common: Vec<&str> = a
+        .column_names()
+        .into_iter()
+        .filter(|n| b.has_column(n))
+        .collect();
+    if common.is_empty() {
+        return Err(DfError::Empty("align: no common columns".to_owned()));
+    }
+    Ok((a.select(&common)?, b.select(&common)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnData;
+
+    fn f1() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("a", "x", ColumnData::Int(vec![1, 2])),
+            Column::source("a", "y", ColumnData::Float(vec![0.1, 0.2])),
+        ])
+        .unwrap()
+    }
+
+    fn f2() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("b", "z", ColumnData::Int(vec![7, 8])),
+            Column::source("b", "x", ColumnData::Int(vec![9, 10])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hconcat_preserves_ids_and_disambiguates() {
+        let (a, b) = (f1(), f2());
+        let out = hconcat(&[&a, &b]).unwrap();
+        assert_eq!(out.column_names(), vec!["x", "y", "z", "x_1"]);
+        assert_eq!(out.column("x").unwrap().id(), a.column("x").unwrap().id());
+        assert_eq!(out.column("x_1").unwrap().id(), b.column("x").unwrap().id());
+        assert_eq!(out.column("y").unwrap().id(), a.column("y").unwrap().id());
+    }
+
+    #[test]
+    fn hconcat_rejects_row_mismatch() {
+        let a = f1();
+        let b = DataFrame::new(vec![Column::source("b", "z", ColumnData::Int(vec![1]))]).unwrap();
+        assert!(hconcat(&[&a, &b]).is_err());
+        assert!(hconcat(&[]).is_err());
+    }
+
+    #[test]
+    fn vconcat_stacks_and_rederives() {
+        let a = f1();
+        let b = DataFrame::new(vec![
+            Column::source("c", "x", ColumnData::Int(vec![3])),
+            Column::source("c", "y", ColumnData::Float(vec![0.3])),
+        ])
+        .unwrap();
+        let out = vconcat(&[&a, &b]).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.column("x").unwrap().ints().unwrap(), &[1, 2, 3]);
+        assert_ne!(out.column("x").unwrap().id(), a.column("x").unwrap().id());
+        // Same stacking repeated gives the same lineage.
+        let out2 = vconcat(&[&a, &b]).unwrap();
+        assert_eq!(out.column_ids(), out2.column_ids());
+    }
+
+    #[test]
+    fn vconcat_rejects_schema_mismatch() {
+        let a = f1();
+        let b = f2();
+        assert!(vconcat(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn align_keeps_common_columns_and_ids() {
+        let (a, b) = (f1(), f2());
+        let (la, lb) = align(&a, &b).unwrap();
+        assert_eq!(la.column_names(), vec!["x"]);
+        assert_eq!(lb.column_names(), vec!["x"]);
+        assert_eq!(la.column("x").unwrap().id(), a.column("x").unwrap().id());
+        assert_eq!(lb.column("x").unwrap().id(), b.column("x").unwrap().id());
+        assert_eq!(la.n_rows(), 2);
+    }
+
+    #[test]
+    fn align_with_disjoint_columns_errors() {
+        let a = DataFrame::new(vec![Column::source("a", "p", ColumnData::Int(vec![1]))]).unwrap();
+        let b = DataFrame::new(vec![Column::source("b", "q", ColumnData::Int(vec![1]))]).unwrap();
+        assert!(align(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Categorical encodings. One-hot encoding replaces a single column with
+//! indicator columns — only the encoded column's lineage changes; all other
+//! columns keep their ids (they are untouched).
+
+use crate::column::{Column, ColumnData};
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::hash;
+use std::collections::HashMap;
+
+/// Stable operation signature for [`one_hot`].
+#[must_use]
+pub fn one_hot_signature(col: &str, max_categories: usize) -> u64 {
+    hash::fnv1a_parts(&["one_hot", col, &max_categories.to_string()])
+}
+
+/// One-hot encode a string column.
+///
+/// The `max_categories` most frequent values (ties broken by value, for
+/// determinism) become `Float` indicator columns named `"{col}={value}"`;
+/// rows outside the kept categories are all-zero. The source column is
+/// removed. Indicator ids derive from the encoded column's id plus the
+/// category value.
+pub fn one_hot(df: &DataFrame, col: &str, max_categories: usize) -> Result<DataFrame> {
+    if max_categories == 0 {
+        return Err(DfError::InvalidArgument("one_hot with max_categories=0".to_owned()));
+    }
+    let source = df.column(col)?;
+    let values = source.strs().map_err(|_| DfError::TypeMismatch {
+        column: col.to_owned(),
+        expected: "str",
+        found: source.dtype().name(),
+    })?;
+    let sig = one_hot_signature(col, max_categories);
+
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v.as_str()).or_insert(0) += 1;
+    }
+    let mut cats: Vec<(&str, usize)> = counts.into_iter().collect();
+    // Most frequent first; ties by value so the output is deterministic.
+    cats.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    cats.truncate(max_categories);
+
+    let mut out = df.drop_columns(&[col])?;
+    for (cat, _) in cats {
+        let data: Vec<f64> =
+            values.iter().map(|v| if v == cat { 1.0 } else { 0.0 }).collect();
+        let cat_sig = hash::fnv1a_parts(&["one_hot_cat", cat]);
+        let id = source.id().derive(hash::combine(sig, cat_sig));
+        out = out.with_column(Column::derived(
+            &format!("{col}={cat}"),
+            id,
+            ColumnData::Float(data),
+        ))?;
+    }
+    Ok(out)
+}
+
+/// Stable operation signature for [`label_encode`].
+#[must_use]
+pub fn label_encode_signature(col: &str) -> u64 {
+    hash::fnv1a_parts(&["label_encode", col])
+}
+
+/// Replace a string column with integer codes assigned by sorted value
+/// order (deterministic). Other columns are unaffected.
+pub fn label_encode(df: &DataFrame, col: &str) -> Result<DataFrame> {
+    let source = df.column(col)?;
+    let values = source.strs().map_err(|_| DfError::TypeMismatch {
+        column: col.to_owned(),
+        expected: "str",
+        found: source.dtype().name(),
+    })?;
+    let sig = label_encode_signature(col);
+
+    let mut distinct: Vec<&str> = values.iter().map(String::as_str).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let codes: HashMap<&str, i64> =
+        distinct.iter().enumerate().map(|(i, &v)| (v, i as i64)).collect();
+
+    let encoded: Vec<i64> = values.iter().map(|v| codes[v.as_str()]).collect();
+    df.with_column(Column::derived(col, source.id().derive(sig), ColumnData::Int(encoded)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source(
+                "t",
+                "city",
+                ColumnData::Str(vec!["b".into(), "a".into(), "b".into(), "c".into()]),
+            ),
+            Column::source("t", "v", ColumnData::Int(vec![1, 2, 3, 4])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn one_hot_expands_top_categories() {
+        let d = df();
+        let out = one_hot(&d, "city", 2).unwrap();
+        // "b" (2 occurrences) then "a" (tie with "c", lexicographic).
+        assert_eq!(out.column_names(), vec!["v", "city=b", "city=a"]);
+        assert_eq!(out.column("city=b").unwrap().floats().unwrap(), &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(out.column("city=a").unwrap().floats().unwrap(), &[0.0, 1.0, 0.0, 0.0]);
+        // Untouched column keeps its id.
+        assert_eq!(out.column("v").unwrap().id(), d.column("v").unwrap().id());
+    }
+
+    #[test]
+    fn one_hot_lineage_per_category() {
+        let out = one_hot(&df(), "city", 3).unwrap();
+        let ids: Vec<_> = ["city=b", "city=a", "city=c"]
+            .iter()
+            .map(|n| out.column(n).unwrap().id())
+            .collect();
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[1], ids[2]);
+        let out2 = one_hot(&df(), "city", 3).unwrap();
+        assert_eq!(out.column_ids(), out2.column_ids());
+    }
+
+    #[test]
+    fn one_hot_rejects_non_string() {
+        assert!(one_hot(&df(), "v", 2).is_err());
+        assert!(one_hot(&df(), "city", 0).is_err());
+    }
+
+    #[test]
+    fn label_encode_assigns_sorted_codes() {
+        let d = df();
+        let out = label_encode(&d, "city").unwrap();
+        assert_eq!(out.column("city").unwrap().ints().unwrap(), &[1, 0, 1, 2]);
+        assert_ne!(out.column("city").unwrap().id(), d.column("city").unwrap().id());
+        assert_eq!(out.column("v").unwrap().id(), d.column("v").unwrap().id());
+    }
+}

@@ -1,0 +1,287 @@
+//! Row filtering. A row filter changes the content of *every* column, so all
+//! output column ids are derived from the filter's signature.
+
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::hash::{self, float_digest};
+
+/// A row predicate over one or more columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Numeric `column > value`.
+    GtF { col: String, value: f64 },
+    /// Numeric `column >= value`.
+    GeF { col: String, value: f64 },
+    /// Numeric `column < value`.
+    LtF { col: String, value: f64 },
+    /// Numeric `column <= value`.
+    LeF { col: String, value: f64 },
+    /// Integer equality.
+    EqI { col: String, value: i64 },
+    /// Integer inequality.
+    NeI { col: String, value: i64 },
+    /// String equality.
+    EqS { col: String, value: String },
+    /// String membership.
+    IsIn { col: String, values: Vec<String> },
+    /// The column value is present (not `NaN`).
+    NotNa { col: String },
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column > value` on a numeric column.
+    #[must_use]
+    pub fn gt_f(col: &str, value: f64) -> Self {
+        Predicate::GtF { col: col.to_owned(), value }
+    }
+
+    /// `column < value` on a numeric column.
+    #[must_use]
+    pub fn lt_f(col: &str, value: f64) -> Self {
+        Predicate::LtF { col: col.to_owned(), value }
+    }
+
+    /// `column >= value` on a numeric column.
+    #[must_use]
+    pub fn ge_f(col: &str, value: f64) -> Self {
+        Predicate::GeF { col: col.to_owned(), value }
+    }
+
+    /// `column <= value` on a numeric column.
+    #[must_use]
+    pub fn le_f(col: &str, value: f64) -> Self {
+        Predicate::LeF { col: col.to_owned(), value }
+    }
+
+    /// Integer equality.
+    #[must_use]
+    pub fn eq_i(col: &str, value: i64) -> Self {
+        Predicate::EqI { col: col.to_owned(), value }
+    }
+
+    /// String equality.
+    #[must_use]
+    pub fn eq_s(col: &str, value: &str) -> Self {
+        Predicate::EqS { col: col.to_owned(), value: value.to_owned() }
+    }
+
+    /// Value is present (not `NaN`/null).
+    #[must_use]
+    pub fn not_na(col: &str) -> Self {
+        Predicate::NotNa { col: col.to_owned() }
+    }
+
+    /// Conjunction.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// A stable textual digest of the predicate.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        match self {
+            Predicate::GtF { col, value } => format!("({col}>{})", float_digest(*value)),
+            Predicate::GeF { col, value } => format!("({col}>={})", float_digest(*value)),
+            Predicate::LtF { col, value } => format!("({col}<{})", float_digest(*value)),
+            Predicate::LeF { col, value } => format!("({col}<={})", float_digest(*value)),
+            Predicate::EqI { col, value } => format!("({col}=={value})"),
+            Predicate::NeI { col, value } => format!("({col}!={value})"),
+            Predicate::EqS { col, value } => format!("({col}=='{value}')"),
+            Predicate::IsIn { col, values } => format!("({col} in [{}])", values.join(",")),
+            Predicate::NotNa { col } => format!("(notna {col})"),
+            Predicate::And(a, b) => format!("({}&{})", a.digest(), b.digest()),
+            Predicate::Or(a, b) => format!("({}|{})", a.digest(), b.digest()),
+            Predicate::Not(p) => format!("(!{})", p.digest()),
+        }
+    }
+
+    /// Evaluate the predicate to a row mask.
+    pub fn eval(&self, df: &DataFrame) -> Result<Vec<bool>> {
+        match self {
+            Predicate::GtF { col, value } => numeric_mask(df, col, |x| x > *value),
+            Predicate::GeF { col, value } => numeric_mask(df, col, |x| x >= *value),
+            Predicate::LtF { col, value } => numeric_mask(df, col, |x| x < *value),
+            Predicate::LeF { col, value } => numeric_mask(df, col, |x| x <= *value),
+            Predicate::EqI { col, value } => {
+                Ok(df.column(col)?.ints()?.iter().map(|&x| x == *value).collect())
+            }
+            Predicate::NeI { col, value } => {
+                Ok(df.column(col)?.ints()?.iter().map(|&x| x != *value).collect())
+            }
+            Predicate::EqS { col, value } => {
+                Ok(df.column(col)?.strs()?.iter().map(|x| x == value).collect())
+            }
+            Predicate::IsIn { col, values } => {
+                let set: std::collections::HashSet<&str> =
+                    values.iter().map(String::as_str).collect();
+                Ok(df.column(col)?.strs()?.iter().map(|x| set.contains(x.as_str())).collect())
+            }
+            Predicate::NotNa { col } => numeric_mask(df, col, |x| !x.is_nan()),
+            Predicate::And(a, b) => {
+                let (ma, mb) = (a.eval(df)?, b.eval(df)?);
+                Ok(ma.iter().zip(&mb).map(|(&x, &y)| x && y).collect())
+            }
+            Predicate::Or(a, b) => {
+                let (ma, mb) = (a.eval(df)?, b.eval(df)?);
+                Ok(ma.iter().zip(&mb).map(|(&x, &y)| x || y).collect())
+            }
+            Predicate::Not(p) => Ok(p.eval(df)?.iter().map(|&x| !x).collect()),
+        }
+    }
+}
+
+fn numeric_mask(df: &DataFrame, col: &str, pred: impl Fn(f64) -> bool) -> Result<Vec<bool>> {
+    let values = df.column(col)?.to_f64()?;
+    Ok(values.into_iter().map(pred).collect())
+}
+
+/// Stable operation signature for [`filter`].
+#[must_use]
+pub fn filter_signature(pred: &Predicate) -> u64 {
+    hash::fnv1a_parts(&["filter", &pred.digest()])
+}
+
+/// Keep the rows satisfying `pred`. All column ids are re-derived.
+pub fn filter(df: &DataFrame, pred: &Predicate) -> Result<DataFrame> {
+    let mask = pred.eval(df)?;
+    let op = filter_signature(pred);
+    if mask.len() != df.n_rows() {
+        return Err(DfError::LengthMismatch {
+            expected: df.n_rows(),
+            found: mask.len(),
+            context: "filter mask".to_owned(),
+        });
+    }
+    let indices: Vec<usize> =
+        mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+    Ok(df.take_rows(&indices).map_ids(|id| id.derive(op)))
+}
+
+/// Stable operation signature for [`dropna`].
+#[must_use]
+pub fn dropna_signature(subset: &[&str]) -> u64 {
+    let mut parts = vec!["dropna"];
+    parts.extend_from_slice(subset);
+    hash::fnv1a_parts(&parts)
+}
+
+/// Drop rows with a missing value in any of `subset` (all columns if the
+/// subset is empty). Numeric columns treat `NaN` as missing; strings treat
+/// the empty string as missing.
+pub fn dropna(df: &DataFrame, subset: &[&str]) -> Result<DataFrame> {
+    let cols: Vec<&str> = if subset.is_empty() {
+        df.column_names()
+    } else {
+        subset.to_vec()
+    };
+    let mut mask = vec![true; df.n_rows()];
+    for name in &cols {
+        let col = df.column(name)?;
+        match col.strs() {
+            Ok(strs) => {
+                for (m, s) in mask.iter_mut().zip(strs) {
+                    *m &= !s.is_empty();
+                }
+            }
+            Err(_) => {
+                let values = col.to_f64()?;
+                for (m, v) in mask.iter_mut().zip(&values) {
+                    *m &= !v.is_nan();
+                }
+            }
+        }
+    }
+    let op = dropna_signature(subset);
+    let indices: Vec<usize> =
+        mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+    Ok(df.take_rows(&indices).map_ids(|id| id.derive(op)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, ColumnData};
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float(vec![1.0, f64::NAN, 3.0, 4.0])),
+            Column::source("t", "k", ColumnData::Int(vec![1, 2, 1, 3])),
+            Column::source(
+                "t",
+                "s",
+                ColumnData::Str(vec!["a".into(), "b".into(), String::new(), "a".into()]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_filter() {
+        let out = filter(&df(), &Predicate::gt_f("x", 2.0)).unwrap();
+        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[3.0, 4.0]);
+        assert_eq!(out.column("k").unwrap().ints().unwrap(), &[1, 3]);
+    }
+
+    #[test]
+    fn nan_rows_never_match_comparisons() {
+        let out = filter(&df(), &Predicate::lt_f("x", 10.0)).unwrap();
+        assert_eq!(out.n_rows(), 3); // NaN row dropped by the comparison
+    }
+
+    #[test]
+    fn compound_predicates() {
+        let p = Predicate::gt_f("x", 0.0).and(Predicate::eq_i("k", 1));
+        let out = filter(&df(), &p).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        let p = Predicate::eq_s("s", "a").or(Predicate::eq_i("k", 2));
+        let out = filter(&df(), &p).unwrap();
+        assert_eq!(out.n_rows(), 3);
+    }
+
+    #[test]
+    fn filter_rederives_all_ids_deterministically() {
+        let d = df();
+        let a = filter(&d, &Predicate::eq_i("k", 1)).unwrap();
+        let b = filter(&d, &Predicate::eq_i("k", 1)).unwrap();
+        let c = filter(&d, &Predicate::eq_i("k", 2)).unwrap();
+        assert_eq!(a.column_ids(), b.column_ids());
+        assert_ne!(a.column_ids(), c.column_ids());
+        assert_ne!(a.column("x").unwrap().id(), d.column("x").unwrap().id());
+    }
+
+    #[test]
+    fn dropna_handles_floats_and_strings() {
+        let out = dropna(&df(), &[]).unwrap();
+        assert_eq!(out.n_rows(), 2); // row1 NaN x, row2 empty s
+        let out = dropna(&df(), &["x"]).unwrap();
+        assert_eq!(out.n_rows(), 3);
+    }
+
+    #[test]
+    fn digests_are_unique() {
+        let a = Predicate::gt_f("x", 1.0);
+        let b = Predicate::gt_f("x", 2.0);
+        let c = Predicate::ge_f("x", 1.0);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(filter_signature(&a), filter_signature(&b));
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        assert!(filter(&df(), &Predicate::gt_f("zz", 0.0)).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Group-by aggregation. The output is a new table (one row per key), so
+//! every output column id is derived: the key column from the key's id, each
+//! aggregate column from the (key, value) id pair plus the aggregate name.
+
+use crate::column::{Column, ColumnData, ColumnId};
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::hash;
+use crate::ops::AggFn;
+use std::collections::HashMap;
+
+/// Stable operation signature for [`groupby_agg`].
+#[must_use]
+pub fn groupby_signature(key: &str, aggs: &[(&str, AggFn)]) -> u64 {
+    let mut parts: Vec<String> = vec!["groupby".to_owned(), key.to_owned()];
+    for (col, f) in aggs {
+        parts.push(format!("{col}:{}", f.name()));
+    }
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    hash::fnv1a_parts(&refs)
+}
+
+/// Group rows by an integer or string key and compute the requested
+/// aggregates over numeric columns. Output rows are sorted by key for
+/// determinism; aggregate columns are named `"{col}_{agg}"`.
+pub fn groupby_agg(df: &DataFrame, key: &str, aggs: &[(&str, AggFn)]) -> Result<DataFrame> {
+    if aggs.is_empty() {
+        return Err(DfError::InvalidArgument("groupby with no aggregates".to_owned()));
+    }
+    let sig = groupby_signature(key, aggs);
+    let key_col = df.column(key)?;
+
+    // Group row indices by key, preserving a sortable representation.
+    enum Keys {
+        Int(Vec<i64>),
+        Str(Vec<String>),
+    }
+    let (groups, keys): (Vec<Vec<usize>>, Keys) = match key_col.ints() {
+        Ok(ints) => {
+            let mut map: HashMap<i64, Vec<usize>> = HashMap::new();
+            for (i, &k) in ints.iter().enumerate() {
+                map.entry(k).or_default().push(i);
+            }
+            let mut pairs: Vec<(i64, Vec<usize>)> = map.into_iter().collect();
+            pairs.sort_unstable_by_key(|(k, _)| *k);
+            let (ks, gs): (Vec<i64>, Vec<Vec<usize>>) = pairs.into_iter().unzip();
+            (gs, Keys::Int(ks))
+        }
+        Err(_) => {
+            let strs = key_col.strs().map_err(|_| DfError::TypeMismatch {
+                column: key.to_owned(),
+                expected: "int or str key",
+                found: key_col.dtype().name(),
+            })?;
+            let mut map: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (i, k) in strs.iter().enumerate() {
+                map.entry(k.as_str()).or_default().push(i);
+            }
+            let mut pairs: Vec<(&str, Vec<usize>)> = map.into_iter().collect();
+            pairs.sort_unstable_by_key(|(k, _)| *k);
+            let (ks, gs): (Vec<&str>, Vec<Vec<usize>>) = pairs.into_iter().unzip();
+            (gs, Keys::Str(ks.into_iter().map(str::to_owned).collect()))
+        }
+    };
+
+    let mut out: Vec<Column> = Vec::with_capacity(aggs.len() + 1);
+    let key_data = match keys {
+        Keys::Int(ks) => ColumnData::Int(ks),
+        Keys::Str(ks) => ColumnData::Str(ks),
+    };
+    out.push(Column::derived(key, key_col.id().derive(sig), key_data));
+
+    for (col, f) in aggs {
+        let value_col = df.column(col)?;
+        let values = value_col.to_f64()?;
+        let agg_sig = hash::fnv1a_parts(&["groupby_agg", key, col, f.name()]);
+        let agged: Vec<f64> = groups
+            .iter()
+            .map(|rows| {
+                let slice: Vec<f64> = rows.iter().map(|&i| values[i]).collect();
+                f.apply(&slice)
+            })
+            .collect();
+        let id = ColumnId::derive_many(&[key_col.id(), value_col.id()], hash::combine(sig, agg_sig));
+        out.push(Column::derived(&format!("{col}_{}", f.name()), id, ColumnData::Float(agged)));
+    }
+    DataFrame::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "k", ColumnData::Int(vec![2, 1, 2, 1, 2])),
+            Column::source("t", "v", ColumnData::Float(vec![1.0, 2.0, 3.0, 4.0, f64::NAN])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_sorted_by_key() {
+        let out = groupby_agg(&df(), "k", &[("v", AggFn::Sum), ("v", AggFn::Count)]).unwrap();
+        assert_eq!(out.column_names(), vec!["k", "v_sum", "v_count"]);
+        assert_eq!(out.column("k").unwrap().ints().unwrap(), &[1, 2]);
+        assert_eq!(out.column("v_sum").unwrap().floats().unwrap(), &[6.0, 4.0]);
+        assert_eq!(out.column("v_count").unwrap().floats().unwrap(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn string_keys() {
+        let d = DataFrame::new(vec![
+            Column::source("t", "k", ColumnData::Str(vec!["b".into(), "a".into(), "b".into()])),
+            Column::source("t", "v", ColumnData::Int(vec![1, 2, 3])),
+        ])
+        .unwrap();
+        let out = groupby_agg(&d, "k", &[("v", AggFn::Mean)]).unwrap();
+        assert_eq!(out.column("k").unwrap().strs().unwrap(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(out.column("v_mean").unwrap().floats().unwrap(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn lineage_is_deterministic_and_param_sensitive() {
+        let d = df();
+        let a = groupby_agg(&d, "k", &[("v", AggFn::Sum)]).unwrap();
+        let b = groupby_agg(&d, "k", &[("v", AggFn::Sum)]).unwrap();
+        let c = groupby_agg(&d, "k", &[("v", AggFn::Mean)]).unwrap();
+        assert_eq!(a.column_ids(), b.column_ids());
+        assert_ne!(
+            a.column("v_sum").unwrap().id(),
+            c.column("v_mean").unwrap().id()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let d = df();
+        assert!(groupby_agg(&d, "k", &[]).is_err());
+        assert!(groupby_agg(&d, "missing", &[("v", AggFn::Sum)]).is_err());
+        assert!(groupby_agg(&d, "v", &[("k", AggFn::Sum)]).is_err()); // float key
+    }
+}

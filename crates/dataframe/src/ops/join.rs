@@ -1,0 +1,284 @@
+//! Hash joins on integer keys. Joins rearrange rows on both sides, so every
+//! output column id is derived from the join signature *mixed with the input
+//! column ids of both frames* — joining the same left frame against two
+//! different right frames must produce different lineage.
+
+use crate::column::{Column, ColumnData, ColumnId};
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::hash;
+use std::collections::HashMap;
+
+/// Stable operation signature for [`inner_join`] (artifact-level: name +
+/// parameters only; the column-id derivation additionally mixes input ids).
+#[must_use]
+pub fn join_signature(on: &str) -> u64 {
+    hash::fnv1a_parts(&["inner_join", on])
+}
+
+/// Stable operation signature for [`left_join`].
+#[must_use]
+pub fn left_join_signature(on: &str) -> u64 {
+    hash::fnv1a_parts(&["left_join", on])
+}
+
+/// The hash an output column id is derived from: the join signature combined
+/// with the full column-id lineage of both inputs.
+fn col_derivation_hash(sig: u64, left: &DataFrame, right: &DataFrame) -> u64 {
+    let mut parts = vec![sig];
+    parts.extend(left.column_ids().iter().map(|c| c.0));
+    parts.push(u64::MAX); // separator between sides
+    parts.extend(right.column_ids().iter().map(|c| c.0));
+    hash::combine_all(&parts)
+}
+
+/// Inner join on an integer key column present in both frames.
+///
+/// Output columns: the key (from the left side), then left non-key columns,
+/// then right non-key columns. A right column whose name collides with a left
+/// column is suffixed with `_r`. Matches are emitted in left-row order; for
+/// duplicate keys every pair is produced (standard equi-join semantics).
+pub fn inner_join(left: &DataFrame, right: &DataFrame, on: &str) -> Result<DataFrame> {
+    join_impl(left, right, on, false)
+}
+
+/// Left outer join on an integer key column.
+///
+/// Unmatched left rows appear once, with right-side values missing:
+/// numeric right columns are promoted to `Float` with `NaN`, strings become
+/// empty.
+pub fn left_join(left: &DataFrame, right: &DataFrame, on: &str) -> Result<DataFrame> {
+    join_impl(left, right, on, true)
+}
+
+fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Result<DataFrame> {
+    let lkey = left.column(on)?.ints().map_err(|_| DfError::TypeMismatch {
+        column: on.to_owned(),
+        expected: "int key",
+        found: left.column(on).map(|c| c.dtype().name()).unwrap_or("?"),
+    })?;
+    let rkey = right.column(on)?.ints().map_err(|_| DfError::TypeMismatch {
+        column: on.to_owned(),
+        expected: "int key",
+        found: right.column(on).map(|c| c.dtype().name()).unwrap_or("?"),
+    })?;
+
+    // Build key -> right-row-indices map.
+    let mut index: HashMap<i64, Vec<usize>> = HashMap::with_capacity(rkey.len());
+    for (i, &k) in rkey.iter().enumerate() {
+        index.entry(k).or_default().push(i);
+    }
+
+    // Matched row pairs; `None` on the right marks an unmatched outer row.
+    let mut lrows: Vec<usize> = Vec::new();
+    let mut rrows: Vec<Option<usize>> = Vec::new();
+    for (i, k) in lkey.iter().enumerate() {
+        match index.get(k) {
+            Some(matches) => {
+                for &j in matches {
+                    lrows.push(i);
+                    rrows.push(Some(j));
+                }
+            }
+            None if outer => {
+                lrows.push(i);
+                rrows.push(None);
+            }
+            None => {}
+        }
+    }
+
+    let sig = if outer { left_join_signature(on) } else { join_signature(on) };
+    let dh = col_derivation_hash(sig, left, right);
+
+    // When every left row maps to exactly one output row in order (a 1:1
+    // or left join against a unique-keyed right side), the left columns'
+    // *content* is untouched — they keep their lineage ids and share their
+    // buffers, which is a major deduplication win for the join-chain
+    // feature pipelines of the paper's Workloads 2 and 3.
+    let left_preserved =
+        lrows.len() == left.n_rows() && lrows.iter().enumerate().all(|(i, &r)| i == r);
+
+    let mut out: Vec<Column> = Vec::with_capacity(left.n_cols() + right.n_cols() - 1);
+
+    if left_preserved {
+        out.extend(left.columns().iter().cloned());
+    } else {
+        // Key column: derived from both key ids.
+        let key_id = ColumnId::derive_many(&[left.column(on)?.id(), right.column(on)?.id()], dh);
+        let key_data = ColumnData::Int(lrows.iter().map(|&i| lkey[i]).collect());
+        out.push(Column::derived(on, key_id, key_data));
+
+        for c in left.columns().iter().filter(|c| c.name() != on) {
+            out.push(Column::derived(c.name(), c.id().derive(dh), c.data().take(&lrows)));
+        }
+    }
+
+    let left_names: Vec<String> = left.column_names().iter().map(|s| (*s).to_owned()).collect();
+    for c in right.columns().iter().filter(|c| c.name() != on) {
+        let name = if left_names.iter().any(|n| n == c.name()) {
+            format!("{}_r", c.name())
+        } else {
+            c.name().to_owned()
+        };
+        let data = gather_right(c.data(), &rrows);
+        out.push(Column::derived(&name, c.id().derive(dh), data));
+    }
+
+    DataFrame::new(out)
+}
+
+/// Gather right-side rows, filling missing positions for outer joins.
+fn gather_right(data: &ColumnData, rows: &[Option<usize>]) -> ColumnData {
+    match data {
+        ColumnData::Int(v) => {
+            // Missing ints force promotion to float (pandas semantics).
+            if rows.iter().any(Option::is_none) {
+                ColumnData::Float(
+                    rows.iter().map(|r| r.map_or(f64::NAN, |i| v[i] as f64)).collect(),
+                )
+            } else {
+                ColumnData::Int(rows.iter().map(|r| v[r.unwrap()]).collect())
+            }
+        }
+        ColumnData::Float(v) => {
+            ColumnData::Float(rows.iter().map(|r| r.map_or(f64::NAN, |i| v[i])).collect())
+        }
+        ColumnData::Bool(v) => {
+            if rows.iter().any(Option::is_none) {
+                ColumnData::Float(rows
+                    .iter()
+                    .map(|r| r.map_or(f64::NAN, |i| if v[i] { 1.0 } else { 0.0 }))
+                    .collect())
+            } else {
+                ColumnData::Bool(rows.iter().map(|r| v[r.unwrap()]).collect())
+            }
+        }
+        ColumnData::Str(v) => ColumnData::Str(
+            rows.iter().map(|r| r.map_or_else(String::new, |i| v[i].clone())).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("l", "id", ColumnData::Int(vec![1, 2, 3, 2])),
+            Column::source("l", "x", ColumnData::Float(vec![10.0, 20.0, 30.0, 21.0])),
+        ])
+        .unwrap()
+    }
+
+    fn right() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![2, 3, 4])),
+            Column::source("r", "y", ColumnData::Int(vec![200, 300, 400])),
+            Column::source("r", "x", ColumnData::Str(vec!["a".into(), "b".into(), "c".into()])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_and_renames() {
+        let out = inner_join(&left(), &right(), "id").unwrap();
+        assert_eq!(out.column_names(), vec!["id", "x", "y", "x_r"]);
+        assert_eq!(out.column("id").unwrap().ints().unwrap(), &[2, 3, 2]);
+        assert_eq!(out.column("y").unwrap().ints().unwrap(), &[200, 300, 200]);
+        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[20.0, 30.0, 21.0]);
+    }
+
+    #[test]
+    fn left_join_fills_missing() {
+        let out = left_join(&left(), &right(), "id").unwrap();
+        assert_eq!(out.n_rows(), 4);
+        let y = out.column("y").unwrap().floats().unwrap(); // promoted to float
+        assert!(y[0].is_nan()); // id=1 unmatched
+        assert_eq!(y[1], 200.0);
+        let s = out.column("x_r").unwrap().strs().unwrap();
+        assert_eq!(s[0], "");
+    }
+
+    #[test]
+    fn duplicate_right_keys_multiply_rows() {
+        let right = DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![2, 2])),
+            Column::source("r", "y", ColumnData::Int(vec![1, 2])),
+        ])
+        .unwrap();
+        let out = inner_join(&left(), &right, "id").unwrap();
+        assert_eq!(out.n_rows(), 4); // two left id=2 rows x two right rows
+    }
+
+    #[test]
+    fn join_lineage_depends_on_right_frame() {
+        let l = left();
+        let r1 = right();
+        let r2 = DataFrame::new(vec![
+            Column::source("r2", "id", ColumnData::Int(vec![2, 3, 4])),
+            Column::source("r2", "y", ColumnData::Int(vec![200, 300, 400])),
+        ])
+        .unwrap();
+        let a = inner_join(&l, &r1, "id").unwrap();
+        let b = inner_join(&l, &r2, "id").unwrap();
+        // x survives both joins but came through different operations.
+        assert_ne!(a.column("x").unwrap().id(), b.column("x").unwrap().id());
+        // Deterministic: repeating the same join reproduces the same ids.
+        let a2 = inner_join(&l, &r1, "id").unwrap();
+        assert_eq!(a.column_ids(), a2.column_ids());
+    }
+
+    #[test]
+    fn one_to_one_left_join_preserves_left_lineage() {
+        let l = left();
+        // Unique-keyed right side covering no/partial keys: a left join
+        // keeps every left row in order, so left columns pass through.
+        let unique_right = DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![1, 2, 3])),
+            Column::source("r", "score", ColumnData::Float(vec![0.1, 0.2, 0.3])),
+        ])
+        .unwrap();
+        let out = left_join(&l, &unique_right, "id").unwrap();
+        assert_eq!(out.column("id").unwrap().id(), l.column("id").unwrap().id());
+        assert_eq!(out.column("x").unwrap().id(), l.column("x").unwrap().id());
+        assert!(std::sync::Arc::ptr_eq(
+            out.column("x").unwrap().data(),
+            l.column("x").unwrap().data()
+        ));
+        // The gathered right column is still derived.
+        assert_ne!(
+            out.column("score").unwrap().id(),
+            unique_right.column("score").unwrap().id()
+        );
+        // A join that drops rows must NOT preserve ids.
+        let partial_right = DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![2, 3])),
+            Column::source("r", "score", ColumnData::Float(vec![0.2, 0.3])),
+        ])
+        .unwrap();
+        let inner = inner_join(&l, &partial_right, "id").unwrap();
+        assert_ne!(inner.column("x").unwrap().id(), l.column("x").unwrap().id());
+        // A row-multiplying join must not preserve ids either.
+        let dup_right = DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![1, 1, 2, 3])),
+            Column::source("r", "score", ColumnData::Float(vec![0.1, 0.15, 0.2, 0.3])),
+        ])
+        .unwrap();
+        let multi = left_join(&l, &dup_right, "id").unwrap();
+        assert_ne!(multi.column("x").unwrap().id(), l.column("x").unwrap().id());
+    }
+
+    #[test]
+    fn string_key_is_rejected() {
+        let bad = DataFrame::new(vec![Column::source(
+            "b",
+            "id",
+            ColumnData::Str(vec!["x".into()]),
+        )])
+        .unwrap();
+        assert!(inner_join(&bad, &right(), "id").is_err());
+        assert!(inner_join(&left(), &bad, "id").is_err());
+    }
+}

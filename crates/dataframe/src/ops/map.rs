@@ -1,0 +1,322 @@
+//! Column maps: unary numeric transforms, binary column arithmetic, and
+//! string feature extraction. Only the produced/replaced column is affected;
+//! every other column keeps its id.
+
+use crate::column::{Column, ColumnData, ColumnId};
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::hash::{self, float_digest};
+
+/// Unary numeric transforms (input is viewed as `f64`, output is `Float`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapFn {
+    /// `ln(1 + x)`.
+    Log1p,
+    /// Absolute value.
+    Abs,
+    /// `sqrt(|x|)` (safe square root).
+    Sqrt,
+    /// Negation.
+    Neg,
+    /// Add a constant.
+    AddConst(f64),
+    /// Multiply by a constant.
+    MulConst(f64),
+    /// Raise to a constant power.
+    PowConst(f64),
+    /// Clamp into `[lo, hi]`.
+    Clip { lo: f64, hi: f64 },
+    /// Replace missing (`NaN`) values with a constant.
+    FillNa(f64),
+    /// 1.0 where the value is missing, else 0.0.
+    IsNa,
+    /// Bucket index by sorted edges: output `i` where
+    /// `edges[i-1] <= x < edges[i]` (0 below the first edge, `len`
+    /// at/above the last; `NaN` stays `NaN`).
+    Bucketize(Vec<f64>),
+}
+
+impl MapFn {
+    /// Stable digest of the transform and its parameters.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        match self {
+            MapFn::Log1p => "log1p".to_owned(),
+            MapFn::Abs => "abs".to_owned(),
+            MapFn::Sqrt => "sqrt".to_owned(),
+            MapFn::Neg => "neg".to_owned(),
+            MapFn::AddConst(c) => format!("add({})", float_digest(*c)),
+            MapFn::MulConst(c) => format!("mul({})", float_digest(*c)),
+            MapFn::PowConst(c) => format!("pow({})", float_digest(*c)),
+            MapFn::Clip { lo, hi } => format!("clip({},{})", float_digest(*lo), float_digest(*hi)),
+            MapFn::FillNa(c) => format!("fillna({})", float_digest(*c)),
+            MapFn::IsNa => "isna".to_owned(),
+            MapFn::Bucketize(edges) => {
+                let rendered: Vec<String> = edges.iter().map(|e| float_digest(*e)).collect();
+                format!("bucketize({})", rendered.join(","))
+            }
+        }
+    }
+
+    /// Apply the transform to one value.
+    #[must_use]
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            MapFn::Log1p => x.ln_1p(),
+            MapFn::Abs => x.abs(),
+            MapFn::Sqrt => x.abs().sqrt(),
+            MapFn::Neg => -x,
+            MapFn::AddConst(c) => x + c,
+            MapFn::MulConst(c) => x * c,
+            MapFn::PowConst(c) => x.powf(*c),
+            MapFn::Clip { lo, hi } => x.clamp(*lo, *hi),
+            MapFn::FillNa(c) => {
+                if x.is_nan() {
+                    *c
+                } else {
+                    x
+                }
+            }
+            MapFn::IsNa => {
+                if x.is_nan() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            MapFn::Bucketize(edges) => {
+                if x.is_nan() {
+                    f64::NAN
+                } else {
+                    edges.partition_point(|&e| e <= x) as f64
+                }
+            }
+        }
+    }
+}
+
+/// Binary arithmetic between two numeric columns (output is `Float`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinFn {
+    /// Elementwise sum.
+    Add,
+    /// Elementwise difference.
+    Sub,
+    /// Elementwise product.
+    Mul,
+    /// Elementwise quotient (`NaN` where the divisor is 0).
+    Div,
+}
+
+impl BinFn {
+    /// Short stable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BinFn::Add => "add",
+            BinFn::Sub => "sub",
+            BinFn::Mul => "mul",
+            BinFn::Div => "div",
+        }
+    }
+
+    /// Apply to one pair of values.
+    #[must_use]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinFn::Add => a + b,
+            BinFn::Sub => a - b,
+            BinFn::Mul => a * b,
+            BinFn::Div => {
+                if b == 0.0 {
+                    f64::NAN
+                } else {
+                    a / b
+                }
+            }
+        }
+    }
+}
+
+/// String-derived numeric features (output is `Float`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrFn {
+    /// Character count.
+    Len,
+    /// Whitespace-separated token count.
+    WordCount,
+}
+
+impl StrFn {
+    /// Short stable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StrFn::Len => "len",
+            StrFn::WordCount => "word_count",
+        }
+    }
+
+    /// Apply to one string.
+    #[must_use]
+    pub fn apply(self, s: &str) -> f64 {
+        match self {
+            StrFn::Len => s.chars().count() as f64,
+            StrFn::WordCount => s.split_whitespace().count() as f64,
+        }
+    }
+}
+
+/// Stable operation signature for [`map_column`].
+#[must_use]
+pub fn map_signature(col: &str, f: &MapFn, out_name: &str) -> u64 {
+    hash::fnv1a_parts(&["map", col, &f.digest(), out_name])
+}
+
+/// Apply a unary transform to `col`, writing the result to `out_name`
+/// (replacing `col` when the names are equal). The output column id is
+/// derived from the op signature and the input column id; all other columns
+/// are unaffected.
+pub fn map_column(df: &DataFrame, col: &str, f: &MapFn, out_name: &str) -> Result<DataFrame> {
+    let input = df.column(col)?;
+    let op = map_signature(col, f, out_name);
+    let values: Vec<f64> = input.to_f64()?.into_iter().map(|x| f.apply(x)).collect();
+    let out = Column::derived(out_name, input.id().derive(op), ColumnData::Float(values));
+    df.with_column(out)
+}
+
+/// Stable operation signature for [`binary_op`].
+#[must_use]
+pub fn binary_op_signature(left: &str, right: &str, f: BinFn, out_name: &str) -> u64 {
+    hash::fnv1a_parts(&["binop", left, right, f.name(), out_name])
+}
+
+/// Elementwise arithmetic on two numeric columns, written to `out_name`.
+pub fn binary_op(
+    df: &DataFrame,
+    left: &str,
+    right: &str,
+    f: BinFn,
+    out_name: &str,
+) -> Result<DataFrame> {
+    let (lc, rc) = (df.column(left)?, df.column(right)?);
+    let op = binary_op_signature(left, right, f, out_name);
+    let (lv, rv) = (lc.to_f64()?, rc.to_f64()?);
+    let values: Vec<f64> = lv.iter().zip(&rv).map(|(&a, &b)| f.apply(a, b)).collect();
+    let id = ColumnId::derive_many(&[lc.id(), rc.id()], op);
+    df.with_column(Column::derived(out_name, id, ColumnData::Float(values)))
+}
+
+/// Stable operation signature for [`str_feature`].
+#[must_use]
+pub fn str_feature_signature(col: &str, f: StrFn, out_name: &str) -> u64 {
+    hash::fnv1a_parts(&["strfeat", col, f.name(), out_name])
+}
+
+/// Extract a numeric feature from a string column into `out_name`.
+pub fn str_feature(df: &DataFrame, col: &str, f: StrFn, out_name: &str) -> Result<DataFrame> {
+    let input = df.column(col)?;
+    let op = str_feature_signature(col, f, out_name);
+    let values: Vec<f64> = input.strs()?.iter().map(|s| f.apply(s)).collect();
+    df.with_column(Column::derived(out_name, input.id().derive(op), ColumnData::Float(values)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, ColumnData};
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float(vec![1.0, f64::NAN, -3.0])),
+            Column::source("t", "k", ColumnData::Int(vec![2, 4, 0])),
+            Column::source("t", "s", ColumnData::Str(vec!["hello world".into(), "a".into(), "".into()])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn unary_map_creates_derived_column() {
+        let d = df();
+        let out = map_column(&d, "x", &MapFn::Abs, "x_abs").unwrap();
+        assert_eq!(out.n_cols(), 4);
+        let values = out.column("x_abs").unwrap().floats().unwrap();
+        assert_eq!(values[0], 1.0);
+        assert!(values[1].is_nan());
+        assert_eq!(values[2], 3.0);
+        // Untouched columns keep their ids.
+        assert_eq!(out.column("k").unwrap().id(), d.column("k").unwrap().id());
+        assert_ne!(out.column("x_abs").unwrap().id(), d.column("x").unwrap().id());
+    }
+
+    #[test]
+    fn in_place_replacement() {
+        let d = df();
+        let out = map_column(&d, "x", &MapFn::FillNa(0.0), "x").unwrap();
+        assert_eq!(out.n_cols(), 3);
+        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[1.0, 0.0, -3.0]);
+        assert_ne!(out.column("x").unwrap().id(), d.column("x").unwrap().id());
+    }
+
+    #[test]
+    fn every_mapfn_evaluates() {
+        assert!((MapFn::Log1p.apply(0.0)).abs() < 1e-12);
+        assert_eq!(MapFn::Sqrt.apply(-4.0), 2.0);
+        assert_eq!(MapFn::Neg.apply(2.0), -2.0);
+        assert_eq!(MapFn::AddConst(1.0).apply(2.0), 3.0);
+        assert_eq!(MapFn::MulConst(2.0).apply(2.0), 4.0);
+        assert_eq!(MapFn::PowConst(2.0).apply(3.0), 9.0);
+        assert_eq!(MapFn::Clip { lo: 0.0, hi: 1.0 }.apply(5.0), 1.0);
+        assert_eq!(MapFn::IsNa.apply(f64::NAN), 1.0);
+        assert_eq!(MapFn::IsNa.apply(1.0), 0.0);
+        let buckets = MapFn::Bucketize(vec![0.0, 10.0, 20.0]);
+        assert_eq!(buckets.apply(-5.0), 0.0);
+        assert_eq!(buckets.apply(0.0), 1.0);
+        assert_eq!(buckets.apply(15.0), 2.0);
+        assert_eq!(buckets.apply(25.0), 3.0);
+        assert!(buckets.apply(f64::NAN).is_nan());
+        // Digest distinguishes edge sets.
+        assert_ne!(
+            MapFn::Bucketize(vec![1.0]).digest(),
+            MapFn::Bucketize(vec![2.0]).digest()
+        );
+    }
+
+    #[test]
+    fn binary_ops() {
+        let d = df();
+        let out = binary_op(&d, "x", "k", BinFn::Div, "ratio").unwrap();
+        let values = out.column("ratio").unwrap().floats().unwrap();
+        assert_eq!(values[0], 0.5);
+        assert!(values[2].is_nan()); // divide by zero
+    }
+
+    #[test]
+    fn binary_id_depends_on_both_inputs() {
+        let d = df();
+        let a = binary_op(&d, "x", "k", BinFn::Add, "o").unwrap();
+        let b = binary_op(&d, "k", "x", BinFn::Add, "o").unwrap();
+        assert_ne!(a.column("o").unwrap().id(), b.column("o").unwrap().id());
+    }
+
+    #[test]
+    fn string_features() {
+        let d = df();
+        let out = str_feature(&d, "s", StrFn::WordCount, "wc").unwrap();
+        assert_eq!(out.column("wc").unwrap().floats().unwrap(), &[2.0, 1.0, 0.0]);
+        let out = str_feature(&d, "s", StrFn::Len, "len").unwrap();
+        assert_eq!(out.column("len").unwrap().floats().unwrap(), &[11.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn signatures_distinguish_params() {
+        assert_ne!(
+            map_signature("x", &MapFn::AddConst(1.0), "o"),
+            map_signature("x", &MapFn::AddConst(2.0), "o")
+        );
+        assert_ne!(
+            map_signature("x", &MapFn::Abs, "o"),
+            map_signature("y", &MapFn::Abs, "o")
+        );
+    }
+}

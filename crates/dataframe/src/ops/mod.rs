@@ -1,0 +1,137 @@
+//! Semantic dataframe operations.
+//!
+//! Every operation here follows the paper's column-id lineage rules (§5.3):
+//!
+//! * columns whose **content** is unchanged keep their [`crate::ColumnId`]
+//!   (projection, horizontal concat, alignment, one-hot on *other* columns);
+//! * columns affected by the operation get a new id derived from the
+//!   operation hash and the input id(s), so identical pipelines on identical
+//!   sources converge to identical ids across artifacts.
+//!
+//! Each operation module also exposes a `*_signature` function returning the
+//! stable hash of the operation name and parameters. The graph layer uses
+//! those signatures for artifact identity; the operations themselves use them
+//! (mixed with input column ids where the semantics require it, e.g. joins)
+//! to derive output column ids.
+
+mod concat;
+mod encode;
+mod filter;
+mod groupby;
+mod join;
+mod map;
+mod sample;
+mod sort;
+mod stats;
+
+pub use concat::{align, align_signature, hconcat, hconcat_signature, vconcat, vconcat_signature};
+pub use encode::{
+    label_encode, label_encode_signature, one_hot, one_hot_signature,
+};
+pub use filter::{dropna, dropna_signature, filter, filter_signature, Predicate};
+pub use groupby::{groupby_agg, groupby_signature};
+pub use join::{inner_join, join_signature, left_join, left_join_signature};
+pub use map::{
+    binary_op, binary_op_signature, map_column, map_signature, str_feature,
+    str_feature_signature, BinFn, MapFn, StrFn,
+};
+pub use sample::{sample, sample_signature};
+pub use sort::{sort_by, sort_signature};
+pub use stats::{
+    agg_column, agg_signature, corr_matrix, corr_signature, describe, describe_signature,
+    value_counts, value_counts_signature,
+};
+
+use std::fmt;
+
+/// Aggregation functions used by group-by and whole-column aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Sum of values (missing values ignored).
+    Sum,
+    /// Arithmetic mean (missing values ignored).
+    Mean,
+    /// Minimum (missing values ignored).
+    Min,
+    /// Maximum (missing values ignored).
+    Max,
+    /// Number of non-missing values.
+    Count,
+    /// Population standard deviation (missing values ignored).
+    Std,
+}
+
+impl AggFn {
+    /// Short stable name used in digests and output column names.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Sum => "sum",
+            AggFn::Mean => "mean",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Count => "count",
+            AggFn::Std => "std",
+        }
+    }
+
+    /// Fold a slice of numeric values (NaN = missing) into the aggregate.
+    #[must_use]
+    pub fn apply(self, values: &[f64]) -> f64 {
+        let present = values.iter().copied().filter(|v| !v.is_nan());
+        match self {
+            AggFn::Sum => present.sum(),
+            AggFn::Count => present.count() as f64,
+            AggFn::Mean => {
+                let (sum, n) = present.fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+                if n == 0 {
+                    f64::NAN
+                } else {
+                    sum / n as f64
+                }
+            }
+            AggFn::Min => present.fold(f64::NAN, |acc, v| if acc.is_nan() || v < acc { v } else { acc }),
+            AggFn::Max => present.fold(f64::NAN, |acc, v| if acc.is_nan() || v > acc { v } else { acc }),
+            AggFn::Std => {
+                let vals: Vec<f64> = present.collect();
+                if vals.is_empty() {
+                    return f64::NAN;
+                }
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+                var.sqrt()
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_ignore_missing() {
+        let values = [1.0, f64::NAN, 3.0];
+        assert_eq!(AggFn::Sum.apply(&values), 4.0);
+        assert_eq!(AggFn::Mean.apply(&values), 2.0);
+        assert_eq!(AggFn::Count.apply(&values), 2.0);
+        assert_eq!(AggFn::Min.apply(&values), 1.0);
+        assert_eq!(AggFn::Max.apply(&values), 3.0);
+        assert_eq!(AggFn::Std.apply(&values), 1.0);
+    }
+
+    #[test]
+    fn aggregates_of_all_missing_are_nan_or_zero() {
+        let values = [f64::NAN, f64::NAN];
+        assert!(AggFn::Mean.apply(&values).is_nan());
+        assert!(AggFn::Min.apply(&values).is_nan());
+        assert_eq!(AggFn::Sum.apply(&values), 0.0);
+        assert_eq!(AggFn::Count.apply(&values), 0.0);
+    }
+}

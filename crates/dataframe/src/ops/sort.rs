@@ -1,0 +1,92 @@
+//! Sorting. Reordering rows changes content, so all column ids are derived.
+
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::hash;
+
+/// Stable operation signature for [`sort_by`].
+#[must_use]
+pub fn sort_signature(col: &str, ascending: bool) -> u64 {
+    hash::fnv1a_parts(&["sort", col, if ascending { "asc" } else { "desc" }])
+}
+
+/// Sort rows by a column. Numeric columns sort by value with `NaN` last;
+/// string columns sort lexicographically. The sort is stable.
+pub fn sort_by(df: &DataFrame, col: &str, ascending: bool) -> Result<DataFrame> {
+    let sig = sort_signature(col, ascending);
+    let column = df.column(col)?;
+    let mut indices: Vec<usize> = (0..df.n_rows()).collect();
+    match column.strs() {
+        Ok(strs) => {
+            indices.sort_by(|&a, &b| {
+                let ord = strs[a].cmp(&strs[b]);
+                if ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        Err(_) => {
+            let values = column.to_f64()?;
+            indices.sort_by(|&a, &b| {
+                let (x, y) = (values[a], values[b]);
+                // NaN sorts after everything regardless of direction.
+                let ord = match (x.is_nan(), y.is_nan()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => return std::cmp::Ordering::Greater,
+                    (false, true) => return std::cmp::Ordering::Less,
+                    (false, false) => x.partial_cmp(&y).unwrap(),
+                };
+                if ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+    }
+    Ok(df.take_rows(&indices).map_ids(|id| id.derive(sig)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, ColumnData};
+
+    #[test]
+    fn sorts_numeric_with_nan_last() {
+        let d = DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float(vec![3.0, f64::NAN, 1.0, 2.0])),
+            Column::source("t", "i", ColumnData::Int(vec![0, 1, 2, 3])),
+        ])
+        .unwrap();
+        let asc = sort_by(&d, "x", true).unwrap();
+        assert_eq!(asc.column("i").unwrap().ints().unwrap(), &[2, 3, 0, 1]);
+        let desc = sort_by(&d, "x", false).unwrap();
+        assert_eq!(desc.column("i").unwrap().ints().unwrap(), &[0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn sorts_strings() {
+        let d = DataFrame::new(vec![Column::source(
+            "t",
+            "s",
+            ColumnData::Str(vec!["b".into(), "a".into(), "c".into()]),
+        )])
+        .unwrap();
+        let out = sort_by(&d, "s", true).unwrap();
+        assert_eq!(
+            out.column("s").unwrap().strs().unwrap(),
+            &["a".to_owned(), "b".to_owned(), "c".to_owned()]
+        );
+    }
+
+    #[test]
+    fn direction_changes_lineage() {
+        let d = DataFrame::new(vec![Column::source("t", "x", ColumnData::Int(vec![2, 1]))]).unwrap();
+        let a = sort_by(&d, "x", true).unwrap();
+        let b = sort_by(&d, "x", false).unwrap();
+        assert_ne!(a.column_ids(), b.column_ids());
+    }
+}

@@ -1,0 +1,233 @@
+//! Aggregates and summary statistics. Whole-column aggregates produce
+//! `Aggregate` artifacts (scalars); `value_counts`, `describe`, and
+//! `corr_matrix` produce small derived frames (typical terminal vertices of
+//! exploratory workloads, per the paper's "aggregated data for
+//! visualization").
+
+use crate::column::{Column, ColumnData, ColumnId};
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::hash;
+use crate::ops::AggFn;
+use crate::scalar::Scalar;
+use std::collections::HashMap;
+
+/// Stable operation signature for [`agg_column`].
+#[must_use]
+pub fn agg_signature(col: &str, f: AggFn) -> u64 {
+    hash::fnv1a_parts(&["agg", col, f.name()])
+}
+
+/// Aggregate one numeric column to a scalar.
+pub fn agg_column(df: &DataFrame, col: &str, f: AggFn) -> Result<Scalar> {
+    let values = df.column(col)?.to_f64()?;
+    Ok(Scalar::Float(f.apply(&values)))
+}
+
+/// Stable operation signature for [`value_counts`].
+#[must_use]
+pub fn value_counts_signature(col: &str) -> u64 {
+    hash::fnv1a_parts(&["value_counts", col])
+}
+
+/// Frequency table of a string or integer column, sorted by descending
+/// count (ties by value).
+pub fn value_counts(df: &DataFrame, col: &str) -> Result<DataFrame> {
+    let sig = value_counts_signature(col);
+    let column = df.column(col)?;
+    let rendered: Vec<String> = match column.strs() {
+        Ok(strs) => strs.to_vec(),
+        Err(_) => column
+            .ints()
+            .map_err(|_| DfError::TypeMismatch {
+                column: col.to_owned(),
+                expected: "str or int",
+                found: column.dtype().name(),
+            })?
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+    };
+    let mut counts: HashMap<&str, i64> = HashMap::new();
+    for v in &rendered {
+        *counts.entry(v.as_str()).or_insert(0) += 1;
+    }
+    let mut pairs: Vec<(&str, i64)> = counts.into_iter().collect();
+    pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+    let values: Vec<String> = pairs.iter().map(|(v, _)| (*v).to_owned()).collect();
+    let counts: Vec<i64> = pairs.iter().map(|(_, c)| *c).collect();
+    DataFrame::new(vec![
+        Column::derived(col, column.id().derive(sig), ColumnData::Str(values)),
+        Column::derived(
+            "count",
+            column.id().derive(hash::combine(sig, hash::fnv1a(b"count"))),
+            ColumnData::Int(counts),
+        ),
+    ])
+}
+
+/// Stable operation signature for [`describe`].
+#[must_use]
+pub fn describe_signature() -> u64 {
+    hash::fnv1a(b"describe")
+}
+
+/// Per-numeric-column summary: mean, std, min, max, count.
+pub fn describe(df: &DataFrame) -> Result<DataFrame> {
+    let sig = describe_signature();
+    let numeric: Vec<&Column> =
+        df.columns().iter().filter(|c| c.to_f64().is_ok()).collect();
+    if numeric.is_empty() {
+        return Err(DfError::Empty("describe: no numeric columns".to_owned()));
+    }
+    let names: Vec<String> = numeric.iter().map(|c| c.name().to_owned()).collect();
+    let stats = [AggFn::Mean, AggFn::Std, AggFn::Min, AggFn::Max, AggFn::Count];
+    let ids = ColumnId::derive_many(&numeric.iter().map(|c| c.id()).collect::<Vec<_>>(), sig);
+    let mut cols = vec![Column::derived("column", ids, ColumnData::Str(names))];
+    for f in stats {
+        let values: Vec<f64> = numeric
+            .iter()
+            .map(|c| f.apply(&c.to_f64().expect("filtered to numeric")))
+            .collect();
+        let id = ids.derive(hash::fnv1a_parts(&["describe", f.name()]));
+        cols.push(Column::derived(f.name(), id, ColumnData::Float(values)));
+    }
+    DataFrame::new(cols)
+}
+
+/// Stable operation signature for [`corr_matrix`].
+#[must_use]
+pub fn corr_signature() -> u64 {
+    hash::fnv1a(b"corr")
+}
+
+/// Pearson correlation matrix over the numeric columns, returned as a frame
+/// with a `column` label column plus one column per variable. Rows with
+/// missing values are excluded pairwise.
+pub fn corr_matrix(df: &DataFrame) -> Result<DataFrame> {
+    let sig = corr_signature();
+    let numeric: Vec<(&str, Vec<f64>)> = df
+        .columns()
+        .iter()
+        .filter_map(|c| c.to_f64().ok().map(|v| (c.name(), v)))
+        .collect();
+    if numeric.is_empty() {
+        return Err(DfError::Empty("corr: no numeric columns".to_owned()));
+    }
+    let n = numeric.len();
+    let mut matrix = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let r = pearson(&numeric[i].1, &numeric[j].1);
+            matrix[i][j] = r;
+            matrix[j][i] = r;
+        }
+    }
+    let base = ColumnId::derive_many(&df.column_ids(), sig);
+    let labels: Vec<String> = numeric.iter().map(|(n, _)| (*n).to_owned()).collect();
+    let mut cols = vec![Column::derived("column", base, ColumnData::Str(labels))];
+    for (j, (name, _)) in numeric.iter().enumerate() {
+        let id = base.derive(hash::fnv1a_parts(&["corr_col", name]));
+        let data: Vec<f64> = (0..n).map(|i| matrix[i][j]).collect();
+        cols.push(Column::derived(name, id, ColumnData::Float(data)));
+    }
+    DataFrame::new(cols)
+}
+
+/// Pearson correlation with pairwise-complete observations.
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| !a.is_nan() && !b.is_nan())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    if pairs.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pairs.len() as f64;
+    let (mx, my) = (
+        pairs.iter().map(|(a, _)| a).sum::<f64>() / n,
+        pairs.iter().map(|(_, b)| b).sum::<f64>() / n,
+    );
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in &pairs {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float(vec![1.0, 2.0, 3.0, 4.0])),
+            Column::source("t", "y", ColumnData::Float(vec![2.0, 4.0, 6.0, 8.0])),
+            Column::source("t", "z", ColumnData::Float(vec![4.0, 3.0, 2.0, 1.0])),
+            Column::source("t", "s", ColumnData::Str(vec!["a".into(); 4])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let d = df();
+        assert_eq!(agg_column(&d, "x", AggFn::Mean).unwrap(), Scalar::Float(2.5));
+        assert_eq!(agg_column(&d, "x", AggFn::Max).unwrap(), Scalar::Float(4.0));
+        assert!(agg_column(&d, "s", AggFn::Mean).is_err());
+    }
+
+    #[test]
+    fn value_counts_orders_by_frequency() {
+        let d = DataFrame::new(vec![Column::source(
+            "t",
+            "k",
+            ColumnData::Str(vec!["b".into(), "a".into(), "b".into()]),
+        )])
+        .unwrap();
+        let out = value_counts(&d, "k").unwrap();
+        assert_eq!(out.column("k").unwrap().strs().unwrap(), &["b".to_owned(), "a".to_owned()]);
+        assert_eq!(out.column("count").unwrap().ints().unwrap(), &[2, 1]);
+        // Works on int columns too.
+        let d = DataFrame::new(vec![Column::source("t", "k", ColumnData::Int(vec![5, 5, 1]))])
+            .unwrap();
+        assert_eq!(value_counts(&d, "k").unwrap().n_rows(), 2);
+    }
+
+    #[test]
+    fn describe_covers_numeric_columns() {
+        let out = describe(&df()).unwrap();
+        assert_eq!(out.n_rows(), 3); // x, y, z — s skipped
+        assert_eq!(out.column_names(), vec!["column", "mean", "std", "min", "max", "count"]);
+        assert_eq!(out.column("mean").unwrap().floats().unwrap()[0], 2.5);
+    }
+
+    #[test]
+    fn correlation_matrix() {
+        let out = corr_matrix(&df()).unwrap();
+        let xy = out.column("y").unwrap().floats().unwrap()[0];
+        let xz = out.column("z").unwrap().floats().unwrap()[0];
+        assert!((xy - 1.0).abs() < 1e-12);
+        assert!((xz + 1.0).abs() < 1e-12);
+        let xx = out.column("x").unwrap().floats().unwrap()[0];
+        assert!((xx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_edge_cases() {
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan()); // zero variance
+        let r = pearson(&[1.0, f64::NAN, 3.0], &[1.0, 5.0, 3.0]);
+        assert!((r - 1.0).abs() < 1e-12); // NaN pair skipped
+    }
+}

@@ -1,0 +1,133 @@
+//! Scalar values: the elements of columns and the payload of `Aggregate`
+//! artifacts.
+
+use std::fmt;
+
+/// A single cell value.
+///
+/// Missing data is represented as [`Scalar::Null`]; inside float columns the
+/// engine stores missing values as `NaN` (pandas-style), and conversions map
+/// the two representations onto each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float; `NaN` encodes a missing value.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Missing value.
+    Null,
+}
+
+impl Scalar {
+    /// Numeric view of the scalar: ints, floats and bools cast to `f64`,
+    /// missing values to `NaN`; strings have no numeric view.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(v) => Some(*v as f64),
+            Scalar::Float(v) => Some(*v),
+            Scalar::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Scalar::Null => Some(f64::NAN),
+            Scalar::Str(_) => None,
+        }
+    }
+
+    /// True if the value is missing (`Null` or a float `NaN`).
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        match self {
+            Scalar::Null => true,
+            Scalar::Float(v) => v.is_nan(),
+            _ => false,
+        }
+    }
+
+    /// A stable textual digest used in operation signatures.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        match self {
+            Scalar::Int(v) => format!("i:{v}"),
+            Scalar::Float(v) => format!("f:{}", crate::hash::float_digest(*v)),
+            Scalar::Str(v) => format!("s:{v}"),
+            Scalar::Bool(v) => format!("b:{v}"),
+            Scalar::Null => "null".to_owned(),
+        }
+    }
+
+    /// Approximate in-memory size in bytes (used for artifact size
+    /// accounting).
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        match self {
+            Scalar::Str(s) => s.len() + 8,
+            _ => 8,
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(v) => write!(f, "{v}"),
+            Scalar::Str(v) => write!(f, "{v}"),
+            Scalar::Bool(v) => write!(f, "{v}"),
+            Scalar::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int(v)
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Float(v)
+    }
+}
+
+impl From<&str> for Scalar {
+    fn from(v: &str) -> Self {
+        Scalar::Str(v.to_owned())
+    }
+}
+
+impl From<bool> for Scalar {
+    fn from(v: bool) -> Self {
+        Scalar::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Scalar::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Scalar::Bool(true).as_f64(), Some(1.0));
+        assert!(Scalar::Null.as_f64().unwrap().is_nan());
+        assert_eq!(Scalar::from("x").as_f64(), None);
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(Scalar::Null.is_null());
+        assert!(Scalar::Float(f64::NAN).is_null());
+        assert!(!Scalar::Float(0.0).is_null());
+        assert!(!Scalar::Str(String::new()).is_null());
+    }
+
+    #[test]
+    fn digests_distinguish_types() {
+        assert_ne!(Scalar::Int(1).digest(), Scalar::Float(1.0).digest());
+        assert_ne!(Scalar::Str("1".into()).digest(), Scalar::Int(1).digest());
+    }
+}

@@ -1,0 +1,135 @@
+//! Schema metadata: the part of a `Dataset` artifact the Experiment Graph
+//! always keeps, even for unmaterialized artifacts (paper §3.2: "for
+//! datasets, the meta-data includes the name, type, and size of the
+//! columns").
+
+use crate::column::ColumnId;
+use std::fmt;
+
+/// The element type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats (`NaN` = missing).
+    Float,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl DType {
+    /// Short stable name used in digests and error messages.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Int => "int",
+            DType::Float => "float",
+            DType::Str => "str",
+            DType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-column metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Lineage id of the column (paper §5.3).
+    pub id: ColumnId,
+    /// Content size in bytes.
+    pub nbytes: usize,
+}
+
+/// The schema of a dataframe: ordered column metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    #[must_use]
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The ordered fields.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Look up a field by column name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Total content size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        self.fields.iter().map(|f| f.nbytes).sum()
+    }
+
+    /// A stable digest of names and types (used in source-artifact ids).
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fields {
+            out.push_str(&f.name);
+            out.push(':');
+            out.push_str(f.dtype.name());
+            out.push(';');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(name: &str, dtype: DType) -> Field {
+        Field { name: name.into(), dtype, id: ColumnId(0), nbytes: 8 }
+    }
+
+    #[test]
+    fn lookup_and_digest() {
+        let s = Schema::new(vec![field("a", DType::Int), field("b", DType::Str)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field("b").unwrap().dtype, DType::Str);
+        assert!(s.field("c").is_none());
+        assert_eq!(s.digest(), "a:int;b:str;");
+        assert_eq!(s.nbytes(), 16);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = Schema::new(vec![field("a", DType::Int), field("b", DType::Int)]);
+        let b = Schema::new(vec![field("b", DType::Int), field("a", DType::Int)]);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

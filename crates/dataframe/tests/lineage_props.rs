@@ -1,0 +1,161 @@
+//! Property-based tests for the column-id lineage invariants of paper §5.3:
+//!
+//! 1. Columns not affected by an operation keep their id.
+//! 2. Two columns have the same id iff the same operation chain was applied
+//!    to the same source column — in particular, identical pipelines re-run
+//!    from scratch converge to identical ids (determinism), and different
+//!    parameters diverge.
+
+use co_dataframe::ops::{
+    self, AggFn, BinFn, MapFn, Predicate,
+};
+use co_dataframe::{Column, ColumnData, DataFrame};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = DataFrame> {
+    // 1-40 rows of (int key, float value, category).
+    (1usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0i64..5, n),
+            proptest::collection::vec(-100.0f64..100.0, n),
+            proptest::collection::vec(proptest::sample::select(vec!["a", "b", "c"]), n),
+        )
+            .prop_map(|(keys, values, cats)| {
+                DataFrame::new(vec![
+                    Column::source("t", "k", ColumnData::Int(keys)),
+                    Column::source("t", "v", ColumnData::Float(values)),
+                    Column::source(
+                        "t",
+                        "c",
+                        ColumnData::Str(cats.into_iter().map(str::to_owned).collect()),
+                    ),
+                ])
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn projection_preserves_ids(df in arb_frame()) {
+        let p = df.select(&["v", "k"]).unwrap();
+        prop_assert_eq!(p.column("v").unwrap().id(), df.column("v").unwrap().id());
+        prop_assert_eq!(p.column("k").unwrap().id(), df.column("k").unwrap().id());
+    }
+
+    #[test]
+    fn identical_pipelines_converge(df in arb_frame(), threshold in -50.0f64..50.0) {
+        let a = ops::filter(&df, &Predicate::gt_f("v", threshold)).unwrap();
+        let b = ops::filter(&df, &Predicate::gt_f("v", threshold)).unwrap();
+        prop_assert_eq!(a.column_ids(), b.column_ids());
+        let a2 = ops::map_column(&a, "v", &MapFn::Abs, "va").unwrap();
+        let b2 = ops::map_column(&b, "v", &MapFn::Abs, "va").unwrap();
+        prop_assert_eq!(a2.column("va").unwrap().id(), b2.column("va").unwrap().id());
+    }
+
+    #[test]
+    fn different_params_diverge(df in arb_frame(), t1 in -50.0f64..0.0, t2 in 0.5f64..50.0) {
+        let a = ops::filter(&df, &Predicate::gt_f("v", t1)).unwrap();
+        let b = ops::filter(&df, &Predicate::gt_f("v", t2)).unwrap();
+        prop_assert_ne!(a.column("k").unwrap().id(), b.column("k").unwrap().id());
+    }
+
+    #[test]
+    fn map_only_affects_target(df in arb_frame(), c in -5.0f64..5.0) {
+        let out = ops::map_column(&df, "v", &MapFn::AddConst(c), "v2").unwrap();
+        prop_assert_eq!(out.column("k").unwrap().id(), df.column("k").unwrap().id());
+        prop_assert_eq!(out.column("c").unwrap().id(), df.column("c").unwrap().id());
+        prop_assert_ne!(out.column("v2").unwrap().id(), df.column("v").unwrap().id());
+    }
+
+    #[test]
+    fn hconcat_is_pure_structure(df in arb_frame()) {
+        let left = df.select(&["k"]).unwrap();
+        let right = df.select(&["v", "c"]).unwrap();
+        let joined = ops::hconcat(&[&left, &right]).unwrap();
+        prop_assert_eq!(joined.column_ids(), df.column_ids());
+        prop_assert_eq!(joined.nbytes(), df.nbytes());
+    }
+
+    #[test]
+    fn filter_then_project_commutes_on_ids(df in arb_frame(), t in -50.0f64..50.0) {
+        // select-then-filter and filter-then-select give the kept columns the
+        // same lineage (projection is id-transparent).
+        let pred = Predicate::gt_f("v", t);
+        let a = ops::filter(&df.select(&["v", "k"]).unwrap(), &pred).unwrap();
+        let b = ops::filter(&df, &pred).unwrap().select(&["v", "k"]).unwrap();
+        prop_assert_eq!(a.column_ids(), b.column_ids());
+        // Contents agree as well.
+        prop_assert_eq!(
+            a.column("k").unwrap().ints().unwrap(),
+            b.column("k").unwrap().ints().unwrap()
+        );
+    }
+
+    #[test]
+    fn groupby_deterministic(df in arb_frame()) {
+        let a = ops::groupby_agg(&df, "k", &[("v", AggFn::Mean)]).unwrap();
+        let b = ops::groupby_agg(&df, "k", &[("v", AggFn::Mean)]).unwrap();
+        prop_assert_eq!(a.column_ids(), b.column_ids());
+        prop_assert_eq!(
+            a.column("v_mean").unwrap().floats().unwrap(),
+            b.column("v_mean").unwrap().floats().unwrap()
+        );
+    }
+
+    #[test]
+    fn binary_op_no_side_effects(df in arb_frame()) {
+        let out = ops::binary_op(&df, "v", "k", BinFn::Mul, "vk").unwrap();
+        prop_assert_eq!(out.n_rows(), df.n_rows());
+        prop_assert_eq!(out.column("c").unwrap().id(), df.column("c").unwrap().id());
+    }
+
+    #[test]
+    fn one_hot_keeps_other_columns(df in arb_frame(), k in 1usize..4) {
+        let out = ops::one_hot(&df, "c", k).unwrap();
+        prop_assert_eq!(out.column("k").unwrap().id(), df.column("k").unwrap().id());
+        prop_assert_eq!(out.column("v").unwrap().id(), df.column("v").unwrap().id());
+        prop_assert!(!out.has_column("c"));
+        // Indicators are 0/1 and each row sums to at most 1.
+        for i in 0..out.n_rows() {
+            let mut row_sum = 0.0;
+            for col in out.columns().iter().filter(|c| c.name().starts_with("c=")) {
+                let x = col.floats().unwrap()[i];
+                prop_assert!(x == 0.0 || x == 1.0);
+                row_sum += x;
+            }
+            prop_assert!(row_sum <= 1.0);
+        }
+    }
+
+    #[test]
+    fn sample_subset_of_rows(df in arb_frame(), seed in 0u64..1000) {
+        let n = df.n_rows() / 2;
+        if n > 0 {
+            let s = ops::sample(&df, n, seed).unwrap();
+            prop_assert_eq!(s.n_rows(), n);
+            // Every sampled key exists in the original.
+            let orig = df.column("k").unwrap().ints().unwrap();
+            for k in s.column("k").unwrap().ints().unwrap() {
+                prop_assert!(orig.contains(k));
+            }
+        }
+    }
+
+    #[test]
+    fn vconcat_row_count_adds(df in arb_frame()) {
+        let out = ops::vconcat(&[&df, &df]).unwrap();
+        prop_assert_eq!(out.n_rows(), 2 * df.n_rows());
+    }
+
+    #[test]
+    fn csv_round_trip(df in arb_frame()) {
+        let text = co_dataframe::csv::to_csv_string(&df);
+        let back = co_dataframe::csv::read_csv_str("t", &text).unwrap();
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        prop_assert_eq!(
+            back.column("k").unwrap().ints().unwrap(),
+            df.column("k").unwrap().ints().unwrap()
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Artifact identity and meta-data.
+
+use co_dataframe::hash;
+use std::fmt;
+
+/// The three artifact kinds of the paper's data model (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A dataframe.
+    Dataset,
+    /// A scalar or small collection (e.g. an evaluation score).
+    Aggregate,
+    /// A trained ML model.
+    Model,
+}
+
+impl NodeKind {
+    /// Short stable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeKind::Dataset => "dataset",
+            NodeKind::Aggregate => "aggregate",
+            NodeKind::Model => "model",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Content-lineage identity of an artifact.
+///
+/// A source artifact hashes its dataset name; a derived artifact hashes the
+/// producing operation and the ordered ids of its inputs. Two artifacts in
+/// two different workloads share an id iff the same operation chain
+/// produced them from the same sources — which is how the Experiment Graph
+/// "quickly detects if it contains the artifacts of the workload DAG by
+/// traversing the edges starting from the source" (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactId(pub u64);
+
+impl ArtifactId {
+    /// Identity of a raw source dataset.
+    #[must_use]
+    pub fn source(dataset: &str) -> Self {
+        ArtifactId(hash::fnv1a_parts(&["source", dataset]))
+    }
+
+    /// Identity of the output of `op_hash` applied to `inputs` (order
+    /// matters: `join(a, b) != join(b, a)`).
+    #[must_use]
+    pub fn derived(op_hash: u64, inputs: &[ArtifactId]) -> Self {
+        let mut parts = Vec::with_capacity(inputs.len() + 1);
+        parts.push(op_hash);
+        parts.extend(inputs.iter().map(|a| a.0));
+        ArtifactId(hash::combine_all(&parts))
+    }
+}
+
+impl fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The always-kept meta-data of an artifact (paper §3.2: names/types/sizes
+/// for datasets; type, hyperparameters, and score for models).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactMeta {
+    /// Artifact kind.
+    pub kind: NodeKind,
+    /// Human-readable description: schema digest or model params digest.
+    pub description: String,
+    /// Content size in bytes.
+    pub size: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_identity_is_stable() {
+        assert_eq!(ArtifactId::source("train"), ArtifactId::source("train"));
+        assert_ne!(ArtifactId::source("train"), ArtifactId::source("test"));
+    }
+
+    #[test]
+    fn derived_identity_tracks_op_and_inputs() {
+        let a = ArtifactId::source("a");
+        let b = ArtifactId::source("b");
+        assert_eq!(ArtifactId::derived(1, &[a, b]), ArtifactId::derived(1, &[a, b]));
+        assert_ne!(ArtifactId::derived(1, &[a, b]), ArtifactId::derived(1, &[b, a]));
+        assert_ne!(ArtifactId::derived(1, &[a, b]), ArtifactId::derived(2, &[a, b]));
+        assert_ne!(ArtifactId::derived(1, &[a]), ArtifactId::derived(1, &[a, a]));
+    }
+}

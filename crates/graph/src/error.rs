@@ -1,0 +1,75 @@
+//! Error type for graph construction, execution, and storage.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced by DAG construction, operation execution, and the
+/// artifact store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id does not exist in the workload DAG.
+    UnknownNode(usize),
+    /// An artifact id does not exist in the Experiment Graph.
+    UnknownArtifact(u64),
+    /// Adding an edge would create a cycle or re-define a node's producer.
+    InvalidStructure(String),
+    /// An operation received the wrong number or kinds of inputs.
+    BadOperationInput { op: String, message: String },
+    /// An operation failed while running.
+    OperationFailed { op: String, message: String },
+    /// The requested artifact is not materialized in the store.
+    NotMaterialized(u64),
+    /// A workload has no terminal vertices (nothing to execute).
+    NoTerminals,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown workload node: {id}"),
+            GraphError::UnknownArtifact(id) => write!(f, "unknown artifact: {id:016x}"),
+            GraphError::InvalidStructure(msg) => write!(f, "invalid DAG structure: {msg}"),
+            GraphError::BadOperationInput { op, message } => {
+                write!(f, "bad input to operation {op:?}: {message}")
+            }
+            GraphError::OperationFailed { op, message } => {
+                write!(f, "operation {op:?} failed: {message}")
+            }
+            GraphError::NotMaterialized(id) => {
+                write!(f, "artifact {id:016x} is not materialized")
+            }
+            GraphError::NoTerminals => write!(f, "workload has no terminal vertices"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl GraphError {
+    /// Wrap a dataframe error raised while running an operation.
+    #[must_use]
+    pub fn from_df(op: &str, e: &co_dataframe::DfError) -> Self {
+        GraphError::OperationFailed { op: op.to_owned(), message: e.to_string() }
+    }
+
+    /// Wrap an ML error raised while running an operation.
+    #[must_use]
+    pub fn from_ml(op: &str, e: &co_ml::MlError) -> Self {
+        GraphError::OperationFailed { op: op.to_owned(), message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GraphError::UnknownNode(3).to_string().contains('3'));
+        assert!(GraphError::NoTerminals.to_string().contains("terminal"));
+        let e = GraphError::from_df("filter", &co_dataframe::DfError::ColumnNotFound("x".into()));
+        assert!(e.to_string().contains("filter"));
+    }
+}

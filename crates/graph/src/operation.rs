@@ -1,0 +1,117 @@
+//! The operation extensibility trait (paper §4.2, Listing 2).
+//!
+//! New data-preprocessing or model-training operations implement
+//! [`Operation`]: a stable name, a parameter digest, a declared output
+//! kind, and a `run` body. The framework derives the operation hash —
+//! "a hash based on the operation name and its parameters" (§4.1) — and
+//! artifact identities from those.
+
+use crate::artifact::NodeKind;
+use crate::error::Result;
+use crate::value::Value;
+use co_dataframe::hash;
+use co_ml::{ModelKind, TrainedModel};
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable hash of an operation's name + parameters.
+pub type OpHash = u64;
+
+/// A workload operation: either a data-preprocessing operation producing a
+/// `Dataset`/`Aggregate`, or a model-training operation producing a
+/// `Model` (the paper's `DataOperation` / `TrainOperation` split).
+pub trait Operation: Send + Sync {
+    /// Operation name (stable across runs).
+    fn name(&self) -> &str;
+
+    /// Stable digest of the operation parameters.
+    fn params_digest(&self) -> String;
+
+    /// The kind of artifact this operation produces.
+    fn output_kind(&self) -> NodeKind;
+
+    /// Execute the operation on its ordered inputs.
+    fn run(&self, inputs: &[&Value]) -> Result<Value>;
+
+    /// Whether this is a training operation that can be warmstarted
+    /// (must be declared explicitly, per paper §4.2).
+    fn warmstartable(&self) -> bool {
+        false
+    }
+
+    /// The model family this training operation produces, if any — used to
+    /// match warmstart candidates ("same artifact, same type", §6.2).
+    fn model_kind(&self) -> Option<ModelKind> {
+        None
+    }
+
+    /// Execute with a warmstart initialiser. The default ignores the
+    /// initialiser; warmstartable training operations override this.
+    fn run_warm(&self, inputs: &[&Value], _warmstart: Option<&TrainedModel>) -> Result<Value> {
+        self.run(inputs)
+    }
+
+    /// Whether this operation *evaluates* a model: its aggregate output is
+    /// a score the executor feeds back into the model vertex's quality
+    /// attribute `q` (paper §3.2: model meta-data includes "the evaluation
+    /// score of the model").
+    fn is_evaluation(&self) -> bool {
+        false
+    }
+
+    /// The operation hash: name + parameter digest.
+    fn op_hash(&self) -> OpHash {
+        hash::fnv1a_parts(&[self.name(), &self.params_digest()])
+    }
+}
+
+impl fmt::Debug for dyn Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Operation({} {})", self.name(), self.params_digest())
+    }
+}
+
+/// Shared handle to an operation.
+pub type OpRef = Arc<dyn Operation>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::Scalar;
+
+    /// The paper's Listing 2 example, transcribed: a user-defined
+    /// operation needs only name/kind/params/run.
+    struct ConstOp {
+        value: f64,
+    }
+
+    impl Operation for ConstOp {
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn params_digest(&self) -> String {
+            co_dataframe::hash::float_digest(self.value)
+        }
+        fn output_kind(&self) -> NodeKind {
+            NodeKind::Aggregate
+        }
+        fn run(&self, _inputs: &[&Value]) -> Result<Value> {
+            Ok(Value::Aggregate(Scalar::Float(self.value)))
+        }
+    }
+
+    #[test]
+    fn custom_operations_hash_by_name_and_params() {
+        let a = ConstOp { value: 1.0 };
+        let b = ConstOp { value: 2.0 };
+        assert_ne!(a.op_hash(), b.op_hash());
+        assert_eq!(a.op_hash(), ConstOp { value: 1.0 }.op_hash());
+        assert!(!a.warmstartable());
+        assert_eq!(a.model_kind(), None);
+        let out = a.run(&[]).unwrap();
+        assert_eq!(out.as_aggregate(), Some(&Scalar::Float(1.0)));
+        // Default run_warm delegates to run.
+        let out = a.run_warm(&[], None).unwrap();
+        assert_eq!(out.as_aggregate(), Some(&Scalar::Float(1.0)));
+    }
+}

@@ -1,0 +1,127 @@
+//! Artifact content: the `Value` a workload node evaluates to.
+
+use crate::artifact::NodeKind;
+use co_dataframe::{DataFrame, Scalar};
+use co_ml::TrainedModel;
+
+/// A trained model plus the quality attribute `q` of its Experiment Graph
+/// vertex (paper §5: `0 <= q <= 1`, assigned by the evaluation function).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// The trained model.
+    pub model: TrainedModel,
+    /// Evaluation score in `[0, 1]`. Training operations assign an initial
+    /// score; an explicit evaluation operation downstream refines it.
+    pub quality: f64,
+}
+
+impl ModelArtifact {
+    /// Wrap a model with a quality score (clamped into `[0, 1]`).
+    #[must_use]
+    pub fn new(model: TrainedModel, quality: f64) -> Self {
+        ModelArtifact { model, quality: quality.clamp(0.0, 1.0) }
+    }
+}
+
+/// The content of an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A dataframe.
+    Dataset(DataFrame),
+    /// A scalar (evaluation score, row count, ...).
+    Aggregate(Scalar),
+    /// A trained model with its quality.
+    Model(ModelArtifact),
+}
+
+impl Value {
+    /// The artifact kind of this content.
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        match self {
+            Value::Dataset(_) => NodeKind::Dataset,
+            Value::Aggregate(_) => NodeKind::Aggregate,
+            Value::Model(_) => NodeKind::Model,
+        }
+    }
+
+    /// Content size in bytes (the `s` vertex attribute).
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        match self {
+            Value::Dataset(df) => df.nbytes(),
+            Value::Aggregate(s) => s.nbytes(),
+            Value::Model(m) => m.model.nbytes(),
+        }
+    }
+
+    /// Meta-data description: schema digest for datasets, params digest
+    /// for models.
+    #[must_use]
+    pub fn description(&self) -> String {
+        match self {
+            Value::Dataset(df) => df.schema().digest(),
+            Value::Aggregate(s) => s.digest(),
+            Value::Model(m) => {
+                format!("{}:{}", m.model.kind().name(), m.model.params_digest())
+            }
+        }
+    }
+
+    /// Borrow the dataframe, if this is a dataset.
+    #[must_use]
+    pub fn as_dataset(&self) -> Option<&DataFrame> {
+        match self {
+            Value::Dataset(df) => Some(df),
+            _ => None,
+        }
+    }
+
+    /// Borrow the model artifact, if this is a model.
+    #[must_use]
+    pub fn as_model(&self) -> Option<&ModelArtifact> {
+        match self {
+            Value::Model(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the scalar, if this is an aggregate.
+    #[must_use]
+    pub fn as_aggregate(&self) -> Option<&Scalar> {
+        match self {
+            Value::Aggregate(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::{Column, ColumnData};
+    use co_ml::linear::{LogisticParams, LogisticRegression};
+    use co_ml::Matrix;
+
+    #[test]
+    fn kinds_and_sizes() {
+        let df = DataFrame::new(vec![Column::source("t", "a", ColumnData::Int(vec![1, 2]))])
+            .unwrap();
+        let v = Value::Dataset(df);
+        assert_eq!(v.kind(), NodeKind::Dataset);
+        assert_eq!(v.nbytes(), 16);
+        assert!(v.as_dataset().is_some());
+        assert!(v.as_model().is_none());
+
+        let a = Value::Aggregate(Scalar::Float(0.9));
+        assert_eq!(a.kind(), NodeKind::Aggregate);
+        assert_eq!(a.as_aggregate(), Some(&Scalar::Float(0.9)));
+
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let m = LogisticRegression::new(LogisticParams::default()).fit(&x, &[0.0, 1.0]).unwrap();
+        let v = Value::Model(ModelArtifact::new(TrainedModel::Logistic(m), 1.5));
+        assert_eq!(v.kind(), NodeKind::Model);
+        assert_eq!(v.as_model().unwrap().quality, 1.0); // clamped
+        assert!(v.description().starts_with("logistic:"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The workload DAG: the client-side representation of one ML script
+//! (paper §3.1, Figure 1).
+
+use crate::artifact::{ArtifactId, NodeKind};
+use crate::error::{GraphError, Result};
+use crate::operation::OpRef;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Index of a node within one workload DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// One artifact vertex of a workload DAG.
+#[derive(Debug, Clone)]
+pub struct WorkloadNode {
+    /// Content-lineage identity (shared with the Experiment Graph).
+    pub artifact: ArtifactId,
+    /// Artifact kind (declared by the producing operation).
+    pub kind: NodeKind,
+    /// Source name for source vertices.
+    pub name: Option<String>,
+    /// Content, when the client has already computed this vertex (sources
+    /// always; intermediate vertices in interactive sessions).
+    pub computed: Option<Value>,
+    /// Executor annotation: compute time of the producing operation, in
+    /// seconds.
+    pub compute_time: Option<f64>,
+    /// Executor annotation: content size in bytes.
+    pub size: Option<u64>,
+    /// Model quality (0 for non-models; set by the executor).
+    pub quality: f64,
+    /// Whether the user requested this vertex's result.
+    pub terminal: bool,
+    /// Index of the producing edge, if any (sources have none).
+    pub producer: Option<usize>,
+}
+
+/// One operation edge. Multi-input operations list their ordered inputs —
+/// the hyperedge equivalent of the paper's supernodes.
+#[derive(Debug, Clone)]
+pub struct WorkloadEdge {
+    /// The operation.
+    pub op: OpRef,
+    /// Ordered input nodes.
+    pub inputs: Vec<NodeId>,
+    /// Output node.
+    pub output: NodeId,
+    /// Local pruning flag: inactive edges are skipped by the optimizer
+    /// and executor (paper §3.1: the pruner "does not remove the edge from
+    /// the DAG and only marks them as inactive").
+    pub active: bool,
+}
+
+/// A workload DAG under construction or optimization.
+///
+/// Nodes are created in dependency order (an operation's inputs must
+/// already exist), so the node index order is a topological order — the
+/// executor and the reuse algorithms iterate `0..n_nodes()` directly.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadDag {
+    nodes: Vec<WorkloadNode>,
+    edges: Vec<WorkloadEdge>,
+    by_artifact: HashMap<ArtifactId, NodeId>,
+}
+
+impl WorkloadDag {
+    /// An empty workload.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkloadDag::default()
+    }
+
+    /// Add a raw source dataset with its content. Re-adding the same
+    /// source returns the existing node.
+    pub fn add_source(&mut self, name: &str, value: Value) -> NodeId {
+        let artifact = ArtifactId::source(name);
+        if let Some(&existing) = self.by_artifact.get(&artifact) {
+            return existing;
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(WorkloadNode {
+            artifact,
+            kind: value.kind(),
+            name: Some(name.to_owned()),
+            size: Some(value.nbytes() as u64),
+            computed: Some(value),
+            compute_time: Some(0.0),
+            quality: 0.0,
+            terminal: false,
+            producer: None,
+        });
+        self.by_artifact.insert(artifact, id);
+        id
+    }
+
+    /// Apply an operation to existing nodes, producing a new node.
+    ///
+    /// If this exact operation over these exact inputs already exists in
+    /// the workload, the existing node is returned — the intra-workload
+    /// redundancy elimination that lets the paper's Workloads 2 and 3 beat
+    /// the baseline even on their first run (§7.2).
+    pub fn add_op(&mut self, op: OpRef, inputs: &[NodeId]) -> Result<NodeId> {
+        for input in inputs {
+            if input.0 >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(input.0));
+            }
+        }
+        let input_artifacts: Vec<ArtifactId> =
+            inputs.iter().map(|n| self.nodes[n.0].artifact).collect();
+        let artifact = ArtifactId::derived(op.op_hash(), &input_artifacts);
+        if let Some(&existing) = self.by_artifact.get(&artifact) {
+            return Ok(existing);
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(WorkloadNode {
+            artifact,
+            kind: op.output_kind(),
+            name: None,
+            computed: None,
+            compute_time: None,
+            size: None,
+            quality: 0.0,
+            terminal: false,
+            producer: Some(self.edges.len()),
+        });
+        self.edges.push(WorkloadEdge { op, inputs: inputs.to_vec(), output: id, active: true });
+        self.by_artifact.insert(artifact, id);
+        Ok(id)
+    }
+
+    /// Mark a node as a terminal vertex (a requested result).
+    pub fn mark_terminal(&mut self, node: NodeId) -> Result<()> {
+        self.node_mut(node)?.terminal = true;
+        Ok(())
+    }
+
+    /// Record content the client already holds for this node (interactive
+    /// sessions: "every cell invocation ... computes some of the
+    /// vertices").
+    pub fn set_computed(&mut self, node: NodeId, value: Value) -> Result<()> {
+        let n = self.node_mut(node)?;
+        n.size = Some(value.nbytes() as u64);
+        n.computed = Some(value);
+        Ok(())
+    }
+
+    /// Executor annotation: measured compute time (seconds) and observed
+    /// size for a node.
+    pub fn annotate(&mut self, node: NodeId, compute_time: f64, size: u64) -> Result<()> {
+        let n = self.node_mut(node)?;
+        n.compute_time = Some(compute_time);
+        n.size = Some(size);
+        Ok(())
+    }
+
+    /// Number of nodes (artifacts).
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (operations).
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> Result<&WorkloadNode> {
+        self.nodes.get(id.0).ok_or(GraphError::UnknownNode(id.0))
+    }
+
+    /// Mutable node accessor.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut WorkloadNode> {
+        self.nodes.get_mut(id.0).ok_or(GraphError::UnknownNode(id.0))
+    }
+
+    /// All nodes in topological (= index) order.
+    #[must_use]
+    pub fn nodes(&self) -> &[WorkloadNode] {
+        &self.nodes
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[WorkloadEdge] {
+        &self.edges
+    }
+
+    /// The producing edge of a node, if it has one.
+    #[must_use]
+    pub fn producer(&self, id: NodeId) -> Option<&WorkloadEdge> {
+        self.nodes.get(id.0).and_then(|n| n.producer).map(|e| &self.edges[e])
+    }
+
+    /// The parents (operation inputs) of a node.
+    #[must_use]
+    pub fn parents(&self, id: NodeId) -> Vec<NodeId> {
+        self.producer(id).map(|e| e.inputs.clone()).unwrap_or_default()
+    }
+
+    /// Source nodes (no producer).
+    #[must_use]
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].producer.is_none())
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Terminal nodes.
+    #[must_use]
+    pub fn terminals(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].terminal).map(NodeId).collect()
+    }
+
+    /// Look up a node by artifact identity.
+    #[must_use]
+    pub fn node_by_artifact(&self, artifact: ArtifactId) -> Option<NodeId> {
+        self.by_artifact.get(&artifact).copied()
+    }
+
+    /// The set of nodes on some path from a source to a terminal —
+    /// i.e. the ancestors of the terminals (paper: edges "not in the path
+    /// from source to terminal" are pruned).
+    pub fn required_nodes(&self) -> Result<Vec<bool>> {
+        let terminals = self.terminals();
+        if terminals.is_empty() {
+            return Err(GraphError::NoTerminals);
+        }
+        let mut required = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = terminals.iter().map(|t| t.0).collect();
+        while let Some(i) = stack.pop() {
+            if required[i] {
+                continue;
+            }
+            required[i] = true;
+            if let Some(e) = self.nodes[i].producer {
+                stack.extend(self.edges[e].inputs.iter().map(|n| n.0));
+            }
+        }
+        Ok(required)
+    }
+
+    /// The local pruner (paper §3.1, step 2): deactivate edges whose
+    /// output is already computed client-side, and edges not on a
+    /// source→terminal path. Returns the number of deactivated edges.
+    pub fn prune(&mut self) -> Result<usize> {
+        let required = self.required_nodes()?;
+        let mut deactivated = 0;
+        for edge in &mut self.edges {
+            let out = &self.nodes[edge.output.0];
+            let keep = required[edge.output.0] && out.computed.is_none();
+            if edge.active && !keep {
+                edge.active = false;
+                deactivated += 1;
+            }
+        }
+        Ok(deactivated)
+    }
+
+    /// Total annotated size of all artifacts, in bytes (the `S` column of
+    /// the paper's Table 1).
+    #[must_use]
+    pub fn total_size(&self) -> u64 {
+        self.nodes.iter().filter_map(|n| n.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::Operation;
+    use co_dataframe::Scalar;
+    use std::sync::Arc;
+
+    struct AddOne;
+    impl Operation for AddOne {
+        fn name(&self) -> &str {
+            "add_one"
+        }
+        fn params_digest(&self) -> String {
+            String::new()
+        }
+        fn output_kind(&self) -> NodeKind {
+            NodeKind::Aggregate
+        }
+        fn run(&self, inputs: &[&Value]) -> Result<Value> {
+            let x = inputs[0].as_aggregate().and_then(Scalar::as_f64).unwrap_or(0.0);
+            Ok(Value::Aggregate(Scalar::Float(x + 1.0)))
+        }
+    }
+
+    struct Pair;
+    impl Operation for Pair {
+        fn name(&self) -> &str {
+            "pair"
+        }
+        fn params_digest(&self) -> String {
+            String::new()
+        }
+        fn output_kind(&self) -> NodeKind {
+            NodeKind::Aggregate
+        }
+        fn run(&self, inputs: &[&Value]) -> Result<Value> {
+            let a = inputs[0].as_aggregate().and_then(Scalar::as_f64).unwrap_or(0.0);
+            let b = inputs[1].as_aggregate().and_then(Scalar::as_f64).unwrap_or(0.0);
+            Ok(Value::Aggregate(Scalar::Float(a + b)))
+        }
+    }
+
+    fn agg(v: f64) -> Value {
+        Value::Aggregate(Scalar::Float(v))
+    }
+
+    #[test]
+    fn construction_is_topological_and_deduplicated() {
+        let mut dag = WorkloadDag::new();
+        let s = dag.add_source("s", agg(1.0));
+        let a = dag.add_op(Arc::new(AddOne), &[s]).unwrap();
+        let b = dag.add_op(Arc::new(AddOne), &[s]).unwrap();
+        assert_eq!(a, b); // identical op on identical input deduplicates
+        let c = dag.add_op(Arc::new(AddOne), &[a]).unwrap();
+        assert_eq!(dag.n_nodes(), 3);
+        assert_eq!(dag.n_edges(), 2);
+        assert!(s.0 < a.0 && a.0 < c.0);
+        assert_eq!(dag.parents(c), vec![a]);
+        assert_eq!(dag.sources(), vec![s]);
+    }
+
+    #[test]
+    fn re_adding_a_source_is_idempotent() {
+        let mut dag = WorkloadDag::new();
+        let s1 = dag.add_source("s", agg(1.0));
+        let s2 = dag.add_source("s", agg(1.0));
+        assert_eq!(s1, s2);
+        assert_eq!(dag.n_nodes(), 1);
+    }
+
+    #[test]
+    fn multi_input_ops_are_order_sensitive() {
+        let mut dag = WorkloadDag::new();
+        let s1 = dag.add_source("a", agg(1.0));
+        let s2 = dag.add_source("b", agg(2.0));
+        let ab = dag.add_op(Arc::new(Pair), &[s1, s2]).unwrap();
+        let ba = dag.add_op(Arc::new(Pair), &[s2, s1]).unwrap();
+        assert_ne!(ab, ba);
+        assert_eq!(dag.parents(ab), vec![s1, s2]);
+    }
+
+    #[test]
+    fn pruning_deactivates_off_path_and_computed() {
+        let mut dag = WorkloadDag::new();
+        let s = dag.add_source("s", agg(1.0));
+        let used = dag.add_op(Arc::new(AddOne), &[s]).unwrap();
+        let terminal = dag.add_op(Arc::new(AddOne), &[used]).unwrap();
+        // A dangling branch the terminal does not need.
+        let dangling = dag.add_op(Arc::new(Pair), &[s, used]).unwrap();
+        dag.mark_terminal(terminal).unwrap();
+        // `used` was computed in a previous interactive cell.
+        dag.set_computed(used, agg(2.0)).unwrap();
+
+        let deactivated = dag.prune().unwrap();
+        assert_eq!(deactivated, 2);
+        let edge_of = |n: NodeId| dag.producer(n).unwrap();
+        assert!(!edge_of(dangling).active);
+        assert!(!edge_of(used).active); // computed -> skip
+        assert!(edge_of(terminal).active);
+    }
+
+    #[test]
+    fn prune_without_terminals_errors() {
+        let mut dag = WorkloadDag::new();
+        dag.add_source("s", agg(1.0));
+        assert!(matches!(dag.prune(), Err(GraphError::NoTerminals)));
+    }
+
+    #[test]
+    fn annotations_and_total_size() {
+        let mut dag = WorkloadDag::new();
+        let s = dag.add_source("s", agg(1.0));
+        let a = dag.add_op(Arc::new(AddOne), &[s]).unwrap();
+        dag.annotate(a, 0.25, 100).unwrap();
+        assert_eq!(dag.node(a).unwrap().compute_time, Some(0.25));
+        assert_eq!(dag.total_size(), 100 + 8);
+        assert!(dag.annotate(NodeId(99), 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_inputs_are_rejected() {
+        let mut dag = WorkloadDag::new();
+        assert!(dag.add_op(Arc::new(AddOne), &[NodeId(5)]).is_err());
+    }
+}

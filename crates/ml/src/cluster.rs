@@ -1,0 +1,287 @@
+//! K-means clustering (Lloyd's algorithm) — the second kind of
+//! feature-engineering model the paper's data model anticipates ("a Model
+//! is used either in other feature engineering operations, e.g., PCA
+//! model, or to perform predictions", §4.1). Deterministic under a seed.
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use co_dataframe::hash;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hyperparameters for [`KMeans`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KMeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// RNG seed for centroid initialisation (k-means++-style sampling).
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        KMeansParams { k: 4, max_iter: 50, seed: 42 }
+    }
+}
+
+impl KMeansParams {
+    /// Stable digest of the hyperparameters.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!("k={},max_iter={},seed={}", self.k, self.max_iter, self.seed)
+    }
+}
+
+/// K-means trainer.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    params: KMeansParams,
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansModel {
+    /// Cluster centroids, row-major (`k x d`).
+    pub centroids: Matrix,
+    /// Lloyd iterations actually run.
+    pub iterations: usize,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// The hyperparameters that produced the model.
+    pub params: KMeansParams,
+}
+
+impl KMeans {
+    /// Create a trainer with the given hyperparameters.
+    #[must_use]
+    pub fn new(params: KMeansParams) -> Self {
+        KMeans { params }
+    }
+
+    /// Fit centroids to the samples.
+    pub fn fit(&self, x: &Matrix) -> Result<KMeansModel> {
+        let (n, d) = (x.rows(), x.cols());
+        if self.params.k == 0 || self.params.k > n {
+            return Err(MlError::InvalidParam(format!(
+                "k={} out of range for {n} samples",
+                self.params.k
+            )));
+        }
+        if d == 0 {
+            return Err(MlError::DegenerateData("no features".into()));
+        }
+        let k = self.params.k;
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+
+        // k-means++-style init: first centroid uniform, the rest sampled
+        // proportional to squared distance from the nearest chosen one.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(x.row(rng.random_range(0..n)).to_vec());
+        let mut dist2: Vec<f64> = (0..n)
+            .map(|i| sq_dist(x.row(i), &centroids[0]))
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = dist2.iter().sum();
+            let next = if total <= 0.0 {
+                rng.random_range(0..n)
+            } else {
+                let mut target = rng.random::<f64>() * total;
+                let mut chosen = n - 1;
+                for (i, &d2) in dist2.iter().enumerate() {
+                    if target <= d2 {
+                        chosen = i;
+                        break;
+                    }
+                    target -= d2;
+                }
+                chosen
+            };
+            let c = x.row(next).to_vec();
+            for (i, d) in dist2.iter_mut().enumerate() {
+                *d = d.min(sq_dist(x.row(i), &c));
+            }
+            centroids.push(c);
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..self.params.max_iter {
+            iterations = iter + 1;
+            let mut changed = false;
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                let (best, _) = nearest(x.row(i), &centroids);
+                if *slot != best {
+                    *slot = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids; empty clusters keep their position.
+            let mut sums = vec![vec![0.0f64; d]; k];
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                counts[assignment[i]] += 1;
+                for (s, v) in sums[assignment[i]].iter_mut().zip(x.row(i)) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (cv, sv) in c.iter_mut().zip(sum) {
+                        *cv = sv / count as f64;
+                    }
+                }
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+        }
+        let inertia = (0..n).map(|i| nearest(x.row(i), &centroids).1).sum();
+        Ok(KMeansModel {
+            centroids: Matrix::from_rows(&centroids),
+            iterations,
+            inertia,
+            params: self.params.clone(),
+        })
+    }
+}
+
+impl KMeansModel {
+    /// Nearest-centroid index per sample.
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|i| nearest_in(x.row(i), &self.centroids).0)
+            .collect()
+    }
+
+    /// Distance to each centroid per sample (`n x k`) — the cluster
+    /// features a feature-engineering step appends.
+    #[must_use]
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let k = self.centroids.rows();
+        let mut rows = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            rows.push(
+                (0..k)
+                    .map(|c| sq_dist(row, self.centroids.row(c)).sqrt())
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    /// Approximate size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        self.centroids.nbytes() + 16
+    }
+
+    /// Stable digest of model type + hyperparameters.
+    #[must_use]
+    pub fn op_digest(params: &KMeansParams) -> u64 {
+        hash::fnv1a_parts(&["train_kmeans", &params.digest()])
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(row, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+fn nearest_in(row: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for c in 0..centroids.rows() {
+        let d = sq_dist(row, centroids.row(c));
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs.
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.01;
+            let center = match i % 3 {
+                0 => (0.0, 0.0),
+                1 => (10.0, 0.0),
+                _ => (0.0, 10.0),
+            };
+            rows.push(vec![center.0 + jitter, center.1 - jitter]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let x = blobs();
+        let model = KMeans::new(KMeansParams { k: 3, ..KMeansParams::default() }).fit(&x).unwrap();
+        let labels = model.predict(&x);
+        // All members of a blob share a label, and blobs differ.
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[1], labels[4]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(model.inertia < 1.0, "inertia = {}", model.inertia);
+        assert!(model.iterations >= 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let x = blobs();
+        let a = KMeans::new(KMeansParams::default()).fit(&x).unwrap();
+        let b = KMeans::new(KMeansParams::default()).fit(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transform_gives_k_distance_features() {
+        let x = blobs();
+        let model = KMeans::new(KMeansParams { k: 3, ..KMeansParams::default() }).fit(&x).unwrap();
+        let features = model.transform(&x);
+        assert_eq!(features.rows(), 30);
+        assert_eq!(features.cols(), 3);
+        // The distance to the own cluster's centroid is the minimum.
+        let labels = model.predict(&x);
+        for i in 0..30 {
+            let row = features.row(i);
+            let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!((row[labels[i]] - min).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_clusters_reduce_inertia() {
+        let x = blobs();
+        let k2 = KMeans::new(KMeansParams { k: 2, ..KMeansParams::default() }).fit(&x).unwrap();
+        let k3 = KMeans::new(KMeansParams { k: 3, ..KMeansParams::default() }).fit(&x).unwrap();
+        assert!(k3.inertia < k2.inertia);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = blobs();
+        assert!(KMeans::new(KMeansParams { k: 0, ..KMeansParams::default() }).fit(&x).is_err());
+        assert!(KMeans::new(KMeansParams { k: 31, ..KMeansParams::default() }).fit(&x).is_err());
+    }
+}

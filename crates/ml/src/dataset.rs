@@ -1,0 +1,122 @@
+//! Conversion between dataframes and training matrices.
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use co_dataframe::DataFrame;
+
+/// A supervised training set: features plus binary/real labels.
+#[derive(Debug, Clone)]
+pub struct Supervised {
+    /// Feature matrix (one row per sample).
+    pub x: Matrix,
+    /// Labels.
+    pub y: Vec<f64>,
+    /// Feature column names, aligned with matrix columns.
+    pub feature_names: Vec<String>,
+}
+
+/// Build a supervised set from a frame: every numeric column except the
+/// label becomes a feature (`NaN`s are replaced by the column mean so the
+/// linear trainers stay finite; tree models see the imputed value too,
+/// keeping all models comparable).
+pub fn supervised(df: &DataFrame, label: &str) -> Result<Supervised> {
+    let y = df.column(label)?.to_f64()?;
+    let mut feature_names = Vec::new();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for col in df.columns() {
+        if col.name() == label {
+            continue;
+        }
+        let Ok(mut values) = col.to_f64() else { continue };
+        let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let mean = if present.is_empty() {
+            0.0
+        } else {
+            present.iter().sum::<f64>() / present.len() as f64
+        };
+        for v in &mut values {
+            if v.is_nan() {
+                *v = mean;
+            }
+        }
+        feature_names.push(col.name().to_owned());
+        columns.push(values);
+    }
+    if columns.is_empty() {
+        return Err(MlError::DegenerateData("no numeric feature columns".into()));
+    }
+    if y.iter().any(|v| v.is_nan()) {
+        return Err(MlError::DegenerateData(format!("label column {label:?} has missing values")));
+    }
+    Ok(Supervised { x: Matrix::from_columns(&columns)?, y, feature_names })
+}
+
+/// Feature-only matrix from all numeric columns (`NaN` -> column mean).
+pub fn features_only(df: &DataFrame) -> Result<Matrix> {
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for col in df.columns() {
+        let Ok(mut values) = col.to_f64() else { continue };
+        let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let mean = if present.is_empty() {
+            0.0
+        } else {
+            present.iter().sum::<f64>() / present.len() as f64
+        };
+        for v in &mut values {
+            if v.is_nan() {
+                *v = mean;
+            }
+        }
+        columns.push(values);
+    }
+    if columns.is_empty() {
+        return Err(MlError::DegenerateData("no numeric columns".into()));
+    }
+    Matrix::from_columns(&columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::{Column, ColumnData};
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "a", ColumnData::Float(vec![1.0, f64::NAN, 3.0])),
+            Column::source("t", "s", ColumnData::Str(vec!["x".into(); 3])),
+            Column::source("t", "y", ColumnData::Int(vec![0, 1, 1])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_supervised_set() {
+        let s = supervised(&df(), "y").unwrap();
+        assert_eq!(s.feature_names, vec!["a".to_owned()]);
+        assert_eq!(s.x.rows(), 3);
+        assert_eq!(s.x.get(1, 0), 2.0); // NaN -> mean of {1, 3}
+        assert_eq!(s.y, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_missing_labels_and_no_features() {
+        let d = DataFrame::new(vec![
+            Column::source("t", "y", ColumnData::Float(vec![f64::NAN])),
+            Column::source("t", "a", ColumnData::Float(vec![1.0])),
+        ])
+        .unwrap();
+        assert!(supervised(&d, "y").is_err());
+        let d = DataFrame::new(vec![
+            Column::source("t", "s", ColumnData::Str(vec!["x".into()])),
+            Column::source("t", "y", ColumnData::Int(vec![1])),
+        ])
+        .unwrap();
+        assert!(supervised(&d, "y").is_err());
+    }
+
+    #[test]
+    fn features_only_covers_numerics() {
+        let m = features_only(&df()).unwrap();
+        assert_eq!(m.cols(), 2); // a and y (both numeric)
+    }
+}

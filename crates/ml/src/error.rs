@@ -1,0 +1,65 @@
+//! Error type for ML training and transformation.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// Errors produced by trainers, transformers, and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Feature matrix and label vector lengths disagree, or a matrix shape
+    /// is inconsistent.
+    ShapeMismatch { context: String, expected: usize, found: usize },
+    /// Training data is empty or degenerate (e.g. a single class).
+    DegenerateData(String),
+    /// A hyperparameter is out of range.
+    InvalidParam(String),
+    /// An underlying dataframe error.
+    Frame(co_dataframe::DfError),
+    /// A warmstart initialiser is incompatible with the training task
+    /// (wrong feature count or model type).
+    IncompatibleWarmstart(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch { context, expected, found } => {
+                write!(f, "shape mismatch in {context}: expected {expected}, found {found}")
+            }
+            MlError::DegenerateData(msg) => write!(f, "degenerate training data: {msg}"),
+            MlError::InvalidParam(msg) => write!(f, "invalid hyperparameter: {msg}"),
+            MlError::Frame(e) => write!(f, "dataframe error: {e}"),
+            MlError::IncompatibleWarmstart(msg) => write!(f, "incompatible warmstart: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<co_dataframe::DfError> for MlError {
+    fn from(e: co_dataframe::DfError) -> Self {
+        MlError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MlError::ShapeMismatch { context: "fit".into(), expected: 3, found: 2 };
+        assert!(e.to_string().contains("fit"));
+        let e = MlError::from(co_dataframe::DfError::ColumnNotFound("x".into()));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,121 @@
+//! Missing-value imputation (`SimpleImputer`).
+
+use crate::error::Result;
+use co_dataframe::hash;
+use co_dataframe::{Column, ColumnData, DataFrame};
+
+/// How to fill missing (`NaN`) values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImputeStrategy {
+    /// Column mean of the present values.
+    Mean,
+    /// Column median of the present values.
+    Median,
+    /// A fixed constant.
+    Constant(f64),
+}
+
+impl ImputeStrategy {
+    /// Stable digest of the strategy.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        match self {
+            ImputeStrategy::Mean => "mean".to_owned(),
+            ImputeStrategy::Median => "median".to_owned(),
+            ImputeStrategy::Constant(c) => {
+                format!("const({})", co_dataframe::hash::float_digest(*c))
+            }
+        }
+    }
+}
+
+/// Stable operation signature for [`impute`].
+#[must_use]
+pub fn impute_signature(strategy: ImputeStrategy, columns: &[&str]) -> u64 {
+    let digest = strategy.digest();
+    let mut parts = vec!["impute", digest.as_str()];
+    parts.extend_from_slice(columns);
+    hash::fnv1a_parts(&parts)
+}
+
+/// Fill missing values in the named numeric columns. A column with no
+/// present values is filled with zero. Unnamed columns keep their ids.
+pub fn impute(df: &DataFrame, strategy: ImputeStrategy, columns: &[&str]) -> Result<DataFrame> {
+    let sig = impute_signature(strategy, columns);
+    let mut out = df.clone();
+    for name in columns {
+        let col = df.column(name)?;
+        let values = col.to_f64()?;
+        let mut present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let fill = match strategy {
+            ImputeStrategy::Constant(c) => c,
+            ImputeStrategy::Mean if present.is_empty() => 0.0,
+            ImputeStrategy::Mean => present.iter().sum::<f64>() / present.len() as f64,
+            ImputeStrategy::Median if present.is_empty() => 0.0,
+            ImputeStrategy::Median => {
+                present.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                let mid = present.len() / 2;
+                if present.len().is_multiple_of(2) {
+                    (present[mid - 1] + present[mid]) / 2.0
+                } else {
+                    present[mid]
+                }
+            }
+        };
+        let filled: Vec<f64> =
+            values.into_iter().map(|v| if v.is_nan() { fill } else { v }).collect();
+        out = out.with_column(Column::derived(
+            name,
+            col.id().derive(sig),
+            ColumnData::Float(filled),
+        ))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float(vec![1.0, f64::NAN, 3.0, f64::NAN])),
+            Column::source("t", "k", ColumnData::Int(vec![1, 2, 3, 4])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn mean_and_median_and_constant() {
+        let out = impute(&df(), ImputeStrategy::Mean, &["x"]).unwrap();
+        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[1.0, 2.0, 3.0, 2.0]);
+        let out = impute(&df(), ImputeStrategy::Median, &["x"]).unwrap();
+        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[1.0, 2.0, 3.0, 2.0]);
+        let out = impute(&df(), ImputeStrategy::Constant(-1.0), &["x"]).unwrap();
+        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[1.0, -1.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn all_missing_fills_zero() {
+        let d = DataFrame::new(vec![Column::source(
+            "t",
+            "x",
+            ColumnData::Float(vec![f64::NAN, f64::NAN]),
+        )])
+        .unwrap();
+        let out = impute(&d, ImputeStrategy::Mean, &["x"]).unwrap();
+        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn lineage_only_changes_imputed_columns() {
+        let d = df();
+        let out = impute(&d, ImputeStrategy::Mean, &["x"]).unwrap();
+        assert_ne!(out.column("x").unwrap().id(), d.column("x").unwrap().id());
+        assert_eq!(out.column("k").unwrap().id(), d.column("k").unwrap().id());
+        assert_ne!(
+            impute_signature(ImputeStrategy::Mean, &["x"]),
+            impute_signature(ImputeStrategy::Median, &["x"])
+        );
+    }
+}

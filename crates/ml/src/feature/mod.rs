@@ -1,0 +1,51 @@
+//! Feature-engineering operators in the scikit-learn mold. All operators
+//! consume and produce [`DataFrame`]s and follow the column-id lineage
+//! rules: produced columns derive their ids from the operator signature and
+//! the input column ids; untouched columns keep theirs.
+
+mod impute;
+mod pca;
+mod poly;
+mod scaler;
+mod select_kbest;
+mod vectorizer;
+
+pub use impute::{impute, impute_signature, ImputeStrategy};
+pub use pca::{pca, pca_signature, PcaParams};
+pub use poly::{polynomial_features, polynomial_signature};
+pub use scaler::{scale, scale_signature, ScaleKind};
+pub use select_kbest::{select_k_best, select_k_best_signature};
+pub use vectorizer::{
+    count_vectorize, count_vectorize_signature, tfidf_vectorize, tfidf_vectorize_signature,
+    VectorizerParams,
+};
+
+use co_dataframe::DataFrame;
+
+/// Names of the numeric columns of a frame (the default feature set for
+/// operators that act on "all numeric columns").
+#[must_use]
+pub fn numeric_columns(df: &DataFrame) -> Vec<String> {
+    df.columns()
+        .iter()
+        .filter(|c| c.to_f64().is_ok())
+        .map(|c| c.name().to_owned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::{Column, ColumnData};
+
+    #[test]
+    fn numeric_columns_filters_strings() {
+        let df = DataFrame::new(vec![
+            Column::source("t", "a", ColumnData::Int(vec![1])),
+            Column::source("t", "s", ColumnData::Str(vec!["x".into()])),
+            Column::source("t", "b", ColumnData::Bool(vec![true])),
+        ])
+        .unwrap();
+        assert_eq!(numeric_columns(&df), vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

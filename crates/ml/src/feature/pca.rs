@@ -1,0 +1,229 @@
+//! Principal component analysis via power iteration with deflation —
+//! dependency-free and deterministic, sufficient for the low component
+//! counts the workloads use.
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use co_dataframe::hash;
+use co_dataframe::{Column, ColumnData, ColumnId, DataFrame};
+
+/// Parameters for [`pca`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcaParams {
+    /// Number of components to extract.
+    pub n_components: usize,
+    /// Power-iteration steps per component.
+    pub n_iter: usize,
+}
+
+impl Default for PcaParams {
+    fn default() -> Self {
+        PcaParams { n_components: 2, n_iter: 50 }
+    }
+}
+
+impl PcaParams {
+    /// Stable digest of the parameters.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!("k={},iter={}", self.n_components, self.n_iter)
+    }
+}
+
+/// Stable operation signature for [`pca`].
+#[must_use]
+pub fn pca_signature(columns: &[&str], params: &PcaParams) -> u64 {
+    let digest = params.digest();
+    let mut parts = vec!["pca", digest.as_str()];
+    parts.extend_from_slice(columns);
+    hash::fnv1a_parts(&parts)
+}
+
+/// Project the named numeric columns onto their top principal components.
+///
+/// (Index-based loops over the covariance matrix are intentional: the
+/// symmetric updates read and write both triangles.)
+/// Output columns are `pc0..pc{k-1}` (`Float`), each deriving from all
+/// input column ids. Missing values are treated as the column mean
+/// (i.e. they contribute zero after centring).
+#[allow(clippy::needless_range_loop)]
+pub fn pca(df: &DataFrame, columns: &[&str], params: &PcaParams) -> Result<DataFrame> {
+    if params.n_components == 0 || params.n_components > columns.len() {
+        return Err(MlError::InvalidParam(format!(
+            "n_components={} out of range for {} columns",
+            params.n_components,
+            columns.len()
+        )));
+    }
+    let sig = pca_signature(columns, params);
+    let mut ids = Vec::with_capacity(columns.len());
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(columns.len());
+    for &name in columns {
+        let c = df.column(name)?;
+        ids.push(c.id());
+        cols.push(c.to_f64()?);
+    }
+    let n = cols[0].len();
+    if n == 0 {
+        return Err(MlError::DegenerateData("pca on empty frame".into()));
+    }
+    // Centre; NaN -> 0 after centring.
+    for col in &mut cols {
+        let present: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
+        let mean = if present.is_empty() {
+            0.0
+        } else {
+            present.iter().sum::<f64>() / present.len() as f64
+        };
+        for v in col.iter_mut() {
+            *v = if v.is_nan() { 0.0 } else { *v - mean };
+        }
+    }
+    let x = Matrix::from_columns(&cols)?;
+    let d = columns.len();
+
+    // Covariance matrix (d x d).
+    let mut cov = vec![vec![0.0f64; d]; d];
+    for i in 0..n {
+        let row = x.row(i);
+        for a in 0..d {
+            for b in a..d {
+                cov[a][b] += row[a] * row[b];
+            }
+        }
+    }
+    for a in 0..d {
+        for b in 0..a {
+            cov[a][b] = cov[b][a];
+        }
+        for b in a..d {
+            cov[a][b] /= n as f64;
+            if b != a {
+                cov[b][a] = cov[a][b];
+            }
+        }
+    }
+
+    // Power iteration with deflation.
+    let mut components: Vec<Vec<f64>> = Vec::with_capacity(params.n_components);
+    for k in 0..params.n_components {
+        // Deterministic start vector (basis-dependent, varies per k).
+        let mut v: Vec<f64> = (0..d).map(|i| if (i + k) % 2 == 0 { 1.0 } else { 0.5 }).collect();
+        normalize(&mut v);
+        for _ in 0..params.n_iter {
+            let mut next = vec![0.0; d];
+            for (a, row) in cov.iter().enumerate() {
+                next[a] = row.iter().zip(&v).map(|(c, vi)| c * vi).sum();
+            }
+            if normalize(&mut next) < 1e-15 {
+                break; // null space: keep the previous direction
+            }
+            v = next;
+        }
+        // Rayleigh quotient = eigenvalue; deflate.
+        let mut cv = vec![0.0; d];
+        for (a, row) in cov.iter().enumerate() {
+            cv[a] = row.iter().zip(&v).map(|(c, vi)| c * vi).sum();
+        }
+        let lambda: f64 = cv.iter().zip(&v).map(|(a, b)| a * b).sum();
+        for a in 0..d {
+            for b in 0..d {
+                cov[a][b] -= lambda * v[a] * v[b];
+            }
+        }
+        components.push(v);
+    }
+
+    let base = ColumnId::derive_many(&ids, sig);
+    let out_cols = components
+        .iter()
+        .enumerate()
+        .map(|(k, comp)| {
+            let scores: Vec<f64> = (0..n)
+                .map(|i| x.row(i).iter().zip(comp).map(|(xv, c)| xv * c).sum())
+                .collect();
+            let id = base.derive(hash::fnv1a_parts(&["pc", &k.to_string()]));
+            Column::derived(&format!("pc{k}"), id, ColumnData::Float(scores))
+        })
+        .collect();
+    DataFrame::new(out_cols).map_err(MlError::from)
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        // Strongly correlated a/b plus small noise dimension c.
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 1.0).collect();
+        let c: Vec<f64> = (0..50).map(|i| ((i * 7919) % 13) as f64 * 0.01).collect();
+        DataFrame::new(vec![
+            Column::source("t", "a", ColumnData::Float(a)),
+            Column::source("t", "b", ColumnData::Float(b)),
+            Column::source("t", "c", ColumnData::Float(c)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let out = pca(&df(), &["a", "b", "c"], &PcaParams { n_components: 2, n_iter: 100 })
+            .unwrap();
+        let pc0 = out.column("pc0").unwrap().floats().unwrap();
+        let a: Vec<f64> = (0..50).map(|i| i as f64 - 24.5).collect();
+        // pc0 should be (anti)correlated with the dominant a/b direction.
+        let corr: f64 = pc0.iter().zip(&a).map(|(x, y)| x * y).sum::<f64>()
+            / (pc0.iter().map(|x| x * x).sum::<f64>().sqrt()
+                * a.iter().map(|y| y * y).sum::<f64>().sqrt());
+        assert!(corr.abs() > 0.99, "corr = {corr}");
+    }
+
+    #[test]
+    fn components_have_decreasing_variance() {
+        // Three near-orthogonal directions with well-separated scales, so
+        // power iteration resolves the spectrum cleanly.
+        let a: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..60).map(|i| ((i * 13) % 7) as f64 * 3.0).collect();
+        let c: Vec<f64> = (0..60).map(|i| ((i * 7) % 5) as f64 * 0.1).collect();
+        let d = DataFrame::new(vec![
+            Column::source("t", "a", ColumnData::Float(a)),
+            Column::source("t", "b", ColumnData::Float(b)),
+            Column::source("t", "c", ColumnData::Float(c)),
+        ])
+        .unwrap();
+        let out =
+            pca(&d, &["a", "b", "c"], &PcaParams { n_components: 3, n_iter: 300 }).unwrap();
+        let var = |name: &str| {
+            let v = out.column(name).unwrap().floats().unwrap();
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var("pc0") >= var("pc1") * 0.99);
+        assert!(var("pc1") >= var("pc2") * 0.99);
+        assert!(var("pc0") > var("pc2"));
+    }
+
+    #[test]
+    fn deterministic_and_validated() {
+        let params = PcaParams::default();
+        let a = pca(&df(), &["a", "b", "c"], &params).unwrap();
+        let b = pca(&df(), &["a", "b", "c"], &params).unwrap();
+        assert_eq!(
+            a.column("pc0").unwrap().floats().unwrap(),
+            b.column("pc0").unwrap().floats().unwrap()
+        );
+        assert!(pca(&df(), &["a"], &PcaParams { n_components: 2, n_iter: 10 }).is_err());
+        assert!(pca(&df(), &["a"], &PcaParams { n_components: 0, n_iter: 10 }).is_err());
+    }
+}

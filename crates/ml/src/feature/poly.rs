@@ -1,0 +1,76 @@
+//! Degree-2 polynomial feature expansion.
+
+use crate::error::{MlError, Result};
+use co_dataframe::hash;
+use co_dataframe::{Column, ColumnData, ColumnId, DataFrame};
+
+/// Stable operation signature for [`polynomial_features`].
+#[must_use]
+pub fn polynomial_signature(columns: &[&str]) -> u64 {
+    let mut parts = vec!["poly2"];
+    parts.extend_from_slice(columns);
+    hash::fnv1a_parts(&parts)
+}
+
+/// Add squared terms (`{a}^2`) and pairwise products (`{a}*{b}`) of the
+/// named numeric columns. The original columns are kept untouched (ids
+/// preserved); each new column derives from its source column ids.
+pub fn polynomial_features(df: &DataFrame, columns: &[&str]) -> Result<DataFrame> {
+    if columns.is_empty() {
+        return Err(MlError::InvalidParam("polynomial_features needs columns".into()));
+    }
+    let sig = polynomial_signature(columns);
+    let mut out = df.clone();
+    let values: Vec<(&str, ColumnId, Vec<f64>)> = columns
+        .iter()
+        .map(|&name| {
+            let c = df.column(name)?;
+            Ok((name, c.id(), c.to_f64()?))
+        })
+        .collect::<Result<_>>()?;
+
+    for (name, id, v) in &values {
+        let squared: Vec<f64> = v.iter().map(|x| x * x).collect();
+        let col_sig = hash::combine(sig, hash::fnv1a_parts(&["sq", name]));
+        out = out.with_column(Column::derived(
+            &format!("{name}^2"),
+            id.derive(col_sig),
+            ColumnData::Float(squared),
+        ))?;
+    }
+    for i in 0..values.len() {
+        for j in (i + 1)..values.len() {
+            let (na, ia, va) = &values[i];
+            let (nb, ib, vb) = &values[j];
+            let product: Vec<f64> = va.iter().zip(vb.iter()).map(|(x, y)| x * y).collect();
+            let col_sig = hash::combine(sig, hash::fnv1a_parts(&["cross", na, nb]));
+            out = out.with_column(Column::derived(
+                &format!("{na}*{nb}"),
+                ColumnId::derive_many(&[*ia, *ib], col_sig),
+                ColumnData::Float(product),
+            ))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expands_squares_and_crosses() {
+        let d = DataFrame::new(vec![
+            Column::source("t", "a", ColumnData::Float(vec![1.0, 2.0])),
+            Column::source("t", "b", ColumnData::Float(vec![3.0, 4.0])),
+        ])
+        .unwrap();
+        let out = polynomial_features(&d, &["a", "b"]).unwrap();
+        assert_eq!(out.column("a^2").unwrap().floats().unwrap(), &[1.0, 4.0]);
+        assert_eq!(out.column("b^2").unwrap().floats().unwrap(), &[9.0, 16.0]);
+        assert_eq!(out.column("a*b").unwrap().floats().unwrap(), &[3.0, 8.0]);
+        // Originals untouched.
+        assert_eq!(out.column("a").unwrap().id(), d.column("a").unwrap().id());
+        assert!(polynomial_features(&d, &[]).is_err());
+    }
+}

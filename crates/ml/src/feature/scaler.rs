@@ -1,0 +1,136 @@
+//! Column scalers (standardisation and min-max normalisation).
+
+use crate::error::Result;
+use co_dataframe::hash;
+use co_dataframe::{Column, ColumnData, DataFrame};
+
+/// Which scaling to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleKind {
+    /// Zero mean, unit variance (constant columns map to zero).
+    Standard,
+    /// Rescale into `[0, 1]` (constant columns map to zero).
+    MinMax,
+}
+
+impl ScaleKind {
+    /// Short stable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleKind::Standard => "standard",
+            ScaleKind::MinMax => "minmax",
+        }
+    }
+}
+
+/// Stable operation signature for [`scale`].
+#[must_use]
+pub fn scale_signature(kind: ScaleKind, columns: &[&str]) -> u64 {
+    let mut parts = vec!["scale", kind.name()];
+    parts.extend_from_slice(columns);
+    hash::fnv1a_parts(&parts)
+}
+
+/// Fit-and-transform the named numeric columns in place (`NaN`s pass
+/// through untouched). Unnamed columns keep their ids.
+pub fn scale(df: &DataFrame, kind: ScaleKind, columns: &[&str]) -> Result<DataFrame> {
+    let sig = scale_signature(kind, columns);
+    let mut out = df.clone();
+    for name in columns {
+        let col = df.column(name)?;
+        let values = col.to_f64()?;
+        let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let scaled: Vec<f64> = match kind {
+            ScaleKind::Standard => {
+                let n = present.len().max(1) as f64;
+                let mean = present.iter().sum::<f64>() / n;
+                let std =
+                    (present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+                values
+                    .iter()
+                    .map(|&v| if std > 0.0 { (v - mean) / std } else { 0.0 })
+                    .collect()
+            }
+            ScaleKind::MinMax => {
+                let lo = present.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let range = hi - lo;
+                values
+                    .iter()
+                    .map(|&v| if range > 0.0 { (v - lo) / range } else { 0.0 })
+                    .collect()
+            }
+        };
+        out = out.with_column(Column::derived(
+            name,
+            col.id().derive(sig),
+            ColumnData::Float(scaled),
+        ))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float(vec![0.0, 5.0, 10.0])),
+            Column::source("t", "c", ColumnData::Float(vec![7.0, 7.0, 7.0])),
+            Column::source("t", "k", ColumnData::Int(vec![1, 2, 3])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_scaling() {
+        let out = scale(&df(), ScaleKind::Standard, &["x"]).unwrap();
+        let v = out.column("x").unwrap().floats().unwrap();
+        assert!((v[1]).abs() < 1e-12);
+        assert!((v.iter().sum::<f64>()).abs() < 1e-12);
+        // Untouched column keeps id.
+        assert_eq!(out.column("k").unwrap().id(), df().column("k").unwrap().id());
+    }
+
+    #[test]
+    fn minmax_scaling() {
+        let out = scale(&df(), ScaleKind::MinMax, &["x"]).unwrap();
+        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn constant_columns_map_to_zero() {
+        for kind in [ScaleKind::Standard, ScaleKind::MinMax] {
+            let out = scale(&df(), kind, &["c"]).unwrap();
+            assert_eq!(out.column("c").unwrap().floats().unwrap(), &[0.0, 0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn nan_passes_through_standard() {
+        let d = DataFrame::new(vec![Column::source(
+            "t",
+            "x",
+            ColumnData::Float(vec![0.0, f64::NAN, 10.0]),
+        )])
+        .unwrap();
+        let out = scale(&d, ScaleKind::Standard, &["x"]).unwrap();
+        let v = out.column("x").unwrap().floats().unwrap();
+        assert!(v[1].is_nan());
+        assert!((v[0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_distinguishes_kind_and_columns() {
+        assert_ne!(
+            scale_signature(ScaleKind::Standard, &["x"]),
+            scale_signature(ScaleKind::MinMax, &["x"])
+        );
+        assert_ne!(
+            scale_signature(ScaleKind::Standard, &["x"]),
+            scale_signature(ScaleKind::Standard, &["y"])
+        );
+    }
+}

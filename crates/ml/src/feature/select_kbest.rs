@@ -1,0 +1,130 @@
+//! `SelectKBest`: univariate feature selection by ANOVA F-score against a
+//! binary target (paper Listing 1: `SelectKBest(k=2).fit_transform(...)`).
+
+use crate::error::{MlError, Result};
+use co_dataframe::hash;
+use co_dataframe::DataFrame;
+
+/// Stable operation signature for [`select_k_best`].
+#[must_use]
+pub fn select_k_best_signature(k: usize, label: &str) -> u64 {
+    hash::fnv1a_parts(&["select_k_best", &k.to_string(), label])
+}
+
+/// Keep the `k` numeric feature columns with the highest ANOVA F-score
+/// against the binary label column. The selected columns are *projected*,
+/// not transformed, so they keep their lineage ids — a selection over
+/// previously materialized features is nearly free to store.
+///
+/// Ties and the output order follow the original column order, like
+/// sklearn's `SelectKBest` (which preserves input order).
+pub fn select_k_best(df: &DataFrame, label: &str, k: usize) -> Result<DataFrame> {
+    if k == 0 {
+        return Err(MlError::InvalidParam("k must be positive".into()));
+    }
+    let y = df.column(label)?.to_f64()?;
+    let mut scored: Vec<(usize, f64)> = Vec::new();
+    for (idx, col) in df.columns().iter().enumerate() {
+        if col.name() == label {
+            continue;
+        }
+        let Ok(values) = col.to_f64() else { continue };
+        scored.push((idx, f_score(&values, &y)));
+    }
+    if scored.is_empty() {
+        return Err(MlError::DegenerateData("no numeric feature columns".into()));
+    }
+    let k = k.min(scored.len());
+    // Highest score first; stable by original position for determinism.
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep: Vec<usize> = scored[..k].iter().map(|(i, _)| *i).collect();
+    keep.sort_unstable(); // restore original column order
+    let names: Vec<&str> = keep
+        .iter()
+        .map(|&i| df.column_at(i).expect("index valid").name())
+        .collect();
+    df.select(&names).map_err(MlError::from)
+}
+
+/// One-way ANOVA F-statistic of a feature against binary classes. Missing
+/// values are ignored; degenerate cases score zero.
+fn f_score(values: &[f64], y: &[f64]) -> f64 {
+    let mut groups: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for (&v, &label) in values.iter().zip(y) {
+        if !v.is_nan() {
+            groups[usize::from(label > 0.5)].push(v);
+        }
+    }
+    let (g0, g1) = (&groups[0], &groups[1]);
+    if g0.len() < 2 || g1.len() < 2 {
+        return 0.0;
+    }
+    let n = (g0.len() + g1.len()) as f64;
+    let mean_all = (g0.iter().sum::<f64>() + g1.iter().sum::<f64>()) / n;
+    let (m0, m1) = (
+        g0.iter().sum::<f64>() / g0.len() as f64,
+        g1.iter().sum::<f64>() / g1.len() as f64,
+    );
+    let between = g0.len() as f64 * (m0 - mean_all).powi(2)
+        + g1.len() as f64 * (m1 - mean_all).powi(2);
+    let within: f64 = g0.iter().map(|v| (v - m0).powi(2)).sum::<f64>()
+        + g1.iter().map(|v| (v - m1).powi(2)).sum::<f64>();
+    if within <= 0.0 {
+        // Perfectly separated feature: arbitrarily large but finite score.
+        return f64::MAX / 2.0;
+    }
+    (between / 1.0) / (within / (n - 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_dataframe::{Column, ColumnData};
+
+    fn df() -> DataFrame {
+        // "good" separates classes perfectly, "weak" partially, "noise" not.
+        DataFrame::new(vec![
+            Column::source("t", "good", ColumnData::Float(vec![0.0, 0.1, 0.2, 5.0, 5.1, 5.2])),
+            Column::source("t", "noise", ColumnData::Float(vec![1.0, 2.0, 1.5, 1.2, 1.8, 1.4])),
+            Column::source("t", "weak", ColumnData::Float(vec![0.0, 1.0, 0.5, 0.8, 1.5, 1.2])),
+            Column::source("t", "y", ColumnData::Int(vec![0, 0, 0, 1, 1, 1])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn selects_most_discriminative() {
+        let out = select_k_best(&df(), "y", 1).unwrap();
+        assert_eq!(out.column_names(), vec!["good"]);
+        let out = select_k_best(&df(), "y", 2).unwrap();
+        assert_eq!(out.column_names(), vec!["good", "weak"]);
+    }
+
+    #[test]
+    fn selection_preserves_ids() {
+        let d = df();
+        let out = select_k_best(&d, "y", 2).unwrap();
+        assert_eq!(out.column("good").unwrap().id(), d.column("good").unwrap().id());
+    }
+
+    #[test]
+    fn k_larger_than_features_keeps_all() {
+        let out = select_k_best(&df(), "y", 99).unwrap();
+        assert_eq!(out.n_cols(), 3); // label excluded
+        assert!(!out.has_column("y"));
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(select_k_best(&df(), "y", 0).is_err());
+        assert!(select_k_best(&df(), "missing", 1).is_err());
+    }
+
+    #[test]
+    fn f_score_degenerate_cases() {
+        assert_eq!(f_score(&[1.0, 2.0], &[0.0, 0.0]), 0.0); // single class
+        assert_eq!(f_score(&[f64::NAN, f64::NAN, 1.0, 2.0], &[0.0, 0.0, 1.0, 1.0]), 0.0);
+        let perfect = f_score(&[0.0, 0.0, 1.0, 1.0], &[0.0, 0.0, 1.0, 1.0]);
+        assert!(perfect > 1e100); // zero within-variance
+    }
+}

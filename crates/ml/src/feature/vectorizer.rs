@@ -1,0 +1,225 @@
+//! `CountVectorizer`: bag-of-words token counts over a text column
+//! (paper Listing 1: `CountVectorizer().fit_transform(ad_desc)`).
+
+use crate::error::{MlError, Result};
+use co_dataframe::hash;
+use co_dataframe::{Column, ColumnData, DataFrame};
+use std::collections::HashMap;
+
+/// Parameters for [`count_vectorize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorizerParams {
+    /// Keep the `max_features` most frequent tokens (by total count, ties
+    /// broken lexicographically).
+    pub max_features: usize,
+    /// Ignore tokens shorter than this many characters.
+    pub min_token_len: usize,
+}
+
+impl Default for VectorizerParams {
+    fn default() -> Self {
+        VectorizerParams { max_features: 100, min_token_len: 2 }
+    }
+}
+
+impl VectorizerParams {
+    /// Stable digest of the parameters.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!("max_features={},min_len={}", self.max_features, self.min_token_len)
+    }
+}
+
+/// Stable operation signature for [`count_vectorize`].
+#[must_use]
+pub fn count_vectorize_signature(col: &str, params: &VectorizerParams) -> u64 {
+    hash::fnv1a_parts(&["count_vectorize", col, &params.digest()])
+}
+
+/// Tokenise a string column (lowercased alphanumeric runs) and produce one
+/// `Float` count column per vocabulary token, named `"{col}#{token}"`.
+/// The output frame contains only the token columns (like sklearn's
+/// vectorizer, which returns a document-term matrix).
+pub fn count_vectorize(
+    df: &DataFrame,
+    col: &str,
+    params: &VectorizerParams,
+) -> Result<DataFrame> {
+    if params.max_features == 0 {
+        return Err(MlError::InvalidParam("max_features must be positive".into()));
+    }
+    let source = df.column(col)?;
+    let texts = source.strs().map_err(MlError::from)?;
+    let sig = count_vectorize_signature(col, params);
+
+    // Tokenise once, counting totals for vocabulary selection.
+    let mut totals: HashMap<String, usize> = HashMap::new();
+    let docs: Vec<Vec<String>> = texts
+        .iter()
+        .map(|t| {
+            let tokens = tokenize(t, params.min_token_len);
+            for tok in &tokens {
+                *totals.entry(tok.clone()).or_insert(0) += 1;
+            }
+            tokens
+        })
+        .collect();
+
+    let mut vocab: Vec<(String, usize)> = totals.into_iter().collect();
+    vocab.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    vocab.truncate(params.max_features);
+    if vocab.is_empty() {
+        return Err(MlError::DegenerateData(format!("no tokens in column {col:?}")));
+    }
+
+    let index: HashMap<&str, usize> =
+        vocab.iter().enumerate().map(|(i, (t, _))| (t.as_str(), i)).collect();
+    let mut counts: Vec<Vec<f64>> = vec![vec![0.0; texts.len()]; vocab.len()];
+    for (row, tokens) in docs.iter().enumerate() {
+        for tok in tokens {
+            if let Some(&j) = index.get(tok.as_str()) {
+                counts[j][row] += 1.0;
+            }
+        }
+    }
+
+    let columns = vocab
+        .iter()
+        .zip(counts)
+        .map(|((token, _), data)| {
+            let id = source
+                .id()
+                .derive(hash::combine(sig, hash::fnv1a_parts(&["token", token])));
+            Column::derived(&format!("{col}#{token}"), id, ColumnData::Float(data))
+        })
+        .collect();
+    DataFrame::new(columns).map_err(MlError::from)
+}
+
+/// Stable operation signature for [`tfidf_vectorize`].
+#[must_use]
+pub fn tfidf_vectorize_signature(col: &str, params: &VectorizerParams) -> u64 {
+    hash::fnv1a_parts(&["tfidf_vectorize", col, &params.digest()])
+}
+
+/// TF-IDF weighting over the same vocabulary selection as
+/// [`count_vectorize`]: each count is scaled by
+/// `ln((1 + n_docs) / (1 + doc_freq)) + 1` (sklearn's smoothed IDF).
+pub fn tfidf_vectorize(
+    df: &DataFrame,
+    col: &str,
+    params: &VectorizerParams,
+) -> Result<DataFrame> {
+    let counts = count_vectorize(df, col, params)?;
+    let sig = tfidf_vectorize_signature(col, params);
+    let n_docs = counts.n_rows() as f64;
+    let source_id = df.column(col)?.id();
+    let columns = counts
+        .columns()
+        .iter()
+        .map(|c| {
+            let values = c.floats().expect("count columns are floats");
+            let doc_freq = values.iter().filter(|&&v| v > 0.0).count() as f64;
+            let idf = ((1.0 + n_docs) / (1.0 + doc_freq)).ln() + 1.0;
+            let token = c.name().rsplit('#').next().unwrap_or_default();
+            let id = source_id
+                .derive(hash::combine(sig, hash::fnv1a_parts(&["token", token])));
+            Column::derived(c.name(), id, ColumnData::Float(values.iter().map(|v| v * idf).collect()))
+        })
+        .collect();
+    DataFrame::new(columns).map_err(MlError::from)
+}
+
+/// Lowercased alphanumeric tokens of at least `min_len` characters.
+fn tokenize(text: &str, min_len: usize) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.chars().count() >= min_len.max(1))
+        .map(str::to_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![Column::source(
+            "t",
+            "desc",
+            ColumnData::Str(vec![
+                "red shoes for sale".into(),
+                "blue shoes, great SHOES!".into(),
+                "a hat".into(),
+            ]),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_tokens() {
+        let out =
+            count_vectorize(&df(), "desc", &VectorizerParams { max_features: 50, min_token_len: 2 })
+                .unwrap();
+        let shoes = out.column("desc#shoes").unwrap().floats().unwrap();
+        assert_eq!(shoes, &[1.0, 2.0, 0.0]); // case-insensitive, punctuation split
+        assert!(out.has_column("desc#hat"));
+        assert!(!out.has_column("desc#a")); // below min_token_len
+    }
+
+    #[test]
+    fn vocabulary_is_capped_by_frequency() {
+        let out =
+            count_vectorize(&df(), "desc", &VectorizerParams { max_features: 1, min_token_len: 2 })
+                .unwrap();
+        assert_eq!(out.n_cols(), 1);
+        assert!(out.has_column("desc#shoes")); // most frequent token
+    }
+
+    #[test]
+    fn lineage_per_token_and_deterministic() {
+        let params = VectorizerParams::default();
+        let a = count_vectorize(&df(), "desc", &params).unwrap();
+        let b = count_vectorize(&df(), "desc", &params).unwrap();
+        assert_eq!(a.column_ids(), b.column_ids());
+        assert_ne!(
+            a.column("desc#shoes").unwrap().id(),
+            a.column("desc#hat").unwrap().id()
+        );
+    }
+
+    #[test]
+    fn tfidf_downweights_ubiquitous_tokens() {
+        let params = VectorizerParams { max_features: 50, min_token_len: 2 };
+        let counts = count_vectorize(&df(), "desc", &params).unwrap();
+        let tfidf = tfidf_vectorize(&df(), "desc", &params).unwrap();
+        assert_eq!(counts.column_names(), tfidf.column_names());
+        // "shoes" appears in 2 of 3 docs, "hat" in 2 of 3, "red" in 1...
+        // use "sale" (1 doc) vs "shoes" (2 docs): rarer token gets the
+        // larger IDF multiplier.
+        let ratio = |name: &str| {
+            let c = counts.column(name).unwrap().floats().unwrap();
+            let t = tfidf.column(name).unwrap().floats().unwrap();
+            let (i, _) = c.iter().enumerate().find(|(_, &v)| v > 0.0).unwrap();
+            t[i] / c[i]
+        };
+        assert!(ratio("desc#sale") > ratio("desc#shoes"));
+        // Lineage differs from plain counts (a different operation).
+        assert_ne!(
+            counts.column("desc#shoes").unwrap().id(),
+            tfidf.column("desc#shoes").unwrap().id()
+        );
+    }
+
+    #[test]
+    fn rejects_numeric_column_and_empty_text() {
+        let d = DataFrame::new(vec![Column::source("t", "x", ColumnData::Int(vec![1]))]).unwrap();
+        assert!(count_vectorize(&d, "x", &VectorizerParams::default()).is_err());
+        let empty = DataFrame::new(vec![Column::source(
+            "t",
+            "s",
+            ColumnData::Str(vec!["!!".into()]),
+        )])
+        .unwrap();
+        assert!(count_vectorize(&empty, "s", &VectorizerParams::default()).is_err());
+    }
+}

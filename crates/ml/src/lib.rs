@@ -1,0 +1,47 @@
+//! # co-ml
+//!
+//! The machine-learning substrate of the collaborative workload optimizer:
+//! a from-scratch, dependency-free analogue of the scikit-learn subset the
+//! paper's workloads use (Derakhshan et al., SIGMOD 2020).
+//!
+//! * **Models** — logistic regression, linear SVM, ridge regression,
+//!   decision trees, random forests, gradient-boosted trees. Every trainer
+//!   is deterministic under a seed; the iterative trainers support
+//!   **warmstarting** (paper §6.2): initialise from a previously trained
+//!   model instead of from scratch, which reduces epochs-to-convergence and
+//!   (under a `max_iter` cap) can improve final accuracy.
+//! * **Feature operators** — standard/min-max scalers, `CountVectorizer`,
+//!   `SelectKBest`, PCA, imputation, polynomial features. Feature operators
+//!   consume and produce [`co_dataframe::DataFrame`]s and follow the
+//!   column-id lineage rules, so their outputs participate in the
+//!   storage-aware materializer's deduplication.
+//! * **Metrics** — ROC AUC (the paper's score function for the Kaggle
+//!   use case), accuracy, log-loss, F1, RMSE.
+//! * **Model selection** — train/test split, k-fold CV, grid search.
+//!
+//! ```
+//! use co_ml::linear::{LogisticRegression, LogisticParams};
+//! use co_ml::matrix::Matrix;
+//! use co_ml::metrics::roc_auc;
+//!
+//! let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+//! let y = vec![0.0, 0.0, 1.0, 1.0];
+//! let model = LogisticRegression::new(LogisticParams::default()).fit(&x, &y).unwrap();
+//! let auc = roc_auc(&y, &model.predict_proba(&x));
+//! assert!(auc > 0.9);
+//! ```
+
+pub mod cluster;
+pub mod dataset;
+pub mod error;
+pub mod feature;
+pub mod linear;
+pub mod matrix;
+pub mod metrics;
+pub mod model;
+pub mod select;
+pub mod tree;
+
+pub use error::{MlError, Result};
+pub use matrix::Matrix;
+pub use model::{ModelKind, TrainedModel};

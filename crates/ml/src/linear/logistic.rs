@@ -1,0 +1,216 @@
+//! L2-regularised logistic regression trained by full-batch gradient
+//! descent.
+
+use super::{gradient_descent, init_state, sigmoid, LinearState};
+use crate::error::Result;
+use crate::matrix::Matrix;
+use co_dataframe::hash::{self, float_digest};
+
+/// Hyperparameters for [`LogisticRegression`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticParams {
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Maximum gradient epochs.
+    pub max_iter: usize,
+    /// Early-stopping tolerance on the parameter update norm.
+    pub tol: f64,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        LogisticParams { lr: 0.5, l2: 1e-4, max_iter: 200, tol: 1e-5 }
+    }
+}
+
+impl LogisticParams {
+    /// Stable digest of the hyperparameters (used in operation
+    /// signatures).
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!(
+            "lr={},l2={},max_iter={},tol={}",
+            float_digest(self.lr),
+            float_digest(self.l2),
+            self.max_iter,
+            float_digest(self.tol)
+        )
+    }
+}
+
+/// Logistic-regression trainer.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    params: LogisticParams,
+}
+
+/// A trained logistic-regression model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    /// Weights, bias, and convergence bookkeeping.
+    pub state: LinearState,
+    /// The hyperparameters that produced the model.
+    pub params: LogisticParams,
+}
+
+impl LogisticRegression {
+    /// Create a trainer with the given hyperparameters.
+    #[must_use]
+    pub fn new(params: LogisticParams) -> Self {
+        LogisticRegression { params }
+    }
+
+    /// Train from scratch.
+    pub fn fit(&self, x: &Matrix, y: &[f64]) -> Result<LogisticModel> {
+        self.fit_warm(x, y, None)
+    }
+
+    /// Train, optionally warmstarting from a previous model's parameters
+    /// (paper §6.2). The warmstart model may come from different
+    /// hyperparameters; only the feature count must match.
+    pub fn fit_warm(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        warmstart: Option<&LogisticModel>,
+    ) -> Result<LogisticModel> {
+        let init = init_state(x, y, warmstart.map(|m| &m.state))?;
+        let n = x.rows() as f64;
+        let l2 = self.params.l2;
+        let state = gradient_descent(
+            init,
+            self.params.max_iter,
+            self.params.lr,
+            self.params.tol,
+            |state, gw, gb| {
+                let z = state.decision(x);
+                for (i, zi) in z.iter().enumerate() {
+                    let err = sigmoid(*zi) - y[i];
+                    for (g, xij) in gw.iter_mut().zip(x.row(i)) {
+                        *g += err * xij / n;
+                    }
+                    *gb += err / n;
+                }
+                for (g, w) in gw.iter_mut().zip(&state.weights) {
+                    *g += l2 * w;
+                }
+            },
+        );
+        Ok(LogisticModel { state, params: self.params.clone() })
+    }
+}
+
+impl LogisticModel {
+    /// Class-1 probabilities.
+    #[must_use]
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.state.decision(x).into_iter().map(sigmoid).collect()
+    }
+
+    /// Hard 0/1 predictions at threshold 0.5.
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_proba(x).into_iter().map(|p| if p > 0.5 { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Approximate size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        self.state.nbytes()
+    }
+
+    /// Stable digest of model type + hyperparameters (not the learned
+    /// weights): two training operations are *the same operation* iff their
+    /// digests and input artifacts agree.
+    #[must_use]
+    pub fn op_digest(params: &LogisticParams) -> u64 {
+        hash::fnv1a_parts(&["train_logistic", &params.digest()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, roc_auc};
+
+    fn separable() -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let v = i as f64 / 25.0; // 0..2
+            rows.push(vec![v, 1.0 - v]);
+            y.push(if v > 1.0 { 1.0 } else { 0.0 });
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (x, y) = separable();
+        let model = LogisticRegression::new(LogisticParams::default()).fit(&x, &y).unwrap();
+        assert!(roc_auc(&y, &model.predict_proba(&x)) > 0.99);
+        assert!(accuracy(&y, &model.predict(&x)) > 0.95);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = separable();
+        let t = LogisticRegression::new(LogisticParams::default());
+        let a = t.fit(&x, &y).unwrap();
+        let b = t.fit(&x, &y).unwrap();
+        assert_eq!(a.state.weights, b.state.weights);
+    }
+
+    #[test]
+    fn warmstart_converges_faster() {
+        let (x, y) = separable();
+        // Strong regularisation keeps the optimum at finite weights so the
+        // cold run converges well before max_iter.
+        let params =
+            LogisticParams { l2: 0.1, max_iter: 20_000, tol: 1e-7, ..LogisticParams::default() };
+        let trainer = LogisticRegression::new(params);
+        let cold = trainer.fit(&x, &y).unwrap();
+        assert!(cold.state.converged, "cold run must converge for this test");
+        let warm = trainer.fit_warm(&x, &y, Some(&cold)).unwrap();
+        assert!(warm.state.epochs_run < cold.state.epochs_run);
+        assert!(warm.state.converged);
+    }
+
+    #[test]
+    fn warmstart_improves_capped_training() {
+        let (x, y) = separable();
+        let capped = LogisticParams { max_iter: 3, tol: 1e-12, ..LogisticParams::default() };
+        let trainer = LogisticRegression::new(capped);
+        let cold = trainer.fit(&x, &y).unwrap();
+        // Simulate a high-quality prior model from a longer run.
+        let long = LogisticRegression::new(LogisticParams {
+            max_iter: 400,
+            ..LogisticParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        let warm = trainer.fit_warm(&x, &y, Some(&long)).unwrap();
+        let cold_auc = roc_auc(&y, &cold.predict_proba(&x));
+        let warm_auc = roc_auc(&y, &warm.predict_proba(&x));
+        assert!(warm_auc >= cold_auc);
+    }
+
+    #[test]
+    fn incompatible_warmstart_is_rejected() {
+        let (x, y) = separable();
+        let trainer = LogisticRegression::new(LogisticParams::default());
+        let model = trainer.fit(&x, &y).unwrap();
+        let narrow = x.take_cols(&[0]);
+        assert!(trainer.fit_warm(&narrow, &y, Some(&model)).is_err());
+    }
+
+    #[test]
+    fn op_digest_tracks_hyperparameters() {
+        let a = LogisticParams::default();
+        let b = LogisticParams { lr: 0.1, ..LogisticParams::default() };
+        assert_ne!(LogisticModel::op_digest(&a), LogisticModel::op_digest(&b));
+        assert_eq!(LogisticModel::op_digest(&a), LogisticModel::op_digest(&a.clone()));
+    }
+}

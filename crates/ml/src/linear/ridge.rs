@@ -1,0 +1,153 @@
+//! Ridge (L2-regularised linear) regression by full-batch gradient
+//! descent. Used for regression-flavoured pipelines in the OpenML workload
+//! sampler and as a warmstartable baseline trainer.
+
+use super::{gradient_descent, init_state, LinearState};
+use crate::error::Result;
+use crate::matrix::Matrix;
+use co_dataframe::hash::{self, float_digest};
+
+/// Hyperparameters for [`RidgeRegression`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeParams {
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Maximum gradient epochs.
+    pub max_iter: usize,
+    /// Early-stopping tolerance on the update norm.
+    pub tol: f64,
+}
+
+impl Default for RidgeParams {
+    fn default() -> Self {
+        RidgeParams { lr: 0.1, l2: 1e-4, max_iter: 200, tol: 1e-6 }
+    }
+}
+
+impl RidgeParams {
+    /// Stable digest of the hyperparameters.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!(
+            "lr={},l2={},max_iter={},tol={}",
+            float_digest(self.lr),
+            float_digest(self.l2),
+            self.max_iter,
+            float_digest(self.tol)
+        )
+    }
+}
+
+/// Ridge-regression trainer.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    params: RidgeParams,
+}
+
+/// A trained ridge-regression model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeModel {
+    /// Weights, bias, and convergence bookkeeping.
+    pub state: LinearState,
+    /// The hyperparameters that produced the model.
+    pub params: RidgeParams,
+}
+
+impl RidgeRegression {
+    /// Create a trainer with the given hyperparameters.
+    #[must_use]
+    pub fn new(params: RidgeParams) -> Self {
+        RidgeRegression { params }
+    }
+
+    /// Train from scratch.
+    pub fn fit(&self, x: &Matrix, y: &[f64]) -> Result<RidgeModel> {
+        self.fit_warm(x, y, None)
+    }
+
+    /// Train with an optional warmstart model.
+    pub fn fit_warm(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        warmstart: Option<&RidgeModel>,
+    ) -> Result<RidgeModel> {
+        let init = init_state(x, y, warmstart.map(|m| &m.state))?;
+        let n = x.rows() as f64;
+        let l2 = self.params.l2;
+        let state = gradient_descent(
+            init,
+            self.params.max_iter,
+            self.params.lr,
+            self.params.tol,
+            |state, gw, gb| {
+                let z = state.decision(x);
+                for (i, zi) in z.iter().enumerate() {
+                    let err = zi - y[i];
+                    for (g, xij) in gw.iter_mut().zip(x.row(i)) {
+                        *g += err * xij / n;
+                    }
+                    *gb += err / n;
+                }
+                for (g, w) in gw.iter_mut().zip(&state.weights) {
+                    *g += l2 * w;
+                }
+            },
+        );
+        Ok(RidgeModel { state, params: self.params.clone() })
+    }
+}
+
+impl RidgeModel {
+    /// Predicted values.
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.state.decision(x)
+    }
+
+    /// Approximate size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        self.state.nbytes()
+    }
+
+    /// Stable digest of model type + hyperparameters.
+    #[must_use]
+    pub fn op_digest(params: &RidgeParams) -> u64 {
+        hash::fnv1a_parts(&["train_ridge", &params.digest()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    #[test]
+    fn fits_a_line() {
+        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..20).map(|i| 2.0 * (i as f64 / 10.0) + 1.0).collect();
+        let model = RidgeRegression::new(RidgeParams { max_iter: 2000, ..RidgeParams::default() })
+            .fit(&x, &y)
+            .unwrap();
+        assert!(rmse(&y, &model.predict(&x)) < 0.1);
+        assert!((model.state.weights[0] - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn warmstart_continues_from_given_weights() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let y = vec![1.0, 2.0];
+        let zero_iter =
+            RidgeRegression::new(RidgeParams { max_iter: 0, ..RidgeParams::default() });
+        let warm_src = RidgeModel {
+            state: LinearState { weights: vec![5.0], bias: 1.0, epochs_run: 0, converged: false },
+            params: RidgeParams::default(),
+        };
+        let out = zero_iter.fit_warm(&x, &y, Some(&warm_src)).unwrap();
+        assert_eq!(out.state.weights, vec![5.0]);
+        assert_eq!(out.state.bias, 1.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! A dense, row-major `f64` matrix — the feature-matrix representation all
+//! trainers consume. Deliberately minimal: rows are contiguous so the hot
+//! loops (dot products per sample) are cache-friendly and auto-vectorise.
+
+use crate::error::{MlError, Result};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MlError::ShapeMismatch {
+                context: "Matrix::from_vec".into(),
+                expected: rows * cols,
+                found: data.len(),
+            });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Build from row slices (all rows must have equal length).
+    ///
+    /// Panics if rows are ragged; use in tests and small literals.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { data, rows: rows.len(), cols }
+    }
+
+    /// Build column-wise: each input vector becomes a column.
+    pub fn from_columns(columns: &[Vec<f64>]) -> Result<Self> {
+        let rows = columns.first().map_or(0, Vec::len);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != rows {
+                return Err(MlError::ShapeMismatch {
+                    context: format!("Matrix::from_columns (column {i})"),
+                    expected: rows,
+                    found: c.len(),
+                });
+            }
+        }
+        let cols = columns.len();
+        let mut data = vec![0.0; rows * cols];
+        for (j, c) in columns.iter().enumerate() {
+            for (i, &v) in c.iter().enumerate() {
+                data[i * cols + j] = v;
+            }
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Number of rows (samples).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One row as a contiguous slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Copy of column `j`.
+    #[must_use]
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// `x · w` for each row (no bias term).
+    #[must_use]
+    pub fn dot(&self, w: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(w.len(), self.cols);
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(w).map(|(x, wi)| x * wi).sum())
+            .collect()
+    }
+
+    /// Gather a subset of rows into a new matrix.
+    #[must_use]
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { data, rows: indices.len(), cols: self.cols }
+    }
+
+    /// Gather a subset of columns into a new matrix.
+    #[must_use]
+    pub fn take_cols(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * indices.len());
+        for i in 0..self.rows {
+            let row = self.row(i);
+            data.extend(indices.iter().map(|&j| row[j]));
+        }
+        Matrix { data, rows: self.rows, cols: indices.len() }
+    }
+
+    /// Horizontally stack two matrices with equal row counts.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(MlError::ShapeMismatch {
+                context: "Matrix::hstack".into(),
+                expected: self.rows,
+                found: other.rows,
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        Ok(Matrix { data, rows: self.rows, cols })
+    }
+
+    /// Per-column means.
+    #[must_use]
+    pub fn col_means(&self) -> Vec<f64> {
+        if self.rows == 0 {
+            return vec![0.0; self.cols];
+        }
+        let mut means = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (m, x) in means.iter_mut().zip(self.row(i)) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// Per-column population standard deviations.
+    #[must_use]
+    pub fn col_stds(&self) -> Vec<f64> {
+        let means = self.col_means();
+        if self.rows == 0 {
+            return vec![0.0; self.cols];
+        }
+        let mut vars = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for ((v, x), m) in vars.iter_mut().zip(self.row(i)).zip(&means) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        vars.iter().map(|v| (v / self.rows as f64).sqrt()).collect()
+    }
+
+    /// Approximate size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0]);
+        assert!(Matrix::from_vec(vec![1.0; 3], 2, 2).is_err());
+    }
+
+    #[test]
+    fn from_columns_transposes() {
+        let m = Matrix::from_columns(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 3.0]);
+        assert_eq!(m.row(1), &[2.0, 4.0]);
+        assert!(Matrix::from_columns(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn dot_products() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.dot(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn stacking_and_slicing() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0], vec![4.0]]);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.row(0), &[1.0, 3.0]);
+        assert_eq!(h.take_rows(&[1]).row(0), &[2.0, 4.0]);
+        assert_eq!(h.take_cols(&[1]).row(1), &[4.0]);
+        let c = Matrix::zeros(3, 1);
+        assert!(a.hstack(&c).is_err());
+    }
+
+    #[test]
+    fn column_stats() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0]]);
+        assert_eq!(m.col_means(), vec![2.0, 10.0]);
+        assert_eq!(m.col_stds(), vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Evaluation metrics. The paper's materializer assumes "there exists an
+//! evaluation function that assigns a score to ML models" (§5); for the
+//! Kaggle use case that score is ROC AUC.
+
+/// Area under the ROC curve for binary labels (`0.0`/`1.0`) and real-valued
+/// scores. Computed via the rank statistic with midrank tie handling.
+/// Returns 0.5 when only one class is present.
+#[must_use]
+pub fn roc_auc(y_true: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len(), "roc_auc length mismatch");
+    let n_pos = y_true.iter().filter(|&&y| y > 0.5).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending; average ranks across ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&y, _)| y > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
+/// Fraction of predictions matching the labels (predictions are
+/// thresholded at 0.5).
+#[must_use]
+pub fn accuracy(y_true: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len(), "accuracy length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true
+        .iter()
+        .zip(scores)
+        .filter(|(&y, &s)| (s > 0.5) == (y > 0.5))
+        .count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Binary cross-entropy of probabilistic scores (clipped to avoid infinite
+/// loss).
+#[must_use]
+pub fn log_loss(y_true: &[f64], probs: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), probs.len(), "log_loss length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = y_true
+        .iter()
+        .zip(probs)
+        .map(|(&y, &p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum();
+    total / y_true.len() as f64
+}
+
+/// F1 score of the positive class (threshold 0.5). Zero when there are no
+/// positive predictions or labels.
+#[must_use]
+pub fn f1_score(y_true: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len(), "f1 length mismatch");
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for (&y, &s) in y_true.iter().zip(scores) {
+        let (actual, pred) = (y > 0.5, s > 0.5);
+        match (actual, pred) {
+            (true, true) => tp += 1.0,
+            (false, true) => fp += 1.0,
+            (true, false) => fn_ += 1.0,
+            (false, false) => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fn_);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Confusion counts at threshold 0.5: (true positives, false positives,
+/// false negatives, true negatives).
+#[must_use]
+pub fn confusion_counts(y_true: &[f64], scores: &[f64]) -> (usize, usize, usize, usize) {
+    assert_eq!(y_true.len(), scores.len(), "confusion length mismatch");
+    let (mut tp, mut fp, mut fn_, mut tn) = (0, 0, 0, 0);
+    for (&y, &s) in y_true.iter().zip(scores) {
+        match (y > 0.5, s > 0.5) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fn_ += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    (tp, fp, fn_, tn)
+}
+
+/// Precision of the positive class (0 when nothing is predicted
+/// positive).
+#[must_use]
+pub fn precision(y_true: &[f64], scores: &[f64]) -> f64 {
+    let (tp, fp, ..) = confusion_counts(y_true, scores);
+    if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    }
+}
+
+/// Recall of the positive class (0 when there are no positives).
+#[must_use]
+pub fn recall(y_true: &[f64], scores: &[f64]) -> f64 {
+    let (tp, _, fn_, _) = confusion_counts(y_true, scores);
+    if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    }
+}
+
+/// Root mean squared error.
+#[must_use]
+pub fn rmse(y_true: &[f64], preds: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), preds.len(), "rmse length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = y_true
+        .iter()
+        .zip(preds)
+        .map(|(&y, &p)| (y - p) * (y - p))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    mse.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(roc_auc(&y, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(roc_auc(&y, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+        assert_eq!(roc_auc(&y, &[0.5, 0.5, 0.5, 0.5]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_ties_and_single_class() {
+        let y = [0.0, 1.0, 1.0];
+        let auc = roc_auc(&y, &[0.5, 0.5, 0.9]);
+        assert!((auc - 0.75).abs() < 1e-12);
+        assert_eq!(roc_auc(&[1.0, 1.0], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn accuracy_and_f1() {
+        let y = [0.0, 1.0, 1.0, 0.0];
+        let s = [0.2, 0.9, 0.4, 0.1];
+        assert_eq!(accuracy(&y, &s), 0.75);
+        let f1 = f1_score(&y, &s);
+        assert!((f1 - (2.0 * 1.0 * 0.5 / 1.5)).abs() < 1e-12);
+        assert_eq!(f1_score(&y, &[0.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_is_finite_at_extremes() {
+        let loss = log_loss(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-10);
+        let bad = log_loss(&[1.0], &[0.0]);
+        assert!(bad.is_finite() && bad > 10.0);
+    }
+
+    #[test]
+    fn confusion_precision_recall() {
+        let y = [1.0, 1.0, 0.0, 0.0, 1.0];
+        let s = [0.9, 0.2, 0.8, 0.1, 0.7];
+        assert_eq!(confusion_counts(&y, &s), (2, 1, 1, 1));
+        assert!((precision(&y, &s) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall(&y, &s) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision(&y, &[0.0; 5]), 0.0);
+        assert_eq!(recall(&[0.0; 5], &[0.9; 5]), 0.0);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 4.0]), 2.0f64.sqrt());
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+}

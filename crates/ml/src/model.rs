@@ -1,0 +1,179 @@
+//! The unified trained-model artifact type stored in the Experiment Graph.
+//!
+//! An Experiment Graph vertex that represents a model needs four things
+//! (paper §3.2): the model content (weights/trees), its *type* and
+//! *hyperparameters* (meta-data used to find warmstart candidates), its
+//! size, and its evaluation score. [`TrainedModel`] carries the first
+//! three; the score lives on the graph vertex because it depends on the
+//! evaluation dataset.
+
+use crate::linear::{LogisticModel, RidgeModel, SvmModel};
+use crate::matrix::Matrix;
+use crate::tree::{DecisionTree, ForestModel, GbtModel};
+
+/// Model family, used for warmstart-candidate matching (paper §6.2: "a
+/// warmstarting candidate is a model that is trained on the same artifact
+/// and is of the same type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Logistic regression.
+    Logistic,
+    /// Linear SVM.
+    Svm,
+    /// Ridge regression.
+    Ridge,
+    /// Single decision tree.
+    Tree,
+    /// Random forest.
+    Forest,
+    /// Gradient-boosted trees.
+    Gbt,
+}
+
+impl ModelKind {
+    /// Short stable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Logistic => "logistic",
+            ModelKind::Svm => "svm",
+            ModelKind::Ridge => "ridge",
+            ModelKind::Tree => "tree",
+            ModelKind::Forest => "forest",
+            ModelKind::Gbt => "gbt",
+        }
+    }
+
+    /// Whether trainers of this kind accept a warmstart initialiser.
+    /// Bagged forests and single trees are not iterative, so they cannot
+    /// be warmstarted (users must flag this per operation, per paper §4.2).
+    #[must_use]
+    pub fn warmstartable(self) -> bool {
+        matches!(self, ModelKind::Logistic | ModelKind::Svm | ModelKind::Ridge | ModelKind::Gbt)
+    }
+}
+
+/// A trained model of any supported family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainedModel {
+    /// Logistic regression.
+    Logistic(LogisticModel),
+    /// Linear SVM.
+    Svm(SvmModel),
+    /// Ridge regression.
+    Ridge(RidgeModel),
+    /// Single decision tree (leaf means as probabilities).
+    Tree(DecisionTree),
+    /// Random forest.
+    Forest(ForestModel),
+    /// Gradient-boosted trees.
+    Gbt(GbtModel),
+}
+
+impl TrainedModel {
+    /// The model family.
+    #[must_use]
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            TrainedModel::Logistic(_) => ModelKind::Logistic,
+            TrainedModel::Svm(_) => ModelKind::Svm,
+            TrainedModel::Ridge(_) => ModelKind::Ridge,
+            TrainedModel::Tree(_) => ModelKind::Tree,
+            TrainedModel::Forest(_) => ModelKind::Forest,
+            TrainedModel::Gbt(_) => ModelKind::Gbt,
+        }
+    }
+
+    /// Probabilistic (or real-valued, for ridge) predictions.
+    #[must_use]
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        match self {
+            TrainedModel::Logistic(m) => m.predict_proba(x),
+            TrainedModel::Svm(m) => m.predict_proba(x),
+            TrainedModel::Ridge(m) => m.predict(x),
+            TrainedModel::Tree(m) => m.predict(x),
+            TrainedModel::Forest(m) => m.predict_proba(x),
+            TrainedModel::Gbt(m) => m.predict_proba(x),
+        }
+    }
+
+    /// Hard 0/1 predictions (ridge thresholds its real output at 0.5).
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| if p > 0.5 { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Serialization envelope: a persisted model carries metadata,
+    /// hyperparameters, and format overhead beyond its raw parameters
+    /// (a pickled sklearn estimator is KBs even for a 10-weight model).
+    pub const ENVELOPE_BYTES: usize = 4096;
+
+    /// Approximate content size in bytes — the `s` attribute of the
+    /// model's Experiment Graph vertex.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        Self::ENVELOPE_BYTES
+            + match self {
+                TrainedModel::Logistic(m) => m.nbytes(),
+                TrainedModel::Svm(m) => m.nbytes(),
+                TrainedModel::Ridge(m) => m.nbytes(),
+                TrainedModel::Tree(m) => m.nbytes(),
+                TrainedModel::Forest(m) => m.nbytes(),
+                TrainedModel::Gbt(m) => m.nbytes(),
+            }
+    }
+
+    /// Hyperparameter digest — part of the model vertex meta-data.
+    #[must_use]
+    pub fn params_digest(&self) -> String {
+        match self {
+            TrainedModel::Logistic(m) => m.params.digest(),
+            TrainedModel::Svm(m) => m.params.digest(),
+            TrainedModel::Ridge(m) => m.params.digest(),
+            TrainedModel::Tree(_) => "tree".to_owned(),
+            TrainedModel::Forest(m) => m.params.digest(),
+            TrainedModel::Gbt(m) => m.params.digest(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{LogisticParams, LogisticRegression};
+    use crate::tree::{GbtParams, GradientBoosting};
+
+    fn data() -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..20).map(|i| if i >= 10 { 1.0 } else { 0.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn wraps_models_uniformly() {
+        let (x, y) = data();
+        let lr = LogisticRegression::new(LogisticParams::default()).fit(&x, &y).unwrap();
+        let gbt = GradientBoosting::new(GbtParams::default()).fit(&x, &y).unwrap();
+        for (model, kind) in [
+            (TrainedModel::Logistic(lr), ModelKind::Logistic),
+            (TrainedModel::Gbt(gbt), ModelKind::Gbt),
+        ] {
+            assert_eq!(model.kind(), kind);
+            assert!(model.nbytes() > 0);
+            assert_eq!(model.predict_proba(&x).len(), 20);
+            let preds = model.predict(&x);
+            assert!(preds.iter().all(|&p| p == 0.0 || p == 1.0));
+        }
+    }
+
+    #[test]
+    fn warmstartability_flags() {
+        assert!(ModelKind::Logistic.warmstartable());
+        assert!(ModelKind::Gbt.warmstartable());
+        assert!(!ModelKind::Forest.warmstartable());
+        assert!(!ModelKind::Tree.warmstartable());
+    }
+}

@@ -1,0 +1,214 @@
+//! Random forest classifier: bagged regression trees on 0/1 targets with
+//! per-tree feature subsampling; the prediction is the mean of the trees'
+//! leaf probabilities.
+
+use super::{DecisionTree, TreeParams};
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use co_dataframe::hash;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Hyperparameters for [`RandomForest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// Fraction of features examined by each tree (0 < f <= 1).
+    pub feature_fraction: f64,
+    /// RNG seed for bootstrapping and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_estimators: 20,
+            tree: TreeParams::default(),
+            feature_fraction: 0.7,
+            seed: 42,
+        }
+    }
+}
+
+impl ForestParams {
+    /// Stable digest of the hyperparameters.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!(
+            "n={},{},ff={},seed={}",
+            self.n_estimators,
+            self.tree.digest(),
+            super::f(self.feature_fraction),
+            self.seed
+        )
+    }
+}
+
+/// Random-forest trainer.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    params: ForestParams,
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestModel {
+    trees: Vec<(Vec<usize>, DecisionTree)>, // (feature subset, tree)
+    /// The hyperparameters that produced the model.
+    pub params: ForestParams,
+}
+
+impl RandomForest {
+    /// Create a trainer with the given hyperparameters.
+    #[must_use]
+    pub fn new(params: ForestParams) -> Self {
+        RandomForest { params }
+    }
+
+    /// Train on binary labels (0/1).
+    pub fn fit(&self, x: &Matrix, y: &[f64]) -> Result<ForestModel> {
+        if x.rows() != y.len() {
+            return Err(MlError::ShapeMismatch {
+                context: "RandomForest::fit".into(),
+                expected: x.rows(),
+                found: y.len(),
+            });
+        }
+        if self.params.n_estimators == 0 {
+            return Err(MlError::InvalidParam("n_estimators must be positive".into()));
+        }
+        if !(self.params.feature_fraction > 0.0 && self.params.feature_fraction <= 1.0) {
+            return Err(MlError::InvalidParam("feature_fraction must be in (0, 1]".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let n_sub = ((x.cols() as f64 * self.params.feature_fraction).ceil() as usize)
+            .clamp(1, x.cols());
+        let mut trees = Vec::with_capacity(self.params.n_estimators);
+        for _ in 0..self.params.n_estimators {
+            // Bootstrap rows.
+            let rows: Vec<usize> = (0..x.rows()).map(|_| rng.random_range(0..x.rows())).collect();
+            // Feature subset.
+            let mut features: Vec<usize> = (0..x.cols()).collect();
+            features.shuffle(&mut rng);
+            features.truncate(n_sub);
+            features.sort_unstable();
+            let xb = x.take_rows(&rows).take_cols(&features);
+            let yb: Vec<f64> = rows.iter().map(|&i| y[i]).collect();
+            let tree = DecisionTree::fit(&xb, &yb, &self.params.tree)?;
+            trees.push((features, tree));
+        }
+        Ok(ForestModel { trees, params: self.params.clone() })
+    }
+}
+
+impl ForestModel {
+    /// Mean leaf probability across trees.
+    #[must_use]
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        let mut acc = vec![0.0; x.rows()];
+        for (features, tree) in &self.trees {
+            let sub = x.take_cols(features);
+            for (a, p) in acc.iter_mut().zip(tree.predict(&sub)) {
+                *a += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        acc.iter().map(|v| (v / n).clamp(0.0, 1.0)).collect()
+    }
+
+    /// Hard 0/1 predictions.
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_proba(x).into_iter().map(|p| if p > 0.5 { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Number of trees.
+    #[must_use]
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Approximate size in bytes.
+    #[must_use]
+    pub fn nbytes(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|(features, t)| features.len() * 8 + t.nbytes())
+            .sum()
+    }
+
+    /// Stable digest of model type + hyperparameters.
+    #[must_use]
+    pub fn op_digest(params: &ForestParams) -> u64 {
+        hash::fnv1a_parts(&["train_forest", &params.digest()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::roc_auc;
+
+    fn rings() -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let angle = i as f64 * 0.5;
+            let radius = if i % 2 == 0 { 1.0 } else { 3.0 };
+            rows.push(vec![radius * angle.cos(), radius * angle.sin()]);
+            y.push(if i % 2 == 0 { 1.0 } else { 0.0 });
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let (x, y) = rings();
+        let model = RandomForest::new(ForestParams {
+            n_estimators: 15,
+            feature_fraction: 1.0,
+            ..ForestParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        assert!(roc_auc(&y, &model.predict_proba(&x)) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = rings();
+        let p = ForestParams { n_estimators: 5, ..ForestParams::default() };
+        let a = RandomForest::new(p.clone()).fit(&x, &y).unwrap();
+        let b = RandomForest::new(p.clone()).fit(&x, &y).unwrap();
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+        let c = RandomForest::new(ForestParams { seed: 7, ..p }).fit(&x, &y).unwrap();
+        assert_ne!(a.predict_proba(&x), c.predict_proba(&x));
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (x, y) = rings();
+        let model = RandomForest::new(ForestParams::default()).fit(&x, &y).unwrap();
+        for p in model.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let (x, y) = rings();
+        assert!(RandomForest::new(ForestParams { n_estimators: 0, ..ForestParams::default() })
+            .fit(&x, &y)
+            .is_err());
+        assert!(RandomForest::new(ForestParams {
+            feature_fraction: 0.0,
+            ..ForestParams::default()
+        })
+        .fit(&x, &y)
+        .is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the ML substrate: metric identities, trainer
+//! determinism, and model-invariance properties the optimizer relies on.
+
+use co_ml::cluster::{KMeans, KMeansParams};
+use co_ml::linear::{LogisticParams, LogisticRegression};
+use co_ml::metrics::{accuracy, confusion_counts, f1_score, log_loss, precision, recall, rmse, roc_auc};
+use co_ml::tree::{DecisionTree, TreeParams};
+use co_ml::Matrix;
+use proptest::prelude::*;
+
+fn arb_labels_scores(max: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    proptest::collection::vec((proptest::bool::ANY, 0.0f64..1.0), 2..max).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(y, s)| (f64::from(u8::from(y)), s))
+            .unzip()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn auc_is_bounded_and_flip_symmetric((y, s) in arb_labels_scores(60)) {
+        let auc = roc_auc(&y, &s);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Negating scores flips the ranking (when both classes exist).
+        let n_pos = y.iter().filter(|&&v| v > 0.5).count();
+        if n_pos > 0 && n_pos < y.len() {
+            let flipped: Vec<f64> = s.iter().map(|v| 1.0 - v).collect();
+            prop_assert!((roc_auc(&y, &flipped) - (1.0 - auc)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transforms((y, s) in arb_labels_scores(60)) {
+        let squashed: Vec<f64> = s.iter().map(|v| (5.0 * v).exp() / 200.0).collect();
+        prop_assert!((roc_auc(&y, &s) - roc_auc(&y, &squashed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confusion_identities((y, s) in arb_labels_scores(60)) {
+        let (tp, fp, fn_, tn) = confusion_counts(&y, &s);
+        prop_assert_eq!(tp + fp + fn_ + tn, y.len());
+        let acc = accuracy(&y, &s);
+        prop_assert!((acc - (tp + tn) as f64 / y.len() as f64).abs() < 1e-12);
+        // F1 is the harmonic mean of precision and recall.
+        let (p, r) = (precision(&y, &s), recall(&y, &s));
+        let f1 = f1_score(&y, &s);
+        if p + r > 0.0 {
+            prop_assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn log_loss_is_minimised_by_truth((y, _) in arb_labels_scores(40)) {
+        // Predicting the labels exactly beats any constant prediction.
+        let exact = log_loss(&y, &y);
+        for c in [0.1, 0.5, 0.9] {
+            let constant = vec![c; y.len()];
+            prop_assert!(exact <= log_loss(&y, &constant) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rmse_triangle_ish(a in proptest::collection::vec(-10.0f64..10.0, 2..30)) {
+        prop_assert!(rmse(&a, &a) < 1e-12);
+        let shifted: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        prop_assert!((rmse(&a, &shifted) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logistic_probability_bounds(
+        xs in proptest::collection::vec(-3.0f64..3.0, 8..40),
+        lr in 0.05f64..0.5,
+    ) {
+        let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+        let y: Vec<f64> = xs.iter().map(|&v| f64::from(v > 0.0)).collect();
+        if y.iter().any(|&v| v > 0.5) && y.iter().any(|&v| v < 0.5) {
+            let model = LogisticRegression::new(LogisticParams {
+                lr,
+                max_iter: 30,
+                ..LogisticParams::default()
+            })
+            .fit(&x, &y)
+            .unwrap();
+            for p in model.predict_proba(&x) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            // Determinism.
+            let again = LogisticRegression::new(LogisticParams {
+                lr,
+                max_iter: 30,
+                ..LogisticParams::default()
+            })
+            .fit(&x, &y)
+            .unwrap();
+            prop_assert_eq!(model.state.weights, again.state.weights);
+        }
+    }
+
+    #[test]
+    fn tree_predictions_stay_in_target_hull(
+        data in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0, 0.0f64..1.0), 6..60),
+    ) {
+        let x = Matrix::from_rows(&data.iter().map(|(a, b, _)| vec![*a, *b]).collect::<Vec<_>>());
+        let y: Vec<f64> = data.iter().map(|(_, _, t)| *t).collect();
+        let tree = DecisionTree::fit(&x, &y, &TreeParams::default()).unwrap();
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for p in tree.predict(&x) {
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+        // Tree structure is bounded by the depth.
+        prop_assert!(tree.n_nodes() <= (1 << (TreeParams::default().max_depth + 1)));
+    }
+
+    #[test]
+    fn kmeans_inertia_never_increases_with_k(
+        data in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 8..40),
+    ) {
+        let x = Matrix::from_rows(&data.iter().map(|(a, b)| vec![*a, *b]).collect::<Vec<_>>());
+        let fit = |k: usize| {
+            KMeans::new(KMeansParams { k, max_iter: 30, seed: 7 }).fit(&x).unwrap()
+        };
+        let k1 = fit(1);
+        let k3 = fit(3.min(x.rows()));
+        // More clusters never hurt much (k-means++ is a heuristic; allow
+        // a tiny tolerance).
+        prop_assert!(k3.inertia <= k1.inertia + 1e-9);
+        // Assignments are valid cluster indices.
+        for c in k3.predict(&x) {
+            prop_assert!(c < k3.centroids.rows());
+        }
+    }
+
+    #[test]
+    fn matrix_ops_are_consistent(
+        rows in proptest::collection::vec(proptest::collection::vec(-9.0f64..9.0, 3), 1..20),
+    ) {
+        let m = Matrix::from_rows(&rows);
+        // hstack with itself doubles the columns and keeps the rows.
+        let h = m.hstack(&m).unwrap();
+        prop_assert_eq!(h.cols(), 6);
+        prop_assert_eq!(h.rows(), m.rows());
+        // dot with a basis vector extracts the column.
+        let e0 = vec![1.0, 0.0, 0.0];
+        prop_assert_eq!(m.dot(&e0), m.column(0));
+        // take_cols then col_means matches the slice of means.
+        let means = m.col_means();
+        let sub = m.take_cols(&[1, 2]);
+        let sub_means = sub.col_means();
+        prop_assert!((sub_means[0] - means[1]).abs() < 1e-12);
+        prop_assert!((sub_means[1] - means[2]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,8 @@
+//! Seeded synthetic datasets standing in for the paper's proprietary
+//! inputs.
+
+pub mod creditg;
+pub mod homecredit;
+
+pub use creditg::{creditg, CreditG};
+pub use homecredit::{home_credit, HomeCredit, HomeCreditScale};

@@ -1,0 +1,26 @@
+//! # co-workloads
+//!
+//! The evaluation scenarios of the SIGMOD 2020 paper, rebuilt on
+//! synthetic data (see `DESIGN.md` for the substitution arguments):
+//!
+//! * [`data::homecredit`] — a seeded generator reproducing the relational
+//!   shape of the Kaggle *Home Credit Default Risk* competition data
+//!   (application/bureau/previous/installments tables, a learnable
+//!   binary target, missing values, categoricals, anomalies).
+//! * [`kaggle`] — the eight workloads of the paper's Table 1: three
+//!   "published kernels" (W1–W3), two real modifications (W4, W5), and
+//!   three custom recombinations (W6–W8).
+//! * [`data::creditg()`] — a credit-g-like dataset (1000 × 20) plus the
+//!   [`openml`] random pipeline sampler that stands in for the 2000
+//!   scikit-learn runs of OpenML Task 31.
+//! * [`synthetic`] — the random workload-DAG generator used for the reuse
+//!   overhead experiment (Figure 9(d)), with the five attribute
+//!   distributions the paper lists.
+//! * [`runner`] — helpers to run workload sequences through an
+//!   [`co_core::OptimizerServer`] and collect cumulative statistics.
+
+pub mod data;
+pub mod kaggle;
+pub mod openml;
+pub mod runner;
+pub mod synthetic;

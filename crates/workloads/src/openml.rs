@@ -1,0 +1,226 @@
+//! The OpenML workload stream: a seeded sampler of scikit-learn-style
+//! pipelines over the credit-g dataset, standing in for the paper's 2000
+//! extracted runs of OpenML Task 31 (§7.1), plus the model-benchmarking
+//! scenario of Figure 8(a).
+
+use crate::data::CreditG;
+use crate::runner::terminal_eval_score;
+use co_core::ops::EvalMetric;
+use co_core::{OptimizerServer, Script};
+use co_graph::{NodeId, Result, WorkloadDag};
+use co_ml::feature::{ImputeStrategy, ScaleKind};
+use co_ml::linear::{LogisticParams, SvmParams};
+use co_ml::tree::{ForestParams, GbtParams, TreeParams};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Numeric columns of credit-g (see [`crate::data::creditg`]).
+const NUMERIC: [&str; 10] = ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"];
+
+/// Build the `run_idx`-th random pipeline. Pipelines share a small space
+/// of preprocessing variants (so artifacts recur across runs, as in real
+/// OpenML traces) and sample model families and hyperparameters from
+/// modest grids. Trainers are iteration-capped, which is what makes
+/// warmstarting improve accuracy (paper Figure 10(b)).
+pub fn pipeline(data: &CreditG, run_idx: u64, seed: u64) -> Result<WorkloadDag> {
+    let mut rng = StdRng::seed_from_u64(seed ^ run_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut s = Script::new();
+    let train = s.load("creditg_train", data.train.clone());
+    let test = s.load("creditg_test", data.test.clone());
+
+    // Sample the preprocessing configuration once, then apply the same
+    // steps to the train and test tables.
+    let strategy = if rng.random::<f64>() < 0.5 {
+        ImputeStrategy::Mean
+    } else {
+        ImputeStrategy::Median
+    };
+    let scaling = rng.random_range(0..3);
+    let selection = if rng.random::<f64>() < 0.4 {
+        Some([5usize, 8][rng.random_range(0..2)])
+    } else {
+        None
+    };
+    let preprocess = |s: &mut Script, node: NodeId| -> Result<NodeId> {
+        let mut node = s.impute(node, strategy, &["a8", "a9"])?;
+        match scaling {
+            0 => node = s.scale(node, ScaleKind::Standard, &NUMERIC)?,
+            1 => node = s.scale(node, ScaleKind::MinMax, &NUMERIC)?,
+            _ => {}
+        }
+        if let Some(k) = selection {
+            let selected = s.select_k_best(node, "class", k)?;
+            let label = s.select(node, &["class"])?;
+            node = s.hconcat(&[selected, label])?;
+        }
+        Ok(node)
+    };
+    let fe_train = preprocess(&mut s, train)?;
+    let fe_test = preprocess(&mut s, test)?;
+
+    // Family mix (roughly matching OpenML Task 31's skew toward
+    // iterative linear classifiers): 3/8 logistic, 2/8 SVM, 2/8 GBT,
+    // 1/8 random forest.
+    let model = match rng.random_range(0..8) {
+        0..=2 => {
+            // Low learning rates and tight iteration caps: convergence is
+            // slow from a cold start, so warmstarting has room to help
+            // (time via early stopping, accuracy under the cap). The
+            // regulariser is fixed, so all logistic runs on one artifact
+            // share an optimum — a warmstarted run converges immediately.
+            let params = LogisticParams {
+                lr: [0.01, 0.02, 0.05][rng.random_range(0..3)],
+                l2: 1e-4,
+                max_iter: [100, 200, 400][rng.random_range(0..3)],
+                tol: 1e-6,
+            };
+            s.train_logistic(fe_train, "class", params)?
+        }
+        3 | 4 => {
+            let params = SvmParams {
+                lr: [0.01, 0.02, 0.05][rng.random_range(0..3)],
+                l2: 1e-3,
+                max_iter: [100, 200, 400][rng.random_range(0..3)],
+                tol: 1e-6,
+            };
+            s.train_svm(fe_train, "class", params)?
+        }
+        5 | 6 => {
+            // One tree shape and shrinkage: a warmstarted GBT continues
+            // boosting from a compatible prior ensemble's trees.
+            let params = GbtParams {
+                n_estimators: [8, 16, 24][rng.random_range(0..3)],
+                learning_rate: 0.2,
+                tree: TreeParams { max_depth: 3, min_samples_leaf: 5, n_thresholds: 8 },
+            };
+            s.train_gbt(fe_train, "class", params)?
+        }
+        _ => {
+            let params = ForestParams {
+                n_estimators: [5, 10][rng.random_range(0..2)],
+                tree: TreeParams {
+                    max_depth: rng.random_range(3..5),
+                    min_samples_leaf: 5,
+                    n_thresholds: 8,
+                },
+                feature_fraction: 0.7,
+                seed: 42,
+            };
+            s.train_forest(fe_train, "class", params)?
+        }
+    };
+    let score = s.evaluate(model, fe_test, "class", EvalMetric::RocAuc)?;
+    s.output(model)?;
+    s.output(score)?;
+    Ok(s.into_dag())
+}
+
+/// One step of the model-benchmarking scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkStep {
+    /// Client-visible time of this step (new workload + gold-standard
+    /// comparison).
+    pub run_seconds: f64,
+    /// The new workload's test score.
+    pub score: f64,
+    /// Index of the gold-standard workload after this step.
+    pub gold: usize,
+}
+
+/// The paper's model-benchmarking scenario (Figure 8(a)): execute the
+/// pipeline stream; whenever a workload does not beat the current best
+/// ("gold standard") model, the user re-runs the gold-standard workload
+/// to compare against it. With the collaborative optimizer the
+/// re-execution is served from the Experiment Graph; the OpenML baseline
+/// recomputes it.
+pub fn model_benchmark_scenario(
+    server: &OptimizerServer,
+    data: &CreditG,
+    n_workloads: usize,
+    seed: u64,
+) -> Result<Vec<BenchmarkStep>> {
+    let mut steps = Vec::with_capacity(n_workloads);
+    let mut gold: Option<(usize, f64)> = None;
+    for i in 0..n_workloads {
+        let (dag, report) = server.run_workload(pipeline(data, i as u64, seed)?)?;
+        let score = terminal_eval_score(&dag).unwrap_or(0.0);
+        let mut run_seconds = report.run_seconds();
+        match gold {
+            Some((g, best)) if score <= best => {
+                // Compare against the champion: re-run its workload.
+                let (_, cmp) = server.run_workload(pipeline(data, g as u64, seed)?)?;
+                run_seconds += cmp.run_seconds();
+                steps.push(BenchmarkStep { run_seconds, score, gold: g });
+            }
+            _ => {
+                gold = Some((i, score));
+                steps.push(BenchmarkStep { run_seconds, score, gold: i });
+            }
+        }
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::creditg;
+    use co_core::ServerConfig;
+
+    #[test]
+    fn pipelines_are_deterministic_per_index() {
+        let data = creditg(300, 0);
+        let a = pipeline(&data, 3, 7).unwrap();
+        let b = pipeline(&data, 3, 7).unwrap();
+        let ids_a: Vec<_> = a.nodes().iter().map(|n| n.artifact).collect();
+        let ids_b: Vec<_> = b.nodes().iter().map(|n| n.artifact).collect();
+        assert_eq!(ids_a, ids_b);
+        let c = pipeline(&data, 4, 7).unwrap();
+        let ids_c: Vec<_> = c.nodes().iter().map(|n| n.artifact).collect();
+        assert_ne!(ids_a, ids_c);
+    }
+
+    #[test]
+    fn pipelines_execute_and_score() {
+        let data = creditg(300, 0);
+        let server = OptimizerServer::new(ServerConfig::baseline());
+        for i in 0..6 {
+            let (dag, _) = server.run_workload(pipeline(&data, i, 7).unwrap()).unwrap();
+            let score = crate::runner::terminal_eval_score(&dag).unwrap();
+            assert!((0.0..=1.0).contains(&score), "run {i}: score {score}");
+        }
+    }
+
+    #[test]
+    fn benchmark_scenario_tracks_the_gold_standard() {
+        let data = creditg(300, 0);
+        let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+        let steps = model_benchmark_scenario(&server, &data, 8, 7).unwrap();
+        assert_eq!(steps.len(), 8);
+        // The gold standard's score is non-decreasing over the stream.
+        let mut best = f64::MIN;
+        for step in &steps {
+            let gold_score = steps[step.gold].score;
+            assert!(gold_score >= best - 1e-12);
+            best = best.max(gold_score);
+        }
+    }
+
+    #[test]
+    fn reuse_makes_the_scenario_cheaper_than_baseline() {
+        let data = creditg(400, 0);
+        let co = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+        let oml = OptimizerServer::new(ServerConfig::baseline());
+        let co_steps = model_benchmark_scenario(&co, &data, 10, 3).unwrap();
+        let oml_steps = model_benchmark_scenario(&oml, &data, 10, 3).unwrap();
+        let total = |steps: &[BenchmarkStep]| -> f64 {
+            steps.iter().map(|s| s.run_seconds).sum()
+        };
+        assert!(
+            total(&co_steps) < total(&oml_steps),
+            "CO {} vs OML {}",
+            total(&co_steps),
+            total(&oml_steps)
+        );
+    }
+}

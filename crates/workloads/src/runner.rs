@@ -1,0 +1,84 @@
+//! Scenario-running helpers shared by the figure harnesses, examples,
+//! and integration tests.
+
+use co_core::{ExecutionReport, OptimizerServer};
+use co_graph::{Result, WorkloadDag};
+
+/// Run workloads through a server in order, returning one report per
+/// workload.
+pub fn run_sequence(
+    server: &OptimizerServer,
+    dags: Vec<WorkloadDag>,
+) -> Result<Vec<ExecutionReport>> {
+    dags.into_iter()
+        .map(|dag| server.run_workload(dag).map(|(_, report)| report))
+        .collect()
+}
+
+/// Cumulative client run time (compute + charged loads) after each
+/// workload.
+#[must_use]
+pub fn cumulative_run_times(reports: &[ExecutionReport]) -> Vec<f64> {
+    reports
+        .iter()
+        .scan(0.0, |acc, r| {
+            *acc += r.run_seconds();
+            Some(*acc)
+        })
+        .collect()
+}
+
+/// The best evaluation score among an executed workload's terminal
+/// aggregates (scores live in `[0, 1]`).
+#[must_use]
+pub fn terminal_eval_score(dag: &WorkloadDag) -> Option<f64> {
+    dag.terminals()
+        .iter()
+        .filter_map(|t| {
+            dag.node(*t)
+                .ok()?
+                .computed
+                .as_ref()?
+                .as_aggregate()?
+                .as_f64()
+                .filter(|v| (0.0..=1.0).contains(v))
+        })
+        .fold(None, |best: Option<f64>, v| Some(best.map_or(v, |b| b.max(v))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_core::{ServerConfig, Script};
+    use co_core::ops::EvalMetric;
+    use co_dataframe::{Column, ColumnData, DataFrame};
+    use co_ml::linear::LogisticParams;
+
+    fn tiny_workload() -> WorkloadDag {
+        let df = DataFrame::new(vec![
+            Column::source("t", "x", ColumnData::Float((0..40).map(|i| f64::from(i) / 20.0).collect())),
+            Column::source("t", "y", ColumnData::Int((0..40).map(|i| i64::from(i >= 20)).collect())),
+        ])
+        .unwrap();
+        let mut s = Script::new();
+        let d = s.load("t", df);
+        let m = s.train_logistic(d, "y", LogisticParams::default()).unwrap();
+        let e = s.evaluate(m, d, "y", EvalMetric::RocAuc).unwrap();
+        s.output(e).unwrap();
+        s.into_dag()
+    }
+
+    #[test]
+    fn sequences_and_scores() {
+        let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+        let reports =
+            run_sequence(&server, vec![tiny_workload(), tiny_workload()]).unwrap();
+        assert_eq!(reports.len(), 2);
+        let cumulative = cumulative_run_times(&reports);
+        assert!(cumulative[1] >= cumulative[0]);
+
+        let (dag, _) = server.run_workload(tiny_workload()).unwrap();
+        let score = terminal_eval_score(&dag).unwrap();
+        assert!(score > 0.9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Random workload DAGs for the reuse-overhead experiment (paper
+//! Figure 9(d)): 10 000 synthetic workloads "designed to have similar
+//! characteristics to the real workloads", controlling the five
+//! attributes the paper lists — indegree distribution (join/concat
+//! operators), outdegree distribution, ratio of materialized nodes, and
+//! the distributions of compute and load costs.
+
+use co_dataframe::Scalar;
+use co_graph::{ExperimentGraph, NodeKind, Operation, Result, Value, WorkloadDag};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// A stand-in operation with a unique label; synthetic workloads are
+/// planned, never executed.
+pub struct LabelOp(pub String);
+
+impl Operation for LabelOp {
+    fn name(&self) -> &str {
+        &self.0
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, _inputs: &[&Value]) -> Result<Value> {
+        Ok(Value::Aggregate(Scalar::Float(0.0)))
+    }
+}
+
+/// Attribute distributions for the generator (defaults fitted to the
+/// shapes of the Kaggle workloads in [`crate::kaggle`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Node-count range, inclusive (paper: `[500, 2000]`).
+    pub n_nodes_min: usize,
+    /// Upper bound on node count.
+    pub n_nodes_max: usize,
+    /// Probability an operation has two inputs (joins/concats).
+    pub p_multi_input: f64,
+    /// Probability a node's parent is drawn preferentially from recent
+    /// nodes (chains) rather than uniformly (fan-out reuse of one node).
+    pub p_chain: f64,
+    /// Fraction of nodes materialized in the Experiment Graph.
+    pub mat_ratio: f64,
+    /// Mean of the exponential compute-cost distribution (seconds).
+    pub compute_mean_s: f64,
+    /// Mean artifact size in bytes (log-uniform spread around it).
+    pub mean_size_bytes: f64,
+    /// Base RNG seed; each workload index perturbs it.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_nodes_min: 500,
+            n_nodes_max: 2000,
+            p_multi_input: 0.12,
+            p_chain: 0.75,
+            mat_ratio: 0.3,
+            compute_mean_s: 0.02,
+            // GB-scale artifacts, as in the paper's workloads: load costs
+            // are then comparable to compute costs, so the planners face
+            // real decisions instead of always-load trivia.
+            mean_size_bytes: 512.0 * 1024.0 * 1024.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate the `idx`-th synthetic workload plus an Experiment Graph that
+/// already contains it, with `mat_ratio` of its vertices materialized —
+/// the input a reuse planner sees. Deterministic in `(config, idx)`.
+pub fn synthetic_workload(
+    config: &SyntheticConfig,
+    idx: u64,
+) -> Result<(WorkloadDag, ExperimentGraph)> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ idx.wrapping_mul(0xa076_1d64_78bd_642f));
+    let n_nodes = rng.random_range(config.n_nodes_min..=config.n_nodes_max);
+
+    let mut dag = WorkloadDag::new();
+    let source = dag.add_source(&format!("synthetic_src_{idx}"), Value::Aggregate(Scalar::Float(0.0)));
+    let mut nodes = vec![source];
+    for i in 1..n_nodes {
+        let pick_parent = |rng: &mut StdRng, nodes: &[co_graph::NodeId]| {
+            if rng.random::<f64>() < config.p_chain {
+                // Prefer recent nodes: long chains like real pipelines.
+                let tail = nodes.len().saturating_sub(4);
+                nodes[rng.random_range(tail..nodes.len())]
+            } else {
+                // Uniform: creates high-outdegree hubs (a dataset feeding
+                // many models).
+                nodes[rng.random_range(0..nodes.len())]
+            }
+        };
+        let p1 = pick_parent(&mut rng, &nodes);
+        let op = Arc::new(LabelOp(format!("op_{idx}_{i}")));
+        let node = if rng.random::<f64>() < config.p_multi_input && nodes.len() > 2 {
+            let p2 = pick_parent(&mut rng, &nodes);
+            if p2 == p1 {
+                dag.add_op(op, &[p1])?
+            } else {
+                dag.add_op(op, &[p1, p2])?
+            }
+        } else {
+            dag.add_op(op, &[p1])?
+        };
+        nodes.push(node);
+    }
+    // Terminals: the real Kaggle workloads request many outputs (W1 has
+    // ~30 EDA + model terminals); mark every childless node plus the
+    // final one.
+    let mut has_child = vec![false; dag.n_nodes()];
+    for edge in dag.edges() {
+        for p in &edge.inputs {
+            has_child[p.0] = true;
+        }
+    }
+    for node in &nodes {
+        if !has_child[node.0] {
+            dag.mark_terminal(*node)?;
+        }
+    }
+    dag.mark_terminal(*nodes.last().expect("nonempty"))?;
+
+    // Annotate costs and sizes; build the EG view.
+    let mut annotated = dag.clone();
+    for node in &nodes[1..] {
+        let u: f64 = rng.random_range(1e-9..1.0f64);
+        let compute = -config.compute_mean_s * u.ln(); // Exp(mean)
+        let spread: f64 = rng.random_range(-2.0..2.0);
+        let size = (config.mean_size_bytes * spread.exp2()) as u64;
+        annotated.annotate(*node, compute, size)?;
+    }
+    let mut eg = ExperimentGraph::new(false);
+    eg.update_with_workload(&annotated)?;
+    for node in &nodes[1..] {
+        if rng.random::<f64>() < config.mat_ratio {
+            let artifact = annotated.nodes()[node.0].artifact;
+            eg.storage_mut().store(artifact, &Value::Aggregate(Scalar::Float(0.0)));
+        }
+    }
+    Ok((dag, eg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_core::optimizer::{
+        plan_execution_cost, HelixReuse, LinearReuse, ReusePlanner,
+    };
+    use co_core::CostModel;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig { n_nodes_min: 60, n_nodes_max: 120, ..SyntheticConfig::default() }
+    }
+
+    #[test]
+    fn generator_matches_requested_attributes() {
+        let config = small();
+        let (dag, eg) = synthetic_workload(&config, 0).unwrap();
+        assert!((60..=120).contains(&dag.n_nodes()));
+        // Childless nodes (plus the final node) are terminals, like the
+        // many-output real workloads.
+        assert!(!dag.terminals().is_empty());
+        assert!(dag.terminals().len() > 1, "expected several terminals");
+        // Materialization ratio in a loose band around the target.
+        let mat = dag
+            .nodes()
+            .iter()
+            .filter(|n| eg.is_materialized(n.artifact))
+            .count() as f64
+            / dag.n_nodes() as f64;
+        assert!((0.05..0.6).contains(&mat), "mat ratio {mat}");
+        // Some multi-input operations exist.
+        let multi = dag.edges().iter().filter(|e| e.inputs.len() == 2).count();
+        assert!(multi > 0);
+    }
+
+    #[test]
+    fn deterministic_per_index() {
+        let config = small();
+        let (a, _) = synthetic_workload(&config, 5).unwrap();
+        let (b, _) = synthetic_workload(&config, 5).unwrap();
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        let ids_a: Vec<_> = a.nodes().iter().map(|n| n.artifact).collect();
+        let ids_b: Vec<_> = b.nodes().iter().map(|n| n.artifact).collect();
+        assert_eq!(ids_a, ids_b);
+        let (c, _) = synthetic_workload(&config, 6).unwrap();
+        assert_ne!(a.nodes()[1].artifact, c.nodes()[1].artifact);
+    }
+
+    #[test]
+    fn planners_agree_on_cost_for_synthetic_dags() {
+        // LN is exact on trees; these DAGs have joins, so only assert the
+        // optimal (max-flow) cost never exceeds LN's.
+        let config = small();
+        let cost = CostModel::memory();
+        for idx in 0..8 {
+            let (dag, eg) = synthetic_workload(&config, idx).unwrap();
+            let ln = LinearReuse.plan(&dag, &eg, &cost);
+            let hl = HelixReuse.plan(&dag, &eg, &cost);
+            let ln_cost = plan_execution_cost(&dag, &eg, &cost, &ln);
+            let hl_cost = plan_execution_cost(&dag, &eg, &cost, &hl);
+            assert!(
+                hl_cost <= ln_cost + 1e-9,
+                "idx {idx}: HL {hl_cost} > LN {ln_cost}"
+            );
+        }
+    }
+}

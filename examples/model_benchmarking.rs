@@ -1,0 +1,44 @@
+//! The model-benchmarking scenario (paper §7.3, Figure 8): a stream of
+//! OpenML-style pipelines where every non-improving submission re-runs
+//! the current best ("gold standard") workload for comparison. With the
+//! collaborative optimizer the gold standard's artifacts are served from
+//! the Experiment Graph.
+//!
+//! ```sh
+//! cargo run --release -p co-workloads --example model_benchmarking
+//! ```
+
+use co_core::{OptimizerServer, ServerConfig};
+use co_workloads::data::creditg;
+use co_workloads::openml::model_benchmark_scenario;
+
+fn main() {
+    let data = creditg(1000, 0);
+    let n = 150;
+
+    println!("running {n} pipelines with the collaborative optimizer...");
+    let co = OptimizerServer::new(ServerConfig::collaborative(64 << 20));
+    let co_steps = model_benchmark_scenario(&co, &data, n, 17).expect("scenario runs");
+
+    println!("running {n} pipelines with the OpenML baseline (no reuse)...");
+    let oml = OptimizerServer::new(ServerConfig::baseline());
+    let oml_steps = model_benchmark_scenario(&oml, &data, n, 17).expect("scenario runs");
+
+    let total = |steps: &[co_workloads::openml::BenchmarkStep]| -> f64 {
+        steps.iter().map(|s| s.run_seconds).sum()
+    };
+    let best = co_steps.iter().map(|s| s.score).fold(0.0f64, f64::max);
+
+    println!("\ngold-standard progression (CO):");
+    let mut last_gold = usize::MAX;
+    for (i, step) in co_steps.iter().enumerate() {
+        if step.gold != last_gold {
+            println!("  workload {:>3} becomes the gold standard (AUC {:.3})", i, step.score);
+            last_gold = step.gold;
+        }
+    }
+    println!("\nbest model AUC:        {best:.3}");
+    println!("CO  cumulative time:   {:.2} s", total(&co_steps));
+    println!("OML cumulative time:   {:.2} s", total(&oml_steps));
+    println!("improvement:           {:.1}x", total(&oml_steps) / total(&co_steps).max(1e-9));
+}

@@ -1,0 +1,160 @@
+//! Failure injection: operations that fail mid-workload must surface a
+//! clean error, leave the Experiment Graph uncorrupted, and not poison
+//! later submissions.
+
+use co_core::{OptimizerServer, ServerConfig};
+use co_dataframe::Scalar;
+use co_graph::{GraphError, NodeKind, Operation, Value, WorkloadDag};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Succeeds `good_runs` times, then fails forever. Uses shared state to
+/// emulate a flaky external resource (not operation parameters, so the
+/// artifact identity stays fixed).
+struct Flaky {
+    label: String,
+    remaining_good: Arc<AtomicUsize>,
+}
+
+impl Operation for Flaky {
+    fn name(&self) -> &str {
+        &self.label
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+        // Real compute cost, so the artifact is worth materializing.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        if self.remaining_good.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1)).is_ok()
+        {
+            Ok(Value::Aggregate(Scalar::Float(1.0)))
+        } else {
+            Err(GraphError::OperationFailed {
+                op: self.label.clone(),
+                message: "injected failure".to_owned(),
+            })
+        }
+    }
+}
+
+struct Ok1(String);
+impl Operation for Ok1 {
+    fn name(&self) -> &str {
+        &self.0
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        Ok(Value::Aggregate(Scalar::Float(2.0)))
+    }
+}
+
+fn workload(budget: &Arc<AtomicUsize>) -> WorkloadDag {
+    let mut dag = WorkloadDag::new();
+    let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
+    let ok = dag.add_op(Arc::new(Ok1("stable_step".into())), &[s]).unwrap();
+    let flaky = dag
+        .add_op(
+            Arc::new(Flaky { label: "flaky_step".into(), remaining_good: Arc::clone(budget) }),
+            &[ok],
+        )
+        .unwrap();
+    let tail = dag.add_op(Arc::new(Ok1("tail_step".into())), &[flaky]).unwrap();
+    dag.mark_terminal(tail).unwrap();
+    dag
+}
+
+#[test]
+fn failed_workloads_do_not_corrupt_the_graph() {
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    let budget = Arc::new(AtomicUsize::new(1));
+
+    // First run succeeds end to end and populates the graph.
+    let (_, report) = server.run_workload(workload(&budget)).unwrap();
+    assert_eq!(report.ops_executed, 3);
+    let vertices_after_success = server.eg().n_vertices();
+    let stats_after_success = server.stats();
+
+    // Exhaust the flaky op's budget and force a recompute of the flaky
+    // node by a *modified* downstream workload (the stored artifacts
+    // would otherwise serve the repeat).
+    let mut dag = workload(&budget);
+    let flaky_node = co_graph::NodeId(2);
+    let extra = dag
+        .add_op(Arc::new(Ok1("new_tail".into())), &[flaky_node])
+        .unwrap();
+    dag.mark_terminal(extra).unwrap();
+    // Evict everything so the flaky op must actually run.
+    {
+        // A fresh server with no materialization: guaranteed recompute.
+        let kg = OptimizerServer::new(ServerConfig::baseline());
+        let err = kg.run_workload(dag).unwrap_err();
+        assert!(matches!(err, GraphError::OperationFailed { .. }), "{err}");
+        assert!(err.to_string().contains("injected failure"));
+        // The failed workload must not have been merged.
+        let eg = kg.eg();
+        assert_eq!(eg.n_vertices(), 0, "failed run leaked vertices into EG");
+        assert_eq!(kg.stats().workloads, 0);
+    }
+
+    // The original server is untouched by any of this.
+    assert_eq!(server.eg().n_vertices(), vertices_after_success);
+    assert_eq!(server.stats(), stats_after_success);
+
+    // And it still serves the (materialized) original workload — the
+    // flaky op never needs to run again.
+    let (_, repeat) = server.run_workload(workload(&budget)).unwrap();
+    assert_eq!(repeat.ops_executed, 0);
+    assert!(repeat.artifacts_loaded >= 1);
+}
+
+#[test]
+fn workload_without_terminals_is_rejected_cleanly() {
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    let mut dag = WorkloadDag::new();
+    dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
+    let err = server.run_workload(dag).unwrap_err();
+    assert!(matches!(err, GraphError::NoTerminals));
+    assert_eq!(server.eg().n_vertices(), 0);
+}
+
+#[test]
+fn type_mismatches_surface_as_operation_errors() {
+    // Feed an Aggregate into a dataset-expecting op via a custom source.
+    let server = OptimizerServer::new(ServerConfig::baseline());
+    let mut dag = WorkloadDag::new();
+    let s = dag.add_source("scalar_src", Value::Aggregate(Scalar::Float(1.0)));
+    let bad = dag
+        .add_op(
+            Arc::new(co_core::ops::SelectOp { columns: vec!["x".into()] }),
+            &[s],
+        )
+        .unwrap();
+    dag.mark_terminal(bad).unwrap();
+    let err = server.run_workload(dag).unwrap_err();
+    assert!(matches!(err, GraphError::BadOperationInput { .. }), "{err}");
+}
+
+#[test]
+fn recovery_after_failure_is_complete() {
+    // A server that sees a failing workload keeps serving others.
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    let exhausted = Arc::new(AtomicUsize::new(0)); // fails immediately
+    let err = server.run_workload(workload(&exhausted)).unwrap_err();
+    assert!(matches!(err, GraphError::OperationFailed { .. }));
+
+    // A healthy variant of the same pipeline succeeds afterwards.
+    let healthy = Arc::new(AtomicUsize::new(usize::MAX));
+    let (_, report) = server.run_workload(workload(&healthy)).unwrap();
+    assert_eq!(report.ops_executed, 3);
+    assert!(server.eg().n_vertices() > 0);
+}

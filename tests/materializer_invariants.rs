@@ -1,0 +1,229 @@
+//! Property tests for the materialization algorithms over randomly
+//! generated Experiment Graphs with real (deduplicable) dataframe
+//! content.
+
+use co_core::materialize::{
+    AllMaterializer, GreedyMaterializer, HelixMaterializer, Materializer, NoneMaterializer,
+    StorageAwareMaterializer,
+};
+use co_core::CostModel;
+use co_dataframe::ops::{self, MapFn};
+use co_dataframe::{Column, ColumnData, DataFrame};
+use co_graph::{ArtifactId, ExperimentGraph, NodeKind, Operation, Value, WorkloadDag};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A map op over the base column, producing one extra derived column.
+struct Derive(String);
+impl Operation for Derive {
+    fn name(&self) -> &str {
+        &self.0
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> co_graph::Result<Value> {
+        let df = inputs[0].as_dataset().expect("dataset input");
+        Ok(Value::Dataset(
+            ops::map_column(df, "base", &MapFn::AddConst(1.0), &self.0)
+                .expect("base column exists"),
+        ))
+    }
+}
+
+/// Build an EG from chains of deriving ops; `branchiness` seeds where
+/// chains restart from the source (fresh content = no dedup sharing).
+fn build_eg(
+    spec: &[(u8, u16)], // (branch seed, compute time)
+    rows: usize,
+    dedup: bool,
+) -> (ExperimentGraph, HashMap<ArtifactId, Value>) {
+    let base = DataFrame::new(vec![Column::source(
+        "src",
+        "base",
+        ColumnData::Float((0..rows).map(|i| i as f64).collect()),
+    )])
+    .expect("one column");
+    let mut dag = WorkloadDag::new();
+    let src = dag.add_source("src", Value::Dataset(base));
+    let mut prev = src;
+    let mut nodes = Vec::new();
+    for (i, (branch, _)) in spec.iter().enumerate() {
+        let from = if branch % 4 == 0 { src } else { prev };
+        let node = dag.add_op(Arc::new(Derive(format!("d{i}"))), &[from]).unwrap();
+        nodes.push(node);
+        prev = node;
+    }
+    dag.mark_terminal(prev).unwrap();
+
+    // Execute by hand.
+    for n in &nodes {
+        let parents = dag.parents(*n);
+        let input = dag.nodes()[parents[0].0].computed.clone().expect("parent executed");
+        let op = Arc::clone(&dag.producer(*n).unwrap().op);
+        let out = op.run(&[&input]).unwrap();
+        let size = out.nbytes() as u64;
+        dag.set_computed(*n, out).unwrap();
+        dag.annotate(*n, 1.0, size).unwrap();
+    }
+    // Re-apply compute times from the spec.
+    for (n, (_, t)) in nodes.iter().zip(spec) {
+        dag.node_mut(*n).unwrap().compute_time = Some(f64::from(*t) / 8.0 + 0.1);
+    }
+    let mut eg = ExperimentGraph::new(dedup);
+    eg.update_with_workload(&dag).unwrap();
+    let available: HashMap<ArtifactId, Value> = dag
+        .nodes()
+        .iter()
+        .filter_map(|n| n.computed.as_ref().map(|v| (n.artifact, v.clone())))
+        .collect();
+    (eg, available)
+}
+
+/// Cost model where loads are always cheaper than recomputation, so
+/// every vertex is a materialization candidate.
+fn cheap_loads() -> CostModel {
+    CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1e12 }
+}
+
+fn source_bytes(eg: &ExperimentGraph) -> u64 {
+    eg.sources().iter().filter_map(|id| eg.vertex(*id).ok().map(|v| v.size)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn budgets_are_hard_caps(
+        spec in proptest::collection::vec((0u8..8, 0u16..32), 1..20),
+        budget_kb in 1u64..200,
+    ) {
+        let budget = budget_kb * 1024;
+        let cost = cheap_loads();
+        // SA: unique bytes capped (sources exempt as the floor).
+        let (mut eg, available) = build_eg(&spec, 500, true);
+        let floor = eg.storage().unique_bytes();
+        StorageAwareMaterializer::new(budget).run(&mut eg, &available, &cost);
+        prop_assert!(eg.storage().unique_bytes() <= budget.max(floor));
+
+        // HM: logical bytes capped.
+        let (mut eg, available) = build_eg(&spec, 500, false);
+        let floor = eg.storage().logical_bytes();
+        GreedyMaterializer::new(budget).run(&mut eg, &available, &cost);
+        prop_assert!(eg.storage().logical_bytes() <= budget.max(floor));
+
+        // HL: logical bytes capped modulo late-arriving sources (none
+        // here: single workload).
+        let (mut eg, available) = build_eg(&spec, 500, false);
+        let floor = eg.storage().logical_bytes();
+        HelixMaterializer { budget }.run(&mut eg, &available, &cost);
+        prop_assert!(eg.storage().logical_bytes() <= budget.max(floor));
+    }
+
+    #[test]
+    fn sa_stores_at_least_as_many_artifacts_as_hm(
+        spec in proptest::collection::vec((0u8..8, 0u16..32), 1..20),
+        budget_kb in 4u64..100,
+    ) {
+        // With identical budgets, deduplication can only help: SA
+        // materializes at least as many artifacts as HM.
+        let budget = budget_kb * 1024;
+        let cost = cheap_loads();
+        let (mut eg_sa, available) = build_eg(&spec, 500, true);
+        StorageAwareMaterializer::new(budget).run(&mut eg_sa, &available, &cost);
+        let (mut eg_hm, available) = build_eg(&spec, 500, false);
+        GreedyMaterializer::new(budget).run(&mut eg_hm, &available, &cost);
+        prop_assert!(
+            eg_sa.storage().n_artifacts() >= eg_hm.storage().n_artifacts(),
+            "SA {} < HM {}", eg_sa.storage().n_artifacts(), eg_hm.storage().n_artifacts()
+        );
+    }
+
+    #[test]
+    fn sa_without_dedup_degrades_to_hm(
+        spec in proptest::collection::vec((0u8..8, 0u16..32), 1..20),
+        budget_kb in 4u64..100,
+    ) {
+        // The DESIGN.md ablation: on a plain (non-deduplicating) store,
+        // marginal bytes equal nominal bytes, so the storage-aware
+        // selection coincides with the greedy one.
+        let budget = budget_kb * 1024;
+        let cost = cheap_loads();
+        let (mut eg_sa, available) = build_eg(&spec, 500, false);
+        StorageAwareMaterializer::new(budget).run(&mut eg_sa, &available, &cost);
+        let (mut eg_hm, available) = build_eg(&spec, 500, false);
+        GreedyMaterializer::new(budget).run(&mut eg_hm, &available, &cost);
+        let mut sa_set = eg_sa.storage().materialized_ids();
+        let mut hm_set = eg_hm.storage().materialized_ids();
+        sa_set.sort();
+        hm_set.sort();
+        prop_assert_eq!(sa_set, hm_set);
+    }
+
+    #[test]
+    fn all_and_none_are_the_extremes(
+        spec in proptest::collection::vec((0u8..8, 0u16..32), 1..15),
+    ) {
+        let cost = cheap_loads();
+        let (mut eg, available) = build_eg(&spec, 200, true);
+        let n_sources = eg.sources().len();
+        NoneMaterializer.run(&mut eg, &available, &cost);
+        prop_assert_eq!(eg.storage().n_artifacts(), n_sources);
+        AllMaterializer.run(&mut eg, &available, &cost);
+        prop_assert_eq!(eg.storage().n_artifacts(), eg.n_vertices());
+        // Every stored artifact round-trips.
+        for id in eg.storage().materialized_ids() {
+            prop_assert!(eg.storage().get(id).is_some());
+        }
+    }
+
+    #[test]
+    fn materializers_are_idempotent(
+        spec in proptest::collection::vec((0u8..8, 0u16..32), 1..15),
+        budget_kb in 4u64..100,
+    ) {
+        // Running the same materializer twice on an unchanged graph must
+        // not change the stored set.
+        let budget = budget_kb * 1024;
+        let cost = cheap_loads();
+        let (mut eg, available) = build_eg(&spec, 300, true);
+        let sa = StorageAwareMaterializer::new(budget);
+        sa.run(&mut eg, &available, &cost);
+        let mut first: Vec<_> = eg.storage().materialized_ids();
+        first.sort();
+        let first_bytes = eg.storage().unique_bytes();
+        sa.run(&mut eg, &available, &cost);
+        let mut second: Vec<_> = eg.storage().materialized_ids();
+        second.sort();
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(first_bytes, eg.storage().unique_bytes());
+    }
+
+    #[test]
+    fn sources_always_survive(
+        spec in proptest::collection::vec((0u8..8, 0u16..32), 1..15),
+        budget_kb in 0u64..50,
+    ) {
+        let cost = cheap_loads();
+        for dedup in [true, false] {
+            let (mut eg, available) = build_eg(&spec, 300, dedup);
+            let mats: Vec<Box<dyn Materializer>> = vec![
+                Box::new(StorageAwareMaterializer::new(budget_kb * 1024)),
+                Box::new(GreedyMaterializer::new(budget_kb * 1024)),
+                Box::new(HelixMaterializer { budget: budget_kb * 1024 }),
+                Box::new(NoneMaterializer),
+            ];
+            for m in mats {
+                m.run(&mut eg, &available, &cost);
+                for src in eg.sources() {
+                    prop_assert!(eg.is_materialized(*src), "{} evicted a source", m.name());
+                }
+            }
+            prop_assert!(source_bytes(&eg) > 0);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Server-restart behavior: the Experiment Graph's meta-data survives
+//! through a snapshot; contents repopulate as workloads execute.
+
+use co_core::{OptimizerServer, ServerConfig};
+use co_graph::snapshot;
+use co_workloads::data::{home_credit, HomeCreditScale};
+use co_workloads::kaggle;
+
+#[test]
+fn restart_keeps_meta_and_regains_reuse() {
+    let data = home_credit(&HomeCreditScale::tiny());
+
+    // Session 1: run two workloads, snapshot the graph.
+    let first = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    first.run_workload(kaggle::w1(&data).unwrap()).unwrap();
+    first.run_workload(kaggle::w2(&data).unwrap()).unwrap();
+    let text = snapshot::to_snapshot(&first.eg());
+    let n_before = first.eg().n_vertices();
+
+    // Session 2 (after a "restart"): restore the meta-data.
+    let restored = snapshot::from_snapshot(&text, true).unwrap();
+    assert_eq!(restored.n_vertices(), n_before);
+    let second = OptimizerServer::with_graph(ServerConfig::collaborative(u64::MAX), restored);
+
+    // The graph knows every artifact of W1 (frequencies, costs) but holds
+    // no content, so the first resubmission recomputes —
+    let (_, rerun) = second.run_workload(kaggle::w1(&data).unwrap()).unwrap();
+    assert_eq!(rerun.artifacts_loaded, 0, "no content right after restart");
+    assert!(rerun.ops_executed > 0);
+    // — and frequencies carried over: W1's artifacts now have f >= 2.
+    {
+        let eg = second.eg();
+        let w1 = kaggle::w1(&data).unwrap();
+        let some_artifact = w1.nodes().last().unwrap().artifact;
+        assert!(eg.vertex(some_artifact).unwrap().frequency >= 2);
+    }
+
+    // The updater re-materialized during that run: the *next* repeat
+    // reuses again, as before the restart.
+    let (_, repeat) = second.run_workload(kaggle::w1(&data).unwrap()).unwrap();
+    assert!(repeat.artifacts_loaded > 0, "reuse regained after repopulation");
+    assert!(repeat.run_seconds() < rerun.run_seconds() / 2.0);
+}
+
+#[test]
+fn snapshot_is_stable_across_round_trips() {
+    let data = home_credit(&HomeCreditScale::tiny());
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    server.run_workload(kaggle::w4(&data).unwrap()).unwrap();
+    let once = snapshot::to_snapshot(&server.eg());
+    let twice = snapshot::to_snapshot(&snapshot::from_snapshot(&once, true).unwrap());
+    assert_eq!(once, twice, "snapshot must be a fixpoint");
+}
