@@ -25,6 +25,8 @@ fn populated_eg(dedup: bool) -> (ExperimentGraph, HashMap<ArtifactId, Value>) {
         reuse: ReuseKind::Linear,
         cost: CostModel::memory(),
         warmstart: false,
+        retry: co_core::RetryPolicy::default(),
+        quarantine_after: Some(3),
     });
     let mut available = HashMap::new();
     for dag in kaggle::all_workloads(&data).expect("builds") {

@@ -68,6 +68,8 @@ pub fn run() {
             reuse: ReuseKind::Linear,
             cost: CostModel::memory(),
             warmstart: false,
+            retry: co_core::RetryPolicy::default(),
+            quarantine_after: Some(3),
         });
         let cum = scenario_cumulative(&server, &data, n);
         println!("    alpha={alpha:<4} cumulative {:.2}s", cum.last().unwrap());

@@ -36,6 +36,8 @@ pub fn server(materializer: MaterializerKind, reuse: ReuseKind, budget: u64) -> 
         reuse,
         cost: CostModel::memory(),
         warmstart: false,
+        retry: co_core::RetryPolicy::default(),
+        quarantine_after: Some(3),
     })
 }
 

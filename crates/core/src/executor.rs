@@ -6,35 +6,76 @@
 //! annotates every produced vertex with ⟨compute-time, size⟩ for the
 //! updater. Training operations are warmstarted from the best candidate
 //! model when the session enables it (§6.2).
+//!
+//! ## Failure semantics
+//!
+//! The executor degrades rather than aborts (see DESIGN.md, "Failure
+//! semantics"):
+//!
+//! * a planned **load that misses** the store falls back to recomputing
+//!   the artifact's subtree (counted in
+//!   [`ExecutionReport::load_misses_recovered`]); only artifacts with no
+//!   producer are unrecoverable, and their error names the workload node;
+//! * **transient operation failures** are retried under the configured
+//!   [`RetryPolicy`] with capped exponential backoff;
+//! * **panics** inside `Operation::run` are caught and isolated as
+//!   [`GraphError::OperationPanicked`];
+//! * a terminal failure **taints** the failing node and everything
+//!   downstream of it; untainted nodes still execute, and the returned
+//!   [`WorkloadError`] carries the report, the completed vertices, and
+//!   the taint mask so the server can salvage the progress.
 
 use crate::cost::CostModel;
+use crate::failure::{Quarantine, RetryPolicy, WorkloadError};
 use crate::optimizer::ReusePlan;
 use crate::report::ExecutionReport;
 use crate::warmstart;
-use co_graph::{ExperimentGraph, GraphError, NodeId, NodeKind, Result, Value, WorkloadDag};
+use co_graph::operation::OpRef;
+use co_graph::{ExperimentGraph, FaultInjector, GraphError, NodeId, NodeKind, Value, WorkloadDag};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Executor configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecutorConfig {
     /// Load-cost model for reused artifacts.
     pub cost: CostModel,
     /// Warmstart model training operations when a candidate exists
     /// (the paper only warmstarts "when users explicitly request it").
     pub warmstart: bool,
+    /// Retry policy applied to transient operation failures.
+    pub retry: RetryPolicy,
+    /// Shared quarantine registry (usually the server's); quarantined
+    /// operations fast-fail without running.
+    pub quarantine: Option<Arc<Quarantine>>,
 }
 
-/// Execute an optimized workload DAG against the Experiment Graph.
-///
-/// On success every terminal node of `dag` holds its value
-/// (`node.computed`), and executed nodes carry fresh
-/// ⟨compute-time, size⟩ annotations.
-pub fn execute(
-    dag: &mut WorkloadDag,
+/// Executor result: a report on success, a partial-progress error
+/// otherwise.
+pub type ExecResult = std::result::Result<ExecutionReport, WorkloadError>;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Action {
+    Skip,
+    Load,
+    Compute,
+}
+
+/// Outcome of the backward pass: per-node actions, with planned loads
+/// already fetched (so each fetch happens exactly once) and load misses
+/// degraded to recomputation where a producer exists.
+struct Prepared {
+    action: Vec<Action>,
+    loaded: Vec<Option<Value>>,
+    load_misses_recovered: usize,
+}
+
+fn prepare(
+    dag: &WorkloadDag,
     plan: &ReusePlan,
     eg: &ExperimentGraph,
-    config: &ExecutorConfig,
-) -> Result<ExecutionReport> {
+) -> co_graph::Result<Prepared> {
     let n = dag.n_nodes();
     if plan.load.len() != n {
         return Err(GraphError::InvalidStructure(format!(
@@ -42,15 +83,9 @@ pub fn execute(
             plan.load.len()
         )));
     }
-
-    // Backward pass: which nodes must be produced, and how.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Action {
-        Skip,
-        Load,
-        Compute,
-    }
     let mut action = vec![Action::Skip; n];
+    let mut loaded: Vec<Option<Value>> = vec![None; n];
+    let mut load_misses_recovered = 0;
     let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
     if stack.is_empty() {
         return Err(GraphError::NoTerminals);
@@ -65,43 +100,234 @@ pub fn execute(
             continue; // already in client memory
         }
         if plan.load[i] {
-            action[i] = Action::Load;
-            continue;
+            let artifact = dag.node(NodeId(i))?.artifact;
+            if let Some(value) = eg.storage().get(artifact) {
+                action[i] = Action::Load;
+                loaded[i] = Some(value);
+                continue;
+            }
+            // Planned load missed the store (evicted, corrupted, or
+            // fault-injected). With a producer we degrade to recomputing
+            // the subtree; without one the node is unrecoverable and the
+            // forward pass reports it.
+            if dag.producer(NodeId(i)).is_none() {
+                action[i] = Action::Load;
+                continue;
+            }
+            load_misses_recovered += 1;
         }
         action[i] = Action::Compute;
         stack.extend(dag.parents(NodeId(i)).iter().map(|p| p.0));
     }
+    Ok(Prepared { action, loaded, load_misses_recovered })
+}
 
-    let mut report = ExecutionReport::default();
+/// The detailed error for a load miss that cannot be recomputed.
+fn unrecoverable_load(dag: &WorkloadDag, i: usize) -> GraphError {
+    let node = &dag.nodes()[i];
+    let what = node
+        .name
+        .as_deref()
+        .map_or_else(|| "no producer".to_owned(), |name| format!("source {name:?}"));
+    GraphError::NotMaterialized {
+        artifact: node.artifact.0,
+        detail: format!("workload node {i}, {what}"),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+struct OpOutcome {
+    result: co_graph::Result<Value>,
+    /// Wall-clock across all attempts (the resource cost).
+    compute_seconds: f64,
+    /// Wall-clock of the successful attempt (the annotation value).
+    last_attempt_seconds: f64,
+    retries: usize,
+    panics_caught: usize,
+}
+
+/// Run one operation under the full failure discipline: quarantine
+/// fast-fail, fault injection, panic isolation, per-attempt and
+/// per-workload deadlines, and retry with capped exponential backoff
+/// for transient errors.
+fn run_op_with_retry(
+    op: &OpRef,
+    inputs: &[&Value],
+    warm: Option<&co_ml::TrainedModel>,
+    faults: Option<&FaultInjector>,
+    policy: &RetryPolicy,
+    quarantine: Option<&Quarantine>,
+    workload_start: Instant,
+) -> OpOutcome {
+    let name = op.name().to_owned();
+    let hash = op.op_hash();
+    let mut outcome = OpOutcome {
+        result: Err(GraphError::NoTerminals), // overwritten below
+        compute_seconds: 0.0,
+        last_attempt_seconds: 0.0,
+        retries: 0,
+        panics_caught: 0,
+    };
+    if let Some(q) = quarantine {
+        if let Some(err) = q.check(hash) {
+            outcome.result = Err(err);
+            return outcome;
+        }
+    }
+    let mut attempt = 1;
+    loop {
+        if let Some(deadline) = policy.workload_deadline {
+            if workload_start.elapsed() >= deadline {
+                outcome.result = Err(GraphError::DeadlineExceeded {
+                    what: "workload".to_owned(),
+                    seconds: deadline.as_secs_f64(),
+                });
+                return outcome;
+            }
+        }
+        let start = Instant::now();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(f) = faults {
+                f.before_run(&name)?;
+            }
+            op.run_warm(inputs, warm)
+        }));
+        let elapsed = start.elapsed().as_secs_f64();
+        outcome.compute_seconds += elapsed;
+        outcome.last_attempt_seconds = elapsed;
+        let mut result = match run {
+            Ok(r) => r,
+            Err(payload) => {
+                outcome.panics_caught += 1;
+                Err(GraphError::OperationPanicked {
+                    op: name.clone(),
+                    message: panic_message(payload),
+                })
+            }
+        };
+        if result.is_ok() {
+            if let Some(deadline) = policy.op_deadline {
+                if elapsed > deadline.as_secs_f64() {
+                    result = Err(GraphError::DeadlineExceeded {
+                        what: format!("operation {name:?}"),
+                        seconds: deadline.as_secs_f64(),
+                    });
+                }
+            }
+        }
+        match result {
+            Ok(value) => {
+                if let Some(q) = quarantine {
+                    q.record_success(hash);
+                }
+                outcome.result = Ok(value);
+                return outcome;
+            }
+            Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                outcome.retries += 1;
+                std::thread::sleep(policy.backoff(outcome.retries));
+                attempt += 1;
+            }
+            Err(e) => {
+                // Terminal for this node. Failed runs (not deadline
+                // overruns, which may be the environment's fault) feed
+                // the quarantine streak.
+                if let Some(q) = quarantine {
+                    if matches!(
+                        e,
+                        GraphError::OperationFailed { .. } | GraphError::OperationPanicked { .. }
+                    ) {
+                        q.record_failure(hash, &name);
+                    }
+                }
+                outcome.result = Err(e);
+                return outcome;
+            }
+        }
+    }
+}
+
+/// Taint must cover everything downstream of a failure so the untainted
+/// set stays ancestor-closed (a salvage-merge requirement). Index order
+/// is topological, so one forward sweep closes it transitively.
+fn close_taint(dag: &WorkloadDag, tainted: &mut [bool]) {
+    for i in 0..tainted.len() {
+        if !tainted[i] && dag.parents(NodeId(i)).iter().any(|p| tainted[p.0]) {
+            tainted[i] = true;
+        }
+    }
+}
+
+/// Execute an optimized workload DAG against the Experiment Graph.
+///
+/// On success every terminal node of `dag` holds its value
+/// (`node.computed`), and executed nodes carry fresh
+/// ⟨compute-time, size⟩ annotations. On failure, untainted nodes have
+/// still executed and the [`WorkloadError`] describes the salvageable
+/// progress.
+pub fn execute(
+    dag: &mut WorkloadDag,
+    plan: &ReusePlan,
+    eg: &ExperimentGraph,
+    config: &ExecutorConfig,
+) -> ExecResult {
+    let workload_start = Instant::now();
+    let Prepared { action, mut loaded, load_misses_recovered } = prepare(dag, plan, eg)?;
+    let n = dag.n_nodes();
+    let faults = eg.storage().fault_injector().map(Arc::clone);
+    let quarantine = config.quarantine.as_deref();
+
+    let mut report = ExecutionReport { load_misses_recovered, ..ExecutionReport::default() };
+    let mut tainted = vec![false; n];
+    let mut first_error: Option<GraphError> = None;
+    let mut completed: Vec<NodeId> = Vec::new();
 
     // Forward pass in topological (index) order.
-    #[allow(clippy::needless_range_loop)] // parallel arrays indexed by node id
     for i in 0..n {
+        if dag.parents(NodeId(i)).iter().any(|p| tainted[p.0]) {
+            tainted[i] = true;
+            continue;
+        }
         match action[i] {
             Action::Skip => {
                 if dag.node(NodeId(i))?.computed.is_none() {
                     report.nodes_skipped += 1;
                 }
             }
-            Action::Load => {
-                let artifact = dag.node(NodeId(i))?.artifact;
-                let value = eg
-                    .storage()
-                    .get(artifact)
-                    .ok_or(GraphError::NotMaterialized(artifact.0))?;
-                report.load_seconds += config.cost.load_cost(value.nbytes() as u64);
-                report.artifacts_loaded += 1;
-                if let Value::Model(m) = &value {
-                    dag.node_mut(NodeId(i))?.quality = m.quality;
-                    report.best_model_quality = report.best_model_quality.max(m.quality);
+            Action::Load => match loaded[i].take() {
+                Some(value) => {
+                    report.load_seconds += config.cost.load_cost(value.nbytes() as u64);
+                    report.artifacts_loaded += 1;
+                    if let Value::Model(m) = &value {
+                        dag.node_mut(NodeId(i))?.quality = m.quality;
+                        report.best_model_quality = report.best_model_quality.max(m.quality);
+                    }
+                    dag.set_computed(NodeId(i), value)?;
+                    completed.push(NodeId(i));
                 }
-                dag.set_computed(NodeId(i), value)?;
-            }
+                None => {
+                    tainted[i] = true;
+                    if first_error.is_none() {
+                        first_error = Some(unrecoverable_load(dag, i));
+                    }
+                }
+            },
             Action::Compute => {
                 let edge = dag.producer(NodeId(i)).ok_or_else(|| {
-                    GraphError::InvalidStructure(format!("node {i} must be computed but has no producer"))
+                    GraphError::InvalidStructure(format!(
+                        "node {i} must be computed but has no producer"
+                    ))
                 })?;
-                let op = std::sync::Arc::clone(&edge.op);
+                let op = Arc::clone(&edge.op);
                 let input_ids = edge.inputs.clone();
 
                 // Warmstart lookup happens before borrowing input values.
@@ -128,38 +354,64 @@ pub fn execute(
                             ))
                         })
                     })
-                    .collect::<Result<_>>()?;
+                    .collect::<co_graph::Result<_>>()?;
 
-                let start = Instant::now();
-                let value = op.run_warm(&inputs, warm_model.as_ref())?;
-                let elapsed = start.elapsed().as_secs_f64();
-                report.compute_seconds += elapsed;
-                report.ops_executed += 1;
-
-                if let Value::Model(m) = &value {
-                    dag.node_mut(NodeId(i))?.quality = m.quality;
-                    report.best_model_quality = report.best_model_quality.max(m.quality);
-                }
-                // Evaluation feedback: refine the input model's quality.
-                if op.is_evaluation() {
-                    if let Some(score) = value.as_aggregate().and_then(|s| s.as_f64()) {
-                        for p in &input_ids {
-                            if dag.nodes()[p.0].kind == NodeKind::Model {
-                                let node = dag.node_mut(*p)?;
-                                node.quality = score.clamp(0.0, 1.0);
-                                report.best_model_quality =
-                                    report.best_model_quality.max(node.quality);
+                let outcome = run_op_with_retry(
+                    &op,
+                    &inputs,
+                    warm_model.as_ref(),
+                    faults.as_deref(),
+                    &config.retry,
+                    quarantine,
+                    workload_start,
+                );
+                report.compute_seconds += outcome.compute_seconds;
+                report.retries += outcome.retries;
+                report.panics_caught += outcome.panics_caught;
+                match outcome.result {
+                    Ok(value) => {
+                        report.ops_executed += 1;
+                        if let Value::Model(m) = &value {
+                            dag.node_mut(NodeId(i))?.quality = m.quality;
+                            report.best_model_quality =
+                                report.best_model_quality.max(m.quality);
+                        }
+                        // Evaluation feedback: refine the input model's
+                        // quality.
+                        if op.is_evaluation() {
+                            if let Some(score) = value.as_aggregate().and_then(|s| s.as_f64()) {
+                                for p in &input_ids {
+                                    if dag.nodes()[p.0].kind == NodeKind::Model {
+                                        let node = dag.node_mut(*p)?;
+                                        node.quality = score.clamp(0.0, 1.0);
+                                        report.best_model_quality =
+                                            report.best_model_quality.max(node.quality);
+                                    }
+                                }
                             }
+                        }
+                        let size = value.nbytes() as u64;
+                        dag.set_computed(NodeId(i), value)?;
+                        dag.annotate(NodeId(i), outcome.last_attempt_seconds, size)?;
+                        completed.push(NodeId(i));
+                    }
+                    Err(e) => {
+                        tainted[i] = true;
+                        if first_error.is_none() {
+                            first_error = Some(e);
                         }
                     }
                 }
-                let size = value.nbytes() as u64;
-                dag.set_computed(NodeId(i), value)?;
-                dag.annotate(NodeId(i), elapsed, size)?;
             }
         }
     }
-    Ok(report)
+    match first_error {
+        None => Ok(report),
+        Some(error) => {
+            close_taint(dag, &mut tainted);
+            Err(WorkloadError { error, report: Box::new(report), completed, tainted })
+        }
+    }
 }
 
 /// Execute an optimized workload DAG with **level-parallel** operation
@@ -168,56 +420,32 @@ pub fn execute(
 /// Workload 1 proceed at once).
 ///
 /// Semantics match [`execute`] exactly — same values, same annotations,
-/// same report fields. `compute_seconds` remains the *sum* of per-op
-/// times (the resource cost); wall-clock time can be lower. Warmstart
-/// candidate lookup happens before each level is dispatched, so two
-/// same-level trainings never observe each other (deterministic).
+/// same report fields, same failure semantics (taint, retry, panic
+/// isolation). `compute_seconds` remains the *sum* of per-op times (the
+/// resource cost); wall-clock time can be lower. Warmstart candidate
+/// lookup happens before each level is dispatched, so two same-level
+/// trainings never observe each other (deterministic).
 pub fn execute_parallel(
     dag: &mut WorkloadDag,
     plan: &ReusePlan,
     eg: &ExperimentGraph,
     config: &ExecutorConfig,
-) -> Result<ExecutionReport> {
+) -> ExecResult {
+    let workload_start = Instant::now();
+    let Prepared { action, mut loaded, load_misses_recovered } = prepare(dag, plan, eg)?;
     let n = dag.n_nodes();
-    if plan.load.len() != n {
-        return Err(GraphError::InvalidStructure(format!(
-            "plan covers {} nodes, workload has {n}",
-            plan.load.len()
-        )));
-    }
-    // Backward pass, identical to the sequential executor.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Action {
-        Skip,
-        Load,
-        Compute,
-    }
-    let mut action = vec![Action::Skip; n];
-    let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
-    if stack.is_empty() {
-        return Err(GraphError::NoTerminals);
-    }
-    let mut visited = vec![false; n];
-    while let Some(i) = stack.pop() {
-        if visited[i] {
-            continue;
-        }
-        visited[i] = true;
-        if dag.node(NodeId(i))?.computed.is_some() {
-            continue;
-        }
-        if plan.load[i] {
-            action[i] = Action::Load;
-            continue;
-        }
-        action[i] = Action::Compute;
-        stack.extend(dag.parents(NodeId(i)).iter().map(|p| p.0));
-    }
+    let faults = eg.storage().fault_injector().map(Arc::clone);
+    let faults_ref = faults.as_deref();
+    let quarantine = config.quarantine.as_deref();
+    let retry = config.retry;
 
-    let mut report = ExecutionReport::default();
+    let mut report = ExecutionReport { load_misses_recovered, ..ExecutionReport::default() };
+    let mut tainted = vec![false; n];
+    let mut first_error: Option<GraphError> = None;
+    let mut completed: Vec<NodeId> = Vec::new();
 
-    // Resolve loads and count skips up front (loads are Arc clones plus a
-    // charged cost — not worth a thread).
+    // Resolve loads and count skips up front (loads are already-fetched
+    // values plus a charged cost — not worth a thread).
     #[allow(clippy::needless_range_loop)] // parallel arrays indexed by node id
     for i in 0..n {
         match action[i] {
@@ -226,20 +454,24 @@ pub fn execute_parallel(
                     report.nodes_skipped += 1;
                 }
             }
-            Action::Load => {
-                let artifact = dag.node(NodeId(i))?.artifact;
-                let value = eg
-                    .storage()
-                    .get(artifact)
-                    .ok_or(GraphError::NotMaterialized(artifact.0))?;
-                report.load_seconds += config.cost.load_cost(value.nbytes() as u64);
-                report.artifacts_loaded += 1;
-                if let Value::Model(m) = &value {
-                    dag.node_mut(NodeId(i))?.quality = m.quality;
-                    report.best_model_quality = report.best_model_quality.max(m.quality);
+            Action::Load => match loaded[i].take() {
+                Some(value) => {
+                    report.load_seconds += config.cost.load_cost(value.nbytes() as u64);
+                    report.artifacts_loaded += 1;
+                    if let Value::Model(m) = &value {
+                        dag.node_mut(NodeId(i))?.quality = m.quality;
+                        report.best_model_quality = report.best_model_quality.max(m.quality);
+                    }
+                    dag.set_computed(NodeId(i), value)?;
+                    completed.push(NodeId(i));
                 }
-                dag.set_computed(NodeId(i), value)?;
-            }
+                None => {
+                    tainted[i] = true;
+                    if first_error.is_none() {
+                        first_error = Some(unrecoverable_load(dag, i));
+                    }
+                }
+            },
             Action::Compute => {}
         }
     }
@@ -271,19 +503,26 @@ pub fn execute_parallel(
             batch.push(pending[idx]);
             idx += 1;
         }
-        // Gather per-node work before spawning (warmstarts included).
+        // Gather per-node work before spawning (warmstarts included);
+        // nodes downstream of a failure are tainted instead of run.
         struct Work {
             node: usize,
-            op: co_graph::operation::OpRef,
+            op: OpRef,
             inputs: Vec<Value>,
             warm: Option<co_ml::TrainedModel>,
         }
         let mut work = Vec::with_capacity(batch.len());
         for &i in &batch {
+            if dag.parents(NodeId(i)).iter().any(|p| tainted[p.0]) {
+                tainted[i] = true;
+                continue;
+            }
             let edge = dag.producer(NodeId(i)).ok_or_else(|| {
-                GraphError::InvalidStructure(format!("node {i} must be computed but has no producer"))
+                GraphError::InvalidStructure(format!(
+                    "node {i} must be computed but has no producer"
+                ))
             })?;
-            let op = std::sync::Arc::clone(&edge.op);
+            let op = Arc::clone(&edge.op);
             let input_ids = edge.inputs.clone();
             let warm = if config.warmstart && op.warmstartable() {
                 op.model_kind().and_then(|kind| {
@@ -307,55 +546,103 @@ pub fn execute_parallel(
                         ))
                     })
                 })
-                .collect::<Result<_>>()?;
+                .collect::<co_graph::Result<_>>()?;
             work.push(Work { node: i, op, inputs, warm });
         }
 
-        // Run the batch on scoped threads.
-        type Outcome = (usize, Result<Value>, f64);
-        let results: Vec<Outcome> = std::thread::scope(|scope| {
+        // Run the batch on scoped threads. Operation panics are caught
+        // *inside* each thread by `run_op_with_retry`, so a panicking
+        // user operation cannot tear down the executor; a failed join
+        // (which would mean a panic outside that guard) degrades to a
+        // structured error instead of propagating.
+        let results: Vec<(usize, OpOutcome)> = std::thread::scope(|scope| {
             let handles: Vec<_> = work
                 .iter()
                 .map(|w| {
                     scope.spawn(move || {
                         let refs: Vec<&Value> = w.inputs.iter().collect();
-                        let start = Instant::now();
-                        let out = w.op.run_warm(&refs, w.warm.as_ref());
-                        (w.node, out, start.elapsed().as_secs_f64())
+                        let outcome = run_op_with_retry(
+                            &w.op,
+                            &refs,
+                            w.warm.as_ref(),
+                            faults_ref,
+                            &retry,
+                            quarantine,
+                            workload_start,
+                        );
+                        (w.node, outcome)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("operation thread panicked")).collect()
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(k, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        (
+                            work[k].node,
+                            OpOutcome {
+                                result: Err(GraphError::OperationPanicked {
+                                    op: work[k].op.name().to_owned(),
+                                    message: panic_message(payload),
+                                }),
+                                compute_seconds: 0.0,
+                                last_attempt_seconds: 0.0,
+                                retries: 0,
+                                panics_caught: 1,
+                            },
+                        )
+                    })
+                })
+                .collect()
         });
 
-        for (i, outcome, elapsed) in results {
-            let value = outcome?;
-            report.compute_seconds += elapsed;
-            report.ops_executed += 1;
-            if let Value::Model(m) = &value {
-                dag.node_mut(NodeId(i))?.quality = m.quality;
-                report.best_model_quality = report.best_model_quality.max(m.quality);
-            }
-            let op = std::sync::Arc::clone(&dag.producer(NodeId(i)).expect("checked").op);
-            let input_ids = dag.producer(NodeId(i)).expect("checked").inputs.clone();
-            if op.is_evaluation() {
-                if let Some(score) = value.as_aggregate().and_then(|s| s.as_f64()) {
-                    for p in &input_ids {
-                        if dag.nodes()[p.0].kind == NodeKind::Model {
-                            let node = dag.node_mut(*p)?;
-                            node.quality = score.clamp(0.0, 1.0);
-                            report.best_model_quality =
-                                report.best_model_quality.max(node.quality);
+        for (i, outcome) in results {
+            report.compute_seconds += outcome.compute_seconds;
+            report.retries += outcome.retries;
+            report.panics_caught += outcome.panics_caught;
+            match outcome.result {
+                Ok(value) => {
+                    report.ops_executed += 1;
+                    if let Value::Model(m) = &value {
+                        dag.node_mut(NodeId(i))?.quality = m.quality;
+                        report.best_model_quality = report.best_model_quality.max(m.quality);
+                    }
+                    let op = Arc::clone(&dag.producer(NodeId(i)).expect("checked").op);
+                    let input_ids = dag.producer(NodeId(i)).expect("checked").inputs.clone();
+                    if op.is_evaluation() {
+                        if let Some(score) = value.as_aggregate().and_then(|s| s.as_f64()) {
+                            for p in &input_ids {
+                                if dag.nodes()[p.0].kind == NodeKind::Model {
+                                    let node = dag.node_mut(*p)?;
+                                    node.quality = score.clamp(0.0, 1.0);
+                                    report.best_model_quality =
+                                        report.best_model_quality.max(node.quality);
+                                }
+                            }
                         }
+                    }
+                    let size = value.nbytes() as u64;
+                    dag.set_computed(NodeId(i), value)?;
+                    dag.annotate(NodeId(i), outcome.last_attempt_seconds, size)?;
+                    completed.push(NodeId(i));
+                }
+                Err(e) => {
+                    tainted[i] = true;
+                    if first_error.is_none() {
+                        first_error = Some(e);
                     }
                 }
             }
-            let size = value.nbytes() as u64;
-            dag.set_computed(NodeId(i), value)?;
-            dag.annotate(NodeId(i), elapsed, size)?;
         }
     }
-    Ok(report)
+    match first_error {
+        None => Ok(report),
+        Some(error) => {
+            close_taint(dag, &mut tainted);
+            Err(WorkloadError { error, report: Box::new(report), completed, tainted })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -364,7 +651,9 @@ mod tests {
     use crate::ops::{AggOp, FilterOp, MapOp, SelectOp};
     use co_dataframe::ops::{AggFn, MapFn, Predicate};
     use co_dataframe::{Column, ColumnData, DataFrame};
+    use co_graph::FaultKind;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn source_frame() -> DataFrame {
         DataFrame::new(vec![
@@ -401,6 +690,9 @@ mod tests {
         let report = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap();
         assert_eq!(report.ops_executed, 3);
         assert_eq!(report.artifacts_loaded, 0);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.panics_caught, 0);
+        assert_eq!(report.load_misses_recovered, 0);
         let value = dag.node(result).unwrap().computed.as_ref().unwrap();
         assert!(value.as_aggregate().unwrap().as_f64().unwrap() > 0.0);
         assert!(dag.node(mapped).unwrap().compute_time.is_some());
@@ -435,14 +727,147 @@ mod tests {
     }
 
     #[test]
-    fn loading_unmaterialized_artifact_fails() {
-        let (mut dag, mapped, _) = pipeline();
+    fn load_miss_degrades_to_recompute() {
+        // The plan says Load but the store has nothing: the executor
+        // falls back to recomputing the subtree instead of erroring.
+        let (mut dag, mapped, result) = pipeline();
         let mut load = vec![false; dag.n_nodes()];
         load[mapped.0] = true;
         let plan = ReusePlan { load, estimated_cost: 0.0 };
         let eg = ExperimentGraph::new(true);
+        let report = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap();
+        assert_eq!(report.load_misses_recovered, 1);
+        assert_eq!(report.artifacts_loaded, 0);
+        assert_eq!(report.ops_executed, 3); // the whole subtree recomputed
+        assert!(dag.node(result).unwrap().computed.is_some());
+    }
+
+    #[test]
+    fn unrecoverable_load_miss_names_the_node() {
+        // A load miss with no producer cannot degrade; the error names
+        // the workload node and its source.
+        let (mut dag, _, _) = pipeline();
+        dag.node_mut(NodeId(0)).unwrap().computed = None; // drop source content
+        let mut load = vec![false; dag.n_nodes()];
+        load[0] = true;
+        let plan = ReusePlan { load, estimated_cost: 0.0 };
+        let eg = ExperimentGraph::new(true);
         let err = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap_err();
-        assert!(matches!(err, GraphError::NotMaterialized(_)));
+        assert!(matches!(err.error, GraphError::NotMaterialized { .. }));
+        let msg = err.error.to_string();
+        assert!(msg.contains("workload node 0"), "{msg}");
+        assert!(msg.contains("\"t\""), "{msg}");
+        // Everything downstream of the missing source is tainted.
+        assert!(err.tainted.iter().all(|t| *t));
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let (mut dag, _, result) = pipeline();
+        let mut eg = ExperimentGraph::new(true);
+        let faults = Arc::new(co_graph::FaultInjector::new());
+        faults.fail_op("map", FaultKind::Transient, 2);
+        eg.storage_mut().set_fault_injector(Arc::clone(&faults));
+        let plan = ReusePlan::compute_everything(&dag);
+        let config = ExecutorConfig {
+            retry: RetryPolicy {
+                initial_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+            ..ExecutorConfig::default()
+        };
+        let report = execute(&mut dag, &plan, &eg, &config).unwrap();
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.ops_executed, 3);
+        assert!(dag.node(result).unwrap().computed.is_some());
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_with_partial_progress() {
+        let (mut dag, _, _) = pipeline();
+        let mut eg = ExperimentGraph::new(true);
+        let faults = Arc::new(co_graph::FaultInjector::new());
+        faults.fail_op_forever("map", FaultKind::Transient);
+        eg.storage_mut().set_fault_injector(Arc::clone(&faults));
+        let plan = ReusePlan::compute_everything(&dag);
+        let config = ExecutorConfig {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                initial_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+            ..ExecutorConfig::default()
+        };
+        let err = execute(&mut dag, &plan, &eg, &config).unwrap_err();
+        assert!(err.error.is_transient());
+        assert_eq!(err.report.retries, 1); // one retry, then give up
+        assert_eq!(err.report.ops_executed, 1); // the filter succeeded
+        // Filter (node 1) survives; map and agg are tainted.
+        assert_eq!(err.tainted, vec![false, false, true, true]);
+        assert_eq!(err.untainted(), 2);
+    }
+
+    #[test]
+    fn panics_are_isolated_as_errors() {
+        let (mut dag, _, _) = pipeline();
+        let mut eg = ExperimentGraph::new(true);
+        let faults = Arc::new(co_graph::FaultInjector::new());
+        faults.fail_op("agg", FaultKind::Panic, 1);
+        eg.storage_mut().set_fault_injector(Arc::clone(&faults));
+        let plan = ReusePlan::compute_everything(&dag);
+        let err = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap_err();
+        assert!(matches!(err.error, GraphError::OperationPanicked { .. }), "{}", err.error);
+        assert_eq!(err.report.panics_caught, 1);
+        assert_eq!(err.report.ops_executed, 2); // filter and map completed
+        assert_eq!(err.untainted(), 3);
+    }
+
+    #[test]
+    fn quarantined_ops_fast_fail() {
+        let quarantine = Arc::new(Quarantine::new(1));
+        let (mut dag, _, _) = pipeline();
+        let mut eg = ExperimentGraph::new(true);
+        let faults = Arc::new(co_graph::FaultInjector::new());
+        faults.fail_op("agg", FaultKind::Permanent, 1);
+        eg.storage_mut().set_fault_injector(Arc::clone(&faults));
+        let plan = ReusePlan::compute_everything(&dag);
+        let config =
+            ExecutorConfig { quarantine: Some(Arc::clone(&quarantine)), ..ExecutorConfig::default() };
+        let err = execute(&mut dag, &plan, &eg, &config).unwrap_err();
+        assert!(matches!(err.error, GraphError::OperationFailed { .. }));
+
+        // Second run: the op would succeed (fault budget spent), but the
+        // quarantine fast-fails it without running.
+        let (mut dag2, _, _) = pipeline();
+        let plan2 = ReusePlan::compute_everything(&dag2);
+        let err2 = execute(&mut dag2, &plan2, &eg, &config).unwrap_err();
+        assert!(matches!(err2.error, GraphError::Quarantined { failures: 1, .. }), "{}", err2.error);
+
+        // Releasing it restores service.
+        let hash = dag2.producer(NodeId(3)).unwrap().op.op_hash();
+        quarantine.release(hash);
+        let (mut dag3, _, _) = pipeline();
+        let plan3 = ReusePlan::compute_everything(&dag3);
+        assert!(execute(&mut dag3, &plan3, &eg, &config).is_ok());
+    }
+
+    #[test]
+    fn workload_deadline_cuts_execution_short() {
+        let (mut dag, _, _) = pipeline();
+        let mut eg = ExperimentGraph::new(true);
+        let faults = Arc::new(co_graph::FaultInjector::new());
+        faults.inject_latency("filter", Duration::from_millis(30));
+        eg.storage_mut().set_fault_injector(Arc::clone(&faults));
+        let plan = ReusePlan::compute_everything(&dag);
+        let config = ExecutorConfig {
+            retry: RetryPolicy {
+                workload_deadline: Some(Duration::from_millis(5)),
+                ..RetryPolicy::default()
+            },
+            ..ExecutorConfig::default()
+        };
+        let err = execute(&mut dag, &plan, &eg, &config).unwrap_err();
+        assert!(matches!(err.error, GraphError::DeadlineExceeded { .. }), "{}", err.error);
     }
 
     #[test]
@@ -523,6 +948,20 @@ mod tests {
         let v1 = dag1.node(result2).unwrap().computed.as_ref().unwrap();
         let v2 = dag2.node(result2).unwrap().computed.as_ref().unwrap();
         assert_eq!(v1.as_aggregate(), v2.as_aggregate());
+    }
+
+    #[test]
+    fn parallel_isolates_panics_and_taints_downstream() {
+        let (mut dag, _, _) = pipeline();
+        let mut eg = ExperimentGraph::new(true);
+        let faults = Arc::new(co_graph::FaultInjector::new());
+        faults.fail_op("map", FaultKind::Panic, 1);
+        eg.storage_mut().set_fault_injector(Arc::clone(&faults));
+        let plan = ReusePlan::compute_everything(&dag);
+        let err = execute_parallel(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap_err();
+        assert!(matches!(err.error, GraphError::OperationPanicked { .. }), "{}", err.error);
+        assert_eq!(err.report.panics_caught, 1);
+        assert_eq!(err.tainted, vec![false, false, true, true]);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Fault tolerance: retry policies, the operation quarantine, and the
+//! partial-progress workload error.
+//!
+//! A collaborative server is long-lived and multi-tenant: one user's
+//! flaky operation must not cost every other user their shared
+//! Experiment Graph, and a 40-minute pipeline that dies on its last
+//! step should leave its 39 good artifacts behind. Three mechanisms
+//! cover this:
+//!
+//! * [`RetryPolicy`] — the executor retries failures classified
+//!   transient by [`GraphError::is_transient`], with capped exponential
+//!   backoff and optional per-operation / per-workload deadlines;
+//! * [`Quarantine`] — operations that keep failing permanently are
+//!   fast-failed (by `op_hash`, so the same logical operation submitted
+//!   by any session is caught) instead of re-running;
+//! * [`WorkloadError`] — a terminal failure still returns the
+//!   [`ExecutionReport`] and the set of successfully computed vertices,
+//!   so the server can salvage the completed prefix into the Experiment
+//!   Graph and a resubmission reuses it.
+
+use crate::report::ExecutionReport;
+use co_graph::{GraphError, NodeId, OpHash};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Retry configuration applied by the executor to transient failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (1 = no retry).
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// If set, an operation attempt whose wall-clock time exceeds this
+    /// fails with [`GraphError::DeadlineExceeded`] (permanent).
+    pub op_deadline: Option<Duration>,
+    /// If set, once total execution time exceeds this the remaining
+    /// operations fail with [`GraphError::DeadlineExceeded`].
+    pub workload_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            op_deadline: None,
+            workload_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never imposes deadlines.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Backoff before retry number `retry` (1-based): capped exponential.
+    #[must_use]
+    pub fn backoff(&self, retry: usize) -> Duration {
+        let exp = retry.saturating_sub(1).min(32) as u32;
+        let raw = self.initial_backoff.saturating_mul(2u32.saturating_pow(exp));
+        raw.min(self.max_backoff)
+    }
+}
+
+/// Registry of operations that failed permanently `threshold` times in a
+/// row, fast-failed with [`GraphError::Quarantined`] until a success (or
+/// [`Quarantine::release`]) clears them. Keyed by `op_hash`, so the same
+/// logical operation is caught across sessions and workloads.
+#[derive(Debug)]
+pub struct Quarantine {
+    threshold: usize,
+    /// Consecutive terminal failures per operation.
+    counts: Mutex<HashMap<OpHash, (String, usize)>>,
+}
+
+impl Quarantine {
+    /// Quarantine after `threshold` consecutive permanent failures.
+    /// A threshold of 0 disables quarantining.
+    #[must_use]
+    pub fn new(threshold: usize) -> Self {
+        Quarantine { threshold, counts: Mutex::new(HashMap::new()) }
+    }
+
+    /// If the operation is quarantined, the error to fast-fail with.
+    #[must_use]
+    pub fn check(&self, op: OpHash) -> Option<GraphError> {
+        if self.threshold == 0 {
+            return None;
+        }
+        let counts = self.counts.lock().unwrap();
+        counts.get(&op).and_then(|(name, failures)| {
+            (*failures >= self.threshold)
+                .then(|| GraphError::Quarantined { op: name.clone(), failures: *failures })
+        })
+    }
+
+    /// Record a terminal (non-retryable or retry-exhausted) failure.
+    /// Returns the consecutive-failure count.
+    pub fn record_failure(&self, op: OpHash, name: &str) -> usize {
+        let mut counts = self.counts.lock().unwrap();
+        let entry = counts.entry(op).or_insert_with(|| (name.to_owned(), 0));
+        entry.1 += 1;
+        entry.1
+    }
+
+    /// Record a success, clearing the operation's failure streak.
+    pub fn record_success(&self, op: OpHash) {
+        self.counts.lock().unwrap().remove(&op);
+    }
+
+    /// Manually release an operation from quarantine.
+    pub fn release(&self, op: OpHash) {
+        self.record_success(op);
+    }
+
+    /// Operations currently quarantined, as (name, failures).
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<(String, usize)> {
+        if self.threshold == 0 {
+            return Vec::new();
+        }
+        self.counts
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|(_, failures)| *failures >= self.threshold)
+            .cloned()
+            .collect()
+    }
+}
+
+/// A workload execution failure that preserves partial progress.
+///
+/// `tainted[i]` is true for workload node `i` iff it failed or sits
+/// downstream of a failure; everything untainted executed (or was
+/// already available) normally and is safe to merge into the Experiment
+/// Graph. `completed` lists the nodes whose values this run produced.
+#[derive(Debug)]
+pub struct WorkloadError {
+    /// The first terminal error encountered.
+    pub error: GraphError,
+    /// Costs and counters accumulated up to (and through) the failure.
+    /// Boxed to keep the `Err` variant small on the happy path.
+    pub report: Box<ExecutionReport>,
+    /// Nodes whose values were produced by this run (loaded or computed).
+    pub completed: Vec<NodeId>,
+    /// Per-node taint mask; same length as the workload's node list.
+    /// Empty when the failure predates execution (e.g. a bad plan).
+    pub tainted: Vec<bool>,
+}
+
+impl WorkloadError {
+    /// Number of untainted nodes (the salvageable prefix). Zero when no
+    /// execution happened.
+    #[must_use]
+    pub fn untainted(&self) -> usize {
+        self.tainted.iter().filter(|t| !**t).count()
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload failed ({} vertices salvageable): {}", self.untainted(), self.error)
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<GraphError> for WorkloadError {
+    fn from(error: GraphError) -> Self {
+        WorkloadError {
+            error,
+            report: Box::default(),
+            completed: Vec::new(),
+            tainted: Vec::new(),
+        }
+    }
+}
+
+impl From<WorkloadError> for GraphError {
+    fn from(e: WorkloadError) -> Self {
+        e.error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(65),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(65)); // capped
+        assert_eq!(p.backoff(100), Duration::from_millis(65)); // no overflow
+    }
+
+    #[test]
+    fn quarantine_trips_at_threshold_and_clears_on_success() {
+        let q = Quarantine::new(2);
+        let op = 42u64;
+        assert!(q.check(op).is_none());
+        q.record_failure(op, "train");
+        assert!(q.check(op).is_none());
+        q.record_failure(op, "train");
+        let err = q.check(op).unwrap();
+        assert!(matches!(err, GraphError::Quarantined { failures: 2, .. }));
+        assert_eq!(q.quarantined(), vec![("train".to_owned(), 2)]);
+        q.record_success(op);
+        assert!(q.check(op).is_none());
+        assert!(q.quarantined().is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_disables_quarantine() {
+        let q = Quarantine::new(0);
+        for _ in 0..10 {
+            q.record_failure(1, "op");
+        }
+        assert!(q.check(1).is_none());
+        assert!(q.quarantined().is_empty());
+    }
+
+    #[test]
+    fn workload_error_round_trips_through_graph_error() {
+        let we = WorkloadError::from(GraphError::NoTerminals);
+        assert_eq!(we.untainted(), 0);
+        assert!(we.to_string().contains("salvageable"));
+        let back: GraphError = we.into();
+        assert_eq!(back, GraphError::NoTerminals);
+    }
+}

@@ -30,6 +30,7 @@ pub mod advisor;
 pub mod cost;
 pub mod dsl;
 pub mod executor;
+pub mod failure;
 pub mod materialize;
 pub mod ops;
 pub mod optimizer;
@@ -39,5 +40,6 @@ pub mod warmstart;
 
 pub use cost::CostModel;
 pub use dsl::Script;
+pub use failure::{Quarantine, RetryPolicy, WorkloadError};
 pub use report::ExecutionReport;
 pub use server::{OptimizerServer, ServerConfig};

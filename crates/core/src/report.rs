@@ -24,6 +24,16 @@ pub struct ExecutionReport {
     pub warmstarts: usize,
     /// Quality of the best model trained in this run (0 if none).
     pub best_model_quality: f64,
+    /// Transient-failure retries performed by the executor.
+    pub retries: usize,
+    /// Planned loads that missed the store and were recovered by
+    /// recomputing the subtree instead.
+    pub load_misses_recovered: usize,
+    /// Operation panics caught and isolated as structured errors.
+    pub panics_caught: usize,
+    /// Vertices from a *failed* run that were still merged into the
+    /// Experiment Graph (0 for successful runs; set by the server).
+    pub salvaged_artifacts: usize,
 }
 
 impl ExecutionReport {
@@ -50,6 +60,10 @@ impl ExecutionReport {
         self.nodes_skipped += other.nodes_skipped;
         self.warmstarts += other.warmstarts;
         self.best_model_quality = self.best_model_quality.max(other.best_model_quality);
+        self.retries += other.retries;
+        self.load_misses_recovered += other.load_misses_recovered;
+        self.panics_caught += other.panics_caught;
+        self.salvaged_artifacts += other.salvaged_artifacts;
     }
 }
 

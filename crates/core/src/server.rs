@@ -5,6 +5,7 @@
 
 use crate::cost::CostModel;
 use crate::executor::{self, ExecutorConfig};
+use crate::failure::{Quarantine, RetryPolicy, WorkloadError};
 use crate::materialize::{
     AllMaterializer, GreedyMaterializer, HelixMaterializer, Materializer, NoneMaterializer,
     StorageAwareMaterializer,
@@ -13,9 +14,10 @@ use crate::optimizer::{
     AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse, ReusePlanner,
 };
 use crate::report::ExecutionReport;
-use co_graph::{ArtifactId, ExperimentGraph, Result, Value, WorkloadDag};
+use co_graph::{ArtifactId, ExperimentGraph, FaultInjector, Result, Value, WorkloadDag};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which materialization algorithm the updater runs.
@@ -64,6 +66,11 @@ pub struct ServerConfig {
     pub cost: CostModel,
     /// Warmstart training operations.
     pub warmstart: bool,
+    /// Retry policy for transient operation failures.
+    pub retry: RetryPolicy,
+    /// Quarantine operations after this many consecutive permanent
+    /// failures (`None` disables the quarantine).
+    pub quarantine_after: Option<usize>,
 }
 
 impl ServerConfig {
@@ -78,6 +85,8 @@ impl ServerConfig {
             reuse: ReuseKind::Linear,
             cost: CostModel::memory(),
             warmstart: false,
+            retry: RetryPolicy::default(),
+            quarantine_after: Some(3),
         }
     }
 
@@ -92,6 +101,8 @@ impl ServerConfig {
             reuse: ReuseKind::None,
             cost: CostModel::memory(),
             warmstart: false,
+            retry: RetryPolicy::default(),
+            quarantine_after: Some(3),
         }
     }
 
@@ -105,6 +116,8 @@ impl ServerConfig {
             reuse: ReuseKind::Helix,
             cost: CostModel::memory(),
             warmstart: false,
+            retry: RetryPolicy::default(),
+            quarantine_after: Some(3),
         }
     }
 }
@@ -129,6 +142,10 @@ pub struct ServerStats {
     /// at all, seconds (from the Experiment Graph's recorded compute
     /// times).
     pub baseline_seconds: f64,
+    /// Workloads that terminated with an error.
+    pub failed_workloads: usize,
+    /// Vertices salvaged into the Experiment Graph from failed runs.
+    pub salvaged_artifacts: usize,
 }
 
 impl ServerStats {
@@ -146,6 +163,7 @@ pub struct OptimizerServer {
     materializer: Box<dyn Materializer>,
     planner: Box<dyn ReusePlanner>,
     stats: parking_lot::Mutex<ServerStats>,
+    quarantine: Option<Arc<Quarantine>>,
 }
 
 impl OptimizerServer {
@@ -181,6 +199,7 @@ impl OptimizerServer {
         };
         OptimizerServer {
             eg: RwLock::new(ExperimentGraph::new(dedup)),
+            quarantine: config.quarantine_after.map(|k| Arc::new(Quarantine::new(k))),
             config,
             materializer,
             planner,
@@ -207,38 +226,68 @@ impl OptimizerServer {
 
     /// Run one workload end to end. Returns the executed DAG (terminal
     /// values populated) and the execution report.
-    pub fn run_workload(&self, mut dag: WorkloadDag) -> Result<(WorkloadDag, ExecutionReport)> {
+    ///
+    /// On failure the returned [`WorkloadError`] still carries the
+    /// report and the taint mask, and the server has already *salvaged*
+    /// the successfully computed prefix: untainted vertices are merged
+    /// into the Experiment Graph and offered to the materializer, so a
+    /// resubmission of the same (or an overlapping) workload reuses them
+    /// instead of recomputing.
+    pub fn run_workload(
+        &self,
+        mut dag: WorkloadDag,
+    ) -> std::result::Result<(WorkloadDag, ExecutionReport), WorkloadError> {
         // Step 2 (client): local pruning.
-        dag.prune()?;
+        dag.prune().map_err(WorkloadError::from)?;
 
         // Step 3 (server): reuse planning, timed as optimizer overhead.
-        let exec_config =
-            ExecutorConfig { cost: self.config.cost, warmstart: self.config.warmstart };
-        let (plan, optimizer_seconds, mut report) = {
+        let exec_config = ExecutorConfig {
+            cost: self.config.cost,
+            warmstart: self.config.warmstart,
+            retry: self.config.retry,
+            quarantine: self.quarantine.clone(),
+        };
+        let (optimizer_seconds, exec_result) = {
             let eg = self.eg.read();
             let start = Instant::now();
             let plan = self.planner.plan(&dag, &eg, &self.config.cost);
             let optimizer_seconds = start.elapsed().as_secs_f64();
             // Step 4 (client): execution against the read-locked graph.
-            let report = executor::execute(&mut dag, &plan, &eg, &exec_config)?;
-            (plan, optimizer_seconds, report)
+            let result = executor::execute(&mut dag, &plan, &eg, &exec_config);
+            (optimizer_seconds, result)
         };
-        let _ = plan;
+        let (mut report, failure) = match exec_result {
+            Ok(report) => (report, None),
+            Err(WorkloadError { error, report, completed, tainted }) => {
+                (*report, Some((error, completed, tainted)))
+            }
+        };
         report.optimizer_seconds = optimizer_seconds;
 
-        // Step 5 (server): update + materialize.
+        // Step 5 (server): update + materialize. A failed run with a
+        // taint mask still merges its untainted prefix.
         let start = Instant::now();
         {
             let mut eg = self.eg.write();
-            eg.update_with_workload(&dag)?;
+            match &failure {
+                None => eg.update_with_workload(&dag)?,
+                Some((_, _, tainted)) if tainted.len() == dag.n_nodes() => {
+                    let keep: Vec<bool> = tainted.iter().map(|t| !t).collect();
+                    eg.update_with_workload_partial(&dag, &keep)?;
+                }
+                // Failed before execution (bad plan, no terminals):
+                // nothing to merge.
+                Some(_) => {}
+            }
             let available = available_contents(&dag);
             self.materializer.run(&mut eg, &available, &self.config.cost);
         }
         report.materializer_seconds = start.elapsed().as_secs_f64();
 
-        // Dashboard counters: estimate what this submission would have
-        // cost with no reuse at all — the sum of recorded compute times
-        // over every (distinct) node the terminals require.
+        // Dashboard counters. For successes, estimate what this
+        // submission would have cost with no reuse at all — the sum of
+        // recorded compute times over every (distinct) node the
+        // terminals require.
         {
             let eg = self.eg.read();
             let mut baseline = 0.0;
@@ -256,14 +305,28 @@ impl OptimizerServer {
                 stack.extend(dag.parents(co_graph::NodeId(i)).iter().map(|p| p.0));
             }
             let mut stats = self.stats.lock();
-            stats.workloads += 1;
-            stats.ops_executed += report.ops_executed;
-            stats.artifacts_loaded += report.artifacts_loaded;
-            stats.warmstarts += report.warmstarts;
-            stats.run_seconds += report.run_seconds();
-            stats.baseline_seconds += baseline;
+            match &failure {
+                None => {
+                    stats.workloads += 1;
+                    stats.ops_executed += report.ops_executed;
+                    stats.artifacts_loaded += report.artifacts_loaded;
+                    stats.warmstarts += report.warmstarts;
+                    stats.run_seconds += report.run_seconds();
+                    stats.baseline_seconds += baseline;
+                }
+                Some((_, completed, _)) => {
+                    stats.failed_workloads += 1;
+                    stats.salvaged_artifacts += completed.len();
+                }
+            }
         }
-        Ok((dag, report))
+        match failure {
+            None => Ok((dag, report)),
+            Some((error, completed, tainted)) => {
+                report.salvaged_artifacts = completed.len();
+                Err(WorkloadError { error, report: Box::new(report), completed, tainted })
+            }
+        }
     }
 
     /// Cumulative lifetime statistics.
@@ -294,6 +357,25 @@ impl OptimizerServer {
         let eg = self.eg.read();
         let s = eg.storage();
         (s.n_artifacts(), s.unique_bytes(), s.logical_bytes())
+    }
+
+    /// Install a deterministic fault injector on the artifact store
+    /// (tests and chaos drills; see `co_graph::faults`).
+    pub fn set_fault_injector(&self, faults: Arc<FaultInjector>) {
+        self.eg.write().storage_mut().set_fault_injector(faults);
+    }
+
+    /// Evict one artifact's content from the store (returns bytes
+    /// freed). Reuse plans drawn before the eviction degrade to
+    /// recomputation via the executor's load-miss fallback.
+    pub fn evict_artifact(&self, id: co_graph::ArtifactId) -> u64 {
+        self.eg.write().storage_mut().evict(id)
+    }
+
+    /// The server's quarantine registry, if quarantining is enabled.
+    #[must_use]
+    pub fn quarantine(&self) -> Option<&Arc<Quarantine>> {
+        self.quarantine.as_ref()
     }
 }
 

@@ -1,4 +1,9 @@
 //! Error type for graph construction, execution, and storage.
+//!
+//! The taxonomy distinguishes *transient* failures (worth retrying — a
+//! flaky external resource, an injected transient fault) from
+//! *permanent* ones (a type mismatch, a panic, a quarantined operation).
+//! The executor's retry policy consults [`GraphError::is_transient`].
 
 use std::fmt;
 
@@ -17,12 +22,24 @@ pub enum GraphError {
     InvalidStructure(String),
     /// An operation received the wrong number or kinds of inputs.
     BadOperationInput { op: String, message: String },
-    /// An operation failed while running.
-    OperationFailed { op: String, message: String },
-    /// The requested artifact is not materialized in the store.
-    NotMaterialized(u64),
+    /// An operation failed while running. `transient` failures (flaky
+    /// external resources) may be retried; permanent ones may not.
+    OperationFailed { op: String, message: String, transient: bool },
+    /// An operation panicked while running; the panic was caught and
+    /// isolated by the executor.
+    OperationPanicked { op: String, message: String },
+    /// An operation was fast-failed because it failed permanently
+    /// `failures` times in a row and is quarantined.
+    Quarantined { op: String, failures: usize },
+    /// An operation or workload exceeded its execution deadline.
+    DeadlineExceeded { what: String, seconds: f64 },
+    /// The requested artifact is not materialized in the store. `detail`
+    /// names the workload node and operation when known (empty otherwise).
+    NotMaterialized { artifact: u64, detail: String },
     /// A workload has no terminal vertices (nothing to execute).
     NoTerminals,
+    /// An I/O failure while persisting or restoring graph state.
+    Io(String),
 }
 
 impl fmt::Display for GraphError {
@@ -34,13 +51,28 @@ impl fmt::Display for GraphError {
             GraphError::BadOperationInput { op, message } => {
                 write!(f, "bad input to operation {op:?}: {message}")
             }
-            GraphError::OperationFailed { op, message } => {
-                write!(f, "operation {op:?} failed: {message}")
+            GraphError::OperationFailed { op, message, transient } => {
+                let kind = if *transient { "transiently " } else { "" };
+                write!(f, "operation {op:?} {kind}failed: {message}")
             }
-            GraphError::NotMaterialized(id) => {
-                write!(f, "artifact {id:016x} is not materialized")
+            GraphError::OperationPanicked { op, message } => {
+                write!(f, "operation {op:?} panicked: {message}")
+            }
+            GraphError::Quarantined { op, failures } => {
+                write!(f, "operation {op:?} is quarantined after {failures} consecutive permanent failures")
+            }
+            GraphError::DeadlineExceeded { what, seconds } => {
+                write!(f, "{what} exceeded its deadline of {seconds:.3}s")
+            }
+            GraphError::NotMaterialized { artifact, detail } => {
+                if detail.is_empty() {
+                    write!(f, "artifact {artifact:016x} is not materialized")
+                } else {
+                    write!(f, "artifact {artifact:016x} is not materialized ({detail})")
+                }
             }
             GraphError::NoTerminals => write!(f, "workload has no terminal vertices"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -51,13 +83,49 @@ impl GraphError {
     /// Wrap a dataframe error raised while running an operation.
     #[must_use]
     pub fn from_df(op: &str, e: &co_dataframe::DfError) -> Self {
-        GraphError::OperationFailed { op: op.to_owned(), message: e.to_string() }
+        GraphError::OperationFailed {
+            op: op.to_owned(),
+            message: e.to_string(),
+            transient: false,
+        }
     }
 
     /// Wrap an ML error raised while running an operation.
     #[must_use]
     pub fn from_ml(op: &str, e: &co_ml::MlError) -> Self {
-        GraphError::OperationFailed { op: op.to_owned(), message: e.to_string() }
+        GraphError::OperationFailed {
+            op: op.to_owned(),
+            message: e.to_string(),
+            transient: false,
+        }
+    }
+
+    /// A permanent operation failure (convenience constructor).
+    #[must_use]
+    pub fn op_failed(op: impl Into<String>, message: impl Into<String>) -> Self {
+        GraphError::OperationFailed { op: op.into(), message: message.into(), transient: false }
+    }
+
+    /// A transient operation failure — eligible for retry.
+    #[must_use]
+    pub fn op_failed_transient(op: impl Into<String>, message: impl Into<String>) -> Self {
+        GraphError::OperationFailed { op: op.into(), message: message.into(), transient: true }
+    }
+
+    /// An unmaterialized-artifact error with no node context.
+    #[must_use]
+    pub fn not_materialized(artifact: u64) -> Self {
+        GraphError::NotMaterialized { artifact, detail: String::new() }
+    }
+
+    /// Whether retrying the failed work could plausibly succeed.
+    ///
+    /// Only explicitly transient operation failures qualify; panics,
+    /// structural errors, deadline overruns, and quarantine fast-fails
+    /// are permanent by definition.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GraphError::OperationFailed { transient: true, .. })
     }
 }
 
@@ -71,5 +139,25 @@ mod tests {
         assert!(GraphError::NoTerminals.to_string().contains("terminal"));
         let e = GraphError::from_df("filter", &co_dataframe::DfError::ColumnNotFound("x".into()));
         assert!(e.to_string().contains("filter"));
+        assert!(GraphError::Io("disk full".into()).to_string().contains("disk full"));
+        let q = GraphError::Quarantined { op: "train".into(), failures: 3 };
+        assert!(q.to_string().contains("quarantined"));
+        let p = GraphError::OperationPanicked { op: "udf".into(), message: "boom".into() };
+        assert!(p.to_string().contains("panicked"));
+        let d = GraphError::DeadlineExceeded { what: "operation \"slow\"".into(), seconds: 1.5 };
+        assert!(d.to_string().contains("deadline"));
+        let nm = GraphError::NotMaterialized { artifact: 7, detail: "node 2, op \"map\"".into() };
+        assert!(nm.to_string().contains("node 2"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(GraphError::op_failed_transient("f", "flaky").is_transient());
+        assert!(!GraphError::op_failed("f", "broken").is_transient());
+        assert!(!GraphError::OperationPanicked { op: "f".into(), message: "b".into() }
+            .is_transient());
+        assert!(!GraphError::Quarantined { op: "f".into(), failures: 3 }.is_transient());
+        assert!(!GraphError::not_materialized(1).is_transient());
+        assert!(!GraphError::Io("x".into()).is_transient());
     }
 }

@@ -75,7 +75,49 @@ impl ExperimentGraph {
     /// materializer's decision and happens separately via
     /// [`ExperimentGraph::storage_mut`].
     pub fn update_with_workload(&mut self, dag: &WorkloadDag) -> Result<()> {
+        self.merge_masked(dag, None)
+    }
+
+    /// Merge only the nodes of `dag` for which `keep[index]` is true —
+    /// used to salvage the successfully computed prefix of a failed
+    /// workload (vertices tainted by a failure carry no measurements and
+    /// must not enter the graph).
+    ///
+    /// The mask must be *ancestor-closed*: a kept node's parents must be
+    /// kept too, otherwise the merged vertices would reference artifacts
+    /// the graph never defines (breaking, among other things, the
+    /// snapshot format's parents-before-definition invariant).
+    pub fn update_with_workload_partial(&mut self, dag: &WorkloadDag, keep: &[bool]) -> Result<()> {
+        if keep.len() != dag.nodes().len() {
+            return Err(GraphError::InvalidStructure(format!(
+                "salvage mask covers {} nodes, workload has {}",
+                keep.len(),
+                dag.nodes().len()
+            )));
+        }
+        for (idx, kept) in keep.iter().enumerate() {
+            if !kept {
+                continue;
+            }
+            for p in dag.parents(crate::workload::NodeId(idx)) {
+                if !keep[p.0] {
+                    return Err(GraphError::InvalidStructure(format!(
+                        "salvage mask keeps node {idx} but drops its parent {}",
+                        p.0
+                    )));
+                }
+            }
+        }
+        self.merge_masked(dag, Some(keep))
+    }
+
+    fn merge_masked(&mut self, dag: &WorkloadDag, mask: Option<&[bool]>) -> Result<()> {
         for (idx, node) in dag.nodes().iter().enumerate() {
+            if let Some(mask) = mask {
+                if !mask[idx] {
+                    continue;
+                }
+            }
             let id = node.artifact;
             let parents: Vec<ArtifactId> = dag
                 .parents(crate::workload::NodeId(idx))

@@ -1,0 +1,194 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! A [`FaultInjector`] is installed on a [`crate::StorageManager`] (and
+//! therefore on the Experiment Graph embedding it) and is consulted by
+//! the storage layer and the executor:
+//!
+//! * **load faults** — the n-th `StorageManager::get` call misses, as if
+//!   the artifact had been evicted or its content corrupted;
+//! * **operation faults** — an operation, looked up by name, fails
+//!   transiently or permanently for a bounded number of runs, or panics;
+//! * **latency** — an operation's run is delayed by a fixed duration
+//!   (to exercise deadlines).
+//!
+//! All state is interior-mutable and thread-safe, so one injector can
+//! drive faults through a shared server from concurrent sessions. All
+//! schedules are deterministic: no randomness, only counters.
+
+use crate::error::{GraphError, Result};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How an injected operation fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `OperationFailed { transient: true }` — eligible for retry.
+    Transient,
+    /// `OperationFailed { transient: false }` — not retried.
+    Permanent,
+    /// The operation panics (exercises executor panic isolation).
+    Panic,
+}
+
+#[derive(Debug)]
+struct OpFault {
+    kind: FaultKind,
+    /// Remaining runs that fault; `usize::MAX` means "forever".
+    remaining: usize,
+}
+
+/// Deterministic fault schedule. See the module docs.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    load_calls: AtomicUsize,
+    failed_loads: AtomicUsize,
+    fail_loads: Mutex<HashSet<usize>>,
+    op_faults: Mutex<HashMap<String, OpFault>>,
+    op_latency: Mutex<HashMap<String, Duration>>,
+}
+
+impl FaultInjector {
+    /// An injector with no faults scheduled.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Make the `n`-th call to `StorageManager::get` (0-based, counted
+    /// over the store's lifetime) miss.
+    pub fn fail_nth_load(&self, n: usize) {
+        self.fail_loads.lock().unwrap().insert(n);
+    }
+
+    /// Make the next `times` runs of the operation named `op` fail with
+    /// the given kind. Replaces any previous schedule for `op`.
+    pub fn fail_op(&self, op: &str, kind: FaultKind, times: usize) {
+        self.op_faults
+            .lock()
+            .unwrap()
+            .insert(op.to_owned(), OpFault { kind, remaining: times });
+    }
+
+    /// Make every run of `op` fail with the given kind, forever.
+    pub fn fail_op_forever(&self, op: &str, kind: FaultKind) {
+        self.fail_op(op, kind, usize::MAX);
+    }
+
+    /// Delay every run of `op` by `latency`.
+    pub fn inject_latency(&self, op: &str, latency: Duration) {
+        self.op_latency.lock().unwrap().insert(op.to_owned(), latency);
+    }
+
+    /// Storage hook: counts the call and reports whether this load
+    /// should be dropped (treated as a miss).
+    pub fn on_load(&self) -> bool {
+        let n = self.load_calls.fetch_add(1, Ordering::SeqCst);
+        let drop = self.fail_loads.lock().unwrap().remove(&n);
+        if drop {
+            self.failed_loads.fetch_add(1, Ordering::SeqCst);
+        }
+        drop
+    }
+
+    /// Executor hook: applies latency and scheduled faults for `op`.
+    /// Returns an error (or panics, for [`FaultKind::Panic`]) when a
+    /// fault fires.
+    pub fn before_run(&self, op: &str) -> Result<()> {
+        let latency = self.op_latency.lock().unwrap().get(op).copied();
+        if let Some(latency) = latency {
+            std::thread::sleep(latency);
+        }
+        let kind = {
+            let mut faults = self.op_faults.lock().unwrap();
+            match faults.get_mut(op) {
+                Some(fault) if fault.remaining > 0 => {
+                    if fault.remaining != usize::MAX {
+                        fault.remaining -= 1;
+                    }
+                    Some(fault.kind)
+                }
+                _ => None,
+            }
+        };
+        match kind {
+            None => Ok(()),
+            Some(FaultKind::Transient) => {
+                Err(GraphError::op_failed_transient(op, "injected transient fault"))
+            }
+            Some(FaultKind::Permanent) => {
+                Err(GraphError::op_failed(op, "injected permanent fault"))
+            }
+            Some(FaultKind::Panic) => panic!("injected panic in operation {op:?}"),
+        }
+    }
+
+    /// Total `get` calls observed.
+    #[must_use]
+    pub fn loads_seen(&self) -> usize {
+        self.load_calls.load(Ordering::SeqCst)
+    }
+
+    /// Loads dropped so far.
+    #[must_use]
+    pub fn loads_failed(&self) -> usize {
+        self.failed_loads.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_load_fails_exactly_once() {
+        let f = FaultInjector::new();
+        f.fail_nth_load(1);
+        assert!(!f.on_load()); // call 0
+        assert!(f.on_load()); // call 1: dropped
+        assert!(!f.on_load()); // call 2
+        assert_eq!(f.loads_seen(), 3);
+        assert_eq!(f.loads_failed(), 1);
+    }
+
+    #[test]
+    fn op_faults_count_down() {
+        let f = FaultInjector::new();
+        f.fail_op("flaky", FaultKind::Transient, 2);
+        assert!(f.before_run("flaky").unwrap_err().is_transient());
+        assert!(f.before_run("flaky").is_err());
+        assert!(f.before_run("flaky").is_ok());
+        assert!(f.before_run("other").is_ok());
+    }
+
+    #[test]
+    fn permanent_faults_never_clear() {
+        let f = FaultInjector::new();
+        f.fail_op_forever("broken", FaultKind::Permanent);
+        for _ in 0..10 {
+            let e = f.before_run("broken").unwrap_err();
+            assert!(!e.is_transient());
+        }
+    }
+
+    #[test]
+    fn injected_panics_panic() {
+        let f = FaultInjector::new();
+        f.fail_op("udf", FaultKind::Panic, 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = f.before_run("udf");
+        }));
+        assert!(r.is_err());
+        assert!(f.before_run("udf").is_ok()); // budget exhausted
+    }
+
+    #[test]
+    fn latency_delays_runs() {
+        let f = FaultInjector::new();
+        f.inject_latency("slow", Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        f.before_run("slow").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+}

@@ -24,6 +24,7 @@ pub mod artifact;
 pub mod error;
 pub mod experiment;
 pub mod export;
+pub mod faults;
 pub mod operation;
 pub mod snapshot;
 pub mod storage;
@@ -33,6 +34,7 @@ pub mod workload;
 pub use artifact::{ArtifactId, ArtifactMeta, NodeKind};
 pub use error::{GraphError, Result};
 pub use experiment::{EgVertex, ExperimentGraph};
+pub use faults::{FaultInjector, FaultKind};
 pub use operation::{OpHash, Operation};
 pub use storage::StorageManager;
 pub use value::{ModelArtifact, Value};

@@ -187,15 +187,15 @@ pub fn from_snapshot(text: &str, dedup: bool) -> Result<ExperimentGraph> {
 }
 
 /// Write a snapshot to disk.
-pub fn save(eg: &ExperimentGraph, path: &Path) -> std::io::Result<()> {
+pub fn save(eg: &ExperimentGraph, path: &Path) -> Result<()> {
     std::fs::write(path, to_snapshot(eg))
+        .map_err(|e| GraphError::Io(format!("cannot write snapshot {}: {e}", path.display())))
 }
 
 /// Load a snapshot from disk.
 pub fn load(path: &Path, dedup: bool) -> Result<ExperimentGraph> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        GraphError::InvalidStructure(format!("cannot read snapshot {}: {e}", path.display()))
-    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GraphError::Io(format!("cannot read snapshot {}: {e}", path.display())))?;
     from_snapshot(&text, dedup)
 }
 

@@ -15,6 +15,7 @@
 //! stores used by the heuristics-based and Helix materializers.
 
 use crate::artifact::ArtifactId;
+use crate::faults::FaultInjector;
 use crate::value::Value;
 use co_dataframe::{Column, ColumnData, ColumnId, DataFrame, DType};
 use std::collections::HashMap;
@@ -51,6 +52,7 @@ pub struct StorageManager {
     unique_bytes: u64,
     logical_bytes: u64,
     dedup: bool,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl StorageManager {
@@ -63,7 +65,19 @@ impl StorageManager {
             unique_bytes: 0,
             logical_bytes: 0,
             dedup,
+            faults: None,
         }
+    }
+
+    /// Install a fault injector consulted on every [`StorageManager::get`].
+    pub fn set_fault_injector(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault injector, if any.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// Whether deduplication is enabled.
@@ -160,8 +174,17 @@ impl StorageManager {
 
     /// Retrieve an artifact's content, reassembling deduplicated datasets
     /// from the column store.
+    ///
+    /// With a fault injector installed, the injector may turn the call
+    /// into a miss (returning `None` even for stored artifacts) so
+    /// callers' degradation paths can be exercised deterministically.
     #[must_use]
     pub fn get(&self, id: ArtifactId) -> Option<Value> {
+        if let Some(f) = &self.faults {
+            if f.on_load() {
+                return None;
+            }
+        }
         match self.artifacts.get(&id)? {
             StoredArtifact::Whole(v) => Some(v.clone()),
             StoredArtifact::Dataset { columns, .. } => {

@@ -11,7 +11,12 @@ pub fn run_sequence(
     dags: Vec<WorkloadDag>,
 ) -> Result<Vec<ExecutionReport>> {
     dags.into_iter()
-        .map(|dag| server.run_workload(dag).map(|(_, report)| report))
+        .map(|dag| {
+            server
+                .run_workload(dag)
+                .map(|(_, report)| report)
+                .map_err(co_graph::GraphError::from)
+        })
         .collect()
 }
 

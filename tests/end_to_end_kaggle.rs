@@ -20,6 +20,8 @@ fn server(materializer: MaterializerKind, reuse: ReuseKind, budget: u64) -> Opti
         reuse,
         cost: CostModel::memory(),
         warmstart: false,
+        retry: co_core::RetryPolicy::default(),
+        quarantine_after: Some(3),
     })
 }
 

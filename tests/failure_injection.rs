@@ -1,10 +1,10 @@
 //! Failure injection: operations that fail mid-workload must surface a
-//! clean error, leave the Experiment Graph uncorrupted, and not poison
-//! later submissions.
+//! clean error, leave the Experiment Graph consistent, salvage the
+//! completed prefix, and not poison later submissions.
 
 use co_core::{OptimizerServer, ServerConfig};
 use co_dataframe::Scalar;
-use co_graph::{GraphError, NodeKind, Operation, Value, WorkloadDag};
+use co_graph::{FaultInjector, FaultKind, GraphError, NodeKind, Operation, Value, WorkloadDag};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -29,13 +29,17 @@ impl Operation for Flaky {
     fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
         // Real compute cost, so the artifact is worth materializing.
         std::thread::sleep(std::time::Duration::from_millis(2));
-        if self.remaining_good.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1)).is_ok()
+        if self
+            .remaining_good
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
         {
             Ok(Value::Aggregate(Scalar::Float(1.0)))
         } else {
             Err(GraphError::OperationFailed {
                 op: self.label.clone(),
                 message: "injected failure".to_owned(),
+                transient: false,
             })
         }
     }
@@ -58,6 +62,24 @@ impl Operation for Ok1 {
     }
 }
 
+/// Panics unconditionally, the way buggy user code does.
+struct Panicky;
+impl Operation for Panicky {
+    fn name(&self) -> &str {
+        "panicky_step"
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+        panic!("user code exploded");
+    }
+}
+
+/// src → stable_step → flaky_step → tail_step (terminal).
 fn workload(budget: &Arc<AtomicUsize>) -> WorkloadDag {
     let mut dag = WorkloadDag::new();
     let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
@@ -74,7 +96,7 @@ fn workload(budget: &Arc<AtomicUsize>) -> WorkloadDag {
 }
 
 #[test]
-fn failed_workloads_do_not_corrupt_the_graph() {
+fn failed_workloads_salvage_their_prefix_without_corrupting_the_graph() {
     let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
     let budget = Arc::new(AtomicUsize::new(1));
 
@@ -89,21 +111,25 @@ fn failed_workloads_do_not_corrupt_the_graph() {
     // would otherwise serve the repeat).
     let mut dag = workload(&budget);
     let flaky_node = co_graph::NodeId(2);
-    let extra = dag
-        .add_op(Arc::new(Ok1("new_tail".into())), &[flaky_node])
-        .unwrap();
+    let extra = dag.add_op(Arc::new(Ok1("new_tail".into())), &[flaky_node]).unwrap();
     dag.mark_terminal(extra).unwrap();
-    // Evict everything so the flaky op must actually run.
     {
         // A fresh server with no materialization: guaranteed recompute.
         let kg = OptimizerServer::new(ServerConfig::baseline());
         let err = kg.run_workload(dag).unwrap_err();
-        assert!(matches!(err, GraphError::OperationFailed { .. }), "{err}");
+        assert!(matches!(err.error, GraphError::OperationFailed { .. }), "{err}");
         assert!(err.to_string().contains("injected failure"));
-        // The failed workload must not have been merged.
+        // The failure is isolated to the flaky node and its descendants;
+        // the computed prefix (src, stable_step) is salvaged into the EG.
+        assert_eq!(err.untainted(), 2, "tainted: {:?}", err.tainted);
+        assert_eq!(err.completed.len(), 1); // stable_step (src was free)
+        assert_eq!(err.report.salvaged_artifacts, 1);
         let eg = kg.eg();
-        assert_eq!(eg.n_vertices(), 0, "failed run leaked vertices into EG");
-        assert_eq!(kg.stats().workloads, 0);
+        assert_eq!(eg.n_vertices(), 2, "only the untainted prefix may merge");
+        let stats = kg.stats();
+        assert_eq!(stats.workloads, 0);
+        assert_eq!(stats.failed_workloads, 1);
+        assert_eq!(stats.salvaged_artifacts, 1);
     }
 
     // The original server is untouched by any of this.
@@ -123,8 +149,11 @@ fn workload_without_terminals_is_rejected_cleanly() {
     let mut dag = WorkloadDag::new();
     dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
     let err = server.run_workload(dag).unwrap_err();
-    assert!(matches!(err, GraphError::NoTerminals));
+    assert!(matches!(err.error, GraphError::NoTerminals));
+    // Failure predates execution: nothing to salvage, nothing merged.
+    assert!(err.tainted.is_empty());
     assert_eq!(server.eg().n_vertices(), 0);
+    assert_eq!(server.stats().salvaged_artifacts, 0);
 }
 
 #[test]
@@ -134,14 +163,13 @@ fn type_mismatches_surface_as_operation_errors() {
     let mut dag = WorkloadDag::new();
     let s = dag.add_source("scalar_src", Value::Aggregate(Scalar::Float(1.0)));
     let bad = dag
-        .add_op(
-            Arc::new(co_core::ops::SelectOp { columns: vec!["x".into()] }),
-            &[s],
-        )
+        .add_op(Arc::new(co_core::ops::SelectOp { columns: vec!["x".into()] }), &[s])
         .unwrap();
     dag.mark_terminal(bad).unwrap();
     let err = server.run_workload(dag).unwrap_err();
-    assert!(matches!(err, GraphError::BadOperationInput { .. }), "{err}");
+    assert!(matches!(err.error, GraphError::BadOperationInput { .. }), "{err}");
+    // Bad input is permanent: no retries were burned on it.
+    assert_eq!(err.report.retries, 0);
 }
 
 #[test]
@@ -150,11 +178,117 @@ fn recovery_after_failure_is_complete() {
     let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
     let exhausted = Arc::new(AtomicUsize::new(0)); // fails immediately
     let err = server.run_workload(workload(&exhausted)).unwrap_err();
-    assert!(matches!(err, GraphError::OperationFailed { .. }));
+    assert!(matches!(err.error, GraphError::OperationFailed { .. }));
 
-    // A healthy variant of the same pipeline succeeds afterwards.
+    // A healthy variant of the same pipeline succeeds afterwards; the
+    // salvaged prefix may be reused, so at most the flaky node and its
+    // descendants recompute.
     let healthy = Arc::new(AtomicUsize::new(usize::MAX));
     let (_, report) = server.run_workload(workload(&healthy)).unwrap();
-    assert_eq!(report.ops_executed, 3);
+    assert!(report.ops_executed >= 2 && report.ops_executed <= 3, "{report:?}");
     assert!(server.eg().n_vertices() > 0);
+}
+
+#[test]
+fn transient_failures_are_retried_to_success() {
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    let faults = Arc::new(FaultInjector::new());
+    // Two transient failures, then clean: default policy (3 attempts)
+    // absorbs them without the client ever seeing an error.
+    faults.fail_op("stable_step", FaultKind::Transient, 2);
+    server.set_fault_injector(Arc::clone(&faults));
+
+    let healthy = Arc::new(AtomicUsize::new(usize::MAX));
+    let (_, report) = server.run_workload(workload(&healthy)).unwrap();
+    assert_eq!(report.retries, 2);
+    assert_eq!(report.ops_executed, 3);
+    let stats = server.stats();
+    assert_eq!(stats.workloads, 1);
+    assert_eq!(stats.failed_workloads, 0);
+}
+
+#[test]
+fn permanent_failure_salvages_prefix_for_resubmission() {
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    let exhausted = Arc::new(AtomicUsize::new(0));
+    let err = server.run_workload(workload(&exhausted)).unwrap_err();
+    assert_eq!(err.untainted(), 2); // src + stable_step survive
+    assert_eq!(server.stats().salvaged_artifacts, 1);
+    assert_eq!(server.eg().n_vertices(), 2);
+
+    // Resubmitting with the fault fixed reuses the salvaged prefix:
+    // stable_step never runs again.
+    let healthy = Arc::new(AtomicUsize::new(usize::MAX));
+    let (_, report) = server.run_workload(workload(&healthy)).unwrap();
+    assert_eq!(report.ops_executed, 2, "{report:?}"); // flaky + tail only
+    assert!(report.artifacts_loaded >= 1);
+}
+
+#[test]
+fn panics_in_user_operations_are_isolated() {
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    let mut dag = WorkloadDag::new();
+    let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
+    let ok = dag.add_op(Arc::new(Ok1("stable_step".into())), &[s]).unwrap();
+    let boom = dag.add_op(Arc::new(Panicky), &[ok]).unwrap();
+    dag.mark_terminal(boom).unwrap();
+
+    let err = server.run_workload(dag).unwrap_err();
+    assert!(matches!(err.error, GraphError::OperationPanicked { .. }), "{err}");
+    assert!(err.to_string().contains("user code exploded"));
+    assert_eq!(err.report.panics_caught, 1);
+
+    // The server survives: no poisoned locks, later workloads succeed.
+    let healthy = Arc::new(AtomicUsize::new(usize::MAX));
+    let (_, report) = server.run_workload(workload(&healthy)).unwrap();
+    assert!(report.ops_executed >= 2);
+}
+
+#[test]
+fn load_misses_fall_back_to_recompute() {
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    let healthy = Arc::new(AtomicUsize::new(usize::MAX));
+    server.run_workload(workload(&healthy)).unwrap();
+
+    // Sanity: the repeat is served purely from the store.
+    let (_, repeat) = server.run_workload(workload(&healthy)).unwrap();
+    assert_eq!(repeat.ops_executed, 0);
+
+    // Now every load silently misses (a store that lost its contents
+    // after the plan was drawn). The executor degrades the plan to
+    // recomputation instead of erroring.
+    let faults = Arc::new(FaultInjector::new());
+    for n in 0..64 {
+        faults.fail_nth_load(n);
+    }
+    server.set_fault_injector(Arc::clone(&faults));
+    let (_, degraded) = server.run_workload(workload(&healthy)).unwrap();
+    assert!(degraded.load_misses_recovered >= 1, "{degraded:?}");
+    assert!(degraded.ops_executed >= 1);
+    assert!(faults.loads_failed() >= 1);
+}
+
+#[test]
+fn evicted_artifacts_recompute_instead_of_erroring() {
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    let healthy = Arc::new(AtomicUsize::new(usize::MAX));
+    let (dag, first) = server.run_workload(workload(&healthy)).unwrap();
+    assert_eq!(first.ops_executed, 3);
+
+    // Evict everything the run materialized.
+    let ids: Vec<_> = {
+        let eg = server.eg();
+        eg.storage().materialized_ids()
+    };
+    assert!(!ids.is_empty());
+    let mut freed = 0;
+    for id in ids {
+        freed += server.evict_artifact(id);
+    }
+    assert!(freed > 0);
+    drop(dag);
+
+    // The resubmission cannot load anything, so it recomputes — cleanly.
+    let (_, report) = server.run_workload(workload(&healthy)).unwrap();
+    assert_eq!(report.ops_executed, 3, "{report:?}");
 }

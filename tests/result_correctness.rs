@@ -91,6 +91,8 @@ fn kaggle_w1_is_invariant_across_systems() {
             reuse,
             cost: CostModel::memory(),
             warmstart: false,
+            retry: co_core::RetryPolicy::default(),
+            quarantine_after: Some(3),
         });
         // Warm the graph with related workloads first so reuse genuinely
         // kicks in before the workload under test.
@@ -115,6 +117,8 @@ fn kaggle_w8_is_invariant_across_systems() {
             reuse,
             cost: CostModel::memory(),
             warmstart: false,
+            retry: co_core::RetryPolicy::default(),
+            quarantine_after: Some(3),
         });
         srv.run_workload(kaggle::w1(&data).unwrap()).unwrap();
         srv.run_workload(kaggle::w2(&data).unwrap()).unwrap();
@@ -137,6 +141,8 @@ fn openml_pipelines_are_invariant_across_systems() {
                 reuse,
                 cost: CostModel::memory(),
                 warmstart: false,
+                retry: co_core::RetryPolicy::default(),
+                quarantine_after: Some(3),
             });
             for warm in 0..run_idx.min(4) {
                 srv.run_workload(openml::pipeline(&data, warm, 7).unwrap()).unwrap();

@@ -1,0 +1,61 @@
+//! Minimal offline stand-in for the `crossbeam` crate: just
+//! `crossbeam::thread::scope`, implemented over `std::thread::scope`.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to the scope closure; spawns scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. Like crossbeam, the closure receives
+        /// the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; joins all spawned threads before
+    /// returning. Returns `Err` if any thread (or `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_observe_borrows() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for &x in &data {
+                scope.spawn(|_| {
+                    sum.fetch_add(x, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

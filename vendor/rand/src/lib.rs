@@ -1,0 +1,258 @@
+//! Minimal offline stand-in for the `rand` crate (0.10 API surface).
+//!
+//! Implements exactly what this workspace uses: `rngs::StdRng` (a seeded
+//! xoshiro256++), `SeedableRng::seed_from_u64`, the `RngExt` helpers
+//! `random` / `random_range`, and `seq::SliceRandom::shuffle`.
+//! Deterministic for a given seed, like the real `StdRng`, though the
+//! streams differ from upstream `rand`.
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from the full domain (floats: `[0, 1)`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform sampler over a half-open or closed interval.
+pub trait SampleUniform: Copy {
+    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "empty range in random_range");
+                let offset = (rng.next_u64() as u128) % (span as u128);
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(if inclusive { lo <= hi } else { lo < hi },
+                    "empty range in random_range");
+                let unit = <$t as Standard>::sample(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+/// Ranges that can be sampled uniformly, producing a `T`. Parameterized
+/// over the output type with *blanket* impls over `SampleUniform` (like
+/// upstream `rand`) so the context drives inference:
+/// `v[rng.random_range(0..3)]` makes `0..3` a `Range<usize>`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Alias kept for code written against the pre-0.10 trait name.
+pub use RngExt as Rng;
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Seeded xoshiro256++ generator (the role `rand::rngs::StdRng`
+    /// plays upstream: deterministic for a given seed).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let i = rng.random_range(3..5usize);
+            assert!((3..5).contains(&i));
+            let f = rng.random_range(-0.75..0.75);
+            assert!((-0.75..0.75).contains(&f));
+            let n = rng.random_range(-100i64..100);
+            assert!((-100..100).contains(&n));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+}
