@@ -9,8 +9,16 @@ use std::hint::black_box;
 
 fn table(rows: usize, keys: i64) -> DataFrame {
     DataFrame::new(vec![
-        Column::source("bench", "sk_id", ColumnData::Int((0..rows).map(|i| i as i64 % keys).collect())),
-        Column::source("bench", "x", ColumnData::Float((0..rows).map(|i| (i as f64).sin()).collect())),
+        Column::source(
+            "bench",
+            "sk_id",
+            ColumnData::Int((0..rows).map(|i| i as i64 % keys).collect()),
+        ),
+        Column::source(
+            "bench",
+            "x",
+            ColumnData::Float((0..rows).map(|i| (i as f64).sin()).collect()),
+        ),
         Column::source(
             "bench",
             "cat",

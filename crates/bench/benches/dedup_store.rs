@@ -18,8 +18,8 @@ fn overlapping_chain(rows: usize, depth: usize) -> Vec<DataFrame> {
     let mut frames = vec![base];
     for d in 1..depth {
         let prev = frames.last().expect("nonempty");
-        let next =
-            ops::map_column(prev, "c0", &MapFn::AddConst(d as f64), &format!("c{d}")).expect("maps");
+        let next = ops::map_column(prev, "c0", &MapFn::AddConst(d as f64), &format!("c{d}"))
+            .expect("maps");
         frames.push(next);
     }
     frames
@@ -38,7 +38,7 @@ fn bench_store(c: &mut Criterion) {
                     b.iter(|| {
                         let mut sm = StorageManager::new(dedup);
                         for (i, f) in frames.iter().enumerate() {
-                            sm.store(ArtifactId(i as u64), &Value::Dataset(f.clone()));
+                            sm.store(ArtifactId(i as u64), &Value::dataset(f.clone()));
                         }
                         black_box(sm.unique_bytes())
                     });
@@ -48,7 +48,7 @@ fn bench_store(c: &mut Criterion) {
         // Retrieval with reassembly from the column store.
         let mut sm = StorageManager::new(true);
         for (i, f) in frames.iter().enumerate() {
-            sm.store(ArtifactId(i as u64), &Value::Dataset(f.clone()));
+            sm.store(ArtifactId(i as u64), &Value::dataset(f.clone()));
         }
         group.bench_with_input(BenchmarkId::new("get_dedup", rows), &rows, |b, _| {
             b.iter(|| black_box(sm.get(ArtifactId(9)).expect("stored")));

@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn dataset(rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
-    let data: Vec<f64> = (0..rows * cols).map(|i| ((i * 2_654_435_761) % 1000) as f64 / 500.0 - 1.0).collect();
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|i| ((i * 2_654_435_761) % 1000) as f64 / 500.0 - 1.0)
+        .collect();
     let x = Matrix::from_vec(data, rows, cols).expect("shape");
     let y: Vec<f64> = (0..rows)
         .map(|i| {
@@ -26,11 +28,19 @@ fn bench_models(c: &mut Criterion) {
         let (x, y) = dataset(rows, 20);
         // Strong L2 keeps the optimum at finite weights (the labels are a
         // deterministic function of x, i.e. separable).
-        let logit_params =
-            LogisticParams { max_iter: 50, tol: 1e-12, l2: 0.05, ..LogisticParams::default() };
+        let logit_params = LogisticParams {
+            max_iter: 50,
+            tol: 1e-12,
+            l2: 0.05,
+            ..LogisticParams::default()
+        };
         group.bench_with_input(BenchmarkId::new("logistic_cold", rows), &rows, |b, _| {
             b.iter(|| {
-                black_box(LogisticRegression::new(logit_params.clone()).fit(&x, &y).expect("fits"))
+                black_box(
+                    LogisticRegression::new(logit_params.clone())
+                        .fit(&x, &y)
+                        .expect("fits"),
+                )
             });
         });
         // Warmstarted refit: starts near the optimum, converges in a few
@@ -43,8 +53,12 @@ fn bench_models(c: &mut Criterion) {
         })
         .fit(&x, &y)
         .expect("fits");
-        let warm_params =
-            LogisticParams { max_iter: 50, tol: 1e-4, l2: 0.05, ..LogisticParams::default() };
+        let warm_params = LogisticParams {
+            max_iter: 50,
+            tol: 1e-4,
+            l2: 0.05,
+            ..LogisticParams::default()
+        };
         group.bench_with_input(BenchmarkId::new("logistic_warm", rows), &rows, |b, _| {
             b.iter(|| {
                 black_box(
@@ -57,11 +71,19 @@ fn bench_models(c: &mut Criterion) {
         let gbt_params = GbtParams {
             n_estimators: 8,
             learning_rate: 0.25,
-            tree: TreeParams { max_depth: 3, min_samples_leaf: 20, n_thresholds: 6 },
+            tree: TreeParams {
+                max_depth: 3,
+                min_samples_leaf: 20,
+                n_thresholds: 6,
+            },
         };
         group.bench_with_input(BenchmarkId::new("gbt", rows), &rows, |b, _| {
             b.iter(|| {
-                black_box(GradientBoosting::new(gbt_params.clone()).fit(&x, &y).expect("fits"))
+                black_box(
+                    GradientBoosting::new(gbt_params.clone())
+                        .fit(&x, &y)
+                        .expect("fits"),
+                )
             });
         });
     }

@@ -37,8 +37,11 @@ fn bench_planners(c: &mut Criterion) {
 /// ALL_M with a larger margin in scenarios where EG is on disk". The
 /// bench reports planning time; the plan-quality gap is printed once.
 fn bench_costmodel(c: &mut Criterion) {
-    let config =
-        SyntheticConfig { n_nodes_min: 1000, n_nodes_max: 1000, ..SyntheticConfig::default() };
+    let config = SyntheticConfig {
+        n_nodes_min: 1000,
+        n_nodes_max: 1000,
+        ..SyntheticConfig::default()
+    };
     let (dag, eg) = synthetic_workload(&config, 3).expect("generates");
     let mut group = c.benchmark_group("reuse_costmodel");
     group.sample_size(20);

@@ -10,5 +10,8 @@ fn main() {
     co_bench::figures::figure8::run();
     co_bench::figures::figure9::run();
     co_bench::figures::figure10::run();
-    println!("\nall figures regenerated in {:.1}s", start.elapsed().as_secs_f64());
+    println!(
+        "\nall figures regenerated in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
 }

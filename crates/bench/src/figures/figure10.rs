@@ -21,20 +21,29 @@ struct StreamResult {
     warmstarts: usize,
 }
 
-fn run_stream(server: &OptimizerServer, data: &co_workloads::data::CreditG, n: usize) -> StreamResult {
+fn run_stream(
+    server: &OptimizerServer,
+    data: &co_workloads::data::CreditG,
+    n: usize,
+) -> StreamResult {
     let mut cumulative_s = Vec::with_capacity(n);
     let mut scores = Vec::with_capacity(n);
     let mut total = 0.0;
     let mut warmstarts = 0;
     for i in 0..n {
-        let (dag, report) =
-            server.run_workload(pipeline(data, i as u64, 53).expect("builds")).expect("runs");
+        let (dag, report) = server
+            .run_workload(pipeline(data, i as u64, 53).expect("builds"))
+            .expect("runs");
         total += report.run_seconds();
         warmstarts += report.warmstarts;
         cumulative_s.push(total);
         scores.push(terminal_eval_score(&dag).unwrap_or(0.0));
     }
-    StreamResult { cumulative_s, scores, warmstarts }
+    StreamResult {
+        cumulative_s,
+        scores,
+        warmstarts,
+    }
 }
 
 /// Run and print Figure 10.
@@ -53,8 +62,11 @@ pub fn run() {
     let oml = run_stream(&OptimizerServer::new(ServerConfig::baseline()), &data, n);
 
     println!("running CO-W (collaborative, warmstart off)...");
-    let co_nw =
-        run_stream(&OptimizerServer::new(ServerConfig::collaborative(100 << 20)), &data, n);
+    let co_nw = run_stream(
+        &OptimizerServer::new(ServerConfig::collaborative(100 << 20)),
+        &data,
+        n,
+    );
 
     println!(
         "\n(a) cumulative run time: CO+W {:.2}s, OML {:.2}s, CO-W {:.2}s ({:.1}x from warmstarting)",
@@ -96,7 +108,13 @@ pub fn run() {
         .collect();
     write_tsv(
         "figure10.tsv",
-        &["workload", "co_w_cum_s", "oml_cum_s", "co_nw_cum_s", "cum_delta_acc"],
+        &[
+            "workload",
+            "co_w_cum_s",
+            "oml_cum_s",
+            "co_nw_cum_s",
+            "cum_delta_acc",
+        ],
         &rows,
     );
 }

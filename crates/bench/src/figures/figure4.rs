@@ -34,8 +34,12 @@ pub fn run() {
             ("KG", MaterializerKind::None, ReuseKind::None),
         ] {
             let srv = super::server(materializer, reuse, budget);
-            let (_, first) = srv.run_workload(build(&data).expect("builds")).expect("runs");
-            let (_, second) = srv.run_workload(build(&data).expect("builds")).expect("runs");
+            let (_, first) = srv
+                .run_workload(build(&data).expect("builds"))
+                .expect("runs");
+            let (_, second) = srv
+                .run_workload(build(&data).expect("builds"))
+                .expect("runs");
             println!(
                 "W{}        {label}     {:>7.3}  {:>7.3}",
                 i + 1,
@@ -50,5 +54,9 @@ pub fn run() {
             ]);
         }
     }
-    write_tsv("figure4.tsv", &["workload", "system", "run1_s", "run2_s"], &rows);
+    write_tsv(
+        "figure4.tsv",
+        &["workload", "system", "run1_s", "run2_s"],
+        &rows,
+    );
 }

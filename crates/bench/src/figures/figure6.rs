@@ -13,7 +13,10 @@ pub fn run() {
     println!("== Figure 6: real size of materialized artifacts ==");
     let data = super::bench_data();
     let footprint = super::all_footprint(&data);
-    println!("ALL footprint = {:.1} MB", footprint as f64 / (1 << 20) as f64);
+    println!(
+        "ALL footprint = {:.1} MB",
+        footprint as f64 / (1 << 20) as f64
+    );
 
     let mut rows = Vec::new();
     for (budget_label, fraction) in BUDGET_GRID {

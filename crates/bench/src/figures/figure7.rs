@@ -41,8 +41,10 @@ pub fn run() {
         ] {
             let cumulative = sequence_cumulative(&data, materializer, reuse, budget);
             totals.push(*cumulative.last().expect("8 workloads"));
-            if matches!((label, budget_label), ("SA", "8GB") | ("SA", "16GB") | ("HL", "8GB") | ("HL", "16GB"))
-            {
+            if matches!(
+                (label, budget_label),
+                ("SA", "8GB") | ("SA", "16GB") | ("HL", "8GB") | ("HL", "16GB")
+            ) {
                 kept.push((format!("{label}-{budget_label}"), cumulative));
             } else if label == "ALL" && budget_label == "8GB" {
                 kept.push(("ALL".to_owned(), cumulative));
@@ -60,7 +62,11 @@ pub fn run() {
             s3(totals[3]),
         ]);
     }
-    write_tsv("figure7a.tsv", &["budget", "sa_s", "hm_s", "hl_s", "all_s"], &rows_a);
+    write_tsv(
+        "figure7a.tsv",
+        &["budget", "sa_s", "hm_s", "hl_s", "all_s"],
+        &rows_a,
+    );
 
     // (b) cumulative speedup vs KG.
     let kg = sequence_cumulative(&data, MaterializerKind::None, ReuseKind::None, 0);

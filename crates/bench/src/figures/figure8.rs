@@ -17,7 +17,11 @@ use co_core::{CostModel, OptimizerServer, ServerConfig};
 use co_workloads::data::creditg;
 use co_workloads::openml::model_benchmark_scenario;
 
-fn scenario_cumulative(server: &OptimizerServer, data: &co_workloads::data::CreditG, n: usize) -> Vec<f64> {
+fn scenario_cumulative(
+    server: &OptimizerServer,
+    data: &co_workloads::data::CreditG,
+    n: usize,
+) -> Vec<f64> {
     let steps = model_benchmark_scenario(server, data, n, 31).expect("scenario runs");
     steps
         .iter()
@@ -52,9 +56,19 @@ pub fn run() {
     );
     let rows: Vec<Vec<String>> = (0..n)
         .step_by((n / 100).max(1))
-        .map(|i| vec![i.to_string(), format!("{:.4}", co_cum[i]), format!("{:.4}", oml_cum[i])])
+        .map(|i| {
+            vec![
+                i.to_string(),
+                format!("{:.4}", co_cum[i]),
+                format!("{:.4}", oml_cum[i]),
+            ]
+        })
         .collect();
-    write_tsv("figure8a.tsv", &["workload", "co_cum_s", "oml_cum_s"], &rows);
+    write_tsv(
+        "figure8a.tsv",
+        &["workload", "co_cum_s", "oml_cum_s"],
+        &rows,
+    );
 
     // (b) alpha sweep with a one-artifact budget.
     println!("(b) alpha sweep (budget = one artifact)...");
@@ -72,7 +86,10 @@ pub fn run() {
             quarantine_after: Some(3),
         });
         let cum = scenario_cumulative(&server, &data, n);
-        println!("    alpha={alpha:<4} cumulative {:.2}s", cum.last().unwrap());
+        println!(
+            "    alpha={alpha:<4} cumulative {:.2}s",
+            cum.last().unwrap()
+        );
         curves.push(cum);
     }
     let reference = curves.last().expect("alpha=1 curve").clone();
@@ -86,7 +103,9 @@ pub fn run() {
     }
     write_tsv(
         "figure8b.tsv",
-        &["workload", "d_a0.0", "d_a0.1", "d_a0.25", "d_a0.5", "d_a0.75", "d_a0.9"],
+        &[
+            "workload", "d_a0.0", "d_a0.1", "d_a0.25", "d_a0.5", "d_a0.75", "d_a0.9",
+        ],
         &rows,
     );
     println!(

@@ -109,8 +109,11 @@ pub fn run() {
     let mut ln_cumulative = 0.0;
     let mut hl_cumulative = 0.0;
     let mut rows = Vec::new();
-    let checkpoints: Vec<usize> =
-        [1usize, 10, 100, 1000, 10_000].iter().copied().filter(|&c| c <= n).collect();
+    let checkpoints: Vec<usize> = [1usize, 10, 100, 1000, 10_000]
+        .iter()
+        .copied()
+        .filter(|&c| c <= n)
+        .collect();
     for idx in 0..n {
         let (dag, eg) = synthetic_workload(&config, idx as u64).expect("generates");
         let start = Instant::now();
@@ -141,6 +144,14 @@ pub fn run() {
         "    total: LN {ln_cumulative:.2}s vs HL {hl_cumulative:.2}s ({:.0}x overhead ratio)",
         hl_cumulative / ln_cumulative.max(1e-12)
     );
-    rows.push(vec![n.to_string(), format!("{ln_cumulative:.4}"), format!("{hl_cumulative:.4}")]);
-    write_tsv("figure9d.tsv", &["n_workloads", "ln_cum_s", "hl_cum_s"], &rows);
+    rows.push(vec![
+        n.to_string(),
+        format!("{ln_cumulative:.4}"),
+        format!("{hl_cumulative:.4}"),
+    ]);
+    write_tsv(
+        "figure9d.tsv",
+        &["n_workloads", "ln_cum_s", "hl_cum_s"],
+        &rows,
+    );
 }

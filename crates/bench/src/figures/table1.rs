@@ -26,7 +26,10 @@ pub fn run() {
     let data = super::bench_data();
     let mut rows = Vec::new();
     println!("workload  N(ours)  S(ours MB)  exec(s)   N(paper)  S(paper GB)");
-    for (i, dag) in kaggle::all_workloads(&data).expect("workloads build").into_iter().enumerate()
+    for (i, dag) in kaggle::all_workloads(&data)
+        .expect("workloads build")
+        .into_iter()
+        .enumerate()
     {
         // A fresh baseline server per workload: measure it in isolation.
         let srv = super::server(MaterializerKind::None, ReuseKind::None, 0);
@@ -54,7 +57,14 @@ pub fn run() {
     }
     write_tsv(
         "table1.tsv",
-        &["workload", "n_artifacts", "size_mb", "exec_s", "paper_n", "paper_s_gb"],
+        &[
+            "workload",
+            "n_artifacts",
+            "size_mb",
+            "exec_s",
+            "paper_n",
+            "paper_s_gb",
+        ],
         &rows,
     );
 }

@@ -47,6 +47,15 @@ pub fn write_tsv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("  -> wrote {}", path.display());
 }
 
+/// Write a JSON file under [`out_dir`] and echo its path. The harness
+/// emits `BENCH_*.json` files so successive revisions can track
+/// performance trajectories.
+pub fn write_json(name: &str, text: &str) {
+    let path = out_dir().join(name);
+    fs::write(&path, text).expect("can write JSON");
+    println!("  -> wrote {}", path.display());
+}
+
 /// True when `--full` was passed (paper-scale run counts).
 #[must_use]
 pub fn full_scale() -> bool {
@@ -55,8 +64,12 @@ pub fn full_scale() -> bool {
 
 /// The budget grid: the paper's {8, 16, 32, 64} GB out of a ~130 GB ALL
 /// footprint, expressed as fractions of our measured footprint.
-pub const BUDGET_GRID: [(&str, f64); 4] =
-    [("8GB", 0.0625), ("16GB", 0.125), ("32GB", 0.25), ("64GB", 0.5)];
+pub const BUDGET_GRID: [(&str, f64); 4] = [
+    ("8GB", 0.0625),
+    ("16GB", 0.125),
+    ("32GB", 0.25),
+    ("64GB", 0.5),
+];
 
 /// Render seconds with 3 decimals.
 #[must_use]

@@ -124,8 +124,16 @@ mod tests {
     fn frame() -> DataFrame {
         let n = 200;
         DataFrame::new(vec![
-            Column::source("t", "x", ColumnData::Float((0..n).map(|i| f64::from(i) / 100.0).collect())),
-            Column::source("t", "y", ColumnData::Int((0..n).map(|i| i64::from(i >= n / 2)).collect())),
+            Column::source(
+                "t",
+                "x",
+                ColumnData::Float((0..n).map(|i| f64::from(i) / 100.0).collect()),
+            ),
+            Column::source(
+                "t",
+                "y",
+                ColumnData::Int((0..n).map(|i| i64::from(i >= n / 2)).collect()),
+            ),
         ])
         .unwrap()
     }
@@ -134,7 +142,15 @@ mod tests {
         let mut s = Script::new();
         let d = s.load("t", frame());
         let m = s
-            .train_logistic(d, "y", LogisticParams { lr, max_iter, ..LogisticParams::default() })
+            .train_logistic(
+                d,
+                "y",
+                LogisticParams {
+                    lr,
+                    max_iter,
+                    ..LogisticParams::default()
+                },
+            )
             .unwrap();
         let e = s.evaluate(m, d, "y", EvalMetric::RocAuc).unwrap();
         s.output(e).unwrap();
@@ -146,7 +162,7 @@ mod tests {
         let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
         submit(&server, 0.1, 0); // zero epochs: constant scores, AUC 0.5
         submit(&server, 0.5, 300); // a strong model
-        // A GBT on the same data, different family.
+                                   // A GBT on the same data, different family.
         let mut s = Script::new();
         let d = s.load("t", frame());
         let m = s.train_gbt(d, "y", GbtParams::default()).unwrap();

@@ -23,19 +23,28 @@ impl CostModel {
     /// generally low").
     #[must_use]
     pub fn memory() -> Self {
-        CostModel { latency_s: 2e-5, bandwidth_bytes_per_s: 20e9 }
+        CostModel {
+            latency_s: 2e-5,
+            bandwidth_bytes_per_s: 20e9,
+        }
     }
 
     /// EG on local disk.
     #[must_use]
     pub fn disk() -> Self {
-        CostModel { latency_s: 5e-3, bandwidth_bytes_per_s: 500e6 }
+        CostModel {
+            latency_s: 5e-3,
+            bandwidth_bytes_per_s: 500e6,
+        }
     }
 
     /// EG on a remote store.
     #[must_use]
     pub fn remote() -> Self {
-        CostModel { latency_s: 5e-2, bandwidth_bytes_per_s: 100e6 }
+        CostModel {
+            latency_s: 5e-2,
+            bandwidth_bytes_per_s: 100e6,
+        }
     }
 
     /// `Cl(v)` for an artifact of the given size.

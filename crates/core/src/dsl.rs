@@ -60,7 +60,7 @@ impl Script {
     /// Load a source dataset (`pd.read_csv`). The name identifies the
     /// dataset across workloads.
     pub fn load(&mut self, name: &str, df: DataFrame) -> NodeId {
-        self.dag.add_source(name, Value::Dataset(df))
+        self.dag.add_source(name, Value::dataset(df))
     }
 
     /// Mark a node as a requested output (terminal vertex).
@@ -91,12 +91,19 @@ impl Script {
     /// Drop columns.
     pub fn drop_columns(&mut self, node: NodeId, columns: &[&str]) -> Result<NodeId> {
         let columns = columns.iter().map(|s| (*s).to_owned()).collect();
-        self.dag.add_op(Arc::new(DropColumnsOp { columns }), &[node])
+        self.dag
+            .add_op(Arc::new(DropColumnsOp { columns }), &[node])
     }
 
     /// Rename a column.
     pub fn rename(&mut self, node: NodeId, from: &str, to: &str) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(RenameOp { from: from.into(), to: to.into() }), &[node])
+        self.dag.add_op(
+            Arc::new(RenameOp {
+                from: from.into(),
+                to: to.into(),
+            }),
+            &[node],
+        )
     }
 
     /// Row filter.
@@ -112,8 +119,14 @@ impl Script {
 
     /// Unary column transform.
     pub fn map(&mut self, node: NodeId, column: &str, f: MapFn, out: &str) -> Result<NodeId> {
-        self.dag
-            .add_op(Arc::new(MapOp { column: column.into(), f, out: out.into() }), &[node])
+        self.dag.add_op(
+            Arc::new(MapOp {
+                column: column.into(),
+                f,
+                out: out.into(),
+            }),
+            &[node],
+        )
     }
 
     /// Binary column arithmetic.
@@ -126,7 +139,12 @@ impl Script {
         out: &str,
     ) -> Result<NodeId> {
         self.dag.add_op(
-            Arc::new(BinaryOp { left: left.into(), right: right.into(), f, out: out.into() }),
+            Arc::new(BinaryOp {
+                left: left.into(),
+                right: right.into(),
+                f,
+                out: out.into(),
+            }),
             &[node],
         )
     }
@@ -140,20 +158,35 @@ impl Script {
         out: &str,
     ) -> Result<NodeId> {
         self.dag.add_op(
-            Arc::new(StrFeatureOp { column: column.into(), f, out: out.into() }),
+            Arc::new(StrFeatureOp {
+                column: column.into(),
+                f,
+                out: out.into(),
+            }),
             &[node],
         )
     }
 
     /// Inner join on an integer key.
     pub fn join(&mut self, left: NodeId, right: NodeId, on: &str) -> Result<NodeId> {
-        self.dag
-            .add_op(Arc::new(JoinOp { on: on.into(), how: JoinHow::Inner }), &[left, right])
+        self.dag.add_op(
+            Arc::new(JoinOp {
+                on: on.into(),
+                how: JoinHow::Inner,
+            }),
+            &[left, right],
+        )
     }
 
     /// Left outer join on an integer key.
     pub fn left_join(&mut self, left: NodeId, right: NodeId, on: &str) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(JoinOp { on: on.into(), how: JoinHow::Left }), &[left, right])
+        self.dag.add_op(
+            Arc::new(JoinOp {
+                on: on.into(),
+                how: JoinHow::Left,
+            }),
+            &[left, right],
+        )
     }
 
     /// Horizontal concatenation (`pd.concat(axis=1)`).
@@ -175,25 +208,36 @@ impl Script {
     }
 
     /// Group-by aggregation.
-    pub fn groupby(
-        &mut self,
-        node: NodeId,
-        key: &str,
-        aggs: &[(&str, AggFn)],
-    ) -> Result<NodeId> {
+    pub fn groupby(&mut self, node: NodeId, key: &str, aggs: &[(&str, AggFn)]) -> Result<NodeId> {
         let aggs = aggs.iter().map(|(c, f)| ((*c).to_owned(), *f)).collect();
-        self.dag.add_op(Arc::new(GroupByOp { key: key.into(), aggs }), &[node])
+        self.dag.add_op(
+            Arc::new(GroupByOp {
+                key: key.into(),
+                aggs,
+            }),
+            &[node],
+        )
     }
 
     /// One-hot encode a categorical column.
     pub fn one_hot(&mut self, node: NodeId, column: &str, max_categories: usize) -> Result<NodeId> {
-        self.dag
-            .add_op(Arc::new(OneHotOp { column: column.into(), max_categories }), &[node])
+        self.dag.add_op(
+            Arc::new(OneHotOp {
+                column: column.into(),
+                max_categories,
+            }),
+            &[node],
+        )
     }
 
     /// Label-encode a categorical column.
     pub fn label_encode(&mut self, node: NodeId, column: &str) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(LabelEncodeOp { column: column.into() }), &[node])
+        self.dag.add_op(
+            Arc::new(LabelEncodeOp {
+                column: column.into(),
+            }),
+            &[node],
+        )
     }
 
     /// Seeded row sample.
@@ -203,13 +247,20 @@ impl Script {
 
     /// Sort rows.
     pub fn sort(&mut self, node: NodeId, column: &str, ascending: bool) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(SortOp { column: column.into(), ascending }), &[node])
+        self.dag.add_op(
+            Arc::new(SortOp {
+                column: column.into(),
+                ascending,
+            }),
+            &[node],
+        )
     }
 
     /// Scale numeric columns.
     pub fn scale(&mut self, node: NodeId, kind: ScaleKind, columns: &[&str]) -> Result<NodeId> {
         let columns = columns.iter().map(|s| (*s).to_owned()).collect();
-        self.dag.add_op(Arc::new(ScaleOp { kind, columns }), &[node])
+        self.dag
+            .add_op(Arc::new(ScaleOp { kind, columns }), &[node])
     }
 
     /// Impute missing values.
@@ -220,7 +271,8 @@ impl Script {
         columns: &[&str],
     ) -> Result<NodeId> {
         let columns = columns.iter().map(|s| (*s).to_owned()).collect();
-        self.dag.add_op(Arc::new(ImputeOp { strategy, columns }), &[node])
+        self.dag
+            .add_op(Arc::new(ImputeOp { strategy, columns }), &[node])
     }
 
     /// Bag-of-words vectorisation (`CountVectorizer`).
@@ -230,8 +282,13 @@ impl Script {
         column: &str,
         params: VectorizerParams,
     ) -> Result<NodeId> {
-        self.dag
-            .add_op(Arc::new(CountVectorizeOp { column: column.into(), params }), &[node])
+        self.dag.add_op(
+            Arc::new(CountVectorizeOp {
+                column: column.into(),
+                params,
+            }),
+            &[node],
+        )
     }
 
     /// TF-IDF vectorisation (`TfidfVectorizer`).
@@ -241,19 +298,31 @@ impl Script {
         column: &str,
         params: VectorizerParams,
     ) -> Result<NodeId> {
-        self.dag
-            .add_op(Arc::new(TfidfVectorizeOp { column: column.into(), params }), &[node])
+        self.dag.add_op(
+            Arc::new(TfidfVectorizeOp {
+                column: column.into(),
+                params,
+            }),
+            &[node],
+        )
     }
 
     /// Univariate feature selection (`SelectKBest`).
     pub fn select_k_best(&mut self, node: NodeId, label: &str, k: usize) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(SelectKBestOp { label: label.into(), k }), &[node])
+        self.dag.add_op(
+            Arc::new(SelectKBestOp {
+                label: label.into(),
+                k,
+            }),
+            &[node],
+        )
     }
 
     /// PCA projection.
     pub fn pca(&mut self, node: NodeId, columns: &[&str], params: PcaParams) -> Result<NodeId> {
         let columns = columns.iter().map(|s| (*s).to_owned()).collect();
-        self.dag.add_op(Arc::new(PcaOp { columns, params }), &[node])
+        self.dag
+            .add_op(Arc::new(PcaOp { columns, params }), &[node])
     }
 
     /// K-means cluster-distance features over the named columns.
@@ -264,7 +333,8 @@ impl Script {
         params: co_ml::cluster::KMeansParams,
     ) -> Result<NodeId> {
         let columns = columns.iter().map(|s| (*s).to_owned()).collect();
-        self.dag.add_op(Arc::new(ClusterFeaturesOp { columns, params }), &[node])
+        self.dag
+            .add_op(Arc::new(ClusterFeaturesOp { columns, params }), &[node])
     }
 
     /// Degree-2 polynomial features.
@@ -275,12 +345,23 @@ impl Script {
 
     /// Whole-column aggregate (an `Aggregate` terminal candidate).
     pub fn agg(&mut self, node: NodeId, column: &str, f: AggFn) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(AggOp { column: column.into(), f }), &[node])
+        self.dag.add_op(
+            Arc::new(AggOp {
+                column: column.into(),
+                f,
+            }),
+            &[node],
+        )
     }
 
     /// Frequency table.
     pub fn value_counts(&mut self, node: NodeId, column: &str) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(ValueCountsOp { column: column.into() }), &[node])
+        self.dag.add_op(
+            Arc::new(ValueCountsOp {
+                column: column.into(),
+            }),
+            &[node],
+        )
     }
 
     /// Summary statistics (a visualization terminal).
@@ -302,12 +383,24 @@ impl Script {
         label: &str,
         params: LogisticParams,
     ) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(TrainLogisticOp { label: label.into(), params }), &[node])
+        self.dag.add_op(
+            Arc::new(TrainLogisticOp {
+                label: label.into(),
+                params,
+            }),
+            &[node],
+        )
     }
 
     /// Train a linear SVM.
     pub fn train_svm(&mut self, node: NodeId, label: &str, params: SvmParams) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(TrainSvmOp { label: label.into(), params }), &[node])
+        self.dag.add_op(
+            Arc::new(TrainSvmOp {
+                label: label.into(),
+                params,
+            }),
+            &[node],
+        )
     }
 
     /// Train ridge regression.
@@ -317,12 +410,24 @@ impl Script {
         label: &str,
         params: RidgeParams,
     ) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(TrainRidgeOp { label: label.into(), params }), &[node])
+        self.dag.add_op(
+            Arc::new(TrainRidgeOp {
+                label: label.into(),
+                params,
+            }),
+            &[node],
+        )
     }
 
     /// Train a decision tree.
     pub fn train_tree(&mut self, node: NodeId, label: &str, params: TreeParams) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(TrainTreeOp { label: label.into(), params }), &[node])
+        self.dag.add_op(
+            Arc::new(TrainTreeOp {
+                label: label.into(),
+                params,
+            }),
+            &[node],
+        )
     }
 
     /// Train a random forest.
@@ -332,12 +437,24 @@ impl Script {
         label: &str,
         params: ForestParams,
     ) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(TrainForestOp { label: label.into(), params }), &[node])
+        self.dag.add_op(
+            Arc::new(TrainForestOp {
+                label: label.into(),
+                params,
+            }),
+            &[node],
+        )
     }
 
     /// Train gradient-boosted trees.
     pub fn train_gbt(&mut self, node: NodeId, label: &str, params: GbtParams) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(TrainGbtOp { label: label.into(), params }), &[node])
+        self.dag.add_op(
+            Arc::new(TrainGbtOp {
+                label: label.into(),
+                params,
+            }),
+            &[node],
+        )
     }
 
     /// Apply a model to a dataset, appending a probability column named
@@ -351,7 +468,13 @@ impl Script {
         exclude: &[&str],
     ) -> Result<NodeId> {
         let exclude = exclude.iter().map(|s| (*s).to_owned()).collect();
-        self.dag.add_op(Arc::new(PredictOp { out: out.into(), exclude }), &[model, data])
+        self.dag.add_op(
+            Arc::new(PredictOp {
+                out: out.into(),
+                exclude,
+            }),
+            &[model, data],
+        )
     }
 
     /// Evaluate a model on a labelled dataset; the score becomes the
@@ -363,7 +486,13 @@ impl Script {
         label: &str,
         metric: EvalMetric,
     ) -> Result<NodeId> {
-        self.dag.add_op(Arc::new(EvaluateOp { label: label.into(), metric }), &[model, data])
+        self.dag.add_op(
+            Arc::new(EvaluateOp {
+                label: label.into(),
+                metric,
+            }),
+            &[model, data],
+        )
     }
 }
 
@@ -374,8 +503,16 @@ mod tests {
 
     fn frame() -> DataFrame {
         DataFrame::new(vec![
-            Column::source("t", "x", ColumnData::Float((0..50).map(f64::from).collect())),
-            Column::source("t", "y", ColumnData::Int((0..50).map(|i| i64::from(i >= 25)).collect())),
+            Column::source(
+                "t",
+                "x",
+                ColumnData::Float((0..50).map(f64::from).collect()),
+            ),
+            Column::source(
+                "t",
+                "y",
+                ColumnData::Int((0..50).map(|i| i64::from(i >= 25)).collect()),
+            ),
         ])
         .unwrap()
     }
@@ -386,7 +523,9 @@ mod tests {
         let data = s.load("t", frame());
         let filtered = s.filter(data, Predicate::gt_f("x", 5.0)).unwrap();
         let scaled = s.scale(filtered, ScaleKind::Standard, &["x"]).unwrap();
-        let model = s.train_logistic(scaled, "y", LogisticParams::default()).unwrap();
+        let model = s
+            .train_logistic(scaled, "y", LogisticParams::default())
+            .unwrap();
         let score = s.evaluate(model, scaled, "y", EvalMetric::RocAuc).unwrap();
         s.output(score).unwrap();
         let dag = s.into_dag();
@@ -417,14 +556,23 @@ mod tests {
         let mut s1 = Script::new();
         let d1 = s1.load("t", frame());
         let f1 = s1.filter(d1, Predicate::gt_f("x", 5.0)).unwrap();
-        let m1 = s1.train_logistic(f1, "y", LogisticParams::default()).unwrap();
+        let m1 = s1
+            .train_logistic(f1, "y", LogisticParams::default())
+            .unwrap();
         s1.output(m1).unwrap();
 
         let mut s2 = Script::new();
         let d2 = s2.load("t", frame());
         let f2 = s2.filter(d2, Predicate::gt_f("x", 5.0)).unwrap();
         let m2 = s2
-            .train_logistic(f2, "y", LogisticParams { lr: 0.01, ..LogisticParams::default() })
+            .train_logistic(
+                f2,
+                "y",
+                LogisticParams {
+                    lr: 0.01,
+                    ..LogisticParams::default()
+                },
+            )
             .unwrap();
         s2.output(m2).unwrap();
 

@@ -7,6 +7,15 @@
 //! updater. Training operations are warmstarted from the best candidate
 //! model when the session enables it (§6.2).
 //!
+//! Execution is split in two halves (DESIGN.md §9): `snapshot` captures
+//! everything the run needs from the graph (planned loads, warmstart
+//! candidates, the fault injector) and is the only half that reads the
+//! Experiment Graph — the server calls it under the EG read lock;
+//! `execute_snapshot` / `execute_snapshot_parallel` then run every
+//! `Operation::run` against the snapshot alone, entirely lock-free. The
+//! public [`execute`] / [`execute_parallel`] entry points compose the two
+//! for callers that already hold a graph reference.
+//!
 //! ## Failure semantics
 //!
 //! The executor degrades rather than aborts (see DESIGN.md, "Failure
@@ -119,16 +128,83 @@ fn prepare(
         action[i] = Action::Compute;
         stack.extend(dag.parents(NodeId(i)).iter().map(|p| p.0));
     }
-    Ok(Prepared { action, loaded, load_misses_recovered })
+    Ok(Prepared {
+        action,
+        loaded,
+        load_misses_recovered,
+    })
+}
+
+/// Everything execution needs from the Experiment Graph, captured up
+/// front: per-node actions, planned loads (Arc clones of stored content,
+/// so the fetch is cheap), warmstart candidates, and the store's fault
+/// injector. Once a snapshot exists, execution never touches the graph —
+/// the server's planning stage builds one under the EG read lock and
+/// releases the lock before any `Operation::run` starts.
+///
+/// Snapshot semantics: loads reflect the store at planning time. A
+/// concurrent eviction after the snapshot cannot fail this execution
+/// (the content is already held via `Arc`); a concurrent publication is
+/// simply not seen until the next workload plans.
+pub(crate) struct ExecutionSnapshot {
+    action: Vec<Action>,
+    loaded: Vec<Option<Value>>,
+    warm: Vec<Option<co_ml::TrainedModel>>,
+    faults: Option<Arc<FaultInjector>>,
+    load_misses_recovered: usize,
+}
+
+/// Build the execution snapshot for a planned workload: the `prepare`
+/// backward pass (planned loads fetched exactly once, misses degraded to
+/// recomputation) plus warmstart-candidate prefetch for every node that
+/// will compute.
+pub(crate) fn snapshot(
+    dag: &WorkloadDag,
+    plan: &ReusePlan,
+    eg: &ExperimentGraph,
+    config: &ExecutorConfig,
+) -> co_graph::Result<ExecutionSnapshot> {
+    let Prepared {
+        action,
+        loaded,
+        load_misses_recovered,
+    } = prepare(dag, plan, eg)?;
+    let n = dag.n_nodes();
+    let mut warm: Vec<Option<co_ml::TrainedModel>> = vec![None; n];
+    if config.warmstart {
+        for i in 0..n {
+            if action[i] != Action::Compute {
+                continue;
+            }
+            let Some(edge) = dag.producer(NodeId(i)) else {
+                continue;
+            };
+            if !edge.op.warmstartable() {
+                continue;
+            }
+            warm[i] = edge.op.model_kind().and_then(|kind| {
+                let train_input = dag.nodes()[edge.inputs[0].0].artifact;
+                let own = dag.nodes()[i].artifact;
+                warmstart::find_candidate(eg, train_input, kind, own)
+            });
+        }
+    }
+    Ok(ExecutionSnapshot {
+        action,
+        loaded,
+        warm,
+        faults: eg.storage().fault_injector().map(Arc::clone),
+        load_misses_recovered,
+    })
 }
 
 /// The detailed error for a load miss that cannot be recomputed.
 fn unrecoverable_load(dag: &WorkloadDag, i: usize) -> GraphError {
     let node = &dag.nodes()[i];
-    let what = node
-        .name
-        .as_deref()
-        .map_or_else(|| "no producer".to_owned(), |name| format!("source {name:?}"));
+    let what = node.name.as_deref().map_or_else(
+        || "no producer".to_owned(),
+        |name| format!("source {name:?}"),
+    );
     GraphError::NotMaterialized {
         artifact: node.artifact.0,
         detail: format!("workload node {i}, {what}"),
@@ -280,13 +356,34 @@ pub fn execute(
     eg: &ExperimentGraph,
     config: &ExecutorConfig,
 ) -> ExecResult {
+    let snap = snapshot(dag, plan, eg, config)?;
+    execute_snapshot(dag, snap, config)
+}
+
+/// Execute a workload against a previously captured [`ExecutionSnapshot`]
+/// — the lock-free half of [`execute`]. Requires no access to the
+/// Experiment Graph at all; every operation runs against values held by
+/// the snapshot or produced earlier in this pass.
+pub(crate) fn execute_snapshot(
+    dag: &mut WorkloadDag,
+    snap: ExecutionSnapshot,
+    config: &ExecutorConfig,
+) -> ExecResult {
     let workload_start = Instant::now();
-    let Prepared { action, mut loaded, load_misses_recovered } = prepare(dag, plan, eg)?;
+    let ExecutionSnapshot {
+        action,
+        mut loaded,
+        mut warm,
+        faults,
+        load_misses_recovered,
+    } = snap;
     let n = dag.n_nodes();
-    let faults = eg.storage().fault_injector().map(Arc::clone);
     let quarantine = config.quarantine.as_deref();
 
-    let mut report = ExecutionReport { load_misses_recovered, ..ExecutionReport::default() };
+    let mut report = ExecutionReport {
+        load_misses_recovered,
+        ..ExecutionReport::default()
+    };
     let mut tainted = vec![false; n];
     let mut first_error: Option<GraphError> = None;
     let mut completed: Vec<NodeId> = Vec::new();
@@ -330,16 +427,9 @@ pub fn execute(
                 let op = Arc::clone(&edge.op);
                 let input_ids = edge.inputs.clone();
 
-                // Warmstart lookup happens before borrowing input values.
-                let warm_model = if config.warmstart && op.warmstartable() {
-                    op.model_kind().and_then(|kind| {
-                        let train_input = dag.nodes()[input_ids[0].0].artifact;
-                        let own = dag.nodes()[i].artifact;
-                        warmstart::find_candidate(eg, train_input, kind, own)
-                    })
-                } else {
-                    None
-                };
+                // Warmstart candidates were prefetched into the snapshot
+                // under the planning lock.
+                let warm_model = warm[i].take();
                 if warm_model.is_some() {
                     report.warmstarts += 1;
                 }
@@ -373,8 +463,7 @@ pub fn execute(
                         report.ops_executed += 1;
                         if let Value::Model(m) = &value {
                             dag.node_mut(NodeId(i))?.quality = m.quality;
-                            report.best_model_quality =
-                                report.best_model_quality.max(m.quality);
+                            report.best_model_quality = report.best_model_quality.max(m.quality);
                         }
                         // Evaluation feedback: refine the input model's
                         // quality.
@@ -409,7 +498,12 @@ pub fn execute(
         None => Ok(report),
         Some(error) => {
             close_taint(dag, &mut tainted);
-            Err(WorkloadError { error, report: Box::new(report), completed, tainted })
+            Err(WorkloadError {
+                error,
+                report: Box::new(report),
+                completed,
+                tainted,
+            })
         }
     }
 }
@@ -431,15 +525,34 @@ pub fn execute_parallel(
     eg: &ExperimentGraph,
     config: &ExecutorConfig,
 ) -> ExecResult {
+    let snap = snapshot(dag, plan, eg, config)?;
+    execute_snapshot_parallel(dag, snap, config)
+}
+
+/// Level-parallel execution against a captured snapshot; the lock-free
+/// half of [`execute_parallel`], mirroring [`execute_snapshot`].
+pub(crate) fn execute_snapshot_parallel(
+    dag: &mut WorkloadDag,
+    snap: ExecutionSnapshot,
+    config: &ExecutorConfig,
+) -> ExecResult {
     let workload_start = Instant::now();
-    let Prepared { action, mut loaded, load_misses_recovered } = prepare(dag, plan, eg)?;
+    let ExecutionSnapshot {
+        action,
+        mut loaded,
+        warm: mut warm_candidates,
+        faults,
+        load_misses_recovered,
+    } = snap;
     let n = dag.n_nodes();
-    let faults = eg.storage().fault_injector().map(Arc::clone);
     let faults_ref = faults.as_deref();
     let quarantine = config.quarantine.as_deref();
     let retry = config.retry;
 
-    let mut report = ExecutionReport { load_misses_recovered, ..ExecutionReport::default() };
+    let mut report = ExecutionReport {
+        load_misses_recovered,
+        ..ExecutionReport::default()
+    };
     let mut tainted = vec![false; n];
     let mut first_error: Option<GraphError> = None;
     let mut completed: Vec<NodeId> = Vec::new();
@@ -485,7 +598,13 @@ pub fn execute_parallel(
             let l = dag
                 .parents(NodeId(i))
                 .iter()
-                .map(|p| if action[p.0] == Action::Compute { level[p.0] + 1 } else { 1 })
+                .map(|p| {
+                    if action[p.0] == Action::Compute {
+                        level[p.0] + 1
+                    } else {
+                        1
+                    }
+                })
                 .max()
                 .unwrap_or(1);
             level[i] = l;
@@ -524,15 +643,7 @@ pub fn execute_parallel(
             })?;
             let op = Arc::clone(&edge.op);
             let input_ids = edge.inputs.clone();
-            let warm = if config.warmstart && op.warmstartable() {
-                op.model_kind().and_then(|kind| {
-                    let train_input = dag.nodes()[input_ids[0].0].artifact;
-                    let own = dag.nodes()[i].artifact;
-                    warmstart::find_candidate(eg, train_input, kind, own)
-                })
-            } else {
-                None
-            };
+            let warm = warm_candidates[i].take();
             if warm.is_some() {
                 report.warmstarts += 1;
             }
@@ -547,7 +658,12 @@ pub fn execute_parallel(
                     })
                 })
                 .collect::<co_graph::Result<_>>()?;
-            work.push(Work { node: i, op, inputs, warm });
+            work.push(Work {
+                node: i,
+                op,
+                inputs,
+                warm,
+            });
         }
 
         // Run the batch on scoped threads. Operation panics are caught
@@ -640,7 +756,12 @@ pub fn execute_parallel(
         None => Ok(report),
         Some(error) => {
             close_taint(dag, &mut tainted);
-            Err(WorkloadError { error, report: Box::new(report), completed, tainted })
+            Err(WorkloadError {
+                error,
+                report: Box::new(report),
+                completed,
+                tainted,
+            })
         }
     }
 }
@@ -657,26 +778,49 @@ mod tests {
 
     fn source_frame() -> DataFrame {
         DataFrame::new(vec![
-            Column::source("t", "x", ColumnData::Float((0..100).map(f64::from).collect())),
-            Column::source("t", "y", ColumnData::Int((0..100).map(|i| i64::from(i % 2)).collect())),
+            Column::source(
+                "t",
+                "x",
+                ColumnData::Float((0..100).map(f64::from).collect()),
+            ),
+            Column::source(
+                "t",
+                "y",
+                ColumnData::Int((0..100).map(|i| i64::from(i % 2)).collect()),
+            ),
         ])
         .unwrap()
     }
 
     fn pipeline() -> (WorkloadDag, NodeId, NodeId) {
         let mut dag = WorkloadDag::new();
-        let src = dag.add_source("t", Value::Dataset(source_frame()));
+        let src = dag.add_source("t", Value::dataset(source_frame()));
         let filtered = dag
-            .add_op(Arc::new(FilterOp { predicate: Predicate::gt_f("x", 10.0) }), &[src])
+            .add_op(
+                Arc::new(FilterOp {
+                    predicate: Predicate::gt_f("x", 10.0),
+                }),
+                &[src],
+            )
             .unwrap();
         let mapped = dag
             .add_op(
-                Arc::new(MapOp { column: "x".into(), f: MapFn::Log1p, out: "lx".into() }),
+                Arc::new(MapOp {
+                    column: "x".into(),
+                    f: MapFn::Log1p,
+                    out: "lx".into(),
+                }),
                 &[filtered],
             )
             .unwrap();
         let result = dag
-            .add_op(Arc::new(AggOp { column: "lx".into(), f: AggFn::Mean }), &[mapped])
+            .add_op(
+                Arc::new(AggOp {
+                    column: "lx".into(),
+                    f: AggFn::Mean,
+                }),
+                &[mapped],
+            )
             .unwrap();
         dag.mark_terminal(result).unwrap();
         (dag, mapped, result)
@@ -715,7 +859,10 @@ mod tests {
         let (mut dag2, mapped2, result2) = pipeline();
         let mut load = vec![false; dag2.n_nodes()];
         load[mapped2.0] = true;
-        let plan = ReusePlan { load, estimated_cost: 0.0 };
+        let plan = ReusePlan {
+            load,
+            estimated_cost: 0.0,
+        };
         let report = execute(&mut dag2, &plan, &eg, &ExecutorConfig::default()).unwrap();
         assert_eq!(report.ops_executed, 1); // only the aggregate
         assert_eq!(report.artifacts_loaded, 1);
@@ -733,7 +880,10 @@ mod tests {
         let (mut dag, mapped, result) = pipeline();
         let mut load = vec![false; dag.n_nodes()];
         load[mapped.0] = true;
-        let plan = ReusePlan { load, estimated_cost: 0.0 };
+        let plan = ReusePlan {
+            load,
+            estimated_cost: 0.0,
+        };
         let eg = ExperimentGraph::new(true);
         let report = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap();
         assert_eq!(report.load_misses_recovered, 1);
@@ -750,7 +900,10 @@ mod tests {
         dag.node_mut(NodeId(0)).unwrap().computed = None; // drop source content
         let mut load = vec![false; dag.n_nodes()];
         load[0] = true;
-        let plan = ReusePlan { load, estimated_cost: 0.0 };
+        let plan = ReusePlan {
+            load,
+            estimated_cost: 0.0,
+        };
         let eg = ExperimentGraph::new(true);
         let err = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap_err();
         assert!(matches!(err.error, GraphError::NotMaterialized { .. }));
@@ -802,7 +955,7 @@ mod tests {
         assert!(err.error.is_transient());
         assert_eq!(err.report.retries, 1); // one retry, then give up
         assert_eq!(err.report.ops_executed, 1); // the filter succeeded
-        // Filter (node 1) survives; map and agg are tainted.
+                                                // Filter (node 1) survives; map and agg are tainted.
         assert_eq!(err.tainted, vec![false, false, true, true]);
         assert_eq!(err.untainted(), 2);
     }
@@ -816,7 +969,11 @@ mod tests {
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);
         let err = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap_err();
-        assert!(matches!(err.error, GraphError::OperationPanicked { .. }), "{}", err.error);
+        assert!(
+            matches!(err.error, GraphError::OperationPanicked { .. }),
+            "{}",
+            err.error
+        );
         assert_eq!(err.report.panics_caught, 1);
         assert_eq!(err.report.ops_executed, 2); // filter and map completed
         assert_eq!(err.untainted(), 3);
@@ -831,8 +988,10 @@ mod tests {
         faults.fail_op("agg", FaultKind::Permanent, 1);
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);
-        let config =
-            ExecutorConfig { quarantine: Some(Arc::clone(&quarantine)), ..ExecutorConfig::default() };
+        let config = ExecutorConfig {
+            quarantine: Some(Arc::clone(&quarantine)),
+            ..ExecutorConfig::default()
+        };
         let err = execute(&mut dag, &plan, &eg, &config).unwrap_err();
         assert!(matches!(err.error, GraphError::OperationFailed { .. }));
 
@@ -841,7 +1000,11 @@ mod tests {
         let (mut dag2, _, _) = pipeline();
         let plan2 = ReusePlan::compute_everything(&dag2);
         let err2 = execute(&mut dag2, &plan2, &eg, &config).unwrap_err();
-        assert!(matches!(err2.error, GraphError::Quarantined { failures: 1, .. }), "{}", err2.error);
+        assert!(
+            matches!(err2.error, GraphError::Quarantined { failures: 1, .. }),
+            "{}",
+            err2.error
+        );
 
         // Releasing it restores service.
         let hash = dag2.producer(NodeId(3)).unwrap().op.op_hash();
@@ -867,7 +1030,11 @@ mod tests {
             ..ExecutorConfig::default()
         };
         let err = execute(&mut dag, &plan, &eg, &config).unwrap_err();
-        assert!(matches!(err.error, GraphError::DeadlineExceeded { .. }), "{}", err.error);
+        assert!(
+            matches!(err.error, GraphError::DeadlineExceeded { .. }),
+            "{}",
+            err.error
+        );
     }
 
     #[test]
@@ -875,7 +1042,13 @@ mod tests {
         let (mut dag, _, _) = pipeline();
         // A dangling projection nobody asked for.
         let src = NodeId(0);
-        dag.add_op(Arc::new(SelectOp { columns: vec!["x".into()] }), &[src]).unwrap();
+        dag.add_op(
+            Arc::new(SelectOp {
+                columns: vec!["x".into()],
+            }),
+            &[src],
+        )
+        .unwrap();
         let plan = ReusePlan::compute_everything(&dag);
         let eg = ExperimentGraph::new(true);
         let report = execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap();
@@ -890,18 +1063,40 @@ mod tests {
         let mut sequential = WorkloadDag::new();
         let mut parallel = WorkloadDag::new();
         for dag in [&mut sequential, &mut parallel] {
-            let src = dag.add_source("t", Value::Dataset(source_frame()));
+            let src = dag.add_source("t", Value::dataset(source_frame()));
             let a = dag
-                .add_op(Arc::new(FilterOp { predicate: Predicate::gt_f("x", 10.0) }), &[src])
+                .add_op(
+                    Arc::new(FilterOp {
+                        predicate: Predicate::gt_f("x", 10.0),
+                    }),
+                    &[src],
+                )
                 .unwrap();
             let b = dag
-                .add_op(Arc::new(FilterOp { predicate: Predicate::lt_f("x", 90.0) }), &[src])
+                .add_op(
+                    Arc::new(FilterOp {
+                        predicate: Predicate::lt_f("x", 90.0),
+                    }),
+                    &[src],
+                )
                 .unwrap();
             let ma = dag
-                .add_op(Arc::new(AggOp { column: "x".into(), f: AggFn::Mean }), &[a])
+                .add_op(
+                    Arc::new(AggOp {
+                        column: "x".into(),
+                        f: AggFn::Mean,
+                    }),
+                    &[a],
+                )
                 .unwrap();
             let mb = dag
-                .add_op(Arc::new(AggOp { column: "x".into(), f: AggFn::Mean }), &[b])
+                .add_op(
+                    Arc::new(AggOp {
+                        column: "x".into(),
+                        f: AggFn::Mean,
+                    }),
+                    &[b],
+                )
                 .unwrap();
             dag.mark_terminal(ma).unwrap();
             dag.mark_terminal(mb).unwrap();
@@ -940,9 +1135,11 @@ mod tests {
         let (mut dag2, mapped2, result2) = pipeline();
         let mut load = vec![false; dag2.n_nodes()];
         load[mapped2.0] = true;
-        let plan = ReusePlan { load, estimated_cost: 0.0 };
-        let report =
-            execute_parallel(&mut dag2, &plan, &eg, &ExecutorConfig::default()).unwrap();
+        let plan = ReusePlan {
+            load,
+            estimated_cost: 0.0,
+        };
+        let report = execute_parallel(&mut dag2, &plan, &eg, &ExecutorConfig::default()).unwrap();
         assert_eq!(report.ops_executed, 1);
         assert_eq!(report.artifacts_loaded, 1);
         let v1 = dag1.node(result2).unwrap().computed.as_ref().unwrap();
@@ -959,7 +1156,11 @@ mod tests {
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);
         let err = execute_parallel(&mut dag, &plan, &eg, &ExecutorConfig::default()).unwrap_err();
-        assert!(matches!(err.error, GraphError::OperationPanicked { .. }), "{}", err.error);
+        assert!(
+            matches!(err.error, GraphError::OperationPanicked { .. }),
+            "{}",
+            err.error
+        );
         assert_eq!(err.report.panics_caught, 1);
         assert_eq!(err.tainted, vec![false, false, true, true]);
     }
@@ -967,7 +1168,10 @@ mod tests {
     #[test]
     fn mismatched_plan_is_rejected() {
         let (mut dag, _, _) = pipeline();
-        let plan = ReusePlan { load: vec![false], estimated_cost: 0.0 };
+        let plan = ReusePlan {
+            load: vec![false],
+            estimated_cost: 0.0,
+        };
         let eg = ExperimentGraph::new(true);
         assert!(execute(&mut dag, &plan, &eg, &ExecutorConfig::default()).is_err());
     }

@@ -58,14 +58,19 @@ impl RetryPolicy {
     /// A policy that never retries and never imposes deadlines.
     #[must_use]
     pub fn none() -> Self {
-        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
     }
 
     /// Backoff before retry number `retry` (1-based): capped exponential.
     #[must_use]
     pub fn backoff(&self, retry: usize) -> Duration {
         let exp = retry.saturating_sub(1).min(32) as u32;
-        let raw = self.initial_backoff.saturating_mul(2u32.saturating_pow(exp));
+        let raw = self
+            .initial_backoff
+            .saturating_mul(2u32.saturating_pow(exp));
         raw.min(self.max_backoff)
     }
 }
@@ -86,7 +91,10 @@ impl Quarantine {
     /// A threshold of 0 disables quarantining.
     #[must_use]
     pub fn new(threshold: usize) -> Self {
-        Quarantine { threshold, counts: Mutex::new(HashMap::new()) }
+        Quarantine {
+            threshold,
+            counts: Mutex::new(HashMap::new()),
+        }
     }
 
     /// If the operation is quarantined, the error to fast-fail with.
@@ -97,8 +105,10 @@ impl Quarantine {
         }
         let counts = self.counts.lock().unwrap();
         counts.get(&op).and_then(|(name, failures)| {
-            (*failures >= self.threshold)
-                .then(|| GraphError::Quarantined { op: name.clone(), failures: *failures })
+            (*failures >= self.threshold).then(|| GraphError::Quarantined {
+                op: name.clone(),
+                failures: *failures,
+            })
         })
     }
 
@@ -168,7 +178,12 @@ impl WorkloadError {
 
 impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "workload failed ({} vertices salvageable): {}", self.untainted(), self.error)
+        write!(
+            f,
+            "workload failed ({} vertices salvageable): {}",
+            self.untainted(),
+            self.error
+        )
     }
 }
 

@@ -22,9 +22,13 @@
 //!    storage-aware, Helix, ALL, NONE) to decide which artifact contents
 //!    to keep within the budget.
 //!
-//! [`server::OptimizerServer`] wires the five steps together behind a
-//! `parking_lot::RwLock`, so concurrent client sessions can share one
-//! Experiment Graph.
+//! [`server::OptimizerServer`] wires the five steps together as a staged
+//! [`pipeline`] over one `parking_lot::RwLock`-guarded Experiment Graph:
+//! planning captures an execution snapshot under the read lock, execution
+//! runs lock-free against the snapshot, and update + materialize share a
+//! single short write-lock critical section — so concurrent client
+//! sessions share one Experiment Graph with lock hold times proportional
+//! to graph metadata, not compute time (see DESIGN.md §9).
 
 pub mod advisor;
 pub mod cost;
@@ -34,6 +38,7 @@ pub mod failure;
 pub mod materialize;
 pub mod ops;
 pub mod optimizer;
+pub mod pipeline;
 pub mod report;
 pub mod server;
 pub mod warmstart;
@@ -41,5 +46,6 @@ pub mod warmstart;
 pub use cost::CostModel;
 pub use dsl::Script;
 pub use failure::{Quarantine, RetryPolicy, WorkloadError};
+pub use pipeline::{ExecutedWorkload, PlannedWorkload, PrunedWorkload};
 pub use report::ExecutionReport;
 pub use server::{OptimizerServer, ServerConfig};

@@ -25,7 +25,11 @@ impl GreedyMaterializer {
     /// Budget-only constructor with the paper's default `α = 0.5`.
     #[must_use]
     pub fn new(budget: u64) -> Self {
-        GreedyMaterializer { budget, alpha: 0.5, max_artifacts: None }
+        GreedyMaterializer {
+            budget,
+            alpha: 0.5,
+            max_artifacts: None,
+        }
     }
 
     /// The desired materialized set under current utilities. Candidates
@@ -89,13 +93,20 @@ mod tests {
     use crate::materialize::testutil::chain_eg;
 
     fn unit() -> CostModel {
-        CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 }
+        CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1.0,
+        }
     }
 
     #[test]
     fn respects_the_budget() {
         let (mut eg, ids, available) = chain_eg(
-            &[("a", 10.0, 4, 0.0), ("b", 10.0, 4, 0.0), ("c", 10.0, 4, 0.0)],
+            &[
+                ("a", 10.0, 4, 0.0),
+                ("b", 10.0, 4, 0.0),
+                ("c", 10.0, 4, 0.0),
+            ],
             false,
         );
         // The 8-byte source is stored unconditionally and counts against
@@ -110,10 +121,18 @@ mod tests {
     fn prefers_high_utility_artifacts() {
         // c is deepest (largest Cr) -> highest rcs at alpha 0.
         let (mut eg, ids, available) = chain_eg(
-            &[("a", 10.0, 4, 0.0), ("b", 10.0, 4, 0.0), ("c", 10.0, 4, 0.0)],
+            &[
+                ("a", 10.0, 4, 0.0),
+                ("b", 10.0, 4, 0.0),
+                ("c", 10.0, 4, 0.0),
+            ],
             false,
         );
-        let m = GreedyMaterializer { budget: 12, alpha: 0.0, max_artifacts: None };
+        let m = GreedyMaterializer {
+            budget: 12,
+            alpha: 0.0,
+            max_artifacts: None,
+        };
         m.run(&mut eg, &available, &unit());
         assert!(eg.is_materialized(ids[2]));
         assert!(!eg.is_materialized(ids[0]));
@@ -121,11 +140,13 @@ mod tests {
 
     #[test]
     fn max_artifacts_caps_selection() {
-        let (mut eg, ids, available) = chain_eg(
-            &[("a", 10.0, 4, 0.0), ("m", 10.0, 4, 0.95)],
-            false,
-        );
-        let m = GreedyMaterializer { budget: u64::MAX, alpha: 1.0, max_artifacts: Some(1) };
+        let (mut eg, ids, available) =
+            chain_eg(&[("a", 10.0, 4, 0.0), ("m", 10.0, 4, 0.95)], false);
+        let m = GreedyMaterializer {
+            budget: u64::MAX,
+            alpha: 1.0,
+            max_artifacts: Some(1),
+        };
         m.run(&mut eg, &available, &unit());
         let stored: Vec<_> = ids.iter().filter(|id| eg.is_materialized(**id)).collect();
         assert_eq!(stored.len(), 1);
@@ -133,14 +154,15 @@ mod tests {
 
     #[test]
     fn re_running_evicts_displaced_artifacts() {
-        let (mut eg, ids, available) = chain_eg(
-            &[("a", 10.0, 4, 0.0), ("b", 10.0, 4, 0.0)],
-            false,
-        );
-        let m = GreedyMaterializer { budget: 12, alpha: 0.0, max_artifacts: None };
+        let (mut eg, ids, available) = chain_eg(&[("a", 10.0, 4, 0.0), ("b", 10.0, 4, 0.0)], false);
+        let m = GreedyMaterializer {
+            budget: 12,
+            alpha: 0.0,
+            max_artifacts: None,
+        };
         m.run(&mut eg, &available, &unit());
         assert!(eg.is_materialized(ids[1])); // deeper vertex wins
-        // Bump a's frequency massively; the next run displaces b.
+                                             // Bump a's frequency massively; the next run displaces b.
         eg.vertex_mut(ids[0]).unwrap().frequency = 100;
         m.run(&mut eg, &available, &unit());
         assert!(eg.is_materialized(ids[0]));
@@ -149,8 +171,7 @@ mod tests {
 
     #[test]
     fn unavailable_content_is_skipped_gracefully() {
-        let (mut eg, ids, _) =
-            chain_eg(&[("a", 10.0, 4, 0.0)], false);
+        let (mut eg, ids, _) = chain_eg(&[("a", 10.0, 4, 0.0)], false);
         let m = GreedyMaterializer::new(100);
         m.run(&mut eg, &HashMap::new(), &unit());
         assert!(!eg.is_materialized(ids[0])); // nothing to store from

@@ -44,7 +44,9 @@ impl Materializer for HelixMaterializer {
             if sources.contains(&id) || eg.is_materialized(id) {
                 continue;
             }
-            let Some(size) = eg.vertex(id).ok().map(|v| v.size) else { continue };
+            let Some(size) = eg.vertex(id).ok().map(|v| v.size) else {
+                continue;
+            };
             if size == 0 {
                 continue;
             }
@@ -68,14 +70,21 @@ mod tests {
     use crate::materialize::testutil::chain_eg;
 
     fn unit() -> CostModel {
-        CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 }
+        CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1.0,
+        }
     }
 
     #[test]
     fn materializes_root_first_until_budget() {
         // All vertices qualify (Cr > 2 Cl); budget fits only two.
         let (mut eg, ids, available) = chain_eg(
-            &[("a", 100.0, 4, 0.0), ("b", 100.0, 4, 0.0), ("c", 100.0, 4, 0.0)],
+            &[
+                ("a", 100.0, 4, 0.0),
+                ("b", 100.0, 4, 0.0),
+                ("c", 100.0, 4, 0.0),
+            ],
             false,
         );
         // Source (8 bytes) + two 4-byte artifacts fill the budget.
@@ -89,8 +98,7 @@ mod tests {
     #[test]
     fn threshold_rule_skips_cheap_artifacts() {
         // a: Cr = 1 vs 2*Cl = 8 -> skip; b: Cr = 101 vs 8 -> store.
-        let (mut eg, ids, available) =
-            chain_eg(&[("a", 1.0, 4, 0.0), ("b", 100.0, 4, 0.0)], false);
+        let (mut eg, ids, available) = chain_eg(&[("a", 1.0, 4, 0.0), ("b", 100.0, 4, 0.0)], false);
         let m = HelixMaterializer { budget: 100 };
         m.run(&mut eg, &available, &unit());
         assert!(!eg.is_materialized(ids[0]));

@@ -93,7 +93,12 @@ pub(crate) fn utilities(eg: &ExperimentGraph, cost: &CostModel, alpha: f64) -> V
         let rcs = v.frequency as f64 * cr / v.size as f64;
         p_sum += p;
         rcs_sum += rcs;
-        raw.push(Raw { id: v.id, size: v.size, p, rcs });
+        raw.push(Raw {
+            id: v.id,
+            size: v.size,
+            p,
+            rcs,
+        });
     }
     let mut out: Vec<Candidate> = raw
         .into_iter()
@@ -112,7 +117,11 @@ pub(crate) fn utilities(eg: &ExperimentGraph, cost: &CostModel, alpha: f64) -> V
         b.utility
             .partial_cmp(&a.utility)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| b.rcs_norm.partial_cmp(&a.rcs_norm).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| {
+                b.rcs_norm
+                    .partial_cmp(&a.rcs_norm)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .then_with(|| a.id.cmp(&b.id))
     });
     out
@@ -157,9 +166,7 @@ pub(crate) mod testutil {
     //! with controllable sizes, costs, frequencies, and model qualities.
 
     use co_dataframe::Scalar;
-    use co_graph::{
-        ArtifactId, ExperimentGraph, NodeKind, Operation, Value, WorkloadDag,
-    };
+    use co_graph::{ArtifactId, ExperimentGraph, NodeKind, Operation, Value, WorkloadDag};
     use std::collections::HashMap;
     use std::sync::Arc;
 
@@ -194,7 +201,11 @@ pub(crate) mod testutil {
         let mut prev = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
         let mut nodes = Vec::new();
         for (label, _, _, q) in specs {
-            let kind = if *q > 0.0 { NodeKind::Model } else { NodeKind::Dataset };
+            let kind = if *q > 0.0 {
+                NodeKind::Model
+            } else {
+                NodeKind::Dataset
+            };
             let n = dag.add_op(Arc::new(Tag(label, kind)), &[prev]).unwrap();
             nodes.push(n);
             prev = n;
@@ -205,7 +216,8 @@ pub(crate) mod testutil {
             dag.node_mut(*n).unwrap().quality = *q;
             // Give every node a content value (size is tracked by the
             // vertex attribute, not the content, in these tests).
-            dag.set_computed(*n, Value::Aggregate(Scalar::Float(0.0))).unwrap();
+            dag.set_computed(*n, Value::Aggregate(Scalar::Float(0.0)))
+                .unwrap();
             // set_computed overwrote the size annotation; restore it.
             dag.node_mut(*n).unwrap().size = Some(*s);
         }
@@ -227,7 +239,10 @@ mod tests {
 
     /// Unit cost model where Cl(v) = size in seconds-per-byte 1.
     fn unit() -> CostModel {
-        CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 }
+        CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1.0,
+        }
     }
 
     #[test]
@@ -242,14 +257,16 @@ mod tests {
     #[test]
     fn quality_raises_utility_with_alpha() {
         // Same cost/size, but m is a model with quality 0.9.
-        let (eg, ids, _) =
-            chain_eg(&[("a", 10.0, 2, 0.0), ("m", 10.0, 2, 0.9)], false);
+        let (eg, ids, _) = chain_eg(&[("a", 10.0, 2, 0.0), ("m", 10.0, 2, 0.9)], false);
         // alpha = 1: only potential matters. The ancestor `a` also carries
         // the model's potential, so both are tied; `m` itself must be
         // strictly ahead of nothing. With alpha = 0 they tie on rcs by
         // construction? a has Cr = 10, m has Cr = 20 -> different.
         let by_quality = utilities(&eg, &unit(), 1.0);
-        assert_eq!(by_quality.first().map(|c| c.utility), Some(by_quality[1].utility));
+        assert_eq!(
+            by_quality.first().map(|c| c.utility),
+            Some(by_quality[1].utility)
+        );
         let by_cost = utilities(&eg, &unit(), 0.0);
         // With alpha = 0 the deeper vertex (larger Cr) wins.
         assert_eq!(by_cost[0].id, ids[1]);
@@ -258,8 +275,7 @@ mod tests {
 
     #[test]
     fn frequencies_weight_the_cost_ratio() {
-        let (mut eg, ids, _) =
-            chain_eg(&[("a", 10.0, 2, 0.0), ("b", 10.0, 2, 0.0)], false);
+        let (mut eg, ids, _) = chain_eg(&[("a", 10.0, 2, 0.0), ("b", 10.0, 2, 0.0)], false);
         // Artificially bump a's frequency.
         eg.vertex_mut(ids[0]).unwrap().frequency = 10;
         let cands = utilities(&eg, &unit(), 0.0);
@@ -268,8 +284,7 @@ mod tests {
 
     #[test]
     fn eviction_spares_sources_and_desired() {
-        let (mut eg, ids, available) =
-            chain_eg(&[("a", 10.0, 2, 0.0), ("b", 10.0, 2, 0.0)], false);
+        let (mut eg, ids, available) = chain_eg(&[("a", 10.0, 2, 0.0), ("b", 10.0, 2, 0.0)], false);
         for id in &ids {
             let v = content_of(&eg, &available, *id).unwrap();
             eg.storage_mut().store(*id, &v);

@@ -55,8 +55,7 @@ mod tests {
 
     #[test]
     fn all_stores_everything_none_stores_nothing() {
-        let (mut eg, ids, available) =
-            chain_eg(&[("a", 1.0, 4, 0.0), ("b", 1.0, 4, 0.0)], false);
+        let (mut eg, ids, available) = chain_eg(&[("a", 1.0, 4, 0.0), ("b", 1.0, 4, 0.0)], false);
         NoneMaterializer.run(&mut eg, &available, &CostModel::default());
         assert!(ids.iter().all(|id| !eg.is_materialized(*id)));
         AllMaterializer.run(&mut eg, &available, &CostModel::default());

@@ -69,7 +69,9 @@ impl Materializer for StorageAwareMaterializer {
         }
         let mut desired: Vec<(ArtifactId, Value)> = Vec::new();
         for c in &ranked {
-            let Some(value) = content_of(eg, available, c.id) else { continue };
+            let Some(value) = content_of(eg, available, c.id) else {
+                continue;
+            };
             let marginal = sim.marginal_bytes(&value);
             if sim.unique_bytes() + marginal <= self.budget {
                 sim.store(c.id, &value);
@@ -93,13 +95,16 @@ impl Materializer for StorageAwareMaterializer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use co_dataframe::{ops as df_ops, Column, ColumnData, DataFrame};
     use co_dataframe::ops::MapFn;
+    use co_dataframe::{ops as df_ops, Column, ColumnData, DataFrame};
     use co_graph::{NodeKind, Operation, Value, WorkloadDag};
     use std::sync::Arc;
 
     fn unit() -> CostModel {
-        CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1e12 }
+        CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1e12,
+        }
     }
 
     /// A real dataframe pipeline where derived artifacts share most
@@ -118,7 +123,7 @@ mod tests {
         }
         fn run(&self, inputs: &[&Value]) -> co_graph::Result<Value> {
             let df = inputs[0].as_dataset().unwrap();
-            Ok(Value::Dataset(
+            Ok(Value::dataset(
                 df_ops::map_column(df, "base", &MapFn::AddConst(1.0), self.0).unwrap(),
             ))
         }
@@ -132,7 +137,7 @@ mod tests {
         )])
         .unwrap();
         let mut dag = WorkloadDag::new();
-        let mut prev = dag.add_source("src", Value::Dataset(base));
+        let mut prev = dag.add_source("src", Value::dataset(base));
         let mut nodes = Vec::new();
         for label in ["d1", "d2", "d3", "d4"] {
             let n = dag.add_op(Arc::new(MapTag(label)), &[prev]).unwrap();
@@ -158,7 +163,12 @@ mod tests {
         let ids: Vec<ArtifactId> = nodes.iter().map(|n| dag.nodes()[n.0].artifact).collect();
         let available: HashMap<ArtifactId, Value> = nodes
             .iter()
-            .map(|n| (dag.nodes()[n.0].artifact, dag.nodes()[n.0].computed.clone().unwrap()))
+            .map(|n| {
+                (
+                    dag.nodes()[n.0].artifact,
+                    dag.nodes()[n.0].computed.clone().unwrap(),
+                )
+            })
             .collect();
         (eg, ids, available)
     }
@@ -214,7 +224,7 @@ mod tests {
         )])
         .unwrap();
         let mut dag2 = WorkloadDag::new();
-        let src2 = dag2.add_source("other", Value::Dataset(big));
+        let src2 = dag2.add_source("other", Value::dataset(big));
         let n = dag2.add_op(Arc::new(MapTagBig), &[src2]).unwrap();
         dag2.mark_terminal(n).unwrap();
         let input = dag2.nodes()[src2.0].computed.clone().unwrap();
@@ -245,7 +255,7 @@ mod tests {
         }
         fn run(&self, inputs: &[&Value]) -> co_graph::Result<Value> {
             let df = inputs[0].as_dataset().unwrap();
-            Ok(Value::Dataset(
+            Ok(Value::dataset(
                 df_ops::map_column(df, "wide", &MapFn::MulConst(2.0), "wide").unwrap(),
             ))
         }

@@ -34,7 +34,9 @@ impl Operation for SelectOp {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
         let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
-        Ok(Value::Dataset(df.select(&cols).map_err(|e| df_err(self.name(), e))?))
+        Ok(Value::dataset(
+            df.select(&cols).map_err(|e| df_err(self.name(), e))?,
+        ))
     }
 }
 
@@ -58,7 +60,9 @@ impl Operation for DropColumnsOp {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
         let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
-        Ok(Value::Dataset(df.drop_columns(&cols).map_err(|e| df_err(self.name(), e))?))
+        Ok(Value::dataset(
+            df.drop_columns(&cols).map_err(|e| df_err(self.name(), e))?,
+        ))
     }
 }
 
@@ -83,7 +87,10 @@ impl Operation for RenameOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(df.rename(&self.from, &self.to).map_err(|e| df_err(self.name(), e))?))
+        Ok(Value::dataset(
+            df.rename(&self.from, &self.to)
+                .map_err(|e| df_err(self.name(), e))?,
+        ))
     }
 }
 
@@ -106,7 +113,7 @@ impl Operation for FilterOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::filter(df, &self.predicate).map_err(|e| df_err(self.name(), e))?,
         ))
     }
@@ -132,7 +139,9 @@ impl Operation for DropNaOp {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
         let subset: Vec<&str> = self.subset.iter().map(String::as_str).collect();
-        Ok(Value::Dataset(df_ops::dropna(df, &subset).map_err(|e| df_err(self.name(), e))?))
+        Ok(Value::dataset(
+            df_ops::dropna(df, &subset).map_err(|e| df_err(self.name(), e))?,
+        ))
     }
 }
 
@@ -159,7 +168,7 @@ impl Operation for MapOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::map_column(df, &self.column, &self.f, &self.out)
                 .map_err(|e| df_err(self.name(), e))?,
         ))
@@ -183,7 +192,13 @@ impl Operation for BinaryOp {
         "binary_op"
     }
     fn params_digest(&self) -> String {
-        format!("{}:{}:{}:{}", self.left, self.right, self.f.name(), self.out)
+        format!(
+            "{}:{}:{}:{}",
+            self.left,
+            self.right,
+            self.f.name(),
+            self.out
+        )
     }
     fn output_kind(&self) -> NodeKind {
         NodeKind::Dataset
@@ -191,7 +206,7 @@ impl Operation for BinaryOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::binary_op(df, &self.left, &self.right, self.f, &self.out)
                 .map_err(|e| df_err(self.name(), e))?,
         ))
@@ -221,7 +236,7 @@ impl Operation for StrFeatureOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::str_feature(df, &self.column, self.f, &self.out)
                 .map_err(|e| df_err(self.name(), e))?,
         ))
@@ -267,7 +282,7 @@ impl Operation for JoinOp {
             JoinHow::Left => df_ops::left_join(left, right, &self.on),
         }
         .map_err(|e| df_err(self.name(), e))?;
-        Ok(Value::Dataset(joined))
+        Ok(Value::dataset(joined))
     }
 }
 
@@ -290,7 +305,9 @@ impl Operation for HConcatOp {
             .enumerate()
             .map(|(i, _)| dataset_input(self.name(), inputs, i))
             .collect::<Result<_>>()?;
-        Ok(Value::Dataset(df_ops::hconcat(&frames).map_err(|e| df_err(self.name(), e))?))
+        Ok(Value::dataset(
+            df_ops::hconcat(&frames).map_err(|e| df_err(self.name(), e))?,
+        ))
     }
 }
 
@@ -313,7 +330,9 @@ impl Operation for VConcatOp {
             .enumerate()
             .map(|(i, _)| dataset_input(self.name(), inputs, i))
             .collect::<Result<_>>()?;
-        Ok(Value::Dataset(df_ops::vconcat(&frames).map_err(|e| df_err(self.name(), e))?))
+        Ok(Value::dataset(
+            df_ops::vconcat(&frames).map_err(|e| df_err(self.name(), e))?,
+        ))
     }
 }
 
@@ -342,7 +361,7 @@ impl Operation for AlignOp {
         let a = dataset_input(self.name(), inputs, 0)?;
         let b = dataset_input(self.name(), inputs, 1)?;
         let (left, right) = df_ops::align(a, b).map_err(|e| df_err(self.name(), e))?;
-        Ok(Value::Dataset(if self.side == 0 { left } else { right }))
+        Ok(Value::dataset(if self.side == 0 { left } else { right }))
     }
 }
 
@@ -359,8 +378,11 @@ impl Operation for GroupByOp {
         "groupby"
     }
     fn params_digest(&self) -> String {
-        let aggs: Vec<String> =
-            self.aggs.iter().map(|(c, f)| format!("{c}:{}", f.name())).collect();
+        let aggs: Vec<String> = self
+            .aggs
+            .iter()
+            .map(|(c, f)| format!("{c}:{}", f.name()))
+            .collect();
         format!("{}|{}", self.key, aggs.join(","))
     }
     fn output_kind(&self) -> NodeKind {
@@ -369,9 +391,8 @@ impl Operation for GroupByOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        let aggs: Vec<(&str, AggFn)> =
-            self.aggs.iter().map(|(c, f)| (c.as_str(), *f)).collect();
-        Ok(Value::Dataset(
+        let aggs: Vec<(&str, AggFn)> = self.aggs.iter().map(|(c, f)| (c.as_str(), *f)).collect();
+        Ok(Value::dataset(
             df_ops::groupby_agg(df, &self.key, &aggs).map_err(|e| df_err(self.name(), e))?,
         ))
     }
@@ -398,7 +419,7 @@ impl Operation for OneHotOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::one_hot(df, &self.column, self.max_categories)
                 .map_err(|e| df_err(self.name(), e))?,
         ))
@@ -424,7 +445,7 @@ impl Operation for LabelEncodeOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::label_encode(df, &self.column).map_err(|e| df_err(self.name(), e))?,
         ))
     }
@@ -451,7 +472,7 @@ impl Operation for SampleOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::sample(df, self.n, self.seed).map_err(|e| df_err(self.name(), e))?,
         ))
     }
@@ -478,7 +499,7 @@ impl Operation for SortOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::sort_by(df, &self.column, self.ascending)
                 .map_err(|e| df_err(self.name(), e))?,
         ))
@@ -507,7 +528,7 @@ impl Operation for ScaleOp {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
         let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             feature::scale(df, self.kind, &cols).map_err(|e| ml_err(self.name(), e))?,
         ))
     }
@@ -535,7 +556,7 @@ impl Operation for ImputeOp {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
         let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             feature::impute(df, self.strategy, &cols).map_err(|e| ml_err(self.name(), e))?,
         ))
     }
@@ -562,7 +583,7 @@ impl Operation for CountVectorizeOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             feature::count_vectorize(df, &self.column, &self.params)
                 .map_err(|e| ml_err(self.name(), e))?,
         ))
@@ -590,7 +611,7 @@ impl Operation for TfidfVectorizeOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             feature::tfidf_vectorize(df, &self.column, &self.params)
                 .map_err(|e| ml_err(self.name(), e))?,
         ))
@@ -618,9 +639,8 @@ impl Operation for SelectKBestOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
-            feature::select_k_best(df, &self.label, self.k)
-                .map_err(|e| ml_err(self.name(), e))?,
+        Ok(Value::dataset(
+            feature::select_k_best(df, &self.label, self.k).map_err(|e| ml_err(self.name(), e))?,
         ))
     }
 }
@@ -647,7 +667,7 @@ impl Operation for PcaOp {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
         let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             feature::pca(df, &cols, &self.params).map_err(|e| ml_err(self.name(), e))?,
         ))
     }
@@ -684,13 +704,13 @@ impl Operation for ClusterFeaturesOp {
             .fit(&x)
             .map_err(|e| ml_err(self.name(), e))?;
         let distances = model.transform(&x);
-        let base = co_dataframe::ColumnId::derive_many(
-            &sub.column_ids(),
-            self.op_hash(),
-        );
+        let base = co_dataframe::ColumnId::derive_many(&sub.column_ids(), self.op_hash());
         let mut out = df.clone();
         for c in 0..distances.cols() {
-            let id = base.derive(co_dataframe::hash::fnv1a_parts(&["cluster", &c.to_string()]));
+            let id = base.derive(co_dataframe::hash::fnv1a_parts(&[
+                "cluster",
+                &c.to_string(),
+            ]));
             out = out
                 .with_column(co_dataframe::Column::derived(
                     &format!("cluster_d{c}"),
@@ -699,7 +719,7 @@ impl Operation for ClusterFeaturesOp {
                 ))
                 .map_err(|e| df_err(self.name(), e))?;
         }
-        Ok(Value::Dataset(out))
+        Ok(Value::dataset(out))
     }
 }
 
@@ -723,7 +743,7 @@ impl Operation for PolyOp {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
         let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             feature::polynomial_features(df, &cols).map_err(|e| ml_err(self.name(), e))?,
         ))
     }
@@ -775,7 +795,7 @@ impl Operation for ValueCountsOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             df_ops::value_counts(df, &self.column).map_err(|e| df_err(self.name(), e))?,
         ))
     }
@@ -797,7 +817,9 @@ impl Operation for DescribeOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(df_ops::describe(df).map_err(|e| df_err(self.name(), e))?))
+        Ok(Value::dataset(
+            df_ops::describe(df).map_err(|e| df_err(self.name(), e))?,
+        ))
     }
 }
 
@@ -817,7 +839,9 @@ impl Operation for CorrOp {
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
-        Ok(Value::Dataset(df_ops::corr_matrix(df).map_err(|e| df_err(self.name(), e))?))
+        Ok(Value::dataset(
+            df_ops::corr_matrix(df).map_err(|e| df_err(self.name(), e))?,
+        ))
     }
 }
 
@@ -827,11 +851,15 @@ mod tests {
     use co_dataframe::{Column, ColumnData, DataFrame};
 
     fn dataset() -> Value {
-        Value::Dataset(
+        Value::dataset(
             DataFrame::new(vec![
                 Column::source("t", "x", ColumnData::Float(vec![1.0, 2.0, 3.0])),
                 Column::source("t", "k", ColumnData::Int(vec![1, 1, 2])),
-                Column::source("t", "s", ColumnData::Str(vec!["a".into(), "b".into(), "a".into()])),
+                Column::source(
+                    "t",
+                    "s",
+                    ColumnData::Str(vec!["a".into(), "b".into(), "a".into()]),
+                ),
             ])
             .unwrap(),
         )
@@ -841,28 +869,56 @@ mod tests {
     fn single_input_ops_run() {
         let v = dataset();
         let inputs = [&v];
-        let out = SelectOp { columns: vec!["x".into()] }.run(&inputs).unwrap();
+        let out = SelectOp {
+            columns: vec!["x".into()],
+        }
+        .run(&inputs)
+        .unwrap();
         assert_eq!(out.as_dataset().unwrap().n_cols(), 1);
-        let out = FilterOp { predicate: Predicate::gt_f("x", 1.5) }.run(&inputs).unwrap();
+        let out = FilterOp {
+            predicate: Predicate::gt_f("x", 1.5),
+        }
+        .run(&inputs)
+        .unwrap();
         assert_eq!(out.as_dataset().unwrap().n_rows(), 2);
-        let out = MapOp { column: "x".into(), f: MapFn::Abs, out: "ax".into() }
-            .run(&inputs)
-            .unwrap();
+        let out = MapOp {
+            column: "x".into(),
+            f: MapFn::Abs,
+            out: "ax".into(),
+        }
+        .run(&inputs)
+        .unwrap();
         assert!(out.as_dataset().unwrap().has_column("ax"));
-        let out = GroupByOp { key: "k".into(), aggs: vec![("x".into(), AggFn::Sum)] }
-            .run(&inputs)
-            .unwrap();
+        let out = GroupByOp {
+            key: "k".into(),
+            aggs: vec![("x".into(), AggFn::Sum)],
+        }
+        .run(&inputs)
+        .unwrap();
         assert_eq!(out.as_dataset().unwrap().n_rows(), 2);
-        let out = OneHotOp { column: "s".into(), max_categories: 2 }.run(&inputs).unwrap();
+        let out = OneHotOp {
+            column: "s".into(),
+            max_categories: 2,
+        }
+        .run(&inputs)
+        .unwrap();
         assert!(out.as_dataset().unwrap().has_column("s=a"));
-        let out = AggOp { column: "x".into(), f: AggFn::Mean }.run(&inputs).unwrap();
+        let out = AggOp {
+            column: "x".into(),
+            f: AggFn::Mean,
+        }
+        .run(&inputs)
+        .unwrap();
         assert_eq!(out.as_aggregate().unwrap().as_f64(), Some(2.0));
     }
 
     #[test]
     fn multi_input_ops_validate_arity() {
         let v = dataset();
-        let op = JoinOp { on: "k".into(), how: JoinHow::Inner };
+        let op = JoinOp {
+            on: "k".into(),
+            how: JoinHow::Inner,
+        };
         assert!(op.run(&[&v]).is_err());
         let out = op.run(&[&v, &v]).unwrap();
         assert!(out.as_dataset().unwrap().n_rows() > 0);
@@ -877,14 +933,17 @@ mod tests {
         let v = dataset();
         let op = ClusterFeaturesOp {
             columns: vec!["x".into(), "k".into()],
-            params: co_ml::cluster::KMeansParams { k: 2, ..Default::default() },
+            params: co_ml::cluster::KMeansParams {
+                k: 2,
+                ..Default::default()
+            },
         };
         let out = op.run(&[&v]).unwrap();
         let df = out.as_dataset().unwrap();
         assert!(df.has_column("cluster_d0"));
         assert!(df.has_column("cluster_d1"));
         assert_eq!(df.n_cols(), 5); // originals + 2 distance columns
-        // Original columns untouched (ids preserved).
+                                    // Original columns untouched (ids preserved).
         assert_eq!(
             df.column("s").unwrap().id(),
             v.as_dataset().unwrap().column("s").unwrap().id()
@@ -892,21 +951,40 @@ mod tests {
         // Deterministic lineage.
         let again = op.run(&[&v]).unwrap();
         assert_eq!(
-            again.as_dataset().unwrap().column("cluster_d0").unwrap().id(),
+            again
+                .as_dataset()
+                .unwrap()
+                .column("cluster_d0")
+                .unwrap()
+                .id(),
             df.column("cluster_d0").unwrap().id()
         );
     }
 
     #[test]
     fn op_hashes_distinguish_params() {
-        let a = SelectOp { columns: vec!["x".into()] };
-        let b = SelectOp { columns: vec!["k".into()] };
+        let a = SelectOp {
+            columns: vec!["x".into()],
+        };
+        let b = SelectOp {
+            columns: vec!["k".into()],
+        };
         assert_ne!(a.op_hash(), b.op_hash());
-        let f1 = FilterOp { predicate: Predicate::gt_f("x", 1.0) };
-        let f2 = FilterOp { predicate: Predicate::gt_f("x", 2.0) };
+        let f1 = FilterOp {
+            predicate: Predicate::gt_f("x", 1.0),
+        };
+        let f2 = FilterOp {
+            predicate: Predicate::gt_f("x", 2.0),
+        };
         assert_ne!(f1.op_hash(), f2.op_hash());
         // Different op types never collide on the same digest.
-        assert_ne!(a.op_hash(), DropColumnsOp { columns: vec!["x".into()] }.op_hash());
+        assert_ne!(
+            a.op_hash(),
+            DropColumnsOp {
+                columns: vec!["x".into()]
+            }
+            .op_hash()
+        );
     }
 
     #[test]

@@ -10,14 +10,13 @@ mod train;
 
 pub use data::{
     AggOp, AlignOp, BinaryOp, ClusterFeaturesOp, CorrOp, CountVectorizeOp, DescribeOp,
-    DropColumnsOp, DropNaOp,
-    FilterOp, GroupByOp, HConcatOp, ImputeOp, JoinHow, JoinOp, LabelEncodeOp, MapOp, OneHotOp,
-    PcaOp, PolyOp, RenameOp, SampleOp, ScaleOp, SelectKBestOp, SelectOp, SortOp, StrFeatureOp,
-    TfidfVectorizeOp, ValueCountsOp, VConcatOp,
+    DropColumnsOp, DropNaOp, FilterOp, GroupByOp, HConcatOp, ImputeOp, JoinHow, JoinOp,
+    LabelEncodeOp, MapOp, OneHotOp, PcaOp, PolyOp, RenameOp, SampleOp, ScaleOp, SelectKBestOp,
+    SelectOp, SortOp, StrFeatureOp, TfidfVectorizeOp, VConcatOp, ValueCountsOp,
 };
 pub use train::{
-    EvalMetric, EvaluateOp, PredictOp, TrainForestOp, TrainGbtOp, TrainLogisticOp,
-    TrainRidgeOp, TrainSvmOp, TrainTreeOp,
+    EvalMetric, EvaluateOp, PredictOp, TrainForestOp, TrainGbtOp, TrainLogisticOp, TrainRidgeOp,
+    TrainSvmOp, TrainTreeOp,
 };
 
 use co_dataframe::DataFrame;
@@ -34,7 +33,10 @@ pub(crate) fn dataset_input<'a>(
         .and_then(|v| v.as_dataset())
         .ok_or_else(|| GraphError::BadOperationInput {
             op: op.to_owned(),
-            message: format!("input {idx} must be a dataset ({} inputs given)", inputs.len()),
+            message: format!(
+                "input {idx} must be a dataset ({} inputs given)",
+                inputs.len()
+            ),
         })
 }
 

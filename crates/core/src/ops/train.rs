@@ -30,7 +30,7 @@ fn ml_err(op: &str, e: co_ml::MlError) -> GraphError {
 /// Fit + wrap: score the model on its training data for the initial `q`.
 fn model_value(model: TrainedModel, x: &Matrix, y: &[f64]) -> Value {
     let quality = roc_auc(y, &model.predict_proba(x));
-    Value::Model(ModelArtifact::new(model, quality))
+    Value::model(ModelArtifact::new(model, quality))
 }
 
 /// Extract a warmstart initialiser of the expected family.
@@ -192,8 +192,8 @@ impl Operation for TrainTreeOp {
         arity(self.name(), inputs, 1)?;
         let df = dataset_input(self.name(), inputs, 0)?;
         let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
-        let model = DecisionTree::fit(&sup.x, &sup.y, &self.params)
-            .map_err(|e| ml_err(self.name(), e))?;
+        let model =
+            DecisionTree::fit(&sup.x, &sup.y, &self.params).map_err(|e| ml_err(self.name(), e))?;
         Ok(model_value(TrainedModel::Tree(model), &sup.x, &sup.y))
     }
 }
@@ -320,10 +320,12 @@ impl Operation for EvaluateOp {
     }
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 2)?;
-        let model = inputs[0].as_model().ok_or_else(|| GraphError::BadOperationInput {
-            op: self.name().to_owned(),
-            message: "input 0 must be a model".to_owned(),
-        })?;
+        let model = inputs[0]
+            .as_model()
+            .ok_or_else(|| GraphError::BadOperationInput {
+                op: self.name().to_owned(),
+                message: "input 0 must be a model".to_owned(),
+            })?;
         let df = dataset_input(self.name(), inputs, 1)?;
         let sup = supervised(df, &self.label).map_err(|e| ml_err(self.name(), e))?;
         let probs = model.model.predict_proba(&sup.x);
@@ -360,10 +362,12 @@ impl Operation for PredictOp {
     }
     fn run(&self, inputs: &[&Value]) -> Result<Value> {
         arity(self.name(), inputs, 2)?;
-        let model = inputs[0].as_model().ok_or_else(|| GraphError::BadOperationInput {
-            op: self.name().to_owned(),
-            message: "input 0 must be a model".to_owned(),
-        })?;
+        let model = inputs[0]
+            .as_model()
+            .ok_or_else(|| GraphError::BadOperationInput {
+                op: self.name().to_owned(),
+                message: "input 0 must be a model".to_owned(),
+            })?;
         let df = dataset_input(self.name(), inputs, 1)?;
         let feature_frame = if self.exclude.is_empty() {
             df.clone()
@@ -374,10 +378,11 @@ impl Operation for PredictOp {
                 .map(String::as_str)
                 .filter(|c| df.has_column(c))
                 .collect();
-            df.drop_columns(&drop).map_err(|e| GraphError::from_df(self.name(), &e))?
+            df.drop_columns(&drop)
+                .map_err(|e| GraphError::from_df(self.name(), &e))?
         };
-        let x = co_ml::dataset::features_only(&feature_frame)
-            .map_err(|e| ml_err(self.name(), e))?;
+        let x =
+            co_ml::dataset::features_only(&feature_frame).map_err(|e| ml_err(self.name(), e))?;
         let probs = model.model.predict_proba(&x);
         // The prediction column derives from every feature column plus the
         // model's operation identity.
@@ -395,7 +400,7 @@ impl Operation for PredictOp {
                 co_dataframe::ColumnData::Float(probs),
             ))
             .map_err(|e| GraphError::from_df(self.name(), &e))?;
-        Ok(Value::Dataset(out))
+        Ok(Value::dataset(out))
     }
 }
 
@@ -410,7 +415,7 @@ mod tests {
         // pipelines scale before training, as the workloads do).
         let x: Vec<f64> = (0..40).map(|i| i as f64 / 20.0).collect();
         let y: Vec<i64> = (0..40).map(|i| i64::from(i >= 20)).collect();
-        Value::Dataset(
+        Value::dataset(
             DataFrame::new(vec![
                 Column::source("t", "x", ColumnData::Float(x)),
                 Column::source("t", "y", ColumnData::Int(y)),
@@ -424,17 +429,32 @@ mod tests {
         let data = labelled();
         let inputs = [&data];
         let ops: Vec<Box<dyn Operation>> = vec![
-            Box::new(TrainLogisticOp { label: "y".into(), params: LogisticParams::default() }),
-            Box::new(TrainSvmOp { label: "y".into(), params: SvmParams::default() }),
+            Box::new(TrainLogisticOp {
+                label: "y".into(),
+                params: LogisticParams::default(),
+            }),
+            Box::new(TrainSvmOp {
+                label: "y".into(),
+                params: SvmParams::default(),
+            }),
             Box::new(TrainGbtOp {
                 label: "y".into(),
-                params: GbtParams { n_estimators: 5, ..GbtParams::default() },
+                params: GbtParams {
+                    n_estimators: 5,
+                    ..GbtParams::default()
+                },
             }),
             Box::new(TrainForestOp {
                 label: "y".into(),
-                params: ForestParams { n_estimators: 5, ..ForestParams::default() },
+                params: ForestParams {
+                    n_estimators: 5,
+                    ..ForestParams::default()
+                },
             }),
-            Box::new(TrainTreeOp { label: "y".into(), params: TreeParams::default() }),
+            Box::new(TrainTreeOp {
+                label: "y".into(),
+                params: TreeParams::default(),
+            }),
         ];
         for op in ops {
             let out = op.run(&inputs).unwrap();
@@ -445,10 +465,16 @@ mod tests {
 
     #[test]
     fn warmstart_flags_match_model_kinds() {
-        let lr = TrainLogisticOp { label: "y".into(), params: LogisticParams::default() };
+        let lr = TrainLogisticOp {
+            label: "y".into(),
+            params: LogisticParams::default(),
+        };
         assert!(lr.warmstartable());
         assert_eq!(lr.model_kind(), Some(ModelKind::Logistic));
-        let forest = TrainForestOp { label: "y".into(), params: ForestParams::default() };
+        let forest = TrainForestOp {
+            label: "y".into(),
+            params: ForestParams::default(),
+        };
         assert!(!forest.warmstartable());
     }
 
@@ -458,11 +484,17 @@ mod tests {
         let inputs = [&data];
         let gbt_model = TrainGbtOp {
             label: "y".into(),
-            params: GbtParams { n_estimators: 3, ..GbtParams::default() },
+            params: GbtParams {
+                n_estimators: 3,
+                ..GbtParams::default()
+            },
         }
         .run(&inputs)
         .unwrap();
-        let lr = TrainLogisticOp { label: "y".into(), params: LogisticParams::default() };
+        let lr = TrainLogisticOp {
+            label: "y".into(),
+            params: LogisticParams::default(),
+        };
         // A GBT initialiser cannot seed logistic regression; cold start.
         let warm = lr
             .run_warm(&inputs, Some(&gbt_model.as_model().unwrap().model))
@@ -474,11 +506,21 @@ mod tests {
     #[test]
     fn evaluation_scores_models() {
         let data = labelled();
-        let model = TrainLogisticOp { label: "y".into(), params: LogisticParams::default() }
-            .run(&[&data])
-            .unwrap();
-        for metric in [EvalMetric::RocAuc, EvalMetric::Accuracy, EvalMetric::InvLogLoss] {
-            let eval = EvaluateOp { label: "y".into(), metric };
+        let model = TrainLogisticOp {
+            label: "y".into(),
+            params: LogisticParams::default(),
+        }
+        .run(&[&data])
+        .unwrap();
+        for metric in [
+            EvalMetric::RocAuc,
+            EvalMetric::Accuracy,
+            EvalMetric::InvLogLoss,
+        ] {
+            let eval = EvaluateOp {
+                label: "y".into(),
+                metric,
+            };
             assert!(eval.is_evaluation());
             let out = eval.run(&[&model, &data]).unwrap();
             let score = out.as_aggregate().unwrap().as_f64().unwrap();
@@ -486,17 +528,26 @@ mod tests {
             assert!(score > 0.8, "{} = {score}", metric.name());
         }
         // Wrong input order is rejected.
-        let eval = EvaluateOp { label: "y".into(), metric: EvalMetric::RocAuc };
+        let eval = EvaluateOp {
+            label: "y".into(),
+            metric: EvalMetric::RocAuc,
+        };
         assert!(eval.run(&[&data, &model]).is_err());
     }
 
     #[test]
     fn predict_appends_probabilities() {
         let data = labelled();
-        let model = TrainLogisticOp { label: "y".into(), params: LogisticParams::default() }
-            .run(&[&data])
-            .unwrap();
-        let op = PredictOp { out: "p_default".into(), exclude: vec!["y".into()] };
+        let model = TrainLogisticOp {
+            label: "y".into(),
+            params: LogisticParams::default(),
+        }
+        .run(&[&data])
+        .unwrap();
+        let op = PredictOp {
+            out: "p_default".into(),
+            exclude: vec!["y".into()],
+        };
         let out = op.run(&[&model, &data]).unwrap();
         let df = out.as_dataset().unwrap();
         assert!(df.has_column("p_default"));
@@ -505,15 +556,17 @@ mod tests {
         assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
         // Predictions track the labels on this separable data.
         let labels = df.column("y").unwrap().ints().unwrap();
-        let auc = roc_auc(
-            &labels.iter().map(|&l| l as f64).collect::<Vec<_>>(),
-            probs,
-        );
+        let auc = roc_auc(&labels.iter().map(|&l| l as f64).collect::<Vec<_>>(), probs);
         assert!(auc > 0.9, "auc = {auc}");
         // Lineage: the prediction column is deterministic in its inputs.
         let again = op.run(&[&model, &data]).unwrap();
         assert_eq!(
-            again.as_dataset().unwrap().column("p_default").unwrap().id(),
+            again
+                .as_dataset()
+                .unwrap()
+                .column("p_default")
+                .unwrap()
+                .id(),
             df.column("p_default").unwrap().id()
         );
         // Wrong input order is rejected.
@@ -522,10 +575,16 @@ mod tests {
 
     #[test]
     fn hyperparameters_change_op_identity() {
-        let a = TrainGbtOp { label: "y".into(), params: GbtParams::default() };
+        let a = TrainGbtOp {
+            label: "y".into(),
+            params: GbtParams::default(),
+        };
         let b = TrainGbtOp {
             label: "y".into(),
-            params: GbtParams { n_estimators: 99, ..GbtParams::default() },
+            params: GbtParams {
+                n_estimators: 99,
+                ..GbtParams::default()
+            },
         };
         assert_ne!(a.op_hash(), b.op_hash());
     }

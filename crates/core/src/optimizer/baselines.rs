@@ -41,7 +41,10 @@ impl ReusePlanner for AllMaterializedReuse {
             }
             stack.extend(dag.parents(NodeId(i)).iter().map(|p| p.0));
         }
-        ReusePlan { load, estimated_cost: estimated }
+        ReusePlan {
+            load,
+            estimated_cost: estimated,
+        }
     }
 }
 
@@ -101,7 +104,10 @@ mod tests {
         for n in [a, b] {
             eg.storage_mut().store(dag.nodes()[n.0].artifact, &agg());
         }
-        let cost = CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 };
+        let cost = CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1.0,
+        };
         // ALL_M loads b (hides a) even though loading costs 1e6 seconds.
         let plan = AllMaterializedReuse.plan(&dag, &eg, &cost);
         assert_eq!(plan.load, vec![false, false, true]);

@@ -53,7 +53,11 @@ impl ReusePlanner for HelixReuse {
             // load edge must be strictly worse than any pile of unknown
             // compute costs — the *structural* infinity tier.
             let cl = costs.cl[i];
-            net.add_edge(2 * i + 1, 2 * i, if cl.is_finite() { cl } else { STRUCTURAL_INF });
+            net.add_edge(
+                2 * i + 1,
+                2 * i,
+                if cl.is_finite() { cl } else { STRUCTURAL_INF },
+            );
             if !costs.computed[i] {
                 for p in dag.parents(NodeId(i)) {
                     net.add_edge(2 * i, 2 * p.0 + 1, STRUCTURAL_INF);
@@ -75,7 +79,10 @@ impl ReusePlanner for HelixReuse {
                 load[i] = true;
             }
         }
-        ReusePlan { load, estimated_cost: cut_value }
+        ReusePlan {
+            load,
+            estimated_cost: cut_value,
+        }
     }
 }
 
@@ -112,7 +119,10 @@ mod tests {
     }
 
     fn unit_cost() -> CostModel {
-        CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 }
+        CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1.0,
+        }
     }
 
     /// Build a chain s -> a -> b with given ⟨Ci, Cl-as-size⟩ and

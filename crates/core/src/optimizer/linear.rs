@@ -75,7 +75,10 @@ impl ReusePlanner for LinearReuse {
         }
 
         let estimated_cost = dag.terminals().iter().map(|t| recreation[t.0]).sum();
-        ReusePlan { load, estimated_cost }
+        ReusePlan {
+            load,
+            estimated_cost,
+        }
     }
 }
 
@@ -83,8 +86,8 @@ impl ReusePlanner for LinearReuse {
 mod tests {
     use super::*;
     use crate::optimizer::plan_execution_cost;
-    use co_graph::{NodeKind, Operation, Value};
     use co_dataframe::Scalar;
+    use co_graph::{NodeKind, Operation, Value};
     use std::sync::Arc;
 
     /// A no-op operation with a distinguishing label; costs are injected
@@ -111,7 +114,10 @@ mod tests {
 
     /// Identity cost model: `Cl(v) = size(v)` bytes read at 1 B/s.
     fn unit_cost() -> CostModel {
-        CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 }
+        CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1.0,
+        }
     }
 
     fn agg() -> Value {

@@ -32,7 +32,10 @@ impl FlowNetwork {
     /// A network with `n` nodes and no edges.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.

@@ -37,7 +37,10 @@ impl ReusePlan {
     /// A plan that loads nothing.
     #[must_use]
     pub fn compute_everything(dag: &WorkloadDag) -> Self {
-        ReusePlan { load: vec![false; dag.n_nodes()], estimated_cost: f64::INFINITY }
+        ReusePlan {
+            load: vec![false; dag.n_nodes()],
+            estimated_cost: f64::INFINITY,
+        }
     }
 
     /// Number of artifacts the plan loads.
@@ -65,11 +68,7 @@ pub(crate) struct NodeCosts {
     pub computed: Vec<bool>,
 }
 
-pub(crate) fn node_costs(
-    dag: &WorkloadDag,
-    eg: &ExperimentGraph,
-    cost: &CostModel,
-) -> NodeCosts {
+pub(crate) fn node_costs(dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> NodeCosts {
     let n = dag.n_nodes();
     let mut ci = vec![f64::INFINITY; n];
     let mut cl = vec![f64::INFINITY; n];

@@ -1,0 +1,139 @@
+//! Typed stage hand-offs for the server's workload pipeline.
+//!
+//! [`OptimizerServer::run_workload`](crate::server::OptimizerServer::run_workload)
+//! is a staged pipeline (paper Figure 2) with one type per completed
+//! stage, so the lock discipline is visible in the signatures:
+//!
+//! 1. **Prune** (no lock) — [`PrunedWorkload::new`] runs the client's
+//!    local pruner.
+//! 2. **Plan** (EG *read* lock) — the server's optimizer plans reuse and
+//!    captures an execution snapshot: planned loads are fetched up front
+//!    (Arc clones, so the fetch is a pointer bump per artifact) together
+//!    with warmstart candidates and the store's fault injector. The lock
+//!    is released before execution; the hand-off is a [`PlannedWorkload`].
+//! 3. **Execute** (no lock) — [`PlannedWorkload::execute`] runs every
+//!    `Operation::run` against the snapshot only. Concurrent evictions
+//!    cannot fail it (contents are held via `Arc`), concurrent
+//!    publications are simply not seen. The result, success or salvaged
+//!    failure, is an [`ExecutedWorkload`].
+//! 4. **Publish** (EG *write* lock, one short critical section) — the
+//!    updater merges the executed DAG (Arc clones again: the store shares
+//!    the workload's allocations), runs the materializer, and takes the
+//!    baseline-cost estimate while the graph still cannot change.
+//!
+//! Stages 1–3 never touch the shared graph, so lock hold times are
+//! proportional to graph *metadata*, never to compute time.
+
+use crate::executor::{self, ExecutionSnapshot, ExecutorConfig};
+use crate::failure::WorkloadError;
+use crate::report::ExecutionReport;
+use co_graph::{GraphError, NodeId, WorkloadDag};
+
+/// A workload after client-side pruning (stage 1) — ready to be planned.
+pub struct PrunedWorkload {
+    pub(crate) dag: WorkloadDag,
+}
+
+impl PrunedWorkload {
+    /// Run the client's local pruner (paper step 2, no lock required).
+    pub fn new(mut dag: WorkloadDag) -> Result<Self, WorkloadError> {
+        dag.prune().map_err(WorkloadError::from)?;
+        Ok(PrunedWorkload { dag })
+    }
+
+    /// The pruned DAG.
+    #[must_use]
+    pub fn dag(&self) -> &WorkloadDag {
+        &self.dag
+    }
+}
+
+/// A workload after reuse planning (stage 2): carries everything
+/// execution needs from the Experiment Graph, so the read lock the
+/// planning stage held is already released.
+pub struct PlannedWorkload {
+    pub(crate) dag: WorkloadDag,
+    pub(crate) snapshot: ExecutionSnapshot,
+    pub(crate) optimizer_seconds: f64,
+}
+
+impl PlannedWorkload {
+    /// Time the reuse planner spent, charged to the report as optimizer
+    /// overhead.
+    #[must_use]
+    pub fn optimizer_seconds(&self) -> f64 {
+        self.optimizer_seconds
+    }
+
+    /// Stage 3: execute against the captured snapshot — entirely
+    /// lock-free. Failures are folded into the hand-off so the publish
+    /// stage can salvage the untainted prefix.
+    #[must_use]
+    pub fn execute(self, config: &ExecutorConfig) -> ExecutedWorkload {
+        let PlannedWorkload {
+            mut dag,
+            snapshot,
+            optimizer_seconds,
+        } = self;
+        let result = executor::execute_snapshot(&mut dag, snapshot, config);
+        let (mut report, failure) = match result {
+            Ok(report) => (report, None),
+            Err(WorkloadError {
+                error,
+                report,
+                completed,
+                tainted,
+            }) => (
+                *report,
+                Some(FailedExecution {
+                    error,
+                    completed,
+                    tainted,
+                }),
+            ),
+        };
+        report.optimizer_seconds = optimizer_seconds;
+        ExecutedWorkload {
+            dag,
+            report,
+            failure,
+        }
+    }
+}
+
+/// Salvage state of a failed execution: the terminal error, the vertices
+/// that did complete, and the taint mask over the DAG.
+pub(crate) struct FailedExecution {
+    pub(crate) error: GraphError,
+    pub(crate) completed: Vec<NodeId>,
+    pub(crate) tainted: Vec<bool>,
+}
+
+/// A workload after execution (stage 3), successful or salvaged — ready
+/// for the publish stage's single write-lock critical section.
+pub struct ExecutedWorkload {
+    pub(crate) dag: WorkloadDag,
+    pub(crate) report: ExecutionReport,
+    pub(crate) failure: Option<FailedExecution>,
+}
+
+impl ExecutedWorkload {
+    /// The executed DAG (terminal values populated on success).
+    #[must_use]
+    pub fn dag(&self) -> &WorkloadDag {
+        &self.dag
+    }
+
+    /// The execution report accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> &ExecutionReport {
+        &self.report
+    }
+
+    /// Whether execution terminated with an error (the publish stage
+    /// still merges the untainted prefix).
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.failure.is_some()
+    }
+}

@@ -1,7 +1,11 @@
 //! The server: one shared Experiment Graph, an optimizer, and an updater
 //! (paper Figure 2). [`OptimizerServer::run_workload`] drives a whole
-//! client/server round trip: prune → plan → execute → update →
-//! materialize.
+//! client/server round trip as a staged pipeline with typed hand-offs
+//! (`PrunedWorkload → PlannedWorkload → ExecutedWorkload`, see
+//! [`crate::pipeline`]): prune (no lock) → plan + snapshot (read lock) →
+//! execute (lock-free) → update + materialize + stats baseline (one
+//! write-lock critical section). No Experiment Graph lock is ever held
+//! while an `Operation::run` executes.
 
 use crate::cost::CostModel;
 use crate::executor::{self, ExecutorConfig};
@@ -10,11 +14,12 @@ use crate::materialize::{
     AllMaterializer, GreedyMaterializer, HelixMaterializer, Materializer, NoneMaterializer,
     StorageAwareMaterializer,
 };
-use crate::optimizer::{
-    AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse, ReusePlanner,
-};
+use crate::optimizer::{AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse, ReusePlanner};
+use crate::pipeline::{ExecutedWorkload, FailedExecution, PlannedWorkload, PrunedWorkload};
 use crate::report::ExecutionReport;
-use co_graph::{ArtifactId, ExperimentGraph, FaultInjector, Result, Value, WorkloadDag};
+use co_graph::{
+    ArtifactId, ExperimentGraph, FaultInjector, GraphError, Result, Value, WorkloadDag,
+};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -172,6 +177,15 @@ impl OptimizerServer {
     #[must_use]
     pub fn new(config: ServerConfig) -> Self {
         let dedup = config.materializer == MaterializerKind::StorageAware;
+        OptimizerServer::build(config, ExperimentGraph::new(dedup))
+    }
+
+    /// Assemble a server around the given graph (shared by [`new`] and
+    /// [`with_graph`]).
+    ///
+    /// [`new`]: OptimizerServer::new
+    /// [`with_graph`]: OptimizerServer::with_graph
+    fn build(config: ServerConfig, eg: ExperimentGraph) -> Self {
         let materializer: Box<dyn Materializer> = match config.materializer {
             MaterializerKind::StorageAware => Box::new(StorageAwareMaterializer {
                 budget: config.budget,
@@ -187,7 +201,9 @@ impl OptimizerServer {
                 alpha: config.alpha,
                 max_artifacts: Some(n),
             }),
-            MaterializerKind::Helix => Box::new(HelixMaterializer { budget: config.budget }),
+            MaterializerKind::Helix => Box::new(HelixMaterializer {
+                budget: config.budget,
+            }),
             MaterializerKind::All => Box::new(AllMaterializer),
             MaterializerKind::None => Box::new(NoneMaterializer),
         };
@@ -198,8 +214,10 @@ impl OptimizerServer {
             ReuseKind::None => Box::new(NoReuse),
         };
         OptimizerServer {
-            eg: RwLock::new(ExperimentGraph::new(dedup)),
-            quarantine: config.quarantine_after.map(|k| Arc::new(Quarantine::new(k))),
+            eg: RwLock::new(eg),
+            quarantine: config
+                .quarantine_after
+                .map(|k| Arc::new(Quarantine::new(k))),
             config,
             materializer,
             planner,
@@ -209,13 +227,26 @@ impl OptimizerServer {
 
     /// Create a server around an existing Experiment Graph — e.g. one
     /// restored from a meta-data snapshot (`co_graph::snapshot`) after a
-    /// restart. The graph's store must match the configured
-    /// materializer's deduplication mode.
-    #[must_use]
-    pub fn with_graph(config: ServerConfig, eg: ExperimentGraph) -> Self {
-        let mut server = OptimizerServer::new(config);
-        server.eg = RwLock::new(eg);
-        server
+    /// restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidStructure`] when the restored graph's
+    /// store deduplication mode does not match the configured
+    /// materializer: the storage-aware algorithm budgets *deduplicated*
+    /// bytes, every other materializer budgets nominal bytes, so a
+    /// mismatch silently mis-accounts the storage budget.
+    pub fn with_graph(config: ServerConfig, eg: ExperimentGraph) -> Result<Self> {
+        let dedup = config.materializer == MaterializerKind::StorageAware;
+        if eg.storage().dedup_enabled() != dedup {
+            return Err(GraphError::InvalidStructure(format!(
+                "experiment graph store dedup={} but the {:?} materializer requires dedup={}",
+                eg.storage().dedup_enabled(),
+                config.materializer,
+                dedup
+            )));
+        }
+        Ok(OptimizerServer::build(config, eg))
     }
 
     /// The active configuration.
@@ -224,8 +255,13 @@ impl OptimizerServer {
         &self.config
     }
 
-    /// Run one workload end to end. Returns the executed DAG (terminal
-    /// values populated) and the execution report.
+    /// Run one workload end to end by composing the pipeline stages
+    /// ([`plan_workload`] → [`PlannedWorkload::execute`] →
+    /// [`publish_workload`]). Returns the executed DAG (terminal values
+    /// populated) and the execution report.
+    ///
+    /// [`plan_workload`]: OptimizerServer::plan_workload
+    /// [`publish_workload`]: OptimizerServer::publish_workload
     ///
     /// On failure the returned [`WorkloadError`] still carries the
     /// report and the taint mask, and the server has already *salvaged*
@@ -235,96 +271,121 @@ impl OptimizerServer {
     /// instead of recomputing.
     pub fn run_workload(
         &self,
-        mut dag: WorkloadDag,
+        dag: WorkloadDag,
     ) -> std::result::Result<(WorkloadDag, ExecutionReport), WorkloadError> {
-        // Step 2 (client): local pruning.
-        dag.prune().map_err(WorkloadError::from)?;
+        // Stage 1 (client, no lock): local pruning.
+        let pruned = PrunedWorkload::new(dag)?;
+        // Stage 2 (server, read lock): reuse planning + snapshot.
+        let planned = self.plan_workload(pruned)?;
+        // Stage 3 (client, lock-free): execution against the snapshot.
+        let executed = planned.execute(&self.executor_config());
+        // Stage 4 (server, one write-lock critical section): publish.
+        self.publish_workload(executed)
+    }
 
-        // Step 3 (server): reuse planning, timed as optimizer overhead.
-        let exec_config = ExecutorConfig {
+    /// The executor configuration derived from the server's.
+    #[must_use]
+    pub fn executor_config(&self) -> ExecutorConfig {
+        ExecutorConfig {
             cost: self.config.cost,
             warmstart: self.config.warmstart,
             retry: self.config.retry,
             quarantine: self.quarantine.clone(),
-        };
-        let (optimizer_seconds, exec_result) = {
-            let eg = self.eg.read();
-            let start = Instant::now();
-            let plan = self.planner.plan(&dag, &eg, &self.config.cost);
-            let optimizer_seconds = start.elapsed().as_secs_f64();
-            // Step 4 (client): execution against the read-locked graph.
-            let result = executor::execute(&mut dag, &plan, &eg, &exec_config);
-            (optimizer_seconds, result)
-        };
-        let (mut report, failure) = match exec_result {
-            Ok(report) => (report, None),
-            Err(WorkloadError { error, report, completed, tainted }) => {
-                (*report, Some((error, completed, tainted)))
-            }
-        };
-        report.optimizer_seconds = optimizer_seconds;
+        }
+    }
 
-        // Step 5 (server): update + materialize. A failed run with a
-        // taint mask still merges its untainted prefix.
+    /// Pipeline stage 2 (paper step 3): plan reuse against the Experiment
+    /// Graph and capture the execution snapshot — planned loads fetched
+    /// up front as Arc clones, warmstart candidates prefetched. The EG
+    /// read lock is held only for the duration of this call; the returned
+    /// [`PlannedWorkload`] executes without touching the graph.
+    pub fn plan_workload(
+        &self,
+        pruned: PrunedWorkload,
+    ) -> std::result::Result<PlannedWorkload, WorkloadError> {
+        let PrunedWorkload { dag } = pruned;
+        let eg = self.eg.read();
         let start = Instant::now();
+        let plan = self.planner.plan(&dag, &eg, &self.config.cost);
+        let optimizer_seconds = start.elapsed().as_secs_f64();
+        let snapshot = executor::snapshot(&dag, &plan, &eg, &self.executor_config())
+            .map_err(WorkloadError::from)?;
+        Ok(PlannedWorkload {
+            dag,
+            snapshot,
+            optimizer_seconds,
+        })
+    }
+
+    /// Pipeline stage 4 (paper step 5): merge the executed DAG into the
+    /// Experiment Graph, run the materializer, and take the baseline-cost
+    /// estimate — all inside one short write-lock critical section, so a
+    /// concurrent eviction or update cannot skew the estimate and writers
+    /// never wait on a running computation. A failed run with a taint
+    /// mask still merges (salvages) its untainted prefix.
+    pub fn publish_workload(
+        &self,
+        executed: ExecutedWorkload,
+    ) -> std::result::Result<(WorkloadDag, ExecutionReport), WorkloadError> {
+        let ExecutedWorkload {
+            dag,
+            mut report,
+            failure,
+        } = executed;
+        let start = Instant::now();
+        let baseline;
         {
             let mut eg = self.eg.write();
             match &failure {
                 None => eg.update_with_workload(&dag)?,
-                Some((_, _, tainted)) if tainted.len() == dag.n_nodes() => {
-                    let keep: Vec<bool> = tainted.iter().map(|t| !t).collect();
+                Some(f) if f.tainted.len() == dag.n_nodes() => {
+                    let keep: Vec<bool> = f.tainted.iter().map(|t| !t).collect();
                     eg.update_with_workload_partial(&dag, &keep)?;
                 }
                 // Failed before execution (bad plan, no terminals):
                 // nothing to merge.
                 Some(_) => {}
             }
+            // Executed values merge back as Arc clones: the store and
+            // the returned DAG share the same allocations.
             let available = available_contents(&dag);
-            self.materializer.run(&mut eg, &available, &self.config.cost);
+            self.materializer
+                .run(&mut eg, &available, &self.config.cost);
+            baseline = baseline_cost(&dag, &eg);
         }
         report.materializer_seconds = start.elapsed().as_secs_f64();
 
-        // Dashboard counters. For successes, estimate what this
-        // submission would have cost with no reuse at all — the sum of
-        // recorded compute times over every (distinct) node the
-        // terminals require.
-        {
-            let eg = self.eg.read();
-            let mut baseline = 0.0;
-            let mut visited = vec![false; dag.n_nodes()];
-            let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
-            while let Some(i) = stack.pop() {
-                if std::mem::replace(&mut visited[i], true) {
-                    continue;
-                }
-                let node = &dag.nodes()[i];
-                baseline += node
-                    .compute_time
-                    .or_else(|| eg.vertex(node.artifact).ok().map(|v| v.compute_time))
-                    .unwrap_or(0.0);
-                stack.extend(dag.parents(co_graph::NodeId(i)).iter().map(|p| p.0));
+        let mut stats = self.stats.lock();
+        match &failure {
+            None => {
+                stats.workloads += 1;
+                stats.ops_executed += report.ops_executed;
+                stats.artifacts_loaded += report.artifacts_loaded;
+                stats.warmstarts += report.warmstarts;
+                stats.run_seconds += report.run_seconds();
+                stats.baseline_seconds += baseline;
             }
-            let mut stats = self.stats.lock();
-            match &failure {
-                None => {
-                    stats.workloads += 1;
-                    stats.ops_executed += report.ops_executed;
-                    stats.artifacts_loaded += report.artifacts_loaded;
-                    stats.warmstarts += report.warmstarts;
-                    stats.run_seconds += report.run_seconds();
-                    stats.baseline_seconds += baseline;
-                }
-                Some((_, completed, _)) => {
-                    stats.failed_workloads += 1;
-                    stats.salvaged_artifacts += completed.len();
-                }
+            Some(f) => {
+                stats.failed_workloads += 1;
+                stats.salvaged_artifacts += f.completed.len();
             }
         }
+        drop(stats);
+
         match failure {
             None => Ok((dag, report)),
-            Some((error, completed, tainted)) => {
+            Some(FailedExecution {
+                error,
+                completed,
+                tainted,
+            }) => {
                 report.salvaged_artifacts = completed.len();
-                Err(WorkloadError { error, report: Box::new(report), completed, tainted })
+                Err(WorkloadError {
+                    error,
+                    report: Box::new(report),
+                    completed,
+                    tainted,
+                })
             }
         }
     }
@@ -342,7 +403,12 @@ impl OptimizerServer {
         dag.prune()?;
         let eg = self.eg.read();
         let plan = self.planner.plan(&dag, &eg, &self.config.cost);
-        Ok(crate::optimizer::explain_plan(&dag, &eg, &self.config.cost, &plan))
+        Ok(crate::optimizer::explain_plan(
+            &dag,
+            &eg,
+            &self.config.cost,
+            &plan,
+        ))
     }
 
     /// Read access to the Experiment Graph (shared lock).
@@ -379,12 +445,36 @@ impl OptimizerServer {
     }
 }
 
-/// Contents produced by an executed workload, keyed by artifact.
+/// Contents produced by an executed workload, keyed by artifact. Values
+/// are Arc-backed, so offering every computed dataframe to the
+/// materializer costs a pointer bump per artifact, not a deep copy.
 fn available_contents(dag: &WorkloadDag) -> HashMap<ArtifactId, Value> {
     dag.nodes()
         .iter()
         .filter_map(|n| n.computed.as_ref().map(|v| (n.artifact, v.clone())))
         .collect()
+}
+
+/// Estimate what this submission would have cost with no reuse at all —
+/// the sum of recorded compute times over every (distinct) node the
+/// terminals require. Called inside the publish critical section so the
+/// graph cannot change under the walk.
+fn baseline_cost(dag: &WorkloadDag, eg: &ExperimentGraph) -> f64 {
+    let mut baseline = 0.0;
+    let mut visited = vec![false; dag.n_nodes()];
+    let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut visited[i], true) {
+            continue;
+        }
+        let node = &dag.nodes()[i];
+        baseline += node
+            .compute_time
+            .or_else(|| eg.vertex(node.artifact).ok().map(|v| v.compute_time))
+            .unwrap_or(0.0);
+        stack.extend(dag.parents(co_graph::NodeId(i)).iter().map(|p| p.0));
+    }
+    baseline
 }
 
 #[cfg(test)]
@@ -456,7 +546,14 @@ mod tests {
         let f = s.filter(data, Predicate::gt_f("x", 100.0)).unwrap();
         let m = s.map(f, "x", MapFn::Log1p, "lx").unwrap();
         let model = s
-            .train_logistic(m, "y", LogisticParams { lr: 0.9, ..LogisticParams::default() })
+            .train_logistic(
+                m,
+                "y",
+                LogisticParams {
+                    lr: 0.9,
+                    ..LogisticParams::default()
+                },
+            )
             .unwrap();
         s.output(model).unwrap();
 
@@ -477,9 +574,8 @@ mod tests {
 
     #[test]
     fn concurrent_sessions_share_the_graph() {
-        let server = std::sync::Arc::new(OptimizerServer::new(ServerConfig::collaborative(
-            u64::MAX,
-        )));
+        let server =
+            std::sync::Arc::new(OptimizerServer::new(ServerConfig::collaborative(u64::MAX)));
         crossbeam::thread::scope(|scope| {
             for _ in 0..4 {
                 let server = std::sync::Arc::clone(&server);
@@ -557,7 +653,10 @@ mod tests {
             .train_logistic(
                 m,
                 "y",
-                LogisticParams { max_iter: 50, ..LogisticParams::default() },
+                LogisticParams {
+                    max_iter: 50,
+                    ..LogisticParams::default()
+                },
             )
             .unwrap();
         s.output(model).unwrap();

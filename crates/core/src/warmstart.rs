@@ -41,7 +41,10 @@ pub fn find_candidate(
         }
     }
     let (_, candidate) = best?;
-    eg.storage().get(candidate)?.as_model().map(|m| m.model.clone())
+    eg.storage()
+        .get(candidate)?
+        .as_model()
+        .map(|m| m.model.clone())
 }
 
 #[cfg(test)]
@@ -68,19 +71,21 @@ mod tests {
             NodeKind::Model
         }
         fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
-            Ok(Value::Model(ModelArtifact::new(logistic(), self.quality)))
+            Ok(Value::model(ModelArtifact::new(logistic(), self.quality)))
         }
     }
 
     fn logistic() -> TrainedModel {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
         TrainedModel::Logistic(
-            LogisticRegression::new(LogisticParams::default()).fit(&x, &[0.0, 1.0]).unwrap(),
+            LogisticRegression::new(LogisticParams::default())
+                .fit(&x, &[0.0, 1.0])
+                .unwrap(),
         )
     }
 
     fn model_value(q: f64) -> Value {
-        Value::Model(ModelArtifact::new(logistic(), q))
+        Value::model(ModelArtifact::new(logistic(), q))
     }
 
     /// Build an EG where `data` has two trained logistic models (q = 0.6
@@ -88,9 +93,24 @@ mod tests {
     fn setup(materialize_best: bool) -> (ExperimentGraph, ArtifactId, ArtifactId) {
         let mut dag = WorkloadDag::new();
         let data = dag.add_source("data", Value::Aggregate(Scalar::Float(0.0)));
-        let weak = dag.add_op(Arc::new(TrainTag { label: "train_a", quality: 0.6 }), &[data]).unwrap();
-        let strong =
-            dag.add_op(Arc::new(TrainTag { label: "train_b", quality: 0.9 }), &[data]).unwrap();
+        let weak = dag
+            .add_op(
+                Arc::new(TrainTag {
+                    label: "train_a",
+                    quality: 0.6,
+                }),
+                &[data],
+            )
+            .unwrap();
+        let strong = dag
+            .add_op(
+                Arc::new(TrainTag {
+                    label: "train_b",
+                    quality: 0.9,
+                }),
+                &[data],
+            )
+            .unwrap();
         dag.mark_terminal(strong).unwrap();
         dag.mark_terminal(weak).unwrap();
         for (n, q) in [(weak, 0.6), (strong, 0.9)] {

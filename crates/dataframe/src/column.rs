@@ -125,9 +125,7 @@ impl ColumnData {
         match self {
             ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => {
-                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
-            }
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
         }
     }
@@ -137,7 +135,11 @@ impl ColumnData {
     pub fn filter(&self, mask: &[bool]) -> ColumnData {
         debug_assert_eq!(mask.len(), self.len());
         fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
-            v.iter().zip(mask).filter(|(_, &m)| m).map(|(x, _)| x.clone()).collect()
+            v.iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(x, _)| x.clone())
+                .collect()
         }
         match self {
             ColumnData::Int(v) => ColumnData::Int(keep(v, mask)),
@@ -175,19 +177,31 @@ impl Column {
     /// A raw source column (id derived from dataset + column name).
     #[must_use]
     pub fn source(dataset: &str, name: &str, data: ColumnData) -> Self {
-        Column { name: name.to_owned(), id: ColumnId::source(dataset, name), data: Arc::new(data) }
+        Column {
+            name: name.to_owned(),
+            id: ColumnId::source(dataset, name),
+            data: Arc::new(data),
+        }
     }
 
     /// A column produced by an operation, with an explicitly derived id.
     #[must_use]
     pub fn derived(name: &str, id: ColumnId, data: ColumnData) -> Self {
-        Column { name: name.to_owned(), id, data: Arc::new(data) }
+        Column {
+            name: name.to_owned(),
+            id,
+            data: Arc::new(data),
+        }
     }
 
     /// A column wrapping already-shared data (no copy).
     #[must_use]
     pub fn from_arc(name: &str, id: ColumnId, data: Arc<ColumnData>) -> Self {
-        Column { name: name.to_owned(), id, data }
+        Column {
+            name: name.to_owned(),
+            id,
+            data,
+        }
     }
 
     /// Column name.
@@ -235,13 +249,21 @@ impl Column {
     /// Same data, new name, same id (renaming does not change lineage).
     #[must_use]
     pub fn renamed(&self, name: &str) -> Column {
-        Column { name: name.to_owned(), id: self.id, data: Arc::clone(&self.data) }
+        Column {
+            name: name.to_owned(),
+            id: self.id,
+            data: Arc::clone(&self.data),
+        }
     }
 
     /// Same data and name with a different lineage id.
     #[must_use]
     pub fn with_id(&self, id: ColumnId) -> Column {
-        Column { name: self.name.clone(), id, data: Arc::clone(&self.data) }
+        Column {
+            name: self.name.clone(),
+            id,
+            data: Arc::clone(&self.data),
+        }
     }
 
     /// Integer slice view, or a type error.

@@ -14,12 +14,16 @@ use crate::frame::DataFrame;
 /// double quotes (no embedded newlines).
 pub fn read_csv_str(dataset: &str, text: &str) -> Result<DataFrame> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| DfError::Csv { line: 0, message: "missing header".to_owned() })?;
+    let (_, header) = lines.next().ok_or_else(|| DfError::Csv {
+        line: 0,
+        message: "missing header".to_owned(),
+    })?;
     let names = split_row(header);
     if names.is_empty() {
-        return Err(DfError::Csv { line: 1, message: "empty header".to_owned() });
+        return Err(DfError::Csv {
+            line: 1,
+            message: "empty header".to_owned(),
+        });
     }
     let mut cells: Vec<Vec<String>> = vec![Vec::new(); names.len()];
     for (lineno, line) in lines {
@@ -72,8 +76,10 @@ pub fn to_csv_string(df: &DataFrame) -> String {
 
 /// Read a CSV file from disk.
 pub fn read_csv_file(dataset: &str, path: &std::path::Path) -> Result<DataFrame> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| DfError::Csv { line: 0, message: format!("{}: {e}", path.display()) })?;
+    let text = std::fs::read_to_string(path).map_err(|e| DfError::Csv {
+        line: 0,
+        message: format!("{}: {e}", path.display()),
+    })?;
     read_csv_str(dataset, &text)
 }
 
@@ -104,17 +110,27 @@ fn split_row(line: &str) -> Vec<String> {
 fn infer(values: Vec<String>) -> ColumnData {
     let is_missing = |s: &str| s.is_empty() || s == "NaN" || s == "nan";
     let all_int = !values.is_empty()
-        && values.iter().all(|v| !is_missing(v) && v.parse::<i64>().is_ok());
+        && values
+            .iter()
+            .all(|v| !is_missing(v) && v.parse::<i64>().is_ok());
     if all_int {
         return ColumnData::Int(values.iter().map(|v| v.parse().expect("checked")).collect());
     }
     let all_num = !values.is_empty()
-        && values.iter().all(|v| is_missing(v) || v.parse::<f64>().is_ok());
+        && values
+            .iter()
+            .all(|v| is_missing(v) || v.parse::<f64>().is_ok());
     if all_num {
         return ColumnData::Float(
             values
                 .iter()
-                .map(|v| if is_missing(v) { f64::NAN } else { v.parse().expect("checked") })
+                .map(|v| {
+                    if is_missing(v) {
+                        f64::NAN
+                    } else {
+                        v.parse().expect("checked")
+                    }
+                })
                 .collect(),
         );
     }
@@ -142,7 +158,10 @@ mod tests {
         let text = to_csv_string(&df);
         let back = read_csv_str("t", &text).unwrap();
         assert_eq!(back.n_rows(), 2);
-        assert_eq!(back.column("b").unwrap().strs().unwrap(), df.column("b").unwrap().strs().unwrap());
+        assert_eq!(
+            back.column("b").unwrap().strs().unwrap(),
+            df.column("b").unwrap().strs().unwrap()
+        );
     }
 
     #[test]

@@ -11,9 +11,17 @@ pub enum DfError {
     /// A referenced column does not exist in the frame.
     ColumnNotFound(String),
     /// Two columns (or frames) that must have equal length do not.
-    LengthMismatch { expected: usize, found: usize, context: String },
+    LengthMismatch {
+        expected: usize,
+        found: usize,
+        context: String,
+    },
     /// An operation was applied to a column of an unsupported type.
-    TypeMismatch { column: String, expected: &'static str, found: &'static str },
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        found: &'static str,
+    },
     /// A frame would contain duplicate column names.
     DuplicateColumn(String),
     /// A frame must contain at least one column/row for this operation.
@@ -28,11 +36,25 @@ impl fmt::Display for DfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DfError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
-            DfError::LengthMismatch { expected, found, context } => {
-                write!(f, "length mismatch in {context}: expected {expected}, found {found}")
+            DfError::LengthMismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "length mismatch in {context}: expected {expected}, found {found}"
+                )
             }
-            DfError::TypeMismatch { column, expected, found } => {
-                write!(f, "type mismatch on column {column:?}: expected {expected}, found {found}")
+            DfError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on column {column:?}: expected {expected}, found {found}"
+                )
             }
             DfError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
             DfError::Empty(context) => write!(f, "empty input: {context}"),
@@ -52,9 +74,17 @@ mod tests {
     fn display_is_informative() {
         let err = DfError::ColumnNotFound("price".into());
         assert!(err.to_string().contains("price"));
-        let err = DfError::LengthMismatch { expected: 3, found: 2, context: "with_column".into() };
+        let err = DfError::LengthMismatch {
+            expected: 3,
+            found: 2,
+            context: "with_column".into(),
+        };
         assert!(err.to_string().contains("expected 3"));
-        let err = DfError::TypeMismatch { column: "y".into(), expected: "float", found: "str" };
+        let err = DfError::TypeMismatch {
+            column: "y".into(),
+            expected: "float",
+            found: "str",
+        };
         assert!(err.to_string().contains("float"));
     }
 }

@@ -151,7 +151,13 @@ impl DataFrame {
         let cols = self
             .columns
             .iter()
-            .map(|c| if c.name() == from { c.renamed(to) } else { c.clone() })
+            .map(|c| {
+                if c.name() == from {
+                    c.renamed(to)
+                } else {
+                    c.clone()
+                }
+            })
             .collect();
         DataFrame::new(cols)
     }
@@ -166,8 +172,12 @@ impl DataFrame {
                 context: format!("with_column({:?})", column.name()),
             });
         }
-        let mut cols: Vec<Column> =
-            self.columns.iter().filter(|c| c.name() != column.name()).cloned().collect();
+        let mut cols: Vec<Column> = self
+            .columns
+            .iter()
+            .filter(|c| c.name() != column.name())
+            .cloned()
+            .collect();
         cols.push(column);
         DataFrame::new(cols)
     }
@@ -191,7 +201,10 @@ impl DataFrame {
             .iter()
             .map(|c| Column::derived(c.name(), c.id(), c.data().take(indices)))
             .collect();
-        DataFrame { columns: cols, n_rows: indices.len() }
+        DataFrame {
+            columns: cols,
+            n_rows: indices.len(),
+        }
     }
 
     /// One row as scalars.
@@ -205,13 +218,21 @@ impl DataFrame {
     #[must_use]
     pub fn map_ids(&self, f: impl Fn(ColumnId) -> ColumnId) -> DataFrame {
         let cols = self.columns.iter().map(|c| c.with_id(f(c.id()))).collect();
-        DataFrame { columns: cols, n_rows: self.n_rows }
+        DataFrame {
+            columns: cols,
+            n_rows: self.n_rows,
+        }
     }
 }
 
 impl fmt::Display for DataFrame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "DataFrame [{} rows x {} cols]", self.n_rows, self.n_cols())?;
+        writeln!(
+            f,
+            "DataFrame [{} rows x {} cols]",
+            self.n_rows,
+            self.n_cols()
+        )?;
         let header: Vec<&str> = self.column_names();
         writeln!(f, "{}", header.join("\t"))?;
         for i in 0..self.n_rows.min(10) {
@@ -234,7 +255,11 @@ mod tests {
         DataFrame::new(vec![
             Column::source("t", "a", ColumnData::Int(vec![1, 2, 3])),
             Column::source("t", "b", ColumnData::Float(vec![1.5, 2.5, 3.5])),
-            Column::source("t", "s", ColumnData::Str(vec!["x".into(), "y".into(), "z".into()])),
+            Column::source(
+                "t",
+                "s",
+                ColumnData::Str(vec!["x".into(), "y".into(), "z".into()]),
+            ),
         ])
         .unwrap()
     }
@@ -273,7 +298,10 @@ mod tests {
         assert!(d.drop_columns(&["zz"]).is_err());
 
         let renamed = d.rename("a", "alpha").unwrap();
-        assert_eq!(renamed.column("alpha").unwrap().id(), d.column("a").unwrap().id());
+        assert_eq!(
+            renamed.column("alpha").unwrap().id(),
+            d.column("a").unwrap().id()
+        );
         assert!(d.rename("a", "b").is_err());
     }
 

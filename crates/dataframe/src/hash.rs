@@ -115,6 +115,9 @@ mod tests {
 
     #[test]
     fn deterministic_across_calls() {
-        assert_eq!(fnv1a_parts(&["filter", "x<3"]), fnv1a_parts(&["filter", "x<3"]));
+        assert_eq!(
+            fnv1a_parts(&["filter", "x<3"]),
+            fnv1a_parts(&["filter", "x<3"])
+        );
     }
 }

@@ -23,7 +23,9 @@ pub fn one_hot_signature(col: &str, max_categories: usize) -> u64 {
 /// category value.
 pub fn one_hot(df: &DataFrame, col: &str, max_categories: usize) -> Result<DataFrame> {
     if max_categories == 0 {
-        return Err(DfError::InvalidArgument("one_hot with max_categories=0".to_owned()));
+        return Err(DfError::InvalidArgument(
+            "one_hot with max_categories=0".to_owned(),
+        ));
     }
     let source = df.column(col)?;
     let values = source.strs().map_err(|_| DfError::TypeMismatch {
@@ -44,8 +46,10 @@ pub fn one_hot(df: &DataFrame, col: &str, max_categories: usize) -> Result<DataF
 
     let mut out = df.drop_columns(&[col])?;
     for (cat, _) in cats {
-        let data: Vec<f64> =
-            values.iter().map(|v| if v == cat { 1.0 } else { 0.0 }).collect();
+        let data: Vec<f64> = values
+            .iter()
+            .map(|v| if v == cat { 1.0 } else { 0.0 })
+            .collect();
         let cat_sig = hash::fnv1a_parts(&["one_hot_cat", cat]);
         let id = source.id().derive(hash::combine(sig, cat_sig));
         out = out.with_column(Column::derived(
@@ -77,11 +81,18 @@ pub fn label_encode(df: &DataFrame, col: &str) -> Result<DataFrame> {
     let mut distinct: Vec<&str> = values.iter().map(String::as_str).collect();
     distinct.sort_unstable();
     distinct.dedup();
-    let codes: HashMap<&str, i64> =
-        distinct.iter().enumerate().map(|(i, &v)| (v, i as i64)).collect();
+    let codes: HashMap<&str, i64> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as i64))
+        .collect();
 
     let encoded: Vec<i64> = values.iter().map(|v| codes[v.as_str()]).collect();
-    df.with_column(Column::derived(col, source.id().derive(sig), ColumnData::Int(encoded)))
+    df.with_column(Column::derived(
+        col,
+        source.id().derive(sig),
+        ColumnData::Int(encoded),
+    ))
 }
 
 #[cfg(test)]
@@ -106,8 +117,14 @@ mod tests {
         let out = one_hot(&d, "city", 2).unwrap();
         // "b" (2 occurrences) then "a" (tie with "c", lexicographic).
         assert_eq!(out.column_names(), vec!["v", "city=b", "city=a"]);
-        assert_eq!(out.column("city=b").unwrap().floats().unwrap(), &[1.0, 0.0, 1.0, 0.0]);
-        assert_eq!(out.column("city=a").unwrap().floats().unwrap(), &[0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(
+            out.column("city=b").unwrap().floats().unwrap(),
+            &[1.0, 0.0, 1.0, 0.0]
+        );
+        assert_eq!(
+            out.column("city=a").unwrap().floats().unwrap(),
+            &[0.0, 1.0, 0.0, 0.0]
+        );
         // Untouched column keeps its id.
         assert_eq!(out.column("v").unwrap().id(), d.column("v").unwrap().id());
     }
@@ -136,7 +153,10 @@ mod tests {
         let d = df();
         let out = label_encode(&d, "city").unwrap();
         assert_eq!(out.column("city").unwrap().ints().unwrap(), &[1, 0, 1, 2]);
-        assert_ne!(out.column("city").unwrap().id(), d.column("city").unwrap().id());
+        assert_ne!(
+            out.column("city").unwrap().id(),
+            d.column("city").unwrap().id()
+        );
         assert_eq!(out.column("v").unwrap().id(), d.column("v").unwrap().id());
     }
 }

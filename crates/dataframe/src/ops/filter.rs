@@ -38,43 +38,63 @@ impl Predicate {
     /// `column > value` on a numeric column.
     #[must_use]
     pub fn gt_f(col: &str, value: f64) -> Self {
-        Predicate::GtF { col: col.to_owned(), value }
+        Predicate::GtF {
+            col: col.to_owned(),
+            value,
+        }
     }
 
     /// `column < value` on a numeric column.
     #[must_use]
     pub fn lt_f(col: &str, value: f64) -> Self {
-        Predicate::LtF { col: col.to_owned(), value }
+        Predicate::LtF {
+            col: col.to_owned(),
+            value,
+        }
     }
 
     /// `column >= value` on a numeric column.
     #[must_use]
     pub fn ge_f(col: &str, value: f64) -> Self {
-        Predicate::GeF { col: col.to_owned(), value }
+        Predicate::GeF {
+            col: col.to_owned(),
+            value,
+        }
     }
 
     /// `column <= value` on a numeric column.
     #[must_use]
     pub fn le_f(col: &str, value: f64) -> Self {
-        Predicate::LeF { col: col.to_owned(), value }
+        Predicate::LeF {
+            col: col.to_owned(),
+            value,
+        }
     }
 
     /// Integer equality.
     #[must_use]
     pub fn eq_i(col: &str, value: i64) -> Self {
-        Predicate::EqI { col: col.to_owned(), value }
+        Predicate::EqI {
+            col: col.to_owned(),
+            value,
+        }
     }
 
     /// String equality.
     #[must_use]
     pub fn eq_s(col: &str, value: &str) -> Self {
-        Predicate::EqS { col: col.to_owned(), value: value.to_owned() }
+        Predicate::EqS {
+            col: col.to_owned(),
+            value: value.to_owned(),
+        }
     }
 
     /// Value is present (not `NaN`/null).
     #[must_use]
     pub fn not_na(col: &str) -> Self {
-        Predicate::NotNa { col: col.to_owned() }
+        Predicate::NotNa {
+            col: col.to_owned(),
+        }
     }
 
     /// Conjunction.
@@ -115,19 +135,30 @@ impl Predicate {
             Predicate::GeF { col, value } => numeric_mask(df, col, |x| x >= *value),
             Predicate::LtF { col, value } => numeric_mask(df, col, |x| x < *value),
             Predicate::LeF { col, value } => numeric_mask(df, col, |x| x <= *value),
-            Predicate::EqI { col, value } => {
-                Ok(df.column(col)?.ints()?.iter().map(|&x| x == *value).collect())
-            }
-            Predicate::NeI { col, value } => {
-                Ok(df.column(col)?.ints()?.iter().map(|&x| x != *value).collect())
-            }
+            Predicate::EqI { col, value } => Ok(df
+                .column(col)?
+                .ints()?
+                .iter()
+                .map(|&x| x == *value)
+                .collect()),
+            Predicate::NeI { col, value } => Ok(df
+                .column(col)?
+                .ints()?
+                .iter()
+                .map(|&x| x != *value)
+                .collect()),
             Predicate::EqS { col, value } => {
                 Ok(df.column(col)?.strs()?.iter().map(|x| x == value).collect())
             }
             Predicate::IsIn { col, values } => {
                 let set: std::collections::HashSet<&str> =
                     values.iter().map(String::as_str).collect();
-                Ok(df.column(col)?.strs()?.iter().map(|x| set.contains(x.as_str())).collect())
+                Ok(df
+                    .column(col)?
+                    .strs()?
+                    .iter()
+                    .map(|x| set.contains(x.as_str()))
+                    .collect())
             }
             Predicate::NotNa { col } => numeric_mask(df, col, |x| !x.is_nan()),
             Predicate::And(a, b) => {
@@ -165,8 +196,12 @@ pub fn filter(df: &DataFrame, pred: &Predicate) -> Result<DataFrame> {
             context: "filter mask".to_owned(),
         });
     }
-    let indices: Vec<usize> =
-        mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+    let indices: Vec<usize> = mask
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(i, _)| i)
+        .collect();
     Ok(df.take_rows(&indices).map_ids(|id| id.derive(op)))
 }
 
@@ -205,8 +240,12 @@ pub fn dropna(df: &DataFrame, subset: &[&str]) -> Result<DataFrame> {
         }
     }
     let op = dropna_signature(subset);
-    let indices: Vec<usize> =
-        mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+    let indices: Vec<usize> = mask
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(i, _)| i)
+        .collect();
     Ok(df.take_rows(&indices).map_ids(|id| id.derive(op)))
 }
 

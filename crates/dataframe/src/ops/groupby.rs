@@ -25,7 +25,9 @@ pub fn groupby_signature(key: &str, aggs: &[(&str, AggFn)]) -> u64 {
 /// determinism; aggregate columns are named `"{col}_{agg}"`.
 pub fn groupby_agg(df: &DataFrame, key: &str, aggs: &[(&str, AggFn)]) -> Result<DataFrame> {
     if aggs.is_empty() {
-        return Err(DfError::InvalidArgument("groupby with no aggregates".to_owned()));
+        return Err(DfError::InvalidArgument(
+            "groupby with no aggregates".to_owned(),
+        ));
     }
     let sig = groupby_signature(key, aggs);
     let key_col = df.column(key)?;
@@ -81,8 +83,13 @@ pub fn groupby_agg(df: &DataFrame, key: &str, aggs: &[(&str, AggFn)]) -> Result<
                 f.apply(&slice)
             })
             .collect();
-        let id = ColumnId::derive_many(&[key_col.id(), value_col.id()], hash::combine(sig, agg_sig));
-        out.push(Column::derived(&format!("{col}_{}", f.name()), id, ColumnData::Float(agged)));
+        let id =
+            ColumnId::derive_many(&[key_col.id(), value_col.id()], hash::combine(sig, agg_sig));
+        out.push(Column::derived(
+            &format!("{col}_{}", f.name()),
+            id,
+            ColumnData::Float(agged),
+        ));
     }
     DataFrame::new(out)
 }
@@ -94,7 +101,11 @@ mod tests {
     fn df() -> DataFrame {
         DataFrame::new(vec![
             Column::source("t", "k", ColumnData::Int(vec![2, 1, 2, 1, 2])),
-            Column::source("t", "v", ColumnData::Float(vec![1.0, 2.0, 3.0, 4.0, f64::NAN])),
+            Column::source(
+                "t",
+                "v",
+                ColumnData::Float(vec![1.0, 2.0, 3.0, 4.0, f64::NAN]),
+            ),
         ])
         .unwrap()
     }
@@ -105,18 +116,28 @@ mod tests {
         assert_eq!(out.column_names(), vec!["k", "v_sum", "v_count"]);
         assert_eq!(out.column("k").unwrap().ints().unwrap(), &[1, 2]);
         assert_eq!(out.column("v_sum").unwrap().floats().unwrap(), &[6.0, 4.0]);
-        assert_eq!(out.column("v_count").unwrap().floats().unwrap(), &[2.0, 2.0]);
+        assert_eq!(
+            out.column("v_count").unwrap().floats().unwrap(),
+            &[2.0, 2.0]
+        );
     }
 
     #[test]
     fn string_keys() {
         let d = DataFrame::new(vec![
-            Column::source("t", "k", ColumnData::Str(vec!["b".into(), "a".into(), "b".into()])),
+            Column::source(
+                "t",
+                "k",
+                ColumnData::Str(vec!["b".into(), "a".into(), "b".into()]),
+            ),
             Column::source("t", "v", ColumnData::Int(vec![1, 2, 3])),
         ])
         .unwrap();
         let out = groupby_agg(&d, "k", &[("v", AggFn::Mean)]).unwrap();
-        assert_eq!(out.column("k").unwrap().strs().unwrap(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(
+            out.column("k").unwrap().strs().unwrap(),
+            &["a".to_owned(), "b".to_owned()]
+        );
         assert_eq!(out.column("v_mean").unwrap().floats().unwrap(), &[2.0, 2.0]);
     }
 

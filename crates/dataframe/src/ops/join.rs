@@ -57,11 +57,14 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
         expected: "int key",
         found: left.column(on).map(|c| c.dtype().name()).unwrap_or("?"),
     })?;
-    let rkey = right.column(on)?.ints().map_err(|_| DfError::TypeMismatch {
-        column: on.to_owned(),
-        expected: "int key",
-        found: right.column(on).map(|c| c.dtype().name()).unwrap_or("?"),
-    })?;
+    let rkey = right
+        .column(on)?
+        .ints()
+        .map_err(|_| DfError::TypeMismatch {
+            column: on.to_owned(),
+            expected: "int key",
+            found: right.column(on).map(|c| c.dtype().name()).unwrap_or("?"),
+        })?;
 
     // Build key -> right-row-indices map.
     let mut index: HashMap<i64, Vec<usize>> = HashMap::with_capacity(rkey.len());
@@ -88,7 +91,11 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
         }
     }
 
-    let sig = if outer { left_join_signature(on) } else { join_signature(on) };
+    let sig = if outer {
+        left_join_signature(on)
+    } else {
+        join_signature(on)
+    };
     let dh = col_derivation_hash(sig, left, right);
 
     // When every left row maps to exactly one output row in order (a 1:1
@@ -110,11 +117,19 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
         out.push(Column::derived(on, key_id, key_data));
 
         for c in left.columns().iter().filter(|c| c.name() != on) {
-            out.push(Column::derived(c.name(), c.id().derive(dh), c.data().take(&lrows)));
+            out.push(Column::derived(
+                c.name(),
+                c.id().derive(dh),
+                c.data().take(&lrows),
+            ));
         }
     }
 
-    let left_names: Vec<String> = left.column_names().iter().map(|s| (*s).to_owned()).collect();
+    let left_names: Vec<String> = left
+        .column_names()
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
     for c in right.columns().iter().filter(|c| c.name() != on) {
         let name = if left_names.iter().any(|n| n == c.name()) {
             format!("{}_r", c.name())
@@ -135,7 +150,9 @@ fn gather_right(data: &ColumnData, rows: &[Option<usize>]) -> ColumnData {
             // Missing ints force promotion to float (pandas semantics).
             if rows.iter().any(Option::is_none) {
                 ColumnData::Float(
-                    rows.iter().map(|r| r.map_or(f64::NAN, |i| v[i] as f64)).collect(),
+                    rows.iter()
+                        .map(|r| r.map_or(f64::NAN, |i| v[i] as f64))
+                        .collect(),
                 )
             } else {
                 ColumnData::Int(rows.iter().map(|r| v[r.unwrap()]).collect())
@@ -146,16 +163,19 @@ fn gather_right(data: &ColumnData, rows: &[Option<usize>]) -> ColumnData {
         }
         ColumnData::Bool(v) => {
             if rows.iter().any(Option::is_none) {
-                ColumnData::Float(rows
-                    .iter()
-                    .map(|r| r.map_or(f64::NAN, |i| if v[i] { 1.0 } else { 0.0 }))
-                    .collect())
+                ColumnData::Float(
+                    rows.iter()
+                        .map(|r| r.map_or(f64::NAN, |i| if v[i] { 1.0 } else { 0.0 }))
+                        .collect(),
+                )
             } else {
                 ColumnData::Bool(rows.iter().map(|r| v[r.unwrap()]).collect())
             }
         }
         ColumnData::Str(v) => ColumnData::Str(
-            rows.iter().map(|r| r.map_or_else(String::new, |i| v[i].clone())).collect(),
+            rows.iter()
+                .map(|r| r.map_or_else(String::new, |i| v[i].clone()))
+                .collect(),
         ),
     }
 }
@@ -176,7 +196,11 @@ mod tests {
         DataFrame::new(vec![
             Column::source("r", "id", ColumnData::Int(vec![2, 3, 4])),
             Column::source("r", "y", ColumnData::Int(vec![200, 300, 400])),
-            Column::source("r", "x", ColumnData::Str(vec!["a".into(), "b".into(), "c".into()])),
+            Column::source(
+                "r",
+                "x",
+                ColumnData::Str(vec!["a".into(), "b".into(), "c".into()]),
+            ),
         ])
         .unwrap()
     }
@@ -187,7 +211,10 @@ mod tests {
         assert_eq!(out.column_names(), vec!["id", "x", "y", "x_r"]);
         assert_eq!(out.column("id").unwrap().ints().unwrap(), &[2, 3, 2]);
         assert_eq!(out.column("y").unwrap().ints().unwrap(), &[200, 300, 200]);
-        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[20.0, 30.0, 21.0]);
+        assert_eq!(
+            out.column("x").unwrap().floats().unwrap(),
+            &[20.0, 30.0, 21.0]
+        );
     }
 
     #[test]

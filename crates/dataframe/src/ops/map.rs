@@ -218,7 +218,11 @@ pub fn str_feature(df: &DataFrame, col: &str, f: StrFn, out_name: &str) -> Resul
     let input = df.column(col)?;
     let op = str_feature_signature(col, f, out_name);
     let values: Vec<f64> = input.strs()?.iter().map(|s| f.apply(s)).collect();
-    df.with_column(Column::derived(out_name, input.id().derive(op), ColumnData::Float(values)))
+    df.with_column(Column::derived(
+        out_name,
+        input.id().derive(op),
+        ColumnData::Float(values),
+    ))
 }
 
 #[cfg(test)]
@@ -230,7 +234,11 @@ mod tests {
         DataFrame::new(vec![
             Column::source("t", "x", ColumnData::Float(vec![1.0, f64::NAN, -3.0])),
             Column::source("t", "k", ColumnData::Int(vec![2, 4, 0])),
-            Column::source("t", "s", ColumnData::Str(vec!["hello world".into(), "a".into(), "".into()])),
+            Column::source(
+                "t",
+                "s",
+                ColumnData::Str(vec!["hello world".into(), "a".into(), "".into()]),
+            ),
         ])
         .unwrap()
     }
@@ -246,7 +254,10 @@ mod tests {
         assert_eq!(values[2], 3.0);
         // Untouched columns keep their ids.
         assert_eq!(out.column("k").unwrap().id(), d.column("k").unwrap().id());
-        assert_ne!(out.column("x_abs").unwrap().id(), d.column("x").unwrap().id());
+        assert_ne!(
+            out.column("x_abs").unwrap().id(),
+            d.column("x").unwrap().id()
+        );
     }
 
     #[test]
@@ -254,7 +265,10 @@ mod tests {
         let d = df();
         let out = map_column(&d, "x", &MapFn::FillNa(0.0), "x").unwrap();
         assert_eq!(out.n_cols(), 3);
-        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[1.0, 0.0, -3.0]);
+        assert_eq!(
+            out.column("x").unwrap().floats().unwrap(),
+            &[1.0, 0.0, -3.0]
+        );
         assert_ne!(out.column("x").unwrap().id(), d.column("x").unwrap().id());
     }
 
@@ -303,9 +317,15 @@ mod tests {
     fn string_features() {
         let d = df();
         let out = str_feature(&d, "s", StrFn::WordCount, "wc").unwrap();
-        assert_eq!(out.column("wc").unwrap().floats().unwrap(), &[2.0, 1.0, 0.0]);
+        assert_eq!(
+            out.column("wc").unwrap().floats().unwrap(),
+            &[2.0, 1.0, 0.0]
+        );
         let out = str_feature(&d, "s", StrFn::Len, "len").unwrap();
-        assert_eq!(out.column("len").unwrap().floats().unwrap(), &[11.0, 1.0, 0.0]);
+        assert_eq!(
+            out.column("len").unwrap().floats().unwrap(),
+            &[11.0, 1.0, 0.0]
+        );
     }
 
     #[test]

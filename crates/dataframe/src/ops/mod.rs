@@ -25,15 +25,13 @@ mod sort;
 mod stats;
 
 pub use concat::{align, align_signature, hconcat, hconcat_signature, vconcat, vconcat_signature};
-pub use encode::{
-    label_encode, label_encode_signature, one_hot, one_hot_signature,
-};
+pub use encode::{label_encode, label_encode_signature, one_hot, one_hot_signature};
 pub use filter::{dropna, dropna_signature, filter, filter_signature, Predicate};
 pub use groupby::{groupby_agg, groupby_signature};
 pub use join::{inner_join, join_signature, left_join, left_join_signature};
 pub use map::{
-    binary_op, binary_op_signature, map_column, map_signature, str_feature,
-    str_feature_signature, BinFn, MapFn, StrFn,
+    binary_op, binary_op_signature, map_column, map_signature, str_feature, str_feature_signature,
+    BinFn, MapFn, StrFn,
 };
 pub use sample::{sample, sample_signature};
 pub use sort::{sort_by, sort_signature};
@@ -90,8 +88,14 @@ impl AggFn {
                     sum / n as f64
                 }
             }
-            AggFn::Min => present.fold(f64::NAN, |acc, v| if acc.is_nan() || v < acc { v } else { acc }),
-            AggFn::Max => present.fold(f64::NAN, |acc, v| if acc.is_nan() || v > acc { v } else { acc }),
+            AggFn::Min => present.fold(
+                f64::NAN,
+                |acc, v| if acc.is_nan() || v < acc { v } else { acc },
+            ),
+            AggFn::Max => present.fold(
+                f64::NAN,
+                |acc, v| if acc.is_nan() || v > acc { v } else { acc },
+            ),
             AggFn::Std => {
                 let vals: Vec<f64> = present.collect();
                 if vals.is_empty() {

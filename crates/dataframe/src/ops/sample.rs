@@ -51,7 +51,10 @@ mod tests {
         let d = df();
         let a = sample(&d, 10, 42).unwrap();
         let b = sample(&d, 10, 42).unwrap();
-        assert_eq!(a.column("x").unwrap().ints().unwrap(), b.column("x").unwrap().ints().unwrap());
+        assert_eq!(
+            a.column("x").unwrap().ints().unwrap(),
+            b.column("x").unwrap().ints().unwrap()
+        );
         assert_eq!(a.column_ids(), b.column_ids());
         let c = sample(&d, 10, 43).unwrap();
         assert_ne!(a.column_ids(), c.column_ids());

@@ -84,7 +84,8 @@ mod tests {
 
     #[test]
     fn direction_changes_lineage() {
-        let d = DataFrame::new(vec![Column::source("t", "x", ColumnData::Int(vec![2, 1]))]).unwrap();
+        let d =
+            DataFrame::new(vec![Column::source("t", "x", ColumnData::Int(vec![2, 1]))]).unwrap();
         let a = sort_by(&d, "x", true).unwrap();
         let b = sort_by(&d, "x", false).unwrap();
         assert_ne!(a.column_ids(), b.column_ids());

@@ -61,7 +61,9 @@ pub fn value_counts(df: &DataFrame, col: &str) -> Result<DataFrame> {
         Column::derived(col, column.id().derive(sig), ColumnData::Str(values)),
         Column::derived(
             "count",
-            column.id().derive(hash::combine(sig, hash::fnv1a(b"count"))),
+            column
+                .id()
+                .derive(hash::combine(sig, hash::fnv1a(b"count"))),
             ColumnData::Int(counts),
         ),
     ])
@@ -76,13 +78,18 @@ pub fn describe_signature() -> u64 {
 /// Per-numeric-column summary: mean, std, min, max, count.
 pub fn describe(df: &DataFrame) -> Result<DataFrame> {
     let sig = describe_signature();
-    let numeric: Vec<&Column> =
-        df.columns().iter().filter(|c| c.to_f64().is_ok()).collect();
+    let numeric: Vec<&Column> = df.columns().iter().filter(|c| c.to_f64().is_ok()).collect();
     if numeric.is_empty() {
         return Err(DfError::Empty("describe: no numeric columns".to_owned()));
     }
     let names: Vec<String> = numeric.iter().map(|c| c.name().to_owned()).collect();
-    let stats = [AggFn::Mean, AggFn::Std, AggFn::Min, AggFn::Max, AggFn::Count];
+    let stats = [
+        AggFn::Mean,
+        AggFn::Std,
+        AggFn::Min,
+        AggFn::Max,
+        AggFn::Count,
+    ];
     let ids = ColumnId::derive_many(&numeric.iter().map(|c| c.id()).collect::<Vec<_>>(), sig);
     let mut cols = vec![Column::derived("column", ids, ColumnData::Str(names))];
     for f in stats {
@@ -182,7 +189,10 @@ mod tests {
     #[test]
     fn scalar_aggregates() {
         let d = df();
-        assert_eq!(agg_column(&d, "x", AggFn::Mean).unwrap(), Scalar::Float(2.5));
+        assert_eq!(
+            agg_column(&d, "x", AggFn::Mean).unwrap(),
+            Scalar::Float(2.5)
+        );
         assert_eq!(agg_column(&d, "x", AggFn::Max).unwrap(), Scalar::Float(4.0));
         assert!(agg_column(&d, "s", AggFn::Mean).is_err());
     }
@@ -196,11 +206,18 @@ mod tests {
         )])
         .unwrap();
         let out = value_counts(&d, "k").unwrap();
-        assert_eq!(out.column("k").unwrap().strs().unwrap(), &["b".to_owned(), "a".to_owned()]);
+        assert_eq!(
+            out.column("k").unwrap().strs().unwrap(),
+            &["b".to_owned(), "a".to_owned()]
+        );
         assert_eq!(out.column("count").unwrap().ints().unwrap(), &[2, 1]);
         // Works on int columns too.
-        let d = DataFrame::new(vec![Column::source("t", "k", ColumnData::Int(vec![5, 5, 1]))])
-            .unwrap();
+        let d = DataFrame::new(vec![Column::source(
+            "t",
+            "k",
+            ColumnData::Int(vec![5, 5, 1]),
+        )])
+        .unwrap();
         assert_eq!(value_counts(&d, "k").unwrap().n_rows(), 2);
     }
 
@@ -208,7 +225,10 @@ mod tests {
     fn describe_covers_numeric_columns() {
         let out = describe(&df()).unwrap();
         assert_eq!(out.n_rows(), 3); // x, y, z — s skipped
-        assert_eq!(out.column_names(), vec!["column", "mean", "std", "min", "max", "count"]);
+        assert_eq!(
+            out.column_names(),
+            vec!["column", "mean", "std", "min", "max", "count"]
+        );
         assert_eq!(out.column("mean").unwrap().floats().unwrap()[0], 2.5);
     }
 

@@ -113,7 +113,12 @@ mod tests {
     use super::*;
 
     fn field(name: &str, dtype: DType) -> Field {
-        Field { name: name.into(), dtype, id: ColumnId(0), nbytes: 8 }
+        Field {
+            name: name.into(),
+            dtype,
+            id: ColumnId(0),
+            nbytes: 8,
+        }
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //!    from scratch converge to identical ids (determinism), and different
 //!    parameters diverge.
 
-use co_dataframe::ops::{
-    self, AggFn, BinFn, MapFn, Predicate,
-};
+use co_dataframe::ops::{self, AggFn, BinFn, MapFn, Predicate};
 use co_dataframe::{Column, ColumnData, DataFrame};
 use proptest::prelude::*;
 

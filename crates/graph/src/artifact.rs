@@ -93,9 +93,21 @@ mod tests {
     fn derived_identity_tracks_op_and_inputs() {
         let a = ArtifactId::source("a");
         let b = ArtifactId::source("b");
-        assert_eq!(ArtifactId::derived(1, &[a, b]), ArtifactId::derived(1, &[a, b]));
-        assert_ne!(ArtifactId::derived(1, &[a, b]), ArtifactId::derived(1, &[b, a]));
-        assert_ne!(ArtifactId::derived(1, &[a, b]), ArtifactId::derived(2, &[a, b]));
-        assert_ne!(ArtifactId::derived(1, &[a]), ArtifactId::derived(1, &[a, a]));
+        assert_eq!(
+            ArtifactId::derived(1, &[a, b]),
+            ArtifactId::derived(1, &[a, b])
+        );
+        assert_ne!(
+            ArtifactId::derived(1, &[a, b]),
+            ArtifactId::derived(1, &[b, a])
+        );
+        assert_ne!(
+            ArtifactId::derived(1, &[a, b]),
+            ArtifactId::derived(2, &[a, b])
+        );
+        assert_ne!(
+            ArtifactId::derived(1, &[a]),
+            ArtifactId::derived(1, &[a, a])
+        );
     }
 }

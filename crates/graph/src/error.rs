@@ -24,7 +24,11 @@ pub enum GraphError {
     BadOperationInput { op: String, message: String },
     /// An operation failed while running. `transient` failures (flaky
     /// external resources) may be retried; permanent ones may not.
-    OperationFailed { op: String, message: String, transient: bool },
+    OperationFailed {
+        op: String,
+        message: String,
+        transient: bool,
+    },
     /// An operation panicked while running; the panic was caught and
     /// isolated by the executor.
     OperationPanicked { op: String, message: String },
@@ -51,7 +55,11 @@ impl fmt::Display for GraphError {
             GraphError::BadOperationInput { op, message } => {
                 write!(f, "bad input to operation {op:?}: {message}")
             }
-            GraphError::OperationFailed { op, message, transient } => {
+            GraphError::OperationFailed {
+                op,
+                message,
+                transient,
+            } => {
                 let kind = if *transient { "transiently " } else { "" };
                 write!(f, "operation {op:?} {kind}failed: {message}")
             }
@@ -103,19 +111,30 @@ impl GraphError {
     /// A permanent operation failure (convenience constructor).
     #[must_use]
     pub fn op_failed(op: impl Into<String>, message: impl Into<String>) -> Self {
-        GraphError::OperationFailed { op: op.into(), message: message.into(), transient: false }
+        GraphError::OperationFailed {
+            op: op.into(),
+            message: message.into(),
+            transient: false,
+        }
     }
 
     /// A transient operation failure — eligible for retry.
     #[must_use]
     pub fn op_failed_transient(op: impl Into<String>, message: impl Into<String>) -> Self {
-        GraphError::OperationFailed { op: op.into(), message: message.into(), transient: true }
+        GraphError::OperationFailed {
+            op: op.into(),
+            message: message.into(),
+            transient: true,
+        }
     }
 
     /// An unmaterialized-artifact error with no node context.
     #[must_use]
     pub fn not_materialized(artifact: u64) -> Self {
-        GraphError::NotMaterialized { artifact, detail: String::new() }
+        GraphError::NotMaterialized {
+            artifact,
+            detail: String::new(),
+        }
     }
 
     /// Whether retrying the failed work could plausibly succeed.
@@ -125,7 +144,13 @@ impl GraphError {
     /// are permanent by definition.
     #[must_use]
     pub fn is_transient(&self) -> bool {
-        matches!(self, GraphError::OperationFailed { transient: true, .. })
+        matches!(
+            self,
+            GraphError::OperationFailed {
+                transient: true,
+                ..
+            }
+        )
     }
 }
 
@@ -139,14 +164,28 @@ mod tests {
         assert!(GraphError::NoTerminals.to_string().contains("terminal"));
         let e = GraphError::from_df("filter", &co_dataframe::DfError::ColumnNotFound("x".into()));
         assert!(e.to_string().contains("filter"));
-        assert!(GraphError::Io("disk full".into()).to_string().contains("disk full"));
-        let q = GraphError::Quarantined { op: "train".into(), failures: 3 };
+        assert!(GraphError::Io("disk full".into())
+            .to_string()
+            .contains("disk full"));
+        let q = GraphError::Quarantined {
+            op: "train".into(),
+            failures: 3,
+        };
         assert!(q.to_string().contains("quarantined"));
-        let p = GraphError::OperationPanicked { op: "udf".into(), message: "boom".into() };
+        let p = GraphError::OperationPanicked {
+            op: "udf".into(),
+            message: "boom".into(),
+        };
         assert!(p.to_string().contains("panicked"));
-        let d = GraphError::DeadlineExceeded { what: "operation \"slow\"".into(), seconds: 1.5 };
+        let d = GraphError::DeadlineExceeded {
+            what: "operation \"slow\"".into(),
+            seconds: 1.5,
+        };
         assert!(d.to_string().contains("deadline"));
-        let nm = GraphError::NotMaterialized { artifact: 7, detail: "node 2, op \"map\"".into() };
+        let nm = GraphError::NotMaterialized {
+            artifact: 7,
+            detail: "node 2, op \"map\"".into(),
+        };
         assert!(nm.to_string().contains("node 2"));
     }
 
@@ -154,9 +193,16 @@ mod tests {
     fn transient_classification() {
         assert!(GraphError::op_failed_transient("f", "flaky").is_transient());
         assert!(!GraphError::op_failed("f", "broken").is_transient());
-        assert!(!GraphError::OperationPanicked { op: "f".into(), message: "b".into() }
-            .is_transient());
-        assert!(!GraphError::Quarantined { op: "f".into(), failures: 3 }.is_transient());
+        assert!(!GraphError::OperationPanicked {
+            op: "f".into(),
+            message: "b".into()
+        }
+        .is_transient());
+        assert!(!GraphError::Quarantined {
+            op: "f".into(),
+            failures: 3
+        }
+        .is_transient());
         assert!(!GraphError::not_materialized(1).is_transient());
         assert!(!GraphError::Io("x".into()).is_transient());
     }

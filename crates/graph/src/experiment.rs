@@ -124,7 +124,9 @@ impl ExperimentGraph {
                 .iter()
                 .map(|n| dag.nodes()[n.0].artifact)
                 .collect();
-            let op_hash = dag.producer(crate::workload::NodeId(idx)).map(|e| e.op.op_hash());
+            let op_hash = dag
+                .producer(crate::workload::NodeId(idx))
+                .map(|e| e.op.op_hash());
 
             match self.vertices.get_mut(&id) {
                 Some(v) => {
@@ -222,12 +224,16 @@ impl ExperimentGraph {
 
     /// Vertex accessor.
     pub fn vertex(&self, id: ArtifactId) -> Result<&EgVertex> {
-        self.vertices.get(&id).ok_or(GraphError::UnknownArtifact(id.0))
+        self.vertices
+            .get(&id)
+            .ok_or(GraphError::UnknownArtifact(id.0))
     }
 
     /// Mutable vertex accessor.
     pub fn vertex_mut(&mut self, id: ArtifactId) -> Result<&mut EgVertex> {
-        self.vertices.get_mut(&id).ok_or(GraphError::UnknownArtifact(id.0))
+        self.vertices
+            .get_mut(&id)
+            .ok_or(GraphError::UnknownArtifact(id.0))
     }
 
     /// Whether the artifact's content is stored (`mat`).
@@ -280,8 +286,11 @@ impl ExperimentGraph {
         let mut costs: HashMap<ArtifactId, f64> = HashMap::with_capacity(self.vertices.len());
         for id in &self.topo {
             let v = &self.vertices[id];
-            let parent_cost: f64 =
-                v.parents.iter().map(|p| costs.get(p).copied().unwrap_or(0.0)).sum();
+            let parent_cost: f64 = v
+                .parents
+                .iter()
+                .map(|p| costs.get(p).copied().unwrap_or(0.0))
+                .sum();
             costs.insert(*id, v.compute_time + parent_cost);
         }
         costs
@@ -310,11 +319,14 @@ impl ExperimentGraph {
     /// pass.
     #[must_use]
     pub fn potentials(&self) -> HashMap<ArtifactId, f64> {
-        let mut potential: HashMap<ArtifactId, f64> =
-            HashMap::with_capacity(self.vertices.len());
+        let mut potential: HashMap<ArtifactId, f64> = HashMap::with_capacity(self.vertices.len());
         for id in self.topo.iter().rev() {
             let v = &self.vertices[id];
-            let own = if v.kind == NodeKind::Model { v.quality } else { 0.0 };
+            let own = if v.kind == NodeKind::Model {
+                v.quality
+            } else {
+                0.0
+            };
             let best_child = v
                 .children
                 .iter()
@@ -368,11 +380,19 @@ mod tests {
     }
 
     fn step(name: &'static str, marker: f64) -> Arc<Step> {
-        Arc::new(Step { name, cost_marker: marker, kind: NodeKind::Dataset })
+        Arc::new(Step {
+            name,
+            cost_marker: marker,
+            kind: NodeKind::Dataset,
+        })
     }
 
     fn model_step(name: &'static str, marker: f64) -> Arc<Step> {
-        Arc::new(Step { name, cost_marker: marker, kind: NodeKind::Model })
+        Arc::new(Step {
+            name,
+            cost_marker: marker,
+            kind: NodeKind::Model,
+        })
     }
 
     /// source -> a -> b(model q=0.8); source -> c.
@@ -455,7 +475,10 @@ mod tests {
         let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&dag).unwrap();
         let m_id = dag.nodes()[m.0].artifact;
-        assert_eq!(eg.exact_recreation_cost(m_id).unwrap(), 5.0 + 1.0 + 2.0 + 4.0);
+        assert_eq!(
+            eg.exact_recreation_cost(m_id).unwrap(),
+            5.0 + 1.0 + 2.0 + 4.0
+        );
         // The linear approximation counts the source twice.
         assert_eq!(eg.recreation_costs()[&m_id], 5.0 + 1.0 + 5.0 + 2.0 + 4.0);
     }

@@ -26,7 +26,10 @@ pub fn workload_to_dot(dag: &WorkloadDag) -> String {
             .clone()
             .or_else(|| dag.producer(NodeId(i)).map(|e| e.op.name().to_owned()))
             .unwrap_or_else(|| format!("n{i}"));
-        let mut attrs = vec![kind_style(node.kind).to_owned(), format!("label=\"{label}\"")];
+        let mut attrs = vec![
+            kind_style(node.kind).to_owned(),
+            format!("label=\"{label}\""),
+        ];
         if node.terminal {
             attrs.push("penwidth=2".to_owned());
         }
@@ -129,8 +132,12 @@ mod tests {
     fn dag() -> WorkloadDag {
         let mut dag = WorkloadDag::new();
         let s = dag.add_source("train.csv", Value::Aggregate(Scalar::Float(0.0)));
-        let a = dag.add_op(Arc::new(Step("clean", NodeKind::Dataset)), &[s]).unwrap();
-        let m = dag.add_op(Arc::new(Step("train_model", NodeKind::Model)), &[a]).unwrap();
+        let a = dag
+            .add_op(Arc::new(Step("clean", NodeKind::Dataset)), &[s])
+            .unwrap();
+        let m = dag
+            .add_op(Arc::new(Step("train_model", NodeKind::Model)), &[a])
+            .unwrap();
         dag.mark_terminal(m).unwrap();
         dag.annotate(a, 1.0, 100).unwrap();
         dag.annotate(m, 2.0, 50).unwrap();
@@ -157,7 +164,8 @@ mod tests {
     fn pruned_edges_are_dashed() {
         let mut d = dag();
         // Mark the model computed: its producing edge gets pruned.
-        d.set_computed(NodeId(2), Value::Aggregate(Scalar::Float(0.0))).unwrap();
+        d.set_computed(NodeId(2), Value::Aggregate(Scalar::Float(0.0)))
+            .unwrap();
         d.prune().unwrap();
         let dot = workload_to_dot(&d);
         assert!(dot.contains("n1 -> n2 [style=dashed]"));

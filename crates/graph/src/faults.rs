@@ -65,10 +65,13 @@ impl FaultInjector {
     /// Make the next `times` runs of the operation named `op` fail with
     /// the given kind. Replaces any previous schedule for `op`.
     pub fn fail_op(&self, op: &str, kind: FaultKind, times: usize) {
-        self.op_faults
-            .lock()
-            .unwrap()
-            .insert(op.to_owned(), OpFault { kind, remaining: times });
+        self.op_faults.lock().unwrap().insert(
+            op.to_owned(),
+            OpFault {
+                kind,
+                remaining: times,
+            },
+        );
     }
 
     /// Make every run of `op` fail with the given kind, forever.
@@ -78,7 +81,10 @@ impl FaultInjector {
 
     /// Delay every run of `op` by `latency`.
     pub fn inject_latency(&self, op: &str, latency: Duration) {
-        self.op_latency.lock().unwrap().insert(op.to_owned(), latency);
+        self.op_latency
+            .lock()
+            .unwrap()
+            .insert(op.to_owned(), latency);
     }
 
     /// Storage hook: counts the call and reports whether this load
@@ -114,9 +120,10 @@ impl FaultInjector {
         };
         match kind {
             None => Ok(()),
-            Some(FaultKind::Transient) => {
-                Err(GraphError::op_failed_transient(op, "injected transient fault"))
-            }
+            Some(FaultKind::Transient) => Err(GraphError::op_failed_transient(
+                op,
+                "injected transient fault",
+            )),
             Some(FaultKind::Permanent) => {
                 Err(GraphError::op_failed(op, "injected permanent fault"))
             }

@@ -91,8 +91,11 @@ pub fn to_snapshot(eg: &ExperimentGraph) -> String {
             v.compute_time,
             v.size,
             v.quality,
-            v.op_hash.map_or_else(|| "-".to_owned(), |h| format!("{h:x}")),
-            v.source_name.as_deref().map_or_else(|| "-".to_owned(), escape),
+            v.op_hash
+                .map_or_else(|| "-".to_owned(), |h| format!("{h:x}")),
+            v.source_name
+                .as_deref()
+                .map_or_else(|| "-".to_owned(), escape),
             escape(&v.description),
             parents.join(","),
         );
@@ -113,7 +116,10 @@ pub fn from_snapshot(text: &str, dedup: bool) -> Result<ExperimentGraph> {
         other => {
             return Err(parse_err(
                 1,
-                format!("expected header {HEADER:?}, found {:?}", other.map(|(_, l)| l)),
+                format!(
+                    "expected header {HEADER:?}, found {:?}",
+                    other.map(|(_, l)| l)
+                ),
             ))
         }
     }
@@ -124,19 +130,28 @@ pub fn from_snapshot(text: &str, dedup: bool) -> Result<ExperimentGraph> {
         }
         let fields: Vec<&str> = line.split('\t').collect();
         if fields.len() != 10 {
-            return Err(parse_err(lineno + 1, format!("expected 10 fields, got {}", fields.len())));
+            return Err(parse_err(
+                lineno + 1,
+                format!("expected 10 fields, got {}", fields.len()),
+            ));
         }
         let id = ArtifactId(
             u64::from_str_radix(fields[0], 16).map_err(|e| parse_err(lineno + 1, e.to_string()))?,
         );
         let kind = parse_kind(fields[1])
             .ok_or_else(|| parse_err(lineno + 1, format!("bad kind {:?}", fields[1])))?;
-        let frequency =
-            fields[2].parse().map_err(|_| parse_err(lineno + 1, "bad frequency"))?;
-        let compute_time =
-            fields[3].parse().map_err(|_| parse_err(lineno + 1, "bad compute time"))?;
-        let size = fields[4].parse().map_err(|_| parse_err(lineno + 1, "bad size"))?;
-        let quality = fields[5].parse().map_err(|_| parse_err(lineno + 1, "bad quality"))?;
+        let frequency = fields[2]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad frequency"))?;
+        let compute_time = fields[3]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad compute time"))?;
+        let size = fields[4]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad size"))?;
+        let quality = fields[5]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad quality"))?;
         let op_hash = if fields[6] == "-" {
             None
         } else {
@@ -145,8 +160,11 @@ pub fn from_snapshot(text: &str, dedup: bool) -> Result<ExperimentGraph> {
                     .map_err(|e| parse_err(lineno + 1, e.to_string()))?,
             )
         };
-        let source_name =
-            if fields[7] == "-" { None } else { Some(unescape(fields[7])) };
+        let source_name = if fields[7] == "-" {
+            None
+        } else {
+            Some(unescape(fields[7]))
+        };
         let description = unescape(fields[8]);
         let parents: Vec<ArtifactId> = if fields[9].is_empty() {
             Vec::new()
@@ -227,9 +245,15 @@ mod tests {
     fn populated() -> ExperimentGraph {
         let mut dag = WorkloadDag::new();
         let s = dag.add_source("train\tcsv", Value::Aggregate(Scalar::Float(0.0)));
-        let a = dag.add_op(Arc::new(Step("clean", NodeKind::Dataset)), &[s]).unwrap();
-        let b = dag.add_op(Arc::new(Step("other", NodeKind::Dataset)), &[s]).unwrap();
-        let m = dag.add_op(Arc::new(Step("train", NodeKind::Model)), &[a, b]).unwrap();
+        let a = dag
+            .add_op(Arc::new(Step("clean", NodeKind::Dataset)), &[s])
+            .unwrap();
+        let b = dag
+            .add_op(Arc::new(Step("other", NodeKind::Dataset)), &[s])
+            .unwrap();
+        let m = dag
+            .add_op(Arc::new(Step("train", NodeKind::Model)), &[a, b])
+            .unwrap();
         dag.mark_terminal(m).unwrap();
         dag.annotate(a, 1.5, 100).unwrap();
         dag.annotate(b, 0.5, 200).unwrap();

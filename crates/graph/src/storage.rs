@@ -17,7 +17,7 @@
 use crate::artifact::ArtifactId;
 use crate::faults::FaultInjector;
 use crate::value::Value;
-use co_dataframe::{Column, ColumnData, ColumnId, DataFrame, DType};
+use co_dataframe::{Column, ColumnData, ColumnId, DType, DataFrame};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -42,7 +42,10 @@ enum StoredArtifact {
     /// deduplication is disabled).
     Whole(Value),
     /// A dataset stored as schema + references into the column store.
-    Dataset { columns: Vec<ColumnRef>, nbytes: u64 },
+    Dataset {
+        columns: Vec<ColumnRef>,
+        nbytes: u64,
+    },
 }
 
 /// The artifact content store.
@@ -128,12 +131,18 @@ impl StorageManager {
                         dtype: c.dtype(),
                     });
                 }
-                self.artifacts
-                    .insert(id, StoredArtifact::Dataset { columns: refs, nbytes: nominal });
+                self.artifacts.insert(
+                    id,
+                    StoredArtifact::Dataset {
+                        columns: refs,
+                        nbytes: nominal,
+                    },
+                );
                 added
             }
             other => {
-                self.artifacts.insert(id, StoredArtifact::Whole(other.clone()));
+                self.artifacts
+                    .insert(id, StoredArtifact::Whole(other.clone()));
                 nominal
             }
         };
@@ -196,7 +205,7 @@ impl StorageManager {
                             .map(|sc| Column::from_arc(&r.name, r.id, Arc::clone(&sc.data)))
                     })
                     .collect();
-                DataFrame::new(cols?).ok().map(Value::Dataset)
+                DataFrame::new(cols?).ok().map(Value::dataset)
             }
         }
     }
@@ -259,13 +268,13 @@ mod tests {
     fn dedup_shares_columns_between_artifacts() {
         let mut sm = StorageManager::new(true);
         let df = frame();
-        let added1 = sm.store(aid(1), &Value::Dataset(df.clone()));
+        let added1 = sm.store(aid(1), &Value::dataset(df.clone()));
         assert_eq!(added1, df.nbytes() as u64);
 
         // A projection shares both column ids with the original.
         let proj = df.select(&["b", "a"]).unwrap();
-        assert_eq!(sm.marginal_bytes(&Value::Dataset(proj.clone())), 0);
-        let added2 = sm.store(aid(2), &Value::Dataset(proj.clone()));
+        assert_eq!(sm.marginal_bytes(&Value::dataset(proj.clone())), 0);
+        let added2 = sm.store(aid(2), &Value::dataset(proj.clone()));
         assert_eq!(added2, 0);
 
         assert_eq!(sm.unique_bytes(), df.nbytes() as u64);
@@ -277,7 +286,7 @@ mod tests {
     fn reassembly_round_trips() {
         let mut sm = StorageManager::new(true);
         let df = frame();
-        sm.store(aid(1), &Value::Dataset(df.clone()));
+        sm.store(aid(1), &Value::dataset(df.clone()));
         let back = sm.get(aid(1)).unwrap();
         let bdf = back.as_dataset().unwrap();
         assert_eq!(bdf.column_names(), df.column_names());
@@ -291,8 +300,8 @@ mod tests {
         let mut sm = StorageManager::new(true);
         let df = frame();
         let proj = df.select(&["a"]).unwrap();
-        sm.store(aid(1), &Value::Dataset(df.clone()));
-        sm.store(aid(2), &Value::Dataset(proj));
+        sm.store(aid(1), &Value::dataset(df.clone()));
+        sm.store(aid(2), &Value::dataset(proj));
         // Evicting the full frame frees only the column no longer shared.
         let freed = sm.evict(aid(1));
         assert_eq!(freed, df.column("b").unwrap().nbytes() as u64);
@@ -311,12 +320,12 @@ mod tests {
     fn derived_columns_add_only_their_bytes() {
         let mut sm = StorageManager::new(true);
         let df = frame();
-        sm.store(aid(1), &Value::Dataset(df.clone()));
+        sm.store(aid(1), &Value::dataset(df.clone()));
         // A map adds one derived column; storing the result adds only it.
         let mapped = ops::map_column(&df, "b", &ops::MapFn::Abs, "b_abs").unwrap();
-        let marginal = sm.marginal_bytes(&Value::Dataset(mapped.clone()));
+        let marginal = sm.marginal_bytes(&Value::dataset(mapped.clone()));
         assert_eq!(marginal, mapped.column("b_abs").unwrap().nbytes() as u64);
-        let added = sm.store(aid(2), &Value::Dataset(mapped));
+        let added = sm.store(aid(2), &Value::dataset(mapped));
         assert_eq!(added, marginal);
     }
 
@@ -325,8 +334,8 @@ mod tests {
         let mut sm = StorageManager::new(false);
         let df = frame();
         let proj = df.select(&["a"]).unwrap();
-        sm.store(aid(1), &Value::Dataset(df.clone()));
-        let added = sm.store(aid(2), &Value::Dataset(proj.clone()));
+        sm.store(aid(1), &Value::dataset(df.clone()));
+        let added = sm.store(aid(2), &Value::dataset(proj.clone()));
         assert_eq!(added, proj.nbytes() as u64);
         assert_eq!(sm.unique_bytes(), sm.logical_bytes());
     }

@@ -1,8 +1,17 @@
 //! Artifact content: the `Value` a workload node evaluates to.
+//!
+//! Dataset and model payloads are `Arc`-backed, so cloning a `Value` is a
+//! pointer bump, never a deep copy. This is what lets the server pipeline
+//! hand executed artifacts from the lock-free execution stage to the
+//! updater/materializer (and offer every computed dataframe to the
+//! materializer) without copying column data: the same heap allocation is
+//! shared by the workload DAG, the content store, and any in-flight
+//! snapshot of planned loads.
 
 use crate::artifact::NodeKind;
 use co_dataframe::{DataFrame, Scalar};
 use co_ml::TrainedModel;
+use std::sync::Arc;
 
 /// A trained model plus the quality attribute `q` of its Experiment Graph
 /// vertex (paper §5: `0 <= q <= 1`, assigned by the evaluation function).
@@ -19,22 +28,38 @@ impl ModelArtifact {
     /// Wrap a model with a quality score (clamped into `[0, 1]`).
     #[must_use]
     pub fn new(model: TrainedModel, quality: f64) -> Self {
-        ModelArtifact { model, quality: quality.clamp(0.0, 1.0) }
+        ModelArtifact {
+            model,
+            quality: quality.clamp(0.0, 1.0),
+        }
     }
 }
 
-/// The content of an artifact.
+/// The content of an artifact. Cloning is cheap: datasets and models are
+/// behind `Arc`, aggregates are inline scalars.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
-    /// A dataframe.
-    Dataset(DataFrame),
+    /// A dataframe (shared, zero-copy clone).
+    Dataset(Arc<DataFrame>),
     /// A scalar (evaluation score, row count, ...).
     Aggregate(Scalar),
-    /// A trained model with its quality.
-    Model(ModelArtifact),
+    /// A trained model with its quality (shared, zero-copy clone).
+    Model(Arc<ModelArtifact>),
 }
 
 impl Value {
+    /// Wrap a dataframe.
+    #[must_use]
+    pub fn dataset(df: DataFrame) -> Self {
+        Value::Dataset(Arc::new(df))
+    }
+
+    /// Wrap a model artifact.
+    #[must_use]
+    pub fn model(m: ModelArtifact) -> Self {
+        Value::Model(Arc::new(m))
+    }
+
     /// The artifact kind of this content.
     #[must_use]
     pub fn kind(&self) -> NodeKind {
@@ -77,6 +102,15 @@ impl Value {
         }
     }
 
+    /// The shared dataframe handle, if this is a dataset.
+    #[must_use]
+    pub fn as_dataset_arc(&self) -> Option<&Arc<DataFrame>> {
+        match self {
+            Value::Dataset(df) => Some(df),
+            _ => None,
+        }
+    }
+
     /// Borrow the model artifact, if this is a model.
     #[must_use]
     pub fn as_model(&self) -> Option<&ModelArtifact> {
@@ -96,6 +130,18 @@ impl Value {
     }
 }
 
+impl From<DataFrame> for Value {
+    fn from(df: DataFrame) -> Self {
+        Value::dataset(df)
+    }
+}
+
+impl From<ModelArtifact> for Value {
+    fn from(m: ModelArtifact) -> Self {
+        Value::model(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,9 +151,9 @@ mod tests {
 
     #[test]
     fn kinds_and_sizes() {
-        let df = DataFrame::new(vec![Column::source("t", "a", ColumnData::Int(vec![1, 2]))])
-            .unwrap();
-        let v = Value::Dataset(df);
+        let df =
+            DataFrame::new(vec![Column::source("t", "a", ColumnData::Int(vec![1, 2]))]).unwrap();
+        let v = Value::dataset(df);
         assert_eq!(v.kind(), NodeKind::Dataset);
         assert_eq!(v.nbytes(), 16);
         assert!(v.as_dataset().is_some());
@@ -118,10 +164,28 @@ mod tests {
         assert_eq!(a.as_aggregate(), Some(&Scalar::Float(0.9)));
 
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
-        let m = LogisticRegression::new(LogisticParams::default()).fit(&x, &[0.0, 1.0]).unwrap();
-        let v = Value::Model(ModelArtifact::new(TrainedModel::Logistic(m), 1.5));
+        let m = LogisticRegression::new(LogisticParams::default())
+            .fit(&x, &[0.0, 1.0])
+            .unwrap();
+        let v = Value::model(ModelArtifact::new(TrainedModel::Logistic(m), 1.5));
         assert_eq!(v.kind(), NodeKind::Model);
         assert_eq!(v.as_model().unwrap().quality, 1.0); // clamped
         assert!(v.description().starts_with("logistic:"));
+    }
+
+    #[test]
+    fn clones_share_the_payload() {
+        let df = DataFrame::new(vec![Column::source(
+            "t",
+            "a",
+            ColumnData::Float((0..10_000).map(f64::from).collect()),
+        )])
+        .unwrap();
+        let v = Value::dataset(df);
+        let w = v.clone();
+        // Zero-copy: both values point at the same DataFrame allocation.
+        let (a, b) = (v.as_dataset_arc().unwrap(), w.as_dataset_arc().unwrap());
+        assert!(Arc::ptr_eq(a, b));
+        assert_eq!(Arc::strong_count(a), 2);
     }
 }

@@ -124,7 +124,12 @@ impl WorkloadDag {
             terminal: false,
             producer: Some(self.edges.len()),
         });
-        self.edges.push(WorkloadEdge { op, inputs: inputs.to_vec(), output: id, active: true });
+        self.edges.push(WorkloadEdge {
+            op,
+            inputs: inputs.to_vec(),
+            output: id,
+            active: true,
+        });
         self.by_artifact.insert(artifact, id);
         Ok(id)
     }
@@ -173,7 +178,9 @@ impl WorkloadDag {
 
     /// Mutable node accessor.
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut WorkloadNode> {
-        self.nodes.get_mut(id.0).ok_or(GraphError::UnknownNode(id.0))
+        self.nodes
+            .get_mut(id.0)
+            .ok_or(GraphError::UnknownNode(id.0))
     }
 
     /// All nodes in topological (= index) order.
@@ -191,13 +198,18 @@ impl WorkloadDag {
     /// The producing edge of a node, if it has one.
     #[must_use]
     pub fn producer(&self, id: NodeId) -> Option<&WorkloadEdge> {
-        self.nodes.get(id.0).and_then(|n| n.producer).map(|e| &self.edges[e])
+        self.nodes
+            .get(id.0)
+            .and_then(|n| n.producer)
+            .map(|e| &self.edges[e])
     }
 
     /// The parents (operation inputs) of a node.
     #[must_use]
     pub fn parents(&self, id: NodeId) -> Vec<NodeId> {
-        self.producer(id).map(|e| e.inputs.clone()).unwrap_or_default()
+        self.producer(id)
+            .map(|e| e.inputs.clone())
+            .unwrap_or_default()
     }
 
     /// Source nodes (no producer).
@@ -212,7 +224,10 @@ impl WorkloadDag {
     /// Terminal nodes.
     #[must_use]
     pub fn terminals(&self) -> Vec<NodeId> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].terminal).map(NodeId).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].terminal)
+            .map(NodeId)
+            .collect()
     }
 
     /// Look up a node by artifact identity.
@@ -287,7 +302,10 @@ mod tests {
             NodeKind::Aggregate
         }
         fn run(&self, inputs: &[&Value]) -> Result<Value> {
-            let x = inputs[0].as_aggregate().and_then(Scalar::as_f64).unwrap_or(0.0);
+            let x = inputs[0]
+                .as_aggregate()
+                .and_then(Scalar::as_f64)
+                .unwrap_or(0.0);
             Ok(Value::Aggregate(Scalar::Float(x + 1.0)))
         }
     }
@@ -304,8 +322,14 @@ mod tests {
             NodeKind::Aggregate
         }
         fn run(&self, inputs: &[&Value]) -> Result<Value> {
-            let a = inputs[0].as_aggregate().and_then(Scalar::as_f64).unwrap_or(0.0);
-            let b = inputs[1].as_aggregate().and_then(Scalar::as_f64).unwrap_or(0.0);
+            let a = inputs[0]
+                .as_aggregate()
+                .and_then(Scalar::as_f64)
+                .unwrap_or(0.0);
+            let b = inputs[1]
+                .as_aggregate()
+                .and_then(Scalar::as_f64)
+                .unwrap_or(0.0);
             Ok(Value::Aggregate(Scalar::Float(a + b)))
         }
     }

@@ -4,8 +4,7 @@
 
 use co_dataframe::{Column, ColumnData, DataFrame, Scalar};
 use co_graph::{
-    snapshot, ArtifactId, ExperimentGraph, NodeKind, Operation, StorageManager, Value,
-    WorkloadDag,
+    snapshot, ArtifactId, ExperimentGraph, NodeKind, Operation, StorageManager, Value, WorkloadDag,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -34,7 +33,11 @@ fn build_dag(specs: &[Spec]) -> WorkloadDag {
     let src = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
     let mut nodes = vec![src];
     for (i, (pseed, two, model, t, s)) in specs.iter().enumerate() {
-        let kind = if *model { NodeKind::Model } else { NodeKind::Dataset };
+        let kind = if *model {
+            NodeKind::Model
+        } else {
+            NodeKind::Dataset
+        };
         let op = Arc::new(Tag(format!("op{i}"), kind));
         let p1 = nodes[pseed % nodes.len()];
         let node = if *two && nodes.len() > 1 {
@@ -47,7 +50,8 @@ fn build_dag(specs: &[Spec]) -> WorkloadDag {
         } else {
             dag.add_op(op, &[p1]).unwrap()
         };
-        dag.annotate(node, f64::from(*t) / 16.0, u64::from(*s)).unwrap();
+        dag.annotate(node, f64::from(*t) / 16.0, u64::from(*s))
+            .unwrap();
         if *model {
             dag.node_mut(node).unwrap().quality = f64::from(*t) / 255.0;
         }
@@ -59,7 +63,13 @@ fn build_dag(specs: &[Spec]) -> WorkloadDag {
 
 fn arb_specs() -> impl Strategy<Value = Vec<Spec>> {
     proptest::collection::vec(
-        (0usize..100, proptest::bool::ANY, proptest::bool::ANY, 0u8..255, 0u16..1000),
+        (
+            0usize..100,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+            0u8..255,
+            0u16..1000,
+        ),
         1..30,
     )
 }
@@ -171,8 +181,8 @@ proptest! {
         let mut expected_unique = 0u64;
         let mut expected_logical = 0u64;
         for (i, f) in frames.iter().enumerate() {
-            let marginal = sm.marginal_bytes(&Value::Dataset(f.clone()));
-            let added = sm.store(ArtifactId(i as u64), &Value::Dataset(f.clone()));
+            let marginal = sm.marginal_bytes(&Value::dataset(f.clone()));
+            let added = sm.store(ArtifactId(i as u64), &Value::dataset(f.clone()));
             prop_assert_eq!(marginal, added);
             expected_unique += added;
             expected_logical += f.nbytes() as u64;
@@ -201,7 +211,7 @@ proptest! {
         .unwrap();
         for dedup in [true, false] {
             let mut sm = StorageManager::new(dedup);
-            sm.store(ArtifactId(1), &Value::Dataset(df.clone()));
+            sm.store(ArtifactId(1), &Value::dataset(df.clone()));
             let back = sm.get(ArtifactId(1)).unwrap();
             let bdf = back.as_dataset().unwrap();
             prop_assert_eq!(bdf.column("a").unwrap().ints().unwrap(), ints.as_slice());

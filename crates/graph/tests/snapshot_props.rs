@@ -84,8 +84,7 @@ proptest! {
 
 #[test]
 fn missing_snapshot_file_is_a_graph_io_error() {
-    let Err(err) = snapshot::load(std::path::Path::new("/nonexistent/dir/x.egsnap"), true)
-    else {
+    let Err(err) = snapshot::load(std::path::Path::new("/nonexistent/dir/x.egsnap"), true) else {
         panic!("loading a missing snapshot succeeded");
     };
     assert!(matches!(err, GraphError::Io(_)), "{err}");

@@ -22,7 +22,11 @@ pub struct KMeansParams {
 
 impl Default for KMeansParams {
     fn default() -> Self {
-        KMeansParams { k: 4, max_iter: 50, seed: 42 }
+        KMeansParams {
+            k: 4,
+            max_iter: 50,
+            seed: 42,
+        }
     }
 }
 
@@ -79,9 +83,7 @@ impl KMeans {
         // proportional to squared distance from the nearest chosen one.
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
         centroids.push(x.row(rng.random_range(0..n)).to_vec());
-        let mut dist2: Vec<f64> = (0..n)
-            .map(|i| sq_dist(x.row(i), &centroids[0]))
-            .collect();
+        let mut dist2: Vec<f64> = (0..n).map(|i| sq_dist(x.row(i), &centroids[0])).collect();
         while centroids.len() < k {
             let total: f64 = dist2.iter().sum();
             let next = if total <= 0.0 {
@@ -235,7 +237,12 @@ mod tests {
     #[test]
     fn recovers_separated_blobs() {
         let x = blobs();
-        let model = KMeans::new(KMeansParams { k: 3, ..KMeansParams::default() }).fit(&x).unwrap();
+        let model = KMeans::new(KMeansParams {
+            k: 3,
+            ..KMeansParams::default()
+        })
+        .fit(&x)
+        .unwrap();
         let labels = model.predict(&x);
         // All members of a blob share a label, and blobs differ.
         assert_eq!(labels[0], labels[3]);
@@ -257,7 +264,12 @@ mod tests {
     #[test]
     fn transform_gives_k_distance_features() {
         let x = blobs();
-        let model = KMeans::new(KMeansParams { k: 3, ..KMeansParams::default() }).fit(&x).unwrap();
+        let model = KMeans::new(KMeansParams {
+            k: 3,
+            ..KMeansParams::default()
+        })
+        .fit(&x)
+        .unwrap();
         let features = model.transform(&x);
         assert_eq!(features.rows(), 30);
         assert_eq!(features.cols(), 3);
@@ -273,15 +285,35 @@ mod tests {
     #[test]
     fn more_clusters_reduce_inertia() {
         let x = blobs();
-        let k2 = KMeans::new(KMeansParams { k: 2, ..KMeansParams::default() }).fit(&x).unwrap();
-        let k3 = KMeans::new(KMeansParams { k: 3, ..KMeansParams::default() }).fit(&x).unwrap();
+        let k2 = KMeans::new(KMeansParams {
+            k: 2,
+            ..KMeansParams::default()
+        })
+        .fit(&x)
+        .unwrap();
+        let k3 = KMeans::new(KMeansParams {
+            k: 3,
+            ..KMeansParams::default()
+        })
+        .fit(&x)
+        .unwrap();
         assert!(k3.inertia < k2.inertia);
     }
 
     #[test]
     fn validates_inputs() {
         let x = blobs();
-        assert!(KMeans::new(KMeansParams { k: 0, ..KMeansParams::default() }).fit(&x).is_err());
-        assert!(KMeans::new(KMeansParams { k: 31, ..KMeansParams::default() }).fit(&x).is_err());
+        assert!(KMeans::new(KMeansParams {
+            k: 0,
+            ..KMeansParams::default()
+        })
+        .fit(&x)
+        .is_err());
+        assert!(KMeans::new(KMeansParams {
+            k: 31,
+            ..KMeansParams::default()
+        })
+        .fit(&x)
+        .is_err());
     }
 }

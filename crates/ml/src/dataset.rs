@@ -27,7 +27,9 @@ pub fn supervised(df: &DataFrame, label: &str) -> Result<Supervised> {
         if col.name() == label {
             continue;
         }
-        let Ok(mut values) = col.to_f64() else { continue };
+        let Ok(mut values) = col.to_f64() else {
+            continue;
+        };
         let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
         let mean = if present.is_empty() {
             0.0
@@ -46,16 +48,24 @@ pub fn supervised(df: &DataFrame, label: &str) -> Result<Supervised> {
         return Err(MlError::DegenerateData("no numeric feature columns".into()));
     }
     if y.iter().any(|v| v.is_nan()) {
-        return Err(MlError::DegenerateData(format!("label column {label:?} has missing values")));
+        return Err(MlError::DegenerateData(format!(
+            "label column {label:?} has missing values"
+        )));
     }
-    Ok(Supervised { x: Matrix::from_columns(&columns)?, y, feature_names })
+    Ok(Supervised {
+        x: Matrix::from_columns(&columns)?,
+        y,
+        feature_names,
+    })
 }
 
 /// Feature-only matrix from all numeric columns (`NaN` -> column mean).
 pub fn features_only(df: &DataFrame) -> Result<Matrix> {
     let mut columns: Vec<Vec<f64>> = Vec::new();
     for col in df.columns() {
-        let Ok(mut values) = col.to_f64() else { continue };
+        let Ok(mut values) = col.to_f64() else {
+            continue;
+        };
         let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
         let mean = if present.is_empty() {
             0.0

@@ -10,7 +10,11 @@ pub type Result<T> = std::result::Result<T, MlError>;
 pub enum MlError {
     /// Feature matrix and label vector lengths disagree, or a matrix shape
     /// is inconsistent.
-    ShapeMismatch { context: String, expected: usize, found: usize },
+    ShapeMismatch {
+        context: String,
+        expected: usize,
+        found: usize,
+    },
     /// Training data is empty or degenerate (e.g. a single class).
     DegenerateData(String),
     /// A hyperparameter is out of range.
@@ -25,8 +29,15 @@ pub enum MlError {
 impl fmt::Display for MlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MlError::ShapeMismatch { context, expected, found } => {
-                write!(f, "shape mismatch in {context}: expected {expected}, found {found}")
+            MlError::ShapeMismatch {
+                context,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             MlError::DegenerateData(msg) => write!(f, "degenerate training data: {msg}"),
             MlError::InvalidParam(msg) => write!(f, "invalid hyperparameter: {msg}"),
@@ -57,7 +68,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = MlError::ShapeMismatch { context: "fit".into(), expected: 3, found: 2 };
+        let e = MlError::ShapeMismatch {
+            context: "fit".into(),
+            expected: 3,
+            found: 2,
+        };
         assert!(e.to_string().contains("fit"));
         let e = MlError::from(co_dataframe::DfError::ColumnNotFound("x".into()));
         assert!(std::error::Error::source(&e).is_some());

@@ -62,8 +62,10 @@ pub fn impute(df: &DataFrame, strategy: ImputeStrategy, columns: &[&str]) -> Res
                 }
             }
         };
-        let filled: Vec<f64> =
-            values.into_iter().map(|v| if v.is_nan() { fill } else { v }).collect();
+        let filled: Vec<f64> = values
+            .into_iter()
+            .map(|v| if v.is_nan() { fill } else { v })
+            .collect();
         out = out.with_column(Column::derived(
             name,
             col.id().derive(sig),
@@ -79,7 +81,11 @@ mod tests {
 
     fn df() -> DataFrame {
         DataFrame::new(vec![
-            Column::source("t", "x", ColumnData::Float(vec![1.0, f64::NAN, 3.0, f64::NAN])),
+            Column::source(
+                "t",
+                "x",
+                ColumnData::Float(vec![1.0, f64::NAN, 3.0, f64::NAN]),
+            ),
             Column::source("t", "k", ColumnData::Int(vec![1, 2, 3, 4])),
         ])
         .unwrap()
@@ -88,11 +94,20 @@ mod tests {
     #[test]
     fn mean_and_median_and_constant() {
         let out = impute(&df(), ImputeStrategy::Mean, &["x"]).unwrap();
-        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[1.0, 2.0, 3.0, 2.0]);
+        assert_eq!(
+            out.column("x").unwrap().floats().unwrap(),
+            &[1.0, 2.0, 3.0, 2.0]
+        );
         let out = impute(&df(), ImputeStrategy::Median, &["x"]).unwrap();
-        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[1.0, 2.0, 3.0, 2.0]);
+        assert_eq!(
+            out.column("x").unwrap().floats().unwrap(),
+            &[1.0, 2.0, 3.0, 2.0]
+        );
         let out = impute(&df(), ImputeStrategy::Constant(-1.0), &["x"]).unwrap();
-        assert_eq!(out.column("x").unwrap().floats().unwrap(), &[1.0, -1.0, 3.0, -1.0]);
+        assert_eq!(
+            out.column("x").unwrap().floats().unwrap(),
+            &[1.0, -1.0, 3.0, -1.0]
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct PcaParams {
 
 impl Default for PcaParams {
     fn default() -> Self {
-        PcaParams { n_components: 2, n_iter: 50 }
+        PcaParams {
+            n_components: 2,
+            n_iter: 50,
+        }
     }
 }
 
@@ -108,7 +111,9 @@ pub fn pca(df: &DataFrame, columns: &[&str], params: &PcaParams) -> Result<DataF
     let mut components: Vec<Vec<f64>> = Vec::with_capacity(params.n_components);
     for k in 0..params.n_components {
         // Deterministic start vector (basis-dependent, varies per k).
-        let mut v: Vec<f64> = (0..d).map(|i| if (i + k) % 2 == 0 { 1.0 } else { 0.5 }).collect();
+        let mut v: Vec<f64> = (0..d)
+            .map(|i| if (i + k) % 2 == 0 { 1.0 } else { 0.5 })
+            .collect();
         normalize(&mut v);
         for _ in 0..params.n_iter {
             let mut next = vec![0.0; d];
@@ -178,8 +183,15 @@ mod tests {
 
     #[test]
     fn first_component_captures_dominant_direction() {
-        let out = pca(&df(), &["a", "b", "c"], &PcaParams { n_components: 2, n_iter: 100 })
-            .unwrap();
+        let out = pca(
+            &df(),
+            &["a", "b", "c"],
+            &PcaParams {
+                n_components: 2,
+                n_iter: 100,
+            },
+        )
+        .unwrap();
         let pc0 = out.column("pc0").unwrap().floats().unwrap();
         let a: Vec<f64> = (0..50).map(|i| i as f64 - 24.5).collect();
         // pc0 should be (anti)correlated with the dominant a/b direction.
@@ -202,8 +214,15 @@ mod tests {
             Column::source("t", "c", ColumnData::Float(c)),
         ])
         .unwrap();
-        let out =
-            pca(&d, &["a", "b", "c"], &PcaParams { n_components: 3, n_iter: 300 }).unwrap();
+        let out = pca(
+            &d,
+            &["a", "b", "c"],
+            &PcaParams {
+                n_components: 3,
+                n_iter: 300,
+            },
+        )
+        .unwrap();
         let var = |name: &str| {
             let v = out.column(name).unwrap().floats().unwrap();
             let m = v.iter().sum::<f64>() / v.len() as f64;
@@ -223,7 +242,23 @@ mod tests {
             a.column("pc0").unwrap().floats().unwrap(),
             b.column("pc0").unwrap().floats().unwrap()
         );
-        assert!(pca(&df(), &["a"], &PcaParams { n_components: 2, n_iter: 10 }).is_err());
-        assert!(pca(&df(), &["a"], &PcaParams { n_components: 0, n_iter: 10 }).is_err());
+        assert!(pca(
+            &df(),
+            &["a"],
+            &PcaParams {
+                n_components: 2,
+                n_iter: 10
+            }
+        )
+        .is_err());
+        assert!(pca(
+            &df(),
+            &["a"],
+            &PcaParams {
+                n_components: 0,
+                n_iter: 10
+            }
+        )
+        .is_err());
     }
 }

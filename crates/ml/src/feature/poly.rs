@@ -17,7 +17,9 @@ pub fn polynomial_signature(columns: &[&str]) -> u64 {
 /// preserved); each new column derives from its source column ids.
 pub fn polynomial_features(df: &DataFrame, columns: &[&str]) -> Result<DataFrame> {
     if columns.is_empty() {
-        return Err(MlError::InvalidParam("polynomial_features needs columns".into()));
+        return Err(MlError::InvalidParam(
+            "polynomial_features needs columns".into(),
+        ));
     }
     let sig = polynomial_signature(columns);
     let mut out = df.clone();

@@ -45,8 +45,7 @@ pub fn scale(df: &DataFrame, kind: ScaleKind, columns: &[&str]) -> Result<DataFr
             ScaleKind::Standard => {
                 let n = present.len().max(1) as f64;
                 let mean = present.iter().sum::<f64>() / n;
-                let std =
-                    (present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+                let std = (present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
                 values
                     .iter()
                     .map(|&v| if std > 0.0 { (v - mean) / std } else { 0.0 })
@@ -91,7 +90,10 @@ mod tests {
         assert!((v[1]).abs() < 1e-12);
         assert!((v.iter().sum::<f64>()).abs() < 1e-12);
         // Untouched column keeps id.
-        assert_eq!(out.column("k").unwrap().id(), df().column("k").unwrap().id());
+        assert_eq!(
+            out.column("k").unwrap().id(),
+            df().column("k").unwrap().id()
+        );
     }
 
     #[test]

@@ -65,8 +65,8 @@ fn f_score(values: &[f64], y: &[f64]) -> f64 {
         g0.iter().sum::<f64>() / g0.len() as f64,
         g1.iter().sum::<f64>() / g1.len() as f64,
     );
-    let between = g0.len() as f64 * (m0 - mean_all).powi(2)
-        + g1.len() as f64 * (m1 - mean_all).powi(2);
+    let between =
+        g0.len() as f64 * (m0 - mean_all).powi(2) + g1.len() as f64 * (m1 - mean_all).powi(2);
     let within: f64 = g0.iter().map(|v| (v - m0).powi(2)).sum::<f64>()
         + g1.iter().map(|v| (v - m1).powi(2)).sum::<f64>();
     if within <= 0.0 {
@@ -84,9 +84,21 @@ mod tests {
     fn df() -> DataFrame {
         // "good" separates classes perfectly, "weak" partially, "noise" not.
         DataFrame::new(vec![
-            Column::source("t", "good", ColumnData::Float(vec![0.0, 0.1, 0.2, 5.0, 5.1, 5.2])),
-            Column::source("t", "noise", ColumnData::Float(vec![1.0, 2.0, 1.5, 1.2, 1.8, 1.4])),
-            Column::source("t", "weak", ColumnData::Float(vec![0.0, 1.0, 0.5, 0.8, 1.5, 1.2])),
+            Column::source(
+                "t",
+                "good",
+                ColumnData::Float(vec![0.0, 0.1, 0.2, 5.0, 5.1, 5.2]),
+            ),
+            Column::source(
+                "t",
+                "noise",
+                ColumnData::Float(vec![1.0, 2.0, 1.5, 1.2, 1.8, 1.4]),
+            ),
+            Column::source(
+                "t",
+                "weak",
+                ColumnData::Float(vec![0.0, 1.0, 0.5, 0.8, 1.5, 1.2]),
+            ),
             Column::source("t", "y", ColumnData::Int(vec![0, 0, 0, 1, 1, 1])),
         ])
         .unwrap()
@@ -104,7 +116,10 @@ mod tests {
     fn selection_preserves_ids() {
         let d = df();
         let out = select_k_best(&d, "y", 2).unwrap();
-        assert_eq!(out.column("good").unwrap().id(), d.column("good").unwrap().id());
+        assert_eq!(
+            out.column("good").unwrap().id(),
+            d.column("good").unwrap().id()
+        );
     }
 
     #[test]
@@ -123,7 +138,10 @@ mod tests {
     #[test]
     fn f_score_degenerate_cases() {
         assert_eq!(f_score(&[1.0, 2.0], &[0.0, 0.0]), 0.0); // single class
-        assert_eq!(f_score(&[f64::NAN, f64::NAN, 1.0, 2.0], &[0.0, 0.0, 1.0, 1.0]), 0.0);
+        assert_eq!(
+            f_score(&[f64::NAN, f64::NAN, 1.0, 2.0], &[0.0, 0.0, 1.0, 1.0]),
+            0.0
+        );
         let perfect = f_score(&[0.0, 0.0, 1.0, 1.0], &[0.0, 0.0, 1.0, 1.0]);
         assert!(perfect > 1e100); // zero within-variance
     }

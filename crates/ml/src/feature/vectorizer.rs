@@ -18,7 +18,10 @@ pub struct VectorizerParams {
 
 impl Default for VectorizerParams {
     fn default() -> Self {
-        VectorizerParams { max_features: 100, min_token_len: 2 }
+        VectorizerParams {
+            max_features: 100,
+            min_token_len: 2,
+        }
     }
 }
 
@@ -26,7 +29,10 @@ impl VectorizerParams {
     /// Stable digest of the parameters.
     #[must_use]
     pub fn digest(&self) -> String {
-        format!("max_features={},min_len={}", self.max_features, self.min_token_len)
+        format!(
+            "max_features={},min_len={}",
+            self.max_features, self.min_token_len
+        )
     }
 }
 
@@ -40,13 +46,11 @@ pub fn count_vectorize_signature(col: &str, params: &VectorizerParams) -> u64 {
 /// `Float` count column per vocabulary token, named `"{col}#{token}"`.
 /// The output frame contains only the token columns (like sklearn's
 /// vectorizer, which returns a document-term matrix).
-pub fn count_vectorize(
-    df: &DataFrame,
-    col: &str,
-    params: &VectorizerParams,
-) -> Result<DataFrame> {
+pub fn count_vectorize(df: &DataFrame, col: &str, params: &VectorizerParams) -> Result<DataFrame> {
     if params.max_features == 0 {
-        return Err(MlError::InvalidParam("max_features must be positive".into()));
+        return Err(MlError::InvalidParam(
+            "max_features must be positive".into(),
+        ));
     }
     let source = df.column(col)?;
     let texts = source.strs().map_err(MlError::from)?;
@@ -69,11 +73,16 @@ pub fn count_vectorize(
     vocab.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     vocab.truncate(params.max_features);
     if vocab.is_empty() {
-        return Err(MlError::DegenerateData(format!("no tokens in column {col:?}")));
+        return Err(MlError::DegenerateData(format!(
+            "no tokens in column {col:?}"
+        )));
     }
 
-    let index: HashMap<&str, usize> =
-        vocab.iter().enumerate().map(|(i, (t, _))| (t.as_str(), i)).collect();
+    let index: HashMap<&str, usize> = vocab
+        .iter()
+        .enumerate()
+        .map(|(i, (t, _))| (t.as_str(), i))
+        .collect();
     let mut counts: Vec<Vec<f64>> = vec![vec![0.0; texts.len()]; vocab.len()];
     for (row, tokens) in docs.iter().enumerate() {
         for tok in tokens {
@@ -105,11 +114,7 @@ pub fn tfidf_vectorize_signature(col: &str, params: &VectorizerParams) -> u64 {
 /// TF-IDF weighting over the same vocabulary selection as
 /// [`count_vectorize`]: each count is scaled by
 /// `ln((1 + n_docs) / (1 + doc_freq)) + 1` (sklearn's smoothed IDF).
-pub fn tfidf_vectorize(
-    df: &DataFrame,
-    col: &str,
-    params: &VectorizerParams,
-) -> Result<DataFrame> {
+pub fn tfidf_vectorize(df: &DataFrame, col: &str, params: &VectorizerParams) -> Result<DataFrame> {
     let counts = count_vectorize(df, col, params)?;
     let sig = tfidf_vectorize_signature(col, params);
     let n_docs = counts.n_rows() as f64;
@@ -122,9 +127,12 @@ pub fn tfidf_vectorize(
             let doc_freq = values.iter().filter(|&&v| v > 0.0).count() as f64;
             let idf = ((1.0 + n_docs) / (1.0 + doc_freq)).ln() + 1.0;
             let token = c.name().rsplit('#').next().unwrap_or_default();
-            let id = source_id
-                .derive(hash::combine(sig, hash::fnv1a_parts(&["token", token])));
-            Column::derived(c.name(), id, ColumnData::Float(values.iter().map(|v| v * idf).collect()))
+            let id = source_id.derive(hash::combine(sig, hash::fnv1a_parts(&["token", token])));
+            Column::derived(
+                c.name(),
+                id,
+                ColumnData::Float(values.iter().map(|v| v * idf).collect()),
+            )
         })
         .collect();
     DataFrame::new(columns).map_err(MlError::from)
@@ -157,9 +165,15 @@ mod tests {
 
     #[test]
     fn counts_tokens() {
-        let out =
-            count_vectorize(&df(), "desc", &VectorizerParams { max_features: 50, min_token_len: 2 })
-                .unwrap();
+        let out = count_vectorize(
+            &df(),
+            "desc",
+            &VectorizerParams {
+                max_features: 50,
+                min_token_len: 2,
+            },
+        )
+        .unwrap();
         let shoes = out.column("desc#shoes").unwrap().floats().unwrap();
         assert_eq!(shoes, &[1.0, 2.0, 0.0]); // case-insensitive, punctuation split
         assert!(out.has_column("desc#hat"));
@@ -168,9 +182,15 @@ mod tests {
 
     #[test]
     fn vocabulary_is_capped_by_frequency() {
-        let out =
-            count_vectorize(&df(), "desc", &VectorizerParams { max_features: 1, min_token_len: 2 })
-                .unwrap();
+        let out = count_vectorize(
+            &df(),
+            "desc",
+            &VectorizerParams {
+                max_features: 1,
+                min_token_len: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(out.n_cols(), 1);
         assert!(out.has_column("desc#shoes")); // most frequent token
     }
@@ -189,7 +209,10 @@ mod tests {
 
     #[test]
     fn tfidf_downweights_ubiquitous_tokens() {
-        let params = VectorizerParams { max_features: 50, min_token_len: 2 };
+        let params = VectorizerParams {
+            max_features: 50,
+            min_token_len: 2,
+        };
         let counts = count_vectorize(&df(), "desc", &params).unwrap();
         let tfidf = tfidf_vectorize(&df(), "desc", &params).unwrap();
         assert_eq!(counts.column_names(), tfidf.column_names());

@@ -21,7 +21,12 @@ pub struct LogisticParams {
 
 impl Default for LogisticParams {
     fn default() -> Self {
-        LogisticParams { lr: 0.5, l2: 1e-4, max_iter: 200, tol: 1e-5 }
+        LogisticParams {
+            lr: 0.5,
+            l2: 1e-4,
+            max_iter: 200,
+            tol: 1e-5,
+        }
     }
 }
 
@@ -98,7 +103,10 @@ impl LogisticRegression {
                 }
             },
         );
-        Ok(LogisticModel { state, params: self.params.clone() })
+        Ok(LogisticModel {
+            state,
+            params: self.params.clone(),
+        })
     }
 }
 
@@ -112,7 +120,10 @@ impl LogisticModel {
     /// Hard 0/1 predictions at threshold 0.5.
     #[must_use]
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        self.predict_proba(x).into_iter().map(|p| if p > 0.5 { 1.0 } else { 0.0 }).collect()
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| if p > 0.5 { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Approximate size in bytes.
@@ -149,7 +160,9 @@ mod tests {
     #[test]
     fn learns_separable_data() {
         let (x, y) = separable();
-        let model = LogisticRegression::new(LogisticParams::default()).fit(&x, &y).unwrap();
+        let model = LogisticRegression::new(LogisticParams::default())
+            .fit(&x, &y)
+            .unwrap();
         assert!(roc_auc(&y, &model.predict_proba(&x)) > 0.99);
         assert!(accuracy(&y, &model.predict(&x)) > 0.95);
     }
@@ -168,8 +181,12 @@ mod tests {
         let (x, y) = separable();
         // Strong regularisation keeps the optimum at finite weights so the
         // cold run converges well before max_iter.
-        let params =
-            LogisticParams { l2: 0.1, max_iter: 20_000, tol: 1e-7, ..LogisticParams::default() };
+        let params = LogisticParams {
+            l2: 0.1,
+            max_iter: 20_000,
+            tol: 1e-7,
+            ..LogisticParams::default()
+        };
         let trainer = LogisticRegression::new(params);
         let cold = trainer.fit(&x, &y).unwrap();
         assert!(cold.state.converged, "cold run must converge for this test");
@@ -181,7 +198,11 @@ mod tests {
     #[test]
     fn warmstart_improves_capped_training() {
         let (x, y) = separable();
-        let capped = LogisticParams { max_iter: 3, tol: 1e-12, ..LogisticParams::default() };
+        let capped = LogisticParams {
+            max_iter: 3,
+            tol: 1e-12,
+            ..LogisticParams::default()
+        };
         let trainer = LogisticRegression::new(capped);
         let cold = trainer.fit(&x, &y).unwrap();
         // Simulate a high-quality prior model from a longer run.
@@ -209,8 +230,14 @@ mod tests {
     #[test]
     fn op_digest_tracks_hyperparameters() {
         let a = LogisticParams::default();
-        let b = LogisticParams { lr: 0.1, ..LogisticParams::default() };
+        let b = LogisticParams {
+            lr: 0.1,
+            ..LogisticParams::default()
+        };
         assert_ne!(LogisticModel::op_digest(&a), LogisticModel::op_digest(&b));
-        assert_eq!(LogisticModel::op_digest(&a), LogisticModel::op_digest(&a.clone()));
+        assert_eq!(
+            LogisticModel::op_digest(&a),
+            LogisticModel::op_digest(&a.clone())
+        );
     }
 }

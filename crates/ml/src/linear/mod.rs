@@ -160,7 +160,12 @@ mod tests {
         assert!(init_state(&Matrix::zeros(0, 3), &[], None).is_err());
         let s = init_state(&x, &[0.0, 1.0], None).unwrap();
         assert_eq!(s.weights, vec![0.0]);
-        let warm = LinearState { weights: vec![1.0, 2.0], bias: 0.0, epochs_run: 5, converged: true };
+        let warm = LinearState {
+            weights: vec![1.0, 2.0],
+            bias: 0.0,
+            epochs_run: 5,
+            converged: true,
+        };
         assert!(matches!(
             init_state(&x, &[0.0, 1.0], Some(&warm)),
             Err(MlError::IncompatibleWarmstart(_))

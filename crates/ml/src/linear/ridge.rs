@@ -22,7 +22,12 @@ pub struct RidgeParams {
 
 impl Default for RidgeParams {
     fn default() -> Self {
-        RidgeParams { lr: 0.1, l2: 1e-4, max_iter: 200, tol: 1e-6 }
+        RidgeParams {
+            lr: 0.1,
+            l2: 1e-4,
+            max_iter: 200,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -96,7 +101,10 @@ impl RidgeRegression {
                 }
             },
         );
-        Ok(RidgeModel { state, params: self.params.clone() })
+        Ok(RidgeModel {
+            state,
+            params: self.params.clone(),
+        })
     }
 }
 
@@ -129,9 +137,12 @@ mod tests {
     fn fits_a_line() {
         let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>());
         let y: Vec<f64> = (0..20).map(|i| 2.0 * (i as f64 / 10.0) + 1.0).collect();
-        let model = RidgeRegression::new(RidgeParams { max_iter: 2000, ..RidgeParams::default() })
-            .fit(&x, &y)
-            .unwrap();
+        let model = RidgeRegression::new(RidgeParams {
+            max_iter: 2000,
+            ..RidgeParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
         assert!(rmse(&y, &model.predict(&x)) < 0.1);
         assert!((model.state.weights[0] - 2.0).abs() < 0.3);
     }
@@ -140,10 +151,17 @@ mod tests {
     fn warmstart_continues_from_given_weights() {
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
         let y = vec![1.0, 2.0];
-        let zero_iter =
-            RidgeRegression::new(RidgeParams { max_iter: 0, ..RidgeParams::default() });
+        let zero_iter = RidgeRegression::new(RidgeParams {
+            max_iter: 0,
+            ..RidgeParams::default()
+        });
         let warm_src = RidgeModel {
-            state: LinearState { weights: vec![5.0], bias: 1.0, epochs_run: 0, converged: false },
+            state: LinearState {
+                weights: vec![5.0],
+                bias: 1.0,
+                epochs_run: 0,
+                converged: false,
+            },
             params: RidgeParams::default(),
         };
         let out = zero_iter.fit_warm(&x, &y, Some(&warm_src)).unwrap();

@@ -22,7 +22,12 @@ pub struct SvmParams {
 
 impl Default for SvmParams {
     fn default() -> Self {
-        SvmParams { lr: 0.1, l2: 1e-3, max_iter: 200, tol: 1e-5 }
+        SvmParams {
+            lr: 0.1,
+            l2: 1e-3,
+            max_iter: 200,
+            tol: 1e-5,
+        }
     }
 }
 
@@ -68,12 +73,20 @@ impl LinearSvc {
     }
 
     /// Train with an optional warmstart model.
-    pub fn fit_warm(&self, x: &Matrix, y: &[f64], warmstart: Option<&SvmModel>) -> Result<SvmModel> {
+    pub fn fit_warm(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        warmstart: Option<&SvmModel>,
+    ) -> Result<SvmModel> {
         let init = init_state(x, y, warmstart.map(|m| &m.state))?;
         let n = x.rows() as f64;
         let l2 = self.params.l2;
         // Labels in {-1, +1} for the hinge loss.
-        let signed: Vec<f64> = y.iter().map(|&v| if v > 0.5 { 1.0 } else { -1.0 }).collect();
+        let signed: Vec<f64> = y
+            .iter()
+            .map(|&v| if v > 0.5 { 1.0 } else { -1.0 })
+            .collect();
         let state = gradient_descent(
             init,
             self.params.max_iter,
@@ -95,7 +108,10 @@ impl LinearSvc {
                 }
             },
         );
-        Ok(SvmModel { state, params: self.params.clone() })
+        Ok(SvmModel {
+            state,
+            params: self.params.clone(),
+        })
     }
 }
 
@@ -117,7 +133,10 @@ impl SvmModel {
     /// Hard 0/1 predictions.
     #[must_use]
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        self.decision(x).into_iter().map(|z| if z > 0.0 { 1.0 } else { 0.0 }).collect()
+        self.decision(x)
+            .into_iter()
+            .map(|z| if z > 0.0 { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Approximate size in bytes.
@@ -164,7 +183,11 @@ mod tests {
     #[test]
     fn warmstart_reduces_epochs() {
         let (x, y) = blobs();
-        let trainer = LinearSvc::new(SvmParams { max_iter: 1000, tol: 1e-7, ..SvmParams::default() });
+        let trainer = LinearSvc::new(SvmParams {
+            max_iter: 1000,
+            tol: 1e-7,
+            ..SvmParams::default()
+        });
         let cold = trainer.fit(&x, &y).unwrap();
         let warm = trainer.fit_warm(&x, &y, Some(&cold)).unwrap();
         assert!(warm.state.epochs_run <= cold.state.epochs_run);

@@ -16,7 +16,11 @@ impl Matrix {
     /// A `rows x cols` matrix of zeros.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { data: vec![0.0; rows * cols], rows, cols }
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -42,7 +46,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(r);
         }
-        Matrix { data, rows: rows.len(), cols }
+        Matrix {
+            data,
+            rows: rows.len(),
+            cols,
+        }
     }
 
     /// Build column-wise: each input vector becomes a column.
@@ -124,7 +132,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { data, rows: indices.len(), cols: self.cols }
+        Matrix {
+            data,
+            rows: indices.len(),
+            cols: self.cols,
+        }
     }
 
     /// Gather a subset of columns into a new matrix.
@@ -135,7 +147,11 @@ impl Matrix {
             let row = self.row(i);
             data.extend(indices.iter().map(|&j| row[j]));
         }
-        Matrix { data, rows: self.rows, cols: indices.len() }
+        Matrix {
+            data,
+            rows: self.rows,
+            cols: indices.len(),
+        }
     }
 
     /// Horizontally stack two matrices with equal row counts.
@@ -153,7 +169,11 @@ impl Matrix {
             data.extend_from_slice(self.row(i));
             data.extend_from_slice(other.row(i));
         }
-        Ok(Matrix { data, rows: self.rows, cols })
+        Ok(Matrix {
+            data,
+            rows: self.rows,
+            cols,
+        })
     }
 
     /// Per-column means.

@@ -15,7 +15,11 @@ pub fn roc_auc(y_true: &[f64], scores: &[f64]) -> f64 {
     }
     // Rank scores ascending; average ranks across ties.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {

@@ -49,7 +49,10 @@ impl ModelKind {
     /// be warmstarted (users must flag this per operation, per paper §4.2).
     #[must_use]
     pub fn warmstartable(self) -> bool {
-        matches!(self, ModelKind::Logistic | ModelKind::Svm | ModelKind::Ridge | ModelKind::Gbt)
+        matches!(
+            self,
+            ModelKind::Logistic | ModelKind::Svm | ModelKind::Ridge | ModelKind::Gbt
+        )
     }
 }
 
@@ -155,8 +158,12 @@ mod tests {
     #[test]
     fn wraps_models_uniformly() {
         let (x, y) = data();
-        let lr = LogisticRegression::new(LogisticParams::default()).fit(&x, &y).unwrap();
-        let gbt = GradientBoosting::new(GbtParams::default()).fit(&x, &y).unwrap();
+        let lr = LogisticRegression::new(LogisticParams::default())
+            .fit(&x, &y)
+            .unwrap();
+        let gbt = GradientBoosting::new(GbtParams::default())
+            .fit(&x, &y)
+            .unwrap();
         for (model, kind) in [
             (TrainedModel::Logistic(lr), ModelKind::Logistic),
             (TrainedModel::Gbt(gbt), ModelKind::Gbt),

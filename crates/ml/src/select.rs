@@ -17,7 +17,9 @@ pub fn train_test_split(
     seed: u64,
 ) -> Result<(Matrix, Vec<f64>, Matrix, Vec<f64>)> {
     if !(0.0 < test_fraction && test_fraction < 1.0) {
-        return Err(MlError::InvalidParam("test_fraction must be in (0, 1)".into()));
+        return Err(MlError::InvalidParam(
+            "test_fraction must be in (0, 1)".into(),
+        ));
     }
     if x.rows() != y.len() {
         return Err(MlError::ShapeMismatch {
@@ -43,15 +45,16 @@ pub fn train_test_split(
 /// index pairs.
 pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<(Vec<usize>, Vec<usize>)>> {
     if k < 2 || k > n {
-        return Err(MlError::InvalidParam(format!("k={k} out of range for n={n}")));
+        return Err(MlError::InvalidParam(format!(
+            "k={k} out of range for n={n}"
+        )));
     }
     let mut indices: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
     let mut folds = Vec::with_capacity(k);
     for f in 0..k {
-        let val: Vec<usize> =
-            indices.iter().copied().skip(f).step_by(k).collect();
+        let val: Vec<usize> = indices.iter().copied().skip(f).step_by(k).collect();
         let train: Vec<usize> = indices
             .iter()
             .copied()
@@ -135,8 +138,14 @@ mod tests {
         // Score with negative log-loss: unlike AUC it keeps improving with
         // more epochs, so the longer run must win strictly.
         let grid = vec![
-            LogisticParams { max_iter: 1, ..LogisticParams::default() },
-            LogisticParams { max_iter: 300, ..LogisticParams::default() },
+            LogisticParams {
+                max_iter: 1,
+                ..LogisticParams::default()
+            },
+            LogisticParams {
+                max_iter: 300,
+                ..LogisticParams::default()
+            },
         ];
         let (best, score) = grid_search(&x, &y, &grid, 7, |p, xtr, ytr, xval, yval| {
             let m = LogisticRegression::new(p.clone()).fit(xtr, ytr)?;
@@ -145,8 +154,10 @@ mod tests {
         .unwrap();
         assert_eq!(best, 1);
         assert!(score > -0.69); // better than the chance baseline ln(2)
-        // AUC still sanity-checks the winner.
-        let m = LogisticRegression::new(grid[1].clone()).fit(&x, &y).unwrap();
+                                // AUC still sanity-checks the winner.
+        let m = LogisticRegression::new(grid[1].clone())
+            .fit(&x, &y)
+            .unwrap();
         assert!(roc_auc(&y, &m.predict_proba(&x)) > 0.9);
     }
 }

@@ -79,18 +79,24 @@ impl RandomForest {
             });
         }
         if self.params.n_estimators == 0 {
-            return Err(MlError::InvalidParam("n_estimators must be positive".into()));
+            return Err(MlError::InvalidParam(
+                "n_estimators must be positive".into(),
+            ));
         }
         if !(self.params.feature_fraction > 0.0 && self.params.feature_fraction <= 1.0) {
-            return Err(MlError::InvalidParam("feature_fraction must be in (0, 1]".into()));
+            return Err(MlError::InvalidParam(
+                "feature_fraction must be in (0, 1]".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(self.params.seed);
-        let n_sub = ((x.cols() as f64 * self.params.feature_fraction).ceil() as usize)
-            .clamp(1, x.cols());
+        let n_sub =
+            ((x.cols() as f64 * self.params.feature_fraction).ceil() as usize).clamp(1, x.cols());
         let mut trees = Vec::with_capacity(self.params.n_estimators);
         for _ in 0..self.params.n_estimators {
             // Bootstrap rows.
-            let rows: Vec<usize> = (0..x.rows()).map(|_| rng.random_range(0..x.rows())).collect();
+            let rows: Vec<usize> = (0..x.rows())
+                .map(|_| rng.random_range(0..x.rows()))
+                .collect();
             // Feature subset.
             let mut features: Vec<usize> = (0..x.cols()).collect();
             features.shuffle(&mut rng);
@@ -101,7 +107,10 @@ impl RandomForest {
             let tree = DecisionTree::fit(&xb, &yb, &self.params.tree)?;
             trees.push((features, tree));
         }
-        Ok(ForestModel { trees, params: self.params.clone() })
+        Ok(ForestModel {
+            trees,
+            params: self.params.clone(),
+        })
     }
 }
 
@@ -123,7 +132,10 @@ impl ForestModel {
     /// Hard 0/1 predictions.
     #[must_use]
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        self.predict_proba(x).into_iter().map(|p| if p > 0.5 { 1.0 } else { 0.0 }).collect()
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| if p > 0.5 { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Number of trees.
@@ -181,18 +193,25 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (x, y) = rings();
-        let p = ForestParams { n_estimators: 5, ..ForestParams::default() };
+        let p = ForestParams {
+            n_estimators: 5,
+            ..ForestParams::default()
+        };
         let a = RandomForest::new(p.clone()).fit(&x, &y).unwrap();
         let b = RandomForest::new(p.clone()).fit(&x, &y).unwrap();
         assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
-        let c = RandomForest::new(ForestParams { seed: 7, ..p }).fit(&x, &y).unwrap();
+        let c = RandomForest::new(ForestParams { seed: 7, ..p })
+            .fit(&x, &y)
+            .unwrap();
         assert_ne!(a.predict_proba(&x), c.predict_proba(&x));
     }
 
     #[test]
     fn probabilities_bounded() {
         let (x, y) = rings();
-        let model = RandomForest::new(ForestParams::default()).fit(&x, &y).unwrap();
+        let model = RandomForest::new(ForestParams::default())
+            .fit(&x, &y)
+            .unwrap();
         for p in model.predict_proba(&x) {
             assert!((0.0..=1.0).contains(&p));
         }
@@ -201,9 +220,12 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let (x, y) = rings();
-        assert!(RandomForest::new(ForestParams { n_estimators: 0, ..ForestParams::default() })
-            .fit(&x, &y)
-            .is_err());
+        assert!(RandomForest::new(ForestParams {
+            n_estimators: 0,
+            ..ForestParams::default()
+        })
+        .fit(&x, &y)
+        .is_err());
         assert!(RandomForest::new(ForestParams {
             feature_fraction: 0.0,
             ..ForestParams::default()

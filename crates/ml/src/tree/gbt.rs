@@ -22,7 +22,11 @@ pub struct GbtParams {
 
 impl Default for GbtParams {
     fn default() -> Self {
-        GbtParams { n_estimators: 30, learning_rate: 0.2, tree: TreeParams::default() }
+        GbtParams {
+            n_estimators: 30,
+            learning_rate: 0.2,
+            tree: TreeParams::default(),
+        }
     }
 }
 
@@ -71,7 +75,12 @@ impl GradientBoosting {
     /// warmstart model's trees (up to `n_estimators`, and only if they were
     /// grown with the same tree parameters on the same feature count) seed
     /// the ensemble and boosting continues for the remaining rounds.
-    pub fn fit_warm(&self, x: &Matrix, y: &[f64], warmstart: Option<&GbtModel>) -> Result<GbtModel> {
+    pub fn fit_warm(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        warmstart: Option<&GbtModel>,
+    ) -> Result<GbtModel> {
         if x.rows() != y.len() {
             return Err(MlError::ShapeMismatch {
                 context: "GradientBoosting::fit".into(),
@@ -83,7 +92,9 @@ impl GradientBoosting {
             return Err(MlError::DegenerateData("empty training set".into()));
         }
         if self.params.n_estimators == 0 {
-            return Err(MlError::InvalidParam("n_estimators must be positive".into()));
+            return Err(MlError::InvalidParam(
+                "n_estimators must be positive".into(),
+            ));
         }
 
         let pos = y.iter().filter(|&&v| v > 0.5).count() as f64;
@@ -102,9 +113,7 @@ impl GradientBoosting {
             if prior.params.tree == self.params.tree
                 && (prior.params.learning_rate - self.params.learning_rate).abs() < 1e-12
             {
-                trees.extend(
-                    prior.trees.iter().take(self.params.n_estimators).cloned(),
-                );
+                trees.extend(prior.trees.iter().take(self.params.n_estimators).cloned());
             }
             // Different tree shapes: silently cold-start (the caller asked
             // for these hyperparameters; the prior is unusable).
@@ -119,15 +128,22 @@ impl GradientBoosting {
         }
 
         for _ in trees.len()..self.params.n_estimators {
-            let residuals: Vec<f64> =
-                margin.iter().zip(y).map(|(&m, &yi)| yi - sigmoid(m)).collect();
+            let residuals: Vec<f64> = margin
+                .iter()
+                .zip(y)
+                .map(|(&m, &yi)| yi - sigmoid(m))
+                .collect();
             let tree = DecisionTree::fit(x, &residuals, &self.params.tree)?;
             for (m, p) in margin.iter_mut().zip(tree.predict(x)) {
                 *m += self.params.learning_rate * p;
             }
             trees.push(tree);
         }
-        Ok(GbtModel { base_score, trees, params: self.params.clone() })
+        Ok(GbtModel {
+            base_score,
+            trees,
+            params: self.params.clone(),
+        })
     }
 }
 
@@ -147,7 +163,10 @@ impl GbtModel {
     /// Hard 0/1 predictions.
     #[must_use]
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        self.predict_proba(x).into_iter().map(|p| if p > 0.5 { 1.0 } else { 0.0 }).collect()
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| if p > 0.5 { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Number of boosting rounds in the ensemble.
@@ -193,29 +212,41 @@ mod tests {
     #[test]
     fn learns_moons() {
         let (x, y) = moons();
-        let model = GradientBoosting::new(GbtParams::default()).fit(&x, &y).unwrap();
+        let model = GradientBoosting::new(GbtParams::default())
+            .fit(&x, &y)
+            .unwrap();
         assert!(roc_auc(&y, &model.predict_proba(&x)) > 0.95);
     }
 
     #[test]
     fn more_rounds_reduce_train_loss() {
         let (x, y) = moons();
-        let small = GradientBoosting::new(GbtParams { n_estimators: 3, ..GbtParams::default() })
-            .fit(&x, &y)
-            .unwrap();
-        let large = GradientBoosting::new(GbtParams { n_estimators: 40, ..GbtParams::default() })
-            .fit(&x, &y)
-            .unwrap();
-        assert!(
-            log_loss(&y, &large.predict_proba(&x)) < log_loss(&y, &small.predict_proba(&x))
-        );
+        let small = GradientBoosting::new(GbtParams {
+            n_estimators: 3,
+            ..GbtParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        let large = GradientBoosting::new(GbtParams {
+            n_estimators: 40,
+            ..GbtParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        assert!(log_loss(&y, &large.predict_proba(&x)) < log_loss(&y, &small.predict_proba(&x)));
     }
 
     #[test]
     fn warmstart_extends_ensemble_identically() {
         let (x, y) = moons();
-        let params10 = GbtParams { n_estimators: 10, ..GbtParams::default() };
-        let params25 = GbtParams { n_estimators: 25, ..GbtParams::default() };
+        let params10 = GbtParams {
+            n_estimators: 10,
+            ..GbtParams::default()
+        };
+        let params25 = GbtParams {
+            n_estimators: 25,
+            ..GbtParams::default()
+        };
         let first = GradientBoosting::new(params10).fit(&x, &y).unwrap();
         let warm = GradientBoosting::new(params25.clone())
             .fit_warm(&x, &y, Some(&first))
@@ -232,12 +263,18 @@ mod tests {
         let (x, y) = moons();
         let deep = GradientBoosting::new(GbtParams {
             n_estimators: 5,
-            tree: TreeParams { max_depth: 6, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 6,
+                ..TreeParams::default()
+            },
             ..GbtParams::default()
         })
         .fit(&x, &y)
         .unwrap();
-        let shallow = GradientBoosting::new(GbtParams { n_estimators: 5, ..GbtParams::default() });
+        let shallow = GradientBoosting::new(GbtParams {
+            n_estimators: 5,
+            ..GbtParams::default()
+        });
         let model = shallow.fit_warm(&x, &y, Some(&deep)).unwrap();
         let cold = shallow.fit(&x, &y).unwrap();
         assert_eq!(model.predict_proba(&x), cold.predict_proba(&x));
@@ -246,7 +283,9 @@ mod tests {
     #[test]
     fn feature_count_mismatch_rejected() {
         let (x, y) = moons();
-        let model = GradientBoosting::new(GbtParams::default()).fit(&x, &y).unwrap();
+        let model = GradientBoosting::new(GbtParams::default())
+            .fit(&x, &y)
+            .unwrap();
         let narrow = x.take_cols(&[0]);
         assert!(GradientBoosting::new(GbtParams::default())
             .fit_warm(&narrow, &y, Some(&model))

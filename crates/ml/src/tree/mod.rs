@@ -27,7 +27,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 4, min_samples_leaf: 2, n_thresholds: 16 }
+        TreeParams {
+            max_depth: 4,
+            min_samples_leaf: 2,
+            n_thresholds: 16,
+        }
     }
 }
 
@@ -45,8 +49,15 @@ impl TreeParams {
 /// One node of a tree arena.
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted regression tree. `NaN` feature values follow the right branch
@@ -75,7 +86,10 @@ impl DecisionTree {
                 "min_samples_leaf and n_thresholds must be positive".into(),
             ));
         }
-        let mut tree = DecisionTree { nodes: Vec::new(), n_features: x.cols() };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features: x.cols(),
+        };
         // Column-major copy: the split search scans one feature across
         // all rows, which on the row-major matrix is a stride-`cols`
         // cache miss per access. One transpose per fit makes every scan
@@ -104,14 +118,20 @@ impl DecisionTree {
             self.nodes.push(Node::Leaf { value: mean });
             return self.nodes.len() - 1;
         };
-        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-            rows.iter().partition(|&&i| columns[feature][i] <= threshold);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&i| columns[feature][i] <= threshold);
         // Reserve our slot before recursing so children land after us.
         let idx = self.nodes.len();
         self.nodes.push(Node::Leaf { value: mean }); // placeholder
         let left = self.build(columns, targets, &left_rows, depth - 1, params);
         let right = self.build(columns, targets, &right_rows, depth - 1, params);
-        self.nodes[idx] = Node::Split { feature, threshold, left, right };
+        self.nodes[idx] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         idx
     }
 
@@ -122,8 +142,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[idx] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -189,7 +218,10 @@ fn best_split(
     for (feature, column) in columns.iter().enumerate() {
         candidates.clear();
         candidates.extend(
-            rows.iter().step_by(stride).map(|&i| column[i]).filter(|v| !v.is_nan()),
+            rows.iter()
+                .step_by(stride)
+                .map(|&i| column[i])
+                .filter(|v| !v.is_nan()),
         );
         if candidates.len() < 2 {
             continue;
@@ -203,8 +235,9 @@ fn best_split(
         // the maximum (an always-left split is useless).
         if candidates.len() > params.n_thresholds {
             let step = candidates.len() as f64 / params.n_thresholds as f64;
-            let thinned: Vec<f64> =
-                (0..params.n_thresholds).map(|k| candidates[(k as f64 * step) as usize]).collect();
+            let thinned: Vec<f64> = (0..params.n_thresholds)
+                .map(|k| candidates[(k as f64 * step) as usize])
+                .collect();
             candidates = thinned;
             candidates.dedup();
         } else {
@@ -293,7 +326,11 @@ mod tests {
     #[test]
     fn fits_quadrant_with_enough_depth() {
         let (x, y) = xor_ish();
-        let params = TreeParams { max_depth: 3, min_samples_leaf: 1, n_thresholds: 8 };
+        let params = TreeParams {
+            max_depth: 3,
+            min_samples_leaf: 1,
+            n_thresholds: 8,
+        };
         let tree = DecisionTree::fit(&x, &y, &params).unwrap();
         let preds = tree.predict(&x);
         for (p, t) in preds.iter().zip(&y) {
@@ -305,10 +342,18 @@ mod tests {
     fn pure_xor_defeats_greedy_splitting() {
         // Documents a known CART property: on a perfectly balanced XOR no
         // single split reduces SSE, so the greedy tree stays a leaf.
-        let rows =
-            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
         let y = vec![0.0, 1.0, 1.0, 0.0];
-        let params = TreeParams { max_depth: 3, min_samples_leaf: 1, n_thresholds: 8 };
+        let params = TreeParams {
+            max_depth: 3,
+            min_samples_leaf: 1,
+            n_thresholds: 8,
+        };
         let tree = DecisionTree::fit(&Matrix::from_rows(&rows), &y, &params).unwrap();
         assert_eq!(tree.n_nodes(), 1);
     }
@@ -316,7 +361,10 @@ mod tests {
     #[test]
     fn depth_zero_is_a_single_leaf() {
         let (x, y) = xor_ish();
-        let params = TreeParams { max_depth: 0, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
         let tree = DecisionTree::fit(&x, &y, &params).unwrap();
         assert_eq!(tree.n_nodes(), 1);
         // Quadrant data: 4 of 16 points are positive.
@@ -335,7 +383,11 @@ mod tests {
     fn nan_features_route_right() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![0.1], vec![0.9]]);
         let y = vec![0.0, 1.0, 0.0, 1.0];
-        let params = TreeParams { max_depth: 2, min_samples_leaf: 1, n_thresholds: 8 };
+        let params = TreeParams {
+            max_depth: 2,
+            min_samples_leaf: 1,
+            n_thresholds: 8,
+        };
         let tree = DecisionTree::fit(&x, &y, &params).unwrap();
         let p = tree.predict_one(&[f64::NAN]);
         // NaN compares false with any threshold -> right branch (the
@@ -350,7 +402,10 @@ mod tests {
         assert!(DecisionTree::fit(
             &x,
             &[1.0],
-            &TreeParams { min_samples_leaf: 0, ..TreeParams::default() }
+            &TreeParams {
+                min_samples_leaf: 0,
+                ..TreeParams::default()
+            }
         )
         .is_err());
     }

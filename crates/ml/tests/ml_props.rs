@@ -3,7 +3,9 @@
 
 use co_ml::cluster::{KMeans, KMeansParams};
 use co_ml::linear::{LogisticParams, LogisticRegression};
-use co_ml::metrics::{accuracy, confusion_counts, f1_score, log_loss, precision, recall, rmse, roc_auc};
+use co_ml::metrics::{
+    accuracy, confusion_counts, f1_score, log_loss, precision, recall, rmse, roc_auc,
+};
 use co_ml::tree::{DecisionTree, TreeParams};
 use co_ml::Matrix;
 use proptest::prelude::*;

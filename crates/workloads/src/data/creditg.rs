@@ -23,13 +23,19 @@ pub struct CreditG {
 #[must_use]
 pub fn creditg(rows: usize, seed: u64) -> CreditG {
     let mut rng = StdRng::seed_from_u64(seed);
-    let purposes = ["radio_tv", "education", "furniture", "new_car", "used_car", "business"];
+    let purposes = [
+        "radio_tv",
+        "education",
+        "furniture",
+        "new_car",
+        "used_car",
+        "business",
+    ];
     let housing = ["own", "rent", "free"];
     let jobs = ["unskilled", "skilled", "management"];
 
     let n_numeric = 10;
-    let mut numeric: Vec<Vec<f64>> =
-        (0..n_numeric).map(|_| Vec::with_capacity(rows)).collect();
+    let mut numeric: Vec<Vec<f64>> = (0..n_numeric).map(|_| Vec::with_capacity(rows)).collect();
     let mut purpose = Vec::with_capacity(rows);
     let mut housing_col = Vec::with_capacity(rows);
     let mut job = Vec::with_capacity(rows);
@@ -37,22 +43,42 @@ pub fn creditg(rows: usize, seed: u64) -> CreditG {
     let mut label = Vec::with_capacity(rows);
 
     // Fixed sparse ground-truth weights over the numeric features.
-    let weights: Vec<f64> =
-        (0..n_numeric).map(|j| if j % 3 == 0 { 1.2 } else if j % 3 == 1 { -0.8 } else { 0.0 }).collect();
+    let weights: Vec<f64> = (0..n_numeric)
+        .map(|j| {
+            if j % 3 == 0 {
+                1.2
+            } else if j % 3 == 1 {
+                -0.8
+            } else {
+                0.0
+            }
+        })
+        .collect();
 
     for _ in 0..rows {
         let mut score = 0.0;
         for (j, col) in numeric.iter_mut().enumerate() {
             let v: f64 = rng.random_range(-1.0..1.0);
             // A couple of features carry missing values.
-            let stored = if j >= 8 && rng.random::<f64>() < 0.1 { f64::NAN } else { v };
+            let stored = if j >= 8 && rng.random::<f64>() < 0.1 {
+                f64::NAN
+            } else {
+                v
+            };
             col.push(stored);
             score += weights[j] * v;
         }
         purpose.push(purposes[rng.random_range(0..purposes.len())].to_owned());
         housing_col.push(housing[rng.random_range(0..housing.len())].to_owned());
         job.push(jobs[rng.random_range(0..jobs.len())].to_owned());
-        foreign.push(if rng.random::<f64>() < 0.05 { "yes" } else { "no" }.to_owned());
+        foreign.push(
+            if rng.random::<f64>() < 0.05 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_owned(),
+        );
         // Housing contributes a little signal too.
         if housing_col.last().map(String::as_str) == Some("own") {
             score += 0.4;
@@ -66,10 +92,22 @@ pub fn creditg(rows: usize, seed: u64) -> CreditG {
         .enumerate()
         .map(|(j, v)| Column::source("credit-g", &format!("a{j}"), ColumnData::Float(v)))
         .collect();
-    cols.push(Column::source("credit-g", "purpose", ColumnData::Str(purpose)));
-    cols.push(Column::source("credit-g", "housing", ColumnData::Str(housing_col)));
+    cols.push(Column::source(
+        "credit-g",
+        "purpose",
+        ColumnData::Str(purpose),
+    ));
+    cols.push(Column::source(
+        "credit-g",
+        "housing",
+        ColumnData::Str(housing_col),
+    ));
     cols.push(Column::source("credit-g", "job", ColumnData::Str(job)));
-    cols.push(Column::source("credit-g", "foreign", ColumnData::Str(foreign)));
+    cols.push(Column::source(
+        "credit-g",
+        "foreign",
+        ColumnData::Str(foreign),
+    ));
     cols.push(Column::source("credit-g", "class", ColumnData::Int(label)));
     let full = DataFrame::new(cols).expect("equal lengths");
 
@@ -102,7 +140,10 @@ mod tests {
             b.train.column("a0").unwrap().floats().unwrap()
         );
         // Train and test carry different lineage.
-        assert_ne!(a.train.column("a0").unwrap().id(), a.test.column("a0").unwrap().id());
+        assert_ne!(
+            a.train.column("a0").unwrap().id(),
+            a.test.column("a0").unwrap().id()
+        );
     }
 
     #[test]

@@ -83,17 +83,30 @@ pub fn home_credit(scale: &HomeCreditScale) -> HomeCredit {
     let application_test = application_table("application_test", scale.test_rows, false, &mut rng);
     let bureau = bureau_table(scale.bureau_rows, scale.application_rows, &mut rng);
     let previous = previous_table(scale.previous_rows, scale.application_rows, &mut rng);
-    let installments =
-        installments_table(scale.installments_rows, scale.previous_rows, &mut rng);
-    HomeCredit { application, application_test, bureau, previous, installments }
+    let installments = installments_table(scale.installments_rows, scale.previous_rows, &mut rng);
+    HomeCredit {
+        application,
+        application_test,
+        bureau,
+        previous,
+        installments,
+    }
 }
 
 const OCCUPATIONS: [&str; 8] = [
     "Laborers", "Sales", "Core", "Managers", "Drivers", "Medicine", "Security", "Cooking",
 ];
 const ORGANIZATIONS: [&str; 10] = [
-    "Business", "School", "Government", "Religion", "Other", "XNA", "Electricity", "Medicine",
-    "Self-employed", "Trade",
+    "Business",
+    "School",
+    "Government",
+    "Religion",
+    "Other",
+    "XNA",
+    "Electricity",
+    "Medicine",
+    "Self-employed",
+    "Trade",
 ];
 const CONTRACT_TYPES: [&str; 2] = ["Cash loans", "Revolving loans"];
 const GENDERS: [&str; 3] = ["M", "F", "XNA"];
@@ -157,8 +170,14 @@ fn application_table(name: &str, rows: usize, with_target: bool, rng: &mut StdRn
         // Latent default risk: low external scores, high credit-to-income
         // ratio, short employment raise it.
         let ratio = (credit / income).min(10.0) / 10.0;
-        let emp_penalty = if employed > 0.0 { 0.4 } else { (employed / -12_000.0) * -0.3 };
-        let latent = 2.2 * (0.5 - e2v) + 1.2 * (0.5 - e3v) + 0.8 * (0.5 - e1v)
+        let emp_penalty = if employed > 0.0 {
+            0.4
+        } else {
+            (employed / -12_000.0) * -0.3
+        };
+        let latent = 2.2 * (0.5 - e2v)
+            + 1.2 * (0.5 - e3v)
+            + 0.8 * (0.5 - e1v)
             + 1.5 * (ratio - 0.3)
             + emp_penalty
             + rng.random_range(-0.75..0.75);
@@ -167,7 +186,11 @@ fn application_table(name: &str, rows: usize, with_target: bool, rng: &mut StdRn
 
         amt_income.push(income);
         amt_credit.push(credit);
-        amt_annuity.push(if rng.random::<f64>() < 0.02 { f64::NAN } else { annuity });
+        amt_annuity.push(if rng.random::<f64>() < 0.02 {
+            f64::NAN
+        } else {
+            annuity
+        });
         days_birth.push(birth);
         days_employed.push(employed);
         ext1.push(e1);
@@ -223,7 +246,11 @@ fn bureau_table(rows: usize, n_applicants: usize, rng: &mut StdRng) -> DataFrame
         sk_id.push(rng.random_range(0..n_applicants as i64));
         days_credit.push(-rng.random_range(1.0..3_000.0));
         let sum = amount(rng, 200_000.0, 0.7);
-        amt_credit_sum.push(if rng.random::<f64>() < 0.1 { f64::NAN } else { sum });
+        amt_credit_sum.push(if rng.random::<f64>() < 0.1 {
+            f64::NAN
+        } else {
+            sum
+        });
         amt_credit_debt.push(if rng.random::<f64>() < 0.25 {
             f64::NAN
         } else {
@@ -235,8 +262,16 @@ fn bureau_table(rows: usize, n_applicants: usize, rng: &mut StdRng) -> DataFrame
     DataFrame::new(vec![
         Column::source("bureau", "sk_id", ColumnData::Int(sk_id)),
         Column::source("bureau", "days_credit", ColumnData::Float(days_credit)),
-        Column::source("bureau", "amt_credit_sum", ColumnData::Float(amt_credit_sum)),
-        Column::source("bureau", "amt_credit_debt", ColumnData::Float(amt_credit_debt)),
+        Column::source(
+            "bureau",
+            "amt_credit_sum",
+            ColumnData::Float(amt_credit_sum),
+        ),
+        Column::source(
+            "bureau",
+            "amt_credit_debt",
+            ColumnData::Float(amt_credit_debt),
+        ),
         Column::source("bureau", "credit_active", ColumnData::Str(credit_active)),
         Column::source("bureau", "credit_type", ColumnData::Str(credit_type)),
     ])
@@ -269,10 +304,18 @@ fn previous_table(rows: usize, n_applicants: usize, rng: &mut StdRng) -> DataFra
     DataFrame::new(vec![
         Column::source("previous", "sk_id", ColumnData::Int(sk_id)),
         Column::source("previous", "prev_id", ColumnData::Int(prev_id)),
-        Column::source("previous", "amt_application", ColumnData::Float(amt_application)),
+        Column::source(
+            "previous",
+            "amt_application",
+            ColumnData::Float(amt_application),
+        ),
         Column::source("previous", "amt_credit_prev", ColumnData::Float(amt_credit)),
         Column::source("previous", "contract_status", ColumnData::Str(status)),
-        Column::source("previous", "days_decision", ColumnData::Float(days_decision)),
+        Column::source(
+            "previous",
+            "days_decision",
+            ColumnData::Float(days_decision),
+        ),
         Column::source("previous", "cnt_payment", ColumnData::Int(cnt_payment)),
     ])
     .expect("equal lengths")
@@ -301,9 +344,21 @@ fn installments_table(rows: usize, n_previous: usize, rng: &mut StdRng) -> DataF
     DataFrame::new(vec![
         Column::source("installments", "sk_id", ColumnData::Int(sk_id)),
         Column::source("installments", "prev_id", ColumnData::Int(prev_id)),
-        Column::source("installments", "amt_installment", ColumnData::Float(amt_installment)),
-        Column::source("installments", "amt_payment", ColumnData::Float(amt_payment)),
-        Column::source("installments", "days_installment", ColumnData::Float(days_installment)),
+        Column::source(
+            "installments",
+            "amt_installment",
+            ColumnData::Float(amt_installment),
+        ),
+        Column::source(
+            "installments",
+            "amt_payment",
+            ColumnData::Float(amt_payment),
+        ),
+        Column::source(
+            "installments",
+            "days_installment",
+            ColumnData::Float(days_installment),
+        ),
         Column::source(
             "installments",
             "days_entry_payment",
@@ -330,13 +385,29 @@ mod tests {
         assert_eq!(a.bureau.n_rows(), 600);
         assert!(!a.application_test.has_column("target"));
         assert_eq!(
-            a.application.column("amt_income").unwrap().floats().unwrap(),
-            b.application.column("amt_income").unwrap().floats().unwrap()
+            a.application
+                .column("amt_income")
+                .unwrap()
+                .floats()
+                .unwrap(),
+            b.application
+                .column("amt_income")
+                .unwrap()
+                .floats()
+                .unwrap()
         );
         let c = home_credit(&HomeCreditScale { seed: 7, ..scale });
         assert_ne!(
-            a.application.column("amt_income").unwrap().floats().unwrap()[0],
-            c.application.column("amt_income").unwrap().floats().unwrap()[0]
+            a.application
+                .column("amt_income")
+                .unwrap()
+                .floats()
+                .unwrap()[0],
+            c.application
+                .column("amt_income")
+                .unwrap()
+                .floats()
+                .unwrap()[0]
         );
     }
 
@@ -356,7 +427,13 @@ mod tests {
         // chance even with a linear model.
         let df = hc
             .application
-            .select(&["ext_source_2", "ext_source_3", "amt_income", "amt_credit", "target"])
+            .select(&[
+                "ext_source_2",
+                "ext_source_3",
+                "amt_income",
+                "amt_credit",
+                "target",
+            ])
             .unwrap();
         let df = co_ml::feature::scale(
             &df,
@@ -375,9 +452,19 @@ mod tests {
     #[test]
     fn anomaly_and_missingness_exist() {
         let hc = home_credit(&HomeCreditScale::tiny());
-        let employed = hc.application.column("days_employed").unwrap().floats().unwrap();
+        let employed = hc
+            .application
+            .column("days_employed")
+            .unwrap()
+            .floats()
+            .unwrap();
         assert!(employed.contains(&365_243.0));
-        let ext1 = hc.application.column("ext_source_1").unwrap().floats().unwrap();
+        let ext1 = hc
+            .application
+            .column("ext_source_1")
+            .unwrap()
+            .floats()
+            .unwrap();
         let missing = ext1.iter().filter(|v| v.is_nan()).count();
         assert!(missing > 0);
     }
@@ -386,9 +473,7 @@ mod tests {
     fn side_tables_join_to_applicants() {
         let hc = home_credit(&HomeCreditScale::tiny());
         let max_app = hc.application.n_rows() as i64;
-        for (table, frame) in
-            [("bureau", &hc.bureau), ("previous", &hc.previous)]
-        {
+        for (table, frame) in [("bureau", &hc.bureau), ("previous", &hc.previous)] {
             let ids = frame.column("sk_id").unwrap().ints().unwrap();
             assert!(
                 ids.iter().all(|&id| (0..max_app).contains(&id)),

@@ -33,14 +33,22 @@ pub fn gbt_baseline() -> GbtParams {
     GbtParams {
         n_estimators: 8,
         learning_rate: 0.25,
-        tree: TreeParams { max_depth: 3, min_samples_leaf: 20, n_thresholds: 6 },
+        tree: TreeParams {
+            max_depth: 3,
+            min_samples_leaf: 20,
+            n_thresholds: 6,
+        },
     }
 }
 
 /// The modified GBT configuration of Workloads 4 and 6–8.
 #[must_use]
 pub fn gbt_modified() -> GbtParams {
-    GbtParams { n_estimators: 12, learning_rate: 0.15, ..gbt_baseline() }
+    GbtParams {
+        n_estimators: 12,
+        learning_rate: 0.15,
+        ..gbt_baseline()
+    }
 }
 
 /// The numeric feature columns of the application table.
@@ -61,20 +69,54 @@ const APP_NUMERIC: [&str; 9] = [
 /// target) from the test table.
 fn fe_application(s: &mut Script, app: NodeId) -> Result<NodeId> {
     // Fix the days_employed sentinel anomaly (365243 in the real data).
-    let mut node = s.map(app, "days_employed", MapFn::Clip { lo: -30_000.0, hi: 0.0 }, "days_employed")?;
+    let mut node = s.map(
+        app,
+        "days_employed",
+        MapFn::Clip {
+            lo: -30_000.0,
+            hi: 0.0,
+        },
+        "days_employed",
+    )?;
     // Domain ratio features the kernel engineers.
-    node = s.binary(node, "amt_credit", "amt_income", BinFn::Div, "credit_income_ratio")?;
-    node = s.binary(node, "amt_annuity", "amt_income", BinFn::Div, "annuity_income_ratio")?;
-    node = s.binary(node, "days_employed", "days_birth", BinFn::Div, "employed_birth_ratio")?;
+    node = s.binary(
+        node,
+        "amt_credit",
+        "amt_income",
+        BinFn::Div,
+        "credit_income_ratio",
+    )?;
+    node = s.binary(
+        node,
+        "amt_annuity",
+        "amt_income",
+        BinFn::Div,
+        "annuity_income_ratio",
+    )?;
+    node = s.binary(
+        node,
+        "days_employed",
+        "days_birth",
+        BinFn::Div,
+        "employed_birth_ratio",
+    )?;
     node = s.map(node, "amt_income", MapFn::Log1p, "log_income")?;
     node = s.map(node, "amt_credit", MapFn::Log1p, "log_credit")?;
     // Per-column mean imputation (one operation per column, as the
     // kernel's loop produces one intermediate per column).
-    for col in ["amt_annuity", "ext_source_1", "ext_source_2", "ext_source_3"] {
+    for col in [
+        "amt_annuity",
+        "ext_source_1",
+        "ext_source_2",
+        "ext_source_3",
+    ] {
         node = s.impute(node, ImputeStrategy::Mean, &[col])?;
     }
     // Polynomial interactions of the external scores and age.
-    node = s.poly(node, &["ext_source_1", "ext_source_2", "ext_source_3", "days_birth"])?;
+    node = s.poly(
+        node,
+        &["ext_source_1", "ext_source_2", "ext_source_3", "days_birth"],
+    )?;
     // Categorical encodings.
     for (col, k) in [
         ("code_gender", 3),
@@ -117,7 +159,13 @@ fn eda_terminals(s: &mut Script, app: NodeId) -> Result<()> {
     }
     let sub = s.select(
         app,
-        &["target", "ext_source_1", "ext_source_2", "ext_source_3", "days_birth"],
+        &[
+            "target",
+            "ext_source_1",
+            "ext_source_2",
+            "ext_source_3",
+            "days_birth",
+        ],
     )?;
     let corr = s.corr(sub)?;
     s.output(corr)?;
@@ -128,7 +176,11 @@ fn eda_terminals(s: &mut Script, app: NodeId) -> Result<()> {
         let vc = s.value_counts(app, col)?;
         s.output(vc)?;
         let encoded = s.label_encode(app, col)?;
-        let rates = s.groupby(encoded, col, &[("target", AggFn::Mean), ("target", AggFn::Count)])?;
+        let rates = s.groupby(
+            encoded,
+            col,
+            &[("target", AggFn::Mean), ("target", AggFn::Count)],
+        )?;
         let sorted = s.sort(rates, "target_mean", false)?;
         s.output(sorted)?;
     }
@@ -163,7 +215,11 @@ pub fn w1(data: &HomeCredit) -> Result<WorkloadDag> {
     let lr = s.train_logistic(
         train_xy,
         "target",
-        LogisticParams { lr: 0.3, max_iter: 30, ..LogisticParams::default() },
+        LogisticParams {
+            lr: 0.3,
+            max_iter: 30,
+            ..LogisticParams::default()
+        },
     )?;
     let lr_score = s.evaluate(lr, train_xy, "target", EvalMetric::RocAuc)?;
     s.output(lr_score)?;
@@ -173,7 +229,11 @@ pub fn w1(data: &HomeCredit) -> Result<WorkloadDag> {
         "target",
         ForestParams {
             n_estimators: 5,
-            tree: TreeParams { max_depth: 3, min_samples_leaf: 20, n_thresholds: 6 },
+            tree: TreeParams {
+                max_depth: 3,
+                min_samples_leaf: 20,
+                n_thresholds: 6,
+            },
             feature_fraction: 0.5,
             seed: 42,
         },
@@ -193,7 +253,13 @@ pub fn w1(data: &HomeCredit) -> Result<WorkloadDag> {
 fn bureau_features(s: &mut Script, app: NodeId, bureau: NodeId) -> Result<NodeId> {
     let mut node = app;
     for col in ["days_credit", "amt_credit_sum", "amt_credit_debt"] {
-        for agg in [AggFn::Count, AggFn::Mean, AggFn::Max, AggFn::Min, AggFn::Sum] {
+        for agg in [
+            AggFn::Count,
+            AggFn::Mean,
+            AggFn::Max,
+            AggFn::Min,
+            AggFn::Sum,
+        ] {
             let grouped = s.groupby(bureau, "sk_id", &[(col, agg)])?;
             node = s.left_join(node, grouped, "sk_id")?;
         }
@@ -207,7 +273,11 @@ fn bureau_features(s: &mut Script, app: NodeId, bureau: NodeId) -> Result<NodeId
         node = s.left_join(node, grouped, "sk_id")?;
     }
     // Unmatched applicants get zero counts.
-    for col in ["days_credit_count", "credit_active=Active_sum", "credit_active=Closed_sum"] {
+    for col in [
+        "days_credit_count",
+        "credit_active=Active_sum",
+        "credit_active=Closed_sum",
+    ] {
         node = s.map(node, col, MapFn::FillNa(0.0), col)?;
     }
     Ok(node)
@@ -216,7 +286,12 @@ fn bureau_features(s: &mut Script, app: NodeId, bureau: NodeId) -> Result<NodeId
 /// The previous-application features of W2/W3.
 fn previous_features(s: &mut Script, app: NodeId, previous: NodeId) -> Result<NodeId> {
     let mut node = app;
-    for col in ["amt_application", "amt_credit_prev", "days_decision", "cnt_payment"] {
+    for col in [
+        "amt_application",
+        "amt_credit_prev",
+        "days_decision",
+        "cnt_payment",
+    ] {
         for agg in [AggFn::Mean, AggFn::Max, AggFn::Sum] {
             let grouped = s.groupby(previous, "sk_id", &[(col, agg)])?;
             node = s.left_join(node, grouped, "sk_id")?;
@@ -241,7 +316,13 @@ fn installments_features(s: &mut Script, app: NodeId, installments: NodeId) -> R
         BinFn::Sub,
         "days_late",
     )?;
-    inst = s.binary(inst, "amt_payment", "amt_installment", BinFn::Div, "payment_ratio")?;
+    inst = s.binary(
+        inst,
+        "amt_payment",
+        "amt_installment",
+        BinFn::Div,
+        "payment_ratio",
+    )?;
     let mut node = app;
     for col in ["days_late", "payment_ratio", "amt_payment"] {
         for agg in [AggFn::Mean, AggFn::Max, AggFn::Min, AggFn::Sum] {
@@ -255,10 +336,21 @@ fn installments_features(s: &mut Script, app: NodeId, installments: NodeId) -> R
 /// Numeric cleanup applied after the join-heavy feature construction.
 fn clean_joined(s: &mut Script, node: NodeId) -> Result<NodeId> {
     let mut node = node;
-    for col in ["amt_annuity", "ext_source_1", "ext_source_2", "ext_source_3"] {
+    for col in [
+        "amt_annuity",
+        "ext_source_1",
+        "ext_source_2",
+        "ext_source_3",
+    ] {
         node = s.impute(node, ImputeStrategy::Median, &[col])?;
     }
-    node = s.binary(node, "amt_credit", "amt_income", BinFn::Div, "credit_income_ratio")?;
+    node = s.binary(
+        node,
+        "amt_credit",
+        "amt_income",
+        BinFn::Div,
+        "credit_income_ratio",
+    )?;
     node = s.one_hot(node, "code_gender", 3)?;
     node = s.one_hot(node, "contract_type", 2)?;
     Ok(node)
@@ -298,7 +390,11 @@ fn w3_features(s: &mut Script, data: &HomeCredit) -> Result<NodeId> {
     // Extra pairwise ratio features over the aggregate columns.
     for (a, b, out) in [
         ("amt_credit_sum_mean", "amt_income", "bureau_income_ratio"),
-        ("amt_credit_debt_mean", "amt_credit_sum_mean", "debt_credit_ratio"),
+        (
+            "amt_credit_debt_mean",
+            "amt_credit_sum_mean",
+            "debt_credit_ratio",
+        ),
         ("amt_application_mean", "amt_income", "prev_income_ratio"),
         ("days_late_mean", "cnt_payment_sum", "late_per_payment"),
         ("amt_payment_sum", "amt_income", "payments_income_ratio"),
@@ -352,7 +448,11 @@ pub fn w5(data: &HomeCredit) -> Result<WorkloadDag> {
     let features = w1_features(&mut s, data)?;
     for n_estimators in [4, 8, 12] {
         for learning_rate in [0.1, 0.25] {
-            let params = GbtParams { n_estimators, learning_rate, ..gbt_baseline() };
+            let params = GbtParams {
+                n_estimators,
+                learning_rate,
+                ..gbt_baseline()
+            };
             let gbt = s.train_gbt(features, "target", params)?;
             let score = s.evaluate(gbt, features, "target", EvalMetric::RocAuc)?;
             s.output(score)?;
@@ -408,7 +508,11 @@ pub fn w8(data: &HomeCredit) -> Result<WorkloadDag> {
     // and test carry sk_id). Join on it.
     let joined = s.join(w1_fe, w2_aggs, "sk_id")?;
     let mut cleaned = joined;
-    for col in ["days_credit_mean", "amt_credit_sum_mean", "amt_credit_debt_mean"] {
+    for col in [
+        "days_credit_mean",
+        "amt_credit_sum_mean",
+        "amt_credit_debt_mean",
+    ] {
         cleaned = s.map(cleaned, col, MapFn::FillNa(0.0), col)?;
     }
     let gbt = s.train_gbt(cleaned, "target", gbt_modified())?;
@@ -455,7 +559,11 @@ mod tests {
                 i + 1,
                 dag.n_nodes()
             );
-            assert!(!dag.terminals().is_empty(), "workload {} has no terminals", i + 1);
+            assert!(
+                !dag.terminals().is_empty(),
+                "workload {} has no terminals",
+                i + 1
+            );
         }
         // W1 is the largest builder of EDA artifacts.
         assert!(dags[0].n_nodes() > 60, "w1 nodes = {}", dags[0].n_nodes());
@@ -466,18 +574,28 @@ mod tests {
         let data = data();
         let overlap = |a: &WorkloadDag, b: &WorkloadDag| {
             let ids: HashSet<_> = a.nodes().iter().map(|n| n.artifact).collect();
-            b.nodes().iter().filter(|n| ids.contains(&n.artifact)).count()
+            b.nodes()
+                .iter()
+                .filter(|n| ids.contains(&n.artifact))
+                .count()
         };
         let w1 = w1(&data).unwrap();
         let w4 = w4(&data).unwrap();
         let w5 = w5(&data).unwrap();
         // W4 and W5 rebuild W1's whole feature pipeline.
-        assert!(overlap(&w1, &w4) > 20, "w1/w4 overlap = {}", overlap(&w1, &w4));
+        assert!(
+            overlap(&w1, &w4) > 20,
+            "w1/w4 overlap = {}",
+            overlap(&w1, &w4)
+        );
         assert!(overlap(&w4, &w5) > 20);
         // W4 trains a *different* GBT than W1.
         let w1_ids: HashSet<_> = w1.nodes().iter().map(|n| n.artifact).collect();
-        let w4_terminal_model =
-            w4.terminals().iter().map(|t| w4.nodes()[t.0].artifact).find(|a| !w1_ids.contains(a));
+        let w4_terminal_model = w4
+            .terminals()
+            .iter()
+            .map(|t| w4.nodes()[t.0].artifact)
+            .find(|a| !w1_ids.contains(a));
         assert!(w4_terminal_model.is_some());
 
         let w2 = w2(&data).unwrap();
@@ -517,7 +635,11 @@ mod tests {
         for build in [w2, w3, w8] {
             let (_, report) = server.run_workload(build(&data).unwrap()).unwrap();
             assert!(report.ops_executed > 10);
-            assert!(report.best_model_quality > 0.55, "q = {}", report.best_model_quality);
+            assert!(
+                report.best_model_quality > 0.55,
+                "q = {}",
+                report.best_model_quality
+            );
         }
     }
 }

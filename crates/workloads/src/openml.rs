@@ -91,7 +91,11 @@ pub fn pipeline(data: &CreditG, run_idx: u64, seed: u64) -> Result<WorkloadDag> 
             let params = GbtParams {
                 n_estimators: [8, 16, 24][rng.random_range(0..3)],
                 learning_rate: 0.2,
-                tree: TreeParams { max_depth: 3, min_samples_leaf: 5, n_thresholds: 8 },
+                tree: TreeParams {
+                    max_depth: 3,
+                    min_samples_leaf: 5,
+                    n_thresholds: 8,
+                },
             };
             s.train_gbt(fe_train, "class", params)?
         }
@@ -150,11 +154,19 @@ pub fn model_benchmark_scenario(
                 // Compare against the champion: re-run its workload.
                 let (_, cmp) = server.run_workload(pipeline(data, g as u64, seed)?)?;
                 run_seconds += cmp.run_seconds();
-                steps.push(BenchmarkStep { run_seconds, score, gold: g });
+                steps.push(BenchmarkStep {
+                    run_seconds,
+                    score,
+                    gold: g,
+                });
             }
             _ => {
                 gold = Some((i, score));
-                steps.push(BenchmarkStep { run_seconds, score, gold: i });
+                steps.push(BenchmarkStep {
+                    run_seconds,
+                    score,
+                    gold: i,
+                });
             }
         }
     }
@@ -213,9 +225,7 @@ mod tests {
         let oml = OptimizerServer::new(ServerConfig::baseline());
         let co_steps = model_benchmark_scenario(&co, &data, 10, 3).unwrap();
         let oml_steps = model_benchmark_scenario(&oml, &data, 10, 3).unwrap();
-        let total = |steps: &[BenchmarkStep]| -> f64 {
-            steps.iter().map(|s| s.run_seconds).sum()
-        };
+        let total = |steps: &[BenchmarkStep]| -> f64 { steps.iter().map(|s| s.run_seconds).sum() };
         assert!(
             total(&co_steps) < total(&oml_steps),
             "CO {} vs OML {}",

@@ -48,21 +48,31 @@ pub fn terminal_eval_score(dag: &WorkloadDag) -> Option<f64> {
                 .as_f64()
                 .filter(|v| (0.0..=1.0).contains(v))
         })
-        .fold(None, |best: Option<f64>, v| Some(best.map_or(v, |b| b.max(v))))
+        .fold(None, |best: Option<f64>, v| {
+            Some(best.map_or(v, |b| b.max(v)))
+        })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use co_core::{ServerConfig, Script};
     use co_core::ops::EvalMetric;
+    use co_core::{Script, ServerConfig};
     use co_dataframe::{Column, ColumnData, DataFrame};
     use co_ml::linear::LogisticParams;
 
     fn tiny_workload() -> WorkloadDag {
         let df = DataFrame::new(vec![
-            Column::source("t", "x", ColumnData::Float((0..40).map(|i| f64::from(i) / 20.0).collect())),
-            Column::source("t", "y", ColumnData::Int((0..40).map(|i| i64::from(i >= 20)).collect())),
+            Column::source(
+                "t",
+                "x",
+                ColumnData::Float((0..40).map(|i| f64::from(i) / 20.0).collect()),
+            ),
+            Column::source(
+                "t",
+                "y",
+                ColumnData::Int((0..40).map(|i| i64::from(i >= 20)).collect()),
+            ),
         ])
         .unwrap();
         let mut s = Script::new();
@@ -76,8 +86,7 @@ mod tests {
     #[test]
     fn sequences_and_scores() {
         let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
-        let reports =
-            run_sequence(&server, vec![tiny_workload(), tiny_workload()]).unwrap();
+        let reports = run_sequence(&server, vec![tiny_workload(), tiny_workload()]).unwrap();
         assert_eq!(reports.len(), 2);
         let cumulative = cumulative_run_times(&reports);
         assert!(cumulative[1] >= cumulative[0]);

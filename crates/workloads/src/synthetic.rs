@@ -82,7 +82,10 @@ pub fn synthetic_workload(
     let n_nodes = rng.random_range(config.n_nodes_min..=config.n_nodes_max);
 
     let mut dag = WorkloadDag::new();
-    let source = dag.add_source(&format!("synthetic_src_{idx}"), Value::Aggregate(Scalar::Float(0.0)));
+    let source = dag.add_source(
+        &format!("synthetic_src_{idx}"),
+        Value::Aggregate(Scalar::Float(0.0)),
+    );
     let mut nodes = vec![source];
     for i in 1..n_nodes {
         let pick_parent = |rng: &mut StdRng, nodes: &[co_graph::NodeId]| {
@@ -140,7 +143,8 @@ pub fn synthetic_workload(
     for node in &nodes[1..] {
         if rng.random::<f64>() < config.mat_ratio {
             let artifact = annotated.nodes()[node.0].artifact;
-            eg.storage_mut().store(artifact, &Value::Aggregate(Scalar::Float(0.0)));
+            eg.storage_mut()
+                .store(artifact, &Value::Aggregate(Scalar::Float(0.0)));
         }
     }
     Ok((dag, eg))
@@ -149,13 +153,15 @@ pub fn synthetic_workload(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use co_core::optimizer::{
-        plan_execution_cost, HelixReuse, LinearReuse, ReusePlanner,
-    };
+    use co_core::optimizer::{plan_execution_cost, HelixReuse, LinearReuse, ReusePlanner};
     use co_core::CostModel;
 
     fn small() -> SyntheticConfig {
-        SyntheticConfig { n_nodes_min: 60, n_nodes_max: 120, ..SyntheticConfig::default() }
+        SyntheticConfig {
+            n_nodes_min: 60,
+            n_nodes_max: 120,
+            ..SyntheticConfig::default()
+        }
     }
 
     #[test]

@@ -34,17 +34,16 @@ impl Operation for SystematicSample {
     }
 
     fn run(&self, inputs: &[&Value]) -> co_graph::Result<Value> {
-        let df = inputs
-            .first()
-            .and_then(|v| v.as_dataset())
-            .ok_or_else(|| GraphError::BadOperationInput {
+        let df = inputs.first().and_then(|v| v.as_dataset()).ok_or_else(|| {
+            GraphError::BadOperationInput {
                 op: self.name().to_owned(),
                 message: "expected one dataset input".to_owned(),
-            })?;
+            }
+        })?;
         let rows: Vec<usize> = (self.offset..df.n_rows()).step_by(self.step).collect();
         // take_rows keeps ids; a sample changes content, so derive them.
         let sampled = df.take_rows(&rows).map_ids(|id| id.derive(self.op_hash()));
-        Ok(Value::Dataset(sampled))
+        Ok(Value::dataset(sampled))
     }
 }
 
@@ -56,7 +55,7 @@ fn workload(step: usize) -> WorkloadDag {
     )])
     .expect("one column");
     let mut dag = WorkloadDag::new();
-    let source = dag.add_source("numbers", Value::Dataset(data));
+    let source = dag.add_source("numbers", Value::dataset(data));
     let sampled = dag
         .add_op(Arc::new(SystematicSample { step, offset: 0 }), &[source])
         .expect("valid input");
@@ -69,8 +68,19 @@ fn main() {
 
     let (dag, first) = server.run_workload(workload(10)).expect("runs");
     let terminal = dag.terminals()[0];
-    let rows = dag.node(terminal).unwrap().computed.as_ref().unwrap().as_dataset().unwrap().n_rows();
-    println!("first run:  computed {rows} sampled rows in {:.2} ms", first.run_seconds() * 1e3);
+    let rows = dag
+        .node(terminal)
+        .unwrap()
+        .computed
+        .as_ref()
+        .unwrap()
+        .as_dataset()
+        .unwrap()
+        .n_rows();
+    println!(
+        "first run:  computed {rows} sampled rows in {:.2} ms",
+        first.run_seconds() * 1e3
+    );
 
     // The same custom operation re-submitted: served from the graph.
     let (_, second) = server.run_workload(workload(10)).expect("runs");

@@ -53,7 +53,10 @@ impl Operation for Brittle {
         {
             Ok(Value::Aggregate(Scalar::Float(2.0)))
         } else {
-            Err(co_graph::GraphError::op_failed("brittle_step", "upstream service is down"))
+            Err(co_graph::GraphError::op_failed(
+                "brittle_step",
+                "upstream service is down",
+            ))
         }
     }
 }
@@ -64,7 +67,14 @@ fn pipeline(ok_runs: &Arc<AtomicUsize>) -> WorkloadDag {
     let src = dag.add_source("events.csv", Value::Aggregate(Scalar::Float(0.0)));
     let a = dag.add_op(Arc::new(Step("prep_a")), &[src]).unwrap();
     let b = dag.add_op(Arc::new(Step("prep_b")), &[a]).unwrap();
-    let c = dag.add_op(Arc::new(Brittle { ok_runs: Arc::clone(ok_runs) }), &[b]).unwrap();
+    let c = dag
+        .add_op(
+            Arc::new(Brittle {
+                ok_runs: Arc::clone(ok_runs),
+            }),
+            &[b],
+        )
+        .unwrap();
     let d = dag.add_op(Arc::new(Step("report_step")), &[c]).unwrap();
     dag.mark_terminal(d).unwrap();
     dag
@@ -77,7 +87,9 @@ fn main() {
     //    completed prefix instead of throwing it away.
     println!("== failing run: brittle_step's dependency is down ==");
     let broken = Arc::new(AtomicUsize::new(0));
-    let err = server.run_workload(pipeline(&broken)).expect_err("must fail");
+    let err = server
+        .run_workload(pipeline(&broken))
+        .expect_err("must fail");
     println!("error: {err}");
     println!(
         "salvaged {} of {} vertices into the Experiment Graph",
@@ -101,8 +113,13 @@ fn main() {
     let faults = Arc::new(FaultInjector::new());
     faults.fail_op("prep_b", FaultKind::Transient, 2);
     flaky_server.set_fault_injector(Arc::clone(&faults));
-    let (_, report) = flaky_server.run_workload(pipeline(&fixed)).expect("retries absorb it");
-    println!("succeeded after {} retries; client saw no error", report.retries);
+    let (_, report) = flaky_server
+        .run_workload(pipeline(&fixed))
+        .expect("retries absorb it");
+    println!(
+        "succeeded after {} retries; client saw no error",
+        report.retries
+    );
 
     // 4. Panicking user code becomes a structured error, not a dead
     //    server. (Fresh server: on `flaky_server` the terminal artifact
@@ -113,7 +130,9 @@ fn main() {
     let panic_faults = Arc::new(FaultInjector::new());
     panic_faults.fail_op("report_step", FaultKind::Panic, 1);
     panic_server.set_fault_injector(Arc::clone(&panic_faults));
-    let err = panic_server.run_workload(pipeline(&fixed)).expect_err("panic surfaces");
+    let err = panic_server
+        .run_workload(pipeline(&fixed))
+        .expect_err("panic surfaces");
     println!("caught: {}", err.error);
     println!("panics_caught = {}", err.report.panics_caught);
 
@@ -123,7 +142,9 @@ fn main() {
     for n in 0..64 {
         faults.fail_nth_load(n);
     }
-    let (_, report) = flaky_server.run_workload(pipeline(&fixed)).expect("degrades cleanly");
+    let (_, report) = flaky_server
+        .run_workload(pipeline(&fixed))
+        .expect("degrades cleanly");
     println!(
         "recovered {} planned loads by recomputing ({} ops executed)",
         report.load_misses_recovered, report.ops_executed
@@ -134,20 +155,31 @@ fn main() {
     let q_server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
     let dead = Arc::new(AtomicUsize::new(0));
     for attempt in 1..=4 {
-        let err = q_server.run_workload(pipeline(&dead)).expect_err("still broken");
+        let err = q_server
+            .run_workload(pipeline(&dead))
+            .expect_err("still broken");
         println!("attempt {attempt}: {}", err.error);
     }
-    let quarantined = q_server.quarantine().expect("enabled by default").quarantined();
+    let quarantined = q_server
+        .quarantine()
+        .expect("enabled by default")
+        .quarantined();
     println!("quarantined ops: {quarantined:?}");
 
     // 7. An operator fixes the dependency and releases the op; the next
     //    submission runs it again.
     let dag = pipeline(&dead);
-    let brittle_hash =
-        dag.producer(co_graph::NodeId(3)).expect("brittle edge").op.op_hash();
+    let brittle_hash = dag
+        .producer(co_graph::NodeId(3))
+        .expect("brittle edge")
+        .op
+        .op_hash();
     q_server.quarantine().unwrap().release(brittle_hash);
     dead.store(usize::MAX, Ordering::SeqCst);
     let (_, report) = q_server.run_workload(dag).expect("released and fixed");
-    println!("after release: executed {} operations, workload ok", report.ops_executed);
+    println!(
+        "after release: executed {} operations, workload ok",
+        report.ops_executed
+    );
     println!("\nserver stats: {:?}", q_server.stats());
 }

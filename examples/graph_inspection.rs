@@ -19,12 +19,16 @@ fn main() {
 
     println!("simulating 40 community submissions...");
     for i in 0..40 {
-        server.run_workload(pipeline(&data, i, 11).expect("builds")).expect("runs");
+        server
+            .run_workload(pipeline(&data, i, 11).expect("builds"))
+            .expect("runs");
     }
 
     // 1. EXPLAIN an incoming workload before running it.
     println!("\n== EXPLAIN: what would running pipeline #3 again cost? ==");
-    let plan = server.explain(pipeline(&data, 3, 11).expect("builds")).expect("plans");
+    let plan = server
+        .explain(pipeline(&data, 3, 11).expect("builds"))
+        .expect("plans");
     println!("{plan}");
 
     // 2. Graph dashboard.
@@ -32,7 +36,10 @@ fn main() {
     println!("== Experiment Graph ==");
     println!(
         "{} vertices ({} datasets, {} models, {} aggregates), {} materialized",
-        stats.n_vertices, stats.n_datasets, stats.n_models, stats.n_aggregates,
+        stats.n_vertices,
+        stats.n_datasets,
+        stats.n_models,
+        stats.n_aggregates,
         stats.n_materialized
     );
     println!(
@@ -61,7 +68,11 @@ fn main() {
             entry.frequency,
             entry.pipeline_depth,
             entry.description,
-            if entry.materialized { "  [materialized]" } else { "" }
+            if entry.materialized {
+                "  [materialized]"
+            } else {
+                ""
+            }
         );
     }
 
@@ -71,5 +82,9 @@ fn main() {
     let dot = workload_to_dot(&dag);
     let path = std::env::temp_dir().join("co_workload.dot");
     std::fs::write(&path, &dot).expect("writable temp dir");
-    println!("\nworkload DAG rendered to {} ({} bytes; `dot -Tpng` to view)", path.display(), dot.len());
+    println!(
+        "\nworkload DAG rendered to {} ({} bytes; `dot -Tpng` to view)",
+        path.display(),
+        dot.len()
+    );
 }

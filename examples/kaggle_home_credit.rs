@@ -13,8 +13,14 @@ use co_workloads::kaggle;
 use co_workloads::runner::{cumulative_run_times, run_sequence};
 
 fn main() {
-    let scale = HomeCreditScale { application_rows: 2000, ..HomeCreditScale::default() };
-    println!("generating synthetic Home Credit data ({} applications)...", scale.application_rows);
+    let scale = HomeCreditScale {
+        application_rows: 2000,
+        ..HomeCreditScale::default()
+    };
+    println!(
+        "generating synthetic Home Credit data ({} applications)...",
+        scale.application_rows
+    );
     let data = home_credit(&scale);
 
     // Budget: an eighth of the ALL footprint, like the paper's 16 GB of

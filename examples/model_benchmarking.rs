@@ -33,12 +33,18 @@ fn main() {
     let mut last_gold = usize::MAX;
     for (i, step) in co_steps.iter().enumerate() {
         if step.gold != last_gold {
-            println!("  workload {:>3} becomes the gold standard (AUC {:.3})", i, step.score);
+            println!(
+                "  workload {:>3} becomes the gold standard (AUC {:.3})",
+                i, step.score
+            );
             last_gold = step.gold;
         }
     }
     println!("\nbest model AUC:        {best:.3}");
     println!("CO  cumulative time:   {:.2} s", total(&co_steps));
     println!("OML cumulative time:   {:.2} s", total(&oml_steps));
-    println!("improvement:           {:.1}x", total(&oml_steps) / total(&co_steps).max(1e-9));
+    println!(
+        "improvement:           {:.1}x",
+        total(&oml_steps) / total(&co_steps).max(1e-9)
+    );
 }

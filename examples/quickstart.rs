@@ -63,7 +63,10 @@ fn listing1_workload() -> WorkloadDag {
         .count_vectorize(
             ad_desc,
             "ad_desc",
-            VectorizerParams { max_features: 50, min_token_len: 2 },
+            VectorizerParams {
+                max_features: 50,
+                min_token_len: 2,
+            },
         )
         .unwrap();
     let t_subset = s.select(train, &["ts", "u_id", "price", "y"]).unwrap();
@@ -82,7 +85,9 @@ fn main() {
     let server = OptimizerServer::new(ServerConfig::collaborative(1 << 30));
 
     println!("== first run (cold Experiment Graph) ==");
-    let (dag, first) = server.run_workload(listing1_workload()).expect("workload runs");
+    let (dag, first) = server
+        .run_workload(listing1_workload())
+        .expect("workload runs");
     let score = co_workloads::runner::terminal_eval_score(&dag).unwrap_or(0.0);
     println!(
         "executed {} operations in {:.1} ms; model AUC = {score:.3}",
@@ -91,7 +96,9 @@ fn main() {
     );
 
     println!("\n== second run (same script, re-submitted) ==");
-    let (_, second) = server.run_workload(listing1_workload()).expect("workload runs");
+    let (_, second) = server
+        .run_workload(listing1_workload())
+        .expect("workload runs");
     println!(
         "executed {} operations, loaded {} artifacts, in {:.3} ms",
         second.ops_executed,

@@ -21,13 +21,26 @@ fn training_workload(data: &co_workloads::data::CreditG, lr: f64, max_iter: usiz
     let mut s = Script::new();
     let train = s.load("creditg_train", data.train.clone());
     let test = s.load("creditg_test", data.test.clone());
-    let cols: Vec<&str> = (0..10).map(|i| Box::leak(format!("a{i}").into_boxed_str()) as &str).collect();
+    let cols: Vec<&str> = (0..10)
+        .map(|i| Box::leak(format!("a{i}").into_boxed_str()) as &str)
+        .collect();
     let fe_train = s.scale(train, ScaleKind::Standard, &cols).unwrap();
     let fe_test = s.scale(test, ScaleKind::Standard, &cols).unwrap();
     let model = s
-        .train_logistic(fe_train, "class", LogisticParams { lr, max_iter, tol: 1e-7, l2: 1e-4 })
+        .train_logistic(
+            fe_train,
+            "class",
+            LogisticParams {
+                lr,
+                max_iter,
+                tol: 1e-7,
+                l2: 1e-4,
+            },
+        )
         .unwrap();
-    let score = s.evaluate(model, fe_test, "class", EvalMetric::RocAuc).unwrap();
+    let score = s
+        .evaluate(model, fe_test, "class", EvalMetric::RocAuc)
+        .unwrap();
     s.output(score).unwrap();
     s.into_dag()
 }
@@ -42,7 +55,12 @@ fn run_session(warmstart: bool, data: &co_workloads::data::CreditG) -> (f64, f64
     // A sweep of learning rates under a tight iteration cap: every run
     // trains a *different* model (no exact reuse possible), but each can
     // warmstart from its predecessors.
-    for (i, lr) in [0.02, 0.03, 0.05, 0.04, 0.06, 0.025, 0.045, 0.035, 0.055, 0.015].iter().enumerate() {
+    for (i, lr) in [
+        0.02, 0.03, 0.05, 0.04, 0.06, 0.025, 0.045, 0.035, 0.055, 0.015,
+    ]
+    .iter()
+    .enumerate()
+    {
         let dag = training_workload(data, *lr, 40 + i);
         let (executed, report) = server.run_workload(dag).expect("runs");
         total_time += report.run_seconds();

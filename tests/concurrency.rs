@@ -2,8 +2,8 @@
 //! many isolated clients against one shared Experiment Graph (§3). These
 //! tests drive concurrent sessions through one server.
 
-use co_core::{OptimizerServer, ServerConfig, Script};
 use co_core::ops::EvalMetric;
+use co_core::{OptimizerServer, Script, ServerConfig};
 use co_graph::WorkloadDag;
 use co_workloads::data::{creditg, CreditG};
 use co_workloads::openml;
@@ -17,10 +17,15 @@ fn simple_workload(data: &CreditG, lr: f64) -> WorkloadDag {
         .train_logistic(
             train,
             "class",
-            co_ml::linear::LogisticParams { lr, ..Default::default() },
+            co_ml::linear::LogisticParams {
+                lr,
+                ..Default::default()
+            },
         )
         .unwrap();
-    let score = s.evaluate(model, test, "class", EvalMetric::RocAuc).unwrap();
+    let score = s
+        .evaluate(model, test, "class", EvalMetric::RocAuc)
+        .unwrap();
     s.output(score).unwrap();
     s.into_dag()
 }
@@ -82,7 +87,9 @@ fn concurrent_pipeline_stream_matches_sequential_results() {
     let seq = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
     let mut expected = Vec::new();
     for i in 0..12u64 {
-        let (dag, _) = seq.run_workload(openml::pipeline(&data, i, 5).unwrap()).unwrap();
+        let (dag, _) = seq
+            .run_workload(openml::pipeline(&data, i, 5).unwrap())
+            .unwrap();
         expected.push(co_workloads::runner::terminal_eval_score(&dag).unwrap());
     }
     // The same twelve pipelines raced across four threads.
@@ -95,10 +102,10 @@ fn concurrent_pipeline_stream_matches_sequential_results() {
             let results = &results;
             scope.spawn(move |_| {
                 for i in (t..12).step_by(4) {
-                    let (dag, _) =
-                        server.run_workload(openml::pipeline(&data, i, 5).unwrap()).unwrap();
-                    let score =
-                        co_workloads::runner::terminal_eval_score(&dag).unwrap();
+                    let (dag, _) = server
+                        .run_workload(openml::pipeline(&data, i, 5).unwrap())
+                        .unwrap();
+                    let score = co_workloads::runner::terminal_eval_score(&dag).unwrap();
                     results.lock()[i as usize] = score;
                 }
             });

@@ -62,7 +62,10 @@ fn collaborative_beats_baseline_cumulatively() {
         "reuse should eliminate most repeated operations: CO {co_ops} vs KG {kg_ops}"
     );
     let loads: usize = co_reports.iter().map(|r| r.artifacts_loaded).sum();
-    assert!(loads > 5, "derived workloads must load shared artifacts, got {loads}");
+    assert!(
+        loads > 5,
+        "derived workloads must load shared artifacts, got {loads}"
+    );
 }
 
 #[test]
@@ -78,7 +81,10 @@ fn repeated_sequences_are_almost_free() {
     let first_ops: usize = first.iter().map(|r| r.ops_executed).sum();
     let ops: usize = reports.iter().map(|r| r.ops_executed).sum();
     let loads: usize = reports.iter().map(|r| r.artifacts_loaded).sum();
-    assert!(ops < first_ops / 5, "repeat re-ran too much: {ops} of {first_ops}");
+    assert!(
+        ops < first_ops / 5,
+        "repeat re-ran too much: {ops} of {first_ops}"
+    );
     assert!(loads > 0);
 
     // Everything that did run produced an Aggregate.
@@ -88,9 +94,7 @@ fn repeated_sequences_are_almost_free() {
         let (executed, _) = co.run_workload(dag).unwrap();
         for (i, node) in executed.nodes().iter().enumerate() {
             // A freshly measured compute time marks an executed op.
-            if executed.producer(co_graph::NodeId(i)).is_some()
-                && node.compute_time.is_some()
-            {
+            if executed.producer(co_graph::NodeId(i)).is_some() && node.compute_time.is_some() {
                 if node.kind == co_graph::NodeKind::Aggregate {
                     aggregate_ops += 1;
                 } else {
@@ -99,7 +103,10 @@ fn repeated_sequences_are_almost_free() {
             }
         }
     }
-    assert_eq!(other_ops, 0, "only scalar aggregates may recompute on a repeat");
+    assert_eq!(
+        other_ops, 0,
+        "only scalar aggregates may recompute on a repeat"
+    );
     assert!(aggregate_ops > 0);
 }
 
@@ -121,7 +128,10 @@ fn experiment_graph_accumulates_consistently() {
             order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
         for v in eg.vertices() {
             for p in &v.parents {
-                assert!(position[p] < position[&v.id], "parent after child in topo order");
+                assert!(
+                    position[p] < position[&v.id],
+                    "parent after child in topo order"
+                );
             }
             for c in &v.children {
                 assert!(eg.contains(*c));
@@ -131,7 +141,10 @@ fn experiment_graph_accumulates_consistently() {
     // Frequencies: artifacts shared across workloads appear more often.
     let eg = srv.eg();
     let max_freq = eg.vertices().map(|v| v.frequency).max().unwrap();
-    assert!(max_freq >= 4, "shared FE artifacts should recur, max freq = {max_freq}");
+    assert!(
+        max_freq >= 4,
+        "shared FE artifacts should recur, max freq = {max_freq}"
+    );
 }
 
 #[test]
@@ -144,8 +157,11 @@ fn budget_is_respected_under_pressure() {
         // Sources are stored unconditionally and form the only permitted
         // overflow.
         let eg = srv.eg();
-        let source_bytes: u64 =
-            eg.sources().iter().filter_map(|id| eg.vertex(*id).ok().map(|v| v.size)).sum();
+        let source_bytes: u64 = eg
+            .sources()
+            .iter()
+            .filter_map(|id| eg.vertex(*id).ok().map(|v| v.size))
+            .sum();
         drop(eg);
         assert!(
             unique <= budget.max(source_bytes) + source_bytes,
@@ -163,11 +179,16 @@ fn stored_artifacts_round_trip_through_the_graph() {
     let (executed, _) = srv.run_workload(kaggle::w2(&data).unwrap()).unwrap();
     let eg = srv.eg();
     for node in executed.nodes() {
-        let Some(original) = &node.computed else { continue };
+        let Some(original) = &node.computed else {
+            continue;
+        };
         if !eg.is_materialized(node.artifact) {
             continue;
         }
-        let stored = eg.storage().get(node.artifact).expect("materialized content");
+        let stored = eg
+            .storage()
+            .get(node.artifact)
+            .expect("materialized content");
         match (original, &stored) {
             (co_graph::Value::Dataset(a), co_graph::Value::Dataset(b)) => {
                 assert_eq!(a.n_rows(), b.n_rows());
@@ -196,7 +217,12 @@ fn local_pruner_skips_interactive_recomputation() {
         .into_iter()
         .find(|t| first.node(*t).unwrap().kind == co_graph::NodeKind::Dataset)
         .expect("w2 outputs its feature table");
-    let value = first.node(feature_terminal).unwrap().computed.clone().unwrap();
+    let value = first
+        .node(feature_terminal)
+        .unwrap()
+        .computed
+        .clone()
+        .unwrap();
     dag.set_computed(feature_terminal, value).unwrap();
 
     let (_, rerun) = srv.run_workload(dag).unwrap();

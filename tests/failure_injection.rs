@@ -83,14 +83,21 @@ impl Operation for Panicky {
 fn workload(budget: &Arc<AtomicUsize>) -> WorkloadDag {
     let mut dag = WorkloadDag::new();
     let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
-    let ok = dag.add_op(Arc::new(Ok1("stable_step".into())), &[s]).unwrap();
+    let ok = dag
+        .add_op(Arc::new(Ok1("stable_step".into())), &[s])
+        .unwrap();
     let flaky = dag
         .add_op(
-            Arc::new(Flaky { label: "flaky_step".into(), remaining_good: Arc::clone(budget) }),
+            Arc::new(Flaky {
+                label: "flaky_step".into(),
+                remaining_good: Arc::clone(budget),
+            }),
             &[ok],
         )
         .unwrap();
-    let tail = dag.add_op(Arc::new(Ok1("tail_step".into())), &[flaky]).unwrap();
+    let tail = dag
+        .add_op(Arc::new(Ok1("tail_step".into())), &[flaky])
+        .unwrap();
     dag.mark_terminal(tail).unwrap();
     dag
 }
@@ -111,13 +118,18 @@ fn failed_workloads_salvage_their_prefix_without_corrupting_the_graph() {
     // would otherwise serve the repeat).
     let mut dag = workload(&budget);
     let flaky_node = co_graph::NodeId(2);
-    let extra = dag.add_op(Arc::new(Ok1("new_tail".into())), &[flaky_node]).unwrap();
+    let extra = dag
+        .add_op(Arc::new(Ok1("new_tail".into())), &[flaky_node])
+        .unwrap();
     dag.mark_terminal(extra).unwrap();
     {
         // A fresh server with no materialization: guaranteed recompute.
         let kg = OptimizerServer::new(ServerConfig::baseline());
         let err = kg.run_workload(dag).unwrap_err();
-        assert!(matches!(err.error, GraphError::OperationFailed { .. }), "{err}");
+        assert!(
+            matches!(err.error, GraphError::OperationFailed { .. }),
+            "{err}"
+        );
         assert!(err.to_string().contains("injected failure"));
         // The failure is isolated to the flaky node and its descendants;
         // the computed prefix (src, stable_step) is salvaged into the EG.
@@ -163,11 +175,19 @@ fn type_mismatches_surface_as_operation_errors() {
     let mut dag = WorkloadDag::new();
     let s = dag.add_source("scalar_src", Value::Aggregate(Scalar::Float(1.0)));
     let bad = dag
-        .add_op(Arc::new(co_core::ops::SelectOp { columns: vec!["x".into()] }), &[s])
+        .add_op(
+            Arc::new(co_core::ops::SelectOp {
+                columns: vec!["x".into()],
+            }),
+            &[s],
+        )
         .unwrap();
     dag.mark_terminal(bad).unwrap();
     let err = server.run_workload(dag).unwrap_err();
-    assert!(matches!(err.error, GraphError::BadOperationInput { .. }), "{err}");
+    assert!(
+        matches!(err.error, GraphError::BadOperationInput { .. }),
+        "{err}"
+    );
     // Bad input is permanent: no retries were burned on it.
     assert_eq!(err.report.retries, 0);
 }
@@ -185,7 +205,10 @@ fn recovery_after_failure_is_complete() {
     // descendants recompute.
     let healthy = Arc::new(AtomicUsize::new(usize::MAX));
     let (_, report) = server.run_workload(workload(&healthy)).unwrap();
-    assert!(report.ops_executed >= 2 && report.ops_executed <= 3, "{report:?}");
+    assert!(
+        report.ops_executed >= 2 && report.ops_executed <= 3,
+        "{report:?}"
+    );
     assert!(server.eg().n_vertices() > 0);
 }
 
@@ -229,12 +252,17 @@ fn panics_in_user_operations_are_isolated() {
     let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
     let mut dag = WorkloadDag::new();
     let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
-    let ok = dag.add_op(Arc::new(Ok1("stable_step".into())), &[s]).unwrap();
+    let ok = dag
+        .add_op(Arc::new(Ok1("stable_step".into())), &[s])
+        .unwrap();
     let boom = dag.add_op(Arc::new(Panicky), &[ok]).unwrap();
     dag.mark_terminal(boom).unwrap();
 
     let err = server.run_workload(dag).unwrap_err();
-    assert!(matches!(err.error, GraphError::OperationPanicked { .. }), "{err}");
+    assert!(
+        matches!(err.error, GraphError::OperationPanicked { .. }),
+        "{err}"
+    );
     assert!(err.to_string().contains("user code exploded"));
     assert_eq!(err.report.panics_caught, 1);
 

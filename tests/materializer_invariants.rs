@@ -28,7 +28,7 @@ impl Operation for Derive {
     }
     fn run(&self, inputs: &[&Value]) -> co_graph::Result<Value> {
         let df = inputs[0].as_dataset().expect("dataset input");
-        Ok(Value::Dataset(
+        Ok(Value::dataset(
             ops::map_column(df, "base", &MapFn::AddConst(1.0), &self.0)
                 .expect("base column exists"),
         ))
@@ -49,12 +49,14 @@ fn build_eg(
     )])
     .expect("one column");
     let mut dag = WorkloadDag::new();
-    let src = dag.add_source("src", Value::Dataset(base));
+    let src = dag.add_source("src", Value::dataset(base));
     let mut prev = src;
     let mut nodes = Vec::new();
     for (i, (branch, _)) in spec.iter().enumerate() {
         let from = if branch % 4 == 0 { src } else { prev };
-        let node = dag.add_op(Arc::new(Derive(format!("d{i}"))), &[from]).unwrap();
+        let node = dag
+            .add_op(Arc::new(Derive(format!("d{i}"))), &[from])
+            .unwrap();
         nodes.push(node);
         prev = node;
     }
@@ -63,7 +65,10 @@ fn build_eg(
     // Execute by hand.
     for n in &nodes {
         let parents = dag.parents(*n);
-        let input = dag.nodes()[parents[0].0].computed.clone().expect("parent executed");
+        let input = dag.nodes()[parents[0].0]
+            .computed
+            .clone()
+            .expect("parent executed");
         let op = Arc::clone(&dag.producer(*n).unwrap().op);
         let out = op.run(&[&input]).unwrap();
         let size = out.nbytes() as u64;
@@ -87,11 +92,17 @@ fn build_eg(
 /// Cost model where loads are always cheaper than recomputation, so
 /// every vertex is a materialization candidate.
 fn cheap_loads() -> CostModel {
-    CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1e12 }
+    CostModel {
+        latency_s: 0.0,
+        bandwidth_bytes_per_s: 1e12,
+    }
 }
 
 fn source_bytes(eg: &ExperimentGraph) -> u64 {
-    eg.sources().iter().filter_map(|id| eg.vertex(*id).ok().map(|v| v.size)).sum()
+    eg.sources()
+        .iter()
+        .filter_map(|id| eg.vertex(*id).ok().map(|v| v.size))
+        .sum()
 }
 
 proptest! {

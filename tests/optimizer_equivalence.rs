@@ -41,7 +41,10 @@ fn agg() -> Value {
 
 /// Unit cost model: `Cl(v) = size(v)` seconds.
 fn unit_cost() -> CostModel {
-    CostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1.0 }
+    CostModel {
+        latency_s: 0.0,
+        bandwidth_bytes_per_s: 1.0,
+    }
 }
 
 /// Node spec: (parent choice seed, compute time, size, materialized).
@@ -73,7 +76,9 @@ fn build(specs: &[NodeSpec], tree: bool) -> (WorkloadDag, ExperimentGraph) {
 
     let mut annotated = dag.clone();
     for (node, (_, t, s, _)) in nodes[1..].iter().zip(specs) {
-        annotated.annotate(*node, f64::from(*t) / 16.0, u64::from(*s)).unwrap();
+        annotated
+            .annotate(*node, f64::from(*t) / 16.0, u64::from(*s))
+            .unwrap();
     }
     let mut eg = ExperimentGraph::new(false);
     eg.update_with_workload(&annotated).unwrap();

@@ -13,7 +13,16 @@ fn terminal_values(dag: &WorkloadDag) -> Vec<(NodeId, Value)> {
     let mut out: Vec<(NodeId, Value)> = dag
         .terminals()
         .into_iter()
-        .map(|t| (t, dag.node(t).unwrap().computed.clone().expect("terminal computed")))
+        .map(|t| {
+            (
+                t,
+                dag.node(t)
+                    .unwrap()
+                    .computed
+                    .clone()
+                    .expect("terminal computed"),
+            )
+        })
         .collect();
     out.sort_by_key(|(t, _)| t.0);
     out
@@ -52,7 +61,11 @@ fn frames_equal(a: &co_dataframe::DataFrame, b: &co_dataframe::DataFrame) -> boo
 fn assert_equal_outputs(runs: &[(String, Vec<(NodeId, Value)>)]) {
     let (ref_name, reference) = &runs[0];
     for (name, values) in &runs[1..] {
-        assert_eq!(values.len(), reference.len(), "{name} vs {ref_name}: terminal count");
+        assert_eq!(
+            values.len(),
+            reference.len(),
+            "{name} vs {ref_name}: terminal count"
+        );
         for ((t_a, a), (t_b, b)) in values.iter().zip(reference) {
             assert_eq!(t_a, t_b);
             match (a, b) {
@@ -99,7 +112,10 @@ fn kaggle_w1_is_invariant_across_systems() {
         srv.run_workload(kaggle::w1(&data).unwrap()).unwrap();
         srv.run_workload(kaggle::w4(&data).unwrap()).unwrap();
         let (executed, _) = srv.run_workload(kaggle::w1(&data).unwrap()).unwrap();
-        runs.push((format!("{materializer:?}/{reuse:?}"), terminal_values(&executed)));
+        runs.push((
+            format!("{materializer:?}/{reuse:?}"),
+            terminal_values(&executed),
+        ));
     }
     assert_equal_outputs(&runs);
 }
@@ -123,7 +139,10 @@ fn kaggle_w8_is_invariant_across_systems() {
         srv.run_workload(kaggle::w1(&data).unwrap()).unwrap();
         srv.run_workload(kaggle::w2(&data).unwrap()).unwrap();
         let (executed, _) = srv.run_workload(kaggle::w8(&data).unwrap()).unwrap();
-        runs.push((format!("{materializer:?}/{reuse:?}"), terminal_values(&executed)));
+        runs.push((
+            format!("{materializer:?}/{reuse:?}"),
+            terminal_values(&executed),
+        ));
     }
     assert_equal_outputs(&runs);
 }
@@ -145,11 +164,16 @@ fn openml_pipelines_are_invariant_across_systems() {
                 quarantine_after: Some(3),
             });
             for warm in 0..run_idx.min(4) {
-                srv.run_workload(openml::pipeline(&data, warm, 7).unwrap()).unwrap();
+                srv.run_workload(openml::pipeline(&data, warm, 7).unwrap())
+                    .unwrap();
             }
-            let (executed, _) =
-                srv.run_workload(openml::pipeline(&data, run_idx, 7).unwrap()).unwrap();
-            runs.push((format!("{materializer:?}/{reuse:?}"), terminal_values(&executed)));
+            let (executed, _) = srv
+                .run_workload(openml::pipeline(&data, run_idx, 7).unwrap())
+                .unwrap();
+            runs.push((
+                format!("{materializer:?}/{reuse:?}"),
+                terminal_values(&executed),
+            ));
         }
         assert_equal_outputs(&runs);
     }
@@ -171,7 +195,10 @@ fn partial_budgets_do_not_change_results() {
         let (executed, _) = srv.run_workload(kaggle::w3(&data).unwrap()).unwrap();
         let runs = vec![
             ("baseline".to_owned(), reference.clone()),
-            (format!("budget 2^{budget_shift}"), terminal_values(&executed)),
+            (
+                format!("budget 2^{budget_shift}"),
+                terminal_values(&executed),
+            ),
         ];
         assert_equal_outputs(&runs);
     }

@@ -20,7 +20,8 @@ fn restart_keeps_meta_and_regains_reuse() {
     // Session 2 (after a "restart"): restore the meta-data.
     let restored = snapshot::from_snapshot(&text, true).unwrap();
     assert_eq!(restored.n_vertices(), n_before);
-    let second = OptimizerServer::with_graph(ServerConfig::collaborative(u64::MAX), restored);
+    let second =
+        OptimizerServer::with_graph(ServerConfig::collaborative(u64::MAX), restored).unwrap();
 
     // The graph knows every artifact of W1 (frequencies, costs) but holds
     // no content, so the first resubmission recomputes —
@@ -38,8 +39,36 @@ fn restart_keeps_meta_and_regains_reuse() {
     // The updater re-materialized during that run: the *next* repeat
     // reuses again, as before the restart.
     let (_, repeat) = second.run_workload(kaggle::w1(&data).unwrap()).unwrap();
-    assert!(repeat.artifacts_loaded > 0, "reuse regained after repopulation");
+    assert!(
+        repeat.artifacts_loaded > 0,
+        "reuse regained after repopulation"
+    );
     assert!(repeat.run_seconds() < rerun.run_seconds() / 2.0);
+}
+
+#[test]
+fn restore_rejects_mismatched_dedup_mode() {
+    let data = home_credit(&HomeCreditScale::tiny());
+    let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
+    server.run_workload(kaggle::w1(&data).unwrap()).unwrap();
+    let text = snapshot::to_snapshot(&server.eg());
+
+    // Restored with a plain (non-dedup) store, but the storage-aware
+    // materializer budgets deduplicated bytes: the constructor refuses.
+    let plain = snapshot::from_snapshot(&text, false).unwrap();
+    let err = OptimizerServer::with_graph(ServerConfig::collaborative(u64::MAX), plain);
+    assert!(matches!(
+        err,
+        Err(co_graph::GraphError::InvalidStructure(_))
+    ));
+
+    // And the other way around: a dedup store under a baseline config.
+    let dedup = snapshot::from_snapshot(&text, true).unwrap();
+    let err = OptimizerServer::with_graph(ServerConfig::baseline(), dedup);
+    assert!(matches!(
+        err,
+        Err(co_graph::GraphError::InvalidStructure(_))
+    ));
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Warmstarting through the full system (paper §6.2 + Figure 10).
 
 use co_core::ops::EvalMetric;
-use co_core::{OptimizerServer, ServerConfig, Script};
+use co_core::{OptimizerServer, Script, ServerConfig};
 use co_graph::WorkloadDag;
 use co_ml::linear::LogisticParams;
 use co_ml::tree::{GbtParams, TreeParams};
@@ -13,9 +13,20 @@ fn logistic_workload(data: &CreditG, lr: f64, max_iter: usize) -> WorkloadDag {
     let train = s.load("creditg_train", data.train.clone());
     let test = s.load("creditg_test", data.test.clone());
     let model = s
-        .train_logistic(train, "class", LogisticParams { lr, max_iter, l2: 1e-4, tol: 1e-7 })
+        .train_logistic(
+            train,
+            "class",
+            LogisticParams {
+                lr,
+                max_iter,
+                l2: 1e-4,
+                tol: 1e-7,
+            },
+        )
         .unwrap();
-    let score = s.evaluate(model, test, "class", EvalMetric::RocAuc).unwrap();
+    let score = s
+        .evaluate(model, test, "class", EvalMetric::RocAuc)
+        .unwrap();
     s.output(score).unwrap();
     s.into_dag()
 }
@@ -27,10 +38,16 @@ fn gbt_workload(data: &CreditG, n_estimators: usize) -> WorkloadDag {
     let params = GbtParams {
         n_estimators,
         learning_rate: 0.2,
-        tree: TreeParams { max_depth: 3, min_samples_leaf: 5, n_thresholds: 8 },
+        tree: TreeParams {
+            max_depth: 3,
+            min_samples_leaf: 5,
+            n_thresholds: 8,
+        },
     };
     let model = s.train_gbt(train, "class", params).unwrap();
-    let score = s.evaluate(model, test, "class", EvalMetric::RocAuc).unwrap();
+    let score = s
+        .evaluate(model, test, "class", EvalMetric::RocAuc)
+        .unwrap();
     s.output(score).unwrap();
     s.into_dag()
 }
@@ -45,12 +62,21 @@ fn warm_server() -> OptimizerServer {
 fn warmstart_only_fires_with_a_candidate() {
     let data = creditg(300, 0);
     let server = warm_server();
-    let (_, first) = server.run_workload(logistic_workload(&data, 0.3, 100)).unwrap();
+    let (_, first) = server
+        .run_workload(logistic_workload(&data, 0.3, 100))
+        .unwrap();
     assert_eq!(first.warmstarts, 0, "no candidates on a cold graph");
-    let (_, second) = server.run_workload(logistic_workload(&data, 0.1, 100)).unwrap();
-    assert_eq!(second.warmstarts, 1, "prior model on the same artifact is a candidate");
+    let (_, second) = server
+        .run_workload(logistic_workload(&data, 0.1, 100))
+        .unwrap();
+    assert_eq!(
+        second.warmstarts, 1,
+        "prior model on the same artifact is a candidate"
+    );
     // Exact resubmission: reuse, not warmstart.
-    let (_, third) = server.run_workload(logistic_workload(&data, 0.3, 100)).unwrap();
+    let (_, third) = server
+        .run_workload(logistic_workload(&data, 0.3, 100))
+        .unwrap();
     assert_eq!(third.warmstarts, 0);
     assert!(third.artifacts_loaded >= 1);
 }
@@ -59,9 +85,16 @@ fn warmstart_only_fires_with_a_candidate() {
 fn warmstart_is_off_by_default() {
     let data = creditg(300, 0);
     let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
-    server.run_workload(logistic_workload(&data, 0.3, 100)).unwrap();
-    let (_, second) = server.run_workload(logistic_workload(&data, 0.1, 100)).unwrap();
-    assert_eq!(second.warmstarts, 0, "paper: only warmstart on explicit request");
+    server
+        .run_workload(logistic_workload(&data, 0.3, 100))
+        .unwrap();
+    let (_, second) = server
+        .run_workload(logistic_workload(&data, 0.1, 100))
+        .unwrap();
+    assert_eq!(
+        second.warmstarts, 0,
+        "paper: only warmstart on explicit request"
+    );
 }
 
 #[test]
@@ -69,14 +102,19 @@ fn warmstarted_capped_training_scores_at_least_as_well() {
     let data = creditg(1000, 0);
     // Cold: a tightly capped run with a slow learning rate.
     let cold_server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
-    let (cold_dag, _) = cold_server.run_workload(logistic_workload(&data, 0.01, 25)).unwrap();
+    let (cold_dag, _) = cold_server
+        .run_workload(logistic_workload(&data, 0.01, 25))
+        .unwrap();
     let cold_score = terminal_eval_score(&cold_dag).unwrap();
 
     // Warm: same capped run, but the graph already has a well-trained
     // model on the same artifact.
     let warm = warm_server();
-    warm.run_workload(logistic_workload(&data, 0.5, 400)).unwrap();
-    let (warm_dag, report) = warm.run_workload(logistic_workload(&data, 0.01, 25)).unwrap();
+    warm.run_workload(logistic_workload(&data, 0.5, 400))
+        .unwrap();
+    let (warm_dag, report) = warm
+        .run_workload(logistic_workload(&data, 0.01, 25))
+        .unwrap();
     assert_eq!(report.warmstarts, 1);
     let warm_score = terminal_eval_score(&warm_dag).unwrap();
     // The warm run ends nearer the *training* optimum; on held-out AUC
@@ -110,12 +148,18 @@ fn warmstart_prefers_the_highest_quality_candidate() {
     let server = warm_server();
     // Two candidates on the same artifact: a deliberately bad one (tiny
     // cap) and a good one.
-    server.run_workload(logistic_workload(&data, 0.001, 1)).unwrap();
-    server.run_workload(logistic_workload(&data, 0.5, 400)).unwrap();
+    server
+        .run_workload(logistic_workload(&data, 0.001, 1))
+        .unwrap();
+    server
+        .run_workload(logistic_workload(&data, 0.5, 400))
+        .unwrap();
     // A zero-progress run (max_iter minimal, negligible lr) inherits its
     // initialiser's parameters almost unchanged: its score reveals which
     // candidate was chosen.
-    let (dag, report) = server.run_workload(logistic_workload(&data, 1e-9, 1)).unwrap();
+    let (dag, report) = server
+        .run_workload(logistic_workload(&data, 1e-9, 1))
+        .unwrap();
     assert_eq!(report.warmstarts, 1);
     let score = terminal_eval_score(&dag).unwrap();
     let (good_dag, _) = OptimizerServer::new(ServerConfig::collaborative(u64::MAX))
