@@ -131,6 +131,31 @@ impl Quarantine {
         self.record_success(op);
     }
 
+    /// Operations currently quarantined, as (op_hash, name, failures) —
+    /// the persistence view (see `co_graph::journal::QuarantineEntry`).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(OpHash, String, usize)> {
+        if self.threshold == 0 {
+            return Vec::new();
+        }
+        self.counts
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, (_, failures))| *failures >= self.threshold)
+            .map(|(op, (name, failures))| (*op, name.clone(), *failures))
+            .collect()
+    }
+
+    /// Re-install a persisted quarantine entry during startup recovery,
+    /// so a poisoned operation stays fast-failed across restarts.
+    pub fn restore(&self, op: OpHash, name: &str, failures: usize) {
+        self.counts
+            .lock()
+            .unwrap()
+            .insert(op, (name.to_owned(), failures));
+    }
+
     /// Operations currently quarantined, as (name, failures).
     #[must_use]
     pub fn quarantined(&self) -> Vec<(String, usize)> {
@@ -239,6 +264,7 @@ mod tests {
         let err = q.check(op).unwrap();
         assert!(matches!(err, GraphError::Quarantined { failures: 2, .. }));
         assert_eq!(q.quarantined(), vec![("train".to_owned(), 2)]);
+        assert_eq!(q.entries(), vec![(op, "train".to_owned(), 2)]);
         q.record_success(op);
         assert!(q.check(op).is_none());
         assert!(q.quarantined().is_empty());
@@ -252,6 +278,19 @@ mod tests {
         }
         assert!(q.check(1).is_none());
         assert!(q.quarantined().is_empty());
+    }
+
+    #[test]
+    fn restore_reinstalls_persisted_entries() {
+        let q = Quarantine::new(2);
+        q.restore(7, "udf", 3);
+        assert!(matches!(
+            q.check(7),
+            Some(GraphError::Quarantined { failures: 3, .. })
+        ));
+        // A restored entry clears like any other.
+        q.record_success(7);
+        assert!(q.check(7).is_none());
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub use cost::CostModel;
 pub use dsl::Script;
 pub use failure::{Quarantine, RetryPolicy, WorkloadError};
 pub use pipeline::{ExecutedWorkload, PlannedWorkload, PrunedWorkload};
-pub use report::ExecutionReport;
-pub use server::{OptimizerServer, ServerConfig};
+pub use report::{ExecutionReport, RecoveryReport};
+pub use server::{DurabilityConfig, OptimizerServer, ServerConfig};

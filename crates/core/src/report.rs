@@ -67,9 +67,85 @@ impl ExecutionReport {
     }
 }
 
+/// What startup recovery found and repaired when a server was opened
+/// from a data directory (see `OptimizerServer::open`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot file existed and loaded.
+    pub snapshot_loaded: bool,
+    /// Journal records replayed on top of the snapshot.
+    pub journal_records_replayed: usize,
+    /// Whether a torn journal tail (crash mid-append) was detected and
+    /// truncated.
+    pub torn_tail_truncated: bool,
+    /// Bytes discarded with the torn tail.
+    pub torn_bytes_discarded: u64,
+    /// Quarantine entries re-installed from persistence.
+    pub quarantine_restored: usize,
+    /// Orphaned `*.tmp` snapshot files (crash mid-save) removed.
+    pub stray_tmp_removed: usize,
+}
+
+impl RecoveryReport {
+    /// Human-readable one-paragraph summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(if self.snapshot_loaded {
+            "recovery: snapshot loaded"
+        } else {
+            "recovery: no snapshot (fresh graph)"
+        });
+        out.push_str(&format!(
+            ", {} journal record(s) replayed",
+            self.journal_records_replayed
+        ));
+        if self.torn_tail_truncated {
+            out.push_str(&format!(
+                ", torn tail truncated ({} byte(s) discarded)",
+                self.torn_bytes_discarded
+            ));
+        }
+        if self.quarantine_restored > 0 {
+            out.push_str(&format!(
+                ", {} quarantine entr(ies) restored",
+                self.quarantine_restored
+            ));
+        }
+        if self.stray_tmp_removed > 0 {
+            out.push_str(&format!(
+                ", {} stray temp file(s) removed",
+                self.stray_tmp_removed
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recovery_report_renders_what_happened() {
+        let fresh = RecoveryReport::default();
+        assert!(fresh.render().contains("fresh graph"));
+        let busy = RecoveryReport {
+            snapshot_loaded: true,
+            journal_records_replayed: 4,
+            torn_tail_truncated: true,
+            torn_bytes_discarded: 17,
+            quarantine_restored: 1,
+            stray_tmp_removed: 2,
+        };
+        let text = busy.render();
+        assert!(text.contains("snapshot loaded"));
+        assert!(text.contains("4 journal record"));
+        assert!(text.contains("torn tail"));
+        assert!(text.contains("17 byte"));
+        assert!(text.contains("quarantine"));
+        assert!(text.contains("temp file"));
+    }
 
     #[test]
     fn totals_and_accumulation() {

@@ -16,12 +16,15 @@ use crate::materialize::{
 };
 use crate::optimizer::{AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse, ReusePlanner};
 use crate::pipeline::{ExecutedWorkload, FailedExecution, PlannedWorkload, PrunedWorkload};
-use crate::report::ExecutionReport;
+use crate::report::{ExecutionReport, RecoveryReport};
+use co_graph::journal::{self, EgDelta, FsyncPolicy, Journal, QuarantineEntry, VertexTouch};
 use co_graph::{
-    ArtifactId, ExperimentGraph, FaultInjector, GraphError, Result, Value, WorkloadDag,
+    snapshot, ArtifactId, ExperimentGraph, FaultInjector, GraphError, OpHash, Result, Value,
+    WorkloadDag,
 };
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -127,6 +130,62 @@ impl ServerConfig {
     }
 }
 
+/// Where and how the Experiment Graph is made crash-safe (see
+/// DESIGN.md §10): a data directory holding one snapshot (`eg.egsnap`,
+/// written atomically) and one write-ahead journal (`eg.wal`, appended
+/// inside the publish critical section).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Data directory; created on open if missing.
+    pub dir: PathBuf,
+    /// When journal appends reach the disk.
+    pub fsync: FsyncPolicy,
+    /// Compact (snapshot + truncate the journal) once the journal
+    /// exceeds this many bytes.
+    pub compact_journal_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with the safe defaults: fsync every append,
+    /// compact past 4 MiB of journal.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            compact_journal_bytes: 4 * 1024 * 1024,
+        }
+    }
+
+    /// Path of the snapshot file.
+    #[must_use]
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("eg.egsnap")
+    }
+
+    /// Path of the write-ahead journal.
+    #[must_use]
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("eg.wal")
+    }
+}
+
+/// Mutable durability state, locked *after* the EG write lock (lock
+/// order: eg → durability → stats).
+struct DurabilityState {
+    config: DurabilityConfig,
+    journal: Journal,
+    /// Quarantine entries as last persisted (op_hash → failures) — the
+    /// baseline the publish path diffs against to emit Q+/Q- records.
+    persisted_quarantine: HashMap<OpHash, usize>,
+    /// Set after a journal append fails: the in-memory graph is ahead
+    /// of the durable state, so further appends could write records
+    /// that reference vertices recovery will never see. Like a WAL
+    /// database after a write error, the server refuses further
+    /// publishes until restarted from the data directory.
+    wedged: bool,
+}
+
 /// Cumulative statistics over a server's lifetime — the dashboard
 /// counters of the motivating example ("saves hundreds of hours of
 /// execution time ... reduces the required resources and operation cost
@@ -151,6 +210,12 @@ pub struct ServerStats {
     pub failed_workloads: usize,
     /// Vertices salvaged into the Experiment Graph from failed runs.
     pub salvaged_artifacts: usize,
+    /// Journal records replayed during startup recovery.
+    pub journal_records_replayed: usize,
+    /// Torn journal tails detected and truncated during recovery.
+    pub torn_tail_truncated: usize,
+    /// Snapshot compactions performed (explicit or threshold-triggered).
+    pub snapshots_compacted: usize,
 }
 
 impl ServerStats {
@@ -169,6 +234,7 @@ pub struct OptimizerServer {
     planner: Box<dyn ReusePlanner>,
     stats: parking_lot::Mutex<ServerStats>,
     quarantine: Option<Arc<Quarantine>>,
+    durability: Option<parking_lot::Mutex<DurabilityState>>,
 }
 
 impl OptimizerServer {
@@ -222,6 +288,7 @@ impl OptimizerServer {
             materializer,
             planner,
             stats: parking_lot::Mutex::new(ServerStats::default()),
+            durability: None,
         }
     }
 
@@ -247,6 +314,93 @@ impl OptimizerServer {
             )));
         }
         Ok(OptimizerServer::build(config, eg))
+    }
+
+    /// Open a crash-safe server from a data directory: remove orphaned
+    /// temp files, load the newest valid snapshot, replay the journal on
+    /// top of it (truncating a torn tail instead of failing), re-install
+    /// the persisted quarantine set, and start journaling committed
+    /// workloads. Returns the server and a [`RecoveryReport`] describing
+    /// what recovery found and repaired.
+    pub fn open(
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(&durability.dir).map_err(|e| {
+            GraphError::Io(format!(
+                "cannot create data directory {}: {e}",
+                durability.dir.display()
+            ))
+        })?;
+        let mut recovery = RecoveryReport::default();
+
+        // A crash mid-save leaves `*.tmp` files behind; an interrupted
+        // save never touches the live snapshot or journal, so these are
+        // safe to discard.
+        if let Ok(entries) = std::fs::read_dir(&durability.dir) {
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().ends_with(".tmp")
+                    && std::fs::remove_file(entry.path()).is_ok()
+                {
+                    recovery.stray_tmp_removed += 1;
+                }
+            }
+        }
+
+        let dedup = config.materializer == MaterializerKind::StorageAware;
+        let snapshot_path = durability.snapshot_path();
+        let (mut eg, mut qmap) = if snapshot_path.exists() {
+            let restored = snapshot::load_full(&snapshot_path, dedup)?;
+            recovery.snapshot_loaded = true;
+            let qmap: HashMap<OpHash, (String, usize)> = restored
+                .quarantine
+                .into_iter()
+                .map(|q| (q.op_hash, (q.name, q.failures)))
+                .collect();
+            (restored.graph, qmap)
+        } else {
+            (ExperimentGraph::new(dedup), HashMap::new())
+        };
+
+        let journal_path = durability.journal_path();
+        let outcome = journal::replay(&journal_path)?;
+        for delta in &outcome.deltas {
+            delta.apply(&mut eg)?;
+            for q in &delta.quarantine_set {
+                qmap.insert(q.op_hash, (q.name.clone(), q.failures));
+            }
+            for h in &delta.quarantine_cleared {
+                qmap.remove(h);
+            }
+        }
+        recovery.journal_records_replayed = outcome.deltas.len();
+        if let Some(valid_len) = outcome.torn_at {
+            journal::truncate(&journal_path, valid_len)?;
+            recovery.torn_tail_truncated = true;
+            recovery.torn_bytes_discarded = outcome.bytes_discarded;
+        }
+
+        let journal = Journal::open(&journal_path, durability.fsync)?;
+        let state = DurabilityState {
+            config: durability,
+            journal,
+            persisted_quarantine: qmap.iter().map(|(op, (_, f))| (*op, *f)).collect(),
+            wedged: false,
+        };
+        let mut server = OptimizerServer::build(config, eg);
+        if let Some(quarantine) = &server.quarantine {
+            for (op, (name, failures)) in &qmap {
+                quarantine.restore(*op, name, *failures);
+            }
+            recovery.quarantine_restored = qmap.len();
+        }
+        server.durability = Some(parking_lot::Mutex::new(state));
+        {
+            let mut stats = server.stats.lock();
+            stats.journal_records_replayed = recovery.journal_records_replayed;
+            stats.torn_tail_truncated = usize::from(recovery.torn_tail_truncated);
+        }
+        Ok((server, recovery))
     }
 
     /// The active configuration.
@@ -323,6 +477,12 @@ impl OptimizerServer {
     /// concurrent eviction or update cannot skew the estimate and writers
     /// never wait on a running computation. A failed run with a taint
     /// mask still merges (salvages) its untainted prefix.
+    ///
+    /// On a durable server ([`OptimizerServer::open`]) the workload's EG
+    /// delta is appended to the write-ahead journal inside the same
+    /// critical section; if that append fails, the workload is reported
+    /// failed and the durability layer wedges — every later persist
+    /// refuses — until the server restarts from its data directory.
     pub fn publish_workload(
         &self,
         executed: ExecutedWorkload,
@@ -334,8 +494,16 @@ impl OptimizerServer {
         } = executed;
         let start = Instant::now();
         let baseline;
+        let mut persist_error = None;
         {
             let mut eg = self.eg.write();
+            // With durability on, note which merged artifacts are new to
+            // the graph (vs merely touched) and the pre-publish mat set,
+            // so the journal delta can be diffed after the merge.
+            let capture = self
+                .durability
+                .as_ref()
+                .map(|_| DeltaCapture::before(&eg, &dag, failure.as_ref()));
             match &failure {
                 None => eg.update_with_workload(&dag)?,
                 Some(f) if f.tainted.len() == dag.n_nodes() => {
@@ -351,13 +519,18 @@ impl OptimizerServer {
             let available = available_contents(&dag);
             self.materializer
                 .run(&mut eg, &available, &self.config.cost);
+            reconcile_restored_flags(&mut eg);
             baseline = baseline_cost(&dag, &eg);
+            if let (Some(durability), Some(capture)) = (&self.durability, capture) {
+                let mut dur = durability.lock();
+                persist_error = self.persist_delta(&eg, &mut dur, &capture).err();
+            }
         }
         report.materializer_seconds = start.elapsed().as_secs_f64();
 
         let mut stats = self.stats.lock();
-        match &failure {
-            None => {
+        match (&failure, &persist_error) {
+            (None, None) => {
                 stats.workloads += 1;
                 stats.ops_executed += report.ops_executed;
                 stats.artifacts_loaded += report.artifacts_loaded;
@@ -365,7 +538,10 @@ impl OptimizerServer {
                 stats.run_seconds += report.run_seconds();
                 stats.baseline_seconds += baseline;
             }
-            Some(f) => {
+            (None, Some(_)) => {
+                stats.failed_workloads += 1;
+            }
+            (Some(f), _) => {
                 stats.failed_workloads += 1;
                 stats.salvaged_artifacts += f.completed.len();
             }
@@ -373,12 +549,26 @@ impl OptimizerServer {
         drop(stats);
 
         match failure {
-            None => Ok((dag, report)),
+            None => match persist_error {
+                None => Ok((dag, report)),
+                // The run computed fine but its delta never became
+                // durable: report it failed so the client knows a
+                // restart would forget this workload.
+                Some(error) => Err(WorkloadError {
+                    error,
+                    report: Box::new(report),
+                    completed: Vec::new(),
+                    tainted: Vec::new(),
+                }),
+            },
             Some(FailedExecution {
                 error,
                 completed,
                 tainted,
             }) => {
+                // When both the workload and persistence failed, the
+                // workload's own error wins; the persist failure is
+                // still visible through the wedged durability state.
                 report.salvaged_artifacts = completed.len();
                 Err(WorkloadError {
                     error,
@@ -388,6 +578,128 @@ impl OptimizerServer {
                 })
             }
         }
+    }
+
+    /// Build and append this publish's journal delta, then compact if
+    /// the journal crossed its size threshold. Called with the EG write
+    /// lock held and the durability state locked.
+    fn persist_delta(
+        &self,
+        eg: &ExperimentGraph,
+        dur: &mut DurabilityState,
+        capture: &DeltaCapture,
+    ) -> Result<()> {
+        if dur.wedged {
+            return Err(GraphError::Io(
+                "durability layer wedged by an earlier persistence failure; \
+                 restart the server from its data directory"
+                    .to_owned(),
+            ));
+        }
+        let mut delta = EgDelta::default();
+        for id in &capture.new_ids {
+            delta.new_vertices.push(eg.vertex(*id)?.clone());
+        }
+        for id in &capture.touched_ids {
+            let v = eg.vertex(*id)?;
+            delta.touched.push(VertexTouch {
+                id: *id,
+                frequency: v.frequency,
+                compute_time: v.compute_time,
+                size: v.size,
+                quality: v.quality,
+            });
+        }
+        let mat_after = mat_set(eg);
+        delta.mat_added = mat_after.difference(&capture.mat_before).copied().collect();
+        delta.mat_removed = capture.mat_before.difference(&mat_after).copied().collect();
+        let mut current = self
+            .quarantine
+            .as_ref()
+            .map(|q| q.entries())
+            .unwrap_or_default();
+        current.sort_by_key(|(op, ..)| *op);
+        for (op, name, failures) in &current {
+            if dur.persisted_quarantine.get(op) != Some(failures) {
+                delta.quarantine_set.push(QuarantineEntry {
+                    op_hash: *op,
+                    name: name.clone(),
+                    failures: *failures,
+                });
+            }
+        }
+        let current_ops: std::collections::HashSet<OpHash> =
+            current.iter().map(|(op, ..)| *op).collect();
+        delta.quarantine_cleared = dur
+            .persisted_quarantine
+            .keys()
+            .filter(|op| !current_ops.contains(op))
+            .copied()
+            .collect();
+        delta.quarantine_cleared.sort_unstable();
+        if delta.is_empty() {
+            return Ok(());
+        }
+        let faults = eg.storage().fault_injector().map(|f| &**f);
+        if let Err(e) = dur.journal.append(&delta, faults) {
+            dur.wedged = true;
+            return Err(e);
+        }
+        dur.persisted_quarantine = current
+            .into_iter()
+            .map(|(op, _, failures)| (op, failures))
+            .collect();
+        // Threshold-triggered compaction. A failure here is survivable —
+        // the delta is already durable in the journal and an interrupted
+        // snapshot save only leaves a temp file — so it is swallowed and
+        // the next publish retries.
+        if dur.journal.len_bytes() > dur.config.compact_journal_bytes
+            && self.compact_locked(eg, dur).is_ok()
+        {
+            self.stats.lock().snapshots_compacted += 1;
+        }
+        Ok(())
+    }
+
+    /// Write a fresh snapshot (atomically) and truncate the journal.
+    /// The snapshot is renamed into place *before* the journal resets,
+    /// so a crash between the two leaves a newer snapshot plus a journal
+    /// whose records replay idempotently (absolute values).
+    fn compact_locked(&self, eg: &ExperimentGraph, dur: &mut DurabilityState) -> Result<()> {
+        let mut entries: Vec<QuarantineEntry> = self
+            .quarantine
+            .as_ref()
+            .map(|q| q.entries())
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(op_hash, name, failures)| QuarantineEntry {
+                op_hash,
+                name,
+                failures,
+            })
+            .collect();
+        entries.sort_by_key(|q| q.op_hash);
+        let faults = eg.storage().fault_injector().map(|f| &**f);
+        snapshot::save_with(eg, &entries, &dur.config.snapshot_path(), faults)?;
+        dur.journal.reset()?;
+        dur.persisted_quarantine = entries.iter().map(|q| (q.op_hash, q.failures)).collect();
+        Ok(())
+    }
+
+    /// Compact durable state now: snapshot the current graph and
+    /// quarantine set atomically, then truncate the journal. A no-op
+    /// `Ok(())` on a server without durability.
+    pub fn compact(&self) -> Result<()> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        {
+            let eg = self.eg.read();
+            let mut dur = durability.lock();
+            self.compact_locked(&eg, &mut dur)?;
+        }
+        self.stats.lock().snapshots_compacted += 1;
+        Ok(())
     }
 
     /// Cumulative lifetime statistics.
@@ -433,15 +745,96 @@ impl OptimizerServer {
 
     /// Evict one artifact's content from the store (returns bytes
     /// freed). Reuse plans drawn before the eviction degrade to
-    /// recomputation via the executor's load-miss fallback.
+    /// recomputation via the executor's load-miss fallback. On a durable
+    /// server the mat-flag change is journaled so a restart does not
+    /// resurrect the flag.
     pub fn evict_artifact(&self, id: co_graph::ArtifactId) -> u64 {
-        self.eg.write().storage_mut().evict(id)
+        let mut eg = self.eg.write();
+        let bytes = eg.storage_mut().evict(id);
+        let was_restored = eg.unmark_restored_materialized(id);
+        if bytes > 0 || was_restored {
+            if let Some(durability) = &self.durability {
+                let mut dur = durability.lock();
+                if !dur.wedged {
+                    let delta = EgDelta {
+                        mat_removed: vec![id],
+                        ..EgDelta::default()
+                    };
+                    let faults = eg.storage().fault_injector().map(|f| &**f);
+                    if dur.journal.append(&delta, faults).is_err() {
+                        dur.wedged = true;
+                    }
+                }
+            }
+        }
+        bytes
     }
 
     /// The server's quarantine registry, if quarantining is enabled.
     #[must_use]
     pub fn quarantine(&self) -> Option<&Arc<Quarantine>> {
         self.quarantine.as_ref()
+    }
+}
+
+/// What the publish path notes *before* merging a workload, so the
+/// journal delta can be diffed afterwards: which merged artifacts are
+/// new to the graph vs merely touched, and the pre-publish mat set.
+struct DeltaCapture {
+    new_ids: Vec<ArtifactId>,
+    touched_ids: Vec<ArtifactId>,
+    mat_before: BTreeSet<ArtifactId>,
+}
+
+impl DeltaCapture {
+    fn before(eg: &ExperimentGraph, dag: &WorkloadDag, failure: Option<&FailedExecution>) -> Self {
+        let merged = |i: usize| match failure {
+            None => true,
+            Some(f) if f.tainted.len() == dag.n_nodes() => !f.tainted[i],
+            Some(_) => false,
+        };
+        let mut new_ids = Vec::new();
+        let mut touched_ids = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        // DAG order is parents-first, so `new_ids` lists new vertices in
+        // an order the journal can replay with restore_vertex.
+        for (i, node) in dag.nodes().iter().enumerate() {
+            if merged(i) && seen.insert(node.artifact) {
+                if eg.contains(node.artifact) {
+                    touched_ids.push(node.artifact);
+                } else {
+                    new_ids.push(node.artifact);
+                }
+            }
+        }
+        DeltaCapture {
+            new_ids,
+            touched_ids,
+            mat_before: mat_set(eg),
+        }
+    }
+}
+
+/// The persisted mat set: artifacts holding content plus restored mat
+/// flags whose content has not repopulated yet.
+fn mat_set(eg: &ExperimentGraph) -> BTreeSet<ArtifactId> {
+    let mut set: BTreeSet<ArtifactId> = eg.storage().materialized_ids().into_iter().collect();
+    set.extend(eg.restored_materialized().iter().copied());
+    set
+}
+
+/// Restored mat flags whose content has arrived hand ownership of the
+/// flag back to the store (so a later store-side eviction is visible to
+/// `was_materialized`).
+fn reconcile_restored_flags(eg: &mut ExperimentGraph) {
+    let arrived: Vec<ArtifactId> = eg
+        .restored_materialized()
+        .iter()
+        .copied()
+        .filter(|id| eg.storage().contains(*id))
+        .collect();
+    for id in arrived {
+        eg.unmark_restored_materialized(id);
     }
 }
 

@@ -44,6 +44,14 @@ pub enum GraphError {
     NoTerminals,
     /// An I/O failure while persisting or restoring graph state.
     Io(String),
+    /// A persisted file (snapshot or journal) failed validation. Carries
+    /// the file path and the 1-based line/record number so operators can
+    /// locate the damage without a hex dump (`record` 0 = the header).
+    Corrupt {
+        path: String,
+        record: usize,
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -81,6 +89,17 @@ impl fmt::Display for GraphError {
             }
             GraphError::NoTerminals => write!(f, "workload has no terminal vertices"),
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::Corrupt {
+                path,
+                record,
+                message,
+            } => {
+                if *record == 0 {
+                    write!(f, "corrupt file {path}: {message}")
+                } else {
+                    write!(f, "corrupt file {path}, record {record}: {message}")
+                }
+            }
         }
     }
 }
@@ -137,6 +156,16 @@ impl GraphError {
         }
     }
 
+    /// A corruption error locating the damage by file and record.
+    #[must_use]
+    pub fn corrupt(path: impl Into<String>, record: usize, message: impl Into<String>) -> Self {
+        GraphError::Corrupt {
+            path: path.into(),
+            record,
+            message: message.into(),
+        }
+    }
+
     /// Whether retrying the failed work could plausibly succeed.
     ///
     /// Only explicitly transient operation failures qualify; panics,
@@ -167,6 +196,11 @@ mod tests {
         assert!(GraphError::Io("disk full".into())
             .to_string()
             .contains("disk full"));
+        let c = GraphError::corrupt("/data/eg.wal", 12, "bad crc");
+        assert!(c.to_string().contains("/data/eg.wal"));
+        assert!(c.to_string().contains("12"));
+        let header = GraphError::corrupt("/data/eg.egsnap", 0, "bad header");
+        assert!(!header.to_string().contains("record"));
         let q = GraphError::Quarantined {
             op: "train".into(),
             failures: 3,

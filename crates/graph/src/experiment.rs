@@ -11,10 +11,10 @@ use crate::error::{GraphError, Result};
 use crate::operation::OpHash;
 use crate::storage::StorageManager;
 use crate::workload::WorkloadDag;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One vertex of the Experiment Graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EgVertex {
     /// Artifact identity.
     pub id: ArtifactId,
@@ -48,6 +48,12 @@ pub struct ExperimentGraph {
     topo: Vec<ArtifactId>,
     sources: Vec<ArtifactId>,
     storage: StorageManager,
+    /// Artifacts whose `mat` flag was recovered from a snapshot or
+    /// journal. Content is never persisted, so after a restart these
+    /// ids count as "was materialized" for durability bookkeeping even
+    /// though the store holds nothing yet; they clear as eviction or
+    /// re-materialization brings the store back in charge.
+    restored_mat: HashSet<ArtifactId>,
 }
 
 impl ExperimentGraph {
@@ -59,6 +65,7 @@ impl ExperimentGraph {
             topo: Vec::new(),
             sources: Vec::new(),
             storage: StorageManager::new(dedup),
+            restored_mat: HashSet::new(),
         }
     }
 
@@ -240,6 +247,33 @@ impl ExperimentGraph {
     #[must_use]
     pub fn is_materialized(&self, id: ArtifactId) -> bool {
         self.storage.contains(id)
+    }
+
+    /// Whether the artifact either holds content now or had its `mat`
+    /// flag recovered from persistence (content pending repopulation).
+    /// This is the flag snapshots and journals persist.
+    #[must_use]
+    pub fn was_materialized(&self, id: ArtifactId) -> bool {
+        self.storage.contains(id) || self.restored_mat.contains(&id)
+    }
+
+    /// Record a `mat` flag recovered from a snapshot or journal.
+    pub fn mark_restored_materialized(&mut self, id: ArtifactId) {
+        self.restored_mat.insert(id);
+    }
+
+    /// Drop a recovered `mat` flag (eviction during replay, or the
+    /// store re-materializing the artifact for real). Returns whether
+    /// the flag was present.
+    pub fn unmark_restored_materialized(&mut self, id: ArtifactId) -> bool {
+        self.restored_mat.remove(&id)
+    }
+
+    /// Ids whose `mat` flag was recovered but whose content has not
+    /// repopulated yet.
+    #[must_use]
+    pub fn restored_materialized(&self) -> &HashSet<ArtifactId> {
+        &self.restored_mat
     }
 
     /// Number of vertices.

@@ -9,7 +9,11 @@
 //! * **operation faults** — an operation, looked up by name, fails
 //!   transiently or permanently for a bounded number of runs, or panics;
 //! * **latency** — an operation's run is delayed by a fixed duration
-//!   (to exercise deadlines).
+//!   (to exercise deadlines);
+//! * **crash points** — the durability layer (`crate::journal`,
+//!   `crate::snapshot`) consults named [`CrashPoint`]s and aborts the
+//!   current persistence step exactly as a process crash at that point
+//!   would leave the files on disk (torn record, orphaned temp file).
 //!
 //! All state is interior-mutable and thread-safe, so one injector can
 //! drive faults through a shared server from concurrent sessions. All
@@ -32,6 +36,50 @@ pub enum FaultKind {
     Panic,
 }
 
+/// A named point inside the durability code path where an injected
+/// "crash" can fire. Each simulates the on-disk state a real process
+/// death at that instant would leave behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Die after writing roughly half of the snapshot temp file.
+    SnapshotMidWrite,
+    /// Die after writing the temp file but before fsyncing it.
+    SnapshotPreFsync,
+    /// Die after fsyncing the temp file but before the atomic rename.
+    SnapshotPreRename,
+    /// Die after writing roughly half of a journal record's frame.
+    JournalMidAppend,
+    /// Die before the journal record reaches the disk at all — the
+    /// worst case of an unsynced write (the whole record is lost).
+    JournalPreFsync,
+}
+
+impl CrashPoint {
+    /// Stable name, used in error messages and the crash-matrix test.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::SnapshotMidWrite => "snapshot-mid-write",
+            CrashPoint::SnapshotPreFsync => "snapshot-pre-fsync",
+            CrashPoint::SnapshotPreRename => "snapshot-pre-rename",
+            CrashPoint::JournalMidAppend => "journal-mid-append",
+            CrashPoint::JournalPreFsync => "journal-pre-fsync",
+        }
+    }
+
+    /// Every crash point, for exhaustive crash-matrix tests.
+    #[must_use]
+    pub fn all() -> [CrashPoint; 5] {
+        [
+            CrashPoint::SnapshotMidWrite,
+            CrashPoint::SnapshotPreFsync,
+            CrashPoint::SnapshotPreRename,
+            CrashPoint::JournalMidAppend,
+            CrashPoint::JournalPreFsync,
+        ]
+    }
+}
+
 #[derive(Debug)]
 struct OpFault {
     kind: FaultKind,
@@ -47,6 +95,8 @@ pub struct FaultInjector {
     fail_loads: Mutex<HashSet<usize>>,
     op_faults: Mutex<HashMap<String, OpFault>>,
     op_latency: Mutex<HashMap<String, Duration>>,
+    crash_points: Mutex<HashSet<CrashPoint>>,
+    crashes_fired: AtomicUsize,
 }
 
 impl FaultInjector {
@@ -131,6 +181,29 @@ impl FaultInjector {
         }
     }
 
+    /// Arm a crash point: the next persistence step reaching `point`
+    /// "crashes" (one-shot — the point disarms when it fires, so the
+    /// recovery that follows runs cleanly).
+    pub fn arm_crash(&self, point: CrashPoint) {
+        self.crash_points.lock().unwrap().insert(point);
+    }
+
+    /// Durability hook: consume `point` if armed. Returns whether the
+    /// caller should simulate a crash here.
+    pub fn take_crash(&self, point: CrashPoint) -> bool {
+        let fired = self.crash_points.lock().unwrap().remove(&point);
+        if fired {
+            self.crashes_fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    /// Crash points fired so far.
+    #[must_use]
+    pub fn crashes_fired(&self) -> usize {
+        self.crashes_fired.load(Ordering::SeqCst)
+    }
+
     /// Total `get` calls observed.
     #[must_use]
     pub fn loads_seen(&self) -> usize {
@@ -188,6 +261,22 @@ mod tests {
         }));
         assert!(r.is_err());
         assert!(f.before_run("udf").is_ok()); // budget exhausted
+    }
+
+    #[test]
+    fn crash_points_are_one_shot() {
+        let f = FaultInjector::new();
+        assert!(!f.take_crash(CrashPoint::SnapshotPreRename));
+        f.arm_crash(CrashPoint::SnapshotPreRename);
+        f.arm_crash(CrashPoint::JournalMidAppend);
+        assert!(f.take_crash(CrashPoint::SnapshotPreRename));
+        assert!(!f.take_crash(CrashPoint::SnapshotPreRename), "consumed");
+        assert!(f.take_crash(CrashPoint::JournalMidAppend));
+        assert_eq!(f.crashes_fired(), 2);
+        assert_eq!(CrashPoint::all().len(), 5);
+        for p in CrashPoint::all() {
+            assert!(!p.name().is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,740 @@
+//! Write-ahead journal for the Experiment Graph.
+//!
+//! The EG is the shared asset a collaborative environment accumulates
+//! over weeks (paper §3.2); a crash must not lose workloads committed
+//! since the last snapshot. Each committed workload's EG delta — new
+//! vertices, frequency bumps, materialization changes, quarantine
+//! changes — is appended to the journal as one length-prefixed,
+//! CRC-checksummed record inside the server's publish critical section.
+//! Recovery loads the newest valid snapshot (`crate::snapshot`), then
+//! [`replay`]s the journal on top of it, stopping at — and truncating —
+//! the first torn record instead of failing.
+//!
+//! ## File format (`EGWAL 1`)
+//!
+//! An 8-byte magic (`b"EGWAL 1\n"`) followed by records:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! The payload is UTF-8 text, one line per delta entry, using the same
+//! field escaping as the snapshot format:
+//!
+//! | line | meaning |
+//! |------|---------|
+//! | `V\t<10 vertex fields>` | a vertex new to the graph |
+//! | `F\t<id>\t<freq>\t<t>\t<s>\t<q>` | refreshed absolute attributes of an existing vertex |
+//! | `M+\t<id>` / `M-\t<id>` | artifact content materialized / evicted |
+//! | `Q+\t<hash>\t<failures>\t<name>` / `Q-\t<hash>` | operation quarantined / released |
+//!
+//! `F` records carry *absolute* values (not increments), so replaying a
+//! record whose effects are already contained in a newer snapshot — the
+//! window between snapshot rename and journal truncation during
+//! compaction — is idempotent.
+
+use crate::artifact::ArtifactId;
+use crate::error::{GraphError, Result};
+use crate::experiment::{EgVertex, ExperimentGraph};
+use crate::faults::{CrashPoint, FaultInjector};
+use crate::snapshot::{escape, parse_vertex_fields, unescape, vertex_fields, ParseCtx};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{Read, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every journal file.
+pub const WAL_MAGIC: &[u8; 8] = b"EGWAL 1\n";
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3, the polynomial used by zip/png). Detects every
+/// single-byte corruption and every error burst up to 32 bits.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// When journal appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append: a committed workload survives any crash.
+    Always,
+    /// fsync after every N appends: bounded loss window, higher throughput.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS decides (fastest, weakest).
+    Never,
+}
+
+/// A persisted quarantine entry: the op hash (the cross-session identity
+/// the quarantine is keyed by), its display name, and the consecutive
+/// permanent-failure count at persistence time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// `Operation::op_hash()` of the quarantined operation.
+    pub op_hash: u64,
+    /// Operation display name (for diagnostics).
+    pub name: String,
+    /// Consecutive permanent failures recorded when persisted.
+    pub failures: usize,
+}
+
+/// Refreshed absolute attributes of a vertex that an already-known
+/// workload touched (frequency bump + measurement refresh).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VertexTouch {
+    /// The touched vertex.
+    pub id: ArtifactId,
+    /// Absolute frequency after the touch.
+    pub frequency: u64,
+    /// Absolute compute time after the touch.
+    pub compute_time: f64,
+    /// Absolute size after the touch.
+    pub size: u64,
+    /// Absolute quality after the touch.
+    pub quality: f64,
+}
+
+/// One committed workload's effect on the Experiment Graph — the unit
+/// of journaling and replay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EgDelta {
+    /// Vertices this workload added, in parents-first order.
+    pub new_vertices: Vec<EgVertex>,
+    /// Existing vertices it touched (absolute values, replay-idempotent).
+    pub touched: Vec<VertexTouch>,
+    /// Artifacts whose content the updater/materializer stored.
+    pub mat_added: Vec<ArtifactId>,
+    /// Artifacts whose content was evicted.
+    pub mat_removed: Vec<ArtifactId>,
+    /// Quarantine entries added or updated.
+    pub quarantine_set: Vec<QuarantineEntry>,
+    /// Op hashes released from quarantine.
+    pub quarantine_cleared: Vec<u64>,
+}
+
+impl EgDelta {
+    /// Whether the delta records no change at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.new_vertices.is_empty()
+            && self.touched.is_empty()
+            && self.mat_added.is_empty()
+            && self.mat_removed.is_empty()
+            && self.quarantine_set.is_empty()
+            && self.quarantine_cleared.is_empty()
+    }
+
+    /// Serialise the delta to its journal-payload text.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for v in &self.new_vertices {
+            let _ = writeln!(out, "V\t{}", vertex_fields(v));
+        }
+        for t in &self.touched {
+            let _ = writeln!(
+                out,
+                "F\t{:x}\t{}\t{}\t{}\t{}",
+                t.id.0, t.frequency, t.compute_time, t.size, t.quality
+            );
+        }
+        for id in &self.mat_added {
+            let _ = writeln!(out, "M+\t{:x}", id.0);
+        }
+        for id in &self.mat_removed {
+            let _ = writeln!(out, "M-\t{:x}", id.0);
+        }
+        for q in &self.quarantine_set {
+            let _ = writeln!(
+                out,
+                "Q+\t{:x}\t{}\t{}",
+                q.op_hash,
+                q.failures,
+                escape(&q.name)
+            );
+        }
+        for h in &self.quarantine_cleared {
+            let _ = writeln!(out, "Q-\t{h:x}");
+        }
+        out
+    }
+
+    /// Parse a journal payload. `origin` and `record` (1-based) name the
+    /// file and record in any error.
+    pub fn decode(payload: &str, origin: &str, record: usize) -> Result<EgDelta> {
+        let ctx = ParseCtx { origin, record };
+        let mut delta = EgDelta::default();
+        for line in payload.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields[0] {
+                "V" if fields.len() == 11 => {
+                    delta
+                        .new_vertices
+                        .push(parse_vertex_fields(&fields[1..], &ctx)?);
+                }
+                "F" if fields.len() == 5 => {
+                    delta.touched.push(VertexTouch {
+                        id: parse_id(fields[1], &ctx)?,
+                        frequency: fields[2]
+                            .parse()
+                            .map_err(|_| ctx.err("bad frequency in F entry"))?,
+                        compute_time: fields[3]
+                            .parse()
+                            .map_err(|_| ctx.err("bad compute time in F entry"))?,
+                        size: fields[4]
+                            .parse()
+                            .map_err(|_| ctx.err("bad size in F entry"))?,
+                        quality: 0.0,
+                    });
+                }
+                "F" if fields.len() == 6 => {
+                    delta.touched.push(VertexTouch {
+                        id: parse_id(fields[1], &ctx)?,
+                        frequency: fields[2]
+                            .parse()
+                            .map_err(|_| ctx.err("bad frequency in F entry"))?,
+                        compute_time: fields[3]
+                            .parse()
+                            .map_err(|_| ctx.err("bad compute time in F entry"))?,
+                        size: fields[4]
+                            .parse()
+                            .map_err(|_| ctx.err("bad size in F entry"))?,
+                        quality: fields[5]
+                            .parse()
+                            .map_err(|_| ctx.err("bad quality in F entry"))?,
+                    });
+                }
+                "M+" if fields.len() == 2 => delta.mat_added.push(parse_id(fields[1], &ctx)?),
+                "M-" if fields.len() == 2 => delta.mat_removed.push(parse_id(fields[1], &ctx)?),
+                "Q+" if fields.len() == 4 => {
+                    delta.quarantine_set.push(QuarantineEntry {
+                        op_hash: u64::from_str_radix(fields[1], 16)
+                            .map_err(|_| ctx.err("bad op hash in Q+ entry"))?,
+                        failures: fields[2]
+                            .parse()
+                            .map_err(|_| ctx.err("bad failure count in Q+ entry"))?,
+                        name: unescape(fields[3]).map_err(|m| ctx.err(m))?,
+                    });
+                }
+                "Q-" if fields.len() == 2 => delta.quarantine_cleared.push(
+                    u64::from_str_radix(fields[1], 16)
+                        .map_err(|_| ctx.err("bad op hash in Q- entry"))?,
+                ),
+                tag => {
+                    return Err(ctx.err(format!(
+                        "unknown or malformed journal entry {tag:?} ({} fields)",
+                        fields.len()
+                    )))
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Apply the delta to a graph during recovery. New vertices are
+    /// inserted (parents must precede them, as the publish order
+    /// guarantees); vertices that already exist — replay over a snapshot
+    /// taken after this record — have their absolute attributes
+    /// overwritten, so application is idempotent. Materialization
+    /// changes land in the graph's restored-materialization set (content
+    /// itself is never persisted; see `crate::snapshot`).
+    pub fn apply(&self, eg: &mut ExperimentGraph) -> Result<()> {
+        for v in &self.new_vertices {
+            if eg.contains(v.id) {
+                let dst = eg.vertex_mut(v.id)?;
+                dst.frequency = v.frequency;
+                dst.compute_time = v.compute_time;
+                dst.size = v.size;
+                dst.quality = v.quality;
+            } else {
+                eg.restore_vertex(v.clone())?;
+            }
+        }
+        for t in &self.touched {
+            let dst = eg.vertex_mut(t.id)?;
+            dst.frequency = t.frequency;
+            dst.compute_time = t.compute_time;
+            dst.size = t.size;
+            dst.quality = t.quality;
+        }
+        for id in &self.mat_added {
+            eg.mark_restored_materialized(*id);
+        }
+        for id in &self.mat_removed {
+            eg.unmark_restored_materialized(*id);
+        }
+        Ok(())
+    }
+}
+
+fn parse_id(field: &str, ctx: &ParseCtx<'_>) -> Result<ArtifactId> {
+    u64::from_str_radix(field, 16)
+        .map(ArtifactId)
+        .map_err(|_| ctx.err(format!("bad artifact id {field:?}")))
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> GraphError {
+    GraphError::Io(format!("cannot {what} journal {}: {e}", path.display()))
+}
+
+fn crash_err(point: CrashPoint) -> GraphError {
+    GraphError::Io(format!("injected crash at {}", point.name()))
+}
+
+fn should_crash(faults: Option<&FaultInjector>, point: CrashPoint) -> bool {
+    faults.is_some_and(|f| f.take_crash(point))
+}
+
+/// An open, append-only journal file.
+#[derive(Debug)]
+pub struct Journal {
+    file: fs::File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    unsynced: u32,
+    len: u64,
+}
+
+impl Journal {
+    /// Open (or create) a journal for appending. A fresh or empty file
+    /// gets the magic written and synced; an existing file must open
+    /// with a valid magic — run [`replay`] (which truncates torn tails,
+    /// including a torn magic) before opening.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<Journal> {
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, &e))?;
+        let mut len = file.metadata().map_err(|e| io_err("stat", path, &e))?.len();
+        if len == 0 {
+            file.write_all(WAL_MAGIC)
+                .map_err(|e| io_err("initialise", path, &e))?;
+            file.sync_all().map_err(|e| io_err("sync", path, &e))?;
+            len = WAL_MAGIC.len() as u64;
+        } else {
+            if len < WAL_MAGIC.len() as u64 {
+                return Err(GraphError::corrupt(
+                    path.display().to_string(),
+                    0,
+                    "file shorter than the journal magic",
+                ));
+            }
+            let mut magic = [0u8; 8];
+            let mut reader = &file;
+            reader
+                .read_exact(&mut magic)
+                .map_err(|e| io_err("read", path, &e))?;
+            if &magic != WAL_MAGIC {
+                return Err(GraphError::corrupt(
+                    path.display().to_string(),
+                    0,
+                    format!("bad journal magic {magic:?}"),
+                ));
+            }
+        }
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+            len,
+        })
+    }
+
+    /// Current file length in bytes (magic + records).
+    #[must_use]
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The journal's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one delta as a length-prefixed, CRC-checksummed record,
+    /// honouring the fsync policy. With a fault injector armed, the
+    /// journal crash points fire here: `JournalMidAppend` leaves a torn
+    /// record on disk (for recovery to detect and truncate);
+    /// `JournalPreFsync` models the worst case of an unsynced write —
+    /// the record never reaches the disk at all.
+    pub fn append(&mut self, delta: &EgDelta, faults: Option<&FaultInjector>) -> Result<()> {
+        let payload = delta.encode();
+        let bytes = payload.as_bytes();
+        if should_crash(faults, CrashPoint::JournalPreFsync) {
+            return Err(crash_err(CrashPoint::JournalPreFsync));
+        }
+        let mut frame = Vec::with_capacity(8 + bytes.len());
+        frame.extend_from_slice(
+            &u32::try_from(bytes.len())
+                .map_err(|_| {
+                    GraphError::Io(format!("journal record too large: {} bytes", bytes.len()))
+                })?
+                .to_le_bytes(),
+        );
+        frame.extend_from_slice(&crc32(bytes).to_le_bytes());
+        frame.extend_from_slice(bytes);
+        if should_crash(faults, CrashPoint::JournalMidAppend) {
+            let torn = &frame[..8 + bytes.len() / 2];
+            let _ = self.file.write_all(torn);
+            let _ = self.file.sync_all();
+            self.len += torn.len() as u64;
+            return Err(crash_err(CrashPoint::JournalMidAppend));
+        }
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append to", &self.path, &e))?;
+        self.len += frame.len() as u64;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Flush appended records to disk.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("sync", &self.path, &e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Truncate the journal back to just its magic — called after a
+    /// snapshot has durably captured everything the journal held
+    /// (compaction).
+    pub fn reset(&mut self) -> Result<()> {
+        self.file
+            .set_len(WAL_MAGIC.len() as u64)
+            .map_err(|e| io_err("truncate", &self.path, &e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("sync", &self.path, &e))?;
+        self.len = WAL_MAGIC.len() as u64;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// The result of scanning a journal at startup.
+#[derive(Debug, Default)]
+pub struct ReplayOutcome {
+    /// Fully verified records, in append order.
+    pub deltas: Vec<EgDelta>,
+    /// Byte offset where a torn tail begins (the file should be
+    /// truncated to this length), if one was detected.
+    pub torn_at: Option<u64>,
+    /// Bytes past `torn_at` that will be discarded.
+    pub bytes_discarded: u64,
+}
+
+/// Scan a journal file, verifying each record's length and CRC. A
+/// missing or empty file yields an empty outcome. A *torn tail* — a
+/// record whose frame is incomplete or whose CRC does not match, the
+/// signature of a crash mid-append — ends the scan; everything before
+/// it is returned and `torn_at` tells the caller where to truncate.
+/// A record that passes its CRC but does not parse is real corruption
+/// and is reported as an error naming the file and record number.
+pub fn replay(path: &Path) -> Result<ReplayOutcome> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReplayOutcome::default()),
+        Err(e) => return Err(io_err("read", path, &e)),
+    };
+    let mut outcome = ReplayOutcome::default();
+    if bytes.is_empty() {
+        return Ok(outcome);
+    }
+    if bytes.len() < WAL_MAGIC.len() {
+        // A crash while initialising the file: everything is a torn tail.
+        outcome.torn_at = Some(0);
+        outcome.bytes_discarded = bytes.len() as u64;
+        return Ok(outcome);
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(GraphError::corrupt(
+            path.display().to_string(),
+            0,
+            format!("bad journal magic {:?}", &bytes[..WAL_MAGIC.len()]),
+        ));
+    }
+    let origin = path.display().to_string();
+    let mut off = WAL_MAGIC.len();
+    let mut record = 0usize;
+    while off < bytes.len() {
+        record += 1;
+        let torn = |outcome: &mut ReplayOutcome| {
+            outcome.torn_at = Some(off as u64);
+            outcome.bytes_discarded = (bytes.len() - off) as u64;
+        };
+        if bytes.len() - off < 8 {
+            torn(&mut outcome);
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        let start = off + 8;
+        if bytes.len() - start < len {
+            torn(&mut outcome);
+            break;
+        }
+        let payload = &bytes[start..start + len];
+        if crc32(payload) != crc {
+            torn(&mut outcome);
+            break;
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| GraphError::corrupt(&origin, record, "payload is not UTF-8"))?;
+        outcome.deltas.push(EgDelta::decode(text, &origin, record)?);
+        off = start + len;
+    }
+    Ok(outcome)
+}
+
+/// Truncate a journal to `valid_len` bytes, discarding a torn tail
+/// found by [`replay`]. Lengths shorter than the magic truncate to
+/// empty (the next [`Journal::open`] re-initialises the file).
+pub fn truncate(path: &Path, valid_len: u64) -> Result<()> {
+    let keep = if valid_len < WAL_MAGIC.len() as u64 {
+        0
+    } else {
+        valid_len
+    };
+    let file = fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| io_err("open", path, &e))?;
+    file.set_len(keep)
+        .map_err(|e| io_err("truncate", path, &e))?;
+    file.sync_all().map_err(|e| io_err("sync", path, &e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::NodeKind;
+
+    fn vertex(id: u64, parents: &[u64]) -> EgVertex {
+        EgVertex {
+            id: ArtifactId(id),
+            kind: NodeKind::Dataset,
+            frequency: 1,
+            compute_time: 0.5,
+            size: 64,
+            quality: 0.0,
+            description: "tab\there".to_owned(),
+            source_name: if parents.is_empty() {
+                Some("src".to_owned())
+            } else {
+                None
+            },
+            op_hash: if parents.is_empty() {
+                None
+            } else {
+                Some(id ^ 7)
+            },
+            parents: parents.iter().copied().map(ArtifactId).collect(),
+            children: Vec::new(),
+        }
+    }
+
+    fn sample_delta() -> EgDelta {
+        EgDelta {
+            new_vertices: vec![vertex(1, &[]), vertex(2, &[1])],
+            touched: vec![VertexTouch {
+                id: ArtifactId(9),
+                frequency: 4,
+                compute_time: 1.25,
+                size: 100,
+                quality: 0.875,
+            }],
+            mat_added: vec![ArtifactId(2)],
+            mat_removed: vec![ArtifactId(9)],
+            quarantine_set: vec![QuarantineEntry {
+                op_hash: 0xdead,
+                name: "train\tmodel".to_owned(),
+                failures: 3,
+            }],
+            quarantine_cleared: vec![0xbeef],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("co_graph_journal_{name}.wal"));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn delta_round_trips_through_text() {
+        let delta = sample_delta();
+        let decoded = EgDelta::decode(&delta.encode(), "<memory>", 1).unwrap();
+        assert_eq!(decoded, delta);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_with_record_context() {
+        let err = EgDelta::decode("X\t1", "w.wal", 7).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("w.wal"), "{msg}");
+        assert!(msg.contains('7'), "{msg}");
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = tmp("round_trip");
+        let mut journal = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        let delta = sample_delta();
+        journal.append(&delta, None).unwrap();
+        journal.append(&EgDelta::default(), None).unwrap();
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.deltas.len(), 2);
+        assert_eq!(outcome.deltas[0], delta);
+        assert!(outcome.torn_at.is_none());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated() {
+        let path = tmp("torn");
+        let mut journal = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.append(&sample_delta(), None).unwrap();
+        let good_len = journal.len_bytes();
+        drop(journal);
+        // Simulate a crash mid-append: half a record of garbage.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[42, 0, 0, 0, 1]);
+        fs::write(&path, &bytes).unwrap();
+
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.deltas.len(), 1);
+        assert_eq!(outcome.torn_at, Some(good_len));
+        assert_eq!(outcome.bytes_discarded, 5);
+        truncate(&path, good_len).unwrap();
+        // After truncation the journal is clean and appendable again.
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.deltas.len(), 1);
+        assert!(outcome.torn_at.is_none());
+        let mut journal = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.append(&EgDelta::default(), None).unwrap();
+        assert_eq!(replay(&path).unwrap().deltas.len(), 2);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay_at_prefix() {
+        let path = tmp("corrupt");
+        let mut journal = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.append(&sample_delta(), None).unwrap();
+        let first_len = journal.len_bytes();
+        journal.append(&sample_delta(), None).unwrap();
+        drop(journal);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF; // flip a byte inside record 2's payload
+        fs::write(&path, &bytes).unwrap();
+
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.deltas.len(), 1);
+        assert_eq!(outcome.torn_at, Some(first_len));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty_and_reset_clears() {
+        let path = tmp("reset");
+        assert!(replay(&path).unwrap().deltas.is_empty());
+        let mut journal = Journal::open(&path, FsyncPolicy::EveryN(2)).unwrap();
+        journal.append(&sample_delta(), None).unwrap();
+        journal.reset().unwrap();
+        assert_eq!(journal.len_bytes(), WAL_MAGIC.len() as u64);
+        assert!(replay(&path).unwrap().deltas.is_empty());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_reported_with_path() {
+        let path = tmp("magic");
+        fs::write(&path, b"NOTAWAL!record").unwrap();
+        let err = replay(&path).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("magic"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn apply_is_idempotent_over_absolute_values() {
+        let mut eg = ExperimentGraph::new(true);
+        let delta = EgDelta {
+            new_vertices: vec![vertex(1, &[]), vertex(2, &[1])],
+            mat_added: vec![ArtifactId(2)],
+            ..EgDelta::default()
+        };
+        delta.apply(&mut eg).unwrap();
+        delta.apply(&mut eg).unwrap(); // replay over an already-applied state
+        assert_eq!(eg.n_vertices(), 2);
+        assert_eq!(eg.vertex(ArtifactId(1)).unwrap().frequency, 1);
+        assert!(eg.was_materialized(ArtifactId(2)));
+        let touch = EgDelta {
+            touched: vec![VertexTouch {
+                id: ArtifactId(1),
+                frequency: 5,
+                compute_time: 2.0,
+                size: 10,
+                quality: 0.5,
+            }],
+            mat_removed: vec![ArtifactId(2)],
+            ..EgDelta::default()
+        };
+        touch.apply(&mut eg).unwrap();
+        touch.apply(&mut eg).unwrap();
+        assert_eq!(eg.vertex(ArtifactId(1)).unwrap().frequency, 5);
+        assert!(!eg.was_materialized(ArtifactId(2)));
+    }
+}

@@ -25,6 +25,7 @@ pub mod error;
 pub mod experiment;
 pub mod export;
 pub mod faults;
+pub mod journal;
 pub mod operation;
 pub mod snapshot;
 pub mod storage;
@@ -34,7 +35,8 @@ pub mod workload;
 pub use artifact::{ArtifactId, ArtifactMeta, NodeKind};
 pub use error::{GraphError, Result};
 pub use experiment::{EgVertex, ExperimentGraph};
-pub use faults::{FaultInjector, FaultKind};
+pub use faults::{CrashPoint, FaultInjector, FaultKind};
+pub use journal::{EgDelta, FsyncPolicy, Journal, QuarantineEntry};
 pub use operation::{OpHash, Operation};
 pub use storage::StorageManager;
 pub use value::{ModelArtifact, Value};

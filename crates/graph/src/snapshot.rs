@@ -4,8 +4,8 @@
 //! a server restart must not forget it. This module serialises the
 //! *meta-data* side of the graph — every vertex's
 //! ⟨id, kind, frequency, compute-time, size, quality, description,
-//! lineage⟩ — to a simple line-oriented format, without external
-//! serialisation crates.
+//! lineage, mat flag⟩ plus the quarantine set — to a simple
+//! line-oriented format, without external serialisation crates.
 //!
 //! Artifact *content* is deliberately not persisted: EG keeps meta-data
 //! for all artifacts but content only for the materialized subset (§3.2),
@@ -14,18 +14,42 @@
 //! therefore plans with full cost information immediately, and regains
 //! reuse opportunities as content streams back in.
 //!
-//! Format (`EGSNAP 1`): one record per line, tab-separated, with `\`
-//! escapes for tabs/newlines/backslashes in free-text fields.
+//! ## Format (`EGSNAP 2`)
+//!
+//! ```text
+//! EGSNAP 2
+//! V\t<10 vertex fields>\t<mat: 0|1>
+//! ...
+//! Q\t<op hash hex>\t<failures>\t<escaped name>
+//! ...
+//! #CRC <crc32 of everything above, 8 hex digits>
+//! ```
+//!
+//! Vertex lines come in topological (parents-first) order; free-text
+//! fields escape tabs/newlines/backslashes with `\`. The CRC footer
+//! covers every byte before it, so any single-byte corruption is
+//! detected at load instead of silently restoring a wrong graph.
+//! Snapshots are written atomically: temp file, fsync, rename (see
+//! [`save_with`]). The legacy headerless-of-extras `EGSNAP 1` format
+//! (no `V` tag, no mat flag, no quarantine, no CRC) still loads.
 
 use crate::artifact::{ArtifactId, NodeKind};
 use crate::error::{GraphError, Result};
 use crate::experiment::{EgVertex, ExperimentGraph};
+use crate::faults::{CrashPoint, FaultInjector};
+use crate::journal::{crc32, QuarantineEntry};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
-const HEADER: &str = "EGSNAP 1";
+const HEADER_V1: &str = "EGSNAP 1";
+const HEADER_V2: &str = "EGSNAP 2";
+const CRC_PREFIX: &str = "#CRC ";
 
-fn escape(s: &str) -> String {
+/// Origin label for snapshots parsed from in-memory strings.
+const IN_MEMORY: &str = "<memory>";
+
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -38,7 +62,9 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> String {
+/// Strict inverse of [`escape`]: a trailing lone backslash or an unknown
+/// escape sequence is a parse error, not silent corruption.
+pub(crate) fn unescape(s: &str) -> std::result::Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -47,14 +73,28 @@ fn unescape(s: &str) -> String {
                 Some('t') => out.push('\t'),
                 Some('n') => out.push('\n'),
                 Some('\\') => out.push('\\'),
-                Some(other) => out.push(other),
-                None => {}
+                Some(other) => return Err(format!("unknown escape sequence \\{other}")),
+                None => return Err("trailing lone backslash".to_owned()),
             }
         } else {
             out.push(c);
         }
     }
-    out
+    Ok(out)
+}
+
+/// Where a parse is happening: the file (or `<memory>`) and the 1-based
+/// record number, threaded into every error so operators can locate
+/// damage without a hex dump.
+pub(crate) struct ParseCtx<'a> {
+    pub origin: &'a str,
+    pub record: usize,
+}
+
+impl ParseCtx<'_> {
+    pub fn err(&self, message: impl Into<String>) -> GraphError {
+        GraphError::corrupt(self.origin, self.record, message)
+    }
 }
 
 fn kind_code(kind: NodeKind) -> &'static str {
@@ -74,147 +114,336 @@ fn parse_kind(code: &str) -> Option<NodeKind> {
     }
 }
 
-/// Serialise the graph's meta-data to a string.
+/// The 10 tab-joined vertex fields shared by snapshot `V` lines and
+/// journal `V` records.
+pub(crate) fn vertex_fields(v: &EgVertex) -> String {
+    let parents: Vec<String> = v.parents.iter().map(|p| format!("{:x}", p.0)).collect();
+    format!(
+        "{:x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        v.id.0,
+        kind_code(v.kind),
+        v.frequency,
+        v.compute_time,
+        v.size,
+        v.quality,
+        v.op_hash
+            .map_or_else(|| "-".to_owned(), |h| format!("{h:x}")),
+        v.source_name
+            .as_deref()
+            .map_or_else(|| "-".to_owned(), escape),
+        escape(&v.description),
+        parents.join(","),
+    )
+}
+
+/// Parse the 10 vertex fields back into an [`EgVertex`] (children links
+/// are rebuilt on insertion).
+pub(crate) fn parse_vertex_fields(fields: &[&str], ctx: &ParseCtx<'_>) -> Result<EgVertex> {
+    if fields.len() != 10 {
+        return Err(ctx.err(format!("expected 10 vertex fields, got {}", fields.len())));
+    }
+    let id = ArtifactId(
+        u64::from_str_radix(fields[0], 16)
+            .map_err(|_| ctx.err(format!("bad artifact id {:?}", fields[0])))?,
+    );
+    let kind = parse_kind(fields[1]).ok_or_else(|| ctx.err(format!("bad kind {:?}", fields[1])))?;
+    let frequency = fields[2].parse().map_err(|_| ctx.err("bad frequency"))?;
+    let compute_time = fields[3].parse().map_err(|_| ctx.err("bad compute time"))?;
+    let size = fields[4].parse().map_err(|_| ctx.err("bad size"))?;
+    let quality = fields[5].parse().map_err(|_| ctx.err("bad quality"))?;
+    let op_hash = if fields[6] == "-" {
+        None
+    } else {
+        Some(
+            u64::from_str_radix(fields[6], 16)
+                .map_err(|_| ctx.err(format!("bad op hash {:?}", fields[6])))?,
+        )
+    };
+    let source_name = if fields[7] == "-" {
+        None
+    } else {
+        Some(unescape(fields[7]).map_err(|m| ctx.err(m))?)
+    };
+    let description = unescape(fields[8]).map_err(|m| ctx.err(m))?;
+    let parents: Vec<ArtifactId> = if fields[9].is_empty() {
+        Vec::new()
+    } else {
+        fields[9]
+            .split(',')
+            .map(|p| {
+                u64::from_str_radix(p, 16)
+                    .map(ArtifactId)
+                    .map_err(|_| ctx.err(format!("bad parent id {p:?}")))
+            })
+            .collect::<Result<_>>()?
+    };
+    Ok(EgVertex {
+        id,
+        kind,
+        frequency,
+        compute_time,
+        size,
+        quality,
+        description,
+        source_name,
+        op_hash,
+        parents,
+        children: Vec::new(),
+    })
+}
+
+/// A graph restored from a snapshot, with the persisted quarantine set.
+pub struct RestoredSnapshot {
+    /// The rebuilt graph (meta-data only; empty content store).
+    pub graph: ExperimentGraph,
+    /// Quarantine entries active when the snapshot was written.
+    pub quarantine: Vec<QuarantineEntry>,
+}
+
+/// Serialise the graph's meta-data (no quarantine) to an `EGSNAP 2`
+/// string. See [`to_snapshot_with`].
 #[must_use]
 pub fn to_snapshot(eg: &ExperimentGraph) -> String {
+    to_snapshot_with(eg, &[])
+}
+
+/// Serialise the graph's meta-data and the quarantine set to an
+/// `EGSNAP 2` string, CRC footer included.
+#[must_use]
+pub fn to_snapshot_with(eg: &ExperimentGraph, quarantine: &[QuarantineEntry]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "{HEADER_V2}");
     for id in eg.topo_order() {
         let v = eg.vertex(*id).expect("topo order lists known vertices");
-        let parents: Vec<String> = v.parents.iter().map(|p| format!("{:x}", p.0)).collect();
+        let mat = u8::from(eg.was_materialized(*id));
+        let _ = writeln!(out, "V\t{}\t{}", vertex_fields(v), mat);
+    }
+    for q in quarantine {
         let _ = writeln!(
             out,
-            "{:x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            v.id.0,
-            kind_code(v.kind),
-            v.frequency,
-            v.compute_time,
-            v.size,
-            v.quality,
-            v.op_hash
-                .map_or_else(|| "-".to_owned(), |h| format!("{h:x}")),
-            v.source_name
-                .as_deref()
-                .map_or_else(|| "-".to_owned(), escape),
-            escape(&v.description),
-            parents.join(","),
+            "Q\t{:x}\t{}\t{}",
+            q.op_hash,
+            q.failures,
+            escape(&q.name)
         );
     }
+    let _ = writeln!(out, "{CRC_PREFIX}{:08x}", crc32(out.as_bytes()));
     out
 }
 
-fn parse_err(line: usize, message: impl Into<String>) -> GraphError {
-    GraphError::InvalidStructure(format!("snapshot line {line}: {}", message.into()))
+/// Rebuild a graph from a snapshot string (either `EGSNAP 2` or the
+/// legacy `EGSNAP 1`), dropping the quarantine set.
+pub fn from_snapshot(text: &str, dedup: bool) -> Result<ExperimentGraph> {
+    from_snapshot_full(text, dedup, IN_MEMORY).map(|r| r.graph)
 }
 
-/// Rebuild a graph (meta-data only; empty content store with the given
-/// dedup mode) from a snapshot string.
-pub fn from_snapshot(text: &str, dedup: bool) -> Result<ExperimentGraph> {
-    let mut lines = text.lines().enumerate();
-    match lines.next() {
-        Some((_, header)) if header == HEADER => {}
-        other => {
-            return Err(parse_err(
-                1,
-                format!(
-                    "expected header {HEADER:?}, found {:?}",
-                    other.map(|(_, l)| l)
-                ),
-            ))
+/// Rebuild a graph and the quarantine set from a snapshot string.
+/// `origin` names the source (a file path, usually) in parse errors.
+pub fn from_snapshot_full(text: &str, dedup: bool, origin: &str) -> Result<RestoredSnapshot> {
+    let header = text.lines().next().unwrap_or("");
+    match header {
+        HEADER_V2 => from_v2(text, dedup, origin),
+        HEADER_V1 => from_v1(text, dedup, origin),
+        other => Err(GraphError::corrupt(
+            origin,
+            0,
+            format!("expected header {HEADER_V2:?} or {HEADER_V1:?}, found {other:?}"),
+        )),
+    }
+}
+
+fn check_parents(eg: &ExperimentGraph, v: &EgVertex, ctx: &ParseCtx<'_>) -> Result<()> {
+    for p in &v.parents {
+        if !eg.contains(*p) {
+            return Err(ctx.err(format!("parent {:x} referenced before definition", p.0)));
         }
     }
+    Ok(())
+}
+
+fn from_v2(text: &str, dedup: bool, origin: &str) -> Result<RestoredSnapshot> {
+    // Verify the CRC footer over everything preceding it before
+    // trusting a single field.
+    let footer_at = text.trim_end_matches('\n').rfind('\n').map_or(0, |i| i + 1);
+    let footer = text[footer_at..].trim_end_matches('\n');
+    let Some(stated) = footer.strip_prefix(CRC_PREFIX) else {
+        return Err(GraphError::corrupt(
+            origin,
+            0,
+            "missing #CRC footer (truncated snapshot?)",
+        ));
+    };
+    // Exactly 8 lowercase hex digits — the writer's canonical form.
+    // `from_str_radix` alone would also accept uppercase (and a sign),
+    // letting a case-flipping corruption of the footer go unnoticed.
+    let canonical = stated.len() == 8
+        && stated
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase());
+    if !canonical {
+        return Err(GraphError::corrupt(
+            origin,
+            0,
+            format!("bad #CRC footer {footer:?}"),
+        ));
+    }
+    let stated = u32::from_str_radix(stated, 16)
+        .map_err(|_| GraphError::corrupt(origin, 0, format!("bad #CRC footer {footer:?}")))?;
+    let actual = crc32(&text.as_bytes()[..footer_at]);
+    if stated != actual {
+        return Err(GraphError::corrupt(
+            origin,
+            0,
+            format!("checksum mismatch: file says {stated:08x}, contents hash to {actual:08x}"),
+        ));
+    }
+
     let mut eg = ExperimentGraph::new(dedup);
-    for (lineno, line) in lines {
+    let mut quarantine = Vec::new();
+    for (lineno, line) in text[..footer_at].lines().enumerate().skip(1) {
         if line.trim().is_empty() {
             continue;
         }
+        let ctx = ParseCtx {
+            origin,
+            record: lineno + 1,
+        };
         let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 10 {
-            return Err(parse_err(
-                lineno + 1,
-                format!("expected 10 fields, got {}", fields.len()),
-            ));
-        }
-        let id = ArtifactId(
-            u64::from_str_radix(fields[0], 16).map_err(|e| parse_err(lineno + 1, e.to_string()))?,
-        );
-        let kind = parse_kind(fields[1])
-            .ok_or_else(|| parse_err(lineno + 1, format!("bad kind {:?}", fields[1])))?;
-        let frequency = fields[2]
-            .parse()
-            .map_err(|_| parse_err(lineno + 1, "bad frequency"))?;
-        let compute_time = fields[3]
-            .parse()
-            .map_err(|_| parse_err(lineno + 1, "bad compute time"))?;
-        let size = fields[4]
-            .parse()
-            .map_err(|_| parse_err(lineno + 1, "bad size"))?;
-        let quality = fields[5]
-            .parse()
-            .map_err(|_| parse_err(lineno + 1, "bad quality"))?;
-        let op_hash = if fields[6] == "-" {
-            None
-        } else {
-            Some(
-                u64::from_str_radix(fields[6], 16)
-                    .map_err(|e| parse_err(lineno + 1, e.to_string()))?,
-            )
-        };
-        let source_name = if fields[7] == "-" {
-            None
-        } else {
-            Some(unescape(fields[7]))
-        };
-        let description = unescape(fields[8]);
-        let parents: Vec<ArtifactId> = if fields[9].is_empty() {
-            Vec::new()
-        } else {
-            fields[9]
-                .split(',')
-                .map(|p| {
-                    u64::from_str_radix(p, 16)
-                        .map(ArtifactId)
-                        .map_err(|e| parse_err(lineno + 1, e.to_string()))
-                })
-                .collect::<Result<_>>()?
-        };
-        for p in &parents {
-            if !eg.contains(*p) {
-                return Err(parse_err(
-                    lineno + 1,
-                    format!("parent {:x} referenced before definition", p.0),
-                ));
+        match fields[0] {
+            "V" if fields.len() == 12 => {
+                let v = parse_vertex_fields(&fields[1..11], &ctx)?;
+                let mat = match fields[11] {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(ctx.err(format!("bad mat flag {other:?}"))),
+                };
+                check_parents(&eg, &v, &ctx)?;
+                let id = v.id;
+                eg.restore_vertex(v).map_err(|e| ctx.err(e.to_string()))?;
+                if mat {
+                    eg.mark_restored_materialized(id);
+                }
+            }
+            "Q" if fields.len() == 4 => quarantine.push(QuarantineEntry {
+                op_hash: u64::from_str_radix(fields[1], 16)
+                    .map_err(|_| ctx.err("bad op hash in Q line"))?,
+                failures: fields[2]
+                    .parse()
+                    .map_err(|_| ctx.err("bad failure count in Q line"))?,
+                name: unescape(fields[3]).map_err(|m| ctx.err(m))?,
+            }),
+            tag => {
+                return Err(ctx.err(format!(
+                    "unknown or malformed snapshot line {tag:?} ({} fields)",
+                    fields.len()
+                )))
             }
         }
-        let vertex = EgVertex {
-            id,
-            kind,
-            frequency,
-            compute_time,
-            size,
-            quality,
-            description,
-            source_name,
-            op_hash,
-            parents,
-            children: Vec::new(),
-        };
-        eg.restore_vertex(vertex)?;
     }
-    Ok(eg)
+    Ok(RestoredSnapshot {
+        graph: eg,
+        quarantine,
+    })
 }
 
-/// Write a snapshot to disk.
+fn from_v1(text: &str, dedup: bool, origin: &str) -> Result<RestoredSnapshot> {
+    let mut eg = ExperimentGraph::new(dedup);
+    for (lineno, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx = ParseCtx {
+            origin,
+            record: lineno + 1,
+        };
+        let fields: Vec<&str> = line.split('\t').collect();
+        let v = parse_vertex_fields(&fields, &ctx)?;
+        check_parents(&eg, &v, &ctx)?;
+        eg.restore_vertex(v).map_err(|e| ctx.err(e.to_string()))?;
+    }
+    Ok(RestoredSnapshot {
+        graph: eg,
+        quarantine: Vec::new(),
+    })
+}
+
+/// The temp-file path used by atomic saves: `<path>.tmp`.
+#[must_use]
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> GraphError {
+    GraphError::Io(format!("cannot {what} snapshot {}: {e}", path.display()))
+}
+
+fn should_crash(faults: Option<&FaultInjector>, point: CrashPoint) -> bool {
+    faults.is_some_and(|f| f.take_crash(point))
+}
+
+fn crash_err(point: CrashPoint) -> GraphError {
+    GraphError::Io(format!("injected crash at {}", point.name()))
+}
+
+/// Write a snapshot to disk atomically (temp file + fsync + rename).
+/// See [`save_with`].
 pub fn save(eg: &ExperimentGraph, path: &Path) -> Result<()> {
-    std::fs::write(path, to_snapshot(eg))
-        .map_err(|e| GraphError::Io(format!("cannot write snapshot {}: {e}", path.display())))
+    save_with(eg, &[], path, None)
 }
 
-/// Load a snapshot from disk.
+/// Write a snapshot (graph + quarantine set) to disk atomically:
+/// the full contents go to `<path>.tmp`, which is fsynced and then
+/// renamed over `path`, so a crash at any point leaves either the old
+/// complete snapshot or the new complete snapshot — never a torn mix.
+/// With a fault injector armed, the snapshot [`CrashPoint`]s fire here.
+pub fn save_with(
+    eg: &ExperimentGraph,
+    quarantine: &[QuarantineEntry],
+    path: &Path,
+    faults: Option<&FaultInjector>,
+) -> Result<()> {
+    let text = to_snapshot_with(eg, quarantine);
+    let bytes = text.as_bytes();
+    let tmp = tmp_path(path);
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
+        if should_crash(faults, CrashPoint::SnapshotMidWrite) {
+            let _ = file.write_all(&bytes[..bytes.len() / 2]);
+            let _ = file.sync_all();
+            return Err(crash_err(CrashPoint::SnapshotMidWrite));
+        }
+        file.write_all(bytes)
+            .map_err(|e| io_err("write", &tmp, &e))?;
+        if should_crash(faults, CrashPoint::SnapshotPreFsync) {
+            return Err(crash_err(CrashPoint::SnapshotPreFsync));
+        }
+        file.sync_all().map_err(|e| io_err("sync", &tmp, &e))?;
+    }
+    if should_crash(faults, CrashPoint::SnapshotPreRename) {
+        return Err(crash_err(CrashPoint::SnapshotPreRename));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", path, &e))?;
+    // Make the rename itself durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Load a snapshot from disk, dropping the quarantine set.
 pub fn load(path: &Path, dedup: bool) -> Result<ExperimentGraph> {
+    load_full(path, dedup).map(|r| r.graph)
+}
+
+/// Load a snapshot and the persisted quarantine set from disk.
+pub fn load_full(path: &Path, dedup: bool) -> Result<RestoredSnapshot> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| GraphError::Io(format!("cannot read snapshot {}: {e}", path.display())))?;
-    from_snapshot(&text, dedup)
+    from_snapshot_full(&text, dedup, &path.display().to_string())
 }
 
 #[cfg(test)]
@@ -289,11 +518,29 @@ mod tests {
             cb.sort();
             assert_eq!(ca, cb);
         }
-        // Content is not persisted: nothing is materialized.
+        // Content is not persisted: nothing is materialized, but the
+        // mat *flag* survives for durability bookkeeping.
         assert_eq!(restored.storage().n_artifacts(), 0);
+        for src in eg.sources() {
+            assert!(restored.was_materialized(*src));
+        }
         // Derived attributes recompute identically.
         assert_eq!(restored.recreation_costs(), eg.recreation_costs());
         assert_eq!(restored.potentials(), eg.potentials());
+    }
+
+    #[test]
+    fn quarantine_round_trips() {
+        let eg = populated();
+        let quarantine = vec![QuarantineEntry {
+            op_hash: 0xabc,
+            name: "train\tweird".to_owned(),
+            failures: 4,
+        }];
+        let text = to_snapshot_with(&eg, &quarantine);
+        let restored = from_snapshot_full(&text, true, IN_MEMORY).unwrap();
+        assert_eq!(restored.quarantine, quarantine);
+        assert_eq!(restored.graph.n_vertices(), eg.n_vertices());
     }
 
     #[test]
@@ -303,7 +550,32 @@ mod tests {
         save(&eg, &path).unwrap();
         let restored = load(&path, true).unwrap();
         assert_eq!(restored.n_vertices(), eg.n_vertices());
+        assert!(!tmp_path(&path).exists(), "atomic save leaves no temp file");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loads_legacy_v1_snapshots() {
+        // An EGSNAP 1 file from an existing deployment: no V tag, no mat
+        // flag, no quarantine, no CRC footer.
+        let v1 = "EGSNAP 1\n\
+                  aa\tD\t2\t0\t64\t0\t-\tsrc\tdesc\t\n\
+                  bb\tM\t2\t1.5\t32\t0.875\tbeef\t-\tmodel\taa\n";
+        let restored = from_snapshot_full(v1, true, "legacy.egsnap").unwrap();
+        assert_eq!(restored.graph.n_vertices(), 2);
+        assert!(restored.quarantine.is_empty());
+        assert!(!restored.graph.was_materialized(ArtifactId(0xaa)));
+        let m = restored.graph.vertex(ArtifactId(0xbb)).unwrap();
+        assert_eq!(m.quality, 0.875);
+        assert_eq!(m.parents, vec![ArtifactId(0xaa)]);
+        // And a v1 parse error names the file and line.
+        let bad = "EGSNAP 1\naa\tD\tnot_a_number\t0\t64\t0\t-\tsrc\tdesc\t\n";
+        let err = from_snapshot_full(bad, true, "legacy.egsnap")
+            .err()
+            .expect("bad v1 line");
+        let msg = err.to_string();
+        assert!(msg.contains("legacy.egsnap"), "{msg}");
+        assert!(msg.contains("record 2"), "{msg}");
     }
 
     #[test]
@@ -314,11 +586,53 @@ mod tests {
         // Parent referenced before definition.
         let bad = "EGSNAP 1\nff\tD\t1\t0\t0\t0\t-\t-\tdesc\taa";
         assert!(from_snapshot(bad, true).is_err());
+        // v2 without its footer is treated as truncated.
+        let headless = "EGSNAP 2\n";
+        assert!(from_snapshot(headless, true).is_err());
+    }
+
+    #[test]
+    fn corruption_is_detected_by_the_crc_footer() {
+        let text = to_snapshot(&populated());
+        // Flip one byte in the middle of the body.
+        let mut bytes = text.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        let err = from_snapshot(&corrupted, true).err().expect("corrupt");
+        assert!(matches!(err, GraphError::Corrupt { .. }), "{err}");
+        // Truncation (losing the footer) is detected too.
+        let truncated = &text[..text.len() - 20];
+        assert!(from_snapshot(truncated, true).is_err());
+    }
+
+    #[test]
+    fn strict_unescape_rejects_malformed_escapes() {
+        assert_eq!(unescape("a\\tb").unwrap(), "a\tb");
+        assert!(unescape("trailing\\").is_err());
+        assert!(unescape("unknown\\x").is_err());
+        // A vertex line with a bad escape errors with line context
+        // instead of silently corrupting the field. The populated graph's
+        // source is named "train\tcsv", serialised with an escaped tab —
+        // turn that escape into an unknown one.
+        let eg = populated();
+        let good = to_snapshot(&eg);
+        assert!(good.contains("train\\tcsv"));
+        let bad = good.replacen("train\\tcsv", "train\\zcsv", 1);
+        // (fix the CRC so the escape error, not the checksum, fires)
+        let body_end = bad.rfind(CRC_PREFIX).unwrap();
+        let rebuilt = format!(
+            "{}{CRC_PREFIX}{:08x}\n",
+            &bad[..body_end],
+            crc32(&bad.as_bytes()[..body_end])
+        );
+        let err = from_snapshot(&rebuilt, true).err().expect("bad escape");
+        assert!(err.to_string().contains("escape"), "{err}");
     }
 
     #[test]
     fn escaping_survives_hostile_names() {
-        assert_eq!(unescape(&escape("a\tb\\c\nd")), "a\tb\\c\nd");
+        assert_eq!(unescape(&escape("a\tb\\c\nd")).unwrap(), "a\tb\\c\nd");
         let eg = populated();
         let restored = from_snapshot(&to_snapshot(&eg), true).unwrap();
         let src = restored.sources()[0];

@@ -1,0 +1,293 @@
+//! Property tests for the durability codecs: journal records and
+//! `EGSNAP 2` snapshots must round-trip hostile text exactly, and any
+//! single-byte corruption of the on-disk bytes must be *detected* — as
+//! a hard error, or (for the journal, whose tail may legitimately be
+//! torn by a crash) by confining the damage to a truncated tail so the
+//! surviving prefix is exactly what was committed.
+
+use co_dataframe::Scalar;
+use co_graph::journal::{self, EgDelta, FsyncPolicy, Journal, VertexTouch};
+use co_graph::{
+    snapshot, ArtifactId, EgVertex, ExperimentGraph, NodeKind, Operation, QuarantineEntry, Value,
+    WorkloadDag,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Tag(String);
+impl Operation for Tag {
+    fn name(&self) -> &str {
+        &self.0
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+        Ok(Value::Aggregate(Scalar::Float(0.0)))
+    }
+}
+
+/// Strings over an alphabet rich in exactly the characters the codecs
+/// must escape — tabs (field separator), newlines (record separator),
+/// backslashes (escape char) — plus the `-` None sentinel.
+fn hostile(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select(vec!['\t', '\n', '\\', '-', 'a', 'B', ' ', '0']),
+        len,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// `Option<String>` built from a coin flip (the vendored proptest has
+/// no `option::of`).
+fn maybe_name() -> impl Strategy<Value = Option<String>> {
+    (prop_bool::ANY, hostile(0..6)).prop_map(|(some, s)| some.then(|| format!("s{s}")))
+}
+
+fn arb_vertex() -> impl Strategy<Value = EgVertex> {
+    (
+        (
+            0u64..u64::MAX,
+            proptest::sample::select(vec![
+                NodeKind::Dataset,
+                NodeKind::Aggregate,
+                NodeKind::Model,
+            ]),
+            0u64..1_000_000,
+            0.0f64..1e6,
+            0u64..u64::MAX,
+        ),
+        (
+            0.0f64..1.0,
+            hostile(0..10),
+            maybe_name(),
+            (prop_bool::ANY, 0u64..u64::MAX).prop_map(|(some, h)| some.then_some(h)),
+            proptest::collection::vec(0u64..u64::MAX, 0..3),
+        ),
+    )
+        .prop_map(
+            |(
+                (id, kind, frequency, compute_time, size),
+                (quality, description, source_name, op_hash, parents),
+            )| EgVertex {
+                id: ArtifactId(id),
+                kind,
+                frequency,
+                compute_time,
+                size,
+                quality,
+                description,
+                source_name,
+                op_hash,
+                parents: parents.into_iter().map(ArtifactId).collect(),
+                // The codec serialises parents only; children are
+                // rebuilt from them when a delta is applied.
+                children: Vec::new(),
+            },
+        )
+}
+
+fn arb_quarantine_entry() -> impl Strategy<Value = QuarantineEntry> {
+    (0u64..u64::MAX, hostile(0..8), 1usize..9).prop_map(|(op_hash, name, failures)| {
+        QuarantineEntry {
+            op_hash,
+            name,
+            failures,
+        }
+    })
+}
+
+fn arb_delta() -> impl Strategy<Value = EgDelta> {
+    (
+        proptest::collection::vec(arb_vertex(), 0..3),
+        proptest::collection::vec(
+            (
+                0u64..u64::MAX,
+                0u64..1_000_000,
+                0.0f64..1e6,
+                0u64..u64::MAX,
+                0.0f64..1.0,
+            ),
+            0..3,
+        ),
+        proptest::collection::vec(0u64..u64::MAX, 0..3),
+        proptest::collection::vec(0u64..u64::MAX, 0..3),
+        proptest::collection::vec(arb_quarantine_entry(), 0..2),
+        proptest::collection::vec(0u64..u64::MAX, 0..2),
+    )
+        .prop_map(
+            |(new_vertices, touched, added, removed, qset, qcleared)| EgDelta {
+                new_vertices,
+                touched: touched
+                    .into_iter()
+                    .map(|(id, frequency, compute_time, size, quality)| VertexTouch {
+                        id: ArtifactId(id),
+                        frequency,
+                        compute_time,
+                        size,
+                        quality,
+                    })
+                    .collect(),
+                mat_added: added.into_iter().map(ArtifactId).collect(),
+                mat_removed: removed.into_iter().map(ArtifactId).collect(),
+                quarantine_set: qset,
+                quarantine_cleared: qcleared,
+            },
+        )
+}
+
+/// A per-test scratch file under `target/tmp`. Proptest cases run
+/// sequentially, so one path per test is race-free.
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("durability_props");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A small graph whose source names carry hostile text, with a chosen
+/// subset of vertices flagged materialized.
+fn hostile_graph(names: &[String], mat_mask: &[bool]) -> ExperimentGraph {
+    let mut dag = WorkloadDag::new();
+    let sources: Vec<_> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| dag.add_source(&format!("s{i}_{n}"), Value::Aggregate(Scalar::Float(0.0))))
+        .collect();
+    let merged = dag.add_op(Arc::new(Tag("merge".into())), &sources).unwrap();
+    let tail = dag.add_op(Arc::new(Tag("tail".into())), &[merged]).unwrap();
+    dag.mark_terminal(tail).unwrap();
+    let mut eg = ExperimentGraph::new(true);
+    eg.update_with_workload(&dag).unwrap();
+    let ids = eg.topo_order().to_vec();
+    for (id, mat) in ids.iter().zip(mat_mask.iter().cycle()) {
+        if *mat {
+            eg.mark_restored_materialized(*id);
+        }
+    }
+    eg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Journal payload codec: encode → decode is the identity, even for
+    /// deltas full of separator characters.
+    fn journal_record_round_trips(delta in arb_delta()) {
+        let payload = delta.encode();
+        let back = EgDelta::decode(&payload, "prop", 1).unwrap();
+        prop_assert_eq!(back, delta);
+    }
+
+    /// Whole-file round trip: append N deltas, replay the file, get the
+    /// same N deltas with no torn tail.
+    fn journal_file_round_trips(deltas in proptest::collection::vec(arb_delta(), 1..4)) {
+        let path = scratch("round_trip.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        for d in &deltas {
+            j.append(d, None).unwrap();
+        }
+        drop(j);
+        let out = journal::replay(&path).unwrap();
+        prop_assert!(out.torn_at.is_none());
+        prop_assert_eq!(out.deltas, deltas);
+    }
+
+    /// Flip any single byte of a journal file: replay must either error
+    /// out (bad magic, unparseable record) or stop at a torn tail whose
+    /// surviving prefix equals the original records exactly. A flip must
+    /// never fabricate or alter a replayed record.
+    fn journal_corruption_is_detected_or_torn(
+        deltas in proptest::collection::vec(arb_delta(), 1..4),
+        idx in 0usize..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let path = scratch("corrupt.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        for d in &deltas {
+            j.append(d, None).unwrap();
+        }
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = idx % bytes.len();
+        bytes[at] ^= mask;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match journal::replay(&path) {
+            Err(_) => {} // detected outright
+            Ok(out) => {
+                prop_assert!(
+                    out.torn_at.is_some(),
+                    "flip of byte {} (mask {:#04x}) went unnoticed",
+                    at,
+                    mask
+                );
+                prop_assert!(out.deltas.len() <= deltas.len());
+                for (got, want) in out.deltas.iter().zip(deltas.iter()) {
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    /// `EGSNAP 2` round trip: vertices, materialization flags, and the
+    /// quarantine set all survive, and re-serialising the restored state
+    /// is bytewise identical (stable fixed point).
+    fn snapshot_v2_round_trips(
+        names in proptest::collection::vec(hostile(0..8), 1..4),
+        mat_mask in proptest::collection::vec(prop_bool::ANY, 1..4),
+        quarantine in proptest::collection::vec(arb_quarantine_entry(), 0..3),
+    ) {
+        let eg = hostile_graph(&names, &mat_mask);
+        let text = snapshot::to_snapshot_with(&eg, &quarantine);
+        let restored = snapshot::from_snapshot_full(&text, true, "prop").unwrap();
+        prop_assert_eq!(restored.graph.n_vertices(), eg.n_vertices());
+        prop_assert_eq!(restored.graph.topo_order(), eg.topo_order());
+        for id in eg.topo_order() {
+            prop_assert_eq!(
+                restored.graph.was_materialized(*id),
+                eg.was_materialized(*id),
+                "mat flag of {:x}",
+                id.0
+            );
+        }
+        prop_assert_eq!(&restored.quarantine, &quarantine);
+        prop_assert_eq!(
+            snapshot::to_snapshot_with(&restored.graph, &restored.quarantine),
+            text
+        );
+    }
+
+    /// Flip any single byte of an `EGSNAP 2` snapshot: loading must
+    /// fail. Unlike the journal there is no legitimate torn state — the
+    /// file is renamed into place atomically — so every corruption is a
+    /// hard error (invalid UTF-8 counts: the file no longer reads as a
+    /// snapshot at all).
+    fn snapshot_corruption_is_always_detected(
+        names in proptest::collection::vec(hostile(0..8), 1..4),
+        mat_mask in proptest::collection::vec(prop_bool::ANY, 1..4),
+        quarantine in proptest::collection::vec(arb_quarantine_entry(), 0..2),
+        idx in 0usize..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let eg = hostile_graph(&names, &mat_mask);
+        let good = snapshot::to_snapshot_with(&eg, &quarantine);
+        let mut bytes = good.clone().into_bytes();
+        let at = idx % bytes.len();
+        bytes[at] ^= mask;
+        match String::from_utf8(bytes) {
+            Err(_) => {} // detected: not even UTF-8 any more
+            Ok(bad) => prop_assert!(
+                snapshot::from_snapshot_full(&bad, true, "prop").is_err(),
+                "flip of byte {} (mask {:#04x}) loaded successfully",
+                at,
+                mask
+            ),
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Crash matrix: kill persistence at every injected crash point and
+//! assert a restarted server recovers exactly the committed-workload
+//! prefix — same vertex ids, frequencies, materialization flags, and
+//! quarantine set.
+
+use co_core::{DurabilityConfig, OptimizerServer, ServerConfig};
+use co_dataframe::Scalar;
+use co_graph::{ArtifactId, WorkloadDag};
+use co_graph::{CrashPoint, FaultInjector, FaultKind, GraphError, NodeKind, Operation, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Step(&'static str);
+impl Operation for Step {
+    fn name(&self) -> &str {
+        self.0
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+        // Real compute cost, so artifacts are worth materializing.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        Ok(Value::Aggregate(Scalar::Float(1.0)))
+    }
+}
+
+/// src → prep_step → <tail> (terminal).
+fn workload(tail: &'static str) -> WorkloadDag {
+    let mut dag = WorkloadDag::new();
+    let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
+    let prep = dag.add_op(Arc::new(Step("prep_step")), &[s]).unwrap();
+    let t = dag.add_op(Arc::new(Step(tail)), &[prep]).unwrap();
+    dag.mark_terminal(t).unwrap();
+    dag
+}
+
+/// Everything durability must preserve across a restart.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    /// id → (frequency, compute_time bits, size, quality bits).
+    vertices: BTreeMap<u64, (u64, u64, u64, u64)>,
+    /// Artifacts whose mat flag is set (content or restored flag).
+    mat: BTreeSet<u64>,
+    /// Quarantined operations as (op_hash, failures).
+    quarantine: BTreeSet<(u64, usize)>,
+}
+
+fn fingerprint(server: &OptimizerServer) -> Fingerprint {
+    let eg = server.eg();
+    let vertices = eg
+        .vertices()
+        .map(|v| {
+            (
+                v.id.0,
+                (
+                    v.frequency,
+                    v.compute_time.to_bits(),
+                    v.size,
+                    v.quality.to_bits(),
+                ),
+            )
+        })
+        .collect();
+    let mat = eg
+        .vertices()
+        .filter(|v| eg.was_materialized(v.id))
+        .map(|v| v.id.0)
+        .collect();
+    let quarantine = server
+        .quarantine()
+        .map(|q| {
+            q.entries()
+                .into_iter()
+                .map(|(op, _, failures)| (op, failures))
+                .collect()
+        })
+        .unwrap_or_default();
+    Fingerprint {
+        vertices,
+        mat,
+        quarantine,
+    }
+}
+
+/// A fresh per-test data directory under `target/tmp` (covered by the
+/// CI stray-tmp-file leak check).
+fn data_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(config: ServerConfig, dir: &PathBuf) -> (OptimizerServer, co_core::RecoveryReport) {
+    OptimizerServer::open(config, DurabilityConfig::new(dir)).unwrap()
+}
+
+#[test]
+fn journal_crash_points_recover_the_committed_prefix() {
+    for point in [CrashPoint::JournalMidAppend, CrashPoint::JournalPreFsync] {
+        let dir = data_dir(&format!("crash_{}", point.name()));
+        let config = ServerConfig::collaborative(u64::MAX);
+        let (server, recovery) = open(config, &dir);
+        assert!(!recovery.snapshot_loaded);
+
+        let faults = Arc::new(FaultInjector::new());
+        server.set_fault_injector(Arc::clone(&faults));
+        server.run_workload(workload("tail_one")).unwrap();
+        let committed = fingerprint(&server);
+
+        // The crash fires while the second workload's delta is being
+        // journaled: the run is reported failed (its effects would not
+        // survive a restart) …
+        faults.arm_crash(point);
+        let err = server.run_workload(workload("tail_two")).unwrap_err();
+        assert!(err.to_string().contains(point.name()), "{err}");
+        assert_eq!(faults.crashes_fired(), 1);
+        assert_eq!(server.stats().failed_workloads, 1);
+
+        // … and the durability layer wedges: later publishes refuse
+        // rather than journal records recovery could never replay.
+        let wedged = server.run_workload(workload("tail_three")).unwrap_err();
+        assert!(wedged.to_string().contains("wedged"), "{wedged}");
+
+        // "Reboot": a server opened from the same directory holds
+        // exactly the committed prefix.
+        drop(server);
+        let (reopened, recovery) = open(config, &dir);
+        assert_eq!(fingerprint(&reopened), committed, "{point:?}");
+        assert_eq!(
+            recovery.torn_tail_truncated,
+            point == CrashPoint::JournalMidAppend,
+            "mid-append leaves a torn record, pre-fsync loses it whole"
+        );
+
+        // The reopened server serves and persists workloads normally.
+        reopened.run_workload(workload("tail_two")).unwrap();
+        let after = fingerprint(&reopened);
+        drop(reopened);
+        let (third, _) = open(config, &dir);
+        assert_eq!(fingerprint(&third), after);
+    }
+}
+
+#[test]
+fn snapshot_crash_points_never_damage_the_live_snapshot() {
+    for point in [
+        CrashPoint::SnapshotMidWrite,
+        CrashPoint::SnapshotPreFsync,
+        CrashPoint::SnapshotPreRename,
+    ] {
+        let dir = data_dir(&format!("crash_{}", point.name()));
+        let config = ServerConfig::collaborative(u64::MAX);
+        let (server, _) = open(config, &dir);
+        let faults = Arc::new(FaultInjector::new());
+        server.set_fault_injector(Arc::clone(&faults));
+
+        // One compacted workload (lives in the snapshot) plus one
+        // journaled workload, so recovery must stitch both sources.
+        server.run_workload(workload("tail_one")).unwrap();
+        server.compact().unwrap();
+        server.run_workload(workload("tail_two")).unwrap();
+        let committed = fingerprint(&server);
+
+        faults.arm_crash(point);
+        let err = server.compact().unwrap_err();
+        assert!(err.to_string().contains(point.name()), "{err}");
+        assert_eq!(faults.crashes_fired(), 1);
+
+        // The interrupted save left (at most) a temp file behind; the
+        // live snapshot + journal still recover everything committed.
+        drop(server);
+        let (reopened, recovery) = open(config, &dir);
+        assert_eq!(fingerprint(&reopened), committed, "{point:?}");
+        assert_eq!(recovery.stray_tmp_removed, 1, "{point:?}");
+        assert!(recovery.snapshot_loaded);
+
+        // Compaction itself still works after the "crash".
+        reopened.compact().unwrap();
+        assert_eq!(reopened.stats().snapshots_compacted, 1);
+        drop(reopened);
+        let (third, recovery) = open(config, &dir);
+        assert_eq!(fingerprint(&third), committed);
+        assert_eq!(recovery.journal_records_replayed, 0, "journal compacted");
+    }
+}
+
+#[test]
+fn torn_tail_is_truncated_and_reported() {
+    let dir = data_dir("torn_tail");
+    let config = ServerConfig::collaborative(u64::MAX);
+    let (server, _) = open(config, &dir);
+    let faults = Arc::new(FaultInjector::new());
+    server.set_fault_injector(Arc::clone(&faults));
+    server.run_workload(workload("tail_one")).unwrap();
+    faults.arm_crash(CrashPoint::JournalMidAppend);
+    server.run_workload(workload("tail_two")).unwrap_err();
+    drop(server);
+
+    let (reopened, recovery) = open(config, &dir);
+    assert!(recovery.torn_tail_truncated);
+    assert!(recovery.torn_bytes_discarded > 0);
+    assert_eq!(recovery.journal_records_replayed, 1);
+    let stats = reopened.stats();
+    assert_eq!(stats.journal_records_replayed, 1);
+    assert_eq!(stats.torn_tail_truncated, 1);
+    assert!(
+        recovery.render().contains("torn tail"),
+        "{}",
+        recovery.render()
+    );
+
+    // The truncated journal accepts appends again; a third open sees a
+    // clean file with both workloads.
+    reopened.run_workload(workload("tail_two")).unwrap();
+    drop(reopened);
+    let (third, recovery) = open(config, &dir);
+    assert!(!recovery.torn_tail_truncated);
+    assert_eq!(recovery.journal_records_replayed, 2);
+    assert_eq!(third.stats().torn_tail_truncated, 0);
+}
+
+#[test]
+fn quarantine_survives_restart() {
+    let dir = data_dir("quarantine_restart");
+    let mut config = ServerConfig::collaborative(u64::MAX);
+    config.quarantine_after = Some(2);
+    let (server, _) = open(config, &dir);
+    let faults = Arc::new(FaultInjector::new());
+    faults.fail_op_forever("tail_one", FaultKind::Permanent);
+    server.set_fault_injector(Arc::clone(&faults));
+
+    // Two consecutive permanent failures trip the quarantine; the
+    // second run's delta journals the Q+ entry.
+    server.run_workload(workload("tail_one")).unwrap_err();
+    server.run_workload(workload("tail_one")).unwrap_err();
+    let committed = fingerprint(&server);
+    assert_eq!(committed.quarantine.len(), 1);
+
+    // Restart WITHOUT the fault injector: the operation would succeed
+    // if re-run, but the restored quarantine fast-fails it instead of
+    // letting the poisoned op at the server again.
+    drop(server);
+    let (reopened, recovery) = open(config, &dir);
+    assert_eq!(recovery.quarantine_restored, 1);
+    assert_eq!(fingerprint(&reopened), committed);
+    let err = reopened.run_workload(workload("tail_one")).unwrap_err();
+    assert!(
+        matches!(err.error, GraphError::Quarantined { failures: 2, .. }),
+        "{err}"
+    );
+
+    // Releasing and succeeding clears the entry durably (Q- journaled).
+    {
+        let quarantine = reopened.quarantine().unwrap();
+        let (op, ..) = quarantine.entries()[0];
+        quarantine.release(op);
+    }
+    reopened.run_workload(workload("tail_one")).unwrap();
+    drop(reopened);
+    let (third, recovery) = open(config, &dir);
+    assert_eq!(recovery.quarantine_restored, 0);
+    assert!(fingerprint(&third).quarantine.is_empty());
+    third.run_workload(workload("tail_one")).unwrap();
+}
+
+#[test]
+fn journal_threshold_triggers_auto_compaction() {
+    let dir = data_dir("auto_compact");
+    let config = ServerConfig::collaborative(u64::MAX);
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.compact_journal_bytes = 1; // every publish crosses it
+    let (server, _) = OptimizerServer::open(config, durability).unwrap();
+    server.run_workload(workload("tail_one")).unwrap();
+    server.run_workload(workload("tail_two")).unwrap();
+    assert!(server.stats().snapshots_compacted >= 2);
+    let committed = fingerprint(&server);
+    drop(server);
+
+    // Everything lives in the snapshot; the journal replays nothing.
+    let (reopened, recovery) = open(config, &dir);
+    assert!(recovery.snapshot_loaded);
+    assert_eq!(recovery.journal_records_replayed, 0);
+    assert_eq!(fingerprint(&reopened), committed);
+}
+
+#[test]
+fn eviction_is_durable() {
+    let dir = data_dir("evict_durable");
+    let config = ServerConfig::collaborative(u64::MAX);
+    let (server, _) = open(config, &dir);
+    server.run_workload(workload("tail_one")).unwrap();
+    let evict: Vec<ArtifactId> = {
+        let eg = server.eg();
+        eg.storage().materialized_ids()
+    };
+    assert!(!evict.is_empty());
+    for id in &evict {
+        server.evict_artifact(*id);
+    }
+    let committed = fingerprint(&server);
+    for id in &evict {
+        assert!(!committed.mat.contains(&id.0));
+    }
+    drop(server);
+
+    let (reopened, _) = open(config, &dir);
+    assert_eq!(
+        fingerprint(&reopened),
+        committed,
+        "eviction survives restart"
+    );
+}
