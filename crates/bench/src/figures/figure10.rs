@@ -39,6 +39,7 @@ fn run_stream(
         cumulative_s.push(total);
         scores.push(terminal_eval_score(&dag).unwrap_or(0.0));
     }
+    super::assert_graph_clean(server);
     StreamResult {
         cumulative_s,
         scores,

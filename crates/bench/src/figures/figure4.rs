@@ -40,6 +40,7 @@ pub fn run() {
             let (_, second) = srv
                 .run_workload(build(&data).expect("builds"))
                 .expect("runs");
+            super::assert_graph_clean(&srv);
             println!(
                 "W{}        {label}     {:>7.3}  {:>7.3}",
                 i + 1,

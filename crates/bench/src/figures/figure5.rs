@@ -23,6 +23,7 @@ pub fn run() {
         let srv = super::server(materializer, reuse, budget);
         let reports =
             run_sequence(&srv, kaggle::all_workloads(&data).expect("builds")).expect("runs");
+        super::assert_graph_clean(&srv);
         series.push((label, cumulative_run_times(&reports)));
     }
 

@@ -40,6 +40,7 @@ pub fn run() {
                 let (_, _, logical) = srv.storage_stats();
                 sizes.push(logical as f64 / (1 << 20) as f64);
             }
+            super::assert_graph_clean(&srv);
             per_system.push(sizes);
         }
         #[allow(clippy::needless_range_loop)] // four parallel series

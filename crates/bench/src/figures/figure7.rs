@@ -16,6 +16,7 @@ fn sequence_cumulative(
 ) -> Vec<f64> {
     let srv = super::server(materializer, reuse, budget);
     let reports = run_sequence(&srv, kaggle::all_workloads(data).expect("builds")).expect("runs");
+    super::assert_graph_clean(&srv);
     cumulative_run_times(&reports)
 }
 

@@ -23,6 +23,7 @@ fn scenario_cumulative(
     n: usize,
 ) -> Vec<f64> {
     let steps = model_benchmark_scenario(server, data, n, 31).expect("scenario runs");
+    super::assert_graph_clean(server);
     steps
         .iter()
         .scan(0.0, |acc, s| {

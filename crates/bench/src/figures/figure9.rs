@@ -34,6 +34,7 @@ fn panel(
             let srv = super::server(materializer, *reuse, budget);
             let reports =
                 run_sequence(&srv, kaggle::all_workloads(data).expect("builds")).expect("runs");
+            super::assert_graph_clean(&srv);
             (*label, cumulative_run_times(&reports))
         })
         .collect()

@@ -41,6 +41,14 @@ pub fn server(materializer: MaterializerKind, reuse: ReuseKind, budget: u64) -> 
     })
 }
 
+/// Run egfsck over a driver's Experiment Graph after its workload
+/// sequence: a figure must never be plotted off a graph that broke an
+/// invariant. Panics with the full violation report.
+pub fn assert_graph_clean(server: &OptimizerServer) {
+    let report = co_graph::fsck::check_graph(&server.eg());
+    assert!(report.is_clean(), "egfsck after bench run: {report}");
+}
+
 /// The footprint materializing *everything* would occupy: the analogue of
 /// the paper's "130 GB of artifacts", measured by running the full
 /// sequence against an ALL-materializing server.

@@ -34,6 +34,7 @@ pub fn run() {
         // A fresh baseline server per workload: measure it in isolation.
         let srv = super::server(MaterializerKind::None, ReuseKind::None, 0);
         let (executed, report) = srv.run_workload(dag).expect("workload runs");
+        super::assert_graph_clean(&srv);
         let n = executed.n_nodes();
         let size_mb = executed.total_size() as f64 / (1 << 20) as f64;
         let (paper_n, paper_s) = PAPER[i];

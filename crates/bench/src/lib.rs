@@ -21,6 +21,8 @@
 //! (e.g. 10 000 synthetic DAGs, 2000 OpenML pipelines); the default is a
 //! faster configuration with the same shape.
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 
 use std::fs;
@@ -84,7 +86,7 @@ mod tests {
     #[test]
     fn out_dir_exists_and_tsv_written() {
         write_tsv("selftest.tsv", &["a", "b"], &[vec!["1".into(), "2".into()]]);
-        let text = std::fs::read_to_string(out_dir().join("selftest.tsv")).unwrap();
+        let text = fs::read_to_string(out_dir().join("selftest.tsv")).unwrap();
         assert_eq!(text, "a\tb\n1\t2\n");
     }
 }

@@ -62,7 +62,7 @@ pub struct ExecutorConfig {
 
 /// Executor result: a report on success, a partial-progress error
 /// otherwise.
-pub type ExecResult = std::result::Result<ExecutionReport, WorkloadError>;
+pub type ExecResult = Result<ExecutionReport, WorkloadError>;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Action {
@@ -183,7 +183,9 @@ pub(crate) fn snapshot(
                 continue;
             }
             warm[i] = edge.op.model_kind().and_then(|kind| {
-                let train_input = dag.nodes()[edge.inputs[0].0].artifact;
+                // A trainer with no inputs is malformed (the validator
+                // rejects it); don't panic if one slips through here.
+                let train_input = dag.nodes()[edge.inputs.first()?.0].artifact;
                 let own = dag.nodes()[i].artifact;
                 warmstart::find_candidate(eg, train_input, kind, own)
             });
@@ -918,7 +920,7 @@ mod tests {
     fn transient_failures_are_retried() {
         let (mut dag, _, result) = pipeline();
         let mut eg = ExperimentGraph::new(true);
-        let faults = Arc::new(co_graph::FaultInjector::new());
+        let faults = Arc::new(FaultInjector::new());
         faults.fail_op("map", FaultKind::Transient, 2);
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);
@@ -939,7 +941,7 @@ mod tests {
     fn retry_exhaustion_fails_with_partial_progress() {
         let (mut dag, _, _) = pipeline();
         let mut eg = ExperimentGraph::new(true);
-        let faults = Arc::new(co_graph::FaultInjector::new());
+        let faults = Arc::new(FaultInjector::new());
         faults.fail_op_forever("map", FaultKind::Transient);
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);
@@ -964,7 +966,7 @@ mod tests {
     fn panics_are_isolated_as_errors() {
         let (mut dag, _, _) = pipeline();
         let mut eg = ExperimentGraph::new(true);
-        let faults = Arc::new(co_graph::FaultInjector::new());
+        let faults = Arc::new(FaultInjector::new());
         faults.fail_op("agg", FaultKind::Panic, 1);
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);
@@ -984,7 +986,7 @@ mod tests {
         let quarantine = Arc::new(Quarantine::new(1));
         let (mut dag, _, _) = pipeline();
         let mut eg = ExperimentGraph::new(true);
-        let faults = Arc::new(co_graph::FaultInjector::new());
+        let faults = Arc::new(FaultInjector::new());
         faults.fail_op("agg", FaultKind::Permanent, 1);
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);
@@ -1018,7 +1020,7 @@ mod tests {
     fn workload_deadline_cuts_execution_short() {
         let (mut dag, _, _) = pipeline();
         let mut eg = ExperimentGraph::new(true);
-        let faults = Arc::new(co_graph::FaultInjector::new());
+        let faults = Arc::new(FaultInjector::new());
         faults.inject_latency("filter", Duration::from_millis(30));
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);
@@ -1151,7 +1153,7 @@ mod tests {
     fn parallel_isolates_panics_and_taints_downstream() {
         let (mut dag, _, _) = pipeline();
         let mut eg = ExperimentGraph::new(true);
-        let faults = Arc::new(co_graph::FaultInjector::new());
+        let faults = Arc::new(FaultInjector::new());
         faults.fail_op("map", FaultKind::Panic, 1);
         eg.storage_mut().set_fault_injector(Arc::clone(&faults));
         let plan = ReusePlan::compute_everything(&dag);

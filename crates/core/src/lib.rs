@@ -30,6 +30,8 @@
 //! sessions share one Experiment Graph with lock hold times proportional
 //! to graph metadata, not compute time (see DESIGN.md §9).
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod cost;
 pub mod dsl;
@@ -41,6 +43,7 @@ pub mod optimizer;
 pub mod pipeline;
 pub mod report;
 pub mod server;
+pub mod validate;
 pub mod warmstart;
 
 pub use cost::CostModel;
@@ -49,3 +52,4 @@ pub use failure::{Quarantine, RetryPolicy, WorkloadError};
 pub use pipeline::{ExecutedWorkload, PlannedWorkload, PrunedWorkload};
 pub use report::{ExecutionReport, RecoveryReport};
 pub use server::{DurabilityConfig, OptimizerServer, ServerConfig};
+pub use validate::{validate, Diagnostic, ValidationReport};

@@ -3,6 +3,8 @@
 use super::{arity, dataset_input};
 use co_dataframe::ops as df_ops;
 use co_dataframe::ops::{AggFn, BinFn, MapFn, Predicate, StrFn};
+use co_dataframe::schema::{align_columns, hconcat_columns, join_columns, replace_column, DType};
+use co_graph::meta::{self, DatasetMeta, MetaCode, MetaError, MetaResult, ValueMeta};
 use co_graph::{GraphError, NodeKind, Operation, Result, Value};
 use co_ml::feature::{self, ImputeStrategy, PcaParams, ScaleKind, VectorizerParams};
 
@@ -12,6 +14,40 @@ fn df_err(op: &str, e: co_dataframe::DfError) -> GraphError {
 
 fn ml_err(op: &str, e: co_ml::MlError) -> GraphError {
     GraphError::from_ml(op, &e)
+}
+
+/// Arity check + dataset view of input 0 — the common prologue of
+/// single-input schema-transfer functions.
+fn infer_dataset_input(
+    op: &str,
+    inputs: &[&ValueMeta],
+) -> std::result::Result<DatasetMeta, MetaError> {
+    meta::expect_arity(op, inputs, 1)?;
+    inputs[0].expect_dataset(op)
+}
+
+/// Check the columns a predicate reads, mirroring `Predicate::eval`'s
+/// dtype requirements (comparisons view columns as `f64`, `EqI`/`NeI`
+/// read ints, `EqS`/`IsIn` read strings).
+fn check_predicate(ds: &DatasetMeta, p: &Predicate) -> std::result::Result<(), MetaError> {
+    match p {
+        Predicate::GtF { col, .. }
+        | Predicate::GeF { col, .. }
+        | Predicate::LtF { col, .. }
+        | Predicate::LeF { col, .. }
+        | Predicate::NotNa { col } => ds.require_dtype("filter", col, "numeric", DType::is_numeric),
+        Predicate::EqI { col, .. } | Predicate::NeI { col, .. } => {
+            ds.require_dtype("filter", col, "int", |dt| dt == DType::Int)
+        }
+        Predicate::EqS { col, .. } | Predicate::IsIn { col, .. } => {
+            ds.require_dtype("filter", col, "str", |dt| dt == DType::Str)
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            check_predicate(ds, a)?;
+            check_predicate(ds, b)
+        }
+        Predicate::Not(inner) => check_predicate(ds, inner),
+    }
 }
 
 /// Projection (`df[cols]`).
@@ -38,6 +74,16 @@ impl Operation for SelectOp {
             df.select(&cols).map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let m = infer_dataset_input(self.name(), inputs)?;
+        let mut cols = Vec::with_capacity(self.columns.len());
+        for c in &self.columns {
+            cols.push((c.clone(), m.require(self.name(), c)?));
+        }
+        let out = DatasetMeta::closed(cols);
+        out.ensure_unique(self.name())?;
+        Ok(ValueMeta::Dataset(out))
+    }
 }
 
 /// Drop columns.
@@ -63,6 +109,22 @@ impl Operation for DropColumnsOp {
         Ok(Value::dataset(
             df.drop_columns(&cols).map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let m = infer_dataset_input(self.name(), inputs)?;
+        for c in &self.columns {
+            m.require(self.name(), c)?;
+        }
+        let cols = m
+            .columns
+            .iter()
+            .filter(|(n, _)| !self.columns.contains(n))
+            .cloned()
+            .collect();
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: m.open,
+        }))
     }
 }
 
@@ -92,6 +154,31 @@ impl Operation for RenameOp {
                 .map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let m = infer_dataset_input(self.name(), inputs)?;
+        m.require(self.name(), &self.from)?;
+        if self.from != self.to && m.lookup(&self.to).is_some() {
+            return Err(MetaError::new(
+                MetaCode::DuplicateColumn,
+                format!("rename: target column {:?} already exists", self.to),
+            ));
+        }
+        let cols = m
+            .columns
+            .iter()
+            .map(|(n, dt)| {
+                if n == &self.from {
+                    (self.to.clone(), *dt)
+                } else {
+                    (n.clone(), *dt)
+                }
+            })
+            .collect();
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: m.open,
+        }))
+    }
 }
 
 /// Row filter.
@@ -116,6 +203,11 @@ impl Operation for FilterOp {
         Ok(Value::dataset(
             df_ops::filter(df, &self.predicate).map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let m = infer_dataset_input(self.name(), inputs)?;
+        check_predicate(&m, &self.predicate)?;
+        Ok(ValueMeta::Dataset(m))
     }
 }
 
@@ -142,6 +234,13 @@ impl Operation for DropNaOp {
         Ok(Value::dataset(
             df_ops::dropna(df, &subset).map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let m = infer_dataset_input(self.name(), inputs)?;
+        for c in &self.subset {
+            m.require(self.name(), c)?;
+        }
+        Ok(ValueMeta::Dataset(m))
     }
 }
 
@@ -172,6 +271,16 @@ impl Operation for MapOp {
             df_ops::map_column(df, &self.column, &self.f, &self.out)
                 .map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let m = infer_dataset_input(self.name(), inputs)?;
+        m.require_dtype(self.name(), &self.column, "numeric", DType::is_numeric)?;
+        let mut cols = m.columns.clone();
+        replace_column(&mut cols, &self.out, Some(DType::Float));
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: m.open,
+        }))
     }
 }
 
@@ -211,6 +320,17 @@ impl Operation for BinaryOp {
                 .map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let m = infer_dataset_input(self.name(), inputs)?;
+        m.require_dtype(self.name(), &self.left, "numeric", DType::is_numeric)?;
+        m.require_dtype(self.name(), &self.right, "numeric", DType::is_numeric)?;
+        let mut cols = m.columns.clone();
+        replace_column(&mut cols, &self.out, Some(DType::Float));
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: m.open,
+        }))
+    }
 }
 
 /// Numeric feature from a string column.
@@ -240,6 +360,16 @@ impl Operation for StrFeatureOp {
             df_ops::str_feature(df, &self.column, self.f, &self.out)
                 .map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let m = infer_dataset_input(self.name(), inputs)?;
+        m.require_dtype(self.name(), &self.column, "str", |dt| dt == DType::Str)?;
+        let mut cols = m.columns.clone();
+        replace_column(&mut cols, &self.out, Some(DType::Float));
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: m.open,
+        }))
     }
 }
 
@@ -284,6 +414,43 @@ impl Operation for JoinOp {
         .map_err(|e| df_err(self.name(), e))?;
         Ok(Value::dataset(joined))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        meta::expect_arity(self.name(), inputs, 2)?;
+        let l = inputs[0].expect_dataset(self.name())?;
+        let r = inputs[1].expect_dataset(self.name())?;
+        for (side, m) in [("left", &l), ("right", &r)] {
+            match m.require(self.name(), &self.on) {
+                Err(_) => {
+                    return Err(MetaError::new(
+                        MetaCode::JoinKeyMismatch,
+                        format!(
+                            "{}: {side} input has no key column {:?}",
+                            self.name(),
+                            self.on
+                        ),
+                    ))
+                }
+                Ok(Some(dt)) if dt != DType::Int => {
+                    return Err(MetaError::new(
+                        MetaCode::JoinKeyMismatch,
+                        format!(
+                            "{}: {side} key column {:?} must be int, found {dt}",
+                            self.name(),
+                            self.on
+                        ),
+                    ))
+                }
+                Ok(_) => {}
+            }
+        }
+        let cols = join_columns(&l.columns, &r.columns, &self.on, self.how == JoinHow::Left);
+        let out = DatasetMeta {
+            columns: cols,
+            open: l.open || r.open,
+        };
+        out.ensure_unique(self.name())?;
+        Ok(ValueMeta::Dataset(out))
+    }
 }
 
 /// Horizontal concatenation (pandas `concat(axis=1)`), any arity >= 1.
@@ -309,6 +476,20 @@ impl Operation for HConcatOp {
             df_ops::hconcat(&frames).map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        if inputs.is_empty() {
+            return Err(MetaError::arity(self.name(), "at least 1", 0));
+        }
+        let frames = inputs
+            .iter()
+            .map(|m| m.expect_dataset(self.name()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let per_frame: Vec<_> = frames.iter().map(|f| f.columns.clone()).collect();
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: hconcat_columns(&per_frame),
+            open: frames.iter().any(|f| f.open),
+        }))
+    }
 }
 
 /// Vertical concatenation (row stacking), any arity >= 1.
@@ -333,6 +514,59 @@ impl Operation for VConcatOp {
         Ok(Value::dataset(
             df_ops::vconcat(&frames).map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        if inputs.is_empty() {
+            return Err(MetaError::arity(self.name(), "at least 1", 0));
+        }
+        let frames = inputs
+            .iter()
+            .map(|m| m.expect_dataset(self.name()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        if frames.iter().any(|f| f.open) {
+            return Ok(ValueMeta::Dataset(DatasetMeta::open(
+                frames[0].columns.clone(),
+            )));
+        }
+        let first = &frames[0];
+        let mut cols = Vec::with_capacity(first.columns.len());
+        for (i, (name, dt0)) in first.columns.iter().enumerate() {
+            let mut dt = *dt0;
+            for f in &frames[1..] {
+                if f.columns.len() != first.columns.len() {
+                    return Err(MetaError::new(
+                        MetaCode::TypeMismatch,
+                        format!(
+                            "{}: frames have {} vs {} columns",
+                            self.name(),
+                            first.columns.len(),
+                            f.columns.len()
+                        ),
+                    ));
+                }
+                let (n2, dt2) = &f.columns[i];
+                if n2 != name {
+                    return Err(MetaError::new(
+                        MetaCode::TypeMismatch,
+                        format!(
+                            "{}: column {i} is named {name:?} in one frame and {n2:?} in another",
+                            self.name()
+                        ),
+                    ));
+                }
+                // Runtime requires equal dtypes per position; statically
+                // unknown sides inherit the known one (valid iff it runs).
+                match (dt, dt2) {
+                    (Some(a), Some(b)) if a != *b => {
+                        return Err(MetaError::type_mismatch(self.name(), name, a.name(), *b))
+                    }
+                    (None, Some(b)) => dt = Some(*b),
+                    _ => {}
+                }
+            }
+            cols.push((name.clone(), dt));
+        }
+        Ok(ValueMeta::Dataset(DatasetMeta::closed(cols)))
     }
 }
 
@@ -362,6 +596,15 @@ impl Operation for AlignOp {
         let b = dataset_input(self.name(), inputs, 1)?;
         let (left, right) = df_ops::align(a, b).map_err(|e| df_err(self.name(), e))?;
         Ok(Value::dataset(if self.side == 0 { left } else { right }))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        meta::expect_arity(self.name(), inputs, 2)?;
+        let l = inputs[0].expect_dataset(self.name())?;
+        let r = inputs[1].expect_dataset(self.name())?;
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: align_columns(&l.columns, &r.columns, self.side != 0),
+            open: l.open || r.open,
+        }))
     }
 }
 
@@ -396,6 +639,28 @@ impl Operation for GroupByOp {
             df_ops::groupby_agg(df, &self.key, &aggs).map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if self.aggs.is_empty() {
+            return Err(MetaError::new(
+                MetaCode::EmptySelection,
+                format!("{}: no aggregations requested", self.name()),
+            ));
+        }
+        ds.require_dtype(self.name(), &self.key, "int or str", |dt| {
+            dt == DType::Int || dt == DType::Str
+        })?;
+        for (col, _) in &self.aggs {
+            ds.require_dtype(self.name(), col, "numeric", DType::is_numeric)?;
+        }
+        let mut cols = vec![(self.key.clone(), ds.lookup(&self.key).flatten())];
+        for (col, f) in &self.aggs {
+            cols.push((format!("{col}_{}", f.name()), Some(DType::Float)));
+        }
+        let out = DatasetMeta::closed(cols);
+        out.ensure_unique(self.name())?;
+        Ok(ValueMeta::Dataset(out))
+    }
 }
 
 /// One-hot encode a string column.
@@ -424,6 +689,25 @@ impl Operation for OneHotOp {
                 .map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if self.max_categories == 0 {
+            return Err(MetaError::new(
+                MetaCode::BadParams,
+                format!("{}: max_categories must be positive", self.name()),
+            ));
+        }
+        ds.require_dtype(self.name(), &self.column, "str", |dt| dt == DType::Str)?;
+        // The encoded column is dropped; the indicator columns that replace
+        // it are named after runtime categories, so the schema becomes open.
+        let cols = ds
+            .columns
+            .iter()
+            .filter(|(n, _)| n != &self.column)
+            .cloned()
+            .collect();
+        Ok(ValueMeta::Dataset(DatasetMeta::open(cols)))
+    }
 }
 
 /// Label-encode a string column.
@@ -448,6 +732,16 @@ impl Operation for LabelEncodeOp {
         Ok(Value::dataset(
             df_ops::label_encode(df, &self.column).map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        ds.require_dtype(self.name(), &self.column, "str", |dt| dt == DType::Str)?;
+        let mut cols = ds.columns.clone();
+        replace_column(&mut cols, &self.column, Some(DType::Int));
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: ds.open,
+        }))
     }
 }
 
@@ -475,6 +769,12 @@ impl Operation for SampleOp {
         Ok(Value::dataset(
             df_ops::sample(df, self.n, self.seed).map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        Ok(ValueMeta::Dataset(infer_dataset_input(
+            self.name(),
+            inputs,
+        )?))
     }
 }
 
@@ -504,6 +804,11 @@ impl Operation for SortOp {
                 .map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        ds.require(self.name(), &self.column)?;
+        Ok(ValueMeta::Dataset(ds))
+    }
 }
 
 /// Scale numeric columns.
@@ -531,6 +836,18 @@ impl Operation for ScaleOp {
         Ok(Value::dataset(
             feature::scale(df, self.kind, &cols).map_err(|e| ml_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        let mut cols = ds.columns.clone();
+        for c in &self.columns {
+            ds.require_dtype(self.name(), c, "numeric", DType::is_numeric)?;
+            replace_column(&mut cols, c, Some(DType::Float));
+        }
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: ds.open,
+        }))
     }
 }
 
@@ -560,6 +877,18 @@ impl Operation for ImputeOp {
             feature::impute(df, self.strategy, &cols).map_err(|e| ml_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        let mut cols = ds.columns.clone();
+        for c in &self.columns {
+            ds.require_dtype(self.name(), c, "numeric", DType::is_numeric)?;
+            replace_column(&mut cols, c, Some(DType::Float));
+        }
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: ds.open,
+        }))
+    }
 }
 
 /// Bag-of-words vectorisation of a text column.
@@ -587,6 +916,18 @@ impl Operation for CountVectorizeOp {
             feature::count_vectorize(df, &self.column, &self.params)
                 .map_err(|e| ml_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if self.params.max_features == 0 {
+            return Err(MetaError::new(
+                MetaCode::BadParams,
+                format!("{}: max_features must be positive", self.name()),
+            ));
+        }
+        ds.require_dtype(self.name(), &self.column, "str", |dt| dt == DType::Str)?;
+        // Output columns are `{col}#{token}` for runtime vocabulary tokens.
+        Ok(ValueMeta::Dataset(DatasetMeta::open(Vec::new())))
     }
 }
 
@@ -616,6 +957,17 @@ impl Operation for TfidfVectorizeOp {
                 .map_err(|e| ml_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if self.params.max_features == 0 {
+            return Err(MetaError::new(
+                MetaCode::BadParams,
+                format!("{}: max_features must be positive", self.name()),
+            ));
+        }
+        ds.require_dtype(self.name(), &self.column, "str", |dt| dt == DType::Str)?;
+        Ok(ValueMeta::Dataset(DatasetMeta::open(Vec::new())))
+    }
 }
 
 /// Univariate feature selection.
@@ -642,6 +994,24 @@ impl Operation for SelectKBestOp {
         Ok(Value::dataset(
             feature::select_k_best(df, &self.label, self.k).map_err(|e| ml_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if self.k == 0 {
+            return Err(MetaError::new(
+                MetaCode::BadParams,
+                format!("{}: k must be positive", self.name()),
+            ));
+        }
+        ds.require_dtype(self.name(), &self.label, "numeric", DType::is_numeric)?;
+        if !ds.open && ds.numeric_columns(&[self.label.as_str()]).is_empty() {
+            return Err(MetaError::new(
+                MetaCode::EmptySelection,
+                format!("{}: input has no numeric feature columns", self.name()),
+            ));
+        }
+        // The surviving feature subset is score-dependent.
+        Ok(ValueMeta::Dataset(DatasetMeta::open(Vec::new())))
     }
 }
 
@@ -670,6 +1040,28 @@ impl Operation for PcaOp {
         Ok(Value::dataset(
             feature::pca(df, &cols, &self.params).map_err(|e| ml_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        let k = self.params.n_components;
+        if k == 0 || k > self.columns.len() {
+            return Err(MetaError::new(
+                MetaCode::BadParams,
+                format!(
+                    "{}: n_components must be in 1..={}, got {k}",
+                    self.name(),
+                    self.columns.len()
+                ),
+            ));
+        }
+        for c in &self.columns {
+            ds.require_dtype(self.name(), c, "numeric", DType::is_numeric)?;
+        }
+        Ok(ValueMeta::Dataset(DatasetMeta::closed(
+            (0..k)
+                .map(|i| (format!("pc{i}"), Some(DType::Float)))
+                .collect(),
+        )))
     }
 }
 
@@ -721,6 +1113,38 @@ impl Operation for ClusterFeaturesOp {
         }
         Ok(Value::dataset(out))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if self.columns.is_empty() {
+            return Err(MetaError::new(
+                MetaCode::EmptySelection,
+                format!("{}: no input columns", self.name()),
+            ));
+        }
+        // `features_only` keeps the numeric subset, so a statically
+        // all-string selection can never produce features.
+        let mut maybe_numeric = false;
+        for c in &self.columns {
+            match ds.require(self.name(), c)? {
+                Some(dt) if !dt.is_numeric() => {}
+                _ => maybe_numeric = true,
+            }
+        }
+        if !maybe_numeric {
+            return Err(MetaError::new(
+                MetaCode::EmptySelection,
+                format!("{}: none of the named columns is numeric", self.name()),
+            ));
+        }
+        let mut cols = ds.columns.clone();
+        for c in 0..self.params.k {
+            replace_column(&mut cols, &format!("cluster_d{c}"), Some(DType::Float));
+        }
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: ds.open,
+        }))
+    }
 }
 
 /// Degree-2 polynomial feature expansion.
@@ -746,6 +1170,29 @@ impl Operation for PolyOp {
         Ok(Value::dataset(
             feature::polynomial_features(df, &cols).map_err(|e| ml_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if self.columns.is_empty() {
+            return Err(MetaError::new(
+                MetaCode::EmptySelection,
+                format!("{}: no input columns", self.name()),
+            ));
+        }
+        let mut cols = ds.columns.clone();
+        for c in &self.columns {
+            ds.require_dtype(self.name(), c, "numeric", DType::is_numeric)?;
+            replace_column(&mut cols, &format!("{c}^2"), Some(DType::Float));
+        }
+        for (i, a) in self.columns.iter().enumerate() {
+            for b in &self.columns[i + 1..] {
+                replace_column(&mut cols, &format!("{a}*{b}"), Some(DType::Float));
+            }
+        }
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: ds.open,
+        }))
     }
 }
 
@@ -774,6 +1221,11 @@ impl Operation for AggOp {
             df_ops::agg_column(df, &self.column, self.f).map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        ds.require_dtype(self.name(), &self.column, "numeric", DType::is_numeric)?;
+        Ok(ValueMeta::Aggregate)
+    }
 }
 
 /// Frequency table of a column.
@@ -799,6 +1251,18 @@ impl Operation for ValueCountsOp {
             df_ops::value_counts(df, &self.column).map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        ds.require_dtype(self.name(), &self.column, "str or int", |dt| {
+            dt == DType::Str || dt == DType::Int
+        })?;
+        let out = DatasetMeta::closed(vec![
+            (self.column.clone(), Some(DType::Str)),
+            ("count".to_owned(), Some(DType::Int)),
+        ]);
+        out.ensure_unique(self.name())?;
+        Ok(ValueMeta::Dataset(out))
+    }
 }
 
 /// Summary statistics (a typical visualization terminal).
@@ -821,6 +1285,23 @@ impl Operation for DescribeOp {
             df_ops::describe(df).map_err(|e| df_err(self.name(), e))?,
         ))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if !ds.open && ds.numeric_columns(&[]).is_empty() {
+            return Err(MetaError::new(
+                MetaCode::EmptySelection,
+                format!("{}: input has no numeric columns", self.name()),
+            ));
+        }
+        Ok(ValueMeta::Dataset(DatasetMeta::closed(vec![
+            ("column".to_owned(), Some(DType::Str)),
+            ("mean".to_owned(), Some(DType::Float)),
+            ("std".to_owned(), Some(DType::Float)),
+            ("min".to_owned(), Some(DType::Float)),
+            ("max".to_owned(), Some(DType::Float)),
+            ("count".to_owned(), Some(DType::Float)),
+        ])))
+    }
 }
 
 /// Pearson correlation matrix (a typical visualization terminal).
@@ -842,6 +1323,32 @@ impl Operation for CorrOp {
         Ok(Value::dataset(
             df_ops::corr_matrix(df).map_err(|e| df_err(self.name(), e))?,
         ))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        let ds = infer_dataset_input(self.name(), inputs)?;
+        if !ds.open && ds.numeric_columns(&[]).is_empty() {
+            return Err(MetaError::new(
+                MetaCode::EmptySelection,
+                format!("{}: input has no numeric columns", self.name()),
+            ));
+        }
+        // The numeric subset (and thus the output columns) is only known
+        // when every dtype is; otherwise fall back to an open schema.
+        if ds.open || ds.columns.iter().any(|(_, dt)| dt.is_none()) {
+            return Ok(ValueMeta::Dataset(DatasetMeta::open(vec![(
+                "column".to_owned(),
+                Some(DType::Str),
+            )])));
+        }
+        let mut cols = vec![("column".to_owned(), Some(DType::Str))];
+        cols.extend(
+            ds.numeric_columns(&[])
+                .into_iter()
+                .map(|n| (n, Some(DType::Float))),
+        );
+        let out = DatasetMeta::closed(cols);
+        out.ensure_unique(self.name())?;
+        Ok(ValueMeta::Dataset(out))
     }
 }
 

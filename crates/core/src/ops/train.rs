@@ -12,6 +12,8 @@
 //! and accept an initialiser through `run_warm`.
 
 use super::{arity, dataset_input};
+use co_dataframe::schema::{replace_column, DType};
+use co_graph::meta::{self, DatasetMeta, MetaCode, MetaError, MetaResult, ModelMeta, ValueMeta};
 use co_graph::{GraphError, ModelArtifact, NodeKind, Operation, Result, Value};
 use co_ml::dataset::supervised;
 use co_ml::linear::{
@@ -39,6 +41,67 @@ where
     F: Fn(&'a TrainedModel) -> Option<&'a M>,
 {
     warmstart.and_then(extract)
+}
+
+/// The statically known feature set of `ds` (numeric minus `exclude`), or
+/// `None` when it cannot be pinned down — an open schema or an unknown
+/// dtype may add or remove numeric columns at runtime.
+fn known_features(ds: &DatasetMeta, exclude: &[&str]) -> Option<Vec<String>> {
+    if ds.open || ds.columns.iter().any(|(_, dt)| dt.is_none()) {
+        return None;
+    }
+    Some(ds.numeric_columns(exclude))
+}
+
+/// Shared schema transfer for the training operations: one labelled
+/// dataset in, a model fitted on its numeric feature columns out.
+fn train_infer(op: &str, label: &str, inputs: &[&ValueMeta]) -> MetaResult {
+    meta::expect_arity(op, inputs, 1)?;
+    let ds = inputs[0].expect_dataset(op)?;
+    ds.require_dtype(op, label, "numeric", DType::is_numeric)?;
+    let known = known_features(&ds, &[label]);
+    if known.as_deref() == Some(&[]) {
+        return Err(MetaError::new(
+            MetaCode::EmptySelection,
+            format!("{op}: input has no numeric feature columns besides the label"),
+        ));
+    }
+    Ok(ValueMeta::Model(ModelMeta {
+        open: known.is_none(),
+        features: known.unwrap_or_default(),
+        label: Some(label.to_owned()),
+    }))
+}
+
+/// Check a model application: the dataset's statically known feature set
+/// (numeric minus `exclude`) must be non-empty and, when the model's own
+/// feature set is known, must match it exactly.
+fn check_features(
+    op: &str,
+    model: &ModelMeta,
+    ds: &DatasetMeta,
+    exclude: &[&str],
+) -> std::result::Result<(), MetaError> {
+    let Some(features) = known_features(ds, exclude) else {
+        return Ok(());
+    };
+    if features.is_empty() {
+        return Err(MetaError::new(
+            MetaCode::EmptySelection,
+            format!("{op}: dataset has no numeric feature columns"),
+        ));
+    }
+    if !model.open && features != model.features {
+        return Err(MetaError::new(
+            MetaCode::FitPredictMismatch,
+            format!(
+                "{op}: model is fitted on features [{}] but the dataset provides [{}]",
+                model.features.join(", "),
+                features.join(", ")
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Train logistic regression.
@@ -80,6 +143,9 @@ impl Operation for TrainLogisticOp {
             .fit_warm(&sup.x, &sup.y, init)
             .map_err(|e| ml_err(self.name(), e))?;
         Ok(model_value(TrainedModel::Logistic(model), &sup.x, &sup.y))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        train_infer(self.name(), &self.label, inputs)
     }
 }
 
@@ -123,6 +189,9 @@ impl Operation for TrainSvmOp {
             .map_err(|e| ml_err(self.name(), e))?;
         Ok(model_value(TrainedModel::Svm(model), &sup.x, &sup.y))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        train_infer(self.name(), &self.label, inputs)
+    }
 }
 
 /// Train ridge regression.
@@ -165,6 +234,9 @@ impl Operation for TrainRidgeOp {
             .map_err(|e| ml_err(self.name(), e))?;
         Ok(model_value(TrainedModel::Ridge(model), &sup.x, &sup.y))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        train_infer(self.name(), &self.label, inputs)
+    }
 }
 
 /// Train a single decision tree.
@@ -195,6 +267,9 @@ impl Operation for TrainTreeOp {
         let model =
             DecisionTree::fit(&sup.x, &sup.y, &self.params).map_err(|e| ml_err(self.name(), e))?;
         Ok(model_value(TrainedModel::Tree(model), &sup.x, &sup.y))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        train_infer(self.name(), &self.label, inputs)
     }
 }
 
@@ -227,6 +302,9 @@ impl Operation for TrainForestOp {
             .fit(&sup.x, &sup.y)
             .map_err(|e| ml_err(self.name(), e))?;
         Ok(model_value(TrainedModel::Forest(model), &sup.x, &sup.y))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        train_infer(self.name(), &self.label, inputs)
     }
 }
 
@@ -269,6 +347,9 @@ impl Operation for TrainGbtOp {
             .fit_warm(&sup.x, &sup.y, init)
             .map_err(|e| ml_err(self.name(), e))?;
         Ok(model_value(TrainedModel::Gbt(model), &sup.x, &sup.y))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        train_infer(self.name(), &self.label, inputs)
     }
 }
 
@@ -336,6 +417,14 @@ impl Operation for EvaluateOp {
         };
         Ok(Value::Aggregate(co_dataframe::Scalar::Float(score)))
     }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        meta::expect_arity(self.name(), inputs, 2)?;
+        let model = inputs[0].expect_model(self.name())?;
+        let ds = inputs[1].expect_dataset(self.name())?;
+        ds.require_dtype(self.name(), &self.label, "numeric", DType::is_numeric)?;
+        check_features(self.name(), &model, &ds, &[self.label.as_str()])?;
+        Ok(ValueMeta::Aggregate)
+    }
 }
 
 /// Apply a model to a dataset (paper §4.1: a model either feeds feature
@@ -401,6 +490,19 @@ impl Operation for PredictOp {
             ))
             .map_err(|e| GraphError::from_df(self.name(), &e))?;
         Ok(Value::dataset(out))
+    }
+    fn infer(&self, inputs: &[&ValueMeta]) -> MetaResult {
+        meta::expect_arity(self.name(), inputs, 2)?;
+        let model = inputs[0].expect_model(self.name())?;
+        let ds = inputs[1].expect_dataset(self.name())?;
+        let exclude: Vec<&str> = self.exclude.iter().map(String::as_str).collect();
+        check_features(self.name(), &model, &ds, &exclude)?;
+        let mut cols = ds.columns.clone();
+        replace_column(&mut cols, &self.out, Some(DType::Float));
+        Ok(ValueMeta::Dataset(DatasetMeta {
+            columns: cols,
+            open: ds.open,
+        }))
     }
 }
 

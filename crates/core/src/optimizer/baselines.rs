@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn all_m_loads_first_materialized_and_all_c_loads_nothing() {
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let a = dag.add_op(Arc::new(Tag("a")), &[s]).unwrap();
         let b = dag.add_op(Arc::new(Tag("b")), &[a]).unwrap();
@@ -99,7 +99,7 @@ mod tests {
         let mut prior = dag.clone();
         prior.annotate(a, 1.0, 1_000_000).unwrap();
         prior.annotate(b, 1.0, 1_000_000).unwrap();
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&prior).unwrap();
         for n in [a, b] {
             eg.storage_mut().store(dag.nodes()[n.0].artifact, &agg());

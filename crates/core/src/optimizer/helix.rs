@@ -127,11 +127,8 @@ mod tests {
 
     /// Build a chain s -> a -> b with given ⟨Ci, Cl-as-size⟩ and
     /// materialization flags, returning (dag, eg).
-    fn chain(
-        a_cost: (f64, u64, bool),
-        b_cost: (f64, u64, bool),
-    ) -> (co_graph::WorkloadDag, co_graph::ExperimentGraph) {
-        let mut dag = co_graph::WorkloadDag::new();
+    fn chain(a_cost: (f64, u64, bool), b_cost: (f64, u64, bool)) -> (WorkloadDag, ExperimentGraph) {
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let a = dag.add_op(op("a"), &[s]).unwrap();
         let b = dag.add_op(op("b"), &[a]).unwrap();
@@ -139,7 +136,7 @@ mod tests {
         let mut prior = dag.clone();
         prior.annotate(a, a_cost.0, a_cost.1).unwrap();
         prior.annotate(b, b_cost.0, b_cost.1).unwrap();
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&prior).unwrap();
         if a_cost.2 {
             eg.storage_mut().store(dag.nodes()[a.0].artifact, &agg());
@@ -207,18 +204,18 @@ mod tests {
     fn unknown_terminal_still_loads_upstream() {
         // s -> a (materialized, Ci=10, Cl=2) -> t (NOT in EG: a brand-new
         // training op). The planner must still load `a` under `t`.
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let a = dag.add_op(op("a"), &[s]).unwrap();
         let t = dag.add_op(op("t_new"), &[a]).unwrap();
         dag.mark_terminal(t).unwrap();
         // The prior workload that EG knows stops at `a`.
-        let mut prior = co_graph::WorkloadDag::new();
+        let mut prior = WorkloadDag::new();
         let ps = prior.add_source("s", agg());
         let pa = prior.add_op(op("a"), &[ps]).unwrap();
         prior.mark_terminal(pa).unwrap();
         prior.annotate(pa, 10.0, 2).unwrap();
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&prior).unwrap();
         eg.storage_mut().store(prior.nodes()[pa.0].artifact, &agg());
 
@@ -235,7 +232,7 @@ mod tests {
         // 10 + 1 + 1 + 1 = 13 because p is shared; the linear pass prices
         // it at 10+1 + 10+1 + 1 = 23 (double-counting p) and loads m at
         // 20. The exact max-flow planner computes everything.
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let p = dag.add_op(op("p"), &[s]).unwrap();
         let a = dag.add_op(op("a"), &[p]).unwrap();
@@ -247,7 +244,7 @@ mod tests {
         prior.annotate(a, 1.0, 1000).unwrap();
         prior.annotate(b, 1.0, 1000).unwrap();
         prior.annotate(m, 1.0, 20).unwrap();
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&prior).unwrap();
         eg.storage_mut().store(dag.nodes()[m.0].artifact, &agg());
         let cost = unit_cost();

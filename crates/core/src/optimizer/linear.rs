@@ -133,7 +133,7 @@ mod tests {
     /// v2 and C), and a terminal not in EG with parents v3 and B.
     #[test]
     fn paper_figure3() {
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s1 = dag.add_source("s1", agg());
         let s2 = dag.add_source("s2", agg());
         let s3 = dag.add_source("s3", agg());
@@ -159,9 +159,9 @@ mod tests {
         ] {
             prior.annotate(node, ci, size).unwrap();
         }
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         // Drop the terminal from the prior workload: EG must not know it.
-        let mut prior_no_term = co_graph::WorkloadDag::new();
+        let mut prior_no_term = WorkloadDag::new();
         let ps1 = prior_no_term.add_source("s1", agg());
         let ps2 = prior_no_term.add_source("s2", agg());
         let ps3 = prior_no_term.add_source("s3", agg());
@@ -210,24 +210,24 @@ mod tests {
 
     #[test]
     fn empty_eg_computes_everything() {
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let x = dag.add_op(op("x"), &[s]).unwrap();
         dag.mark_terminal(x).unwrap();
-        let eg = co_graph::ExperimentGraph::new(true);
+        let eg = ExperimentGraph::new(true);
         let plan = LinearReuse.plan(&dag, &eg, &unit_cost());
         assert_eq!(plan.n_loads(), 0);
     }
 
     #[test]
     fn unmaterialized_vertices_are_never_loaded() {
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let x = dag.add_op(op("x"), &[s]).unwrap();
         dag.mark_terminal(x).unwrap();
         let mut prior = dag.clone();
         prior.annotate(x, 100.0, 1).unwrap(); // expensive but unmaterialized
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&prior).unwrap();
         let plan = LinearReuse.plan(&dag, &eg, &unit_cost());
         assert_eq!(plan.n_loads(), 0);
@@ -236,7 +236,7 @@ mod tests {
     #[test]
     fn cheap_loads_win_expensive_chains() {
         // s -> a (10s) -> b (10s, materialized, tiny): load b, skip a.
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let a = dag.add_op(op("a"), &[s]).unwrap();
         let b = dag.add_op(op("b"), &[a]).unwrap();
@@ -244,7 +244,7 @@ mod tests {
         let mut prior = dag.clone();
         prior.annotate(a, 10.0, 1000).unwrap();
         prior.annotate(b, 10.0, 2).unwrap();
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&prior).unwrap();
         let b_id = dag.nodes()[b.0].artifact;
         eg.storage_mut().store(b_id, &agg());
@@ -258,14 +258,14 @@ mod tests {
     fn computed_terminal_needs_nothing() {
         // An interactive session already holds the terminal: the plan is
         // empty and costs zero.
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let a = dag.add_op(op("a"), &[s]).unwrap();
         dag.mark_terminal(a).unwrap();
         dag.set_computed(a, agg()).unwrap();
         let mut prior = dag.clone();
         prior.annotate(a, 100.0, 5).unwrap();
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&prior).unwrap();
         eg.storage_mut().store(dag.nodes()[a.0].artifact, &agg());
         let plan = LinearReuse.plan(&dag, &eg, &unit_cost());
@@ -275,7 +275,7 @@ mod tests {
 
     #[test]
     fn computed_nodes_cost_nothing() {
-        let mut dag = co_graph::WorkloadDag::new();
+        let mut dag = WorkloadDag::new();
         let s = dag.add_source("s", agg());
         let a = dag.add_op(op("a"), &[s]).unwrap();
         let b = dag.add_op(op("b"), &[a]).unwrap();
@@ -284,7 +284,7 @@ mod tests {
         let mut prior = dag.clone();
         prior.annotate(a, 50.0, 10).unwrap();
         prior.annotate(b, 1.0, 10).unwrap();
-        let mut eg = co_graph::ExperimentGraph::new(true);
+        let mut eg = ExperimentGraph::new(true);
         eg.update_with_workload(&prior).unwrap();
         // Even though a is materialized, loading it (cost 10) loses to its
         // zero recreation cost as an already-computed node.

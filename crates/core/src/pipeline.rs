@@ -35,9 +35,15 @@ pub struct PrunedWorkload {
 }
 
 impl PrunedWorkload {
-    /// Run the client's local pruner (paper step 2, no lock required).
+    /// Run the client's local pruner (paper step 2, no lock required),
+    /// then the static validator — a malformed DAG is rejected here with
+    /// [`GraphError::InvalidWorkload`] before any lock is taken or any
+    /// operation runs.
     pub fn new(mut dag: WorkloadDag) -> Result<Self, WorkloadError> {
         dag.prune().map_err(WorkloadError::from)?;
+        crate::validate::validate(&dag)
+            .into_result()
+            .map_err(WorkloadError::from)?;
         Ok(PrunedWorkload { dag })
     }
 

@@ -380,6 +380,14 @@ impl OptimizerServer {
             recovery.torn_bytes_discarded = outcome.bytes_discarded;
         }
 
+        // In debug builds, fsck the recovered graph before serving from
+        // it: recovery bugs surface here, not workloads later.
+        #[cfg(debug_assertions)]
+        {
+            let fsck = co_graph::fsck::check_graph(&eg);
+            debug_assert!(fsck.is_clean(), "post-recovery fsck failed:\n{fsck}");
+        }
+
         let journal = Journal::open(&journal_path, durability.fsync)?;
         let state = DurabilityState {
             config: durability,
@@ -524,6 +532,14 @@ impl OptimizerServer {
             if let (Some(durability), Some(capture)) = (&self.durability, capture) {
                 let mut dur = durability.lock();
                 persist_error = self.persist_delta(&eg, &mut dur, &capture).err();
+            }
+            // In debug builds, fsck the graph while still inside the
+            // critical section: an invariant break is pinned to the
+            // publication that introduced it.
+            #[cfg(debug_assertions)]
+            {
+                let fsck = co_graph::fsck::check_graph(&eg);
+                debug_assert!(fsck.is_clean(), "post-publish fsck failed:\n{fsck}");
             }
         }
         report.materializer_seconds = start.elapsed().as_secs_f64();
@@ -728,6 +744,14 @@ impl OptimizerServer {
         self.eg.read()
     }
 
+    /// Write access to the Experiment Graph (exclusive lock) — for
+    /// offline tools and tests (e.g. seeding corruption that
+    /// `co_graph::fsck` must catch). Mutations made here bypass the
+    /// publish pipeline and its durability journaling.
+    pub fn eg_mut(&self) -> parking_lot::RwLockWriteGuard<'_, ExperimentGraph> {
+        self.eg.write()
+    }
+
     /// Summary of storage state: (number of materialized artifacts,
     /// unique bytes held, logical bytes materialized).
     #[must_use]
@@ -748,7 +772,7 @@ impl OptimizerServer {
     /// recomputation via the executor's load-miss fallback. On a durable
     /// server the mat-flag change is journaled so a restart does not
     /// resurrect the flag.
-    pub fn evict_artifact(&self, id: co_graph::ArtifactId) -> u64 {
+    pub fn evict_artifact(&self, id: ArtifactId) -> u64 {
         let mut eg = self.eg.write();
         let bytes = eg.storage_mut().evict(id);
         let was_restored = eg.unmark_restored_materialized(id);
@@ -967,11 +991,10 @@ mod tests {
 
     #[test]
     fn concurrent_sessions_share_the_graph() {
-        let server =
-            std::sync::Arc::new(OptimizerServer::new(ServerConfig::collaborative(u64::MAX)));
+        let server = Arc::new(OptimizerServer::new(ServerConfig::collaborative(u64::MAX)));
         crossbeam::thread::scope(|scope| {
             for _ in 0..4 {
-                let server = std::sync::Arc::clone(&server);
+                let server = Arc::clone(&server);
                 scope.spawn(move |_| {
                     let (_, report) = server.run_workload(workload()).unwrap();
                     assert!(report.run_seconds() > 0.0);

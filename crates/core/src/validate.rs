@@ -1,0 +1,338 @@
+//! Static workload validation: a linear-time pre-execution pass.
+//!
+//! Before a workload is planned or executed, [`validate`] propagates
+//! inferred schemas ([`ValueMeta`]) from the already-computed vertices
+//! through every operation edge via [`co_graph::Operation::infer`] — without
+//! running
+//! anything. A malformed DAG (missing column, join-key mismatch,
+//! fit/predict divergence, wrong input arity, op-hash collision, …) is
+//! rejected in milliseconds with node-path-addressed diagnostics instead
+//! of failing forty minutes into execution.
+//!
+//! The pass is a single sweep over nodes in topological (= index) order
+//! plus one ancestor walk for the required set, so it is `O(|V| + |E|)`.
+//! Unknown metadata (custom operations, unanalyzable inputs) propagates
+//! silently: downstream checks are *suppressed*, never spuriously failed,
+//! so validation can only reject workloads that are provably broken.
+//!
+//! [`PrunedWorkload::new`](crate::pipeline::PrunedWorkload::new) runs the
+//! validator right after the local pruner, so every workload entering the
+//! server pipeline has already passed it.
+
+use co_graph::meta::{MetaCode, MetaError, ValueMeta};
+use co_graph::{GraphError, NodeId, WorkloadDag};
+use std::collections::HashMap;
+
+/// One validation finding, addressed to a workload node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Index of the node the finding is anchored to.
+    pub node: usize,
+    /// Diagnostic class.
+    pub code: MetaCode,
+    /// Human-readable producer path of the node (`source "x" -> select ->
+    /// join`), so the user can locate the operation in their script.
+    pub path: String,
+    /// The underlying failure message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] node {} ({}): {}",
+            self.code.name(),
+            self.node,
+            self.path,
+            self.message
+        )
+    }
+}
+
+/// Result of statically validating one workload DAG.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Rejections: findings on nodes the requested terminals depend on.
+    pub errors: Vec<Diagnostic>,
+    /// Non-fatal findings: dead subgraphs, and inference failures confined
+    /// to them (the pruner already deactivated those edges).
+    pub warnings: Vec<Diagnostic>,
+    /// Inferred metadata per node, for callers that want the schemas.
+    pub metas: Vec<ValueMeta>,
+}
+
+impl ValidationReport {
+    /// Whether the workload passed (no errors; warnings are allowed).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Convert to a pipeline result: errors become
+    /// [`GraphError::InvalidWorkload`] with one rendered line each.
+    pub fn into_result(self) -> Result<Vec<ValueMeta>, GraphError> {
+        if self.errors.is_empty() {
+            Ok(self.metas)
+        } else {
+            Err(GraphError::InvalidWorkload {
+                diagnostics: self.errors.iter().map(ToString::to_string).collect(),
+            })
+        }
+    }
+}
+
+/// Render the producer chain of `node` (following first inputs) as a
+/// short `a -> b -> c` path. Bounded depth: diagnostics stay one line.
+fn node_path(dag: &WorkloadDag, node: NodeId) -> String {
+    const MAX_DEPTH: usize = 8;
+    let mut segments: Vec<String> = Vec::new();
+    let mut current = node;
+    for depth in 0..MAX_DEPTH {
+        let n = &dag.nodes()[current.0];
+        match dag.producer(current) {
+            Some(edge) => {
+                segments.push(edge.op.name().to_owned());
+                match edge.inputs.first() {
+                    Some(&input) => current = input,
+                    None => break,
+                }
+            }
+            None => {
+                match &n.name {
+                    Some(name) => segments.push(format!("source {name:?}")),
+                    None => segments.push("input".to_owned()),
+                }
+                break;
+            }
+        }
+        if depth == MAX_DEPTH - 1 {
+            segments.push("...".to_owned());
+        }
+    }
+    segments.reverse();
+    segments.join(" -> ")
+}
+
+/// Statically validate a workload DAG: propagate inferred schemas through
+/// every operation, check artifact-identity (op-hash) consistency, and
+/// flag dead subgraphs. Never executes an operation.
+#[must_use]
+pub fn validate(dag: &WorkloadDag) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    // Errors are fatal only on nodes a terminal depends on; elsewhere the
+    // pruner has already cut the edge, so the finding is a warning. A DAG
+    // with no terminals has nothing required (NoTerminals is the
+    // pipeline's own rejection) — treat everything as required so the
+    // findings still surface.
+    let required = dag
+        .required_nodes()
+        .unwrap_or_else(|_| vec![true; dag.n_nodes()]);
+
+    // Op-hash collision scan: two structurally different operations whose
+    // hashes agree would alias each other's artifacts in the Experiment
+    // Graph. One pass over edges.
+    let mut by_hash: HashMap<u64, (String, String)> = HashMap::new();
+    for edge in dag.edges() {
+        let identity = (edge.op.name().to_owned(), edge.op.params_digest());
+        match by_hash.get(&edge.op.op_hash()) {
+            None => {
+                by_hash.insert(edge.op.op_hash(), identity);
+            }
+            Some(seen) if *seen != identity => {
+                report.errors.push(Diagnostic {
+                    node: edge.output.0,
+                    code: MetaCode::HashCollision,
+                    path: node_path(dag, edge.output),
+                    message: format!(
+                        "operations {} [{}] and {} [{}] share op-hash {:016x}",
+                        seen.0,
+                        seen.1,
+                        edge.op.name(),
+                        edge.op.params_digest(),
+                        edge.op.op_hash()
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+
+    // Schema propagation in topological (= index) order. A node that
+    // failed inference gets Unknown, which suppresses — rather than
+    // cascades — downstream findings.
+    report.metas = Vec::with_capacity(dag.n_nodes());
+    for (i, node) in dag.nodes().iter().enumerate() {
+        let meta = if let Some(value) = &node.computed {
+            ValueMeta::of_value(value)
+        } else if let Some(edge) = dag.producer(NodeId(i)) {
+            let inputs: Vec<&ValueMeta> = edge.inputs.iter().map(|n| &report.metas[n.0]).collect();
+            match edge.op.infer(&inputs) {
+                Ok(meta) => meta,
+                Err(MetaError { code, message }) => {
+                    let diagnostic = Diagnostic {
+                        node: i,
+                        code,
+                        path: node_path(dag, NodeId(i)),
+                        message,
+                    };
+                    if required[i] {
+                        report.errors.push(diagnostic);
+                    } else {
+                        report.warnings.push(diagnostic);
+                    }
+                    ValueMeta::Unknown
+                }
+            }
+        } else {
+            // A source with no content: nothing statically known.
+            ValueMeta::Unknown
+        };
+        report.metas.push(meta);
+    }
+
+    // Dead-subgraph warnings: nodes no terminal can reach are inert
+    // weight the pruner deactivated — worth telling the user about.
+    for (i, is_required) in required.iter().enumerate() {
+        if !is_required {
+            report.warnings.push(Diagnostic {
+                node: i,
+                code: MetaCode::DeadSubgraph,
+                path: node_path(dag, NodeId(i)),
+                message: "no requested terminal depends on this vertex".to_owned(),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::Script;
+    use co_dataframe::ops::{AggFn, Predicate};
+    use co_dataframe::{Column, ColumnData, DataFrame};
+
+    fn frame() -> DataFrame {
+        DataFrame::new(vec![
+            Column::source("t", "id", ColumnData::Int(vec![1, 2, 3])),
+            Column::source("t", "x", ColumnData::Float(vec![0.1, 0.2, 0.3])),
+            Column::source(
+                "t",
+                "c",
+                ColumnData::Str(vec!["a".into(), "b".into(), "c".into()]),
+            ),
+            Column::source("t", "y", ColumnData::Int(vec![0, 1, 0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_pipeline_passes_with_schemas() {
+        let mut s = Script::new();
+        let d = s.load("train", frame());
+        let sel = s.select(d, &["id", "x", "y"]).unwrap();
+        let f = s
+            .filter(
+                sel,
+                Predicate::GtF {
+                    col: "x".into(),
+                    value: 0.0,
+                },
+            )
+            .unwrap();
+        let t = s.agg(f, "x", AggFn::Mean).unwrap();
+        s.output(t).unwrap();
+        let report = validate(s.dag());
+        assert!(report.is_valid(), "errors: {:?}", report.errors);
+        assert!(matches!(report.metas[t.0], ValueMeta::Aggregate));
+    }
+
+    #[test]
+    fn missing_column_is_rejected_with_path() {
+        let mut s = Script::new();
+        let d = s.load("train", frame());
+        let sel = s.select(d, &["id", "zzz"]).unwrap();
+        s.output(sel).unwrap();
+        let report = validate(s.dag());
+        assert_eq!(report.errors.len(), 1);
+        let e = &report.errors[0];
+        assert_eq!(e.code, MetaCode::MissingColumn);
+        assert!(e.path.contains("source \"train\""), "path: {}", e.path);
+        assert!(e.path.contains("select"), "path: {}", e.path);
+        assert!(e.message.contains("zzz"));
+        assert!(report.clone().into_result().is_err());
+    }
+
+    #[test]
+    fn join_key_mismatch_is_rejected() {
+        let mut s = Script::new();
+        let a = s.load("a", frame());
+        let b = s.load("b", frame());
+        // "x" exists on both sides but is Float, not Int.
+        let j = s.join(a, b, "x").unwrap();
+        s.output(j).unwrap();
+        let report = validate(s.dag());
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.code == MetaCode::JoinKeyMismatch));
+    }
+
+    #[test]
+    fn errors_in_dead_subgraphs_are_warnings() {
+        let mut s = Script::new();
+        let d = s.load("train", frame());
+        // Broken, but nothing the terminal needs.
+        let _dead = s.select(d, &["zzz"]).unwrap();
+        let live = s.agg(d, "x", AggFn::Mean).unwrap();
+        s.output(live).unwrap();
+        let report = validate(s.dag());
+        assert!(report.is_valid());
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.code == MetaCode::MissingColumn));
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.code == MetaCode::DeadSubgraph));
+    }
+
+    #[test]
+    fn unknown_inputs_suppress_downstream_checks() {
+        use crate::ops::SelectOp;
+        use co_graph::{NodeKind, Operation, Value, WorkloadDag};
+        use std::sync::Arc;
+        struct Opaque;
+        impl Operation for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn params_digest(&self) -> String {
+                String::new()
+            }
+            fn output_kind(&self) -> NodeKind {
+                NodeKind::Dataset
+            }
+            fn run(&self, inputs: &[&Value]) -> co_graph::Result<Value> {
+                Ok(inputs[0].clone())
+            }
+        }
+        let mut dag = WorkloadDag::new();
+        let d = dag.add_source("train", Value::dataset(frame()));
+        let u = dag.add_op(Arc::new(Opaque), &[d]).unwrap();
+        // Whatever `opaque` emits is unknown — selecting from it is not
+        // statically refutable, so it must pass.
+        let sel = dag
+            .add_op(
+                Arc::new(SelectOp {
+                    columns: vec!["anything".into()],
+                }),
+                &[u],
+            )
+            .unwrap();
+        dag.mark_terminal(sel).unwrap();
+        assert!(validate(&dag).is_valid());
+    }
+}

@@ -39,6 +39,8 @@
 //! assert_eq!(df.column("y").unwrap().id(), proj.column("y").unwrap().id());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod column;
 pub mod csv;
 pub mod error;

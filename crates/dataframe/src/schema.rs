@@ -32,10 +32,108 @@ impl DType {
     }
 }
 
+impl DType {
+    /// Whether `Column::to_f64` succeeds on this dtype — the definition
+    /// of a "numeric" feature column everywhere in the workspace.
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, DType::Str)
+    }
+}
+
 impl fmt::Display for DType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// A statically inferred column: its name plus its dtype when that is
+/// statically known (`None` when the dtype is data-dependent — e.g. an
+/// outer join's right-side `Int` column, which gathers to `Float` iff an
+/// unmatched left row exists).
+pub type InferredColumn = (String, Option<DType>);
+
+/// Static mirror of [`crate::ops::hconcat`]'s output naming: columns of
+/// every frame in order, duplicate names suffixed `_{fi}` with the same
+/// bump loop the runtime uses.
+#[must_use]
+pub fn hconcat_columns(frames: &[Vec<InferredColumn>]) -> Vec<InferredColumn> {
+    let mut names: Vec<String> = Vec::new();
+    let mut out: Vec<InferredColumn> = Vec::new();
+    for (fi, frame) in frames.iter().enumerate() {
+        for (base, dtype) in frame {
+            let mut name = base.clone();
+            if names.iter().any(|n| n == &name) {
+                name = format!("{base}_{fi}");
+                let mut bump = fi;
+                while names.iter().any(|n| n == &name) {
+                    bump += 1;
+                    name = format!("{base}_{bump}");
+                }
+            }
+            names.push(name.clone());
+            out.push((name, *dtype));
+        }
+    }
+    out
+}
+
+/// Static mirror of [`crate::ops::inner_join`] / [`crate::ops::left_join`]
+/// output columns: the key (from the left side, always `Int`), left
+/// non-key columns, then right non-key columns — a right name colliding
+/// with *any* left name is suffixed `_r`. For outer joins the right
+/// side's `Int`/`Bool` columns may be promoted to `Float` at runtime, so
+/// their static dtype is `None`.
+#[must_use]
+pub fn join_columns(
+    left: &[InferredColumn],
+    right: &[InferredColumn],
+    on: &str,
+    outer: bool,
+) -> Vec<InferredColumn> {
+    let mut out: Vec<InferredColumn> = Vec::with_capacity(left.len() + right.len());
+    out.push((on.to_owned(), Some(DType::Int)));
+    for (name, dtype) in left.iter().filter(|(n, _)| n != on) {
+        out.push((name.clone(), *dtype));
+    }
+    for (name, dtype) in right.iter().filter(|(n, _)| n != on) {
+        let out_name = if left.iter().any(|(n, _)| n == name) {
+            format!("{name}_r")
+        } else {
+            name.clone()
+        };
+        let out_dtype = match dtype {
+            Some(DType::Int | DType::Bool) if outer => None,
+            other => *other,
+        };
+        out.push((out_name, out_dtype));
+    }
+    out
+}
+
+/// Static mirror of [`crate::ops::align`]: the columns common to both
+/// frames, in the *left* frame's order. `dtypes_from` selects which
+/// side's dtypes the caller wants (side 0 = left output, side 1 = right
+/// output; both outputs share the left frame's column order).
+#[must_use]
+pub fn align_columns(
+    left: &[InferredColumn],
+    right: &[InferredColumn],
+    dtypes_from_right: bool,
+) -> Vec<InferredColumn> {
+    left.iter()
+        .filter_map(|(name, ldt)| {
+            let rdt = right.iter().find(|(n, _)| n == name).map(|(_, dt)| *dt)?;
+            Some((name.clone(), if dtypes_from_right { rdt } else { *ldt }))
+        })
+        .collect()
+}
+
+/// Static mirror of `DataFrame::with_column`: a same-named column is
+/// removed from its position and the new column appended at the end.
+pub fn replace_column(columns: &mut Vec<InferredColumn>, name: &str, dtype: Option<DType>) {
+    columns.retain(|(n, _)| n != name);
+    columns.push((name.to_owned(), dtype));
 }
 
 /// Per-column metadata.
@@ -136,5 +234,101 @@ mod tests {
         let a = Schema::new(vec![field("a", DType::Int), field("b", DType::Int)]);
         let b = Schema::new(vec![field("b", DType::Int), field("a", DType::Int)]);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    // --- static schema transfer vs. the real ops --------------------------
+
+    use crate::column::{Column, ColumnData};
+    use crate::frame::DataFrame;
+
+    fn cols_of(df: &DataFrame) -> Vec<InferredColumn> {
+        df.schema()
+            .fields()
+            .iter()
+            .map(|f| (f.name.clone(), Some(f.dtype)))
+            .collect()
+    }
+
+    /// Inferred columns agree with a real frame: same names in order, and
+    /// every statically known dtype matches.
+    fn assert_matches(inferred: &[InferredColumn], df: &DataFrame) {
+        let actual = cols_of(df);
+        assert_eq!(
+            inferred.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            actual.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+        for ((_, idt), (name, adt)) in inferred.iter().zip(&actual) {
+            if let Some(idt) = idt {
+                assert_eq!(Some(*idt), *adt, "dtype of {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn hconcat_columns_matches_runtime_suffixing() {
+        let a = DataFrame::new(vec![
+            Column::source("a", "x", ColumnData::Int(vec![1, 2])),
+            Column::source("a", "y", ColumnData::Float(vec![0.1, 0.2])),
+        ])
+        .unwrap();
+        let b = DataFrame::new(vec![
+            Column::source("b", "x", ColumnData::Str(vec!["p".into(), "q".into()])),
+            Column::source("b", "x_1", ColumnData::Bool(vec![true, false])),
+        ])
+        .unwrap();
+        let inferred = hconcat_columns(&[cols_of(&a), cols_of(&b)]);
+        let actual = crate::ops::hconcat(&[&a, &b]).unwrap();
+        assert_matches(&inferred, &actual);
+    }
+
+    #[test]
+    fn join_columns_matches_runtime_collisions_and_promotion() {
+        let left = DataFrame::new(vec![
+            Column::source("l", "id", ColumnData::Int(vec![1, 2, 3])),
+            Column::source("l", "x", ColumnData::Float(vec![1.0, 2.0, 3.0])),
+        ])
+        .unwrap();
+        let right = DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![1, 2])),
+            Column::source("r", "x", ColumnData::Int(vec![7, 8])),
+            Column::source("r", "z", ColumnData::Str(vec!["a".into(), "b".into()])),
+        ])
+        .unwrap();
+        let inferred = join_columns(&cols_of(&left), &cols_of(&right), "id", false);
+        let actual = crate::ops::inner_join(&left, &right, "id").unwrap();
+        assert_matches(&inferred, &actual);
+        // Outer join: row 3 is unmatched, so the right Int column gathers
+        // to Float — statically None, which assert_matches skips.
+        let inferred = join_columns(&cols_of(&left), &cols_of(&right), "id", true);
+        let actual = crate::ops::left_join(&left, &right, "id").unwrap();
+        assert_matches(&inferred, &actual);
+        assert_eq!(inferred[2], ("x_r".to_owned(), None));
+        assert_eq!(actual.column("x_r").unwrap().dtype(), DType::Float);
+    }
+
+    #[test]
+    fn align_and_replace_match_runtime() {
+        let a = DataFrame::new(vec![
+            Column::source("a", "x", ColumnData::Int(vec![1])),
+            Column::source("a", "y", ColumnData::Float(vec![0.5])),
+            Column::source("a", "w", ColumnData::Bool(vec![true])),
+        ])
+        .unwrap();
+        let b = DataFrame::new(vec![
+            Column::source("b", "w", ColumnData::Float(vec![2.0])),
+            Column::source("b", "x", ColumnData::Int(vec![3])),
+        ])
+        .unwrap();
+        let (la, lb) = crate::ops::align(&a, &b).unwrap();
+        assert_matches(&align_columns(&cols_of(&a), &cols_of(&b), false), &la);
+        assert_matches(&align_columns(&cols_of(&a), &cols_of(&b), true), &lb);
+
+        // with_column moves a replaced column to the end.
+        let mut cols = cols_of(&a);
+        replace_column(&mut cols, "x", Some(DType::Float));
+        let replaced = a
+            .with_column(Column::source("a", "x", ColumnData::Float(vec![9.0])))
+            .unwrap();
+        assert_matches(&cols, &replaced);
     }
 }

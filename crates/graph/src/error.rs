@@ -42,6 +42,9 @@ pub enum GraphError {
     NotMaterialized { artifact: u64, detail: String },
     /// A workload has no terminal vertices (nothing to execute).
     NoTerminals,
+    /// Static pre-execution validation rejected the workload. Each
+    /// diagnostic is a node-path-addressed message (see `co_core::validate`).
+    InvalidWorkload { diagnostics: Vec<String> },
     /// An I/O failure while persisting or restoring graph state.
     Io(String),
     /// A persisted file (snapshot or journal) failed validation. Carries
@@ -88,6 +91,18 @@ impl fmt::Display for GraphError {
                 }
             }
             GraphError::NoTerminals => write!(f, "workload has no terminal vertices"),
+            GraphError::InvalidWorkload { diagnostics } => {
+                write!(
+                    f,
+                    "workload failed static validation ({} diagnostic{}):",
+                    diagnostics.len(),
+                    if diagnostics.len() == 1 { "" } else { "s" }
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
             GraphError::Corrupt {
                 path,

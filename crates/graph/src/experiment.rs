@@ -334,7 +334,7 @@ impl ExperimentGraph {
     /// graph (all distinct ancestors, including itself).
     pub fn exact_recreation_cost(&self, id: ArtifactId) -> Result<f64> {
         self.vertex(id)?;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         let mut stack = vec![id];
         let mut total = 0.0;
         while let Some(a) = stack.pop() {

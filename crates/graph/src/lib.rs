@@ -20,12 +20,16 @@
 //!   or training operations implement `run` plus a stable
 //!   name/parameter digest.
 
+#![forbid(unsafe_code)]
+
 pub mod artifact;
 pub mod error;
 pub mod experiment;
 pub mod export;
 pub mod faults;
+pub mod fsck;
 pub mod journal;
+pub mod meta;
 pub mod operation;
 pub mod snapshot;
 pub mod storage;
@@ -36,7 +40,9 @@ pub use artifact::{ArtifactId, ArtifactMeta, NodeKind};
 pub use error::{GraphError, Result};
 pub use experiment::{EgVertex, ExperimentGraph};
 pub use faults::{CrashPoint, FaultInjector, FaultKind};
+pub use fsck::{FsckCode, FsckReport, Violation};
 pub use journal::{EgDelta, FsyncPolicy, Journal, QuarantineEntry};
+pub use meta::{DatasetMeta, MetaCode, MetaError, MetaResult, ModelMeta, ValueMeta};
 pub use operation::{OpHash, Operation};
 pub use storage::StorageManager;
 pub use value::{ModelArtifact, Value};

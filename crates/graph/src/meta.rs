@@ -1,0 +1,403 @@
+//! Static value metadata for pre-execution workload validation.
+//!
+//! [`ValueMeta`] is the abstract-interpretation counterpart of
+//! [`crate::value::Value`]: instead of column *contents* it carries the
+//! inferred column *schema* (or model feature set), which the validator
+//! propagates through a workload DAG without executing anything. Each
+//! operation describes its schema transfer via [`crate::Operation::infer`];
+//! the default is [`ValueMeta::Unknown`], so custom user operations remain
+//! valid without extra work — unknown metadata simply suppresses downstream
+//! checks instead of producing false rejections.
+
+use co_dataframe::schema::{DType, InferredColumn};
+use std::fmt;
+
+/// Diagnostic class of a static-validation failure. Every class the
+/// validator can reject is enumerated here so tests (and CI) can assert
+/// on the *kind* of rejection, not on message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaCode {
+    /// An operation references a column its input does not have.
+    MissingColumn,
+    /// An operation would produce two columns with the same name.
+    DuplicateColumn,
+    /// A column exists but has a dtype the operation cannot accept.
+    TypeMismatch,
+    /// A join key is absent or non-integer on one of the sides.
+    JoinKeyMismatch,
+    /// An operation received the wrong number of inputs (supernode
+    /// input-arity violation).
+    ArityMismatch,
+    /// An operation received a dataset where it needs a model, an
+    /// aggregate where it needs a dataset, etc.
+    BadInputKind,
+    /// A model is asked to predict on a feature set diverging from the
+    /// one it was (or will be) fitted on.
+    FitPredictMismatch,
+    /// An operation statically selects zero columns / zero features.
+    EmptySelection,
+    /// Operation parameters are malformed independent of any input.
+    BadParams,
+    /// Two structurally different operations share an op-hash — artifact
+    /// identity would alias them in the Experiment Graph.
+    HashCollision,
+    /// A subgraph can never contribute to a requested terminal
+    /// (reported as a warning, not a rejection).
+    DeadSubgraph,
+}
+
+impl MetaCode {
+    /// Short stable name used in diagnostics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaCode::MissingColumn => "missing-column",
+            MetaCode::DuplicateColumn => "duplicate-column",
+            MetaCode::TypeMismatch => "type-mismatch",
+            MetaCode::JoinKeyMismatch => "join-key-mismatch",
+            MetaCode::ArityMismatch => "arity-mismatch",
+            MetaCode::BadInputKind => "bad-input-kind",
+            MetaCode::FitPredictMismatch => "fit-predict-mismatch",
+            MetaCode::EmptySelection => "empty-selection",
+            MetaCode::BadParams => "bad-params",
+            MetaCode::HashCollision => "op-hash-collision",
+            MetaCode::DeadSubgraph => "dead-subgraph",
+        }
+    }
+}
+
+impl fmt::Display for MetaCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A static-validation failure raised by an operation's schema transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaError {
+    /// Diagnostic class.
+    pub code: MetaCode,
+    /// Human-readable detail (op + columns involved).
+    pub message: String,
+}
+
+impl MetaError {
+    /// Build an error from a class and message.
+    #[must_use]
+    pub fn new(code: MetaCode, message: impl Into<String>) -> Self {
+        MetaError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A missing-column error naming the operation and column.
+    #[must_use]
+    pub fn missing_column(op: &str, column: &str) -> Self {
+        MetaError::new(
+            MetaCode::MissingColumn,
+            format!("{op}: column {column:?} does not exist in the input"),
+        )
+    }
+
+    /// A wrong-arity error naming expected vs. actual input counts.
+    #[must_use]
+    pub fn arity(op: &str, expected: &str, got: usize) -> Self {
+        MetaError::new(
+            MetaCode::ArityMismatch,
+            format!("{op}: expects {expected} input(s), got {got}"),
+        )
+    }
+
+    /// A wrong-input-kind error.
+    #[must_use]
+    pub fn bad_kind(op: &str, expected: &str, got: &str) -> Self {
+        MetaError::new(
+            MetaCode::BadInputKind,
+            format!("{op}: expects a {expected} input, got {got}"),
+        )
+    }
+
+    /// A dtype-mismatch error naming the column and what was required.
+    #[must_use]
+    pub fn type_mismatch(op: &str, column: &str, need: &str, got: DType) -> Self {
+        MetaError::new(
+            MetaCode::TypeMismatch,
+            format!("{op}: column {column:?} must be {need}, found {got}"),
+        )
+    }
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// Result alias for schema-transfer functions.
+pub type MetaResult = Result<ValueMeta, MetaError>;
+
+/// Statically inferred dataset schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetMeta {
+    /// Inferred columns in frame order; a `None` dtype is statically
+    /// unknown (data-dependent promotion).
+    pub columns: Vec<InferredColumn>,
+    /// `true` when the *column set* itself is data-dependent (one-hot,
+    /// vectorizers, select-k-best): downstream missing-column checks are
+    /// suppressed, because the column may legitimately appear at runtime.
+    pub open: bool,
+}
+
+impl DatasetMeta {
+    /// A closed schema with fully known columns.
+    #[must_use]
+    pub fn closed(columns: Vec<InferredColumn>) -> Self {
+        DatasetMeta {
+            columns,
+            open: false,
+        }
+    }
+
+    /// An open schema: the listed columns exist, but others may too.
+    #[must_use]
+    pub fn open(columns: Vec<InferredColumn>) -> Self {
+        DatasetMeta {
+            columns,
+            open: true,
+        }
+    }
+
+    /// The inferred dtype of `name`, if the column is statically known.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<Option<DType>> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, dt)| *dt)
+    }
+
+    /// Require `name` to exist. `Ok(Some(dtype))` when the column and its
+    /// dtype are statically known; `Ok(None)` when the column exists with
+    /// unknown dtype *or* the schema is open (so it may exist at runtime);
+    /// `Err` only when the schema is closed and the column is absent.
+    pub fn require(&self, op: &str, name: &str) -> Result<Option<DType>, MetaError> {
+        match self.lookup(name) {
+            Some(dt) => Ok(dt),
+            None if self.open => Ok(None),
+            None => Err(MetaError::missing_column(op, name)),
+        }
+    }
+
+    /// Require `name` to exist with a dtype accepted by `accept`
+    /// (described as `need` in the diagnostic). Unknown dtypes pass.
+    pub fn require_dtype(
+        &self,
+        op: &str,
+        name: &str,
+        need: &str,
+        accept: impl Fn(DType) -> bool,
+    ) -> Result<(), MetaError> {
+        match self.require(op, name)? {
+            Some(dt) if !accept(dt) => Err(MetaError::type_mismatch(op, name, need, dt)),
+            _ => Ok(()),
+        }
+    }
+
+    /// The statically known numeric columns, minus `exclude` names.
+    #[must_use]
+    pub fn numeric_columns(&self, exclude: &[&str]) -> Vec<String> {
+        self.columns
+            .iter()
+            .filter(|(n, dt)| !exclude.contains(&n.as_str()) && dt.is_none_or(DType::is_numeric))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Error if the column list contains a duplicate name.
+    pub fn ensure_unique(&self, op: &str) -> Result<(), MetaError> {
+        for (i, (name, _)) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|(n, _)| n == name) {
+                return Err(MetaError::new(
+                    MetaCode::DuplicateColumn,
+                    format!("{op}: output would contain column {name:?} twice"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Statically inferred model metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModelMeta {
+    /// Feature column names the model is fitted on, in order.
+    pub features: Vec<String>,
+    /// The label column the model predicts, when known.
+    pub label: Option<String>,
+    /// `true` when the feature set is data-dependent (trained on an open
+    /// schema) — fit/predict divergence checks are suppressed.
+    pub open: bool,
+}
+
+/// Statically inferred metadata of a workload value — the abstract
+/// domain the validator propagates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueMeta {
+    /// A dataframe with an inferred schema.
+    Dataset(DatasetMeta),
+    /// A scalar aggregate.
+    Aggregate,
+    /// A trained model.
+    Model(ModelMeta),
+    /// Nothing statically known (custom operations, unanalyzed inputs).
+    Unknown,
+}
+
+impl ValueMeta {
+    /// Metadata of an already-computed value (workload source / reused
+    /// artifact): datasets yield their exact schema, models an open
+    /// feature set (the training pipeline is not visible here).
+    #[must_use]
+    pub fn of_value(value: &crate::value::Value) -> Self {
+        match value {
+            crate::value::Value::Dataset(df) => ValueMeta::Dataset(DatasetMeta::closed(
+                df.schema()
+                    .fields()
+                    .iter()
+                    .map(|f| (f.name.clone(), Some(f.dtype)))
+                    .collect(),
+            )),
+            crate::value::Value::Aggregate(_) => ValueMeta::Aggregate,
+            crate::value::Value::Model(_) => ValueMeta::Model(ModelMeta {
+                features: Vec::new(),
+                label: None,
+                open: true,
+            }),
+        }
+    }
+
+    /// Human-readable kind name used in [`MetaError::bad_kind`].
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ValueMeta::Dataset(_) => "dataset",
+            ValueMeta::Aggregate => "aggregate",
+            ValueMeta::Model(_) => "model",
+            ValueMeta::Unknown => "unknown",
+        }
+    }
+
+    /// View as a dataset schema; `Unknown` yields an anonymous open
+    /// schema (checks are suppressed, not failed), other kinds error.
+    pub fn expect_dataset(&self, op: &str) -> Result<DatasetMeta, MetaError> {
+        match self {
+            ValueMeta::Dataset(ds) => Ok(ds.clone()),
+            ValueMeta::Unknown => Ok(DatasetMeta::open(Vec::new())),
+            other => Err(MetaError::bad_kind(op, "dataset", other.kind_name())),
+        }
+    }
+
+    /// View as model metadata; `Unknown` yields an open model, other
+    /// kinds error.
+    pub fn expect_model(&self, op: &str) -> Result<ModelMeta, MetaError> {
+        match self {
+            ValueMeta::Model(m) => Ok(m.clone()),
+            ValueMeta::Unknown => Ok(ModelMeta {
+                features: Vec::new(),
+                label: None,
+                open: true,
+            }),
+            other => Err(MetaError::bad_kind(op, "model", other.kind_name())),
+        }
+    }
+}
+
+/// Check that exactly `n` inputs were supplied.
+pub fn expect_arity(op: &str, inputs: &[&ValueMeta], n: usize) -> Result<(), MetaError> {
+    if inputs.len() == n {
+        Ok(())
+    } else {
+        Err(MetaError::arity(op, &n.to_string(), inputs.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(cols: &[(&str, Option<DType>)]) -> DatasetMeta {
+        DatasetMeta::closed(cols.iter().map(|(n, dt)| ((*n).to_owned(), *dt)).collect())
+    }
+
+    #[test]
+    fn require_distinguishes_open_and_closed() {
+        let closed = ds(&[("a", Some(DType::Int)), ("b", None)]);
+        assert_eq!(closed.require("op", "a").unwrap(), Some(DType::Int));
+        assert_eq!(closed.require("op", "b").unwrap(), None);
+        let err = closed.require("op", "zzz").unwrap_err();
+        assert_eq!(err.code, MetaCode::MissingColumn);
+        assert!(err.to_string().contains("zzz"));
+
+        let mut open = closed.clone();
+        open.open = true;
+        assert_eq!(open.require("op", "zzz").unwrap(), None);
+    }
+
+    #[test]
+    fn dtype_checks_skip_unknown() {
+        let m = ds(&[("k", Some(DType::Str)), ("u", None)]);
+        let err = m
+            .require_dtype("join", "k", "int", |dt| dt == DType::Int)
+            .unwrap_err();
+        assert_eq!(err.code, MetaCode::TypeMismatch);
+        m.require_dtype("join", "u", "int", |dt| dt == DType::Int)
+            .unwrap();
+    }
+
+    #[test]
+    fn numeric_columns_include_unknown_dtypes() {
+        let m = ds(&[
+            ("a", Some(DType::Int)),
+            ("s", Some(DType::Str)),
+            ("u", None),
+            ("y", Some(DType::Float)),
+        ]);
+        assert_eq!(m.numeric_columns(&["y"]), vec!["a", "u"]);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let good = ds(&[("a", None), ("b", None)]);
+        good.ensure_unique("op").unwrap();
+        let bad = ds(&[("a", None), ("b", None), ("a", None)]);
+        assert_eq!(
+            bad.ensure_unique("op").unwrap_err().code,
+            MetaCode::DuplicateColumn
+        );
+    }
+
+    #[test]
+    fn unknown_meta_suppresses_rather_than_fails() {
+        let u = ValueMeta::Unknown;
+        assert!(u.expect_dataset("op").unwrap().open);
+        assert!(u.expect_model("op").unwrap().open);
+        let agg = ValueMeta::Aggregate;
+        assert_eq!(
+            agg.expect_dataset("op").unwrap_err().code,
+            MetaCode::BadInputKind
+        );
+    }
+
+    #[test]
+    fn arity_helper() {
+        let d = ValueMeta::Aggregate;
+        expect_arity("op", &[&d], 1).unwrap();
+        assert_eq!(
+            expect_arity("op", &[&d], 2).unwrap_err().code,
+            MetaCode::ArityMismatch
+        );
+    }
+}

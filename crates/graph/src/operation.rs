@@ -8,6 +8,7 @@
 
 use crate::artifact::NodeKind;
 use crate::error::Result;
+use crate::meta::{MetaResult, ValueMeta};
 use crate::value::Value;
 use co_dataframe::hash;
 use co_ml::{ModelKind, TrainedModel};
@@ -32,6 +33,17 @@ pub trait Operation: Send + Sync {
 
     /// Execute the operation on its ordered inputs.
     fn run(&self, inputs: &[&Value]) -> Result<Value>;
+
+    /// Static schema transfer: given the inferred metadata of the ordered
+    /// inputs, produce the output's metadata *without executing anything*,
+    /// or reject the configuration with a typed [`crate::MetaError`].
+    ///
+    /// The default returns [`ValueMeta::Unknown`], which propagates
+    /// silently — custom operations stay valid with zero extra work, and
+    /// downstream checks are suppressed rather than spuriously failed.
+    fn infer(&self, _inputs: &[&ValueMeta]) -> MetaResult {
+        Ok(ValueMeta::Unknown)
+    }
 
     /// Whether this is a training operation that can be warmstarted
     /// (must be declared explicitly, per paper §4.2).
@@ -90,7 +102,7 @@ mod tests {
             "const"
         }
         fn params_digest(&self) -> String {
-            co_dataframe::hash::float_digest(self.value)
+            hash::float_digest(self.value)
         }
         fn output_kind(&self) -> NodeKind {
             NodeKind::Aggregate

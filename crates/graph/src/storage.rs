@@ -181,6 +181,74 @@ impl StorageManager {
         freed
     }
 
+    /// Recompute the store's accounting invariants from its contents and
+    /// return a description of every discrepancy: byte counters that
+    /// disagree with a fresh recomputation, dangling column references,
+    /// wrong per-column reference counts, and orphaned columns no artifact
+    /// references.
+    ///
+    /// Used by [`crate::fsck`]. Deliberately bypasses
+    /// [`StorageManager::get`], which consults the fault injector — an
+    /// injected load miss must not masquerade as store corruption.
+    #[must_use]
+    pub fn audit(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        // Recompute logical bytes and per-column reference counts from the
+        // artifact table.
+        let mut want_refs: HashMap<ColumnId, usize> = HashMap::new();
+        let mut logical = 0u64;
+        let mut unique_whole = 0u64;
+        for (id, stored) in &self.artifacts {
+            match stored {
+                StoredArtifact::Whole(v) => {
+                    logical += v.nbytes() as u64;
+                    unique_whole += v.nbytes() as u64;
+                }
+                StoredArtifact::Dataset { columns, nbytes } => {
+                    logical += nbytes;
+                    for r in columns {
+                        if !self.columns.contains_key(&r.id) {
+                            violations.push(format!(
+                                "artifact {:016x} references column {:?} ({}) absent from the column store",
+                                id.0, r.id, r.name
+                            ));
+                        }
+                        *want_refs.entry(r.id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        // Check the column store against the recomputed reference counts.
+        let mut unique = unique_whole;
+        for (cid, col) in &self.columns {
+            unique += col.nbytes;
+            let want = want_refs.get(cid).copied().unwrap_or(0);
+            if want == 0 {
+                violations.push(format!(
+                    "column {cid:?} is held but referenced by no artifact"
+                ));
+            } else if col.refs != want {
+                violations.push(format!(
+                    "column {cid:?} refcount is {} but {} artifact reference(s) exist",
+                    col.refs, want
+                ));
+            }
+        }
+        if unique != self.unique_bytes {
+            violations.push(format!(
+                "unique_bytes counter is {} but stored content sums to {}",
+                self.unique_bytes, unique
+            ));
+        }
+        if logical != self.logical_bytes {
+            violations.push(format!(
+                "logical_bytes counter is {} but artifact nominal sizes sum to {}",
+                self.logical_bytes, logical
+            ));
+        }
+        violations
+    }
+
     /// Retrieve an artifact's content, reassembling deduplicated datasets
     /// from the column store.
     ///
@@ -338,6 +406,85 @@ mod tests {
         let added = sm.store(aid(2), &Value::dataset(proj.clone()));
         assert_eq!(added, proj.nbytes() as u64);
         assert_eq!(sm.unique_bytes(), sm.logical_bytes());
+    }
+
+    #[test]
+    fn audit_passes_on_healthy_stores() {
+        for dedup in [true, false] {
+            let mut sm = StorageManager::new(dedup);
+            let df = frame();
+            sm.store(aid(1), &Value::dataset(df.clone()));
+            sm.store(aid(2), &Value::dataset(df.select(&["a"]).unwrap()));
+            sm.store(aid(3), &Value::Aggregate(co_dataframe::Scalar::Float(2.0)));
+            assert_eq!(sm.audit(), Vec::<String>::new());
+            sm.evict(aid(1));
+            assert_eq!(sm.audit(), Vec::<String>::new());
+        }
+    }
+
+    #[test]
+    fn audit_catches_counter_skew() {
+        let mut sm = StorageManager::new(true);
+        sm.store(aid(1), &Value::dataset(frame()));
+        sm.unique_bytes += 7; // seeded corruption
+        let violations = sm.audit();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("unique_bytes"), "{violations:?}");
+
+        let mut sm = StorageManager::new(false);
+        sm.store(aid(1), &Value::dataset(frame()));
+        sm.logical_bytes -= 1; // seeded corruption
+        let violations = sm.audit();
+        assert!(
+            violations.iter().any(|v| v.contains("logical_bytes")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn audit_catches_refcount_and_dangling_corruption() {
+        // Wrong refcount on a shared column.
+        let mut sm = StorageManager::new(true);
+        let df = frame();
+        sm.store(aid(1), &Value::dataset(df.clone()));
+        sm.store(aid(2), &Value::dataset(df.select(&["a"]).unwrap()));
+        let shared = df.column("a").unwrap().id();
+        sm.columns.get_mut(&shared).unwrap().refs = 1; // seeded corruption
+        let violations = sm.audit();
+        assert!(
+            violations.iter().any(|v| v.contains("refcount")),
+            "{violations:?}"
+        );
+
+        // Dangling column reference + the orphan it leaves behind.
+        let mut sm = StorageManager::new(true);
+        sm.store(aid(1), &Value::dataset(df.clone()));
+        let dropped = df.column("b").unwrap().id();
+        sm.columns.remove(&dropped); // seeded corruption
+        let violations = sm.audit();
+        assert!(
+            violations.iter().any(|v| v.contains("absent")),
+            "{violations:?}"
+        );
+
+        // Orphan column nothing references.
+        let mut sm = StorageManager::new(true);
+        sm.store(aid(1), &Value::dataset(df.clone()));
+        sm.evict(aid(1));
+        sm.columns.insert(
+            df.column("a").unwrap().id(),
+            StoredColumn {
+                data: Arc::clone(df.column("a").unwrap().data()),
+                nbytes: df.column("a").unwrap().nbytes() as u64,
+                refs: 1,
+            },
+        ); // seeded corruption
+        sm.unique_bytes += df.column("a").unwrap().nbytes() as u64; // keep counters consistent
+        let violations = sm.audit();
+        assert!(
+            violations.iter().any(|v| v.contains("no artifact")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -1,1 +1,3 @@
 //! Test-only crate; see the repository-level `tests/` directory.
+
+#![forbid(unsafe_code)]

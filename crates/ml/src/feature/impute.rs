@@ -23,7 +23,7 @@ impl ImputeStrategy {
             ImputeStrategy::Mean => "mean".to_owned(),
             ImputeStrategy::Median => "median".to_owned(),
             ImputeStrategy::Constant(c) => {
-                format!("const({})", co_dataframe::hash::float_digest(*c))
+                format!("const({})", hash::float_digest(*c))
             }
         }
     }

@@ -31,6 +31,8 @@
 //! assert!(auc > 0.9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod dataset;
 pub mod error;

@@ -19,6 +19,8 @@
 //! * [`runner`] — helpers to run workload sequences through an
 //!   [`co_core::OptimizerServer`] and collect cumulative statistics.
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod kaggle;
 pub mod openml;

@@ -198,7 +198,7 @@ mod tests {
         let server = OptimizerServer::new(ServerConfig::baseline());
         for i in 0..6 {
             let (dag, _) = server.run_workload(pipeline(&data, i, 7).unwrap()).unwrap();
-            let score = crate::runner::terminal_eval_score(&dag).unwrap();
+            let score = terminal_eval_score(&dag).unwrap();
             assert!((0.0..=1.0).contains(&score), "run {i}: score {score}");
         }
     }

@@ -99,6 +99,16 @@ fn open(config: ServerConfig, dir: &PathBuf) -> (OptimizerServer, co_core::Recov
     OptimizerServer::open(config, DurabilityConfig::new(dir)).unwrap()
 }
 
+/// After any crash-and-recover sequence, the live graph and an offline
+/// replay of the data directory must both satisfy every egfsck
+/// invariant.
+fn assert_fsck_clean(server: &OptimizerServer, dir: &std::path::Path) {
+    let live = co_graph::fsck::check_graph(&server.eg());
+    assert!(live.is_clean(), "live graph: {live}");
+    let offline = co_graph::fsck::check_data_dir(dir, true).unwrap();
+    assert!(offline.is_clean(), "data dir: {offline}");
+}
+
 #[test]
 fn journal_crash_points_recover_the_committed_prefix() {
     for point in [CrashPoint::JournalMidAppend, CrashPoint::JournalPreFsync] {
@@ -143,6 +153,7 @@ fn journal_crash_points_recover_the_committed_prefix() {
         drop(reopened);
         let (third, _) = open(config, &dir);
         assert_eq!(fingerprint(&third), after);
+        assert_fsck_clean(&third, &dir);
     }
 }
 
@@ -186,6 +197,7 @@ fn snapshot_crash_points_never_damage_the_live_snapshot() {
         let (third, recovery) = open(config, &dir);
         assert_eq!(fingerprint(&third), committed);
         assert_eq!(recovery.journal_records_replayed, 0, "journal compacted");
+        assert_fsck_clean(&third, &dir);
     }
 }
 
@@ -222,6 +234,7 @@ fn torn_tail_is_truncated_and_reported() {
     assert!(!recovery.torn_tail_truncated);
     assert_eq!(recovery.journal_records_replayed, 2);
     assert_eq!(third.stats().torn_tail_truncated, 0);
+    assert_fsck_clean(&third, &dir);
 }
 
 #[test]
@@ -266,6 +279,7 @@ fn quarantine_survives_restart() {
     assert_eq!(recovery.quarantine_restored, 0);
     assert!(fingerprint(&third).quarantine.is_empty());
     third.run_workload(workload("tail_one")).unwrap();
+    assert_fsck_clean(&third, &dir);
 }
 
 #[test]
@@ -286,6 +300,7 @@ fn journal_threshold_triggers_auto_compaction() {
     assert!(recovery.snapshot_loaded);
     assert_eq!(recovery.journal_records_replayed, 0);
     assert_eq!(fingerprint(&reopened), committed);
+    assert_fsck_clean(&reopened, &dir);
 }
 
 #[test]
@@ -314,4 +329,5 @@ fn eviction_is_durable() {
         committed,
         "eviction survives restart"
     );
+    assert_fsck_clean(&reopened, &dir);
 }

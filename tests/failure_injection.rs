@@ -171,6 +171,7 @@ fn workload_without_terminals_is_rejected_cleanly() {
 #[test]
 fn type_mismatches_surface_as_operation_errors() {
     // Feed an Aggregate into a dataset-expecting op via a custom source.
+    // The static validator catches this before anything executes.
     let server = OptimizerServer::new(ServerConfig::baseline());
     let mut dag = WorkloadDag::new();
     let s = dag.add_source("scalar_src", Value::Aggregate(Scalar::Float(1.0)));
@@ -184,11 +185,15 @@ fn type_mismatches_surface_as_operation_errors() {
         .unwrap();
     dag.mark_terminal(bad).unwrap();
     let err = server.run_workload(dag).unwrap_err();
-    assert!(
-        matches!(err.error, GraphError::BadOperationInput { .. }),
-        "{err}"
-    );
-    // Bad input is permanent: no retries were burned on it.
+    match &err.error {
+        GraphError::InvalidWorkload { diagnostics } => {
+            assert_eq!(diagnostics.len(), 1, "{err}");
+            assert!(diagnostics[0].contains("bad-input-kind"), "{err}");
+            assert!(diagnostics[0].contains("scalar_src"), "{err}");
+        }
+        other => panic!("expected InvalidWorkload, got {other}"),
+    }
+    // Rejection predates execution: no retries were burned on it.
     assert_eq!(err.report.retries, 0);
 }
 
