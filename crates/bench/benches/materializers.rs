@@ -27,6 +27,7 @@ fn populated_eg(dedup: bool) -> (ExperimentGraph, HashMap<ArtifactId, Value>) {
         warmstart: false,
         retry: co_core::RetryPolicy::default(),
         quarantine_after: Some(3),
+        df_threads: None,
     });
     let mut available = HashMap::new();
     for dag in kaggle::all_workloads(&data).expect("builds") {

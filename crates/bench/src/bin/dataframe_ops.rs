@@ -1,0 +1,268 @@
+//! Before/after benchmark for the dataframe kernels.
+//!
+//! "Before" is the seed's algorithms, embedded here verbatim in shape:
+//! SipHash `std::collections::HashMap` for the join build and group-by key
+//! collection, a fresh `Vec<f64>` allocated per group for aggregation, and
+//! deep per-column gathers. "After" is the shipped kernels
+//! (`co_dataframe::ops`): FxHash-style deterministic hashing, partitioned
+//! chunk-parallel build/probe, one scratch buffer per chunk, and zero-copy
+//! column views — run at 1 thread and at 4 threads via
+//! [`co_dataframe::par::with_config`].
+//!
+//! Emits `BENCH_dataframe_ops.json`. `host_cpus` records the machine's
+//! actual parallelism so a 4-thread series on a smaller host can be read
+//! for what it is; the kernels are bit-identical for any thread count, so
+//! thread counts only move throughput.
+//!
+//! Default scale is 1M left rows (`--quick` for 100k, used by the CI smoke
+//! job).
+
+use co_bench::write_json;
+use co_dataframe::ops::{self, AggFn, Predicate};
+use co_dataframe::{par, Column, ColumnData, DataFrame};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Numeric table: `rows` rows, `rows/4` distinct int keys and two float
+/// features. The join benches run on these — string payload columns would
+/// spend most of the time on `String` clones that cost the same in every
+/// variant and drown out the kernel difference.
+fn table(rows: usize, keys: i64) -> DataFrame {
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_wrap)]
+    DataFrame::new(vec![
+        Column::source(
+            "bench",
+            "sk_id",
+            ColumnData::Int(
+                (0..rows)
+                    .map(|i| (i as i64).wrapping_mul(2654435761) % keys)
+                    .collect(),
+            ),
+        ),
+        Column::source(
+            "bench",
+            "x",
+            ColumnData::Float((0..rows).map(|i| (i as f64).sin()).collect()),
+        ),
+        Column::source(
+            "bench",
+            "y",
+            ColumnData::Float((0..rows).map(|i| (i as f64).mul_add(0.5, 1.0)).collect()),
+        ),
+    ])
+    .expect("equal lengths")
+}
+
+/// The numeric table plus a low-cardinality category column, for the
+/// string-heavy kernels (`filter` keeps it, `one_hot` encodes it).
+fn table_with_cat(rows: usize, keys: i64) -> DataFrame {
+    let base = table(rows, keys);
+    let mut cols: Vec<Column> = base.columns().to_vec();
+    cols.push(Column::source(
+        "bench",
+        "cat",
+        ColumnData::Str((0..rows).map(|i| format!("c{}", i % 8)).collect()),
+    ));
+    DataFrame::new(cols).expect("equal lengths")
+}
+
+/// The seed's inner join: SipHash build, serial probe, deep gathers.
+fn seed_inner_join(left: &DataFrame, right: &DataFrame, on: &str) -> DataFrame {
+    let lkey = left.column(on).unwrap().ints().unwrap().to_vec();
+    let rkey = right.column(on).unwrap().ints().unwrap().to_vec();
+    let mut index: HashMap<i64, Vec<usize>> = HashMap::with_capacity(rkey.len());
+    for (i, &k) in rkey.iter().enumerate() {
+        index.entry(k).or_default().push(i);
+    }
+    let mut lrows: Vec<usize> = Vec::new();
+    let mut rrows: Vec<usize> = Vec::new();
+    for (i, k) in lkey.iter().enumerate() {
+        if let Some(matches) = index.get(k) {
+            for &j in matches {
+                lrows.push(i);
+                rrows.push(j);
+            }
+        }
+    }
+    let gather_f = |v: &[f64], rows: &[usize]| -> Vec<f64> { rows.iter().map(|&i| v[i]).collect() };
+    let key: Vec<i64> = lrows.iter().map(|&i| lkey[i]).collect();
+    let lx = gather_f(left.column("x").unwrap().floats().unwrap(), &lrows);
+    let ly = gather_f(left.column("y").unwrap().floats().unwrap(), &lrows);
+    let rx = gather_f(right.column("x").unwrap().floats().unwrap(), &rrows);
+    let ry = gather_f(right.column("y").unwrap().floats().unwrap(), &rrows);
+    DataFrame::new(vec![
+        Column::source("seed", "sk_id", ColumnData::Int(key)),
+        Column::source("seed", "x", ColumnData::Float(lx)),
+        Column::source("seed", "y", ColumnData::Float(ly)),
+        Column::source("seed", "x_r", ColumnData::Float(rx)),
+        Column::source("seed", "y_r", ColumnData::Float(ry)),
+    ])
+    .expect("equal lengths")
+}
+
+/// The seed's group-by: SipHash key collection, a fresh `Vec<f64>` per
+/// group.
+fn seed_groupby_mean(df: &DataFrame, key: &str, col: &str) -> DataFrame {
+    let ints = df.column(key).unwrap().ints().unwrap();
+    let values = df.column(col).unwrap().to_f64().unwrap();
+    let mut map: HashMap<i64, Vec<usize>> = HashMap::new();
+    for (i, &k) in ints.iter().enumerate() {
+        map.entry(k).or_default().push(i);
+    }
+    let mut pairs: Vec<(i64, Vec<usize>)> = map.into_iter().collect();
+    pairs.sort_unstable_by_key(|(k, _)| *k);
+    let agged: Vec<f64> = pairs
+        .iter()
+        .map(|(_, rows)| {
+            let slice: Vec<f64> = rows.iter().map(|&i| values[i]).collect();
+            AggFn::Mean.apply(&slice)
+        })
+        .collect();
+    let keys: Vec<i64> = pairs.into_iter().map(|(k, _)| k).collect();
+    DataFrame::new(vec![
+        Column::source("seed", key, ColumnData::Int(keys)),
+        Column::source("seed", "mean", ColumnData::Float(agged)),
+    ])
+    .expect("equal lengths")
+}
+
+/// Best-of-`iters` wall time of `f`, seconds.
+fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Entry {
+    op: &'static str,
+    variant: &'static str,
+    threads: usize,
+    seconds: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = if quick { 100_000 } else { 1_000_000 };
+    let iters = if quick { 3 } else { 5 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let left = table(rows, (rows / 4) as i64);
+    let right = table(rows / 2, (rows / 4) as i64);
+    let cat_frame = table_with_cat(rows, (rows / 4) as i64);
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut push = |op, variant, threads, seconds| {
+        println!("  {op:<14} {variant:<13} threads={threads}  {seconds:>9.4}s");
+        entries.push(Entry {
+            op,
+            variant,
+            threads,
+            seconds,
+        });
+    };
+
+    println!("dataframe ops ({rows} rows, best of {iters}, host_cpus={host_cpus})");
+
+    // Seed baselines (single-threaded by construction).
+    push(
+        "inner_join",
+        "seed_baseline",
+        1,
+        best_of(iters, || {
+            black_box(seed_inner_join(&left, &right, "sk_id"));
+        }),
+    );
+    push(
+        "groupby_mean",
+        "seed_baseline",
+        1,
+        best_of(iters, || {
+            black_box(seed_groupby_mean(&left, "sk_id", "x"));
+        }),
+    );
+
+    // The shipped kernels at 1 and 4 threads.
+    for threads in [1usize, 4] {
+        par::with_config(threads, 16 * 1024, || {
+            push(
+                "inner_join",
+                "kernel",
+                threads,
+                best_of(iters, || {
+                    black_box(ops::inner_join(&left, &right, "sk_id").expect("joins"));
+                }),
+            );
+            push(
+                "groupby_mean",
+                "kernel",
+                threads,
+                best_of(iters, || {
+                    black_box(
+                        ops::groupby_agg(&left, "sk_id", &[("x", AggFn::Mean)]).expect("groups"),
+                    );
+                }),
+            );
+            push(
+                "filter",
+                "kernel",
+                threads,
+                best_of(iters, || {
+                    black_box(
+                        ops::filter(&cat_frame, &Predicate::gt_f("x", 0.0)).expect("filters"),
+                    );
+                }),
+            );
+            push(
+                "one_hot",
+                "kernel",
+                threads,
+                best_of(iters, || {
+                    black_box(ops::one_hot(&cat_frame, "cat", 8).expect("encodes"));
+                }),
+            );
+        });
+    }
+
+    // Headline speedups: best kernel time (any thread count) vs seed.
+    let best_kernel = |op: &str| {
+        entries
+            .iter()
+            .filter(|e| e.op == op && e.variant == "kernel")
+            .map(|e| e.seconds)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let seed_time = |op: &str| {
+        entries
+            .iter()
+            .find(|e| e.op == op && e.variant == "seed_baseline")
+            .map_or(f64::NAN, |e| e.seconds)
+    };
+    let join_speedup = seed_time("inner_join") / best_kernel("inner_join");
+    let groupby_speedup = seed_time("groupby_mean") / best_kernel("groupby_mean");
+    println!("  speedup vs seed: inner_join {join_speedup:.2}x, groupby {groupby_speedup:.2}x");
+
+    let results: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"op\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
+                 \"seconds_per_iter\": {:.6}}}",
+                e.op, e.variant, e.threads, e.seconds
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"dataframe_ops\",\n  \"rows\": {rows},\n  \
+         \"iters\": {iters},\n  \"host_cpus\": {host_cpus},\n  \
+         \"speedup_vs_seed\": {{\"inner_join\": {join_speedup:.3}, \
+         \"groupby_mean\": {groupby_speedup:.3}}},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    );
+    write_json("BENCH_dataframe_ops.json", &json);
+}

@@ -85,6 +85,7 @@ pub fn run() {
             warmstart: false,
             retry: co_core::RetryPolicy::default(),
             quarantine_after: Some(3),
+            df_threads: None,
         });
         let cum = scenario_cumulative(&server, &data, n);
         println!(

@@ -38,6 +38,7 @@ pub fn server(materializer: MaterializerKind, reuse: ReuseKind, budget: u64) -> 
         warmstart: false,
         retry: co_core::RetryPolicy::default(),
         quarantine_after: Some(3),
+        df_threads: None,
     })
 }
 

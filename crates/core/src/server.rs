@@ -79,6 +79,12 @@ pub struct ServerConfig {
     /// Quarantine operations after this many consecutive permanent
     /// failures (`None` disables the quarantine).
     pub quarantine_after: Option<usize>,
+    /// Worker threads for the dataframe kernels (join, group-by, map,
+    /// filter, encode). `None` keeps the dataframe layer's own resolution:
+    /// the `CO_DF_THREADS` environment variable if set, else the machine's
+    /// available parallelism. The kernels are bit-identical for any thread
+    /// count, so this is purely a throughput/footprint knob.
+    pub df_threads: Option<usize>,
 }
 
 impl ServerConfig {
@@ -95,6 +101,7 @@ impl ServerConfig {
             warmstart: false,
             retry: RetryPolicy::default(),
             quarantine_after: Some(3),
+            df_threads: None,
         }
     }
 
@@ -111,6 +118,7 @@ impl ServerConfig {
             warmstart: false,
             retry: RetryPolicy::default(),
             quarantine_after: Some(3),
+            df_threads: None,
         }
     }
 
@@ -126,6 +134,7 @@ impl ServerConfig {
             warmstart: false,
             retry: RetryPolicy::default(),
             quarantine_after: Some(3),
+            df_threads: None,
         }
     }
 }
@@ -252,6 +261,12 @@ impl OptimizerServer {
     /// [`new`]: OptimizerServer::new
     /// [`with_graph`]: OptimizerServer::with_graph
     fn build(config: ServerConfig, eg: ExperimentGraph) -> Self {
+        if let Some(n) = config.df_threads {
+            // Process-wide: the dataframe kernels' outputs are identical
+            // for any thread count, so late application by a second server
+            // only changes throughput, never results.
+            co_dataframe::par::set_threads(n);
+        }
         let materializer: Box<dyn Materializer> = match config.materializer {
             MaterializerKind::StorageAware => Box::new(StorageAwareMaterializer {
                 budget: config.budget,

@@ -163,45 +163,127 @@ impl ColumnData {
             }),
         }
     }
+
+    /// Copy of the sub-range `[offset, offset + len)`.
+    ///
+    /// Used to compact a sliced [`Column`] view into an owned buffer when a
+    /// caller needs the data itself (e.g. the artifact store).
+    #[must_use]
+    pub fn slice_copy(&self, offset: usize, len: usize) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => ColumnData::Int(v[offset..offset + len].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[offset..offset + len].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[offset..offset + len].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[offset..offset + len].to_vec()),
+        }
+    }
+
+    /// Append all rows of `other` to `self`; fails on dtype mismatch.
+    pub fn append(&mut self, other: &ColumnData) -> Result<()> {
+        match (self, other) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend_from_slice(b),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            (me, other) => {
+                return Err(DfError::TypeMismatch {
+                    column: String::new(),
+                    expected: me.dtype().name(),
+                    found: other.dtype().name(),
+                })
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A named column with lineage id and shared immutable data.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A column is a *view* — `(offset, len)` — over an [`Arc`]'d buffer, so
+/// contiguous row selections (`head`, a `take_rows` whose indices form an
+/// ascending run, alignment) are O(1) and share the buffer instead of
+/// deep-copying it. Freshly constructed columns view their whole buffer;
+/// [`Column::slice`] narrows the view without copying.
+#[derive(Debug, Clone)]
 pub struct Column {
     name: String,
     id: ColumnId,
     data: Arc<ColumnData>,
+    offset: usize,
+    len: usize,
+}
+
+/// Columns compare by name, lineage id, and *logical* content: a sliced
+/// view equals a compacted copy of the same rows. (Float comparison
+/// follows `f64`: `NaN != NaN`, matching the previous derived impl.)
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        fn rng<T>(v: &[T], c: &Column) -> std::ops::Range<usize> {
+            debug_assert!(c.offset + c.len <= v.len());
+            c.offset..c.offset + c.len
+        }
+        self.name == other.name
+            && self.id == other.id
+            && self.len == other.len
+            && match (self.data.as_ref(), other.data.as_ref()) {
+                (ColumnData::Int(a), ColumnData::Int(b)) => a[rng(a, self)] == b[rng(b, other)],
+                (ColumnData::Float(a), ColumnData::Float(b)) => a[rng(a, self)] == b[rng(b, other)],
+                (ColumnData::Str(a), ColumnData::Str(b)) => a[rng(a, self)] == b[rng(b, other)],
+                (ColumnData::Bool(a), ColumnData::Bool(b)) => a[rng(a, self)] == b[rng(b, other)],
+                _ => false,
+            }
+    }
 }
 
 impl Column {
     /// A raw source column (id derived from dataset + column name).
     #[must_use]
     pub fn source(dataset: &str, name: &str, data: ColumnData) -> Self {
-        Column {
-            name: name.to_owned(),
-            id: ColumnId::source(dataset, name),
-            data: Arc::new(data),
-        }
+        Column::from_arc(name, ColumnId::source(dataset, name), Arc::new(data))
     }
 
     /// A column produced by an operation, with an explicitly derived id.
     #[must_use]
     pub fn derived(name: &str, id: ColumnId, data: ColumnData) -> Self {
-        Column {
-            name: name.to_owned(),
-            id,
-            data: Arc::new(data),
-        }
+        Column::from_arc(name, id, Arc::new(data))
     }
 
     /// A column wrapping already-shared data (no copy).
     #[must_use]
     pub fn from_arc(name: &str, id: ColumnId, data: Arc<ColumnData>) -> Self {
+        let len = data.len();
         Column {
             name: name.to_owned(),
             id,
             data,
+            offset: 0,
+            len,
         }
+    }
+
+    /// Zero-copy view of `len` rows starting at `offset` (relative to this
+    /// view). Name and id are preserved; callers that slice *semantically*
+    /// derive new ids on top.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Column> {
+        if offset + len > self.len {
+            return Err(DfError::InvalidArgument(format!(
+                "slice [{offset}, {offset}+{len}) out of bounds for column {:?} of length {}",
+                self.name, self.len
+            )));
+        }
+        Ok(Column {
+            name: self.name.clone(),
+            id: self.id,
+            data: Arc::clone(&self.data),
+            offset: self.offset + offset,
+            len,
+        })
+    }
+
+    /// True when this view covers its whole underlying buffer.
+    #[must_use]
+    pub fn is_full_view(&self) -> bool {
+        self.offset == 0 && self.len == self.data.len()
     }
 
     /// Column name.
@@ -222,28 +304,51 @@ impl Column {
         self.data.dtype()
     }
 
-    /// Number of rows.
+    /// Number of rows in this view.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when the column has no rows.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Content size in bytes.
+    /// Content size in bytes (of this view's rows).
     #[must_use]
     pub fn nbytes(&self) -> usize {
-        self.data.nbytes()
+        match self.data.as_ref() {
+            ColumnData::Int(_) | ColumnData::Float(_) => self.len * 8,
+            ColumnData::Bool(_) => self.len,
+            ColumnData::Str(v) => v[self.offset..self.offset + self.len]
+                .iter()
+                .map(|s| s.len() + 8)
+                .sum(),
+        }
     }
 
-    /// Shared handle to the underlying data.
+    /// Shared handle to this view's data.
+    ///
+    /// A full view hands back the underlying buffer (no copy, pointer
+    /// equality preserved — the artifact store's dedup relies on this); a
+    /// proper slice compacts its rows into a fresh buffer first, so the
+    /// result always has exactly [`Column::len`] rows.
     #[must_use]
-    pub fn data(&self) -> &Arc<ColumnData> {
-        &self.data
+    pub fn data(&self) -> Arc<ColumnData> {
+        if self.is_full_view() {
+            Arc::clone(&self.data)
+        } else {
+            Arc::new(self.data.slice_copy(self.offset, self.len))
+        }
+    }
+
+    /// Owned copy of this view's rows (always materializes, even for full
+    /// views — use [`Column::data`] when sharing is acceptable).
+    #[must_use]
+    pub fn to_data(&self) -> ColumnData {
+        self.data.slice_copy(self.offset, self.len)
     }
 
     /// Same data, new name, same id (renaming does not change lineage).
@@ -251,25 +356,20 @@ impl Column {
     pub fn renamed(&self, name: &str) -> Column {
         Column {
             name: name.to_owned(),
-            id: self.id,
-            data: Arc::clone(&self.data),
+            ..self.clone()
         }
     }
 
     /// Same data and name with a different lineage id.
     #[must_use]
     pub fn with_id(&self, id: ColumnId) -> Column {
-        Column {
-            name: self.name.clone(),
-            id,
-            data: Arc::clone(&self.data),
-        }
+        Column { id, ..self.clone() }
     }
 
     /// Integer slice view, or a type error.
     pub fn ints(&self) -> Result<&[i64]> {
         match self.data.as_ref() {
-            ColumnData::Int(v) => Ok(v),
+            ColumnData::Int(v) => Ok(&v[self.offset..self.offset + self.len]),
             other => Err(self.type_err("int", other)),
         }
     }
@@ -277,7 +377,7 @@ impl Column {
     /// Float slice view, or a type error.
     pub fn floats(&self) -> Result<&[f64]> {
         match self.data.as_ref() {
-            ColumnData::Float(v) => Ok(v),
+            ColumnData::Float(v) => Ok(&v[self.offset..self.offset + self.len]),
             other => Err(self.type_err("float", other)),
         }
     }
@@ -285,7 +385,7 @@ impl Column {
     /// String slice view, or a type error.
     pub fn strs(&self) -> Result<&[String]> {
         match self.data.as_ref() {
-            ColumnData::Str(v) => Ok(v),
+            ColumnData::Str(v) => Ok(&v[self.offset..self.offset + self.len]),
             other => Err(self.type_err("str", other)),
         }
     }
@@ -293,24 +393,40 @@ impl Column {
     /// Bool slice view, or a type error.
     pub fn bools(&self) -> Result<&[bool]> {
         match self.data.as_ref() {
-            ColumnData::Bool(v) => Ok(v),
+            ColumnData::Bool(v) => Ok(&v[self.offset..self.offset + self.len]),
             other => Err(self.type_err("bool", other)),
         }
     }
 
     /// Numeric (`f64`) copy of the column; ints and bools cast.
     pub fn to_f64(&self) -> Result<Vec<f64>> {
-        self.data.to_f64().map_err(|_| DfError::TypeMismatch {
-            column: self.name.clone(),
-            expected: "numeric",
-            found: self.dtype().name(),
-        })
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Ok(v[self.offset..self.offset + self.len]
+                .iter()
+                .map(|&x| x as f64)
+                .collect()),
+            ColumnData::Float(v) => Ok(v[self.offset..self.offset + self.len].to_vec()),
+            ColumnData::Bool(v) => Ok(v[self.offset..self.offset + self.len]
+                .iter()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect()),
+            ColumnData::Str(_) => Err(DfError::TypeMismatch {
+                column: self.name.clone(),
+                expected: "numeric",
+                found: "str",
+            }),
+        }
     }
 
-    /// Value at row `i`.
+    /// Value at row `i` of this view.
     #[must_use]
     pub fn get(&self, i: usize) -> Scalar {
-        self.data.get(i)
+        assert!(
+            i < self.len,
+            "row {i} out of bounds for view of {}",
+            self.len
+        );
+        self.data.get(self.offset + i)
     }
 
     fn type_err(&self, expected: &'static str, found: &ColumnData) -> DfError {
@@ -369,7 +485,33 @@ mod tests {
         let r = c.renamed("cost");
         assert_eq!(r.name(), "cost");
         assert_eq!(r.id(), c.id());
-        assert!(Arc::ptr_eq(c.data(), r.data()));
+        assert!(Arc::ptr_eq(&c.data(), &r.data()));
+    }
+
+    #[test]
+    fn slice_views_share_and_compact() {
+        let c = Column::source("t", "a", ColumnData::Int(vec![10, 20, 30, 40, 50]));
+        let v = c.slice(1, 3).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.ints().unwrap(), &[20, 30, 40]);
+        assert_eq!(v.get(0), Scalar::Int(20));
+        assert_eq!(v.nbytes(), 24);
+        // Slicing a slice composes offsets.
+        let vv = v.slice(1, 2).unwrap();
+        assert_eq!(vv.ints().unwrap(), &[30, 40]);
+        // data() compacts proper slices but shares full views.
+        assert_eq!(v.data().as_ref(), &ColumnData::Int(vec![20, 30, 40]));
+        assert!(Arc::ptr_eq(&c.data(), &c.slice(0, 5).unwrap().data()));
+        assert!(c.slice(3, 3).is_err());
+    }
+
+    #[test]
+    fn views_compare_logically() {
+        let c = Column::source("t", "a", ColumnData::Int(vec![1, 2, 3, 4]));
+        let view = c.slice(1, 2).unwrap();
+        let copy = Column::from_arc("a", c.id(), view.data());
+        assert_eq!(view, copy);
+        assert_ne!(view, c.slice(0, 2).unwrap());
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub enum DfError {
     Csv { line: usize, message: String },
     /// Invalid argument (bad parameter value, empty selection, ...).
     InvalidArgument(String),
+    /// An invariant the kernel established earlier no longer holds, or a
+    /// worker thread died. Replaces what used to be a panic path: with
+    /// chunk-parallel kernels a panic on a pool thread is not confined by
+    /// the executor's `catch_unwind`, so kernels must not panic at all.
+    Internal(String),
+    /// A type promotion would silently change a value (e.g. `left_join`
+    /// widening an `Int` column to `Float` when it holds a value with
+    /// |v| > 2^53, which `f64` cannot represent exactly).
+    LossyCast { column: String, value: i64 },
 }
 
 impl fmt::Display for DfError {
@@ -60,6 +69,14 @@ impl fmt::Display for DfError {
             DfError::Empty(context) => write!(f, "empty input: {context}"),
             DfError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
             DfError::InvalidArgument(message) => write!(f, "invalid argument: {message}"),
+            DfError::Internal(message) => write!(f, "internal error: {message}"),
+            DfError::LossyCast { column, value } => {
+                write!(
+                    f,
+                    "lossy cast on column {column:?}: {value} exceeds 2^53 and cannot be \
+                     represented exactly as f64"
+                )
+            }
         }
     }
 }
@@ -86,5 +103,13 @@ mod tests {
             found: "str",
         };
         assert!(err.to_string().contains("float"));
+        let err = DfError::Internal("worker thread panicked".into());
+        assert!(err.to_string().contains("internal error"));
+        let err = DfError::LossyCast {
+            column: "id".into(),
+            value: (1i64 << 53) + 1,
+        };
+        assert!(err.to_string().contains("id"));
+        assert!(err.to_string().contains("2^53"));
     }
 }

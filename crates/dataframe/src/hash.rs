@@ -69,6 +69,116 @@ pub fn combine_all(parts: &[u64]) -> u64 {
     hash
 }
 
+/// A fast, deterministic hasher for the kernel-internal hash maps (join
+/// builds, group-by key collection, category counting).
+///
+/// `std`'s default SipHash is keyed per-process and costs ~10× more per
+/// `i64` key than a multiply-xor mix; the kernels hash millions of keys
+/// per call, so the hasher shows up directly in join/group-by wall time.
+/// This is an FxHash-style word-at-a-time mix: not DoS-resistant (the
+/// kernels hash data we already hold in memory, not attacker-controlled
+/// network input) but deterministic across runs, which also keeps any
+/// incidental map-iteration order stable between executions.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher {
+    state: u64,
+}
+
+/// Odd multiplier from splitmix64's finalizer; any odd constant with good
+/// bit dispersion works.
+const FAST_K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        // Final avalanche so low-entropy keys (small ints) spread over the
+        // high bits HashMap's mask uses.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(FAST_K);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] (zero-sized, deterministic).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastBuild;
+
+impl std::hash::BuildHasher for FastBuild {
+    type Hasher = FastHasher;
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+/// A `HashMap` keyed with the deterministic [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuild>;
+
+/// An empty [`FastMap`].
+#[must_use]
+pub fn fast_map<K, V>() -> FastMap<K, V> {
+    FastMap::with_hasher(FastBuild)
+}
+
+/// An empty [`FastMap`] with capacity.
+#[must_use]
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(capacity, FastBuild)
+}
+
+/// Deterministic hash partition of a key: which of `parts` buckets it
+/// belongs to. A key maps to exactly one partition for a given count, so
+/// partitioned kernels produce identical output for any thread count.
+#[must_use]
+pub fn partition_of<K: std::hash::Hash + ?Sized>(key: &K, parts: usize) -> usize {
+    use std::hash::BuildHasher;
+    (FastBuild.hash_one(key) % parts.max(1) as u64) as usize
+}
+
+/// Decide whether a set of `n` integer keys is dense enough for a
+/// direct-address table: returns `(min, span)` when the key span costs at
+/// most ~4 table slots per key, `None` for sparse keys (hash instead).
+///
+/// Entity-id key columns (the paper's `SK_ID_CURR`-style keys) are almost
+/// always dense ranges, where a flat array beats any hash map: one bounds
+/// check and one load per key, zero hashing.
+pub(crate) fn dense_key_span(keys: impl Iterator<Item = i64>, n: usize) -> Option<(i64, usize)> {
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    for k in keys {
+        min = min.min(k);
+        max = max.max(k);
+    }
+    if n == 0 {
+        return None;
+    }
+    let span = i128::from(max) - i128::from(min) + 1;
+    if span <= (n as i128) * 4 + 1024 {
+        #[allow(clippy::cast_possible_truncation)] // bounded by 4n + 1024
+        Some((min, span as usize))
+    } else {
+        None
+    }
+}
+
 /// Render a float so that it hashes stably (`1` and `1.0` agree, NaN is
 /// canonical).
 #[must_use]

@@ -47,6 +47,7 @@ pub mod error;
 pub mod frame;
 pub mod hash;
 pub mod ops;
+pub mod par;
 pub mod scalar;
 pub mod schema;
 

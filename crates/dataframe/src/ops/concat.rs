@@ -12,10 +12,11 @@
 //!   single-output operations, mirroring the paper's own re-implementation
 //!   note.
 
-use crate::column::{Column, ColumnId};
+use crate::column::{Column, ColumnData, ColumnId};
 use crate::error::{DfError, Result};
 use crate::frame::DataFrame;
 use crate::hash;
+use crate::par;
 
 /// Stable operation signature for [`hconcat`].
 #[must_use]
@@ -80,13 +81,19 @@ pub fn vconcat(frames: &[&DataFrame]) -> Result<DataFrame> {
             });
         }
     }
-    let mut out = Vec::with_capacity(first.n_cols());
-    for (ci, base) in first.columns().iter().enumerate() {
+    // Columns stack independently, so fan the per-column work out as
+    // tasks; task order = column order, keeping the output deterministic.
+    let out = par::run_tasks(first.n_cols(), |ci| {
+        let base = first.column_at(ci).ok_or_else(|| {
+            DfError::Internal(format!("vconcat: column {ci} missing after count check"))
+        })?;
         let mut ids = Vec::with_capacity(frames.len());
-        let mut stacked = base.data().as_ref().clone();
+        let mut stacked = base.to_data();
         ids.push(base.id());
         for f in &frames[1..] {
-            let c = f.column_at(ci).expect("column count checked above");
+            let c = f.column_at(ci).ok_or_else(|| {
+                DfError::Internal(format!("vconcat: column {ci} missing after count check"))
+            })?;
             if c.name() != base.name() || c.dtype() != base.dtype() {
                 return Err(DfError::TypeMismatch {
                     column: c.name().to_owned(),
@@ -95,24 +102,25 @@ pub fn vconcat(frames: &[&DataFrame]) -> Result<DataFrame> {
                 });
             }
             ids.push(c.id());
-            stacked = append(stacked, c);
+            append(&mut stacked, c)?;
         }
         let id = ColumnId::derive_many(&ids, sig);
-        out.push(Column::derived(base.name(), id, stacked));
-    }
+        Ok(Column::derived(base.name(), id, stacked))
+    })?;
     DataFrame::new(out)
 }
 
-fn append(mut acc: crate::column::ColumnData, col: &Column) -> crate::column::ColumnData {
-    use crate::column::ColumnData as CD;
-    match (&mut acc, col.data().as_ref()) {
-        (CD::Int(a), CD::Int(b)) => a.extend_from_slice(b),
-        (CD::Float(a), CD::Float(b)) => a.extend_from_slice(b),
-        (CD::Str(a), CD::Str(b)) => a.extend_from_slice(b),
-        (CD::Bool(a), CD::Bool(b)) => a.extend_from_slice(b),
-        _ => unreachable!("dtype equality checked by caller"),
+/// Append a column's rows to an accumulator of the same dtype. The caller
+/// checks dtype equality first, so the type errors here are defensive (and
+/// replace what used to be an `unreachable!`).
+fn append(acc: &mut ColumnData, col: &Column) -> Result<()> {
+    match acc {
+        ColumnData::Int(a) => a.extend_from_slice(col.ints()?),
+        ColumnData::Float(a) => a.extend_from_slice(col.floats()?),
+        ColumnData::Str(a) => a.extend_from_slice(col.strs()?),
+        ColumnData::Bool(a) => a.extend_from_slice(col.bools()?),
     }
-    acc
+    Ok(())
 }
 
 /// Stable operation signature for [`align`]. `side` is 0 for the left output

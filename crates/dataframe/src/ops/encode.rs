@@ -5,8 +5,8 @@
 use crate::column::{Column, ColumnData};
 use crate::error::{DfError, Result};
 use crate::frame::DataFrame;
-use crate::hash;
-use std::collections::HashMap;
+use crate::hash::{self, fast_map, FastMap};
+use crate::par;
 
 /// Stable operation signature for [`one_hot`].
 #[must_use]
@@ -35,9 +35,21 @@ pub fn one_hot(df: &DataFrame, col: &str, max_categories: usize) -> Result<DataF
     })?;
     let sig = one_hot_signature(col, max_categories);
 
-    let mut counts: HashMap<&str, usize> = HashMap::new();
-    for v in values {
-        *counts.entry(v.as_str()).or_insert(0) += 1;
+    // Count category frequencies chunk-parallel; summing the per-chunk
+    // counts is order-insensitive, and the category *order* below comes
+    // from an explicit sort, so the result is thread-count independent.
+    let chunk_counts: Vec<FastMap<&str, usize>> = par::run_chunks(values.len(), |_ci, s, e| {
+        let mut counts: FastMap<&str, usize> = fast_map();
+        for v in &values[s..e] {
+            *counts.entry(v.as_str()).or_insert(0) += 1;
+        }
+        Ok(counts)
+    })?;
+    let mut counts: FastMap<&str, usize> = fast_map();
+    for m in chunk_counts {
+        for (k, n) in m {
+            *counts.entry(k).or_insert(0) += n;
+        }
     }
     let mut cats: Vec<(&str, usize)> = counts.into_iter().collect();
     // Most frequent first; ties by value so the output is deterministic.
@@ -46,10 +58,13 @@ pub fn one_hot(df: &DataFrame, col: &str, max_categories: usize) -> Result<DataF
 
     let mut out = df.drop_columns(&[col])?;
     for (cat, _) in cats {
-        let data: Vec<f64> = values
-            .iter()
-            .map(|v| if v == cat { 1.0 } else { 0.0 })
-            .collect();
+        let mut data = vec![0.0f64; values.len()];
+        par::fill_chunks(&mut data, |_ci, start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = if values[start + off] == cat { 1.0 } else { 0.0 };
+            }
+            Ok(())
+        })?;
         let cat_sig = hash::fnv1a_parts(&["one_hot_cat", cat]);
         let id = source.id().derive(hash::combine(sig, cat_sig));
         out = out.with_column(Column::derived(
@@ -81,13 +96,22 @@ pub fn label_encode(df: &DataFrame, col: &str) -> Result<DataFrame> {
     let mut distinct: Vec<&str> = values.iter().map(String::as_str).collect();
     distinct.sort_unstable();
     distinct.dedup();
-    let codes: HashMap<&str, i64> = distinct
+    let codes: FastMap<&str, i64> = distinct
         .iter()
         .enumerate()
         .map(|(i, &v)| (v, i as i64))
         .collect();
 
-    let encoded: Vec<i64> = values.iter().map(|v| codes[v.as_str()]).collect();
+    let mut encoded = vec![0i64; values.len()];
+    par::fill_chunks(&mut encoded, |_ci, start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let v = values[start + off].as_str();
+            *slot = codes.get(v).copied().ok_or_else(|| {
+                DfError::Internal(format!("label_encode: value {v:?} missing from code table"))
+            })?;
+        }
+        Ok(())
+    })?;
     df.with_column(Column::derived(
         col,
         source.id().derive(sig),

@@ -4,6 +4,22 @@
 use crate::error::{DfError, Result};
 use crate::frame::DataFrame;
 use crate::hash::{self, float_digest};
+use crate::par;
+
+/// Chunk-parallel elementwise mask: `out[i] = pred(&v[i])`.
+///
+/// Chunks are contiguous and written in place, so the result is identical
+/// to the serial loop for any thread count.
+fn par_mask<T: Sync>(v: &[T], pred: impl Fn(&T) -> bool + Sync) -> Result<Vec<bool>> {
+    let mut out = vec![false; v.len()];
+    par::fill_chunks(&mut out, |_ci, start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = pred(&v[start + off]);
+        }
+        Ok(())
+    })?;
+    Ok(out)
+}
 
 /// A row predicate over one or more columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,30 +151,13 @@ impl Predicate {
             Predicate::GeF { col, value } => numeric_mask(df, col, |x| x >= *value),
             Predicate::LtF { col, value } => numeric_mask(df, col, |x| x < *value),
             Predicate::LeF { col, value } => numeric_mask(df, col, |x| x <= *value),
-            Predicate::EqI { col, value } => Ok(df
-                .column(col)?
-                .ints()?
-                .iter()
-                .map(|&x| x == *value)
-                .collect()),
-            Predicate::NeI { col, value } => Ok(df
-                .column(col)?
-                .ints()?
-                .iter()
-                .map(|&x| x != *value)
-                .collect()),
-            Predicate::EqS { col, value } => {
-                Ok(df.column(col)?.strs()?.iter().map(|x| x == value).collect())
-            }
+            Predicate::EqI { col, value } => par_mask(df.column(col)?.ints()?, |x| x == value),
+            Predicate::NeI { col, value } => par_mask(df.column(col)?.ints()?, |x| x != value),
+            Predicate::EqS { col, value } => par_mask(df.column(col)?.strs()?, |x| x == value),
             Predicate::IsIn { col, values } => {
                 let set: std::collections::HashSet<&str> =
                     values.iter().map(String::as_str).collect();
-                Ok(df
-                    .column(col)?
-                    .strs()?
-                    .iter()
-                    .map(|x| set.contains(x.as_str()))
-                    .collect())
+                par_mask(df.column(col)?.strs()?, |x| set.contains(x.as_str()))
             }
             Predicate::NotNa { col } => numeric_mask(df, col, |x| !x.is_nan()),
             Predicate::And(a, b) => {
@@ -174,9 +173,9 @@ impl Predicate {
     }
 }
 
-fn numeric_mask(df: &DataFrame, col: &str, pred: impl Fn(f64) -> bool) -> Result<Vec<bool>> {
+fn numeric_mask(df: &DataFrame, col: &str, pred: impl Fn(f64) -> bool + Sync) -> Result<Vec<bool>> {
     let values = df.column(col)?.to_f64()?;
-    Ok(values.into_iter().map(pred).collect())
+    par_mask(&values, |&x| pred(x))
 }
 
 /// Stable operation signature for [`filter`].
@@ -202,7 +201,7 @@ pub fn filter(df: &DataFrame, pred: &Predicate) -> Result<DataFrame> {
         .filter(|(_, &m)| m)
         .map(|(i, _)| i)
         .collect();
-    Ok(df.take_rows(&indices).map_ids(|id| id.derive(op)))
+    Ok(df.take_rows(&indices)?.map_ids(|id| id.derive(op)))
 }
 
 /// Stable operation signature for [`dropna`].
@@ -246,7 +245,7 @@ pub fn dropna(df: &DataFrame, subset: &[&str]) -> Result<DataFrame> {
         .filter(|(_, &m)| m)
         .map(|(i, _)| i)
         .collect();
-    Ok(df.take_rows(&indices).map_ids(|id| id.derive(op)))
+    Ok(df.take_rows(&indices)?.map_ids(|id| id.derive(op)))
 }
 
 #[cfg(test)]

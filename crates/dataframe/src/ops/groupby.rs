@@ -1,13 +1,318 @@
 //! Group-by aggregation. The output is a new table (one row per key), so
 //! every output column id is derived: the key column from the key's id, each
 //! aggregate column from the (key, value) id pair plus the aggregate name.
+//!
+//! Grouping is partitioned and chunk-parallel: rows are chunk-scattered to
+//! `hash(key) % P` partitions (per-partition row lists stay in ascending
+//! row order because chunks are merged in chunk order), and each partition
+//! builds a *dense* group index — key → small integer gid via one hash
+//! lookup per row, plus per-gid counts — instead of a map of per-key row
+//! vectors. Aggregates then stream over each partition's rows once per
+//! (column, function) pair with per-gid accumulators: no per-group
+//! allocation, no gather.
+//!
+//! Determinism: the output row order comes from a global sort of the unique
+//! keys, and every accumulator folds its group's values in ascending row
+//! order — the same order a serial scan produces — so the result is
+//! bit-identical for any thread count. Gid numbering *does* depend on the
+//! partition count, but gids never escape this module.
 
 use crate::column::{Column, ColumnData, ColumnId};
 use crate::error::{DfError, Result};
 use crate::frame::DataFrame;
-use crate::hash;
+use crate::hash::{self, fast_map_with_capacity, partition_of, FastMap};
 use crate::ops::AggFn;
-use std::collections::HashMap;
+use crate::par;
+
+/// A partition's share of the group index.
+struct Partition<K> {
+    /// Row indices owned by this partition, ascending. `None` means "all
+    /// rows" (single-partition fast path — avoids materializing 0..n).
+    rows: Option<Vec<u32>>,
+    /// Per-row local gid, parallel to `rows` (or to 0..n).
+    gids: Vec<u32>,
+    /// Local gid → key, in first-seen order.
+    uniq: Vec<K>,
+}
+
+/// Dense group index over a key column.
+struct GroupIndex<K> {
+    parts: Vec<Partition<K>>,
+    /// Output order: `(partition, local gid)` pairs sorted by key.
+    order: Vec<(u32, u32)>,
+}
+
+impl<K: Clone + Eq + Ord + std::hash::Hash + Send + Sync> GroupIndex<K> {
+    fn keys(&self) -> Vec<K> {
+        self.order
+            .iter()
+            .map(|&(p, g)| self.parts[p as usize].uniq[g as usize].clone())
+            .collect()
+    }
+
+    fn n_groups(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// Assign dense gids to a stream of keys (one hash lookup per key).
+fn assign_gids<K: Clone + Eq + std::hash::Hash>(
+    keys: impl Iterator<Item = K>,
+    size_hint: usize,
+) -> (Vec<u32>, Vec<K>) {
+    let mut map: FastMap<K, u32> = fast_map_with_capacity(size_hint / 4);
+    let mut uniq: Vec<K> = Vec::new();
+    let mut gids: Vec<u32> = Vec::with_capacity(size_hint);
+    for k in keys {
+        let next = uniq.len() as u32;
+        let gid = *map.entry(k.clone()).or_insert(next);
+        if gid == next {
+            uniq.push(k);
+        }
+        gids.push(gid);
+    }
+    (gids, uniq)
+}
+
+/// Key types the group index accepts. The single method exists so integer
+/// keys can take a direct-address fast path (dense entity-id ranges need no
+/// hashing at all) while string keys keep the generic hash map; both assign
+/// gids in first-seen order, so the choice never changes results.
+trait GroupKey: Clone + Eq + Ord + std::hash::Hash + Send + Sync {
+    /// Gid per row (over `rows`, or all of `keys` when `rows` is `None`)
+    /// plus the unique keys in first-seen order.
+    fn assign(keys: &[Self], rows: Option<&[u32]>) -> (Vec<u32>, Vec<Self>);
+}
+
+impl GroupKey for String {
+    fn assign(keys: &[Self], rows: Option<&[u32]>) -> (Vec<u32>, Vec<Self>) {
+        match rows {
+            Some(rs) => assign_gids(rs.iter().map(|&r| keys[r as usize].clone()), rs.len()),
+            None => assign_gids(keys.iter().cloned(), keys.len()),
+        }
+    }
+}
+
+impl GroupKey for i64 {
+    fn assign(keys: &[Self], rows: Option<&[u32]>) -> (Vec<u32>, Vec<Self>) {
+        const ABSENT: u32 = u32::MAX;
+        let n = rows.map_or(keys.len(), <[u32]>::len);
+        let span = match rows {
+            Some(rs) => hash::dense_key_span(rs.iter().map(|&r| keys[r as usize]), n),
+            None => hash::dense_key_span(keys.iter().copied(), n),
+        };
+        let Some((min, span)) = span else {
+            // Sparse keys: generic hash path.
+            return match rows {
+                Some(rs) => assign_gids(rs.iter().map(|&r| keys[r as usize]), n),
+                None => assign_gids(keys.iter().copied(), n),
+            };
+        };
+        let mut table = vec![ABSENT; span];
+        let mut uniq: Vec<i64> = Vec::new();
+        let mut gids: Vec<u32> = Vec::with_capacity(n);
+        let mut assign = |k: i64| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let slot = &mut table[(k - min) as usize];
+            if *slot == ABSENT {
+                #[allow(clippy::cast_possible_truncation)] // uniq <= n < u32::MAX
+                {
+                    *slot = uniq.len() as u32;
+                }
+                uniq.push(k);
+            }
+            gids.push(*slot);
+        };
+        match rows {
+            Some(rs) => rs.iter().for_each(|&r| assign(keys[r as usize])),
+            None => keys.iter().for_each(|&k| assign(k)),
+        }
+        (gids, uniq)
+    }
+}
+
+/// Build the dense group index: partitioned scatter + per-partition gid
+/// assignment + a global key sort.
+fn group_index<K: GroupKey>(keys: &[K]) -> Result<GroupIndex<K>> {
+    let parts_n = par::current_threads().max(1);
+    let parts: Vec<Partition<K>> = if parts_n == 1 {
+        let (gids, uniq) = K::assign(keys, None);
+        vec![Partition {
+            rows: None,
+            gids,
+            uniq,
+        }]
+    } else {
+        // Chunk-scatter row ids to partitions; chunk-order concat keeps
+        // each partition's rows ascending.
+        let chunked: Vec<Vec<Vec<u32>>> = par::run_chunks(keys.len(), |_ci, s, e| {
+            let mut scatter: Vec<Vec<u32>> = (0..parts_n).map(|_| Vec::new()).collect();
+            for (off, k) in keys[s..e].iter().enumerate() {
+                scatter[partition_of(k, parts_n)].push((s + off) as u32);
+            }
+            Ok(scatter)
+        })?;
+        let mut by_part: Vec<Vec<u32>> = (0..parts_n).map(|_| Vec::new()).collect();
+        for chunk in chunked {
+            for (p, mut rows) in chunk.into_iter().enumerate() {
+                by_part[p].append(&mut rows);
+            }
+        }
+        let assigned = par::run_tasks(parts_n, |p| Ok(K::assign(keys, Some(&by_part[p]))))?;
+        by_part
+            .into_iter()
+            .zip(assigned)
+            .map(|(rows, (gids, uniq))| Partition {
+                rows: Some(rows),
+                gids,
+                uniq,
+            })
+            .collect()
+    };
+
+    let mut order: Vec<(u32, u32)> = parts
+        .iter()
+        .enumerate()
+        .flat_map(|(p, part)| (0..part.uniq.len() as u32).map(move |g| (p as u32, g)))
+        .collect();
+    // Keys are unique across partitions, so an unstable sort is fine.
+    order.sort_unstable_by(|&(pa, ga), &(pb, gb)| {
+        parts[pa as usize].uniq[ga as usize].cmp(&parts[pb as usize].uniq[gb as usize])
+    });
+    Ok(GroupIndex { parts, order })
+}
+
+/// Streaming per-group accumulator matching [`AggFn::apply`] bit for bit:
+/// values arrive in ascending row order (exactly the order `apply` folds a
+/// gathered slice), NaNs are skipped, and each fold uses the same
+/// operations in the same sequence.
+struct Accumulator {
+    f: AggFn,
+    /// Sum (Sum/Mean/Std phase 1) or running min/max (Min/Max) or the
+    /// centered square sum (Std phase 2).
+    acc: Vec<f64>,
+    /// Non-NaN count.
+    n: Vec<u32>,
+    /// Std only: per-gid mean from phase 1.
+    mean: Vec<f64>,
+}
+
+impl Accumulator {
+    fn new(f: AggFn, groups: usize) -> Self {
+        let init = match f {
+            AggFn::Min | AggFn::Max => f64::NAN,
+            // `apply` computes these via `Iterator::sum`, whose f64
+            // identity is -0.0 (the IEEE additive identity: -0.0 + -0.0
+            // stays -0.0, which +0.0 would not). Match it exactly.
+            AggFn::Sum | AggFn::Std => -0.0,
+            // Mean folds from an explicit (0.0, 0) in `apply`.
+            AggFn::Mean | AggFn::Count => 0.0,
+        };
+        Accumulator {
+            f,
+            acc: vec![init; groups],
+            n: vec![0; groups],
+            mean: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, gid: u32, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let g = gid as usize;
+        match self.f {
+            AggFn::Sum | AggFn::Mean => self.acc[g] += v,
+            AggFn::Count => {}
+            AggFn::Min => {
+                let a = self.acc[g];
+                if a.is_nan() || v < a {
+                    self.acc[g] = v;
+                }
+            }
+            AggFn::Max => {
+                let a = self.acc[g];
+                if a.is_nan() || v > a {
+                    self.acc[g] = v;
+                }
+            }
+            AggFn::Std => {
+                if self.mean.is_empty() {
+                    self.acc[g] += v; // phase 1: plain sum
+                } else {
+                    self.acc[g] += (v - self.mean[g]).powi(2); // phase 2
+                }
+            }
+        }
+        self.n[g] += 1;
+    }
+
+    /// Finish one gid. For `Std` this is only valid after both phases.
+    fn finish(&self, gid: u32) -> f64 {
+        let g = gid as usize;
+        let n = self.n[g];
+        match self.f {
+            AggFn::Sum => self.acc[g],
+            AggFn::Count => f64::from(n),
+            AggFn::Mean | AggFn::Std if n == 0 => f64::NAN,
+            AggFn::Mean => self.acc[g] / f64::from(n),
+            // Phase 2 counted every non-NaN value again, so `n` here is
+            // the same count `apply` divides by.
+            AggFn::Std => (self.acc[g] / f64::from(n)).sqrt(),
+            AggFn::Min | AggFn::Max => self.acc[g],
+        }
+    }
+}
+
+/// Aggregate one value column over the group index: each partition streams
+/// its rows once (twice for `Std`) with per-gid accumulators, then the
+/// results are emitted in globally sorted key order.
+fn aggregate<K>(index: &GroupIndex<K>, values: &[f64], f: AggFn) -> Result<Vec<f64>>
+where
+    K: Clone + Eq + Ord + std::hash::Hash + Send + Sync,
+{
+    let finished: Vec<Accumulator> = par::run_tasks(index.parts.len(), |p| {
+        let part = &index.parts[p];
+        let mut acc = Accumulator::new(f, part.uniq.len());
+        let stream = |acc: &mut Accumulator| match &part.rows {
+            None => {
+                for (row, &g) in part.gids.iter().enumerate() {
+                    acc.push(g, values[row]);
+                }
+            }
+            Some(rows) => {
+                for (&row, &g) in rows.iter().zip(&part.gids) {
+                    acc.push(g, values[row as usize]);
+                }
+            }
+        };
+        stream(&mut acc);
+        if f == AggFn::Std {
+            // Phase 2: center on the per-group means from phase 1.
+            let means: Vec<f64> = (0..part.uniq.len() as u32)
+                .map(|g| {
+                    let n = acc.n[g as usize];
+                    if n == 0 {
+                        f64::NAN
+                    } else {
+                        acc.acc[g as usize] / f64::from(n)
+                    }
+                })
+                .collect();
+            acc.acc.iter_mut().for_each(|a| *a = -0.0); // Sum identity again
+            acc.n.iter_mut().for_each(|c| *c = 0);
+            acc.mean = means;
+            stream(&mut acc);
+        }
+        Ok(acc)
+    })?;
+    Ok(index
+        .order
+        .iter()
+        .map(|&(p, g)| finished[p as usize].finish(g))
+        .collect())
+}
 
 /// Stable operation signature for [`groupby_agg`].
 #[must_use]
@@ -32,57 +337,38 @@ pub fn groupby_agg(df: &DataFrame, key: &str, aggs: &[(&str, AggFn)]) -> Result<
     let sig = groupby_signature(key, aggs);
     let key_col = df.column(key)?;
 
-    // Group row indices by key, preserving a sortable representation.
-    enum Keys {
-        Int(Vec<i64>),
-        Str(Vec<String>),
+    enum Index {
+        Int(GroupIndex<i64>),
+        Str(GroupIndex<String>),
     }
-    let (groups, keys): (Vec<Vec<usize>>, Keys) = match key_col.ints() {
-        Ok(ints) => {
-            let mut map: HashMap<i64, Vec<usize>> = HashMap::new();
-            for (i, &k) in ints.iter().enumerate() {
-                map.entry(k).or_default().push(i);
-            }
-            let mut pairs: Vec<(i64, Vec<usize>)> = map.into_iter().collect();
-            pairs.sort_unstable_by_key(|(k, _)| *k);
-            let (ks, gs): (Vec<i64>, Vec<Vec<usize>>) = pairs.into_iter().unzip();
-            (gs, Keys::Int(ks))
-        }
+    let index = match key_col.ints() {
+        Ok(ints) => Index::Int(group_index(ints)?),
         Err(_) => {
             let strs = key_col.strs().map_err(|_| DfError::TypeMismatch {
                 column: key.to_owned(),
                 expected: "int or str key",
                 found: key_col.dtype().name(),
             })?;
-            let mut map: HashMap<&str, Vec<usize>> = HashMap::new();
-            for (i, k) in strs.iter().enumerate() {
-                map.entry(k.as_str()).or_default().push(i);
-            }
-            let mut pairs: Vec<(&str, Vec<usize>)> = map.into_iter().collect();
-            pairs.sort_unstable_by_key(|(k, _)| *k);
-            let (ks, gs): (Vec<&str>, Vec<Vec<usize>>) = pairs.into_iter().unzip();
-            (gs, Keys::Str(ks.into_iter().map(str::to_owned).collect()))
+            Index::Str(group_index(strs)?)
         }
     };
+    let (key_data, n_groups) = match &index {
+        Index::Int(ix) => (ColumnData::Int(ix.keys()), ix.n_groups()),
+        Index::Str(ix) => (ColumnData::Str(ix.keys()), ix.n_groups()),
+    };
+    debug_assert!(n_groups <= df.n_rows());
 
     let mut out: Vec<Column> = Vec::with_capacity(aggs.len() + 1);
-    let key_data = match keys {
-        Keys::Int(ks) => ColumnData::Int(ks),
-        Keys::Str(ks) => ColumnData::Str(ks),
-    };
     out.push(Column::derived(key, key_col.id().derive(sig), key_data));
 
     for (col, f) in aggs {
         let value_col = df.column(col)?;
         let values = value_col.to_f64()?;
         let agg_sig = hash::fnv1a_parts(&["groupby_agg", key, col, f.name()]);
-        let agged: Vec<f64> = groups
-            .iter()
-            .map(|rows| {
-                let slice: Vec<f64> = rows.iter().map(|&i| values[i]).collect();
-                f.apply(&slice)
-            })
-            .collect();
+        let agged = match &index {
+            Index::Int(ix) => aggregate(ix, &values, *f)?,
+            Index::Str(ix) => aggregate(ix, &values, *f)?,
+        };
         let id =
             ColumnId::derive_many(&[key_col.id(), value_col.id()], hash::combine(sig, agg_sig));
         out.push(Column::derived(
@@ -139,6 +425,55 @@ mod tests {
             &["a".to_owned(), "b".to_owned()]
         );
         assert_eq!(out.column("v_mean").unwrap().floats().unwrap(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn every_aggregate_matches_apply() {
+        // The streaming accumulators must agree with AggFn::apply exactly,
+        // including the all-NaN and empty-group edge cases.
+        let d = DataFrame::new(vec![
+            Column::source("t", "k", ColumnData::Int(vec![1, 2, 1, 2, 1, 3, 3])),
+            Column::source(
+                "t",
+                "v",
+                ColumnData::Float(vec![0.1, -2.0, 7.5, f64::NAN, 3.25, f64::NAN, f64::NAN]),
+            ),
+        ])
+        .unwrap();
+        for f in [
+            AggFn::Sum,
+            AggFn::Count,
+            AggFn::Mean,
+            AggFn::Min,
+            AggFn::Max,
+            AggFn::Std,
+        ] {
+            let out = groupby_agg(&d, "k", &[("v", f)]).unwrap();
+            let keys = out.column("k").unwrap().ints().unwrap().to_vec();
+            let got = out
+                .column(&format!("v_{}", f.name()))
+                .unwrap()
+                .floats()
+                .unwrap()
+                .to_vec();
+            let vals = d.column("v").unwrap().floats().unwrap();
+            let ks = d.column("k").unwrap().ints().unwrap();
+            for (key, g) in keys.iter().zip(&got) {
+                let slice: Vec<f64> = ks
+                    .iter()
+                    .zip(vals)
+                    .filter(|(k, _)| *k == key)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let want = f.apply(&slice);
+                assert_eq!(
+                    g.to_bits(),
+                    want.to_bits(),
+                    "agg {} key {key}: got {g}, want {want}",
+                    f.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,12 +2,170 @@
 //! output column id is derived from the join signature *mixed with the input
 //! column ids of both frames* — joining the same left frame against two
 //! different right frames must produce different lineage.
+//!
+//! The build and probe phases are partitioned and chunk-parallel:
+//!
+//! * **Build**: right-side rows are scanned in contiguous chunks, each chunk
+//!   scattering its row ids into `P = threads` hash partitions
+//!   (`hash(key) % P`, chunk-order concat keeps each partition's rows in
+//!   ascending order). Each partition then builds a **dense** index — key →
+//!   small integer gid via one hash lookup per row, gid → a contiguous
+//!   slice of right-row ids — instead of a map of per-key row vectors,
+//!   which removes one heap allocation per distinct key.
+//! * **Probe**: left rows are probed in contiguous chunks and the per-chunk
+//!   match lists concatenated in chunk order, reproducing the serial
+//!   left-row emission order bit for bit.
+//!
+//! A key lives in exactly one partition regardless of `P`, and each gid's
+//! row slice is ascending for any chunking, so the output is independent of
+//! the thread count.
 
 use crate::column::{Column, ColumnData, ColumnId};
 use crate::error::{DfError, Result};
-use crate::frame::DataFrame;
-use crate::hash;
-use std::collections::HashMap;
+use crate::frame::{self, DataFrame};
+use crate::hash::{self, fast_map_with_capacity, partition_of, FastMap};
+use crate::par;
+
+/// Largest integer magnitude `f64` represents exactly (2^53).
+const F64_EXACT_INT: i64 = 1 << 53;
+
+/// Sentinel in the right-row vector marking an unmatched outer row. Frame
+/// sides are capped at `u32::MAX - 1` rows (checked up front), so the
+/// sentinel can never collide with a real row id.
+const MISSING: u32 = u32::MAX;
+
+/// Marks an empty direct-address slot (no gid may reach it: gids are
+/// bounded by the per-side row cap of `u32::MAX - 1`).
+const ABSENT: u32 = u32::MAX;
+
+/// Key → gid resolution for one partition of the right side.
+///
+/// Join keys in entity-resolution workloads (the paper's `SK_ID_CURR`-style
+/// ids) are typically drawn from a dense integer range, so when the range
+/// is small relative to the row count a flat array resolves a key with one
+/// bounds check and one load — no hashing at all, on either side of the
+/// join. Sparse keys fall back to the hash map. Both resolve to the same
+/// gids, so the choice never changes results.
+enum KeyLookup {
+    /// `gids[k - min]`, `ABSENT` where no such key exists.
+    Dense {
+        min: i64,
+        gids: Vec<u32>,
+    },
+    Hashed(FastMap<i64, u32>),
+}
+
+/// One partition's right-side index, dense form: [`KeyLookup`] resolves a
+/// key to a small integer gid, and the gid selects a contiguous, ascending
+/// slice of right-row ids in `rows` (`offsets[g]..offsets[g+1]`). Compared
+/// with a map of per-key row vectors this does one allocation for all keys
+/// instead of one per key, and probe hits touch flat arrays instead of
+/// chasing a heap pointer.
+struct RightIndex {
+    lookup: KeyLookup,
+    offsets: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+/// Use direct addressing when the key span costs at most ~4 slots per
+/// right row (see [`hash::dense_key_span`]).
+fn dense_span(rkey: &[i64], rows: Option<&[u32]>, n: usize) -> Option<(i64, usize)> {
+    match rows {
+        Some(rs) => hash::dense_key_span(rs.iter().map(|&r| rkey[r as usize]), n),
+        None => hash::dense_key_span(rkey.iter().copied(), n),
+    }
+}
+
+impl RightIndex {
+    /// Build over the rows in `rows` (ascending right-row ids), or over all
+    /// of `rkey` when `rows` is `None` (the single-partition fast path that
+    /// skips the scatter). One key resolution per row: gids are buffered in
+    /// the first pass, then a prefix-sum over per-gid counts lays out the
+    /// flat row array — ascending input keeps every gid's slice ascending.
+    fn build(rkey: &[i64], rows: Option<&[u32]>) -> RightIndex {
+        let n = rows.map_or(rkey.len(), <[u32]>::len);
+        let mut counts: Vec<u32> = Vec::new();
+        let mut gids: Vec<u32> = Vec::with_capacity(n);
+        // The per-key branch in `assign` resolves identically for every row
+        // of a build, so the dispatch stays well-predicted; what matters is
+        // that the dense path does no hashing.
+        let lookup = if let Some((min, span)) = dense_span(rkey, rows, n) {
+            let mut table = vec![ABSENT; span];
+            let mut assign = |k: i64| {
+                #[allow(clippy::cast_possible_truncation)] // distinct <= n < u32::MAX
+                let next = counts.len() as u32;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let slot = &mut table[(k - min) as usize];
+                let gid = if *slot == ABSENT {
+                    *slot = next;
+                    counts.push(0);
+                    next
+                } else {
+                    *slot
+                };
+                counts[gid as usize] += 1;
+                gids.push(gid);
+            };
+            match rows {
+                Some(rs) => rs.iter().for_each(|&r| assign(rkey[r as usize])),
+                None => rkey.iter().for_each(|&k| assign(k)),
+            }
+            KeyLookup::Dense { min, gids: table }
+        } else {
+            let mut map: FastMap<i64, u32> = fast_map_with_capacity(n / 2);
+            let mut assign = |k: i64| {
+                #[allow(clippy::cast_possible_truncation)] // distinct <= n < u32::MAX
+                let next = counts.len() as u32;
+                let gid = *map.entry(k).or_insert(next);
+                if gid == next {
+                    counts.push(0);
+                }
+                counts[gid as usize] += 1;
+                gids.push(gid);
+            };
+            match rows {
+                Some(rs) => rs.iter().for_each(|&r| assign(rkey[r as usize])),
+                None => rkey.iter().for_each(|&k| assign(k)),
+            }
+            KeyLookup::Hashed(map)
+        };
+        let mut offsets = vec![0u32; counts.len() + 1];
+        for (g, &c) in counts.iter().enumerate() {
+            offsets[g + 1] = offsets[g] + c;
+        }
+        let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
+        let mut flat = vec![0u32; n];
+        for (i, &g) in gids.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)] // i < n < u32::MAX
+            let row = rows.map_or(i as u32, |rs| rs[i]);
+            flat[cursor[g as usize] as usize] = row;
+            cursor[g as usize] += 1;
+        }
+        RightIndex {
+            lookup,
+            offsets,
+            rows: flat,
+        }
+    }
+
+    /// The ascending right-row ids matching `k`, or `None` if absent.
+    #[inline]
+    fn matches(&self, k: &i64) -> Option<&[u32]> {
+        let g = match &self.lookup {
+            KeyLookup::Dense { min, gids } => {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let off = k.wrapping_sub(*min) as u64;
+                let g = *gids.get(usize::try_from(off).ok()?)?;
+                if g == ABSENT {
+                    return None;
+                }
+                g as usize
+            }
+            KeyLookup::Hashed(map) => *map.get(k)? as usize,
+        };
+        Some(&self.rows[self.offsets[g] as usize..self.offsets[g + 1] as usize])
+    }
+}
 
 /// Stable operation signature for [`inner_join`] (artifact-level: name +
 /// parameters only; the column-id derivation additionally mixes input ids).
@@ -66,30 +224,98 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
             found: right.column(on).map(|c| c.dtype().name()).unwrap_or("?"),
         })?;
 
-    // Build key -> right-row-indices map.
-    let mut index: HashMap<i64, Vec<usize>> = HashMap::with_capacity(rkey.len());
-    for (i, &k) in rkey.iter().enumerate() {
-        index.entry(k).or_default().push(i);
+    // Row ids are u32 throughout the join (half the memory traffic of
+    // usize on the multi-million-row probe and gather paths); reserve
+    // u32::MAX itself for the outer-join sentinel.
+    if lkey.len() >= MISSING as usize || rkey.len() >= MISSING as usize {
+        return Err(DfError::InvalidArgument(format!(
+            "join sides are limited to {} rows, got {} x {}",
+            MISSING - 1,
+            lkey.len(),
+            rkey.len()
+        )));
     }
 
-    // Matched row pairs; `None` on the right marks an unmatched outer row.
-    let mut lrows: Vec<usize> = Vec::new();
-    let mut rrows: Vec<Option<usize>> = Vec::new();
-    for (i, k) in lkey.iter().enumerate() {
-        match index.get(k) {
-            Some(matches) => {
-                for &j in matches {
-                    lrows.push(i);
-                    rrows.push(Some(j));
-                }
+    // Build: scatter right row ids into hash partitions (chunk-parallel,
+    // chunk-order concat keeps each partition ascending), then build one
+    // dense index per partition in parallel. With a single partition the
+    // scatter is skipped entirely and the index is built straight off the
+    // key slice.
+    let parts = par::current_threads().max(1);
+    let index: Vec<RightIndex> = if parts == 1 {
+        vec![RightIndex::build(rkey, None)]
+    } else {
+        let chunked: Vec<Vec<Vec<u32>>> = par::run_chunks(rkey.len(), |_ci, s, e| {
+            let mut scatter: Vec<Vec<u32>> = vec![Vec::new(); parts];
+            for (off, k) in rkey[s..e].iter().enumerate() {
+                #[allow(clippy::cast_possible_truncation)] // checked above
+                scatter[partition_of(k, parts)].push((s + off) as u32);
             }
-            None if outer => {
-                lrows.push(i);
-                rrows.push(None);
+            Ok(scatter)
+        })?;
+        let mut by_part: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for chunk in chunked {
+            for (p, mut rows) in chunk.into_iter().enumerate() {
+                by_part[p].append(&mut rows);
             }
-            None => {}
         }
-    }
+        par::run_tasks(parts, |p| Ok(RightIndex::build(rkey, Some(&by_part[p]))))?
+    };
+
+    // Probe left rows in contiguous chunks; concatenating per-chunk match
+    // lists in chunk order reproduces the serial emission order. MISSING on
+    // the right marks an unmatched outer row.
+    let probed: Vec<(Vec<u32>, Vec<u32>, bool)> = par::run_chunks(lkey.len(), |_ci, s, e| {
+        let mut lrows: Vec<u32> = Vec::with_capacity(e - s);
+        let mut rrows: Vec<u32> = Vec::with_capacity(e - s);
+        let mut any_missing = false;
+        macro_rules! emit {
+            ($i:expr, $found:expr) => {
+                match $found {
+                    Some(matches) => {
+                        for &j in matches {
+                            lrows.push($i);
+                            rrows.push(j);
+                        }
+                    }
+                    None if outer => {
+                        lrows.push($i);
+                        rrows.push(MISSING);
+                        any_missing = true;
+                    }
+                    None => {}
+                }
+            };
+        }
+        #[allow(clippy::cast_possible_truncation)] // row counts checked above
+        if parts == 1 {
+            // Single partition: the per-key partition hash would be pure
+            // overhead (everything lands in partition 0).
+            let ix0 = &index[0];
+            for (off, k) in lkey[s..e].iter().enumerate() {
+                emit!((s + off) as u32, ix0.matches(k));
+            }
+        } else {
+            for (off, k) in lkey[s..e].iter().enumerate() {
+                emit!((s + off) as u32, index[partition_of(k, parts)].matches(k));
+            }
+        }
+        Ok((lrows, rrows, any_missing))
+    })?;
+    // Single-chunk results (the common serial case) are moved, not copied.
+    let (lrows, rrows, any_missing) = if probed.len() == 1 {
+        probed.into_iter().next().unwrap_or_default()
+    } else {
+        let mut lrows: Vec<u32> = Vec::new();
+        let mut rrows: Vec<u32> = Vec::new();
+        let mut any_missing = false;
+        for (mut l, mut r, m) in probed {
+            lrows.append(&mut l);
+            rrows.append(&mut r);
+            any_missing |= m;
+        }
+        (lrows, rrows, any_missing)
+    };
 
     let sig = if outer {
         left_join_signature(on)
@@ -104,7 +330,7 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
     // buffers, which is a major deduplication win for the join-chain
     // feature pipelines of the paper's Workloads 2 and 3.
     let left_preserved =
-        lrows.len() == left.n_rows() && lrows.iter().enumerate().all(|(i, &r)| i == r);
+        lrows.len() == left.n_rows() && lrows.iter().enumerate().all(|(i, &r)| i == r as usize);
 
     let mut out: Vec<Column> = Vec::with_capacity(left.n_cols() + right.n_cols() - 1);
 
@@ -113,14 +339,14 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
     } else {
         // Key column: derived from both key ids.
         let key_id = ColumnId::derive_many(&[left.column(on)?.id(), right.column(on)?.id()], dh);
-        let key_data = ColumnData::Int(lrows.iter().map(|&i| lkey[i]).collect());
+        let key_data = ColumnData::Int(frame::gather(lkey, &lrows)?);
         out.push(Column::derived(on, key_id, key_data));
 
         for c in left.columns().iter().filter(|c| c.name() != on) {
             out.push(Column::derived(
                 c.name(),
                 c.id().derive(dh),
-                c.data().take(&lrows),
+                frame::gather_column(c, &lrows)?,
             ));
         }
     }
@@ -136,47 +362,108 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
         } else {
             c.name().to_owned()
         };
-        let data = gather_right(c.data(), &rrows);
+        let data = gather_right(c, &rrows, any_missing)?;
         out.push(Column::derived(&name, c.id().derive(dh), data));
     }
 
     DataFrame::new(out)
 }
 
+/// Chunk-parallel gather with missing-position fill: `out[k] = f(rows[k])`,
+/// where `rows[k] == MISSING` marks an unmatched outer row.
+fn gather_opt<T, F>(rows: &[u32], f: F) -> Result<Vec<T>>
+where
+    T: Clone + Default + Send + Sync,
+    F: Fn(u32) -> Result<T> + Sync,
+{
+    // Serial fast path: collect directly, skipping the zero-init pass.
+    if par::current_threads() <= 1 {
+        return rows.iter().map(|&r| f(r)).collect();
+    }
+    let mut out = vec![T::default(); rows.len()];
+    par::fill_chunks(&mut out, |_ci, start, chunk| {
+        let chunk_len = chunk.len();
+        for (slot, &r) in chunk.iter_mut().zip(&rows[start..][..chunk_len]) {
+            *slot = f(r)?;
+        }
+        Ok(())
+    })?;
+    Ok(out)
+}
+
 /// Gather right-side rows, filling missing positions for outer joins.
-fn gather_right(data: &ColumnData, rows: &[Option<usize>]) -> ColumnData {
-    match data {
-        ColumnData::Int(v) => {
-            // Missing ints force promotion to float (pandas semantics).
-            if rows.iter().any(Option::is_none) {
-                ColumnData::Float(
-                    rows.iter()
-                        .map(|r| r.map_or(f64::NAN, |i| v[i] as f64))
-                        .collect(),
-                )
+/// `any_missing` is tracked during the probe so matched-only columns keep
+/// their dtype without rescanning the row vector per column.
+fn gather_right(c: &Column, rows: &[u32], any_missing: bool) -> Result<ColumnData> {
+    match c.dtype() {
+        crate::schema::DType::Int => {
+            let v = c.ints()?;
+            // Missing ints force promotion to float (pandas semantics) —
+            // but only when every matched value survives the cast exactly.
+            // |x| > 2^53 would silently round, so it is a typed error.
+            if any_missing {
+                Ok(ColumnData::Float(gather_opt(rows, |r| {
+                    if r == MISSING {
+                        return Ok(f64::NAN);
+                    }
+                    let x = v[r as usize];
+                    if !(-F64_EXACT_INT..=F64_EXACT_INT).contains(&x) {
+                        return Err(DfError::LossyCast {
+                            column: c.name().to_owned(),
+                            value: x,
+                        });
+                    }
+                    #[allow(clippy::cast_precision_loss)] // |x| <= 2^53: exact
+                    Ok(x as f64)
+                })?))
             } else {
-                ColumnData::Int(rows.iter().map(|r| v[r.unwrap()]).collect())
+                Ok(ColumnData::Int(frame::gather(v, rows)?))
             }
         }
-        ColumnData::Float(v) => {
-            ColumnData::Float(rows.iter().map(|r| r.map_or(f64::NAN, |i| v[i])).collect())
-        }
-        ColumnData::Bool(v) => {
-            if rows.iter().any(Option::is_none) {
-                ColumnData::Float(
-                    rows.iter()
-                        .map(|r| r.map_or(f64::NAN, |i| if v[i] { 1.0 } else { 0.0 }))
-                        .collect(),
-                )
+        crate::schema::DType::Float => {
+            let v = c.floats()?;
+            if any_missing {
+                Ok(ColumnData::Float(gather_opt(rows, |r| {
+                    Ok(if r == MISSING {
+                        f64::NAN
+                    } else {
+                        v[r as usize]
+                    })
+                })?))
             } else {
-                ColumnData::Bool(rows.iter().map(|r| v[r.unwrap()]).collect())
+                Ok(ColumnData::Float(frame::gather(v, rows)?))
             }
         }
-        ColumnData::Str(v) => ColumnData::Str(
-            rows.iter()
-                .map(|r| r.map_or_else(String::new, |i| v[i].clone()))
-                .collect(),
-        ),
+        crate::schema::DType::Bool => {
+            let v = c.bools()?;
+            if any_missing {
+                Ok(ColumnData::Float(gather_opt(rows, |r| {
+                    Ok(if r == MISSING {
+                        f64::NAN
+                    } else if v[r as usize] {
+                        1.0
+                    } else {
+                        0.0
+                    })
+                })?))
+            } else {
+                Ok(ColumnData::Bool(frame::gather(v, rows)?))
+            }
+        }
+        crate::schema::DType::Str => {
+            let v = c.strs()?;
+            if any_missing {
+                Ok(ColumnData::Str(gather_opt(rows, |r| {
+                    Ok(if r == MISSING {
+                        String::new()
+                    } else {
+                        v[r as usize].clone()
+                    })
+                })?))
+            } else {
+                Ok(ColumnData::Str(frame::gather(v, rows)?))
+            }
+        }
     }
 }
 
@@ -271,8 +558,8 @@ mod tests {
         assert_eq!(out.column("id").unwrap().id(), l.column("id").unwrap().id());
         assert_eq!(out.column("x").unwrap().id(), l.column("x").unwrap().id());
         assert!(std::sync::Arc::ptr_eq(
-            out.column("x").unwrap().data(),
-            l.column("x").unwrap().data()
+            &out.column("x").unwrap().data(),
+            &l.column("x").unwrap().data()
         ));
         // The gathered right column is still derived.
         assert_ne!(
@@ -295,6 +582,51 @@ mod tests {
         .unwrap();
         let multi = left_join(&l, &dup_right, "id").unwrap();
         assert_ne!(multi.column("x").unwrap().id(), l.column("x").unwrap().id());
+    }
+
+    #[test]
+    fn lossy_int_promotion_is_a_typed_error() {
+        let big = (1i64 << 53) + 1;
+        let l =
+            DataFrame::new(vec![Column::source("l", "id", ColumnData::Int(vec![1, 9]))]).unwrap();
+        let r = DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![1])),
+            Column::source("r", "v", ColumnData::Int(vec![big])),
+        ])
+        .unwrap();
+        // The unmatched left row forces Int -> Float promotion of `v`, and
+        // the matched value cannot be represented exactly.
+        let err = left_join(&l, &r, "id").unwrap_err();
+        assert_eq!(
+            err,
+            DfError::LossyCast {
+                column: "v".into(),
+                value: big
+            }
+        );
+        // Negative magnitude is caught too.
+        let r_neg = DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![1])),
+            Column::source("r", "v", ColumnData::Int(vec![-big])),
+        ])
+        .unwrap();
+        assert!(matches!(
+            left_join(&l, &r_neg, "id").unwrap_err(),
+            DfError::LossyCast { .. }
+        ));
+        // Exactly 2^53 is representable: no error, value survives.
+        let r_ok = DataFrame::new(vec![
+            Column::source("r", "id", ColumnData::Int(vec![1])),
+            Column::source("r", "v", ColumnData::Int(vec![1i64 << 53])),
+        ])
+        .unwrap();
+        let out = left_join(&l, &r_ok, "id").unwrap();
+        let v = out.column("v").unwrap().floats().unwrap();
+        assert_eq!(v[0], (1i64 << 53) as f64);
+        assert!(v[1].is_nan());
+        // An inner join (no promotion) passes large values through intact.
+        let out = inner_join(&l, &r, "id").unwrap();
+        assert_eq!(out.column("v").unwrap().ints().unwrap(), &[big]);
     }
 
     #[test]

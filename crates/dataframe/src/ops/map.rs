@@ -6,6 +6,21 @@ use crate::column::{Column, ColumnData, ColumnId};
 use crate::error::Result;
 use crate::frame::DataFrame;
 use crate::hash::{self, float_digest};
+use crate::par;
+
+/// Chunk-parallel elementwise map into a fresh `f64` buffer. Chunks are
+/// contiguous and written in place, so the output is bit-identical to the
+/// serial loop for any thread count.
+fn par_map_f64(n: usize, f: impl Fn(usize) -> f64 + Sync) -> Result<Vec<f64>> {
+    let mut out = vec![0.0; n];
+    par::fill_chunks(&mut out, |_ci, start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + off);
+        }
+        Ok(())
+    })?;
+    Ok(out)
+}
 
 /// Unary numeric transforms (input is viewed as `f64`, output is `Float`).
 #[derive(Debug, Clone, PartialEq)]
@@ -180,7 +195,8 @@ pub fn map_signature(col: &str, f: &MapFn, out_name: &str) -> u64 {
 pub fn map_column(df: &DataFrame, col: &str, f: &MapFn, out_name: &str) -> Result<DataFrame> {
     let input = df.column(col)?;
     let op = map_signature(col, f, out_name);
-    let values: Vec<f64> = input.to_f64()?.into_iter().map(|x| f.apply(x)).collect();
+    let xs = input.to_f64()?;
+    let values = par_map_f64(xs.len(), |i| f.apply(xs[i]))?;
     let out = Column::derived(out_name, input.id().derive(op), ColumnData::Float(values));
     df.with_column(out)
 }
@@ -202,7 +218,8 @@ pub fn binary_op(
     let (lc, rc) = (df.column(left)?, df.column(right)?);
     let op = binary_op_signature(left, right, f, out_name);
     let (lv, rv) = (lc.to_f64()?, rc.to_f64()?);
-    let values: Vec<f64> = lv.iter().zip(&rv).map(|(&a, &b)| f.apply(a, b)).collect();
+    let n = lv.len().min(rv.len());
+    let values = par_map_f64(n, |i| f.apply(lv[i], rv[i]))?;
     let id = ColumnId::derive_many(&[lc.id(), rc.id()], op);
     df.with_column(Column::derived(out_name, id, ColumnData::Float(values)))
 }
@@ -217,7 +234,8 @@ pub fn str_feature_signature(col: &str, f: StrFn, out_name: &str) -> u64 {
 pub fn str_feature(df: &DataFrame, col: &str, f: StrFn, out_name: &str) -> Result<DataFrame> {
     let input = df.column(col)?;
     let op = str_feature_signature(col, f, out_name);
-    let values: Vec<f64> = input.strs()?.iter().map(|s| f.apply(s)).collect();
+    let ss = input.strs()?;
+    let values = par_map_f64(ss.len(), |i| f.apply(&ss[i]))?;
     df.with_column(Column::derived(
         out_name,
         input.id().derive(op),

@@ -36,7 +36,12 @@ pub fn sort_by(df: &DataFrame, col: &str, ascending: bool) -> Result<DataFrame> 
                     (true, true) => std::cmp::Ordering::Equal,
                     (true, false) => return std::cmp::Ordering::Greater,
                     (false, true) => return std::cmp::Ordering::Less,
-                    (false, false) => x.partial_cmp(&y).unwrap(),
+                    // Both non-NaN, so partial_cmp cannot return None; the
+                    // Equal fallback (rather than .unwrap()) keeps the
+                    // comparator panic-free without changing the order.
+                    // (Not total_cmp: that would split -0.0 from 0.0 and
+                    // reorder rows vs. the established artifact hashes.)
+                    (false, false) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
                 };
                 if ascending {
                     ord
@@ -46,7 +51,7 @@ pub fn sort_by(df: &DataFrame, col: &str, ascending: bool) -> Result<DataFrame> 
             });
         }
     }
-    Ok(df.take_rows(&indices).map_ids(|id| id.derive(sig)))
+    Ok(df.take_rows(&indices)?.map_ids(|id| id.derive(sig)))
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use crate::error::{DfError, Result};
 use crate::frame::DataFrame;
 use crate::hash;
 use crate::ops::AggFn;
+use crate::par;
 use crate::scalar::Scalar;
 use std::collections::HashMap;
 
@@ -78,11 +79,17 @@ pub fn describe_signature() -> u64 {
 /// Per-numeric-column summary: mean, std, min, max, count.
 pub fn describe(df: &DataFrame) -> Result<DataFrame> {
     let sig = describe_signature();
-    let numeric: Vec<&Column> = df.columns().iter().filter(|c| c.to_f64().is_ok()).collect();
+    // Materialize the f64 view once per numeric column, so the stat loop
+    // below never has to re-convert (and never has a panic path).
+    let numeric: Vec<(&Column, Vec<f64>)> = df
+        .columns()
+        .iter()
+        .filter_map(|c| c.to_f64().ok().map(|v| (c, v)))
+        .collect();
     if numeric.is_empty() {
         return Err(DfError::Empty("describe: no numeric columns".to_owned()));
     }
-    let names: Vec<String> = numeric.iter().map(|c| c.name().to_owned()).collect();
+    let names: Vec<String> = numeric.iter().map(|(c, _)| c.name().to_owned()).collect();
     let stats = [
         AggFn::Mean,
         AggFn::Std,
@@ -90,13 +97,13 @@ pub fn describe(df: &DataFrame) -> Result<DataFrame> {
         AggFn::Max,
         AggFn::Count,
     ];
-    let ids = ColumnId::derive_many(&numeric.iter().map(|c| c.id()).collect::<Vec<_>>(), sig);
+    let ids = ColumnId::derive_many(
+        &numeric.iter().map(|(c, _)| c.id()).collect::<Vec<_>>(),
+        sig,
+    );
     let mut cols = vec![Column::derived("column", ids, ColumnData::Str(names))];
     for f in stats {
-        let values: Vec<f64> = numeric
-            .iter()
-            .map(|c| f.apply(&c.to_f64().expect("filtered to numeric")))
-            .collect();
+        let values: Vec<f64> = numeric.iter().map(|(_, v)| f.apply(v)).collect();
         let id = ids.derive(hash::fnv1a_parts(&["describe", f.name()]));
         cols.push(Column::derived(f.name(), id, ColumnData::Float(values)));
     }
@@ -123,13 +130,17 @@ pub fn corr_matrix(df: &DataFrame) -> Result<DataFrame> {
         return Err(DfError::Empty("corr: no numeric columns".to_owned()));
     }
     let n = numeric.len();
+    // Each upper-triangle pair is an independent Pearson pass over two
+    // columns; compute them task-parallel and mirror into the matrix.
+    let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (i..n).map(move |j| (i, j))).collect();
+    let rs = par::run_tasks(pairs.len(), |t| {
+        let (i, j) = pairs[t];
+        Ok(pearson(&numeric[i].1, &numeric[j].1))
+    })?;
     let mut matrix = vec![vec![0.0f64; n]; n];
-    for i in 0..n {
-        for j in i..n {
-            let r = pearson(&numeric[i].1, &numeric[j].1);
-            matrix[i][j] = r;
-            matrix[j][i] = r;
-        }
+    for (&(i, j), r) in pairs.iter().zip(rs) {
+        matrix[i][j] = r;
+        matrix[j][i] = r;
     }
     let base = ColumnId::derive_many(&df.column_ids(), sig);
     let labels: Vec<String> = numeric.iter().map(|(n, _)| (*n).to_owned()).collect();

@@ -1,0 +1,190 @@
+//! Differential properties for the chunk-parallel kernels: for every
+//! kernel, running with one thread (one chunk) and running with several
+//! threads (forced chunking via `min_chunk = 1`) must produce **the same
+//! frame, bit for bit** — same column names, same `ColumnId` lineage, and
+//! identical buffers, with floats compared via `to_bits` so `NaN`s and
+//! signed zeros count too. This is the lineage contract the experiment
+//! graph depends on: a parallel kernel that drifted by even one ULP would
+//! silently split cached artifacts from their recomputed twins.
+//!
+//! Generated inputs deliberately include NaN values, duplicate and
+//! colliding keys, and (near-)empty frames.
+
+use co_dataframe::ops::{self, AggFn, BinFn, MapFn, Predicate};
+use co_dataframe::{par, Column, ColumnData, DType, DataFrame};
+use proptest::prelude::*;
+
+/// Run `f` serial (1 thread, single chunk) and parallel (4 threads,
+/// chunking forced down to single rows) and require bit-identical frames.
+fn assert_differential<F>(f: F) -> Result<(), TestCaseError>
+where
+    F: Fn() -> co_dataframe::Result<DataFrame>,
+{
+    let serial = par::with_config(1, usize::MAX, &f);
+    let parallel = par::with_config(4, 1, &f);
+    match (serial, parallel) {
+        (Ok(s), Ok(p)) => assert_frames_bit_identical(&s, &p),
+        (Err(se), Err(pe)) => {
+            // Same failure either way is fine, but it must be the same kind.
+            prop_assert_eq!(se.to_string(), pe.to_string());
+            Ok(())
+        }
+        (s, p) => Err(TestCaseError::fail(format!(
+            "serial/parallel disagree on success: serial={s:?} parallel={p:?}"
+        ))),
+    }
+}
+
+fn assert_frames_bit_identical(a: &DataFrame, b: &DataFrame) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.column_names(), b.column_names());
+    prop_assert_eq!(a.column_ids(), b.column_ids());
+    prop_assert_eq!(a.n_rows(), b.n_rows());
+    for (ca, cb) in a.columns().iter().zip(b.columns()) {
+        prop_assert_eq!(ca.dtype(), cb.dtype());
+        match ca.dtype() {
+            DType::Float => {
+                let (xa, xb) = (ca.floats().unwrap(), cb.floats().unwrap());
+                prop_assert_eq!(xa.len(), xb.len());
+                for (x, y) in xa.iter().zip(xb) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "column {}", ca.name());
+                }
+            }
+            DType::Int => prop_assert_eq!(ca.ints().unwrap(), cb.ints().unwrap()),
+            DType::Str => prop_assert_eq!(ca.strs().unwrap(), cb.strs().unwrap()),
+            DType::Bool => prop_assert_eq!(ca.bools().unwrap(), cb.bools().unwrap()),
+        }
+    }
+    Ok(())
+}
+
+/// Floats with a real chance of NaN and signed zero in the stream.
+fn arb_floats(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        (0u8..8, -100.0f64..100.0).prop_map(|(tag, x)| match tag {
+            0 => f64::NAN,
+            1 => -0.0,
+            2 => 0.0,
+            _ => x,
+        }),
+        n,
+    )
+}
+
+/// Frames from empty to a few hundred rows; keys drawn from a tiny domain
+/// so duplicates (and hash-partition collisions) are the norm.
+fn arb_frame() -> impl Strategy<Value = DataFrame> {
+    (0usize..200).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-3i64..4, n),
+            arb_floats(n),
+            proptest::collection::vec(proptest::sample::select(vec!["a", "b", "c", "d"]), n),
+        )
+            .prop_map(|(keys, values, cats)| {
+                DataFrame::new(vec![
+                    Column::source("t", "k", ColumnData::Int(keys)),
+                    Column::source("t", "v", ColumnData::Float(values)),
+                    Column::source(
+                        "t",
+                        "c",
+                        ColumnData::Str(cats.into_iter().map(str::to_owned).collect()),
+                    ),
+                ])
+                .unwrap()
+            })
+    })
+}
+
+/// A second frame to join against, keyed over the same small domain.
+fn arb_right() -> impl Strategy<Value = DataFrame> {
+    (0usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-3i64..4, n),
+            proptest::collection::vec(-50i64..50, n),
+        )
+            .prop_map(|(keys, w)| {
+                DataFrame::new(vec![
+                    Column::source("r", "k", ColumnData::Int(keys)),
+                    Column::source("r", "w", ColumnData::Int(w)),
+                ])
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inner_join_parallel_matches_serial(left in arb_frame(), right in arb_right()) {
+        assert_differential(|| ops::inner_join(&left, &right, "k"))?;
+    }
+
+    #[test]
+    fn left_join_parallel_matches_serial(left in arb_frame(), right in arb_right()) {
+        assert_differential(|| ops::left_join(&left, &right, "k"))?;
+    }
+
+    #[test]
+    fn groupby_parallel_matches_serial(df in arb_frame()) {
+        assert_differential(|| {
+            ops::groupby_agg(&df, "k", &[("v", AggFn::Sum), ("v", AggFn::Mean), ("v", AggFn::Count)])
+        })?;
+    }
+
+    #[test]
+    fn groupby_str_keys_parallel_matches_serial(df in arb_frame()) {
+        assert_differential(|| ops::groupby_agg(&df, "c", &[("v", AggFn::Sum)]))?;
+    }
+
+    #[test]
+    fn map_parallel_matches_serial(df in arb_frame(), c in -5.0f64..5.0) {
+        assert_differential(|| ops::map_column(&df, "v", &MapFn::AddConst(c), "v2"))?;
+        assert_differential(|| ops::map_column(&df, "v", &MapFn::Log1p, "v3"))?;
+        assert_differential(|| ops::binary_op(&df, "v", "k", BinFn::Mul, "vk"))?;
+    }
+
+    #[test]
+    fn filter_parallel_matches_serial(df in arb_frame(), t in -50.0f64..50.0) {
+        assert_differential(|| ops::filter(&df, &Predicate::gt_f("v", t)))?;
+        assert_differential(|| ops::filter(&df, &Predicate::eq_i("k", 2)))?;
+        assert_differential(|| ops::dropna(&df, &["v"]))?;
+    }
+
+    #[test]
+    fn one_hot_parallel_matches_serial(df in arb_frame(), k in 1usize..4) {
+        assert_differential(|| ops::one_hot(&df, "c", k))?;
+        assert_differential(|| ops::label_encode(&df, "c"))?;
+    }
+
+    #[test]
+    fn sort_and_sample_parallel_match_serial(df in arb_frame(), seed in 0u64..500) {
+        assert_differential(|| ops::sort_by(&df, "k", true))?;
+        let n = df.n_rows() / 2;
+        assert_differential(|| ops::sample(&df, n, seed))?;
+    }
+
+    #[test]
+    fn vconcat_parallel_matches_serial(df in arb_frame()) {
+        assert_differential(|| ops::vconcat(&[&df, &df]))?;
+    }
+
+    #[test]
+    fn stats_parallel_match_serial(df in arb_frame()) {
+        if df.n_rows() > 0 {
+            assert_differential(|| ops::describe(&df))?;
+            assert_differential(|| ops::corr_matrix(&df))?;
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_matter(df in arb_frame(), threads in 2usize..8) {
+        // Beyond serial-vs-4: any thread count gives the same bits.
+        let base = par::with_config(1, usize::MAX, || {
+            ops::groupby_agg(&df, "k", &[("v", AggFn::Sum)]).unwrap()
+        });
+        let multi = par::with_config(threads, 1, || {
+            ops::groupby_agg(&df, "k", &[("v", AggFn::Sum)]).unwrap()
+        });
+        assert_frames_bit_identical(&base, &multi)?;
+    }
+}

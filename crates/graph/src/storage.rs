@@ -119,7 +119,7 @@ impl StorageManager {
                     let entry = self.columns.entry(c.id()).or_insert_with(|| {
                         added += c.nbytes() as u64;
                         StoredColumn {
-                            data: Arc::clone(c.data()),
+                            data: c.data(),
                             nbytes: c.nbytes() as u64,
                             refs: 0,
                         }
@@ -474,7 +474,7 @@ mod tests {
         sm.columns.insert(
             df.column("a").unwrap().id(),
             StoredColumn {
-                data: Arc::clone(df.column("a").unwrap().data()),
+                data: df.column("a").unwrap().data(),
                 nbytes: df.column("a").unwrap().nbytes() as u64,
                 refs: 1,
             },

@@ -116,8 +116,14 @@ pub fn creditg(rows: usize, seed: u64) -> CreditG {
     let test_rows: Vec<usize> = (n_train..rows).collect();
     // take_rows keeps source column ids; re-tag the split identity so
     // train/test are distinct source artifacts.
-    let train = full.take_rows(&train_rows).map_ids(|id| id.derive(1));
-    let test = full.take_rows(&test_rows).map_ids(|id| id.derive(2));
+    let train = full
+        .take_rows(&train_rows)
+        .expect("train rows in range")
+        .map_ids(|id| id.derive(1));
+    let test = full
+        .take_rows(&test_rows)
+        .expect("test rows in range")
+        .map_ids(|id| id.derive(2));
     CreditG { train, test }
 }
 

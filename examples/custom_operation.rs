@@ -42,7 +42,13 @@ impl Operation for SystematicSample {
         })?;
         let rows: Vec<usize> = (self.offset..df.n_rows()).step_by(self.step).collect();
         // take_rows keeps ids; a sample changes content, so derive them.
-        let sampled = df.take_rows(&rows).map_ids(|id| id.derive(self.op_hash()));
+        let sampled = df
+            .take_rows(&rows)
+            .map_err(|e| GraphError::BadOperationInput {
+                op: self.name().to_owned(),
+                message: e.to_string(),
+            })?
+            .map_ids(|id| id.derive(self.op_hash()));
         Ok(Value::dataset(sampled))
     }
 }

@@ -22,6 +22,7 @@ fn server(materializer: MaterializerKind, reuse: ReuseKind, budget: u64) -> Opti
         warmstart: false,
         retry: co_core::RetryPolicy::default(),
         quarantine_after: Some(3),
+        df_threads: None,
     })
 }
 

@@ -106,6 +106,7 @@ fn kaggle_w1_is_invariant_across_systems() {
             warmstart: false,
             retry: co_core::RetryPolicy::default(),
             quarantine_after: Some(3),
+            df_threads: None,
         });
         // Warm the graph with related workloads first so reuse genuinely
         // kicks in before the workload under test.
@@ -135,6 +136,7 @@ fn kaggle_w8_is_invariant_across_systems() {
             warmstart: false,
             retry: co_core::RetryPolicy::default(),
             quarantine_after: Some(3),
+            df_threads: None,
         });
         srv.run_workload(kaggle::w1(&data).unwrap()).unwrap();
         srv.run_workload(kaggle::w2(&data).unwrap()).unwrap();
@@ -162,6 +164,7 @@ fn openml_pipelines_are_invariant_across_systems() {
                 warmstart: false,
                 retry: co_core::RetryPolicy::default(),
                 quarantine_after: Some(3),
+                df_threads: None,
             });
             for warm in 0..run_idx.min(4) {
                 srv.run_workload(openml::pipeline(&data, warm, 7).unwrap())
