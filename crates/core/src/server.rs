@@ -471,6 +471,25 @@ impl OptimizerServer {
         }
     }
 
+    /// The executor configuration with a per-request time budget folded
+    /// into the retry policy: the effective workload deadline is the
+    /// tighter of the server's configured deadline and `remaining`. The
+    /// service front-end (`co-serve`) uses this to propagate a client's
+    /// request deadline into execution, so a slow workload cannot hold a
+    /// worker thread past the client's budget.
+    #[must_use]
+    pub fn executor_config_with_deadline(
+        &self,
+        remaining: Option<std::time::Duration>,
+    ) -> ExecutorConfig {
+        let mut config = self.executor_config();
+        config.retry.workload_deadline = match (config.retry.workload_deadline, remaining) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => b.or(a),
+        };
+        config
+    }
+
     /// Pipeline stage 2 (paper step 3): plan reuse against the Experiment
     /// Graph and capture the execution snapshot — planned loads fetched
     /// up front as Arc clones, warmstart candidates prefetched. The EG
@@ -731,6 +750,38 @@ impl OptimizerServer {
         }
         self.stats.lock().snapshots_compacted += 1;
         Ok(())
+    }
+
+    /// Graceful-drain hook: flush all durable state to disk — snapshot
+    /// the current graph and quarantine set atomically and truncate the
+    /// journal (exactly [`compact`]), so a post-drain data directory is
+    /// a single clean snapshot. A no-op `Ok(())` without durability; an
+    /// error if the durability layer is wedged or the snapshot fails.
+    ///
+    /// [`compact`]: OptimizerServer::compact
+    pub fn flush_durable(&self) -> Result<()> {
+        if self.is_wedged() {
+            return Err(GraphError::Io(
+                "durability layer wedged by an earlier persistence failure; \
+                 refusing to flush — restart the server from its data directory"
+                    .to_owned(),
+            ));
+        }
+        self.compact()
+    }
+
+    /// Whether durability is wedged: an earlier journal append failed,
+    /// the in-memory graph is ahead of disk, and every further persist
+    /// refuses until the server restarts from its data directory.
+    #[must_use]
+    pub fn is_wedged(&self) -> bool {
+        self.durability.as_ref().is_some_and(|d| d.lock().wedged)
+    }
+
+    /// Whether this server persists to a data directory.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
     }
 
     /// Cumulative lifetime statistics.

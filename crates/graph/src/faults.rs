@@ -80,6 +80,52 @@ impl CrashPoint {
     }
 }
 
+/// A named point in a *network* code path (the `co-serve` front-end)
+/// where an injected connection-level fault can fire. Unlike
+/// [`CrashPoint`]s, which simulate process death during a persistence
+/// step, these simulate the peer or the network dying: the process
+/// survives, the connection does not — so they prove that a killed
+/// connection can never corrupt the shared Experiment Graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFault {
+    /// The accepted connection is dropped before any byte is served —
+    /// as if the accept itself failed or the peer reset immediately.
+    AcceptFail,
+    /// The connection dies roughly halfway through writing a frame
+    /// (inside the length/CRC header or the early payload).
+    MidFrameDisconnect,
+    /// The write stalls for the injector's configured stall duration
+    /// before proceeding (exercises client read timeouts).
+    StalledWrite,
+    /// A frame is written with a complete header but a truncated
+    /// payload, then the connection closes — a torn frame.
+    TornFrame,
+}
+
+impl NetFault {
+    /// Stable name, used in error messages and the network fault matrix.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFault::AcceptFail => "accept-fail",
+            NetFault::MidFrameDisconnect => "mid-frame-disconnect",
+            NetFault::StalledWrite => "stalled-write",
+            NetFault::TornFrame => "torn-frame",
+        }
+    }
+
+    /// Every network fault point, for exhaustive fault-matrix tests.
+    #[must_use]
+    pub fn all() -> [NetFault; 4] {
+        [
+            NetFault::AcceptFail,
+            NetFault::MidFrameDisconnect,
+            NetFault::StalledWrite,
+            NetFault::TornFrame,
+        ]
+    }
+}
+
 #[derive(Debug)]
 struct OpFault {
     kind: FaultKind,
@@ -97,6 +143,12 @@ pub struct FaultInjector {
     op_latency: Mutex<HashMap<String, Duration>>,
     crash_points: Mutex<HashSet<CrashPoint>>,
     crashes_fired: AtomicUsize,
+    /// Remaining firings per network fault point; `usize::MAX` = forever.
+    net_faults: Mutex<HashMap<NetFault, usize>>,
+    net_faults_fired: AtomicUsize,
+    /// Stall applied when [`NetFault::StalledWrite`] fires, in
+    /// milliseconds (atomically adjustable mid-test).
+    net_stall_ms: AtomicUsize,
 }
 
 impl FaultInjector {
@@ -204,6 +256,66 @@ impl FaultInjector {
         self.crashes_fired.load(Ordering::SeqCst)
     }
 
+    /// Arm a network fault point for the next `times` consultations
+    /// (`usize::MAX` = forever). Replaces any previous schedule for
+    /// `fault`; `times == 0` disarms it.
+    pub fn arm_net_fault(&self, fault: NetFault, times: usize) {
+        let mut faults = self.net_faults.lock().unwrap();
+        if times == 0 {
+            faults.remove(&fault);
+        } else {
+            faults.insert(fault, times);
+        }
+    }
+
+    /// Serve-layer hook: consume one firing of `fault` if armed.
+    /// Returns whether the caller should simulate the fault here.
+    pub fn take_net_fault(&self, fault: NetFault) -> bool {
+        let fired = {
+            let mut faults = self.net_faults.lock().unwrap();
+            match faults.get_mut(&fault) {
+                Some(remaining) if *remaining > 0 => {
+                    if *remaining != usize::MAX {
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            faults.remove(&fault);
+                        }
+                    }
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fired {
+            self.net_faults_fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    /// Network fault points fired so far.
+    #[must_use]
+    pub fn net_faults_fired(&self) -> usize {
+        self.net_faults_fired.load(Ordering::SeqCst)
+    }
+
+    /// Configure the stall applied when [`NetFault::StalledWrite`] fires.
+    pub fn set_net_stall(&self, stall: Duration) {
+        // Stalls beyond usize::MAX ms are clamped; tests use millis.
+        let ms = usize::try_from(stall.as_millis()).unwrap_or(usize::MAX);
+        self.net_stall_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// The configured stalled-write duration (default 50 ms).
+    #[must_use]
+    pub fn net_stall(&self) -> Duration {
+        let ms = self.net_stall_ms.load(Ordering::SeqCst);
+        if ms == 0 {
+            Duration::from_millis(50)
+        } else {
+            Duration::from_millis(ms as u64)
+        }
+    }
+
     /// Total `get` calls observed.
     #[must_use]
     pub fn loads_seen(&self) -> usize {
@@ -277,6 +389,35 @@ mod tests {
         for p in CrashPoint::all() {
             assert!(!p.name().is_empty());
         }
+    }
+
+    #[test]
+    fn net_faults_count_down_and_disarm() {
+        let f = FaultInjector::new();
+        assert!(!f.take_net_fault(NetFault::AcceptFail));
+        f.arm_net_fault(NetFault::AcceptFail, 2);
+        assert!(f.take_net_fault(NetFault::AcceptFail));
+        assert!(f.take_net_fault(NetFault::AcceptFail));
+        assert!(!f.take_net_fault(NetFault::AcceptFail), "budget exhausted");
+        f.arm_net_fault(NetFault::TornFrame, usize::MAX);
+        for _ in 0..5 {
+            assert!(f.take_net_fault(NetFault::TornFrame));
+        }
+        f.arm_net_fault(NetFault::TornFrame, 0); // disarm
+        assert!(!f.take_net_fault(NetFault::TornFrame));
+        assert_eq!(f.net_faults_fired(), 7);
+        assert_eq!(NetFault::all().len(), 4);
+        for p in NetFault::all() {
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn net_stall_defaults_and_configures() {
+        let f = FaultInjector::new();
+        assert_eq!(f.net_stall(), Duration::from_millis(50));
+        f.set_net_stall(Duration::from_millis(7));
+        assert_eq!(f.net_stall(), Duration::from_millis(7));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod workload;
 pub use artifact::{ArtifactId, ArtifactMeta, NodeKind};
 pub use error::{GraphError, Result};
 pub use experiment::{EgVertex, ExperimentGraph};
-pub use faults::{CrashPoint, FaultInjector, FaultKind};
+pub use faults::{CrashPoint, FaultInjector, FaultKind, NetFault};
 pub use fsck::{FsckCode, FsckReport, Violation};
 pub use journal::{EgDelta, FsyncPolicy, Journal, QuarantineEntry};
 pub use meta::{DatasetMeta, MetaCode, MetaError, MetaResult, ModelMeta, ValueMeta};

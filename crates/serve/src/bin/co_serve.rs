@@ -1,0 +1,125 @@
+//! `co_serve` — run the networked front-end over a durable
+//! [`OptimizerServer`].
+//!
+//! ```text
+//! co_serve [--addr HOST:PORT] [--data-dir DIR] [--workers N]
+//!          [--queue-depth N] [--max-connections N] [--deadline-ms MS]
+//!          [--budget-mb MB]
+//! ```
+//!
+//! The workspace forbids `unsafe`, so there is no signal handler;
+//! graceful drain is triggered by typing `drain` on stdin, by closing
+//! stdin (EOF — what a supervisor's stopped pipe looks like), or by a
+//! client sending the protocol `Drain` request. All three run the same
+//! state machine: stop accepting, finish admitted work, flush durable
+//! state, exit.
+
+use co_core::{DurabilityConfig, OptimizerServer, ServerConfig};
+use co_serve::{start, ServeConfig};
+use std::io::BufRead;
+use std::sync::Arc;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "co_serve: networked front-end for the collaborative optimizer\n\
+             \n\
+               --addr HOST:PORT       bind address (default 127.0.0.1:7431)\n\
+               --data-dir DIR         durable data directory (default target/tmp/co_serve)\n\
+               --workers N            worker threads (default 4)\n\
+               --queue-depth N        admission queue depth (default 64)\n\
+               --max-connections N    concurrent connection cap (default 256)\n\
+               --deadline-ms MS       default per-request deadline (default none)\n\
+               --budget-mb MB         materialization budget (default 256)\n\
+             \n\
+             Type 'drain' (or close stdin) for a graceful drain."
+        );
+        return;
+    }
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7431".to_owned());
+    let data_dir =
+        arg_value(&args, "--data-dir").unwrap_or_else(|| "target/tmp/co_serve".to_owned());
+    let budget_mb: u64 = parse(&args, "--budget-mb", 256);
+
+    let server_config = ServerConfig::collaborative(budget_mb * 1024 * 1024);
+    let (server, recovery) =
+        match OptimizerServer::open(server_config, DurabilityConfig::new(&data_dir)) {
+            Ok(opened) => opened,
+            Err(e) => {
+                eprintln!("co_serve: cannot open data directory {data_dir}: {e}");
+                std::process::exit(2);
+            }
+        };
+    print!("{}", recovery.render());
+
+    let mut config = ServeConfig::new(addr);
+    config.workers = parse(&args, "--workers", config.workers);
+    config.queue_depth = parse(&args, "--queue-depth", config.queue_depth);
+    config.max_connections = parse(&args, "--max-connections", config.max_connections);
+    config.default_deadline_ms = arg_value(&args, "--deadline-ms").and_then(|v| v.parse().ok());
+
+    let mut handle = match start(Arc::new(server), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("co_serve: cannot bind: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "co_serve: listening on {} (data dir {data_dir}); type 'drain' or close stdin to stop",
+        handle.local_addr()
+    );
+
+    // Block on stdin: a `drain` line or EOF begins the drain. A client
+    // Drain request can also start it; poll for that so the process
+    // exits either way.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) if line.trim() == "drain" => break,
+            Ok(_) if line.trim() == "stats" => {
+                println!("{:#?}", handle.stats());
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        if handle.is_draining() {
+            break;
+        }
+    }
+
+    println!("co_serve: draining (finishing admitted work, flushing journal)...");
+    match handle.join() {
+        Ok(stats) => {
+            println!(
+                "co_serve: drained cleanly — served {} of {} submissions \
+                 ({} overload-rejected, {} drain-rejected, {} timed out)",
+                stats.served,
+                stats.submitted,
+                stats.rejected_overload,
+                stats.rejected_draining,
+                stats.timed_out
+            );
+        }
+        Err(e) => {
+            eprintln!("co_serve: drain flush failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

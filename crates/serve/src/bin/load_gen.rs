@@ -1,0 +1,464 @@
+//! `load_gen` — replay synthetic concurrent clients against a
+//! self-hosted `co-serve` front-end through three phases:
+//!
+//! 1. **open** — a steady population of clients submitting with
+//!    retry under generous deadlines (everything should be served);
+//! 2. **overload** — a burst well past the admission queue's depth,
+//!    single-shot submissions, some with deadlines too tight to
+//!    survive the backlog (exercises `Overloaded` and `TimedOut`);
+//! 3. **drain** — clients submitting in a loop while the server
+//!    drains mid-flight (admitted work finishes, the rest is rejected
+//!    with `Draining`, and the data directory must pass egfsck).
+//!
+//! Emits `target/figures/BENCH_service_load.json` with per-phase
+//! served / rejected / timed-out counts and p50/p99 service latency.
+//! `--quick` shrinks the population for CI; the default replays
+//! thousands of client connections.
+
+use co_core::{DurabilityConfig, OptimizerServer, ServerConfig};
+use co_dataframe::ColumnData;
+use co_serve::{start, Client, Response, RetryConfig, ServeConfig, SpecStep, WorkloadSpec};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scale knobs for one run.
+struct Scale {
+    /// Concurrent clients per wave in the open phase.
+    open_clients: usize,
+    /// Waves in the open phase.
+    open_waves: usize,
+    /// Submissions per open-phase client.
+    open_submits: usize,
+    /// Concurrent clients in the overload burst.
+    burst_clients: usize,
+    /// Single-shot submissions per burst client.
+    burst_submits: usize,
+    /// Clients looping through the drain phase.
+    drain_clients: usize,
+    /// Dataset rows per client.
+    rows: usize,
+}
+
+impl Scale {
+    fn quick() -> Scale {
+        Scale {
+            open_clients: 16,
+            open_waves: 2,
+            open_submits: 2,
+            burst_clients: 48,
+            burst_submits: 2,
+            drain_clients: 16,
+            rows: 48,
+        }
+    }
+
+    fn full() -> Scale {
+        Scale {
+            open_clients: 120,
+            open_waves: 10,
+            open_submits: 2,
+            burst_clients: 400,
+            burst_submits: 3,
+            drain_clients: 120,
+            rows: 128,
+        }
+    }
+
+    fn clients(&self) -> usize {
+        self.open_clients * self.open_waves + self.burst_clients + self.drain_clients
+    }
+}
+
+/// What one client observed across its submissions.
+#[derive(Default)]
+struct Observed {
+    latencies_ms: Vec<f64>,
+    served: u64,
+    rejected_overload: u64,
+    rejected_draining: u64,
+    timed_out: u64,
+    failed: u64,
+    disconnected: u64,
+}
+
+impl Observed {
+    fn absorb(&mut self, other: Observed) {
+        self.latencies_ms.extend(other.latencies_ms);
+        self.served += other.served;
+        self.rejected_overload += other.rejected_overload;
+        self.rejected_draining += other.rejected_draining;
+        self.timed_out += other.timed_out;
+        self.failed += other.failed;
+        self.disconnected += other.disconnected;
+    }
+
+    fn submitted(&self) -> u64 {
+        self.served
+            + self.rejected_overload
+            + self.rejected_draining
+            + self.timed_out
+            + self.failed
+            + self.disconnected
+    }
+
+    fn record(&mut self, response: &Response, elapsed: Duration) {
+        match response {
+            Response::Done(_) => {
+                self.served += 1;
+                self.latencies_ms.push(elapsed.as_secs_f64() * 1e3);
+            }
+            Response::Overloaded { .. } => self.rejected_overload += 1,
+            Response::Draining => self.rejected_draining += 1,
+            Response::TimedOut { .. } => self.timed_out += 1,
+            _ => self.failed += 1,
+        }
+    }
+}
+
+/// Deterministic synthetic columns: client populations share one of 8
+/// dataset contents, so the serve layer's content-qualified namespaces
+/// both dedup (same seed) and stay disjoint (different seeds).
+fn synth_columns(seed: u64, rows: usize) -> Vec<(String, ColumnData)> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let f0: Vec<f64> = (0..rows)
+        .map(|_| (next() % 10_000) as f64 / 10_000.0)
+        .collect();
+    let f1: Vec<f64> = (0..rows)
+        .map(|_| (next() % 10_000) as f64 / 5_000.0 - 1.0)
+        .collect();
+    let label: Vec<f64> = f0
+        .iter()
+        .zip(&f1)
+        .map(|(a, b)| f64::from(a + b > 1.0))
+        .collect();
+    vec![
+        ("f0".to_owned(), ColumnData::Float(f0)),
+        ("f1".to_owned(), ColumnData::Float(f1)),
+        ("label".to_owned(), ColumnData::Float(label)),
+    ]
+}
+
+/// A small pipeline over the client's dataset; every third client also
+/// trains a model (warmstart/reuse pressure on the shared EG).
+fn synth_spec(client_id: usize, train: bool) -> WorkloadSpec {
+    let mut steps = vec![
+        SpecStep::Load {
+            dataset: "synth".to_owned(),
+        },
+        SpecStep::FilterGt {
+            input: 0,
+            column: "f0".to_owned(),
+            value: 0.2,
+        },
+        SpecStep::Map {
+            input: 1,
+            column: "f1".to_owned(),
+            f: co_serve::MapFnSpec::Abs,
+            out: format!("abs_f1_{}", client_id % 4),
+        },
+        SpecStep::Agg {
+            input: 2,
+            column: "f0".to_owned(),
+            f: co_serve::AggSpec::Mean,
+        },
+    ];
+    let mut outputs = vec![3];
+    if train {
+        steps.push(SpecStep::TrainLogistic {
+            input: 1,
+            label: "label".to_owned(),
+            lr: 0.1,
+            max_iter: 12,
+        });
+        outputs.push(4);
+    }
+    WorkloadSpec { steps, outputs }
+}
+
+fn connect_and_register(addr: SocketAddr, id: usize, rows: usize) -> Option<Client> {
+    let mut client = Client::connect(addr, &format!("load-gen-{id}")).ok()?;
+    let columns = synth_columns((id % 8) as u64, rows);
+    client.register_dataset("synth", columns).ok()?;
+    Some(client)
+}
+
+/// Phase 1: steady population, retrying clients, generous deadlines.
+fn phase_open(addr: SocketAddr, scale: &Scale) -> Observed {
+    let mut total = Observed::default();
+    let retry = RetryConfig::default();
+    for wave in 0..scale.open_waves {
+        let handles: Vec<_> = (0..scale.open_clients)
+            .map(|i| {
+                let id = wave * scale.open_clients + i;
+                let rows = scale.rows;
+                let submits = scale.open_submits;
+                std::thread::spawn(move || {
+                    let mut seen = Observed::default();
+                    let Some(mut client) = connect_and_register(addr, id, rows) else {
+                        seen.disconnected += 1;
+                        return seen;
+                    };
+                    let spec = synth_spec(id, id.is_multiple_of(3));
+                    for _ in 0..submits {
+                        let started = Instant::now();
+                        match client.submit_with_retry(&spec, Some(10_000), &retry) {
+                            Ok(response) => seen.record(&response, started.elapsed()),
+                            Err(_) => seen.disconnected += 1,
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Ok(seen) = handle.join() {
+                total.absorb(seen);
+            }
+        }
+    }
+    total
+}
+
+/// Phase 2: a burst past the queue depth, no retry, some deadlines too
+/// tight to survive the backlog.
+fn phase_overload(addr: SocketAddr, scale: &Scale) -> Observed {
+    let handles: Vec<_> = (0..scale.burst_clients)
+        .map(|i| {
+            let rows = scale.rows;
+            let submits = scale.burst_submits;
+            std::thread::spawn(move || {
+                let mut seen = Observed::default();
+                let Some(mut client) = connect_and_register(addr, i, rows) else {
+                    seen.disconnected += 1;
+                    return seen;
+                };
+                let spec = synth_spec(i, false);
+                for s in 0..submits {
+                    // Every other submission carries a 1 ms deadline:
+                    // under burst backlog it expires in the queue and
+                    // must come back TimedOut, not hold a worker.
+                    let deadline = if (i + s) % 2 == 0 {
+                        Some(1)
+                    } else {
+                        Some(10_000)
+                    };
+                    let started = Instant::now();
+                    match client.submit(&spec, deadline) {
+                        Ok(response) => seen.record(&response, started.elapsed()),
+                        Err(_) => seen.disconnected += 1,
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    let mut total = Observed::default();
+    for handle in handles {
+        if let Ok(seen) = handle.join() {
+            total.absorb(seen);
+        }
+    }
+    total
+}
+
+/// Phase 3: clients loop submissions while the server drains under
+/// them. Every submission must resolve to served, a clean rejection,
+/// or a disconnect — never a hang.
+fn phase_drain(addr: SocketAddr, scale: &Scale, begin_drain: impl FnOnce() + Send) -> Observed {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..scale.drain_clients)
+            .map(|i| {
+                let rows = scale.rows;
+                scope.spawn(move || {
+                    let mut seen = Observed::default();
+                    let Some(mut client) = connect_and_register(addr, i, rows) else {
+                        seen.disconnected += 1;
+                        return seen;
+                    };
+                    let spec = synth_spec(i, false);
+                    // Keep submitting until the drain reaches us (or a
+                    // safety cap): every client should end its run on a
+                    // clean `Draining` rejection or a disconnect.
+                    let phase_cap = Instant::now() + Duration::from_secs(10);
+                    while Instant::now() < phase_cap {
+                        let started = Instant::now();
+                        match client.submit(&spec, Some(10_000)) {
+                            Ok(response) => {
+                                let stop = matches!(response, Response::Draining);
+                                let backoff = matches!(response, Response::Overloaded { .. });
+                                seen.record(&response, started.elapsed());
+                                if stop {
+                                    break;
+                                }
+                                if backoff {
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                            }
+                            Err(_) => {
+                                seen.disconnected += 1;
+                                break;
+                            }
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        // Let the population get mid-publish, then pull the plug.
+        std::thread::sleep(Duration::from_millis(250));
+        begin_drain();
+        let mut total = Observed::default();
+        for handle in handles {
+            if let Ok(seen) = handle.join() {
+                total.absorb(seen);
+            }
+        }
+        total
+    })
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let idx = (((sorted.len() - 1) as f64) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn phase_json(name: &str, clients: usize, seen: &Observed) -> String {
+    let mut sorted = seen.latencies_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    format!(
+        "    {{\"phase\": \"{name}\", \"clients\": {clients}, \"submitted\": {}, \
+         \"served\": {}, \"rejected_overload\": {}, \"rejected_draining\": {}, \
+         \"timed_out\": {}, \"failed\": {}, \"disconnected\": {}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        seen.submitted(),
+        seen.served,
+        seen.rejected_overload,
+        seen.rejected_draining,
+        seen.timed_out,
+        seen.failed,
+        seen.disconnected,
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.99),
+    )
+}
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
+    std::fs::create_dir_all(&dir).expect("can create target/figures");
+    dir
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    // Fresh durable server under target/tmp/load_gen; the post-drain
+    // directory is left behind for egfsck sweeps.
+    let data_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp/load_gen");
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let (server, _recovery) = OptimizerServer::open(
+        ServerConfig::collaborative(256 * 1024 * 1024),
+        DurabilityConfig::new(&data_dir),
+    )
+    .expect("open durable server");
+
+    let mut config = ServeConfig::new("127.0.0.1:0");
+    config.workers = if quick { 2 } else { 4 };
+    config.queue_depth = if quick { 8 } else { 16 };
+    config.max_connections = 4096;
+    let mut handle = start(Arc::new(server), config).expect("bind load_gen server");
+    let addr = handle.local_addr();
+    println!(
+        "load_gen: serving on {addr} ({} synthetic clients, quick={quick})",
+        scale.clients()
+    );
+
+    let started = Instant::now();
+    println!("load_gen: phase 1/3 open...");
+    let open = phase_open(addr, &scale);
+    println!(
+        "  open: {} served / {} submitted",
+        open.served,
+        open.submitted()
+    );
+    println!("load_gen: phase 2/3 overload...");
+    let overload = phase_overload(addr, &scale);
+    println!(
+        "  overload: {} served, {} overload-rejected, {} timed out",
+        overload.served, overload.rejected_overload, overload.timed_out
+    );
+    println!("load_gen: phase 3/3 drain...");
+    let drain_handle = &handle;
+    let drain = phase_drain(addr, &scale, move || drain_handle.begin_drain());
+    println!(
+        "  drain: {} served, {} drain-rejected, {} disconnected",
+        drain.served, drain.rejected_draining, drain.disconnected
+    );
+
+    let stats = handle.join().expect("drain flushes cleanly");
+    let wall = started.elapsed().as_secs_f64();
+
+    // Post-drain invariant check over the data directory the drain
+    // just flushed — the run fails loudly if the EG is not clean.
+    let fsck = co_graph::fsck::check_data_dir(&data_dir, true).expect("fsck can read data dir");
+    let egfsck_ok = fsck.violations.is_empty();
+    println!(
+        "load_gen: egfsck over {} — {} vertices, {} violations",
+        data_dir.display(),
+        fsck.vertices,
+        fsck.violations.len()
+    );
+
+    let phases = [
+        phase_json("open", scale.open_clients * scale.open_waves, &open),
+        phase_json("overload", scale.burst_clients, &overload),
+        phase_json("drain", scale.drain_clients, &drain),
+    ]
+    .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"service_load\",\n  \"quick\": {quick},\n  \
+         \"clients\": {},\n  \"wall_seconds\": {wall:.3},\n  \"phases\": [\n{phases}\n  ],\n  \
+         \"server\": {{\"workloads\": {}, \"submitted\": {}, \"served\": {}, \
+         \"rejected_overload\": {}, \"rejected_draining\": {}, \"timed_out\": {}, \
+         \"protocol_errors\": {}, \"connections\": {}}},\n  \
+         \"egfsck_ok\": {egfsck_ok}\n}}\n",
+        scale.clients(),
+        stats.workloads,
+        stats.submitted,
+        stats.served,
+        stats.rejected_overload,
+        stats.rejected_draining,
+        stats.timed_out,
+        stats.protocol_errors,
+        stats.connections,
+    );
+    let path = out_dir().join("BENCH_service_load.json");
+    std::fs::write(&path, &json).expect("can write BENCH_service_load.json");
+    println!("  -> wrote {}", path.display());
+
+    assert!(egfsck_ok, "post-drain data directory failed egfsck");
+    assert!(
+        overload.rejected_overload > 0,
+        "overload phase produced no admission rejections — raise the burst"
+    );
+    assert!(
+        drain.rejected_draining > 0 || drain.disconnected > 0,
+        "drain phase ended without any client observing the drain"
+    );
+}

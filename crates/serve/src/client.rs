@@ -1,0 +1,298 @@
+//! Client library for the `co-serve` wire protocol.
+//!
+//! [`Client`] is a thin blocking wrapper over one TCP connection:
+//! request out, response in, strictly alternating. The interesting
+//! piece is [`Client::submit_with_retry`], which implements the
+//! well-behaved-client side of the overload contract: on
+//! [`Response::Overloaded`] it sleeps for the server's `retry_after_ms`
+//! hint (never less), layered under its own capped exponential backoff,
+//! and gives up once the attempt budget or overall deadline runs out.
+
+use crate::frame::{encode_frame, read_frame, ProtocolError};
+use crate::proto::{Request, Response, StatsSnapshot, PROTO_VERSION};
+use crate::spec::WorkloadSpec;
+use co_dataframe::ColumnData;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure on the connection.
+    Protocol(ProtocolError),
+    /// The server answered, but with something the caller cannot use
+    /// (e.g. `Bad`, or an unexpected response type for the request).
+    Rejected(String),
+    /// Retries exhausted without an accepted submission; carries the
+    /// last response observed.
+    RetriesExhausted {
+        /// Attempts made (all rejected or timed out).
+        attempts: u32,
+        /// Human-readable description of the last rejection.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Rejected(m) => write!(f, "rejected: {m}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts (last: {last})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// Retry policy for [`Client::submit_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConfig {
+    /// Maximum attempts (≥ 1) before giving up.
+    pub max_attempts: u32,
+    /// First backoff on `Overloaded` without a usable hint.
+    pub initial_backoff: Duration,
+    /// Backoff cap; the server's `retry_after_ms` hint is also clamped
+    /// to this, so a hostile hint cannot park the client for minutes.
+    pub max_backoff: Duration,
+    /// Overall budget across all attempts and sleeps.
+    pub overall_deadline: Option<Duration>,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 6,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(2),
+            overall_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// One blocking connection to a `co-serve` front-end.
+pub struct Client {
+    stream: TcpStream,
+    /// Session id assigned by the server's `Welcome`.
+    session: u64,
+}
+
+impl Client {
+    /// Connect and perform the `Hello`/`Welcome` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure, protocol-version mismatch, or an
+    /// `Overloaded` turn-away from a server at its connection cap.
+    pub fn connect(addr: impl ToSocketAddrs, name: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client { stream, session: 0 };
+        let hello = Request::Hello {
+            client: name.to_owned(),
+            proto: PROTO_VERSION,
+        };
+        match client.roundtrip(&hello)? {
+            Response::Welcome { session, .. } => {
+                client.session = session;
+                Ok(client)
+            }
+            Response::Overloaded { retry_after_ms } => Err(ClientError::Rejected(format!(
+                "server at connection cap (retry after {retry_after_ms} ms)"
+            ))),
+            other => Err(ClientError::Rejected(format!(
+                "unexpected handshake response: {other:?}"
+            ))),
+        }
+    }
+
+    /// The session id the server assigned at handshake.
+    #[must_use]
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Send one request and read one response.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failure.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let frame = encode_frame(&request.encode());
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        let payload = read_frame(&mut self.stream)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Register a dataset in this session's namespace. Returns the
+    /// content-qualified name the server filed it under.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a server-side rejection (malformed data).
+    pub fn register_dataset(
+        &mut self,
+        name: &str,
+        columns: Vec<(String, ColumnData)>,
+    ) -> Result<String, ClientError> {
+        let request = Request::RegisterDataset {
+            name: name.to_owned(),
+            columns,
+        };
+        match self.roundtrip(&request)? {
+            Response::DatasetRegistered { qualified } => Ok(qualified),
+            Response::Failed { error, .. } | Response::Bad { message: error } => {
+                Err(ClientError::Rejected(error))
+            }
+            other => Err(ClientError::Rejected(format!(
+                "unexpected response to RegisterDataset: {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit once, no retry. The caller sees the raw server decision
+    /// (`Done` / `Overloaded` / `Draining` / `TimedOut` / `Failed`).
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failure only.
+    pub fn submit(
+        &mut self,
+        spec: &WorkloadSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Submit {
+            spec: spec.clone(),
+            deadline_ms,
+        })
+    }
+
+    /// Submit with capped-backoff retry, honoring the server's
+    /// retry-after hint on `Overloaded`. `Draining` is terminal (the
+    /// server will not come back on this address); `TimedOut` and
+    /// transient `Failed` responses are retried; permanent failures are
+    /// surfaced immediately.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, a permanent server-side failure, or
+    /// [`ClientError::RetriesExhausted`].
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &WorkloadSpec,
+        deadline_ms: Option<u64>,
+        retry: &RetryConfig,
+    ) -> Result<Response, ClientError> {
+        let started = Instant::now();
+        let mut backoff = retry.initial_backoff;
+        let mut last = String::from("no attempt made");
+        let attempts = retry.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if let Some(overall) = retry.overall_deadline {
+                if started.elapsed() >= overall {
+                    return Err(ClientError::RetriesExhausted {
+                        attempts: attempt,
+                        last,
+                    });
+                }
+            }
+            let sleep = match self.submit(spec, deadline_ms)? {
+                done @ Response::Done(_) => return Ok(done),
+                draining @ Response::Draining => return Ok(draining),
+                Response::Overloaded { retry_after_ms } => {
+                    last = format!("overloaded (retry after {retry_after_ms} ms)");
+                    // Honor the hint, but never sleep less than our own
+                    // backoff (the hint can be optimistic) nor more
+                    // than the cap (the hint can be hostile).
+                    Duration::from_millis(retry_after_ms)
+                        .max(backoff)
+                        .min(retry.max_backoff)
+                }
+                Response::TimedOut { waited_ms } => {
+                    last = format!("timed out after {waited_ms} ms");
+                    backoff.min(retry.max_backoff)
+                }
+                Response::Failed {
+                    error,
+                    transient: true,
+                    ..
+                } => {
+                    last = format!("transient failure: {error}");
+                    backoff.min(retry.max_backoff)
+                }
+                Response::Failed { error, .. } => return Err(ClientError::Rejected(error)),
+                other => {
+                    return Err(ClientError::Rejected(format!(
+                        "unexpected response to Submit: {other:?}"
+                    )))
+                }
+            };
+            if attempt + 1 < attempts {
+                std::thread::sleep(sleep);
+                backoff = (backoff * 2).min(retry.max_backoff);
+            }
+        }
+        Err(ClientError::RetriesExhausted { attempts, last })
+    }
+
+    /// Fetch the server's full counter set.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unexpected response type.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::StatsReply(snapshot) => Ok(snapshot),
+            other => Err(ClientError::Rejected(format!(
+                "unexpected response to Stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unexpected response type.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Rejected(format!(
+                "unexpected response to Ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to begin a graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unexpected response type.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Drain)? {
+            Response::DrainStarted => Ok(()),
+            other => Err(ClientError::Rejected(format!(
+                "unexpected response to Drain: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The wire framing layer: length-prefixed, CRC-checked frames.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! mirroring the `EGWAL` journal record format (DESIGN.md §10), so the
+//! same corruption story holds on the wire as on disk: a flipped byte
+//! anywhere in a frame is caught by the checksum, a flipped length
+//! prefix is caught as an oversized frame or a short read, and a torn
+//! frame (the peer died mid-write) is caught as a truncated read. All
+//! of these are *typed* [`ProtocolError`]s that tear down exactly one
+//! connection — never a panic, never a wedged worker.
+//!
+//! A length prefix above [`MAX_FRAME`] is rejected before any
+//! allocation, which also covers "negative" lengths: any value with the
+//! sign bit set, read as `u32`, exceeds the cap by orders of magnitude.
+
+use co_graph::journal::crc32;
+use co_graph::{FaultInjector, NetFault};
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on a frame payload (64 MiB) — large enough for a chunky
+/// dataset registration, small enough that a hostile or corrupt length
+/// prefix cannot balloon server memory.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Bytes of frame header (length + checksum).
+pub const HEADER_LEN: usize = 8;
+
+/// Consecutive idle read cycles tolerated *mid-frame* before the frame
+/// is declared torn. With the serve layer's poll-interval read timeout
+/// this bounds how long a half-written frame can pin a connection.
+const MAX_MID_FRAME_STALLS: usize = 100;
+
+/// A typed wire-protocol failure. Every variant tears down only the
+/// connection it occurred on.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// No bytes arrived within the read timeout while *between* frames —
+    /// not an error; the caller polls again (and checks drain state).
+    Idle,
+    /// The length prefix exceeds [`MAX_FRAME`] (including any prefix
+    /// whose sign bit is set when read as a 32-bit integer).
+    Oversized { len: u64 },
+    /// The connection died (or stalled past the patience budget) in the
+    /// middle of a frame: `got` of `expected` payload+header bytes.
+    Truncated { expected: usize, got: usize },
+    /// The payload does not match its CRC-32.
+    BadChecksum,
+    /// The payload failed to decode: unknown tag, short field, trailing
+    /// bytes, invalid UTF-8, or an implausible element count.
+    Malformed(String),
+    /// A transport-level I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Closed => write!(f, "connection closed"),
+            ProtocolError::Idle => write!(f, "no frame within the read timeout"),
+            ProtocolError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            ProtocolError::Truncated { expected, got } => {
+                write!(f, "truncated frame: got {got} of {expected} bytes")
+            }
+            ProtocolError::BadChecksum => write!(f, "frame payload fails its CRC-32 check"),
+            ProtocolError::Malformed(m) => write!(f, "malformed message: {m}"),
+            ProtocolError::Io(e) => write!(f, "connection I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl ProtocolError {
+    /// Whether this error indicts the *frame bytes* (as opposed to the
+    /// transport): oversized, truncated, checksum, or decode failure.
+    #[must_use]
+    pub fn is_frame_error(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::Oversized { .. }
+                | ProtocolError::Truncated { .. }
+                | ProtocolError::BadChecksum
+                | ProtocolError::Malformed(_)
+        )
+    }
+}
+
+/// Encode a payload into a complete frame (header + payload).
+#[must_use]
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    #[allow(clippy::cast_possible_truncation)] // guarded by MAX_FRAME
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Write one frame. With a fault injector attached, consults the
+/// connection-level fault points first:
+///
+/// * [`NetFault::StalledWrite`] — sleep the configured stall, then write
+///   normally;
+/// * [`NetFault::MidFrameDisconnect`] — write roughly half of the frame
+///   (cutting inside the header for short frames) and fail;
+/// * [`NetFault::TornFrame`] — write the complete header but only half
+///   of the payload, and fail.
+///
+/// On a fault-injected failure the returned error is `Io(ConnectionAborted)`;
+/// the caller drops the connection, exactly as it would for a real peer
+/// death mid-write.
+pub fn write_frame(
+    w: &mut impl Write,
+    payload: &[u8],
+    faults: Option<&FaultInjector>,
+) -> Result<(), ProtocolError> {
+    if payload.len() > MAX_FRAME {
+        return Err(ProtocolError::Oversized {
+            len: payload.len() as u64,
+        });
+    }
+    let frame = encode_frame(payload);
+    if let Some(f) = faults {
+        if f.take_net_fault(NetFault::StalledWrite) {
+            std::thread::sleep(f.net_stall());
+        }
+        if f.take_net_fault(NetFault::MidFrameDisconnect) {
+            let cut = frame.len() / 2;
+            w.write_all(&frame[..cut])?;
+            w.flush()?;
+            return Err(ProtocolError::Io(std::io::Error::new(
+                ErrorKind::ConnectionAborted,
+                "injected mid-frame disconnect",
+            )));
+        }
+        if f.take_net_fault(NetFault::TornFrame) {
+            let cut = HEADER_LEN + payload.len() / 2;
+            w.write_all(&frame[..cut])?;
+            w.flush()?;
+            return Err(ProtocolError::Io(std::io::Error::new(
+                ErrorKind::ConnectionAborted,
+                "injected torn frame",
+            )));
+        }
+    }
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Fill `buf[*got..]` from the reader, tolerating interrupted and
+/// timed-out reads. Returns `Ok(true)` when full, `Ok(false)` when the
+/// patience budget for a stalled peer ran out, and errors on EOF or a
+/// hard transport failure (`*got` always reflects bytes consumed).
+fn read_fully(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    got: &mut usize,
+    expected_total: usize,
+    header_got: usize,
+) -> Result<bool, ProtocolError> {
+    let mut stalls = 0usize;
+    while *got < buf.len() {
+        match r.read(&mut buf[*got..]) {
+            Ok(0) => {
+                return Err(ProtocolError::Truncated {
+                    expected: expected_total,
+                    got: header_got + *got,
+                })
+            }
+            Ok(n) => {
+                *got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                stalls += 1;
+                if stalls >= MAX_MID_FRAME_STALLS {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame and return its validated payload.
+///
+/// Designed for sockets carrying a read timeout: a timeout with *no*
+/// header byte consumed yields [`ProtocolError::Idle`] (poll again); a
+/// timeout after the frame started counts against a bounded patience
+/// budget and then yields [`ProtocolError::Truncated`]. EOF between
+/// frames is [`ProtocolError::Closed`]; EOF inside a frame is
+/// `Truncated`.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    // First byte: distinguish idle (no frame yet) from a torn header.
+    while got == 0 {
+        match r.read(&mut header) {
+            Ok(0) => return Err(ProtocolError::Closed),
+            Ok(n) => got = n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(ProtocolError::Idle)
+            }
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    if !read_fully(r, &mut header, &mut got, HEADER_LEN, 0)? {
+        return Err(ProtocolError::Truncated {
+            expected: HEADER_LEN,
+            got,
+        });
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(ProtocolError::Oversized { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    let mut body_got = 0usize;
+    if !read_fully(r, &mut payload, &mut body_got, HEADER_LEN + len, HEADER_LEN)? {
+        return Err(ProtocolError::Truncated {
+            expected: HEADER_LEN + len,
+            got: HEADER_LEN + body_got,
+        });
+    }
+    if crc32(&payload) != crc {
+        return Err(ProtocolError::BadChecksum);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = b"hello frame".to_vec();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload, None).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + payload.len());
+        let back = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[], None).unwrap();
+        let back = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn eof_between_frames_is_closed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(empty)),
+            Err(ProtocolError::Closed)
+        ));
+    }
+
+    #[test]
+    fn eof_mid_header_and_mid_payload_is_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload", None).unwrap();
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        // Length prefix of u32::MAX — the "negative i32" case.
+        let mut buf = u32::MAX.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 4]);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Oversized { .. }), "{err}");
+        // Just over the cap, too.
+        #[allow(clippy::cast_possible_truncation)]
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(ProtocolError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_catches_payload_flips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"sensitive bits", None).unwrap();
+        for i in HEADER_LEN..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            let err = read_frame(&mut Cursor::new(&bad)).unwrap_err();
+            assert!(err.is_frame_error(), "flip at {i}: {err}");
+        }
+    }
+
+    #[test]
+    fn injected_mid_frame_disconnect_truncates_for_the_reader() {
+        let faults = FaultInjector::new();
+        faults.arm_net_fault(NetFault::MidFrameDisconnect, 1);
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, b"doomed payload", Some(&faults)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io(_)));
+        assert!(buf.len() < HEADER_LEN + b"doomed payload".len());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(ProtocolError::Truncated { .. })
+        ));
+        // Disarmed: the next write goes through whole.
+        let mut buf2 = Vec::new();
+        write_frame(&mut buf2, b"doomed payload", Some(&faults)).unwrap();
+        assert_eq!(
+            read_frame(&mut Cursor::new(&buf2)).unwrap(),
+            b"doomed payload"
+        );
+    }
+
+    #[test]
+    fn injected_torn_frame_keeps_header_but_cuts_payload() {
+        let faults = FaultInjector::new();
+        faults.arm_net_fault(NetFault::TornFrame, 1);
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, b"torn in transit", Some(&faults)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io(_)));
+        assert!(buf.len() >= HEADER_LEN, "header is complete");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(ProtocolError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_stall_delays_but_delivers() {
+        let faults = FaultInjector::new();
+        faults.set_net_stall(std::time::Duration::from_millis(15));
+        faults.arm_net_fault(NetFault::StalledWrite, 1);
+        let mut buf = Vec::new();
+        let start = std::time::Instant::now();
+        write_frame(&mut buf, b"slow", Some(&faults)).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(15));
+        assert_eq!(read_frame(&mut Cursor::new(&buf)).unwrap(), b"slow");
+    }
+}

@@ -1,0 +1,43 @@
+//! # co-serve: overload-safe networked front-end
+//!
+//! A service layer over [`co_core::OptimizerServer`]: many clients
+//! share one Experiment Graph over a length-prefixed TCP wire protocol
+//! (std only — no async runtime), with per-session dataset namespaces,
+//! admission control that rejects rather than queues unboundedly,
+//! per-request deadlines that propagate into the executor's retry
+//! policy, and a graceful drain that finishes admitted work and flushes
+//! durable state before stopping.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`frame`] — the wire framing: `[u32 len][u32 crc32][payload]`,
+//!   mirroring the journal record format, with every malformed input
+//!   mapped to a typed [`frame::ProtocolError`];
+//! * [`proto`] — request/response types and their hand-rolled binary
+//!   codec (total: decoding never panics, any input is `Ok` or `Err`);
+//! * [`spec`] — the client-visible workload description and its
+//!   compiler into a [`co_graph::WorkloadDag`], plus per-session
+//!   dataset namespacing by content fingerprint;
+//! * [`server`] — acceptor, session threads, admission queue, worker
+//!   pool, drain state machine;
+//! * [`client`] — blocking client with capped-backoff retry honoring
+//!   the server's retry-after hints.
+//!
+//! Connection-level fault injection (accept failures, mid-frame
+//! disconnects, stalled writes, torn frames) comes from
+//! [`co_graph::FaultInjector`] via [`co_graph::NetFault`], so network
+//! and durability faults share one deterministic schedule.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod spec;
+
+pub use client::{Client, ClientError, RetryConfig};
+pub use frame::{encode_frame, read_frame, write_frame, ProtocolError, MAX_FRAME};
+pub use proto::{Request, Response, StatsSnapshot, WorkloadSummary, PROTO_VERSION};
+pub use server::{start, ServeConfig, ServeCounters, ServeHandle};
+pub use spec::{AggSpec, MapFnSpec, SessionDatasets, SpecError, SpecStep, WorkloadSpec};

@@ -1,0 +1,498 @@
+//! Wire-transportable workload descriptions and per-session namespaces.
+//!
+//! A [`WorkloadSpec`] is the serializable analogue of a
+//! [`co_core::Script`]: an ordered list of steps, each naming its input
+//! steps by index, plus the set of requested outputs. The serve layer
+//! compiles a spec against the submitting session's registered datasets
+//! into a real `WorkloadDag`, so the optimizer, executor, and
+//! materializer see exactly the same DAGs an in-process client builds.
+//!
+//! **Namespacing.** Source artifact identity in the Experiment Graph is
+//! derived from the source *name* alone (`ArtifactId::source`), so two
+//! remote clients registering different data under the same name would
+//! collide. [`SessionDatasets::register`] therefore qualifies every
+//! registered dataset with a content hash (`name@<fnv64>`): different
+//! content never collides, while identical content registered by any
+//! number of clients dedups onto the same artifacts — the collaborative
+//! sharing the paper is about, preserved across the process boundary.
+
+use co_core::Script;
+use co_dataframe::{Column, ColumnData, DataFrame};
+use co_graph::WorkloadDag;
+use co_ml::linear::LogisticParams;
+use std::collections::HashMap;
+
+/// Cap on steps per spec — an admission guard, not a protocol limit.
+pub const MAX_STEPS: usize = 512;
+
+/// A unary numeric transform, wire form of `co_dataframe::ops::MapFn`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapFnSpec {
+    /// `ln(1 + x)`.
+    Log1p,
+    /// Absolute value.
+    Abs,
+    /// Safe square root.
+    Sqrt,
+    /// Add a constant.
+    AddConst(f64),
+    /// Multiply by a constant.
+    MulConst(f64),
+}
+
+impl MapFnSpec {
+    fn to_map_fn(self) -> co_dataframe::ops::MapFn {
+        use co_dataframe::ops::MapFn;
+        match self {
+            MapFnSpec::Log1p => MapFn::Log1p,
+            MapFnSpec::Abs => MapFn::Abs,
+            MapFnSpec::Sqrt => MapFn::Sqrt,
+            MapFnSpec::AddConst(c) => MapFn::AddConst(c),
+            MapFnSpec::MulConst(c) => MapFn::MulConst(c),
+        }
+    }
+}
+
+/// An aggregate function, wire form of `co_dataframe::ops::AggFn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggSpec {
+    /// Sum.
+    Sum,
+    /// Mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Non-missing count.
+    Count,
+    /// Population standard deviation.
+    Std,
+}
+
+impl AggSpec {
+    fn to_agg_fn(self) -> co_dataframe::ops::AggFn {
+        use co_dataframe::ops::AggFn;
+        match self {
+            AggSpec::Sum => AggFn::Sum,
+            AggSpec::Mean => AggFn::Mean,
+            AggSpec::Min => AggFn::Min,
+            AggSpec::Max => AggFn::Max,
+            AggSpec::Count => AggFn::Count,
+            AggSpec::Std => AggFn::Std,
+        }
+    }
+}
+
+/// One step of a workload spec. `input` fields index earlier steps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecStep {
+    /// Load a dataset registered in this session.
+    Load {
+        /// Session-local dataset name (as registered).
+        dataset: String,
+    },
+    /// Projection.
+    Select {
+        /// Producing step index.
+        input: u32,
+        /// Columns to keep.
+        columns: Vec<String>,
+    },
+    /// Numeric row filter `column > value`.
+    FilterGt {
+        /// Producing step index.
+        input: u32,
+        /// Filter column.
+        column: String,
+        /// Threshold.
+        value: f64,
+    },
+    /// Unary column transform appending column `out`.
+    Map {
+        /// Producing step index.
+        input: u32,
+        /// Input column.
+        column: String,
+        /// Transform.
+        f: MapFnSpec,
+        /// Output column name.
+        out: String,
+    },
+    /// Train logistic regression.
+    TrainLogistic {
+        /// Producing step index.
+        input: u32,
+        /// Label column.
+        label: String,
+        /// Learning rate.
+        lr: f64,
+        /// Iteration budget.
+        max_iter: u32,
+    },
+    /// Whole-column aggregate.
+    Agg {
+        /// Producing step index.
+        input: u32,
+        /// Aggregated column.
+        column: String,
+        /// Aggregate function.
+        f: AggSpec,
+    },
+}
+
+/// A wire-transportable workload: steps in dependency order plus the
+/// requested output steps.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSpec {
+    /// Steps; each step's inputs must have smaller indices.
+    pub steps: Vec<SpecStep>,
+    /// Indices of steps whose results the client requests.
+    pub outputs: Vec<u32>,
+}
+
+/// Why a spec failed to compile into a workload DAG. These are client
+/// errors (reported as a failed submission), not protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid workload spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// FNV-1a 64 over raw bytes — content fingerprint for namespacing.
+fn fnv1a64(chunks: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in chunks {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable content fingerprint of a dataset registration: column names,
+/// dtypes, and every value, in order.
+#[must_use]
+pub fn content_fingerprint(columns: &[(String, ColumnData)]) -> u64 {
+    let mut bytes: Vec<u8> = Vec::new();
+    for (name, data) in columns {
+        bytes.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(name.as_bytes());
+        match data {
+            ColumnData::Int(v) => {
+                bytes.push(1);
+                for x in v {
+                    bytes.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            ColumnData::Float(v) => {
+                bytes.push(2);
+                for x in v {
+                    bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+            ColumnData::Str(v) => {
+                bytes.push(3);
+                for s in v {
+                    bytes.extend_from_slice(&(s.len() as u64).to_le_bytes());
+                    bytes.extend_from_slice(s.as_bytes());
+                }
+            }
+            ColumnData::Bool(v) => {
+                bytes.push(4);
+                for b in v {
+                    bytes.push(u8::from(*b));
+                }
+            }
+        }
+    }
+    fnv1a64(bytes.into_iter())
+}
+
+/// The datasets one session has registered: local name → (qualified
+/// source name, frame). Frames hold `Arc`-backed columns, so cloning
+/// one into a workload costs a pointer bump per column.
+#[derive(Debug, Default)]
+pub struct SessionDatasets {
+    map: HashMap<String, (String, DataFrame)>,
+}
+
+impl SessionDatasets {
+    /// An empty namespace.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionDatasets::default()
+    }
+
+    /// Register (or replace) a dataset under `name`. Returns the
+    /// content-qualified source name used in the shared Experiment
+    /// Graph.
+    pub fn register(
+        &mut self,
+        name: &str,
+        columns: Vec<(String, ColumnData)>,
+    ) -> Result<String, SpecError> {
+        if name.is_empty() {
+            return Err(SpecError("dataset name is empty".into()));
+        }
+        if columns.is_empty() {
+            return Err(SpecError(format!("dataset {name:?} has no columns")));
+        }
+        let qualified = format!("{name}@{:016x}", content_fingerprint(&columns));
+        let cols: Vec<Column> = columns
+            .into_iter()
+            .map(|(cname, data)| Column::source(&qualified, &cname, data))
+            .collect();
+        let frame = DataFrame::new(cols)
+            .map_err(|e| SpecError(format!("dataset {name:?} is not a valid frame: {e}")))?;
+        self.map.insert(name.to_owned(), (qualified.clone(), frame));
+        Ok(qualified)
+    }
+
+    /// Look up a registered dataset.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&(String, DataFrame)> {
+        self.map.get(name)
+    }
+
+    /// Number of registered datasets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no dataset is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Compile a spec against a session's datasets into a workload DAG.
+/// Purely structural — nothing executes; schema-level problems are left
+/// to the server's static validator, which reports them with node
+/// paths.
+pub fn compile(spec: &WorkloadSpec, datasets: &SessionDatasets) -> Result<WorkloadDag, SpecError> {
+    if spec.steps.is_empty() {
+        return Err(SpecError("spec has no steps".into()));
+    }
+    if spec.steps.len() > MAX_STEPS {
+        return Err(SpecError(format!(
+            "spec has {} steps; the cap is {MAX_STEPS}",
+            spec.steps.len()
+        )));
+    }
+    if spec.outputs.is_empty() {
+        return Err(SpecError("spec requests no outputs".into()));
+    }
+    let mut script = Script::new();
+    let mut nodes = Vec::with_capacity(spec.steps.len());
+    let input_of = |nodes: &Vec<co_graph::NodeId>, step: usize, input: u32| {
+        let input = input as usize;
+        if input >= step {
+            return Err(SpecError(format!(
+                "step {step} references step {input}, which is not earlier"
+            )));
+        }
+        Ok(nodes[input])
+    };
+    for (i, step) in spec.steps.iter().enumerate() {
+        let node = match step {
+            SpecStep::Load { dataset } => {
+                let (qualified, frame) = datasets.get(dataset).ok_or_else(|| {
+                    SpecError(format!(
+                        "dataset {dataset:?} is not registered in this session"
+                    ))
+                })?;
+                script.load(qualified, frame.clone())
+            }
+            SpecStep::Select { input, columns } => {
+                let node = input_of(&nodes, i, *input)?;
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                script
+                    .select(node, &cols)
+                    .map_err(|e| SpecError(format!("step {i} (select): {e}")))?
+            }
+            SpecStep::FilterGt {
+                input,
+                column,
+                value,
+            } => {
+                let node = input_of(&nodes, i, *input)?;
+                script
+                    .filter(node, co_dataframe::ops::Predicate::gt_f(column, *value))
+                    .map_err(|e| SpecError(format!("step {i} (filter): {e}")))?
+            }
+            SpecStep::Map {
+                input,
+                column,
+                f,
+                out,
+            } => {
+                let node = input_of(&nodes, i, *input)?;
+                script
+                    .map(node, column, f.to_map_fn(), out)
+                    .map_err(|e| SpecError(format!("step {i} (map): {e}")))?
+            }
+            SpecStep::TrainLogistic {
+                input,
+                label,
+                lr,
+                max_iter,
+            } => {
+                let node = input_of(&nodes, i, *input)?;
+                script
+                    .train_logistic(
+                        node,
+                        label,
+                        LogisticParams {
+                            lr: *lr,
+                            max_iter: *max_iter as usize,
+                            ..LogisticParams::default()
+                        },
+                    )
+                    .map_err(|e| SpecError(format!("step {i} (train_logistic): {e}")))?
+            }
+            SpecStep::Agg { input, column, f } => {
+                let node = input_of(&nodes, i, *input)?;
+                script
+                    .agg(node, column, f.to_agg_fn())
+                    .map_err(|e| SpecError(format!("step {i} (agg): {e}")))?
+            }
+        };
+        nodes.push(node);
+    }
+    for output in &spec.outputs {
+        let node = *nodes.get(*output as usize).ok_or_else(|| {
+            SpecError(format!(
+                "output {output} is out of range ({} steps)",
+                spec.steps.len()
+            ))
+        })?;
+        script
+            .output(node)
+            .map_err(|e| SpecError(format!("output {output}: {e}")))?;
+    }
+    Ok(script.into_dag())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> Vec<(String, ColumnData)> {
+        vec![
+            (
+                "x".into(),
+                ColumnData::Float((0..100).map(f64::from).collect()),
+            ),
+            (
+                "y".into(),
+                ColumnData::Int((0..100).map(|i| i64::from(i >= 50)).collect()),
+            ),
+        ]
+    }
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            steps: vec![
+                SpecStep::Load {
+                    dataset: "train".into(),
+                },
+                SpecStep::FilterGt {
+                    input: 0,
+                    column: "x".into(),
+                    value: 3.0,
+                },
+                SpecStep::TrainLogistic {
+                    input: 1,
+                    label: "y".into(),
+                    lr: 0.1,
+                    max_iter: 20,
+                },
+            ],
+            outputs: vec![2],
+        }
+    }
+
+    #[test]
+    fn compile_builds_the_script_dag() {
+        let mut ds = SessionDatasets::new();
+        ds.register("train", columns()).unwrap();
+        let dag = compile(&spec(), &ds).unwrap();
+        assert_eq!(dag.n_nodes(), 3);
+        assert_eq!(dag.terminals().len(), 1);
+    }
+
+    #[test]
+    fn same_content_same_namespace_different_content_diverges() {
+        let mut a = SessionDatasets::new();
+        let mut b = SessionDatasets::new();
+        let qa = a.register("train", columns()).unwrap();
+        let qb = b.register("train", columns()).unwrap();
+        assert_eq!(qa, qb, "identical content converges (shared reuse)");
+
+        let mut c = SessionDatasets::new();
+        let mut other = columns();
+        other[0].1 = ColumnData::Float((0..100).map(|i| f64::from(i) * 2.0).collect());
+        let qc = c.register("train", other).unwrap();
+        assert_ne!(qa, qc, "different content never collides");
+
+        // And the compiled DAGs agree exactly when the content does.
+        let da = compile(&spec(), &a).unwrap();
+        let db = compile(&spec(), &b).unwrap();
+        let dc = compile(&spec(), &c).unwrap();
+        assert_eq!(
+            da.nodes()[2].artifact,
+            db.nodes()[2].artifact,
+            "same content, same artifacts"
+        );
+        assert_ne!(da.nodes()[2].artifact, dc.nodes()[2].artifact);
+    }
+
+    #[test]
+    fn forward_and_out_of_range_references_are_rejected() {
+        let mut ds = SessionDatasets::new();
+        ds.register("train", columns()).unwrap();
+        let mut bad = spec();
+        bad.steps[1] = SpecStep::FilterGt {
+            input: 2,
+            column: "x".into(),
+            value: 0.0,
+        };
+        assert!(compile(&bad, &ds).is_err());
+
+        let mut bad = spec();
+        bad.outputs = vec![9];
+        assert!(compile(&bad, &ds).is_err());
+    }
+
+    #[test]
+    fn unknown_dataset_and_empty_specs_are_rejected() {
+        let ds = SessionDatasets::new();
+        assert!(compile(&spec(), &ds).is_err(), "dataset not registered");
+        assert!(compile(&WorkloadSpec::default(), &ds).is_err());
+        let mut no_out = spec();
+        no_out.outputs.clear();
+        let mut with_ds = SessionDatasets::new();
+        with_ds.register("train", columns()).unwrap();
+        assert!(compile(&no_out, &with_ds).is_err());
+    }
+
+    #[test]
+    fn registration_rejects_degenerate_datasets() {
+        let mut ds = SessionDatasets::new();
+        assert!(ds.register("", columns()).is_err());
+        assert!(ds.register("t", Vec::new()).is_err());
+        // Mismatched column lengths are rejected by DataFrame::new.
+        let ragged = vec![
+            ("a".into(), ColumnData::Int(vec![1, 2, 3])),
+            ("b".into(), ColumnData::Int(vec![1])),
+        ];
+        assert!(ds.register("t", ragged).is_err());
+    }
+}
