@@ -28,6 +28,7 @@ fn populated_eg(dedup: bool) -> (ExperimentGraph, HashMap<ArtifactId, Value>) {
         retry: co_core::RetryPolicy::default(),
         quarantine_after: Some(3),
         df_threads: None,
+        shards: 1,
     });
     let mut available = HashMap::new();
     for dag in kaggle::all_workloads(&data).expect("builds") {

@@ -1,18 +1,21 @@
-//! Multi-client server throughput: workloads/sec at 1/4/8 submitter
-//! threads against one shared, warm `OptimizerServer`.
+//! Multi-client server throughput: workloads/sec at 1–64 submitter
+//! threads against one shared, warm `OptimizerServer` partitioned into
+//! lock shards (DESIGN.md §14).
 //!
 //! Every submission shares a warm feature prefix (loaded from the
 //! Experiment Graph) but trains with a unique learning rate, so each run
 //! carries real work. The training operation is additionally stalled for
-//! a few milliseconds by the deterministic fault injector, modeling
+//! several milliseconds by the deterministic fault injector, modeling
 //! operations that wait on I/O rather than CPU. Because the staged
 //! pipeline (DESIGN.md §9) holds no Experiment Graph lock during
-//! execution, those stalls overlap across submitters and throughput
-//! scales with threads even on a single core; before the refactor, one
-//! session's pending write-lock publication would have stalled every
-//! other session for the duration of the slowest in-flight operation.
-//! The emitted `BENCH_server_throughput.json` lets successive revisions
-//! track the trajectory.
+//! execution, those stalls overlap across submitters; and because each
+//! unique training artifact hashes to its own shard, publishes lock only
+//! the shards they touch, so high submitter counts keep scaling where a
+//! single graph-wide write lock would plateau. Per-shard lock-wait
+//! nanoseconds are sampled around every run: they quantify how much
+//! publish-side contention remains at each thread count. The emitted
+//! `BENCH_server_throughput.json` lets successive revisions track the
+//! trajectory.
 
 use co_bench::{full_scale, write_json};
 use co_core::{OptimizerServer, Script, ServerConfig};
@@ -27,6 +30,9 @@ use std::time::{Duration, Instant};
 /// Injected per-training-op stall (simulated I/O wait).
 const OP_STALL: Duration = Duration::from_millis(5);
 
+/// Experiment Graph lock shards for the bench server.
+const SHARDS: usize = 8;
+
 /// Warm shared prefix, unique training op per `serial`.
 fn workload(data: &CreditG, serial: usize) -> WorkloadDag {
     #[allow(clippy::cast_precision_loss)] // serials stay far below 2^52
@@ -34,8 +40,10 @@ fn workload(data: &CreditG, serial: usize) -> WorkloadDag {
     let mut s = Script::new();
     let train = s.load("creditg_train", data.train.clone());
     let m = s.map(train, "a0", MapFn::Abs, "a0_abs").unwrap();
-    // tol = 0 pins training to the full iteration budget, so every
-    // submission carries the same non-trivial compute.
+    // A short, fixed iteration budget: the training op's cost is the
+    // injected stall plus a small slice of CPU, so throughput is
+    // stall-overlap-bound (what the pipeline and shards optimize), not
+    // bound by raw single-core compute.
     let model = s
         .train_logistic(
             m,
@@ -43,6 +51,7 @@ fn workload(data: &CreditG, serial: usize) -> WorkloadDag {
             LogisticParams {
                 lr,
                 tol: 0.0,
+                max_iter: 10,
                 ..Default::default()
             },
         )
@@ -90,7 +99,9 @@ fn main() {
     let rows = if full_scale() { 2000 } else { 400 };
     let per_thread = if full_scale() { 100 } else { 25 };
     let data = creditg(rows, 0);
-    let server = Arc::new(OptimizerServer::new(ServerConfig::collaborative(u64::MAX)));
+    let mut config = ServerConfig::collaborative(u64::MAX);
+    config.shards = SHARDS;
+    let server = Arc::new(OptimizerServer::new(config));
     let faults = Arc::new(FaultInjector::new());
     faults.inject_latency("train_logistic", OP_STALL);
     server.set_fault_injector(faults);
@@ -102,27 +113,45 @@ fn main() {
         .run_workload(workload(&data, id))
         .expect("warmup runs");
 
-    println!("server throughput ({rows} rows, {per_thread} workloads/thread)");
-    println!("  threads  workloads  seconds  workloads/sec  compute(s)  plan(s)  publish(s)");
+    println!("server throughput ({rows} rows, {per_thread} workloads/thread, {SHARDS} shards)");
+    println!(
+        "  threads  workloads  seconds  workloads/sec  compute(s)  plan(s)  publish(s)  lock-wait(ms)"
+    );
     let mut results = Vec::new();
-    for threads in [1usize, 4, 8] {
+    for threads in [1usize, 4, 8, 16, 32, 64] {
+        let wait_before = server.lock_wait_ns();
         let (total, seconds, compute, plan, publish) =
             drive(&server, &data, threads, per_thread, &serial);
+        let wait_after = server.lock_wait_ns();
+        // Nanoseconds publishers spent blocked on contended shard write
+        // locks during THIS run, per shard.
+        let lock_wait_ns: Vec<u64> = wait_after
+            .iter()
+            .zip(&wait_before)
+            .map(|(a, b)| a - b)
+            .collect();
+        let wait_total_ms = lock_wait_ns.iter().sum::<u64>() as f64 / 1e6;
         let throughput = total as f64 / seconds;
         println!(
             "  {threads:>7}  {total:>9}  {seconds:>7.3}  {throughput:>13.1}  \
-             {compute:>10.3}  {plan:>7.3}  {publish:>10.3}"
+             {compute:>10.3}  {plan:>7.3}  {publish:>10.3}  {wait_total_ms:>13.3}"
         );
+        let waits = lock_wait_ns
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
         results.push(format!(
             "    {{\"threads\": {threads}, \"workloads\": {total}, \
-             \"seconds\": {seconds:.6}, \"workloads_per_sec\": {throughput:.3}}}"
+             \"seconds\": {seconds:.6}, \"workloads_per_sec\": {throughput:.3}, \
+             \"shards\": {SHARDS}, \"lock_wait_ns_per_shard\": [{waits}]}}"
         ));
     }
 
     let json = format!(
         "{{\n  \"bench\": \"server_throughput\",\n  \"rows\": {rows},\n  \
          \"workloads_per_thread\": {per_thread},\n  \"op_stall_ms\": {},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"shards\": {SHARDS},\n  \"results\": [\n{}\n  ]\n}}\n",
         OP_STALL.as_millis(),
         results.join(",\n")
     );

@@ -86,6 +86,7 @@ pub fn run() {
             retry: co_core::RetryPolicy::default(),
             quarantine_after: Some(3),
             df_threads: None,
+            shards: 1,
         });
         let cum = scenario_cumulative(&server, &data, n);
         println!(

@@ -39,6 +39,7 @@ pub fn server(materializer: MaterializerKind, reuse: ReuseKind, budget: u64) -> 
         retry: co_core::RetryPolicy::default(),
         quarantine_after: Some(3),
         df_threads: None,
+        shards: 1,
     })
 }
 

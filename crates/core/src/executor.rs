@@ -40,7 +40,7 @@ use crate::optimizer::ReusePlan;
 use crate::report::ExecutionReport;
 use crate::warmstart;
 use co_graph::operation::OpRef;
-use co_graph::{ExperimentGraph, FaultInjector, GraphError, NodeId, NodeKind, Value, WorkloadDag};
+use co_graph::{FaultInjector, GraphError, GraphQuery, NodeId, NodeKind, Value, WorkloadDag};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
@@ -80,11 +80,7 @@ struct Prepared {
     load_misses_recovered: usize,
 }
 
-fn prepare(
-    dag: &WorkloadDag,
-    plan: &ReusePlan,
-    eg: &ExperimentGraph,
-) -> co_graph::Result<Prepared> {
+fn prepare(dag: &WorkloadDag, plan: &ReusePlan, eg: &dyn GraphQuery) -> co_graph::Result<Prepared> {
     let n = dag.n_nodes();
     if plan.load.len() != n {
         return Err(GraphError::InvalidStructure(format!(
@@ -110,7 +106,7 @@ fn prepare(
         }
         if plan.load[i] {
             let artifact = dag.node(NodeId(i))?.artifact;
-            if let Some(value) = eg.storage().get(artifact) {
+            if let Some(value) = eg.load_content(artifact) {
                 action[i] = Action::Load;
                 loaded[i] = Some(value);
                 continue;
@@ -161,7 +157,7 @@ pub(crate) struct ExecutionSnapshot {
 pub(crate) fn snapshot(
     dag: &WorkloadDag,
     plan: &ReusePlan,
-    eg: &ExperimentGraph,
+    eg: &dyn GraphQuery,
     config: &ExecutorConfig,
 ) -> co_graph::Result<ExecutionSnapshot> {
     let Prepared {
@@ -195,7 +191,7 @@ pub(crate) fn snapshot(
         action,
         loaded,
         warm,
-        faults: eg.storage().fault_injector().map(Arc::clone),
+        faults: eg.fault_injector(),
         load_misses_recovered,
     })
 }
@@ -355,7 +351,7 @@ fn close_taint(dag: &WorkloadDag, tainted: &mut [bool]) {
 pub fn execute(
     dag: &mut WorkloadDag,
     plan: &ReusePlan,
-    eg: &ExperimentGraph,
+    eg: &dyn GraphQuery,
     config: &ExecutorConfig,
 ) -> ExecResult {
     let snap = snapshot(dag, plan, eg, config)?;
@@ -524,7 +520,7 @@ pub(crate) fn execute_snapshot(
 pub fn execute_parallel(
     dag: &mut WorkloadDag,
     plan: &ReusePlan,
-    eg: &ExperimentGraph,
+    eg: &dyn GraphQuery,
     config: &ExecutorConfig,
 ) -> ExecResult {
     let snap = snapshot(dag, plan, eg, config)?;
@@ -774,7 +770,7 @@ mod tests {
     use crate::ops::{AggOp, FilterOp, MapOp, SelectOp};
     use co_dataframe::ops::{AggFn, MapFn, Predicate};
     use co_dataframe::{Column, ColumnData, DataFrame};
-    use co_graph::FaultKind;
+    use co_graph::{ExperimentGraph, FaultKind};
     use std::sync::Arc;
     use std::time::Duration;
 

@@ -3,7 +3,7 @@
 
 use super::{node_costs, ReusePlan, ReusePlanner};
 use crate::cost::CostModel;
-use co_graph::{ExperimentGraph, NodeId, WorkloadDag};
+use co_graph::{GraphQuery, NodeId, WorkloadDag};
 
 /// Load every materialized artifact on the execution path (`ALL_M`).
 #[derive(Debug, Clone, Copy, Default)]
@@ -14,7 +14,7 @@ impl ReusePlanner for AllMaterializedReuse {
         "ALL_M"
     }
 
-    fn plan(&self, dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> ReusePlan {
+    fn plan(&self, dag: &WorkloadDag, eg: &dyn GraphQuery, cost: &CostModel) -> ReusePlan {
         let costs = node_costs(dag, eg, cost);
         let n = dag.n_nodes();
         // Greedy: walking back from the terminals, the first materialized
@@ -57,7 +57,7 @@ impl ReusePlanner for NoReuse {
         "ALL_C"
     }
 
-    fn plan(&self, dag: &WorkloadDag, _eg: &ExperimentGraph, _cost: &CostModel) -> ReusePlan {
+    fn plan(&self, dag: &WorkloadDag, _eg: &dyn GraphQuery, _cost: &CostModel) -> ReusePlan {
         ReusePlan::compute_everything(dag)
     }
 }
@@ -66,7 +66,7 @@ impl ReusePlanner for NoReuse {
 mod tests {
     use super::*;
     use co_dataframe::Scalar;
-    use co_graph::{NodeKind, Operation, Value};
+    use co_graph::{ExperimentGraph, NodeKind, Operation, Value};
     use std::sync::Arc;
 
     struct Tag(&'static str);

@@ -26,7 +26,7 @@
 use super::maxflow::{FlowNetwork, INF, STRUCTURAL_INF};
 use super::{node_costs, ReusePlan, ReusePlanner};
 use crate::cost::CostModel;
-use co_graph::{ExperimentGraph, NodeId, WorkloadDag};
+use co_graph::{GraphQuery, NodeId, WorkloadDag};
 
 /// The Helix max-flow planner (the paper's `HL`).
 #[derive(Debug, Clone, Copy, Default)]
@@ -37,7 +37,7 @@ impl ReusePlanner for HelixReuse {
         "HL"
     }
 
-    fn plan(&self, dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> ReusePlan {
+    fn plan(&self, dag: &WorkloadDag, eg: &dyn GraphQuery, cost: &CostModel) -> ReusePlan {
         let costs = node_costs(dag, eg, cost);
         let n = dag.n_nodes();
         // Node layout: x_v = 2v, m_v = 2v + 1, S = 2n, T = 2n + 1.
@@ -91,7 +91,7 @@ mod tests {
     use super::*;
     use crate::optimizer::{plan_execution_cost, LinearReuse};
     use co_dataframe::Scalar;
-    use co_graph::{NodeKind, Operation, Value};
+    use co_graph::{ExperimentGraph, NodeKind, Operation, Value};
     use std::sync::Arc;
 
     struct Tag(&'static str);

@@ -21,7 +21,7 @@
 
 use super::{node_costs, ReusePlan, ReusePlanner};
 use crate::cost::CostModel;
-use co_graph::{ExperimentGraph, NodeId, WorkloadDag};
+use co_graph::{GraphQuery, NodeId, WorkloadDag};
 
 /// The linear-time planner (the paper's `LN`).
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,7 +32,7 @@ impl ReusePlanner for LinearReuse {
         "LN"
     }
 
-    fn plan(&self, dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> ReusePlan {
+    fn plan(&self, dag: &WorkloadDag, eg: &dyn GraphQuery, cost: &CostModel) -> ReusePlan {
         let costs = node_costs(dag, eg, cost);
         let n = dag.n_nodes();
 
@@ -87,7 +87,7 @@ mod tests {
     use super::*;
     use crate::optimizer::plan_execution_cost;
     use co_dataframe::Scalar;
-    use co_graph::{NodeKind, Operation, Value};
+    use co_graph::{ExperimentGraph, NodeKind, Operation, Value};
     use std::sync::Arc;
 
     /// A no-op operation with a distinguishing label; costs are injected

@@ -20,7 +20,7 @@ pub use helix::HelixReuse;
 pub use linear::LinearReuse;
 
 use crate::cost::CostModel;
-use co_graph::{ExperimentGraph, NodeId, WorkloadDag};
+use co_graph::{GraphQuery, NodeId, WorkloadDag};
 
 /// The optimizer's output: which workload nodes to load from the
 /// Experiment Graph. Everything else needed for the terminals is
@@ -56,7 +56,10 @@ pub trait ReusePlanner: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Produce a plan for the (already locally pruned) workload DAG.
-    fn plan(&self, dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> ReusePlan;
+    /// Planners read the graph through [`GraphQuery`], so a plan can be
+    /// drawn against a plain `ExperimentGraph` or a sharded view
+    /// (`co_graph::EgView`) alike.
+    fn plan(&self, dag: &WorkloadDag, eg: &dyn GraphQuery, cost: &CostModel) -> ReusePlan;
 }
 
 /// Per-node planning inputs shared by all planners: `Ci` (compute cost
@@ -68,17 +71,17 @@ pub(crate) struct NodeCosts {
     pub computed: Vec<bool>,
 }
 
-pub(crate) fn node_costs(dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostModel) -> NodeCosts {
+pub(crate) fn node_costs(dag: &WorkloadDag, eg: &dyn GraphQuery, cost: &CostModel) -> NodeCosts {
     let n = dag.n_nodes();
     let mut ci = vec![f64::INFINITY; n];
     let mut cl = vec![f64::INFINITY; n];
     let mut computed = vec![false; n];
     for (i, node) in dag.nodes().iter().enumerate() {
         computed[i] = node.computed.is_some();
-        if let Ok(v) = eg.vertex(node.artifact) {
+        if let Some(v) = eg.lookup(node.artifact) {
             // Known artifact: the graph has measured its compute time.
             ci[i] = v.compute_time;
-            if eg.is_materialized(node.artifact) {
+            if eg.has_content(node.artifact) {
                 cl[i] = cost.load_cost(v.size);
             }
         }
@@ -95,7 +98,7 @@ pub(crate) fn node_costs(dag: &WorkloadDag, eg: &ExperimentGraph, cost: &CostMod
 #[must_use]
 pub fn explain_plan(
     dag: &WorkloadDag,
-    eg: &ExperimentGraph,
+    eg: &dyn GraphQuery,
     cost: &CostModel,
     plan: &ReusePlan,
 ) -> String {
@@ -171,7 +174,7 @@ pub fn explain_plan(
 #[must_use]
 pub fn plan_execution_cost(
     dag: &WorkloadDag,
-    eg: &ExperimentGraph,
+    eg: &dyn GraphQuery,
     cost: &CostModel,
     plan: &ReusePlan,
 ) -> f64 {

@@ -71,10 +71,18 @@ impl ExecutionReport {
 /// from a data directory (see `OptimizerServer::open`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Whether a snapshot file existed and loaded.
+    /// Whether a snapshot file existed and loaded (any shard's, on a
+    /// sharded data directory).
     pub snapshot_loaded: bool,
     /// Journal records replayed on top of the snapshot.
     pub journal_records_replayed: usize,
+    /// Sharded recovery only: journal records skipped because they were
+    /// already inside a shard snapshot's watermark or belonged to a
+    /// publish the commit log never committed (rolled back).
+    pub journal_records_skipped: usize,
+    /// Sharded recovery only: distinct committed publishes named by the
+    /// cross-shard commit log.
+    pub committed_publishes: usize,
     /// Whether a torn journal tail (crash mid-append) was detected and
     /// truncated.
     pub torn_tail_truncated: bool,
@@ -100,6 +108,18 @@ impl RecoveryReport {
             ", {} journal record(s) replayed",
             self.journal_records_replayed
         ));
+        if self.journal_records_skipped > 0 {
+            out.push_str(&format!(
+                ", {} uncommitted/covered record(s) skipped",
+                self.journal_records_skipped
+            ));
+        }
+        if self.committed_publishes > 0 {
+            out.push_str(&format!(
+                ", {} committed publish(es)",
+                self.committed_publishes
+            ));
+        }
         if self.torn_tail_truncated {
             out.push_str(&format!(
                 ", torn tail truncated ({} byte(s) discarded)",
@@ -133,6 +153,8 @@ mod tests {
         let busy = RecoveryReport {
             snapshot_loaded: true,
             journal_records_replayed: 4,
+            journal_records_skipped: 2,
+            committed_publishes: 3,
             torn_tail_truncated: true,
             torn_bytes_discarded: 17,
             quarantine_restored: 1,
@@ -141,6 +163,8 @@ mod tests {
         let text = busy.render();
         assert!(text.contains("snapshot loaded"));
         assert!(text.contains("4 journal record"));
+        assert!(text.contains("2 uncommitted"));
+        assert!(text.contains("3 committed publish"));
         assert!(text.contains("torn tail"));
         assert!(text.contains("17 byte"));
         assert!(text.contains("quarantine"));

@@ -6,6 +6,13 @@
 //! execute (lock-free) → update + materialize + stats baseline (one
 //! write-lock critical section). No Experiment Graph lock is ever held
 //! while an `Operation::run` executes.
+//!
+//! With [`ServerConfig::shards`] > 1 the Experiment Graph is partitioned
+//! into lock shards (`co_graph::shard`): planning takes every shard's
+//! read lock and serves through an [`EgView`], while publishing locks
+//! only the shards a workload touches — in ascending shard order, so two
+//! publishers can never deadlock — and journals each shard's delta
+//! separately, sealed by a cross-shard commit record (DESIGN.md §14).
 
 use crate::cost::CostModel;
 use crate::executor::{self, ExecutorConfig};
@@ -18,13 +25,14 @@ use crate::optimizer::{AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse, R
 use crate::pipeline::{ExecutedWorkload, FailedExecution, PlannedWorkload, PrunedWorkload};
 use crate::report::{ExecutionReport, RecoveryReport};
 use co_graph::journal::{self, EgDelta, FsyncPolicy, Journal, QuarantineEntry, VertexTouch};
+use co_graph::shard::{self, ShardedEg};
 use co_graph::{
-    snapshot, ArtifactId, ExperimentGraph, FaultInjector, GraphError, OpHash, Result, Value,
-    WorkloadDag,
+    snapshot, ArtifactId, CommitLog, CommitRecord, CrashPoint, EgView, ExperimentGraph,
+    FaultInjector, GraphError, OpHash, Result, Value, WorkloadDag,
 };
-use parking_lot::RwLock;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -85,6 +93,13 @@ pub struct ServerConfig {
     /// available parallelism. The kernels are bit-identical for any thread
     /// count, so this is purely a throughput/footprint knob.
     pub df_threads: Option<usize>,
+    /// Experiment Graph lock shards. `1` (the default) is the classic
+    /// single-graph server with bit-identical behavior; larger values
+    /// partition vertices by artifact hash so publishers touching
+    /// disjoint shards commit concurrently. At shards > 1 the budgeted
+    /// materializers degrade to a first-fit scope over the publishing
+    /// workload (DESIGN.md §14).
+    pub shards: usize,
 }
 
 impl ServerConfig {
@@ -102,6 +117,7 @@ impl ServerConfig {
             retry: RetryPolicy::default(),
             quarantine_after: Some(3),
             df_threads: None,
+            shards: 1,
         }
     }
 
@@ -119,6 +135,7 @@ impl ServerConfig {
             retry: RetryPolicy::default(),
             quarantine_after: Some(3),
             df_threads: None,
+            shards: 1,
         }
     }
 
@@ -135,22 +152,28 @@ impl ServerConfig {
             retry: RetryPolicy::default(),
             quarantine_after: Some(3),
             df_threads: None,
+            shards: 1,
         }
     }
 }
 
 /// Where and how the Experiment Graph is made crash-safe (see
-/// DESIGN.md §10): a data directory holding one snapshot (`eg.egsnap`,
-/// written atomically) and one write-ahead journal (`eg.wal`, appended
-/// inside the publish critical section).
+/// DESIGN.md §10 and §14). At `shards = 1` the data directory holds one
+/// snapshot (`eg.egsnap`, written atomically) and one write-ahead
+/// journal (`eg.wal`, appended inside the publish critical section). At
+/// `shards = N` it holds one snapshot + journal pair per shard
+/// (`eg-k.egsnap` / `eg-k.wal`) plus the cross-shard commit log
+/// (`eg.commit`). The two layouts are mutually exclusive; opening a
+/// directory with the wrong shard count is an error, not silent
+/// misrouting.
 #[derive(Debug, Clone)]
 pub struct DurabilityConfig {
     /// Data directory; created on open if missing.
     pub dir: PathBuf,
     /// When journal appends reach the disk.
     pub fsync: FsyncPolicy,
-    /// Compact (snapshot + truncate the journal) once the journal
-    /// exceeds this many bytes.
+    /// Compact (snapshot + truncate the journal) once the journal — any
+    /// one shard's journal, when sharded — exceeds this many bytes.
     pub compact_journal_bytes: u64,
 }
 
@@ -166,21 +189,24 @@ impl DurabilityConfig {
         }
     }
 
-    /// Path of the snapshot file.
+    /// Path of the snapshot file (single-shard layout).
     #[must_use]
     pub fn snapshot_path(&self) -> PathBuf {
         self.dir.join("eg.egsnap")
     }
 
-    /// Path of the write-ahead journal.
+    /// Path of the write-ahead journal (single-shard layout).
     #[must_use]
     pub fn journal_path(&self) -> PathBuf {
         self.dir.join("eg.wal")
     }
 }
 
-/// Mutable durability state, locked *after* the EG write lock (lock
-/// order: eg → durability → stats).
+const WEDGED_MSG: &str = "durability layer wedged by an earlier persistence failure; \
+     restart the server from its data directory";
+
+/// Mutable durability state of the single-shard layout, locked *after*
+/// the EG write lock (lock order: eg → durability → stats).
 struct DurabilityState {
     config: DurabilityConfig,
     journal: Journal,
@@ -193,6 +219,34 @@ struct DurabilityState {
     /// database after a write error, the server refuses further
     /// publishes until restarted from the data directory.
     wedged: bool,
+}
+
+/// Durability state of the sharded layout. Lock order within a publish:
+/// shard write locks (ascending) → `persisted_quarantine` → per-shard
+/// journal mutexes (ascending) → commit-log mutex → stats.
+struct ShardedDurability {
+    config: DurabilityConfig,
+    /// One write-ahead journal per shard.
+    journals: Vec<parking_lot::Mutex<Journal>>,
+    /// The cross-shard commit log: a publish is committed iff its
+    /// sequence number appears here. Always locked last.
+    commit: parking_lot::Mutex<CommitLog>,
+    /// Quarantine entries as last durably persisted. Advanced only
+    /// after the commit record lands, so recovery's view matches.
+    persisted_quarantine: parking_lot::Mutex<HashMap<OpHash, usize>>,
+    /// Sharded analogue of [`DurabilityState::wedged`].
+    wedged: AtomicBool,
+    /// Last assigned publish sequence number. Incremented only while
+    /// the touched shards' write locks are held, so every shard journal
+    /// sees its subset of sequence numbers in increasing order.
+    seq: AtomicU64,
+}
+
+/// Which durability layout the server persists with — decided by
+/// `ServerConfig::shards` at open time.
+enum Durability {
+    Legacy(parking_lot::Mutex<DurabilityState>),
+    Sharded(ShardedDurability),
 }
 
 /// Cumulative statistics over a server's lifetime — the dashboard
@@ -233,34 +287,87 @@ impl ServerStats {
     pub fn seconds_saved(&self) -> f64 {
         (self.baseline_seconds - self.run_seconds).max(0.0)
     }
+
+    /// Fold another counter set into this one (per-shard sub-counters
+    /// are summed on read).
+    fn add(&mut self, other: &ServerStats) {
+        self.workloads += other.workloads;
+        self.ops_executed += other.ops_executed;
+        self.artifacts_loaded += other.artifacts_loaded;
+        self.warmstarts += other.warmstarts;
+        self.run_seconds += other.run_seconds;
+        self.baseline_seconds += other.baseline_seconds;
+        self.failed_workloads += other.failed_workloads;
+        self.salvaged_artifacts += other.salvaged_artifacts;
+        self.journal_records_replayed += other.journal_records_replayed;
+        self.torn_tail_truncated += other.torn_tail_truncated;
+        self.snapshots_compacted += other.snapshots_compacted;
+    }
+
+    /// Record one published workload's contribution. Runs inside the
+    /// publish critical section (under the shard write locks), so a
+    /// concurrent [`OptimizerServer::stats`] reader can never observe a
+    /// graph state ahead of the counters.
+    fn fold_publish(
+        &mut self,
+        report: &ExecutionReport,
+        baseline: f64,
+        failure: Option<&FailedExecution>,
+        persist_failed: bool,
+    ) {
+        match (failure, persist_failed) {
+            (None, false) => {
+                self.workloads += 1;
+                self.ops_executed += report.ops_executed;
+                self.artifacts_loaded += report.artifacts_loaded;
+                self.warmstarts += report.warmstarts;
+                self.run_seconds += report.run_seconds();
+                self.baseline_seconds += baseline;
+            }
+            (None, true) => {
+                self.failed_workloads += 1;
+            }
+            (Some(f), _) => {
+                self.failed_workloads += 1;
+                self.salvaged_artifacts += f.completed.len();
+            }
+        }
+    }
 }
 
 /// The collaborative optimizer server.
 pub struct OptimizerServer {
-    eg: RwLock<ExperimentGraph>,
+    eg: ShardedEg,
     config: ServerConfig,
     materializer: Box<dyn Materializer>,
     planner: Box<dyn ReusePlanner>,
-    stats: parking_lot::Mutex<ServerStats>,
+    /// One sub-counter set per shard, updated inside the publish
+    /// critical section under the lowest touched shard's lock and
+    /// summed on read.
+    stats: Vec<parking_lot::Mutex<ServerStats>>,
     quarantine: Option<Arc<Quarantine>>,
-    durability: Option<parking_lot::Mutex<DurabilityState>>,
+    durability: Option<Durability>,
 }
 
 impl OptimizerServer {
     /// Create a server. The Experiment Graph store deduplicates columns
-    /// iff the configured materializer is storage-aware.
+    /// iff the configured materializer is storage-aware; with
+    /// `config.shards > 1` the graph is partitioned into that many lock
+    /// shards sharing one column vault.
     #[must_use]
     pub fn new(config: ServerConfig) -> Self {
         let dedup = config.materializer == MaterializerKind::StorageAware;
-        OptimizerServer::build(config, ExperimentGraph::new(dedup))
+        OptimizerServer::build(config, ShardedEg::new(config.shards.max(1), dedup))
     }
 
-    /// Assemble a server around the given graph (shared by [`new`] and
-    /// [`with_graph`]).
+    /// Assemble a server around the given sharded graph (shared by
+    /// [`new`], [`with_graph`] and [`open`]).
     ///
     /// [`new`]: OptimizerServer::new
     /// [`with_graph`]: OptimizerServer::with_graph
-    fn build(config: ServerConfig, eg: ExperimentGraph) -> Self {
+    /// [`open`]: OptimizerServer::open
+    fn build(mut config: ServerConfig, eg: ShardedEg) -> Self {
+        config.shards = eg.n_shards();
         if let Some(n) = config.df_threads {
             // Process-wide: the dataframe kernels' outputs are identical
             // for any thread count, so late application by a second server
@@ -294,31 +401,44 @@ impl OptimizerServer {
             ReuseKind::AllMaterialized => Box::new(AllMaterializedReuse),
             ReuseKind::None => Box::new(NoReuse),
         };
+        let stats = (0..eg.n_shards())
+            .map(|_| parking_lot::Mutex::new(ServerStats::default()))
+            .collect();
         OptimizerServer {
-            eg: RwLock::new(eg),
             quarantine: config
                 .quarantine_after
                 .map(|k| Arc::new(Quarantine::new(k))),
+            eg,
             config,
             materializer,
             planner,
-            stats: parking_lot::Mutex::new(ServerStats::default()),
+            stats,
             durability: None,
         }
     }
 
     /// Create a server around an existing Experiment Graph — e.g. one
     /// restored from a meta-data snapshot (`co_graph::snapshot`) after a
-    /// restart.
+    /// restart. Always single-shard: an externally built graph has no
+    /// shard partition.
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError::InvalidStructure`] when the restored graph's
-    /// store deduplication mode does not match the configured
-    /// materializer: the storage-aware algorithm budgets *deduplicated*
-    /// bytes, every other materializer budgets nominal bytes, so a
-    /// mismatch silently mis-accounts the storage budget.
+    /// Returns [`GraphError::InvalidStructure`] when `config.shards > 1`
+    /// (partition an existing directory via [`open`] instead), or when
+    /// the restored graph's store deduplication mode does not match the
+    /// configured materializer: the storage-aware algorithm budgets
+    /// *deduplicated* bytes, every other materializer budgets nominal
+    /// bytes, so a mismatch silently mis-accounts the storage budget.
+    ///
+    /// [`open`]: OptimizerServer::open
     pub fn with_graph(config: ServerConfig, eg: ExperimentGraph) -> Result<Self> {
+        if config.shards > 1 {
+            return Err(GraphError::InvalidStructure(format!(
+                "with_graph builds a single-shard server but config.shards = {}",
+                config.shards
+            )));
+        }
         let dedup = config.materializer == MaterializerKind::StorageAware;
         if eg.storage().dedup_enabled() != dedup {
             return Err(GraphError::InvalidStructure(format!(
@@ -328,15 +448,26 @@ impl OptimizerServer {
                 dedup
             )));
         }
-        Ok(OptimizerServer::build(config, eg))
+        Ok(OptimizerServer::build(
+            config,
+            ShardedEg::from_graphs(vec![eg], None),
+        ))
     }
 
     /// Open a crash-safe server from a data directory: remove orphaned
-    /// temp files, load the newest valid snapshot, replay the journal on
-    /// top of it (truncating a torn tail instead of failing), re-install
-    /// the persisted quarantine set, and start journaling committed
-    /// workloads. Returns the server and a [`RecoveryReport`] describing
-    /// what recovery found and repaired.
+    /// temp files, load the newest valid snapshot(s), replay the
+    /// journal(s) on top (truncating torn tails instead of failing),
+    /// re-install the persisted quarantine set, and start journaling
+    /// committed workloads. Returns the server and a [`RecoveryReport`]
+    /// describing what recovery found and repaired.
+    ///
+    /// With `config.shards > 1` the directory uses the sharded layout
+    /// (`eg-k.egsnap` / `eg-k.wal` / `eg.commit`) and recovery
+    /// reconstructs exactly the committed prefix: per-shard journal
+    /// records whose publish never reached the commit log are skipped,
+    /// so a crash between two shards' appends rolls the whole publish
+    /// back. Opening a directory whose on-disk layout disagrees with
+    /// `config.shards` is an error.
     pub fn open(
         config: ServerConfig,
         durability: DurabilityConfig,
@@ -363,6 +494,47 @@ impl OptimizerServer {
         }
 
         let dedup = config.materializer == MaterializerKind::StorageAware;
+        if config.shards.max(1) == 1 {
+            if let Some(found) = co_graph::fsck::detect_shard_layout(&durability.dir) {
+                return Err(GraphError::InvalidStructure(format!(
+                    "data directory {} holds a sharded layout ({found} shards); \
+                     open it with config.shards = {found}",
+                    durability.dir.display()
+                )));
+            }
+            OptimizerServer::open_single(config, durability, dedup, recovery)
+        } else {
+            if durability.snapshot_path().exists() || durability.journal_path().exists() {
+                return Err(GraphError::InvalidStructure(format!(
+                    "data directory {} holds a single-graph layout (eg.egsnap/eg.wal); \
+                     open it with config.shards = 1",
+                    durability.dir.display()
+                )));
+            }
+            if let Some(found) = co_graph::fsck::detect_shard_layout(&durability.dir) {
+                if found != config.shards {
+                    return Err(GraphError::InvalidStructure(format!(
+                        "data directory {} is sharded {found} ways but the server is \
+                         configured for {} shards",
+                        durability.dir.display(),
+                        config.shards
+                    )));
+                }
+            }
+            OptimizerServer::open_sharded(config, durability, dedup, recovery)
+        }
+    }
+
+    /// The single-shard (`shards = 1`) half of [`open`]: one snapshot,
+    /// one journal, byte-identical to the pre-sharding format.
+    ///
+    /// [`open`]: OptimizerServer::open
+    fn open_single(
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        dedup: bool,
+        mut recovery: RecoveryReport,
+    ) -> Result<(Self, RecoveryReport)> {
         let snapshot_path = durability.snapshot_path();
         let (mut eg, mut qmap) = if snapshot_path.exists() {
             let restored = snapshot::load_full(&snapshot_path, dedup)?;
@@ -410,23 +582,106 @@ impl OptimizerServer {
             persisted_quarantine: qmap.iter().map(|(op, (_, f))| (*op, *f)).collect(),
             wedged: false,
         };
-        let mut server = OptimizerServer::build(config, eg);
+        let mut server = OptimizerServer::build(config, ShardedEg::from_graphs(vec![eg], None));
         if let Some(quarantine) = &server.quarantine {
             for (op, (name, failures)) in &qmap {
                 quarantine.restore(*op, name, *failures);
             }
             recovery.quarantine_restored = qmap.len();
         }
-        server.durability = Some(parking_lot::Mutex::new(state));
+        server.durability = Some(Durability::Legacy(parking_lot::Mutex::new(state)));
         {
-            let mut stats = server.stats.lock();
+            let mut stats = server.stats[0].lock();
             stats.journal_records_replayed = recovery.journal_records_replayed;
             stats.torn_tail_truncated = usize::from(recovery.torn_tail_truncated);
         }
         Ok((server, recovery))
     }
 
-    /// The active configuration.
+    /// The sharded (`shards = N`) half of [`open`]: N snapshot/journal
+    /// pairs plus the commit log, replayed to exactly the committed
+    /// prefix by `co_graph::shard::recover_shards`.
+    ///
+    /// [`open`]: OptimizerServer::open
+    fn open_sharded(
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        dedup: bool,
+        mut recovery: RecoveryReport,
+    ) -> Result<(Self, RecoveryReport)> {
+        let n = config.shards;
+        let rec = shard::recover_shards(&durability.dir, n, dedup)?;
+        if !rec.unresolved_links.is_empty() {
+            return Err(GraphError::InvalidStructure(format!(
+                "sharded recovery left {} cross-shard child link(s) unresolved — \
+                 the data directory is corrupt (run egfsck)",
+                rec.unresolved_links.len()
+            )));
+        }
+        for (path, valid_len, _) in &rec.torn {
+            journal::truncate(path, *valid_len)?;
+        }
+        recovery.snapshot_loaded =
+            (0..n).any(|k| durability.dir.join(shard::shard_snapshot_file(k)).exists());
+        recovery.journal_records_replayed = rec.deltas_applied;
+        recovery.journal_records_skipped = rec.deltas_skipped;
+        recovery.committed_publishes = rec.committed_publishes;
+        recovery.torn_tail_truncated = !rec.torn.is_empty();
+        recovery.torn_bytes_discarded = rec.torn.iter().map(|(.., b)| *b).sum();
+
+        // In debug builds, fsck the recovered shards before serving.
+        #[cfg(debug_assertions)]
+        {
+            let refs: Vec<&ExperimentGraph> = rec.graphs.iter().collect();
+            let fsck = co_graph::fsck::check_shards(&refs, &rec.quarantine);
+            debug_assert!(fsck.is_clean(), "post-recovery fsck failed:\n{fsck}");
+        }
+
+        let journals = (0..n)
+            .map(|k| {
+                Journal::open(
+                    &durability.dir.join(shard::shard_journal_file(k)),
+                    durability.fsync,
+                )
+                .map(parking_lot::Mutex::new)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let commit = CommitLog::open(&durability.dir.join(shard::COMMIT_FILE))?;
+
+        let qmap: HashMap<OpHash, (String, usize)> = rec
+            .quarantine
+            .iter()
+            .map(|q| (q.op_hash, (q.name.clone(), q.failures)))
+            .collect();
+        let sharded = ShardedDurability {
+            config: durability,
+            journals,
+            commit: parking_lot::Mutex::new(commit),
+            persisted_quarantine: parking_lot::Mutex::new(
+                qmap.iter().map(|(op, (_, f))| (*op, *f)).collect(),
+            ),
+            wedged: AtomicBool::new(false),
+            seq: AtomicU64::new(rec.max_seq),
+        };
+        let torn_tails = rec.torn.len();
+        let mut server =
+            OptimizerServer::build(config, ShardedEg::from_graphs(rec.graphs, rec.vault));
+        if let Some(quarantine) = &server.quarantine {
+            for (op, (name, failures)) in &qmap {
+                quarantine.restore(*op, name, *failures);
+            }
+            recovery.quarantine_restored = qmap.len();
+        }
+        server.durability = Some(Durability::Sharded(sharded));
+        {
+            let mut stats = server.stats[0].lock();
+            stats.journal_records_replayed = recovery.journal_records_replayed;
+            stats.torn_tail_truncated = torn_tails;
+        }
+        Ok((server, recovery))
+    }
+
+    /// The active configuration (`shards` normalized to ≥ 1).
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
         &self.config
@@ -493,30 +748,47 @@ impl OptimizerServer {
     /// Pipeline stage 2 (paper step 3): plan reuse against the Experiment
     /// Graph and capture the execution snapshot — planned loads fetched
     /// up front as Arc clones, warmstart candidates prefetched. The EG
-    /// read lock is held only for the duration of this call; the returned
-    /// [`PlannedWorkload`] executes without touching the graph.
+    /// read lock (every shard's, when sharded) is held only for the
+    /// duration of this call; the returned [`PlannedWorkload`] executes
+    /// without touching the graph.
     pub fn plan_workload(
         &self,
         pruned: PrunedWorkload,
     ) -> std::result::Result<PlannedWorkload, WorkloadError> {
         let PrunedWorkload { dag } = pruned;
-        let eg = self.eg.read();
-        let start = Instant::now();
-        let plan = self.planner.plan(&dag, &eg, &self.config.cost);
-        let optimizer_seconds = start.elapsed().as_secs_f64();
-        let snapshot = executor::snapshot(&dag, &plan, &eg, &self.executor_config())
-            .map_err(WorkloadError::from)?;
-        Ok(PlannedWorkload {
-            dag,
-            snapshot,
-            optimizer_seconds,
-        })
+        if self.eg.n_shards() == 1 {
+            let eg = self.eg.read(0);
+            let start = Instant::now();
+            let plan = self.planner.plan(&dag, &*eg, &self.config.cost);
+            let optimizer_seconds = start.elapsed().as_secs_f64();
+            let snapshot = executor::snapshot(&dag, &plan, &*eg, &self.executor_config())
+                .map_err(WorkloadError::from)?;
+            Ok(PlannedWorkload {
+                dag,
+                snapshot,
+                optimizer_seconds,
+            })
+        } else {
+            let guards = self.eg.read_all();
+            let view = EgView::new(guards.iter().map(|g| &**g).collect());
+            let start = Instant::now();
+            let plan = self.planner.plan(&dag, &view, &self.config.cost);
+            let optimizer_seconds = start.elapsed().as_secs_f64();
+            let snapshot = executor::snapshot(&dag, &plan, &view, &self.executor_config())
+                .map_err(WorkloadError::from)?;
+            Ok(PlannedWorkload {
+                dag,
+                snapshot,
+                optimizer_seconds,
+            })
+        }
     }
 
     /// Pipeline stage 4 (paper step 5): merge the executed DAG into the
-    /// Experiment Graph, run the materializer, and take the baseline-cost
-    /// estimate — all inside one short write-lock critical section, so a
-    /// concurrent eviction or update cannot skew the estimate and writers
+    /// Experiment Graph, run the materializer, take the baseline-cost
+    /// estimate, and fold the lifetime stats — all inside one short
+    /// write-lock critical section, so a concurrent eviction, update or
+    /// stats read cannot observe a half-published workload and writers
     /// never wait on a running computation. A failed run with a taint
     /// mask still merges (salvages) its untainted prefix.
     ///
@@ -525,7 +797,27 @@ impl OptimizerServer {
     /// critical section; if that append fails, the workload is reported
     /// failed and the durability layer wedges — every later persist
     /// refuses — until the server restarts from its data directory.
+    ///
+    /// On a sharded server only the shards the workload's artifacts hash
+    /// to are write-locked, in ascending shard order (two publishers
+    /// acquiring ordered subsets can never deadlock); each touched
+    /// shard's journal receives its own delta under one shared sequence
+    /// number, and the publish becomes durable exactly when the
+    /// cross-shard commit record lands.
     pub fn publish_workload(
+        &self,
+        executed: ExecutedWorkload,
+    ) -> std::result::Result<(WorkloadDag, ExecutionReport), WorkloadError> {
+        if self.eg.n_shards() == 1 {
+            self.publish_single(executed)
+        } else {
+            self.publish_sharded(executed)
+        }
+    }
+
+    /// The classic single-shard publish: one write lock over the whole
+    /// graph, one journal append.
+    fn publish_single(
         &self,
         executed: ExecutedWorkload,
     ) -> std::result::Result<(WorkloadDag, ExecutionReport), WorkloadError> {
@@ -535,10 +827,9 @@ impl OptimizerServer {
             failure,
         } = executed;
         let start = Instant::now();
-        let baseline;
         let mut persist_error = None;
         {
-            let mut eg = self.eg.write();
+            let mut eg = self.eg.write(0);
             // With durability on, note which merged artifacts are new to
             // the graph (vs merely touched) and the pre-publish mat set,
             // so the journal delta can be diffed after the merge.
@@ -562,8 +853,10 @@ impl OptimizerServer {
             self.materializer
                 .run(&mut eg, &available, &self.config.cost);
             reconcile_restored_flags(&mut eg);
-            baseline = baseline_cost(&dag, &eg);
-            if let (Some(durability), Some(capture)) = (&self.durability, capture) {
+            let baseline = baseline_cost(&dag, &eg);
+            if let (Some(Durability::Legacy(durability)), Some(capture)) =
+                (&self.durability, capture)
+            {
                 let mut dur = durability.lock();
                 persist_error = self.persist_delta(&eg, &mut dur, &capture).err();
             }
@@ -575,64 +868,364 @@ impl OptimizerServer {
                 let fsck = co_graph::fsck::check_graph(&eg);
                 debug_assert!(fsck.is_clean(), "post-publish fsck failed:\n{fsck}");
             }
+            self.stats[0].lock().fold_publish(
+                &report,
+                baseline,
+                failure.as_ref(),
+                persist_error.is_some(),
+            );
+        }
+        report.materializer_seconds = start.elapsed().as_secs_f64();
+        finish_publish(dag, report, failure, persist_error)
+    }
+
+    /// The sharded publish: write-lock exactly the touched shards in
+    /// ascending order, merge each vertex into its owning shard, wire
+    /// child links on the parent's shard, materialize within a first-fit
+    /// budget scope, and journal per-shard deltas sealed by a
+    /// cross-shard commit record.
+    fn publish_sharded(
+        &self,
+        executed: ExecutedWorkload,
+    ) -> std::result::Result<(WorkloadDag, ExecutionReport), WorkloadError> {
+        let ExecutedWorkload {
+            dag,
+            mut report,
+            failure,
+        } = executed;
+        let start = Instant::now();
+
+        // Which nodes merge — the same salvage rules as the single-shard
+        // path (None: all; full taint mask: the untainted prefix;
+        // pre-execution failure: nothing).
+        let n_nodes = dag.n_nodes();
+        let merged: Vec<bool> = match &failure {
+            None => vec![true; n_nodes],
+            Some(f) if f.tainted.len() == n_nodes => f.tainted.iter().map(|t| !t).collect(),
+            Some(_) => vec![false; n_nodes],
+        };
+        // The mask must be ancestor-closed (update_with_workload_partial
+        // enforces the same): child wiring below assumes a kept node's
+        // parents are merged — and therefore locked.
+        for (i, m) in merged.iter().enumerate() {
+            if *m {
+                for p in dag.parents(co_graph::NodeId(i)) {
+                    if !merged[p.0] {
+                        return Err(WorkloadError::from(GraphError::InvalidStructure(
+                            "partial publish mask is not ancestor-closed".to_owned(),
+                        )));
+                    }
+                }
+            }
+        }
+
+        let sharded_dur = match &self.durability {
+            Some(Durability::Sharded(d)) => Some(d),
+            _ => None,
+        };
+
+        // Quarantine records live in shard 0's journal only, so a
+        // pending quarantine diff pulls shard 0 into the lock set. The
+        // diff is recomputed against this same snapshot inside the
+        // critical section (under shard 0's lock).
+        let mut current_quarantine = self
+            .quarantine
+            .as_ref()
+            .map(|q| q.entries())
+            .unwrap_or_default();
+        current_quarantine.sort_by_key(|(op, ..)| *op);
+        let quarantine_dirty = sharded_dur.is_some_and(|d| {
+            quarantine_diff(&current_quarantine, &d.persisted_quarantine.lock()).is_some()
+        });
+
+        let mut touched: BTreeSet<usize> = dag
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| merged[*i])
+            .map(|(_, node)| self.eg.shard_index(node.artifact))
+            .collect();
+        if quarantine_dirty {
+            touched.insert(0);
+        }
+
+        let mut persist_error = None;
+        if touched.is_empty() {
+            // Failed before execution with nothing to salvage and no
+            // quarantine change to persist: only the failure counters
+            // move.
+            self.stats[0]
+                .lock()
+                .fold_publish(&report, 0.0, failure.as_ref(), false);
+        } else {
+            // Ordered-lock protocol: ascending shard indices, held
+            // through merge, materialization, journaling and commit.
+            let shard_list: Vec<usize> = touched.iter().copied().collect();
+            let mut guards = self.eg.write_set(&shard_list);
+            let pos: HashMap<usize, usize> = shard_list
+                .iter()
+                .enumerate()
+                .map(|(gi, k)| (*k, gi))
+                .collect();
+
+            // Pre-merge capture per locked shard: which merged artifacts
+            // are new vs merely touched, and the pre-publish mat sets.
+            let mut new_ids: Vec<Vec<ArtifactId>> = vec![Vec::new(); guards.len()];
+            let mut touched_ids: Vec<Vec<ArtifactId>> = vec![Vec::new(); guards.len()];
+            let mut seen = HashSet::new();
+            for (i, node) in dag.nodes().iter().enumerate() {
+                if merged[i] && seen.insert(node.artifact) {
+                    let gi = pos[&self.eg.shard_index(node.artifact)];
+                    if guards[gi].1.contains(node.artifact) {
+                        touched_ids[gi].push(node.artifact);
+                    } else {
+                        new_ids[gi].push(node.artifact);
+                    }
+                }
+            }
+            let mat_before: Vec<BTreeSet<ArtifactId>> =
+                guards.iter().map(|(_, g)| mat_set(g)).collect();
+
+            // Merge every kept node into its owning shard; child links
+            // are wired on the parent's shard (locked, because the mask
+            // is ancestor-closed).
+            for (i, node) in dag.nodes().iter().enumerate() {
+                if !merged[i] {
+                    continue;
+                }
+                let gi = pos[&self.eg.shard_index(node.artifact)];
+                let inserted = guards[gi].1.merge_workload_node(&dag, i)?;
+                if inserted {
+                    for p in dag.parents(co_graph::NodeId(i)) {
+                        let parent = dag.nodes()[p.0].artifact;
+                        let pg = pos[&self.eg.shard_index(parent)];
+                        guards[pg].1.add_child_link(parent, node.artifact)?;
+                    }
+                }
+            }
+
+            let available = available_contents(&dag);
+            self.materialize_sharded(&mut guards, &pos, &dag, &merged, &available);
+            for (_, g) in &mut guards {
+                reconcile_restored_flags(g);
+            }
+            let baseline = baseline_cost_with(&dag, |id| {
+                pos.get(&self.eg.shard_index(id))
+                    .and_then(|gi| guards[*gi].1.vertex(id).ok())
+                    .map(|v| v.compute_time)
+            });
+
+            if let Some(dur) = sharded_dur {
+                persist_error = self
+                    .persist_sharded(
+                        dur,
+                        &guards,
+                        &new_ids,
+                        &touched_ids,
+                        &mat_before,
+                        &current_quarantine,
+                        quarantine_dirty,
+                    )
+                    .err();
+            }
+            // (No per-shard debug fsck here: a lone shard legitimately
+            // holds child links into shards this publish did not lock.
+            // The sharded invariants are checked by `egfsck`, recovery,
+            // and the crash-matrix tests.)
+
+            // Satellite fix: fold the stats while the shard locks are
+            // still held, so stats() can never lag the graph.
+            self.stats[shard_list[0]].lock().fold_publish(
+                &report,
+                baseline,
+                failure.as_ref(),
+                persist_error.is_some(),
+            );
         }
         report.materializer_seconds = start.elapsed().as_secs_f64();
 
-        let mut stats = self.stats.lock();
-        match (&failure, &persist_error) {
-            (None, None) => {
-                stats.workloads += 1;
-                stats.ops_executed += report.ops_executed;
-                stats.artifacts_loaded += report.artifacts_loaded;
-                stats.warmstarts += report.warmstarts;
-                stats.run_seconds += report.run_seconds();
-                stats.baseline_seconds += baseline;
-            }
-            (None, Some(_)) => {
-                stats.failed_workloads += 1;
-            }
-            (Some(f), _) => {
-                stats.failed_workloads += 1;
-                stats.salvaged_artifacts += f.completed.len();
+        // Threshold compaction runs after the publish locks are
+        // released: compaction takes every shard lock and parking_lot
+        // locks are not reentrant. Best-effort, like the single-shard
+        // threshold path.
+        if persist_error.is_none() {
+            if let Some(dur) = sharded_dur {
+                if !dur.wedged.load(Ordering::SeqCst)
+                    && dur
+                        .journals
+                        .iter()
+                        .any(|j| j.lock().len_bytes() > dur.config.compact_journal_bytes)
+                {
+                    let _ = self.compact();
+                }
             }
         }
-        drop(stats);
 
-        match failure {
-            None => match persist_error {
-                None => Ok((dag, report)),
-                // The run computed fine but its delta never became
-                // durable: report it failed so the client knows a
-                // restart would forget this workload.
-                Some(error) => Err(WorkloadError {
-                    error,
-                    report: Box::new(report),
-                    completed: Vec::new(),
-                    tainted: Vec::new(),
-                }),
-            },
-            Some(FailedExecution {
-                error,
-                completed,
-                tainted,
-            }) => {
-                // When both the workload and persistence failed, the
-                // workload's own error wins; the persist failure is
-                // still visible through the wedged durability state.
-                report.salvaged_artifacts = completed.len();
-                Err(WorkloadError {
-                    error,
-                    report: Box::new(report),
-                    completed,
-                    tainted,
-                })
+        finish_publish(dag, report, failure, persist_error)
+    }
+
+    /// Materialization for sharded publishes. The full utility-ranked
+    /// algorithms walk one whole graph under one lock, which a sharded
+    /// publish deliberately avoids; instead each budgeted materializer
+    /// degrades to first-fit over the publishing workload's computed
+    /// values, admitting a value only when a *lower bound* on global
+    /// usage (the shared column vault plus every locked shard's local
+    /// bytes) leaves room in the budget. `All` stores everything, `None`
+    /// nothing — identical to their single-shard behavior.
+    fn materialize_sharded(
+        &self,
+        guards: &mut [(usize, parking_lot::RwLockWriteGuard<'_, ExperimentGraph>)],
+        pos: &HashMap<usize, usize>,
+        dag: &WorkloadDag,
+        merged: &[bool],
+        available: &HashMap<ArtifactId, Value>,
+    ) {
+        if self.config.materializer == MaterializerKind::None {
+            return;
+        }
+        let unlimited = self.config.materializer == MaterializerKind::All;
+        let mut seen = HashSet::new();
+        // Deterministic DAG order, not hash-map order.
+        for (i, node) in dag.nodes().iter().enumerate() {
+            if !merged[i] || !seen.insert(node.artifact) {
+                continue;
+            }
+            let Some(value) = available.get(&node.artifact) else {
+                continue;
+            };
+            // Aggregates are never materialization candidates (they are
+            // excluded from every materializer's utility pool).
+            if matches!(value, Value::Aggregate(_)) {
+                continue;
+            }
+            let gi = pos[&self.eg.shard_index(node.artifact)];
+            if guards[gi].1.storage().contains(node.artifact) {
+                continue;
+            }
+            if !unlimited {
+                let marginal = guards[gi].1.storage().marginal_bytes(value);
+                // Lower bound on global usage: the shared vault plus every
+                // locked shard's local bytes (unlocked shards' non-vault
+                // bytes are invisible here — see DESIGN.md §14).
+                let local: u64 = guards.iter().map(|(_, g)| g.storage().unique_bytes()).sum();
+                let used = self.eg.vault().map_or(0, |v| v.unique_bytes()) + local;
+                if used.saturating_add(marginal) > self.config.budget {
+                    continue;
+                }
+            }
+            guards[gi].1.storage_mut().store(node.artifact, value);
+        }
+    }
+
+    /// Append this publish's per-shard journal deltas and the
+    /// cross-shard commit record. Called with the touched shards'
+    /// write locks held (ascending); journal mutexes are taken in the
+    /// same ascending order, the commit-log mutex last.
+    #[allow(clippy::too_many_arguments)]
+    fn persist_sharded(
+        &self,
+        dur: &ShardedDurability,
+        guards: &[(usize, parking_lot::RwLockWriteGuard<'_, ExperimentGraph>)],
+        new_ids: &[Vec<ArtifactId>],
+        touched_ids: &[Vec<ArtifactId>],
+        mat_before: &[BTreeSet<ArtifactId>],
+        current_quarantine: &[(OpHash, String, usize)],
+        quarantine_dirty: bool,
+    ) -> Result<()> {
+        if dur.wedged.load(Ordering::SeqCst) {
+            return Err(GraphError::Io(WEDGED_MSG.to_owned()));
+        }
+        let mut deltas: Vec<EgDelta> = Vec::with_capacity(guards.len());
+        for (gi, (_, g)) in guards.iter().enumerate() {
+            let mut delta = EgDelta::default();
+            for id in &new_ids[gi] {
+                delta.new_vertices.push(g.vertex(*id)?.clone());
+            }
+            for id in &touched_ids[gi] {
+                let v = g.vertex(*id)?;
+                delta.touched.push(VertexTouch {
+                    id: *id,
+                    frequency: v.frequency,
+                    compute_time: v.compute_time,
+                    size: v.size,
+                    quality: v.quality,
+                });
+            }
+            let mat_after = mat_set(g);
+            delta.mat_added = mat_after.difference(&mat_before[gi]).copied().collect();
+            delta.mat_removed = mat_before[gi].difference(&mat_after).copied().collect();
+            deltas.push(delta);
+        }
+        // Quarantine records are confined to shard 0. The diff is
+        // recomputed against the pre-lock snapshot under the persisted
+        // map's lock, which stays held until the commit record lands so
+        // the map only ever advances for durable publishes.
+        let mut persisted = quarantine_dirty.then(|| dur.persisted_quarantine.lock());
+        if let Some(persisted) = &persisted {
+            if let Some((set, cleared)) = quarantine_diff(current_quarantine, persisted) {
+                // quarantine_dirty pulled shard 0 into the (ascending)
+                // lock set, so it is guards[0].
+                debug_assert_eq!(guards[0].0, 0);
+                deltas[0].quarantine_set = set;
+                deltas[0].quarantine_cleared = cleared;
             }
         }
+
+        // One sequence number per publish, assigned while every lock in
+        // the ordered protocol is held: each shard journal's sequence
+        // numbers appear in increasing order.
+        let seq = dur.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let faults = guards
+            .first()
+            .and_then(|(_, g)| g.storage().fault_injector().map(Arc::clone));
+        let mut shards_written: Vec<u32> = Vec::new();
+        for (gi, (k, _)) in guards.iter().enumerate() {
+            let delta = &mut deltas[gi];
+            if delta.is_empty() {
+                continue;
+            }
+            delta.seq = Some(seq);
+            if !shards_written.is_empty() {
+                if let Some(f) = &faults {
+                    if f.take_crash(CrashPoint::ShardGapAppend) {
+                        dur.wedged.store(true, Ordering::SeqCst);
+                        return Err(GraphError::Io(
+                            "crash injected between per-shard journal appends \
+                             (shard-gap-append)"
+                                .to_owned(),
+                        ));
+                    }
+                }
+            }
+            if let Err(e) = dur.journals[*k].lock().append(delta, faults.as_deref()) {
+                dur.wedged.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+            shards_written.push(u32::try_from(*k).expect("shard index fits u32"));
+        }
+        if shards_written.is_empty() {
+            return Ok(());
+        }
+        let record = CommitRecord {
+            seq,
+            shards: shards_written,
+        };
+        if let Err(e) = dur.commit.lock().append(&record, faults.as_deref()) {
+            dur.wedged.store(true, Ordering::SeqCst);
+            return Err(e);
+        }
+        if let Some(persisted) = &mut persisted {
+            **persisted = current_quarantine
+                .iter()
+                .map(|(op, _, f)| (*op, *f))
+                .collect();
+        }
+        Ok(())
     }
 
     /// Build and append this publish's journal delta, then compact if
     /// the journal crossed its size threshold. Called with the EG write
-    /// lock held and the durability state locked.
+    /// lock held and the durability state locked (single-shard layout).
     fn persist_delta(
         &self,
         eg: &ExperimentGraph,
@@ -640,11 +1233,7 @@ impl OptimizerServer {
         capture: &DeltaCapture,
     ) -> Result<()> {
         if dur.wedged {
-            return Err(GraphError::Io(
-                "durability layer wedged by an earlier persistence failure; \
-                 restart the server from its data directory"
-                    .to_owned(),
-            ));
+            return Err(GraphError::Io(WEDGED_MSG.to_owned()));
         }
         let mut delta = EgDelta::default();
         for id in &capture.new_ids {
@@ -669,24 +1258,10 @@ impl OptimizerServer {
             .map(|q| q.entries())
             .unwrap_or_default();
         current.sort_by_key(|(op, ..)| *op);
-        for (op, name, failures) in &current {
-            if dur.persisted_quarantine.get(op) != Some(failures) {
-                delta.quarantine_set.push(QuarantineEntry {
-                    op_hash: *op,
-                    name: name.clone(),
-                    failures: *failures,
-                });
-            }
+        if let Some((set, cleared)) = quarantine_diff(&current, &dur.persisted_quarantine) {
+            delta.quarantine_set = set;
+            delta.quarantine_cleared = cleared;
         }
-        let current_ops: std::collections::HashSet<OpHash> =
-            current.iter().map(|(op, ..)| *op).collect();
-        delta.quarantine_cleared = dur
-            .persisted_quarantine
-            .keys()
-            .filter(|op| !current_ops.contains(op))
-            .copied()
-            .collect();
-        delta.quarantine_cleared.sort_unstable();
         if delta.is_empty() {
             return Ok(());
         }
@@ -706,7 +1281,7 @@ impl OptimizerServer {
         if dur.journal.len_bytes() > dur.config.compact_journal_bytes
             && self.compact_locked(eg, dur).is_ok()
         {
-            self.stats.lock().snapshots_compacted += 1;
+            self.stats[0].lock().snapshots_compacted += 1;
         }
         Ok(())
     }
@@ -716,19 +1291,7 @@ impl OptimizerServer {
     /// so a crash between the two leaves a newer snapshot plus a journal
     /// whose records replay idempotently (absolute values).
     fn compact_locked(&self, eg: &ExperimentGraph, dur: &mut DurabilityState) -> Result<()> {
-        let mut entries: Vec<QuarantineEntry> = self
-            .quarantine
-            .as_ref()
-            .map(|q| q.entries())
-            .unwrap_or_default()
-            .into_iter()
-            .map(|(op_hash, name, failures)| QuarantineEntry {
-                op_hash,
-                name,
-                failures,
-            })
-            .collect();
-        entries.sort_by_key(|q| q.op_hash);
+        let entries = sorted_quarantine_entries(self.quarantine.as_deref());
         let faults = eg.storage().fault_injector().map(|f| &**f);
         snapshot::save_with(eg, &entries, &dur.config.snapshot_path(), faults)?;
         dur.journal.reset()?;
@@ -737,25 +1300,66 @@ impl OptimizerServer {
     }
 
     /// Compact durable state now: snapshot the current graph and
-    /// quarantine set atomically, then truncate the journal. A no-op
+    /// quarantine set atomically, then truncate the journal(s). A no-op
     /// `Ok(())` on a server without durability.
+    ///
+    /// On a sharded server this takes every shard's write lock, writes
+    /// one watermarked snapshot per shard, resets the per-shard
+    /// journals, and resets the commit log *last*: a crash anywhere in
+    /// between leaves snapshots whose watermarks already cover every
+    /// committed sequence number, so replay skips the stale records.
     pub fn compact(&self) -> Result<()> {
-        let Some(durability) = &self.durability else {
-            return Ok(());
-        };
-        {
-            let eg = self.eg.read();
-            let mut dur = durability.lock();
-            self.compact_locked(&eg, &mut dur)?;
+        match &self.durability {
+            None => Ok(()),
+            Some(Durability::Legacy(durability)) => {
+                {
+                    let eg = self.eg.read(0);
+                    let mut dur = durability.lock();
+                    self.compact_locked(&eg, &mut dur)?;
+                }
+                self.stats[0].lock().snapshots_compacted += 1;
+                Ok(())
+            }
+            Some(Durability::Sharded(dur)) => {
+                {
+                    let guards = self.eg.write_all();
+                    // Every sequence number at or below the counter
+                    // belongs to a finished publish (publishers hold
+                    // their shard locks from seq assignment to commit,
+                    // and we hold all of them).
+                    let watermark = dur.seq.load(Ordering::SeqCst);
+                    let entries = sorted_quarantine_entries(self.quarantine.as_deref());
+                    let faults = guards
+                        .first()
+                        .and_then(|g| g.storage().fault_injector().map(Arc::clone));
+                    for (k, g) in guards.iter().enumerate() {
+                        // Quarantine entries persist in shard 0 only.
+                        let q: &[QuarantineEntry] = if k == 0 { &entries } else { &[] };
+                        snapshot::save_shard_with(
+                            g,
+                            q,
+                            watermark,
+                            &dur.config.dir.join(shard::shard_snapshot_file(k)),
+                            faults.as_deref(),
+                        )?;
+                    }
+                    for journal in &dur.journals {
+                        journal.lock().reset()?;
+                    }
+                    dur.commit.lock().reset()?;
+                    *dur.persisted_quarantine.lock() =
+                        entries.iter().map(|q| (q.op_hash, q.failures)).collect();
+                }
+                self.stats[0].lock().snapshots_compacted += 1;
+                Ok(())
+            }
         }
-        self.stats.lock().snapshots_compacted += 1;
-        Ok(())
     }
 
     /// Graceful-drain hook: flush all durable state to disk — snapshot
     /// the current graph and quarantine set atomically and truncate the
     /// journal (exactly [`compact`]), so a post-drain data directory is
-    /// a single clean snapshot. A no-op `Ok(())` without durability; an
+    /// a clean snapshot set. A no-op `Ok(())` without durability; an
     /// error if the durability layer is wedged or the snapshot fails.
     ///
     /// [`compact`]: OptimizerServer::compact
@@ -775,7 +1379,11 @@ impl OptimizerServer {
     /// refuses until the server restarts from its data directory.
     #[must_use]
     pub fn is_wedged(&self) -> bool {
-        self.durability.as_ref().is_some_and(|d| d.lock().wedged)
+        match &self.durability {
+            None => false,
+            Some(Durability::Legacy(d)) => d.lock().wedged,
+            Some(Durability::Sharded(d)) => d.wedged.load(Ordering::SeqCst),
+        }
     }
 
     /// Whether this server persists to a data directory.
@@ -784,10 +1392,14 @@ impl OptimizerServer {
         self.durability.is_some()
     }
 
-    /// Cumulative lifetime statistics.
+    /// Cumulative lifetime statistics (per-shard sub-counters summed).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        *self.stats.lock()
+        let mut total = ServerStats::default();
+        for s in &self.stats {
+            total.add(&s.lock());
+        }
+        total
     }
 
     /// `EXPLAIN` for a workload: prune, plan against the current
@@ -795,66 +1407,154 @@ impl OptimizerServer {
     /// executing anything or touching the graph.
     pub fn explain(&self, mut dag: WorkloadDag) -> Result<String> {
         dag.prune()?;
-        let eg = self.eg.read();
-        let plan = self.planner.plan(&dag, &eg, &self.config.cost);
-        Ok(crate::optimizer::explain_plan(
-            &dag,
-            &eg,
-            &self.config.cost,
-            &plan,
-        ))
+        if self.eg.n_shards() == 1 {
+            let eg = self.eg.read(0);
+            let plan = self.planner.plan(&dag, &*eg, &self.config.cost);
+            Ok(crate::optimizer::explain_plan(
+                &dag,
+                &*eg,
+                &self.config.cost,
+                &plan,
+            ))
+        } else {
+            let guards = self.eg.read_all();
+            let view = EgView::new(guards.iter().map(|g| &**g).collect());
+            let plan = self.planner.plan(&dag, &view, &self.config.cost);
+            Ok(crate::optimizer::explain_plan(
+                &dag,
+                &view,
+                &self.config.cost,
+                &plan,
+            ))
+        }
+    }
+
+    /// Number of Experiment Graph lock shards (1 = unsharded).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.eg.n_shards()
+    }
+
+    /// The sharded Experiment Graph container — per-shard read/write
+    /// access for offline tools, fsck sweeps and tests at any shard
+    /// count.
+    #[must_use]
+    pub fn shards(&self) -> &ShardedEg {
+        &self.eg
+    }
+
+    /// Nanoseconds publishers spent blocked on contended shard write
+    /// locks, per shard (all zeros while uncontended: the fast path
+    /// does not touch the clock).
+    #[must_use]
+    pub fn lock_wait_ns(&self) -> Vec<u64> {
+        self.eg.lock_wait_ns()
     }
 
     /// Read access to the Experiment Graph (shared lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded server (shards > 1) — iterate
+    /// [`shards`](OptimizerServer::shards) instead.
     pub fn eg(&self) -> parking_lot::RwLockReadGuard<'_, ExperimentGraph> {
-        self.eg.read()
+        assert_eq!(
+            self.eg.n_shards(),
+            1,
+            "eg() is single-shard only; use shards() on a sharded server"
+        );
+        self.eg.read(0)
     }
 
     /// Write access to the Experiment Graph (exclusive lock) — for
     /// offline tools and tests (e.g. seeding corruption that
     /// `co_graph::fsck` must catch). Mutations made here bypass the
     /// publish pipeline and its durability journaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded server (shards > 1) — iterate
+    /// [`shards`](OptimizerServer::shards) instead.
     pub fn eg_mut(&self) -> parking_lot::RwLockWriteGuard<'_, ExperimentGraph> {
-        self.eg.write()
+        assert_eq!(
+            self.eg.n_shards(),
+            1,
+            "eg_mut() is single-shard only; use shards() on a sharded server"
+        );
+        self.eg.write(0)
     }
 
     /// Summary of storage state: (number of materialized artifacts,
-    /// unique bytes held, logical bytes materialized).
+    /// unique bytes held, logical bytes materialized). On a sharded
+    /// server, sums over every shard plus the shared column vault.
     #[must_use]
     pub fn storage_stats(&self) -> (usize, u64, u64) {
-        let eg = self.eg.read();
-        let s = eg.storage();
-        (s.n_artifacts(), s.unique_bytes(), s.logical_bytes())
+        let guards = self.eg.read_all();
+        let n = guards.iter().map(|g| g.storage().n_artifacts()).sum();
+        let unique = self.eg.vault().map_or(0, |v| v.unique_bytes())
+            + guards
+                .iter()
+                .map(|g| g.storage().unique_bytes())
+                .sum::<u64>();
+        let logical = guards.iter().map(|g| g.storage().logical_bytes()).sum();
+        (n, unique, logical)
     }
 
     /// Install a deterministic fault injector on the artifact store
-    /// (tests and chaos drills; see `co_graph::faults`).
+    /// (every shard's, when sharded) for tests and chaos drills; see
+    /// `co_graph::faults`.
     pub fn set_fault_injector(&self, faults: Arc<FaultInjector>) {
-        self.eg.write().storage_mut().set_fault_injector(faults);
+        self.eg.set_fault_injector(&faults);
     }
 
     /// Evict one artifact's content from the store (returns bytes
     /// freed). Reuse plans drawn before the eviction degrade to
     /// recomputation via the executor's load-miss fallback. On a durable
-    /// server the mat-flag change is journaled so a restart does not
-    /// resurrect the flag.
+    /// server the mat-flag change is journaled (and, sharded, committed)
+    /// so a restart does not resurrect the flag.
     pub fn evict_artifact(&self, id: ArtifactId) -> u64 {
-        let mut eg = self.eg.write();
+        let k = self.eg.shard_index(id);
+        let mut eg = self.eg.write(k);
         let bytes = eg.storage_mut().evict(id);
         let was_restored = eg.unmark_restored_materialized(id);
         if bytes > 0 || was_restored {
-            if let Some(durability) = &self.durability {
-                let mut dur = durability.lock();
-                if !dur.wedged {
+            match &self.durability {
+                None => {}
+                Some(Durability::Legacy(durability)) => {
+                    let mut dur = durability.lock();
+                    if !dur.wedged {
+                        let delta = EgDelta {
+                            mat_removed: vec![id],
+                            ..EgDelta::default()
+                        };
+                        let faults = eg.storage().fault_injector().map(|f| &**f);
+                        if dur.journal.append(&delta, faults).is_err() {
+                            dur.wedged = true;
+                        }
+                    }
+                }
+                Some(Durability::Sharded(dur)) if !dur.wedged.load(Ordering::SeqCst) => {
+                    let seq = dur.seq.fetch_add(1, Ordering::SeqCst) + 1;
                     let delta = EgDelta {
+                        seq: Some(seq),
                         mat_removed: vec![id],
                         ..EgDelta::default()
                     };
-                    let faults = eg.storage().fault_injector().map(|f| &**f);
-                    if dur.journal.append(&delta, faults).is_err() {
-                        dur.wedged = true;
+                    let faults = eg.storage().fault_injector().map(Arc::clone);
+                    let record = CommitRecord {
+                        seq,
+                        shards: vec![u32::try_from(k).expect("shard index fits u32")],
+                    };
+                    let ok = dur.journals[k]
+                        .lock()
+                        .append(&delta, faults.as_deref())
+                        .is_ok()
+                        && dur.commit.lock().append(&record, faults.as_deref()).is_ok();
+                    if !ok {
+                        dur.wedged.store(true, Ordering::SeqCst);
                     }
                 }
+                Some(Durability::Sharded(_)) => {}
             }
         }
         bytes
@@ -864,6 +1564,48 @@ impl OptimizerServer {
     #[must_use]
     pub fn quarantine(&self) -> Option<&Arc<Quarantine>> {
         self.quarantine.as_ref()
+    }
+}
+
+/// Shared tail of both publish paths: translate (failure, persist
+/// failure) into the client-visible result, preserving error precedence
+/// (the workload's own error wins; a persist failure alone reports the
+/// run failed because a restart would forget it).
+fn finish_publish(
+    dag: WorkloadDag,
+    mut report: ExecutionReport,
+    failure: Option<FailedExecution>,
+    persist_error: Option<GraphError>,
+) -> std::result::Result<(WorkloadDag, ExecutionReport), WorkloadError> {
+    match failure {
+        None => match persist_error {
+            None => Ok((dag, report)),
+            // The run computed fine but its delta never became
+            // durable: report it failed so the client knows a
+            // restart would forget this workload.
+            Some(error) => Err(WorkloadError {
+                error,
+                report: Box::new(report),
+                completed: Vec::new(),
+                tainted: Vec::new(),
+            }),
+        },
+        Some(FailedExecution {
+            error,
+            completed,
+            tainted,
+        }) => {
+            // When both the workload and persistence failed, the
+            // workload's own error wins; the persist failure is
+            // still visible through the wedged durability state.
+            report.salvaged_artifacts = completed.len();
+            Err(WorkloadError {
+                error,
+                report: Box::new(report),
+                completed,
+                tainted,
+            })
+        }
     }
 }
 
@@ -885,7 +1627,7 @@ impl DeltaCapture {
         };
         let mut new_ids = Vec::new();
         let mut touched_ids = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         // DAG order is parents-first, so `new_ids` lists new vertices in
         // an order the journal can replay with restore_vertex.
         for (i, node) in dag.nodes().iter().enumerate() {
@@ -903,6 +1645,53 @@ impl DeltaCapture {
             mat_before: mat_set(eg),
         }
     }
+}
+
+/// Diff the live quarantine snapshot against the last persisted map:
+/// `Some((set, cleared))` when any entry changed or vanished, `None`
+/// when the persisted state is already current.
+fn quarantine_diff(
+    current: &[(OpHash, String, usize)],
+    persisted: &HashMap<OpHash, usize>,
+) -> Option<(Vec<QuarantineEntry>, Vec<OpHash>)> {
+    let mut set = Vec::new();
+    for (op, name, failures) in current {
+        if persisted.get(op) != Some(failures) {
+            set.push(QuarantineEntry {
+                op_hash: *op,
+                name: name.clone(),
+                failures: *failures,
+            });
+        }
+    }
+    let current_ops: HashSet<OpHash> = current.iter().map(|(op, ..)| *op).collect();
+    let mut cleared: Vec<OpHash> = persisted
+        .keys()
+        .filter(|op| !current_ops.contains(op))
+        .copied()
+        .collect();
+    cleared.sort_unstable();
+    if set.is_empty() && cleared.is_empty() {
+        None
+    } else {
+        Some((set, cleared))
+    }
+}
+
+/// The live quarantine set as sorted snapshot entries.
+fn sorted_quarantine_entries(quarantine: Option<&Quarantine>) -> Vec<QuarantineEntry> {
+    let mut entries: Vec<QuarantineEntry> = quarantine
+        .map(|q| q.entries())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(op_hash, name, failures)| QuarantineEntry {
+            op_hash,
+            name,
+            failures,
+        })
+        .collect();
+    entries.sort_by_key(|q| q.op_hash);
+    entries
 }
 
 /// The persisted mat set: artifacts holding content plus restored mat
@@ -943,6 +1732,12 @@ fn available_contents(dag: &WorkloadDag) -> HashMap<ArtifactId, Value> {
 /// terminals require. Called inside the publish critical section so the
 /// graph cannot change under the walk.
 fn baseline_cost(dag: &WorkloadDag, eg: &ExperimentGraph) -> f64 {
+    baseline_cost_with(dag, |id| eg.vertex(id).ok().map(|v| v.compute_time))
+}
+
+/// [`baseline_cost`] with a pluggable vertex lookup, so the sharded
+/// publish path can resolve compute times across its locked shards.
+fn baseline_cost_with(dag: &WorkloadDag, lookup: impl Fn(ArtifactId) -> Option<f64>) -> f64 {
     let mut baseline = 0.0;
     let mut visited = vec![false; dag.n_nodes()];
     let mut stack: Vec<usize> = dag.terminals().iter().map(|t| t.0).collect();
@@ -953,7 +1748,7 @@ fn baseline_cost(dag: &WorkloadDag, eg: &ExperimentGraph) -> f64 {
         let node = &dag.nodes()[i];
         baseline += node
             .compute_time
-            .or_else(|| eg.vertex(node.artifact).ok().map(|v| v.compute_time))
+            .or_else(|| lookup(node.artifact))
             .unwrap_or(0.0);
         stack.extend(dag.parents(co_graph::NodeId(i)).iter().map(|p| p.0));
     }
@@ -1074,6 +1869,61 @@ mod tests {
         for node in dag.nodes() {
             assert!(eg.contains(node.artifact));
         }
+    }
+
+    #[test]
+    fn sharded_server_reuses_across_shards() {
+        let mut config = ServerConfig::collaborative(u64::MAX);
+        config.shards = 4;
+        let server = OptimizerServer::new(config);
+        assert_eq!(server.n_shards(), 4);
+        let (_, first) = server.run_workload(workload()).unwrap();
+        assert!(first.ops_executed > 0);
+        let (_, second) = server.run_workload(workload()).unwrap();
+        assert!(second.artifacts_loaded >= 1);
+        assert!(second.ops_executed < first.ops_executed);
+        // Every workload vertex landed on its owning shard.
+        let dag = workload();
+        let guards = server.shards().read_all();
+        for node in dag.nodes() {
+            let k = server.shards().shard_index(node.artifact);
+            assert!(guards[k].contains(node.artifact));
+        }
+        // Stats fold across per-shard sub-counters.
+        let stats = server.stats();
+        assert_eq!(stats.workloads, 2);
+    }
+
+    #[test]
+    fn sharded_concurrent_sessions_share_the_graph() {
+        let mut config = ServerConfig::collaborative(u64::MAX);
+        config.shards = 8;
+        let server = Arc::new(OptimizerServer::new(config));
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                let server = Arc::clone(&server);
+                scope.spawn(move |_| {
+                    let (_, report) = server.run_workload(workload()).unwrap();
+                    assert!(report.run_seconds() > 0.0);
+                });
+            }
+        })
+        .unwrap();
+        let dag = workload();
+        let guards = server.shards().read_all();
+        for node in dag.nodes() {
+            let k = server.shards().shard_index(node.artifact);
+            assert!(guards[k].contains(node.artifact));
+        }
+        assert_eq!(server.stats().workloads, 4);
+    }
+
+    #[test]
+    fn with_graph_rejects_sharded_config() {
+        let mut config = ServerConfig::collaborative(u64::MAX);
+        config.shards = 4;
+        let eg = ExperimentGraph::new(true);
+        assert!(OptimizerServer::with_graph(config, eg).is_err());
     }
 
     #[test]

@@ -5,29 +5,31 @@
 //! When there are multiple candidates ... we select the model with the
 //! highest quality."
 
-use co_graph::{ArtifactId, ExperimentGraph, NodeKind};
+use co_graph::{ArtifactId, GraphQuery, NodeKind};
 use co_ml::{ModelKind, TrainedModel};
 
 /// Find the best warmstart candidate for a training operation that
 /// consumes `train_input` and produces a model of `kind`. `exclude` is the
 /// artifact the operation itself would produce (an exact match is a reuse,
 /// not a warmstart). Returns the materialized model with the highest
-/// quality, if any.
+/// quality, if any. The graph is read through [`GraphQuery`], so the
+/// search works over a plain `ExperimentGraph` or a sharded view alike
+/// (children may live on a different shard than their parent).
 #[must_use]
 pub fn find_candidate(
-    eg: &ExperimentGraph,
+    eg: &dyn GraphQuery,
     train_input: ArtifactId,
     kind: ModelKind,
     exclude: ArtifactId,
 ) -> Option<TrainedModel> {
-    let input = eg.vertex(train_input).ok()?;
+    let input = eg.lookup(train_input)?;
     let mut best: Option<(f64, ArtifactId)> = None;
     for &child in &input.children {
         if child == exclude {
             continue;
         }
-        let Ok(v) = eg.vertex(child) else { continue };
-        if v.kind != NodeKind::Model || !eg.is_materialized(child) {
+        let Some(v) = eg.lookup(child) else { continue };
+        if v.kind != NodeKind::Model || !eg.has_content(child) {
             continue;
         }
         // Model vertices describe themselves as "<kind>:<params>".
@@ -41,8 +43,7 @@ pub fn find_candidate(
         }
     }
     let (_, candidate) = best?;
-    eg.storage()
-        .get(candidate)?
+    eg.load_content(candidate)?
         .as_model()
         .map(|m| m.model.clone())
 }
@@ -51,7 +52,7 @@ pub fn find_candidate(
 mod tests {
     use super::*;
     use co_dataframe::Scalar;
-    use co_graph::{ModelArtifact, Operation, Value, WorkloadDag};
+    use co_graph::{ExperimentGraph, ModelArtifact, Operation, Value, WorkloadDag};
     use co_ml::linear::{LogisticParams, LogisticRegression};
     use co_ml::Matrix;
     use std::sync::Arc;

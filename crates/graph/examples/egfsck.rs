@@ -5,6 +5,12 @@
 //! checks every structural invariant of the recovered graph, its content
 //! store, and the persisted quarantine state.
 //!
+//! Sharded data directories (`eg-<k>.egsnap` / `eg-<k>.wal` /
+//! `eg.commit`, DESIGN.md §14) are detected automatically: recovery
+//! reconstructs exactly the committed prefix across all shards and the
+//! cross-shard invariants (vertex routing, edge symmetry, commit-log
+//! consistency) are checked on top of the per-graph ones.
+//!
 //! ```text
 //! cargo run --example egfsck -- <data-dir> [--no-dedup] [--quiet]
 //! ```
@@ -46,7 +52,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    match fsck::check_data_dir(&dir, dedup) {
+    let checked = match fsck::detect_shard_layout(&dir) {
+        Some(n) => fsck::check_sharded_data_dir(&dir, n, dedup),
+        None => fsck::check_data_dir(&dir, dedup),
+    };
+    match checked {
         Ok(report) => {
             if !quiet || !report.is_clean() {
                 print!("{report}");

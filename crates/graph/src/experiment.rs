@@ -190,6 +190,89 @@ impl ExperimentGraph {
         Ok(())
     }
 
+    /// Merge a single node of an executed workload DAG into this graph —
+    /// the sharded updater's unit of work, where each node lands in the
+    /// shard owning its artifact id. Identical to one step of
+    /// [`ExperimentGraph::update_with_workload`] except that **no child
+    /// links are wired** (a parent may live in another shard); the
+    /// caller wires them via [`ExperimentGraph::add_child_link`] on the
+    /// parent's shard. Returns whether the node was inserted (false:
+    /// an existing vertex was bumped).
+    pub fn merge_workload_node(&mut self, dag: &WorkloadDag, idx: usize) -> Result<bool> {
+        let node = dag
+            .nodes()
+            .get(idx)
+            .ok_or_else(|| GraphError::InvalidStructure(format!("workload has no node {idx}")))?;
+        let id = node.artifact;
+        match self.vertices.get_mut(&id) {
+            Some(v) => {
+                v.frequency += 1;
+                if let Some(t) = node.compute_time {
+                    v.compute_time = t;
+                }
+                if let Some(s) = node.size {
+                    v.size = s;
+                }
+                if node.quality > 0.0 {
+                    v.quality = node.quality;
+                }
+                Ok(false)
+            }
+            None => {
+                let parents: Vec<ArtifactId> = dag
+                    .parents(crate::workload::NodeId(idx))
+                    .iter()
+                    .map(|n| dag.nodes()[n.0].artifact)
+                    .collect();
+                let op_hash = dag
+                    .producer(crate::workload::NodeId(idx))
+                    .map(|e| e.op.op_hash());
+                let description = node
+                    .computed
+                    .as_ref()
+                    .map(crate::value::Value::description)
+                    .unwrap_or_default();
+                let vertex = EgVertex {
+                    id,
+                    kind: node.kind,
+                    frequency: 1,
+                    compute_time: node.compute_time.unwrap_or(0.0),
+                    size: node.size.unwrap_or(0),
+                    quality: node.quality,
+                    description,
+                    source_name: node.name.clone(),
+                    op_hash,
+                    parents,
+                    children: Vec::new(),
+                };
+                self.vertices.insert(id, vertex);
+                self.topo.push(id);
+                if node.producer.is_none() {
+                    self.sources.push(id);
+                    // Sources: store content unconditionally.
+                    if let Some(value) = &node.computed {
+                        self.storage.store(id, value);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Record that `child` consumes `parent` (idempotent). The sharded
+    /// updater and the recovery rewire pass call this on the *parent's*
+    /// shard; `child` may live elsewhere.
+    pub fn add_child_link(&mut self, parent: ArtifactId, child: ArtifactId) -> Result<()> {
+        let pv = self
+            .vertices
+            .get_mut(&parent)
+            .ok_or(GraphError::UnknownArtifact(parent.0))?;
+        if !pv.children.contains(&child) {
+            pv.children.push(child);
+        }
+        Ok(())
+    }
+
     /// Insert a fully specified vertex during snapshot restoration
     /// (see [`crate::snapshot`]). Parents must already be present; the
     /// vertex must be new; children links are rebuilt here.
@@ -219,6 +302,29 @@ impl ExperimentGraph {
             if !pv.children.contains(&id) {
                 pv.children.push(id);
             }
+        }
+        Ok(())
+    }
+
+    /// Insert a fully specified vertex *without* resolving its lineage:
+    /// parents are recorded but not required to exist (they may live in
+    /// another shard) and no child links are wired. Used when restoring
+    /// one shard of a sharded graph; the recovery rewire pass
+    /// (`crate::shard::rewire_children`) rebuilds children afterwards.
+    pub fn restore_vertex_unlinked(&mut self, mut vertex: EgVertex) -> Result<()> {
+        if self.vertices.contains_key(&vertex.id) {
+            return Err(GraphError::InvalidStructure(format!(
+                "duplicate vertex {:x} in snapshot",
+                vertex.id.0
+            )));
+        }
+        vertex.children.clear();
+        let id = vertex.id;
+        let is_source = vertex.op_hash.is_none();
+        self.vertices.insert(id, vertex);
+        self.topo.push(id);
+        if is_source {
+            self.sources.push(id);
         }
         Ok(())
     }
@@ -304,6 +410,16 @@ impl ExperimentGraph {
     /// materializer).
     pub fn storage_mut(&mut self) -> &mut StorageManager {
         &mut self.storage
+    }
+
+    /// Replace the content store wholesale — used when assembling a
+    /// sharded graph, where every shard's store must share one
+    /// [`crate::ColumnVault`]. Restored-materialization flags are kept;
+    /// any content held by the old store is dropped, so callers swap
+    /// stores only on freshly built or freshly recovered graphs (content
+    /// is never persisted, so a recovered store is empty by definition).
+    pub fn set_storage(&mut self, storage: StorageManager) {
+        self.storage = storage;
     }
 
     /// Approximate recreation cost `Cr(v)` for every vertex, computed in

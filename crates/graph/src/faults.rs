@@ -52,6 +52,14 @@ pub enum CrashPoint {
     /// Die before the journal record reaches the disk at all — the
     /// worst case of an unsynced write (the whole record is lost).
     JournalPreFsync,
+    /// Sharded publish: die in the gap between two per-shard journal
+    /// appends of one cross-shard publish — some shards hold the
+    /// publish's record, others never receive theirs.
+    ShardGapAppend,
+    /// Sharded publish: die after every per-shard journal append but
+    /// before the cross-shard commit record is written — the publish
+    /// must be invisible after recovery.
+    CommitPreAppend,
 }
 
 impl CrashPoint {
@@ -64,18 +72,22 @@ impl CrashPoint {
             CrashPoint::SnapshotPreRename => "snapshot-pre-rename",
             CrashPoint::JournalMidAppend => "journal-mid-append",
             CrashPoint::JournalPreFsync => "journal-pre-fsync",
+            CrashPoint::ShardGapAppend => "shard-gap-append",
+            CrashPoint::CommitPreAppend => "commit-pre-append",
         }
     }
 
     /// Every crash point, for exhaustive crash-matrix tests.
     #[must_use]
-    pub fn all() -> [CrashPoint; 5] {
+    pub fn all() -> [CrashPoint; 7] {
         [
             CrashPoint::SnapshotMidWrite,
             CrashPoint::SnapshotPreFsync,
             CrashPoint::SnapshotPreRename,
             CrashPoint::JournalMidAppend,
             CrashPoint::JournalPreFsync,
+            CrashPoint::ShardGapAppend,
+            CrashPoint::CommitPreAppend,
         ]
     }
 }
@@ -385,7 +397,7 @@ mod tests {
         assert!(!f.take_crash(CrashPoint::SnapshotPreRename), "consumed");
         assert!(f.take_crash(CrashPoint::JournalMidAppend));
         assert_eq!(f.crashes_fired(), 2);
-        assert_eq!(CrashPoint::all().len(), 5);
+        assert_eq!(CrashPoint::all().len(), 7);
         for p in CrashPoint::all() {
             assert!(!p.name().is_empty());
         }

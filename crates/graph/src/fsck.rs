@@ -32,9 +32,11 @@
 //! publish and recovery in debug builds.
 
 use crate::error::Result;
-use crate::experiment::ExperimentGraph;
+use crate::experiment::{EgVertex, ExperimentGraph};
 use crate::journal::{self, QuarantineEntry};
+use crate::shard::{self, shard_of};
 use crate::snapshot;
+use crate::storage::StorageManager;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
@@ -70,6 +72,8 @@ pub enum FsckCode {
     BadAttribute,
     /// A quarantine entry is duplicated or carries no failures.
     QuarantineInvalid,
+    /// A vertex lives in a shard other than the one its id hashes to.
+    ShardMisrouted,
 }
 
 impl FsckCode {
@@ -87,6 +91,7 @@ impl FsckCode {
             FsckCode::StorageAccounting => "storage-accounting",
             FsckCode::BadAttribute => "bad-attribute",
             FsckCode::QuarantineInvalid => "quarantine-invalid",
+            FsckCode::ShardMisrouted => "shard-misrouted",
         }
     }
 }
@@ -445,6 +450,298 @@ pub fn check_data_dir(dir: &Path, dedup: bool) -> Result<FsckReport> {
     Ok(report)
 }
 
+/// Detect a *sharded* data directory and its shard count: the number of
+/// contiguous `eg-<k>.wal` / `eg-<k>.egsnap` pairs starting at shard 0.
+/// Returns `None` for single-journal (or empty) directories.
+#[must_use]
+pub fn detect_shard_layout(dir: &Path) -> Option<usize> {
+    let mut n = 0;
+    while dir.join(shard::shard_journal_file(n)).exists()
+        || dir.join(shard::shard_snapshot_file(n)).exists()
+    {
+        n += 1;
+    }
+    if n > 0 || dir.join(shard::COMMIT_FILE).exists() {
+        Some(n.max(1))
+    } else {
+        None
+    }
+}
+
+/// Check every structural invariant across the shards of a sharded
+/// Experiment Graph, plus the sharding invariants themselves: each
+/// vertex must live in the shard its id hashes to, and parent/child
+/// links must resolve and be symmetric *across* shards. Per-shard
+/// topological order is validated within each shard (parents in the
+/// same shard must precede their children; cross-shard edges have no
+/// single order to check — acyclicity there follows from referential
+/// integrity plus each edge's parent being published no later than its
+/// child).
+#[must_use]
+pub fn check_shards(shards: &[&ExperimentGraph], quarantine: &[QuarantineEntry]) -> FsckReport {
+    let n = shards.len();
+    let mut report = FsckReport {
+        vertices: shards.iter().map(|s| s.n_vertices()).sum(),
+        artifacts: shards.iter().map(|s| s.storage().n_artifacts()).sum(),
+        ..FsckReport::default()
+    };
+    // Resolve an id to its vertex via the owning shard — the only place
+    // it may legally live.
+    let find = |id: crate::artifact::ArtifactId| -> Option<&EgVertex> {
+        shards[shard_of(id, n)].vertex(id).ok()
+    };
+
+    for (k, eg) in shards.iter().enumerate() {
+        // Per-shard topological order: covers this shard's vertices
+        // exactly once.
+        let mut position: HashMap<_, usize> = HashMap::with_capacity(eg.n_vertices());
+        for (pos, id) in eg.topo_order().iter().enumerate() {
+            if !eg.contains(*id) {
+                report.push(
+                    FsckCode::TopoInconsistent,
+                    format!("shard {k} topo order names unknown vertex {:016x}", id.0),
+                );
+            }
+            if position.insert(*id, pos).is_some() {
+                report.push(
+                    FsckCode::TopoInconsistent,
+                    format!(
+                        "vertex {:016x} appears twice in shard {k}'s topo order",
+                        id.0
+                    ),
+                );
+            }
+        }
+        if eg.topo_order().len() != eg.n_vertices() {
+            report.push(
+                FsckCode::TopoInconsistent,
+                format!(
+                    "shard {k} topo order covers {} of {} vertices",
+                    eg.topo_order().len(),
+                    eg.n_vertices()
+                ),
+            );
+        }
+        let sources: HashSet<_> = eg.sources().iter().copied().collect();
+        if sources.len() != eg.sources().len() {
+            report.push(
+                FsckCode::SourceInvariant,
+                format!(
+                    "shard {k} source list has {} entries but only {} distinct ids",
+                    eg.sources().len(),
+                    sources.len()
+                ),
+            );
+        }
+
+        for v in eg.vertices() {
+            // The sharding invariant itself.
+            let home = shard_of(v.id, n);
+            if home != k {
+                report.push(
+                    FsckCode::ShardMisrouted,
+                    format!(
+                        "vertex {:016x} lives in shard {k} but hashes to shard {home}",
+                        v.id.0
+                    ),
+                );
+            }
+            let my_pos = position.get(&v.id);
+
+            for p in v.parents.iter().collect::<HashSet<_>>() {
+                match find(*p) {
+                    None => report.push(
+                        FsckCode::DanglingReference,
+                        format!(
+                            "vertex {:016x} (shard {k}) lists unknown parent {:016x}",
+                            v.id.0, p.0
+                        ),
+                    ),
+                    Some(pv) => {
+                        if shard_of(*p, n) == k {
+                            if let (Some(my), Some(theirs)) = (my_pos, position.get(p)) {
+                                if theirs >= my {
+                                    report.push(
+                                        FsckCode::OrderViolation,
+                                        format!(
+                                            "parent {:016x} does not precede child {:016x} in shard {k}'s topo order",
+                                            p.0, v.id.0
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                        if !pv.children.contains(&v.id) {
+                            report.push(
+                                FsckCode::AsymmetricLink,
+                                format!(
+                                    "vertex {:016x} lists parent {:016x}, which does not list it as a child",
+                                    v.id.0, p.0
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            for c in &v.children {
+                match find(*c) {
+                    None => report.push(
+                        FsckCode::DanglingReference,
+                        format!(
+                            "vertex {:016x} (shard {k}) lists unknown child {:016x}",
+                            v.id.0, c.0
+                        ),
+                    ),
+                    Some(cv) => {
+                        if !cv.parents.contains(&v.id) {
+                            report.push(
+                                FsckCode::AsymmetricLink,
+                                format!(
+                                    "vertex {:016x} lists child {:016x}, which does not list it as a parent",
+                                    v.id.0, c.0
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+
+            let is_source = sources.contains(&v.id);
+            if v.op_hash.is_none() != is_source {
+                report.push(
+                    FsckCode::SourceInvariant,
+                    format!(
+                        "vertex {:016x} has {} op-hash but is {}registered as a source",
+                        v.id.0,
+                        if v.op_hash.is_none() { "no" } else { "an" },
+                        if is_source { "" } else { "not " }
+                    ),
+                );
+            }
+            if v.op_hash.is_none() && !v.parents.is_empty() {
+                report.push(
+                    FsckCode::SourceInvariant,
+                    format!(
+                        "source vertex {:016x} has {} parent(s)",
+                        v.id.0,
+                        v.parents.len()
+                    ),
+                );
+            }
+            if v.frequency == 0 {
+                report.push(
+                    FsckCode::BadAttribute,
+                    format!("vertex {:016x} has frequency 0", v.id.0),
+                );
+            }
+            if !v.compute_time.is_finite() || v.compute_time < 0.0 {
+                report.push(
+                    FsckCode::BadAttribute,
+                    format!("vertex {:016x} has compute time {}", v.id.0, v.compute_time),
+                );
+            }
+            if !v.quality.is_finite() || !(0.0..=1.0).contains(&v.quality) {
+                report.push(
+                    FsckCode::BadAttribute,
+                    format!("vertex {:016x} has quality {}", v.id.0, v.quality),
+                );
+            }
+        }
+
+        for id in eg.storage().materialized_ids() {
+            if !eg.contains(id) {
+                report.push(
+                    FsckCode::StrayContent,
+                    format!(
+                        "shard {k}'s store holds content for artifact {:016x}, which it does not define",
+                        id.0
+                    ),
+                );
+            }
+        }
+        for id in eg.restored_materialized() {
+            if !eg.contains(*id) {
+                report.push(
+                    FsckCode::StrayRestoredFlag,
+                    format!(
+                        "shard {k}'s restored mat flag refers to artifact {:016x}, which it does not define",
+                        id.0
+                    ),
+                );
+            }
+        }
+        for message in eg.storage().audit() {
+            report.push(FsckCode::StorageAccounting, format!("shard {k}: {message}"));
+        }
+    }
+
+    // Cross-shard dedup accounting: the shared vault's refcounts and
+    // byte counter, recomputed across every shard's store.
+    if let Some(vault) = shards.first().and_then(|s| s.storage().vault()) {
+        let managers: Vec<&StorageManager> = shards.iter().map(|s| s.storage()).collect();
+        for message in vault.audit(&managers) {
+            report.push(FsckCode::StorageAccounting, message);
+        }
+    }
+
+    report.quarantine_entries = quarantine.len();
+    let mut seen = HashSet::with_capacity(quarantine.len());
+    for q in quarantine {
+        if !seen.insert(q.op_hash) {
+            report.push(
+                FsckCode::QuarantineInvalid,
+                format!(
+                    "op {:016x} ({}) is quarantined more than once",
+                    q.op_hash, q.name
+                ),
+            );
+        }
+        if q.failures == 0 {
+            report.push(
+                FsckCode::QuarantineInvalid,
+                format!(
+                    "op {:016x} ({}) is quarantined with zero recorded failures",
+                    q.op_hash, q.name
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// Offline check of a *sharded* durability directory: reconstruct
+/// exactly the committed prefix ([`shard::recover_shards`], read-only —
+/// torn tails are reported, never truncated) and run [`check_shards`]
+/// over the result.
+pub fn check_sharded_data_dir(dir: &Path, n_shards: usize, dedup: bool) -> Result<FsckReport> {
+    let recovery = shard::recover_shards(dir, n_shards, dedup)?;
+    let refs: Vec<&ExperimentGraph> = recovery.graphs.iter().collect();
+    let mut report = check_shards(&refs, &recovery.quarantine);
+    for (parent, child) in &recovery.unresolved_links {
+        report.push(
+            FsckCode::DanglingReference,
+            format!(
+                "recovered vertex {:016x} lists parent {:016x}, which no shard defines",
+                child.0, parent.0
+            ),
+        );
+    }
+    report.notes.push(format!(
+        "{} shard(s): {} committed publish(es), {} journal record(s) applied, {} skipped (pre-watermark or uncommitted)",
+        recovery.graphs.len(),
+        recovery.committed_publishes,
+        recovery.deltas_applied,
+        recovery.deltas_skipped,
+    ));
+    for (path, at, discarded) in &recovery.torn {
+        report.notes.push(format!(
+            "{} has a torn tail at byte {at} ({discarded} byte(s) would be discarded on recovery)",
+            path.display()
+        ));
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +878,48 @@ mod tests {
         assert_eq!(bad, 2, "{report}");
         // Hashes never seen by the graph are fine by design.
         assert!(check_with_quarantine(&eg, &[q(0xabc, 1)]).is_clean());
+    }
+
+    #[test]
+    fn sharded_check_validates_routing_and_cross_shard_links() {
+        use crate::shard::{rewire_children, shard_of};
+        let n = 4;
+        let mk = |id: u64, parents: &[u64]| EgVertex {
+            id: ArtifactId(id),
+            kind: NodeKind::Dataset,
+            frequency: 1,
+            compute_time: 0.1,
+            size: 8,
+            quality: 0.0,
+            description: String::new(),
+            source_name: parents.is_empty().then(|| "src".to_owned()),
+            op_hash: (!parents.is_empty()).then_some(id ^ 7),
+            parents: parents.iter().copied().map(ArtifactId).collect(),
+            children: Vec::new(),
+        };
+        let mut graphs: Vec<ExperimentGraph> = (0..n).map(|_| ExperimentGraph::new(true)).collect();
+        let (p, c) = (3u64, 5u64);
+        assert_ne!(shard_of(ArtifactId(p), n), shard_of(ArtifactId(c), n));
+        graphs[shard_of(ArtifactId(p), n)]
+            .restore_vertex_unlinked(mk(p, &[]))
+            .unwrap();
+        graphs[shard_of(ArtifactId(c), n)]
+            .restore_vertex_unlinked(mk(c, &[p]))
+            .unwrap();
+        let unresolved = rewire_children(&mut graphs);
+        assert!(unresolved.is_empty());
+        let refs: Vec<&ExperimentGraph> = graphs.iter().collect();
+        let report = check_shards(&refs, &[]);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.vertices, 2);
+
+        // Plant a vertex in the wrong shard: routing *and* the now
+        // half-visible links trip.
+        let wrong = (shard_of(ArtifactId(7), n) + 1) % n;
+        graphs[wrong].restore_vertex_unlinked(mk(7, &[])).unwrap();
+        let refs: Vec<&ExperimentGraph> = graphs.iter().collect();
+        let report = check_shards(&refs, &[]);
+        assert!(report.has(FsckCode::ShardMisrouted), "{report}");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!
 //! | line | meaning |
 //! |------|---------|
+//! | `S\t<seq>` | publish sequence number (sharded layout only) |
 //! | `V\t<10 vertex fields>` | a vertex new to the graph |
 //! | `F\t<id>\t<freq>\t<t>\t<s>\t<q>` | refreshed absolute attributes of an existing vertex |
 //! | `M+\t<id>` / `M-\t<id>` | artifact content materialized / evicted |
@@ -32,6 +33,19 @@
 //! record whose effects are already contained in a newer snapshot — the
 //! window between snapshot rename and journal truncation during
 //! compaction — is idempotent.
+//!
+//! ## Sharded layout: the cross-shard commit log (`EGCMT 1`)
+//!
+//! With the Experiment Graph split into N lock shards, each shard owns
+//! one journal (`eg-<k>.wal`) and a publish spanning several shards
+//! appends one record per touched shard, all tagged with the same
+//! publish sequence number (`S` line). Atomicity across those appends
+//! is decided by a separate *commit log* (`eg.commit`): after the last
+//! per-shard append, one [`CommitRecord`] naming the sequence number
+//! and the touched shards is appended. Recovery replays the commit log
+//! first and then skips any per-shard record whose sequence number was
+//! never committed — a crash between per-shard appends (or before the
+//! commit record) therefore rolls the whole publish back, exactly.
 
 use crate::artifact::ArtifactId;
 use crate::error::{GraphError, Result};
@@ -45,6 +59,9 @@ use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every journal file.
 pub const WAL_MAGIC: &[u8; 8] = b"EGWAL 1\n";
+
+/// Magic bytes opening every cross-shard commit log.
+pub const COMMIT_MAGIC: &[u8; 8] = b"EGCMT 1\n";
 
 const fn crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
@@ -123,6 +140,9 @@ pub struct VertexTouch {
 /// of journaling and replay.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EgDelta {
+    /// Publish sequence number (sharded layout only; `None` in the
+    /// single-journal layout, keeping its encoding bit-identical).
+    pub seq: Option<u64>,
     /// Vertices this workload added, in parents-first order.
     pub new_vertices: Vec<EgVertex>,
     /// Existing vertices it touched (absolute values, replay-idempotent).
@@ -153,6 +173,9 @@ impl EgDelta {
     #[must_use]
     pub fn encode(&self) -> String {
         let mut out = String::new();
+        if let Some(seq) = self.seq {
+            let _ = writeln!(out, "S\t{seq:x}");
+        }
         for v in &self.new_vertices {
             let _ = writeln!(out, "V\t{}", vertex_fields(v));
         }
@@ -195,6 +218,12 @@ impl EgDelta {
             }
             let fields: Vec<&str> = line.split('\t').collect();
             match fields[0] {
+                "S" if fields.len() == 2 => {
+                    delta.seq = Some(
+                        u64::from_str_radix(fields[1], 16)
+                            .map_err(|_| ctx.err("bad sequence number in S entry"))?,
+                    );
+                }
                 "V" if fields.len() == 11 => {
                     delta
                         .new_vertices
@@ -276,6 +305,39 @@ impl EgDelta {
                 dst.quality = v.quality;
             } else {
                 eg.restore_vertex(v.clone())?;
+            }
+        }
+        for t in &self.touched {
+            let dst = eg.vertex_mut(t.id)?;
+            dst.frequency = t.frequency;
+            dst.compute_time = t.compute_time;
+            dst.size = t.size;
+            dst.quality = t.quality;
+        }
+        for id in &self.mat_added {
+            eg.mark_restored_materialized(*id);
+        }
+        for id in &self.mat_removed {
+            eg.unmark_restored_materialized(*id);
+        }
+        Ok(())
+    }
+
+    /// Apply the delta to *one shard* of a sharded graph during
+    /// recovery. Same semantics as [`EgDelta::apply`] except that new
+    /// vertices are inserted without lineage resolution — their parents
+    /// may live in other shards, and children links are rebuilt by the
+    /// recovery rewire pass afterwards.
+    pub fn apply_to_shard(&self, eg: &mut ExperimentGraph) -> Result<()> {
+        for v in &self.new_vertices {
+            if eg.contains(v.id) {
+                let dst = eg.vertex_mut(v.id)?;
+                dst.frequency = v.frequency;
+                dst.compute_time = v.compute_time;
+                dst.size = v.size;
+                dst.quality = v.quality;
+            } else {
+                eg.restore_vertex_unlinked(v.clone())?;
             }
         }
         for t in &self.touched {
@@ -529,6 +591,237 @@ pub fn replay(path: &Path) -> Result<ReplayOutcome> {
     Ok(outcome)
 }
 
+/// One committed cross-shard publish: its sequence number and the
+/// shards whose journals hold its per-shard records. Appending this
+/// record to the commit log is the *commit point* of a sharded publish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The publish sequence number (matches the `S` line of every
+    /// per-shard journal record the publish wrote).
+    pub seq: u64,
+    /// Indices of the shards the publish touched, ascending.
+    pub shards: Vec<u32>,
+}
+
+impl CommitRecord {
+    /// Serialise the record to its commit-log payload text.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let shards: Vec<String> = self.shards.iter().map(|s| format!("{s:x}")).collect();
+        format!("C\t{:x}\t{}\n", self.seq, shards.join(","))
+    }
+
+    /// Parse a commit-log payload. `origin` and `record` (1-based) name
+    /// the file and record in any error.
+    pub fn decode(payload: &str, origin: &str, record: usize) -> Result<CommitRecord> {
+        let ctx = ParseCtx { origin, record };
+        let line = payload
+            .lines()
+            .next()
+            .ok_or_else(|| ctx.err("empty commit record"))?;
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 3 || fields[0] != "C" {
+            return Err(ctx.err(format!("malformed commit record {line:?}")));
+        }
+        let seq = u64::from_str_radix(fields[1], 16)
+            .map_err(|_| ctx.err("bad sequence number in commit record"))?;
+        let mut shards = Vec::new();
+        if !fields[2].is_empty() {
+            for part in fields[2].split(',') {
+                shards.push(
+                    u32::from_str_radix(part, 16)
+                        .map_err(|_| ctx.err(format!("bad shard index {part:?}")))?,
+                );
+            }
+        }
+        if shards.is_empty() {
+            return Err(ctx.err("commit record names no shards"));
+        }
+        if shards.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ctx.err("commit record shards are not strictly ascending"));
+        }
+        if payload.lines().count() > 1 {
+            return Err(ctx.err("trailing lines after commit record"));
+        }
+        Ok(CommitRecord { seq, shards })
+    }
+}
+
+/// The open, append-only cross-shard commit log (`eg.commit`). Framing
+/// is identical to the journal (`[len][crc32][payload]`) under its own
+/// magic, so torn tails are detected and truncated the same way.
+#[derive(Debug)]
+pub struct CommitLog {
+    file: fs::File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl CommitLog {
+    /// Open (or create) a commit log for appending. Run
+    /// [`replay_commits`] first so torn tails are truncated.
+    pub fn open(path: &Path) -> Result<CommitLog> {
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, &e))?;
+        let mut len = file.metadata().map_err(|e| io_err("stat", path, &e))?.len();
+        if len == 0 {
+            file.write_all(COMMIT_MAGIC)
+                .map_err(|e| io_err("initialise", path, &e))?;
+            file.sync_all().map_err(|e| io_err("sync", path, &e))?;
+            len = COMMIT_MAGIC.len() as u64;
+        } else {
+            if len < COMMIT_MAGIC.len() as u64 {
+                return Err(GraphError::corrupt(
+                    path.display().to_string(),
+                    0,
+                    "file shorter than the commit-log magic",
+                ));
+            }
+            let mut magic = [0u8; 8];
+            let mut reader = &file;
+            reader
+                .read_exact(&mut magic)
+                .map_err(|e| io_err("read", path, &e))?;
+            if &magic != COMMIT_MAGIC {
+                return Err(GraphError::corrupt(
+                    path.display().to_string(),
+                    0,
+                    format!("bad commit-log magic {magic:?}"),
+                ));
+            }
+        }
+        Ok(CommitLog {
+            file,
+            path: path.to_path_buf(),
+            len,
+        })
+    }
+
+    /// Current file length in bytes (magic + records).
+    #[must_use]
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Append one commit record and fsync it — the commit point of a
+    /// cross-shard publish. With [`CrashPoint::CommitPreAppend`] armed
+    /// the record is never written (the publish stays uncommitted).
+    pub fn append(&mut self, record: &CommitRecord, faults: Option<&FaultInjector>) -> Result<()> {
+        if should_crash(faults, CrashPoint::CommitPreAppend) {
+            return Err(crash_err(CrashPoint::CommitPreAppend));
+        }
+        let payload = record.encode();
+        let bytes = payload.as_bytes();
+        let mut frame = Vec::with_capacity(8 + bytes.len());
+        frame.extend_from_slice(
+            &u32::try_from(bytes.len())
+                .map_err(|_| {
+                    GraphError::Io(format!("commit record too large: {} bytes", bytes.len()))
+                })?
+                .to_le_bytes(),
+        );
+        frame.extend_from_slice(&crc32(bytes).to_le_bytes());
+        frame.extend_from_slice(bytes);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append to", &self.path, &e))?;
+        self.len += frame.len() as u64;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("sync", &self.path, &e))?;
+        Ok(())
+    }
+
+    /// Truncate the commit log back to just its magic (compaction: the
+    /// shard snapshots now durably hold everything it decided).
+    pub fn reset(&mut self) -> Result<()> {
+        self.file
+            .set_len(COMMIT_MAGIC.len() as u64)
+            .map_err(|e| io_err("truncate", &self.path, &e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("sync", &self.path, &e))?;
+        self.len = COMMIT_MAGIC.len() as u64;
+        Ok(())
+    }
+}
+
+/// The result of scanning a commit log at startup.
+#[derive(Debug, Default)]
+pub struct CommitReplay {
+    /// Fully verified commit records, in append order.
+    pub records: Vec<CommitRecord>,
+    /// Byte offset where a torn tail begins, if one was detected.
+    pub torn_at: Option<u64>,
+    /// Bytes past `torn_at` that will be discarded.
+    pub bytes_discarded: u64,
+}
+
+/// Scan a commit log, verifying each record's length and CRC — same
+/// torn-tail semantics as [`replay`]: a torn record ends the scan (a
+/// publish whose commit record is torn was never committed); a record
+/// that passes its CRC but does not parse is real corruption.
+pub fn replay_commits(path: &Path) -> Result<CommitReplay> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(CommitReplay::default()),
+        Err(e) => return Err(io_err("read", path, &e)),
+    };
+    let mut outcome = CommitReplay::default();
+    if bytes.is_empty() {
+        return Ok(outcome);
+    }
+    if bytes.len() < COMMIT_MAGIC.len() {
+        outcome.torn_at = Some(0);
+        outcome.bytes_discarded = bytes.len() as u64;
+        return Ok(outcome);
+    }
+    if &bytes[..COMMIT_MAGIC.len()] != COMMIT_MAGIC {
+        return Err(GraphError::corrupt(
+            path.display().to_string(),
+            0,
+            format!("bad commit-log magic {:?}", &bytes[..COMMIT_MAGIC.len()]),
+        ));
+    }
+    let origin = path.display().to_string();
+    let mut off = COMMIT_MAGIC.len();
+    let mut record = 0usize;
+    while off < bytes.len() {
+        record += 1;
+        let torn = |outcome: &mut CommitReplay| {
+            outcome.torn_at = Some(off as u64);
+            outcome.bytes_discarded = (bytes.len() - off) as u64;
+        };
+        if bytes.len() - off < 8 {
+            torn(&mut outcome);
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        let start = off + 8;
+        if bytes.len() - start < len {
+            torn(&mut outcome);
+            break;
+        }
+        let payload = &bytes[start..start + len];
+        if crc32(payload) != crc {
+            torn(&mut outcome);
+            break;
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| GraphError::corrupt(&origin, record, "payload is not UTF-8"))?;
+        outcome
+            .records
+            .push(CommitRecord::decode(text, &origin, record)?);
+        off = start + len;
+    }
+    Ok(outcome)
+}
+
 /// Truncate a journal to `valid_len` bytes, discarding a torn tail
 /// found by [`replay`]. Lengths shorter than the magic truncate to
 /// empty (the next [`Journal::open`] re-initialises the file).
@@ -579,6 +872,7 @@ mod tests {
 
     fn sample_delta() -> EgDelta {
         EgDelta {
+            seq: None,
             new_vertices: vec![vertex(1, &[]), vertex(2, &[1])],
             touched: vec![VertexTouch {
                 id: ArtifactId(9),
@@ -706,6 +1000,86 @@ mod tests {
         assert!(matches!(err, GraphError::Corrupt { .. }), "{err}");
         assert!(err.to_string().contains("magic"), "{err}");
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seq_line_round_trips() {
+        let mut delta = sample_delta();
+        delta.seq = Some(0x1f);
+        let encoded = delta.encode();
+        assert!(encoded.starts_with("S\t1f\n"), "{encoded}");
+        let decoded = EgDelta::decode(&encoded, "<memory>", 1).unwrap();
+        assert_eq!(decoded, delta);
+        // A delta without a sequence number encodes no S line at all —
+        // the single-journal layout is bit-identical to before.
+        assert!(!sample_delta().encode().contains("S\t"));
+    }
+
+    #[test]
+    fn commit_log_round_trips_and_detects_torn_tail() {
+        let path = std::env::temp_dir().join("co_graph_journal_commit.commit");
+        let _ = fs::remove_file(&path);
+        let mut log = CommitLog::open(&path).unwrap();
+        let a = CommitRecord {
+            seq: 1,
+            shards: vec![0, 3, 7],
+        };
+        let b = CommitRecord {
+            seq: 2,
+            shards: vec![2],
+        };
+        log.append(&a, None).unwrap();
+        let good_len = log.len_bytes();
+        log.append(&b, None).unwrap();
+        drop(log);
+        let replayed = replay_commits(&path).unwrap();
+        assert_eq!(replayed.records, vec![a.clone(), b]);
+        assert!(replayed.torn_at.is_none());
+        // Tear the second record: replay keeps exactly the prefix.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let replayed = replay_commits(&path).unwrap();
+        assert_eq!(replayed.records, vec![a]);
+        assert_eq!(replayed.torn_at, Some(good_len));
+        truncate(&path, good_len).unwrap();
+        assert!(replay_commits(&path).unwrap().torn_at.is_none());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn commit_pre_append_crash_leaves_log_untouched() {
+        let path = std::env::temp_dir().join("co_graph_journal_commit_crash.commit");
+        let _ = fs::remove_file(&path);
+        let mut log = CommitLog::open(&path).unwrap();
+        let faults = FaultInjector::new();
+        faults.arm_crash(CrashPoint::CommitPreAppend);
+        let rec = CommitRecord {
+            seq: 9,
+            shards: vec![1],
+        };
+        assert!(log.append(&rec, Some(&faults)).is_err());
+        assert!(replay_commits(&path).unwrap().records.is_empty());
+        log.append(&rec, Some(&faults)).unwrap(); // one-shot
+        assert_eq!(replay_commits(&path).unwrap().records.len(), 1);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn commit_record_rejects_malformed_payloads() {
+        for bad in [
+            "",
+            "X\t1\t0",
+            "C\t1\t",
+            "C\tzz\t0",
+            "C\t1\t3,1",
+            "C\t1\t1,1",
+            "C\t1\t0\nC\t2\t0",
+        ] {
+            assert!(
+                CommitRecord::decode(bad, "<memory>", 1).is_err(),
+                "accepted {bad:?}"
+            );
+        }
     }
 
     #[test]

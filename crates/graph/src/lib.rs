@@ -31,6 +31,7 @@ pub mod fsck;
 pub mod journal;
 pub mod meta;
 pub mod operation;
+pub mod shard;
 pub mod snapshot;
 pub mod storage;
 pub mod value;
@@ -41,9 +42,10 @@ pub use error::{GraphError, Result};
 pub use experiment::{EgVertex, ExperimentGraph};
 pub use faults::{CrashPoint, FaultInjector, FaultKind, NetFault};
 pub use fsck::{FsckCode, FsckReport, Violation};
-pub use journal::{EgDelta, FsyncPolicy, Journal, QuarantineEntry};
+pub use journal::{CommitLog, CommitRecord, EgDelta, FsyncPolicy, Journal, QuarantineEntry};
 pub use meta::{DatasetMeta, MetaCode, MetaError, MetaResult, ModelMeta, ValueMeta};
 pub use operation::{OpHash, Operation};
-pub use storage::StorageManager;
+pub use shard::{shard_of, EgView, GraphQuery, ShardedEg};
+pub use storage::{ColumnVault, StorageManager};
 pub use value::{ModelArtifact, Value};
 pub use workload::{NodeId, WorkloadDag, WorkloadEdge, WorkloadNode};

@@ -44,6 +44,10 @@ use std::path::{Path, PathBuf};
 
 const HEADER_V1: &str = "EGSNAP 1";
 const HEADER_V2: &str = "EGSNAP 2";
+/// Per-shard snapshot of a sharded Experiment Graph: an `EGSNAP 2` body
+/// preceded by a `W\t<seq>` watermark line, parsed with *lenient*
+/// lineage (a vertex's parents may live in other shards).
+const HEADER_V3: &str = "EGSNAP 3";
 const CRC_PREFIX: &str = "#CRC ";
 
 /// Origin label for snapshots parsed from in-memory strings.
@@ -244,6 +248,11 @@ pub fn from_snapshot_full(text: &str, dedup: bool, origin: &str) -> Result<Resto
     match header {
         HEADER_V2 => from_v2(text, dedup, origin),
         HEADER_V1 => from_v1(text, dedup, origin),
+        HEADER_V3 => Err(GraphError::corrupt(
+            origin,
+            0,
+            "this is a per-shard snapshot (EGSNAP 3) — open the data dir with the sharded layout",
+        )),
         other => Err(GraphError::corrupt(
             origin,
             0,
@@ -261,9 +270,9 @@ fn check_parents(eg: &ExperimentGraph, v: &EgVertex, ctx: &ParseCtx<'_>) -> Resu
     Ok(())
 }
 
-fn from_v2(text: &str, dedup: bool, origin: &str) -> Result<RestoredSnapshot> {
-    // Verify the CRC footer over everything preceding it before
-    // trusting a single field.
+/// Verify the canonical `#CRC` footer over everything preceding it and
+/// return the byte offset where the footer line begins.
+fn verify_crc_footer(text: &str, origin: &str) -> Result<usize> {
     let footer_at = text.trim_end_matches('\n').rfind('\n').map_or(0, |i| i + 1);
     let footer = text[footer_at..].trim_end_matches('\n');
     let Some(stated) = footer.strip_prefix(CRC_PREFIX) else {
@@ -297,7 +306,13 @@ fn from_v2(text: &str, dedup: bool, origin: &str) -> Result<RestoredSnapshot> {
             format!("checksum mismatch: file says {stated:08x}, contents hash to {actual:08x}"),
         ));
     }
+    Ok(footer_at)
+}
 
+fn from_v2(text: &str, dedup: bool, origin: &str) -> Result<RestoredSnapshot> {
+    // Verify the CRC footer over everything preceding it before
+    // trusting a single field.
+    let footer_at = verify_crc_footer(text, origin)?;
     let mut eg = ExperimentGraph::new(dedup);
     let mut quarantine = Vec::new();
     for (lineno, line) in text[..footer_at].lines().enumerate().skip(1) {
@@ -367,6 +382,140 @@ fn from_v1(text: &str, dedup: bool, origin: &str) -> Result<RestoredSnapshot> {
     })
 }
 
+/// One shard restored from an `EGSNAP 3` snapshot. Children links and
+/// cross-shard lineage are *not* validated here — run the sharded
+/// recovery's rewire pass (`crate::shard`) over all shards afterwards.
+pub struct RestoredShardSnapshot {
+    /// The rebuilt shard (meta-data only; empty content store).
+    pub graph: ExperimentGraph,
+    /// Quarantine entries (only shard 0's snapshot carries any).
+    pub quarantine: Vec<QuarantineEntry>,
+    /// Journal replay skips records with `seq <= watermark`: everything
+    /// up to the watermark is already contained in this snapshot.
+    pub watermark: u64,
+}
+
+/// Serialise one shard's meta-data, quarantine set and sequence
+/// watermark to an `EGSNAP 3` string, CRC footer included.
+#[must_use]
+pub fn to_shard_snapshot(
+    eg: &ExperimentGraph,
+    quarantine: &[QuarantineEntry],
+    watermark: u64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER_V3}");
+    let _ = writeln!(out, "W\t{watermark:x}");
+    for id in eg.topo_order() {
+        let v = eg.vertex(*id).expect("topo order lists known vertices");
+        let mat = u8::from(eg.was_materialized(*id));
+        let _ = writeln!(out, "V\t{}\t{}", vertex_fields(v), mat);
+    }
+    for q in quarantine {
+        let _ = writeln!(
+            out,
+            "Q\t{:x}\t{}\t{}",
+            q.op_hash,
+            q.failures,
+            escape(&q.name)
+        );
+    }
+    let _ = writeln!(out, "{CRC_PREFIX}{:08x}", crc32(out.as_bytes()));
+    out
+}
+
+/// Rebuild one shard from an `EGSNAP 3` string. Parents are recorded
+/// but not resolved (they may live in other shards); children links are
+/// left empty for the recovery rewire pass.
+pub fn from_shard_snapshot(text: &str, dedup: bool, origin: &str) -> Result<RestoredShardSnapshot> {
+    let header = text.lines().next().unwrap_or("");
+    if header != HEADER_V3 {
+        return Err(GraphError::corrupt(
+            origin,
+            0,
+            format!("expected header {HEADER_V3:?}, found {header:?}"),
+        ));
+    }
+    let footer_at = verify_crc_footer(text, origin)?;
+    let mut eg = ExperimentGraph::new(dedup);
+    let mut quarantine = Vec::new();
+    let mut watermark = None;
+    for (lineno, line) in text[..footer_at].lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx = ParseCtx {
+            origin,
+            record: lineno + 1,
+        };
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "W" if fields.len() == 2 => {
+                if watermark.is_some() {
+                    return Err(ctx.err("duplicate W line"));
+                }
+                watermark =
+                    Some(u64::from_str_radix(fields[1], 16).map_err(|_| ctx.err("bad watermark"))?);
+            }
+            "V" if fields.len() == 12 => {
+                let v = parse_vertex_fields(&fields[1..11], &ctx)?;
+                let mat = match fields[11] {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(ctx.err(format!("bad mat flag {other:?}"))),
+                };
+                let id = v.id;
+                eg.restore_vertex_unlinked(v)
+                    .map_err(|e| ctx.err(e.to_string()))?;
+                if mat {
+                    eg.mark_restored_materialized(id);
+                }
+            }
+            "Q" if fields.len() == 4 => quarantine.push(QuarantineEntry {
+                op_hash: u64::from_str_radix(fields[1], 16)
+                    .map_err(|_| ctx.err("bad op hash in Q line"))?,
+                failures: fields[2]
+                    .parse()
+                    .map_err(|_| ctx.err("bad failure count in Q line"))?,
+                name: unescape(fields[3]).map_err(|m| ctx.err(m))?,
+            }),
+            tag => {
+                return Err(ctx.err(format!(
+                    "unknown or malformed shard-snapshot line {tag:?} ({} fields)",
+                    fields.len()
+                )))
+            }
+        }
+    }
+    let watermark = watermark
+        .ok_or_else(|| GraphError::corrupt(origin, 0, "shard snapshot is missing its W line"))?;
+    Ok(RestoredShardSnapshot {
+        graph: eg,
+        quarantine,
+        watermark,
+    })
+}
+
+/// Write one shard's snapshot atomically (same temp+fsync+rename
+/// discipline and crash points as [`save_with`]).
+pub fn save_shard_with(
+    eg: &ExperimentGraph,
+    quarantine: &[QuarantineEntry],
+    watermark: u64,
+    path: &Path,
+    faults: Option<&FaultInjector>,
+) -> Result<()> {
+    let text = to_shard_snapshot(eg, quarantine, watermark);
+    write_atomic(&text, path, faults)
+}
+
+/// Load one shard's snapshot from disk.
+pub fn load_shard_full(path: &Path, dedup: bool) -> Result<RestoredShardSnapshot> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GraphError::Io(format!("cannot read snapshot {}: {e}", path.display())))?;
+    from_shard_snapshot(&text, dedup, &path.display().to_string())
+}
+
 /// The temp-file path used by atomic saves: `<path>.tmp`.
 #[must_use]
 pub fn tmp_path(path: &Path) -> PathBuf {
@@ -405,6 +554,10 @@ pub fn save_with(
     faults: Option<&FaultInjector>,
 ) -> Result<()> {
     let text = to_snapshot_with(eg, quarantine);
+    write_atomic(&text, path, faults)
+}
+
+fn write_atomic(text: &str, path: &Path, faults: Option<&FaultInjector>) -> Result<()> {
     let bytes = text.as_bytes();
     let tmp = tmp_path(path);
     {
@@ -576,6 +729,44 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("legacy.egsnap"), "{msg}");
         assert!(msg.contains("record 2"), "{msg}");
+    }
+
+    #[test]
+    fn shard_snapshot_round_trips_with_watermark() {
+        let eg = populated();
+        let quarantine = vec![QuarantineEntry {
+            op_hash: 0xabc,
+            name: "train\tweird".to_owned(),
+            failures: 4,
+        }];
+        let text = to_shard_snapshot(&eg, &quarantine, 0x2a);
+        let restored = from_shard_snapshot(&text, true, IN_MEMORY).unwrap();
+        assert_eq!(restored.watermark, 0x2a);
+        assert_eq!(restored.quarantine, quarantine);
+        assert_eq!(restored.graph.n_vertices(), eg.n_vertices());
+        // The legacy loader refuses a per-shard snapshot outright.
+        let err = from_snapshot_full(&text, true, IN_MEMORY).err().unwrap();
+        assert!(err.to_string().contains("EGSNAP 3"), "{err}");
+        // A v3 file without its watermark line is rejected.
+        let body = "EGSNAP 3\n";
+        let no_w = format!("{body}{CRC_PREFIX}{:08x}\n", crc32(body.as_bytes()));
+        let err = from_shard_snapshot(&no_w, true, IN_MEMORY).err().unwrap();
+        assert!(err.to_string().contains("W line"), "{err}");
+    }
+
+    #[test]
+    fn shard_snapshot_tolerates_foreign_parents() {
+        // A shard may hold a vertex whose parent lives in another shard:
+        // the parent id is recorded but not resolved at load time.
+        let body = "EGSNAP 3\nW\t5\nV\tbb\tM\t2\t1.5\t32\t0.875\tbeef\t-\tmodel\taa\t1\n";
+        let text = format!("{body}{CRC_PREFIX}{:08x}\n", crc32(body.as_bytes()));
+        let restored = from_shard_snapshot(&text, true, IN_MEMORY).unwrap();
+        assert_eq!(restored.watermark, 5);
+        let v = restored.graph.vertex(ArtifactId(0xbb)).unwrap();
+        assert_eq!(v.parents, vec![ArtifactId(0xaa)]);
+        assert!(v.children.is_empty());
+        assert!(restored.graph.was_materialized(ArtifactId(0xbb)));
+        assert!(!restored.graph.contains(ArtifactId(0xaa)));
     }
 
     #[test]

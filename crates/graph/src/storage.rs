@@ -19,6 +19,7 @@ use crate::faults::FaultInjector;
 use crate::value::Value;
 use co_dataframe::{Column, ColumnData, ColumnId, DType, DataFrame};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Per-column entry of the dedup store.
@@ -48,6 +49,181 @@ enum StoredArtifact {
     },
 }
 
+/// The cross-shard column store of a *sharded* Experiment Graph:
+/// column data keyed by column id, itself partitioned into lock shards
+/// so vertex-shards sharing no columns never contend. One vault is
+/// shared (via `Arc`) by every vertex-shard's [`StorageManager`];
+/// deduplication therefore works across vertex shards — the same
+/// column stored from two shards is held once.
+///
+/// Content is never persisted (paper §3.2), so the vault has no
+/// durability interaction at all.
+pub struct ColumnVault {
+    shards: Vec<parking_lot::Mutex<HashMap<ColumnId, StoredColumn>>>,
+    unique_bytes: AtomicU64,
+}
+
+impl ColumnVault {
+    /// A vault with `n_shards` column lock-shards (min 1).
+    #[must_use]
+    pub fn new(n_shards: usize) -> Self {
+        let n = n_shards.max(1);
+        ColumnVault {
+            shards: (0..n)
+                .map(|_| parking_lot::Mutex::new(HashMap::new()))
+                .collect(),
+            unique_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Which lock-shard owns a column id.
+    #[must_use]
+    pub fn shard_of(&self, id: ColumnId) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        id.hash(&mut h);
+        usize::try_from(h.finish() % self.shards.len() as u64).expect("shard index fits usize")
+    }
+
+    /// Number of column lock-shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bytes physically held across all column shards (what the sharded
+    /// materialization budget constrains).
+    #[must_use]
+    pub fn unique_bytes(&self) -> u64 {
+        self.unique_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Unique columns held across all shards.
+    #[must_use]
+    pub fn n_columns(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Bytes storing this frame would *add* (columns not yet held).
+    fn marginal(&self, df: &DataFrame) -> u64 {
+        df.columns()
+            .iter()
+            .filter(|c| {
+                !self.shards[self.shard_of(c.id())]
+                    .lock()
+                    .contains_key(&c.id())
+            })
+            .map(|c| c.nbytes() as u64)
+            .sum()
+    }
+
+    /// Store (or reference) every column of `df`; returns the bytes
+    /// actually added and the refs to record on the artifact.
+    fn store_columns(&self, df: &DataFrame) -> (u64, Vec<ColumnRef>) {
+        let mut added = 0u64;
+        let mut refs = Vec::with_capacity(df.n_cols());
+        for c in df.columns() {
+            let mut shard = self.shards[self.shard_of(c.id())].lock();
+            let entry = shard.entry(c.id()).or_insert_with(|| {
+                added += c.nbytes() as u64;
+                StoredColumn {
+                    data: c.data(),
+                    nbytes: c.nbytes() as u64,
+                    refs: 0,
+                }
+            });
+            entry.refs += 1;
+            refs.push(ColumnRef {
+                name: c.name().to_owned(),
+                id: c.id(),
+                dtype: c.dtype(),
+            });
+        }
+        self.unique_bytes.fetch_add(added, Ordering::SeqCst);
+        (added, refs)
+    }
+
+    /// Drop one reference per column; returns the bytes actually freed
+    /// (columns still referenced elsewhere are kept).
+    fn release(&self, refs: &[ColumnRef]) -> u64 {
+        let mut freed = 0u64;
+        for r in refs {
+            let mut shard = self.shards[self.shard_of(r.id)].lock();
+            if let Some(entry) = shard.get_mut(&r.id) {
+                entry.refs -= 1;
+                if entry.refs == 0 {
+                    freed += entry.nbytes;
+                    shard.remove(&r.id);
+                }
+            }
+        }
+        self.unique_bytes.fetch_sub(freed, Ordering::SeqCst);
+        freed
+    }
+
+    /// Reassemble the referenced columns (`None` if any is missing).
+    fn fetch(&self, refs: &[ColumnRef]) -> Option<Vec<Column>> {
+        refs.iter()
+            .map(|r| {
+                self.shards[self.shard_of(r.id)]
+                    .lock()
+                    .get(&r.id)
+                    .map(|sc| Column::from_arc(&r.name, r.id, Arc::clone(&sc.data)))
+            })
+            .collect()
+    }
+
+    /// Cross-manager accounting audit: recompute every column's
+    /// reference count from the artifact tables of all vault-backed
+    /// managers and compare against the vault's state (the sharded
+    /// analogue of [`StorageManager::audit`]'s column checks).
+    #[must_use]
+    pub fn audit(&self, managers: &[&StorageManager]) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut want_refs: HashMap<ColumnId, usize> = HashMap::new();
+        for m in managers {
+            for (id, stored) in &m.artifacts {
+                if let StoredArtifact::Dataset { columns, .. } = stored {
+                    for r in columns {
+                        if !self.shards[self.shard_of(r.id)].lock().contains_key(&r.id) {
+                            violations.push(format!(
+                                "artifact {:016x} references column {:?} ({}) absent from the vault",
+                                id.0, r.id, r.name
+                            ));
+                        }
+                        *want_refs.entry(r.id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut unique = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (cid, col) in shard.iter() {
+                unique += col.nbytes;
+                let want = want_refs.get(cid).copied().unwrap_or(0);
+                if want == 0 {
+                    violations.push(format!(
+                        "vault column {cid:?} is held but referenced by no artifact"
+                    ));
+                } else if col.refs != want {
+                    violations.push(format!(
+                        "vault column {cid:?} refcount is {} but {} artifact reference(s) exist",
+                        col.refs, want
+                    ));
+                }
+            }
+        }
+        if unique != self.unique_bytes() {
+            violations.push(format!(
+                "vault unique_bytes counter is {} but stored columns sum to {unique}",
+                self.unique_bytes()
+            ));
+        }
+        violations
+    }
+}
+
 /// The artifact content store.
 pub struct StorageManager {
     columns: HashMap<ColumnId, StoredColumn>,
@@ -55,6 +231,10 @@ pub struct StorageManager {
     unique_bytes: u64,
     logical_bytes: u64,
     dedup: bool,
+    /// When set, dataset columns live in the shared [`ColumnVault`]
+    /// instead of this manager's local column map; [`StorageManager::unique_bytes`]
+    /// then counts only verbatim (`Whole`) content held locally.
+    vault: Option<Arc<ColumnVault>>,
     faults: Option<Arc<FaultInjector>>,
 }
 
@@ -68,8 +248,30 @@ impl StorageManager {
             unique_bytes: 0,
             logical_bytes: 0,
             dedup,
+            vault: None,
             faults: None,
         }
+    }
+
+    /// Create a store backed by a shared cross-shard column vault
+    /// (deduplication is implied — the vault *is* the dedup store).
+    #[must_use]
+    pub fn new_vaulted(vault: Arc<ColumnVault>) -> Self {
+        StorageManager {
+            columns: HashMap::new(),
+            artifacts: HashMap::new(),
+            unique_bytes: 0,
+            logical_bytes: 0,
+            dedup: true,
+            vault: Some(vault),
+            faults: None,
+        }
+    }
+
+    /// The shared column vault, when this manager is vault-backed.
+    #[must_use]
+    pub fn vault(&self) -> Option<&Arc<ColumnVault>> {
+        self.vault.as_ref()
     }
 
     /// Install a fault injector consulted on every [`StorageManager::get`].
@@ -93,6 +295,9 @@ impl StorageManager {
     /// with deduplication, only columns not yet held count.
     #[must_use]
     pub fn marginal_bytes(&self, value: &Value) -> u64 {
+        if let (Value::Dataset(df), Some(vault)) = (value, &self.vault) {
+            return vault.marginal(df);
+        }
         match value {
             Value::Dataset(df) if self.dedup => df
                 .columns()
@@ -111,6 +316,18 @@ impl StorageManager {
             return 0;
         }
         let nominal = value.nbytes() as u64;
+        if let (Value::Dataset(df), Some(vault)) = (value, &self.vault) {
+            let (added, refs) = vault.store_columns(df);
+            self.artifacts.insert(
+                id,
+                StoredArtifact::Dataset {
+                    columns: refs,
+                    nbytes: nominal,
+                },
+            );
+            self.logical_bytes += nominal;
+            return added;
+        }
         let added = match value {
             Value::Dataset(df) if self.dedup => {
                 let mut added = 0;
@@ -157,6 +374,10 @@ impl StorageManager {
         let Some(stored) = self.artifacts.remove(&id) else {
             return 0;
         };
+        if let (StoredArtifact::Dataset { columns, nbytes }, Some(vault)) = (&stored, &self.vault) {
+            self.logical_bytes -= nbytes;
+            return vault.release(columns);
+        }
         let freed = match stored {
             StoredArtifact::Whole(v) => {
                 self.logical_bytes -= v.nbytes() as u64;
@@ -207,7 +428,13 @@ impl StorageManager {
                 StoredArtifact::Dataset { columns, nbytes } => {
                     logical += nbytes;
                     for r in columns {
-                        if !self.columns.contains_key(&r.id) {
+                        let held = match &self.vault {
+                            Some(vault) => vault.shards[vault.shard_of(r.id)]
+                                .lock()
+                                .contains_key(&r.id),
+                            None => self.columns.contains_key(&r.id),
+                        };
+                        if !held {
                             violations.push(format!(
                                 "artifact {:016x} references column {:?} ({}) absent from the column store",
                                 id.0, r.id, r.name
@@ -219,6 +446,8 @@ impl StorageManager {
             }
         }
         // Check the column store against the recomputed reference counts.
+        // Vault-backed managers hold no local columns: reference counts
+        // span managers there, so [`ColumnVault::audit`] checks them.
         let mut unique = unique_whole;
         for (cid, col) in &self.columns {
             unique += col.nbytes;
@@ -265,14 +494,18 @@ impl StorageManager {
         match self.artifacts.get(&id)? {
             StoredArtifact::Whole(v) => Some(v.clone()),
             StoredArtifact::Dataset { columns, .. } => {
-                let cols: Option<Vec<Column>> = columns
-                    .iter()
-                    .map(|r| {
-                        self.columns
-                            .get(&r.id)
-                            .map(|sc| Column::from_arc(&r.name, r.id, Arc::clone(&sc.data)))
-                    })
-                    .collect();
+                let cols: Option<Vec<Column>> = if let Some(vault) = &self.vault {
+                    vault.fetch(columns)
+                } else {
+                    columns
+                        .iter()
+                        .map(|r| {
+                            self.columns
+                                .get(&r.id)
+                                .map(|sc| Column::from_arc(&r.name, r.id, Arc::clone(&sc.data)))
+                        })
+                        .collect()
+                };
                 DataFrame::new(cols?).ok().map(Value::dataset)
             }
         }
@@ -483,6 +716,54 @@ mod tests {
         let violations = sm.audit();
         assert!(
             violations.iter().any(|v| v.contains("no artifact")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn vault_shares_columns_across_managers() {
+        let vault = Arc::new(ColumnVault::new(4));
+        let mut a = StorageManager::new_vaulted(Arc::clone(&vault));
+        let mut b = StorageManager::new_vaulted(Arc::clone(&vault));
+        let df = frame();
+        let added1 = a.store(aid(1), &Value::dataset(df.clone()));
+        assert_eq!(added1, df.nbytes() as u64);
+        // The same columns stored through another shard's manager are
+        // deduplicated vault-wide: nothing new is held.
+        let proj = df.select(&["a"]).unwrap();
+        assert_eq!(b.marginal_bytes(&Value::dataset(proj.clone())), 0);
+        assert_eq!(b.store(aid(2), &Value::dataset(proj)), 0);
+        assert_eq!(vault.unique_bytes(), df.nbytes() as u64);
+        assert_eq!(vault.n_columns(), 2);
+        assert_eq!(vault.audit(&[&a, &b]), Vec::<String>::new());
+        assert_eq!(a.audit(), Vec::<String>::new());
+        // Evicting from one manager keeps columns the other references.
+        let freed = a.evict(aid(1));
+        assert_eq!(freed, df.column("b").unwrap().nbytes() as u64);
+        let back = b.get(aid(2)).unwrap();
+        assert_eq!(back.as_dataset().unwrap().n_cols(), 1);
+        assert_eq!(b.evict(aid(2)), df.column("a").unwrap().nbytes() as u64);
+        assert_eq!(vault.unique_bytes(), 0);
+        assert_eq!(vault.n_columns(), 0);
+    }
+
+    #[test]
+    fn vault_audit_catches_cross_manager_refcount_skew() {
+        let vault = Arc::new(ColumnVault::new(2));
+        let mut a = StorageManager::new_vaulted(Arc::clone(&vault));
+        let mut b = StorageManager::new_vaulted(Arc::clone(&vault));
+        let df = frame();
+        a.store(aid(1), &Value::dataset(df.clone()));
+        b.store(aid(2), &Value::dataset(df.clone()));
+        let cid = df.column("a").unwrap().id();
+        vault.shards[vault.shard_of(cid)]
+            .lock()
+            .get_mut(&cid)
+            .unwrap()
+            .refs = 1; // seeded corruption
+        let violations = vault.audit(&[&a, &b]);
+        assert!(
+            violations.iter().any(|v| v.contains("refcount")),
             "{violations:?}"
         );
     }

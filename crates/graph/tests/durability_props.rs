@@ -103,7 +103,10 @@ fn arb_quarantine_entry() -> impl Strategy<Value = QuarantineEntry> {
 
 fn arb_delta() -> impl Strategy<Value = EgDelta> {
     (
-        proptest::collection::vec(arb_vertex(), 0..3),
+        (
+            (prop_bool::ANY, 0u64..u64::MAX),
+            proptest::collection::vec(arb_vertex(), 0..3),
+        ),
         proptest::collection::vec(
             (
                 0u64..u64::MAX,
@@ -120,7 +123,10 @@ fn arb_delta() -> impl Strategy<Value = EgDelta> {
         proptest::collection::vec(0u64..u64::MAX, 0..2),
     )
         .prop_map(
-            |(new_vertices, touched, added, removed, qset, qcleared)| EgDelta {
+            |(((has_seq, seq), new_vertices), touched, added, removed, qset, qcleared)| EgDelta {
+                // The sharded layout's S line rides along in every codec
+                // property (None exercises the legacy encoding).
+                seq: has_seq.then_some(seq),
                 new_vertices,
                 touched: touched
                     .into_iter()

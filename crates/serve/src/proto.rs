@@ -95,6 +95,11 @@ pub struct StatsSnapshot {
     pub torn_tail_truncated: u64,
     /// Snapshot compactions performed.
     pub snapshots_compacted: u64,
+    /// Experiment Graph lock shards (1 = unsharded).
+    pub shards: u64,
+    /// Total nanoseconds publishers spent blocked on contended shard
+    /// write locks, summed across shards (0 while uncontended).
+    pub lock_wait_ns: u64,
     // ---- serve-layer counters ----------------------------------------
     /// Connections accepted.
     pub connections: u64,
@@ -553,6 +558,8 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
         s.journal_records_replayed,
         s.torn_tail_truncated,
         s.snapshots_compacted,
+        s.shards,
+        s.lock_wait_ns,
         s.connections,
         s.submitted,
         s.served,
@@ -580,6 +587,8 @@ fn get_stats(r: &mut Reader<'_>) -> DecodeResult<StatsSnapshot> {
         &mut s.journal_records_replayed,
         &mut s.torn_tail_truncated,
         &mut s.snapshots_compacted,
+        &mut s.shards,
+        &mut s.lock_wait_ns,
         &mut s.connections,
         &mut s.submitted,
         &mut s.served,
@@ -836,6 +845,8 @@ mod tests {
                 rejected_overload: 1,
                 draining: true,
                 run_seconds: 1.25,
+                shards: 8,
+                lock_wait_ns: 1234,
                 ..StatsSnapshot::default()
             }),
             Response::Pong,

@@ -200,6 +200,8 @@ impl Shared {
             journal_records_replayed: core.journal_records_replayed as u64,
             torn_tail_truncated: core.torn_tail_truncated as u64,
             snapshots_compacted: core.snapshots_compacted as u64,
+            shards: self.server.n_shards() as u64,
+            lock_wait_ns: self.server.lock_wait_ns().iter().sum(),
             connections: c.connections.load(Ordering::Relaxed),
             submitted: c.submitted.load(Ordering::Relaxed),
             served: c.served.load(Ordering::Relaxed),

@@ -141,7 +141,7 @@ fn arb_stats() -> impl Strategy<Value = StatsSnapshot> {
             0u64..1000,
             0u64..1000,
         ),
-        (0u64..1000, prop_bool::ANY),
+        (0u64..1000, prop_bool::ANY, 1u64..16, 0u64..1_000_000),
     )
         .prop_map(|(a, b, c, d)| StatsSnapshot {
             workloads: a.0,
@@ -163,6 +163,8 @@ fn arb_stats() -> impl Strategy<Value = StatsSnapshot> {
             timed_out: c.5,
             protocol_errors: d.0,
             draining: d.1,
+            shards: d.2,
+            lock_wait_ns: d.3,
         })
 }
 

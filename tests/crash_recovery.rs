@@ -1,20 +1,23 @@
 //! Crash matrix: kill persistence at every injected crash point and
 //! assert a restarted server recovers exactly the committed-workload
 //! prefix — same vertex ids, frequencies, materialization flags, and
-//! quarantine set.
+//! quarantine set. Runs against both durability layouts: the classic
+//! single-journal server and the sharded one (per-shard journals sealed
+//! by a cross-shard commit record, DESIGN.md §14).
 
 use co_core::{DurabilityConfig, OptimizerServer, ServerConfig};
 use co_dataframe::Scalar;
-use co_graph::{ArtifactId, WorkloadDag};
+use co_graph::journal::QuarantineEntry;
+use co_graph::{shard_of, ArtifactId, WorkloadDag};
 use co_graph::{CrashPoint, FaultInjector, FaultKind, GraphError, NodeKind, Operation, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-struct Step(&'static str);
+struct Step(String);
 impl Operation for Step {
     fn name(&self) -> &str {
-        self.0
+        &self.0
     }
     fn params_digest(&self) -> String {
         String::new()
@@ -29,14 +32,45 @@ impl Operation for Step {
     }
 }
 
+fn step(name: impl Into<String>) -> Arc<Step> {
+    Arc::new(Step(name.into()))
+}
+
 /// src → prep_step → <tail> (terminal).
 fn workload(tail: &'static str) -> WorkloadDag {
     let mut dag = WorkloadDag::new();
     let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
-    let prep = dag.add_op(Arc::new(Step("prep_step")), &[s]).unwrap();
-    let t = dag.add_op(Arc::new(Step(tail)), &[prep]).unwrap();
+    let prep = dag.add_op(step("prep_step"), &[s]).unwrap();
+    let t = dag.add_op(step(tail), &[prep]).unwrap();
     dag.mark_terminal(t).unwrap();
     dag
+}
+
+/// A three-op chain whose artifacts provably land on at least two
+/// different shards of an `n`-way partition (op names are salted until
+/// the hash-based routing spreads them), so a crash injected *between*
+/// two per-shard journal appends is actually reachable.
+fn cross_shard_workload(n: usize, salt: u64) -> WorkloadDag {
+    for attempt in 0.. {
+        let mut dag = WorkloadDag::new();
+        let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
+        let mut prev = s;
+        for i in 0..3 {
+            prev = dag
+                .add_op(step(format!("x{salt}_{attempt}_{i}")), &[prev])
+                .unwrap();
+        }
+        dag.mark_terminal(prev).unwrap();
+        let shards: BTreeSet<usize> = dag
+            .nodes()
+            .iter()
+            .map(|node| shard_of(node.artifact, n))
+            .collect();
+        if shards.len() >= 2 {
+            return dag;
+        }
+    }
+    unreachable!()
 }
 
 /// Everything durability must preserve across a restart.
@@ -51,25 +85,31 @@ struct Fingerprint {
 }
 
 fn fingerprint(server: &OptimizerServer) -> Fingerprint {
-    let eg = server.eg();
-    let vertices = eg
-        .vertices()
-        .map(|v| {
-            (
-                v.id.0,
+    // read_all works at every shard count (one guard at shards = 1).
+    let guards = server.shards().read_all();
+    let vertices = guards
+        .iter()
+        .flat_map(|eg| {
+            eg.vertices().map(|v| {
                 (
-                    v.frequency,
-                    v.compute_time.to_bits(),
-                    v.size,
-                    v.quality.to_bits(),
-                ),
-            )
+                    v.id.0,
+                    (
+                        v.frequency,
+                        v.compute_time.to_bits(),
+                        v.size,
+                        v.quality.to_bits(),
+                    ),
+                )
+            })
         })
         .collect();
-    let mat = eg
-        .vertices()
-        .filter(|v| eg.was_materialized(v.id))
-        .map(|v| v.id.0)
+    let mat = guards
+        .iter()
+        .flat_map(|eg| {
+            eg.vertices()
+                .filter(|v| eg.was_materialized(v.id))
+                .map(|v| v.id.0)
+        })
         .collect();
     let quarantine = server
         .quarantine()
@@ -101,11 +141,34 @@ fn open(config: ServerConfig, dir: &PathBuf) -> (OptimizerServer, co_core::Recov
 
 /// After any crash-and-recover sequence, the live graph and an offline
 /// replay of the data directory must both satisfy every egfsck
-/// invariant.
+/// invariant — cross-shard invariants included when sharded.
 fn assert_fsck_clean(server: &OptimizerServer, dir: &std::path::Path) {
-    let live = co_graph::fsck::check_graph(&server.eg());
+    let guards = server.shards().read_all();
+    let live = if guards.len() == 1 {
+        co_graph::fsck::check_graph(&guards[0])
+    } else {
+        let refs: Vec<&co_graph::ExperimentGraph> = guards.iter().map(|g| &**g).collect();
+        let quarantine: Vec<QuarantineEntry> = server
+            .quarantine()
+            .map(|q| {
+                q.entries()
+                    .into_iter()
+                    .map(|(op_hash, name, failures)| QuarantineEntry {
+                        op_hash,
+                        name,
+                        failures,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        co_graph::fsck::check_shards(&refs, &quarantine)
+    };
     assert!(live.is_clean(), "live graph: {live}");
-    let offline = co_graph::fsck::check_data_dir(dir, true).unwrap();
+    drop(guards);
+    let offline = match co_graph::fsck::detect_shard_layout(dir) {
+        Some(n) => co_graph::fsck::check_sharded_data_dir(dir, n, true).unwrap(),
+        None => co_graph::fsck::check_data_dir(dir, true).unwrap(),
+    };
     assert!(offline.is_clean(), "data dir: {offline}");
 }
 
@@ -330,4 +393,201 @@ fn eviction_is_durable() {
         "eviction survives restart"
     );
     assert_fsck_clean(&reopened, &dir);
+}
+
+// ---- sharded layout (shards = 8) ------------------------------------
+
+/// The crash matrix against the sharded durability layout: every
+/// journal-side crash point — including one fired *between* two shards'
+/// journal appends of a single cross-shard publish — must roll the
+/// whole publish back on reopen. The commit record decides atomicity:
+/// per-shard records whose sequence number never reached `eg.commit`
+/// are skipped by recovery.
+#[test]
+fn sharded_crash_matrix_recovers_the_committed_prefix() {
+    for point in [
+        CrashPoint::JournalMidAppend,
+        CrashPoint::JournalPreFsync,
+        CrashPoint::ShardGapAppend,
+        CrashPoint::CommitPreAppend,
+    ] {
+        let dir = data_dir(&format!("shard_crash_{}", point.name()));
+        let mut config = ServerConfig::collaborative(u64::MAX);
+        config.shards = 8;
+        let (server, recovery) = open(config, &dir);
+        assert!(!recovery.snapshot_loaded);
+        let faults = Arc::new(FaultInjector::new());
+        server.set_fault_injector(Arc::clone(&faults));
+
+        server.run_workload(cross_shard_workload(8, 1)).unwrap();
+        let committed = fingerprint(&server);
+
+        // The crash fires while the second (cross-shard) publish is
+        // being journaled: the run reports failed …
+        faults.arm_crash(point);
+        let err = server
+            .run_workload(cross_shard_workload(8, 100))
+            .unwrap_err();
+        assert!(err.to_string().contains(point.name()), "{point:?}: {err}");
+        assert_eq!(faults.crashes_fired(), 1, "{point:?}");
+        assert_eq!(server.stats().failed_workloads, 1);
+
+        // … and durability wedges exactly like the single-shard layout.
+        let wedged = server
+            .run_workload(cross_shard_workload(8, 200))
+            .unwrap_err();
+        assert!(wedged.to_string().contains("wedged"), "{wedged}");
+        assert!(server.is_wedged());
+
+        drop(server);
+        let (reopened, recovery) = open(config, &dir);
+        assert_eq!(fingerprint(&reopened), committed, "{point:?}");
+        if matches!(
+            point,
+            CrashPoint::ShardGapAppend | CrashPoint::CommitPreAppend
+        ) {
+            // Some shard journals hold fully written records for the
+            // crashed publish; without its commit record they are
+            // uncommitted and recovery must skip them.
+            assert!(
+                recovery.journal_records_skipped > 0,
+                "{point:?} leaves uncommitted records to skip: {recovery:?}"
+            );
+            assert!(recovery.render().contains("skipped"));
+        }
+
+        // The reopened server serves and persists normally again.
+        reopened.run_workload(cross_shard_workload(8, 100)).unwrap();
+        let after = fingerprint(&reopened);
+        drop(reopened);
+        let (third, _) = open(config, &dir);
+        assert_eq!(fingerprint(&third), after, "{point:?}");
+        assert_fsck_clean(&third, &dir);
+    }
+}
+
+/// Snapshot crash points during a sharded compaction: an interrupted
+/// per-shard snapshot save leaves (at most) a temp file; the live
+/// snapshots, journals, and commit log still recover everything
+/// committed.
+#[test]
+fn sharded_compaction_crash_points_never_damage_live_snapshots() {
+    for point in [
+        CrashPoint::SnapshotMidWrite,
+        CrashPoint::SnapshotPreFsync,
+        CrashPoint::SnapshotPreRename,
+    ] {
+        let dir = data_dir(&format!("shard_crash_{}", point.name()));
+        let mut config = ServerConfig::collaborative(u64::MAX);
+        config.shards = 8;
+        let (server, _) = open(config, &dir);
+        let faults = Arc::new(FaultInjector::new());
+        server.set_fault_injector(Arc::clone(&faults));
+
+        // One compacted publish (lives in the shard snapshots) plus one
+        // journaled publish, so recovery must stitch both sources.
+        server.run_workload(cross_shard_workload(8, 1)).unwrap();
+        server.compact().unwrap();
+        server.run_workload(cross_shard_workload(8, 50)).unwrap();
+        let committed = fingerprint(&server);
+
+        faults.arm_crash(point);
+        let err = server.compact().unwrap_err();
+        assert!(err.to_string().contains(point.name()), "{err}");
+
+        drop(server);
+        let (reopened, recovery) = open(config, &dir);
+        assert_eq!(fingerprint(&reopened), committed, "{point:?}");
+        assert_eq!(recovery.stray_tmp_removed, 1, "{point:?}");
+        assert!(recovery.snapshot_loaded);
+
+        // Compaction itself still works after the "crash"; afterwards
+        // the journals replay nothing.
+        reopened.compact().unwrap();
+        drop(reopened);
+        let (third, recovery) = open(config, &dir);
+        assert_eq!(fingerprint(&third), committed, "{point:?}");
+        assert_eq!(recovery.journal_records_replayed, 0, "journals compacted");
+        assert_fsck_clean(&third, &dir);
+    }
+}
+
+/// The quarantine set survives a sharded restart: Q± records are
+/// confined to shard 0's journal and committed like any other publish.
+#[test]
+fn sharded_quarantine_survives_restart() {
+    let dir = data_dir("shard_quarantine_restart");
+    let mut config = ServerConfig::collaborative(u64::MAX);
+    config.shards = 8;
+    config.quarantine_after = Some(2);
+    let (server, _) = open(config, &dir);
+    let faults = Arc::new(FaultInjector::new());
+    faults.fail_op_forever("tail_one", FaultKind::Permanent);
+    server.set_fault_injector(Arc::clone(&faults));
+
+    server.run_workload(workload("tail_one")).unwrap_err();
+    server.run_workload(workload("tail_one")).unwrap_err();
+    let committed = fingerprint(&server);
+    assert_eq!(committed.quarantine.len(), 1);
+
+    drop(server);
+    let (reopened, recovery) = open(config, &dir);
+    assert_eq!(recovery.quarantine_restored, 1);
+    assert_eq!(fingerprint(&reopened), committed);
+    let err = reopened.run_workload(workload("tail_one")).unwrap_err();
+    assert!(
+        matches!(err.error, GraphError::Quarantined { failures: 2, .. }),
+        "{err}"
+    );
+
+    // Releasing and succeeding clears the entry durably (Q- journaled
+    // through shard 0 and committed).
+    {
+        let quarantine = reopened.quarantine().unwrap();
+        let (op, ..) = quarantine.entries()[0];
+        quarantine.release(op);
+    }
+    reopened.run_workload(workload("tail_one")).unwrap();
+    drop(reopened);
+    let (third, recovery) = open(config, &dir);
+    assert_eq!(recovery.quarantine_restored, 0);
+    assert!(fingerprint(&third).quarantine.is_empty());
+    third.run_workload(workload("tail_one")).unwrap();
+    assert_fsck_clean(&third, &dir);
+}
+
+/// A sharded data directory refuses to open under the wrong shard
+/// count — and a single-journal directory refuses a sharded config.
+#[test]
+fn shard_count_mismatch_is_rejected_at_open() {
+    let dir = data_dir("shard_mismatch");
+    let mut config = ServerConfig::collaborative(u64::MAX);
+    config.shards = 8;
+    let (server, _) = open(config, &dir);
+    server.run_workload(workload("tail_one")).unwrap();
+    drop(server);
+
+    let mut wrong = config;
+    wrong.shards = 4;
+    let err = OptimizerServer::open(wrong, DurabilityConfig::new(&dir))
+        .err()
+        .unwrap();
+    assert!(err.to_string().contains("8"), "{err}");
+
+    wrong.shards = 1;
+    let err = OptimizerServer::open(wrong, DurabilityConfig::new(&dir))
+        .err()
+        .unwrap();
+    assert!(err.to_string().contains("sharded layout"), "{err}");
+
+    // And the reverse: a legacy directory opened with shards > 1.
+    let legacy_dir = data_dir("shard_mismatch_legacy");
+    let single = ServerConfig::collaborative(u64::MAX);
+    let (server, _) = open(single, &legacy_dir);
+    server.run_workload(workload("tail_one")).unwrap();
+    drop(server);
+    let err = OptimizerServer::open(config, DurabilityConfig::new(&legacy_dir))
+        .err()
+        .unwrap();
+    assert!(err.to_string().contains("single-graph layout"), "{err}");
 }

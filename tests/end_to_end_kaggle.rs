@@ -23,6 +23,7 @@ fn server(materializer: MaterializerKind, reuse: ReuseKind, budget: u64) -> Opti
         retry: co_core::RetryPolicy::default(),
         quarantine_after: Some(3),
         df_threads: None,
+        shards: 1,
     })
 }
 

@@ -107,6 +107,7 @@ fn kaggle_w1_is_invariant_across_systems() {
             retry: co_core::RetryPolicy::default(),
             quarantine_after: Some(3),
             df_threads: None,
+            shards: 1,
         });
         // Warm the graph with related workloads first so reuse genuinely
         // kicks in before the workload under test.
@@ -137,6 +138,7 @@ fn kaggle_w8_is_invariant_across_systems() {
             retry: co_core::RetryPolicy::default(),
             quarantine_after: Some(3),
             df_threads: None,
+            shards: 1,
         });
         srv.run_workload(kaggle::w1(&data).unwrap()).unwrap();
         srv.run_workload(kaggle::w2(&data).unwrap()).unwrap();
@@ -165,6 +167,7 @@ fn openml_pipelines_are_invariant_across_systems() {
                 retry: co_core::RetryPolicy::default(),
                 quarantine_after: Some(3),
                 df_threads: None,
+                shards: 1,
             });
             for warm in 0..run_idx.min(4) {
                 srv.run_workload(openml::pipeline(&data, warm, 7).unwrap())
