@@ -51,5 +51,8 @@ pub use dsl::Script;
 pub use failure::{Quarantine, RetryPolicy, WorkloadError};
 pub use pipeline::{ExecutedWorkload, PlannedWorkload, PrunedWorkload};
 pub use report::{ExecutionReport, RecoveryReport};
-pub use server::{DurabilityConfig, OptimizerServer, ServerConfig};
+pub use server::{
+    DurabilityConfig, DurabilityHealth, OptimizerServer, ServerConfig, ServerStats,
+    READ_ONLY_RETRY_HINT_MS,
+};
 pub use validate::{validate, Diagnostic, ValidationReport};

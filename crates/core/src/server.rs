@@ -27,12 +27,12 @@ use crate::report::{ExecutionReport, RecoveryReport};
 use co_graph::journal::{self, EgDelta, FsyncPolicy, Journal, QuarantineEntry, VertexTouch};
 use co_graph::shard::{self, ShardedEg};
 use co_graph::{
-    snapshot, ArtifactId, CommitLog, CommitRecord, CrashPoint, EgView, ExperimentGraph,
-    FaultInjector, GraphError, OpHash, Result, Value, WorkloadDag,
+    snapshot, ArtifactId, ColdStore, CommitLog, CommitRecord, CrashPoint, EgView, ExperimentGraph,
+    FaultInjector, GraphError, OpHash, OpRef, Result, ScrubOutcome, Value, WorkloadDag,
 };
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -175,18 +175,40 @@ pub struct DurabilityConfig {
     /// Compact (snapshot + truncate the journal) once the journal — any
     /// one shard's journal, when sharded — exceeds this many bytes.
     pub compact_journal_bytes: u64,
+    /// Mirror materialized dataset artifacts into per-artifact cold
+    /// column files (`cold/cold-<id>.col`, CRC-framed) so the
+    /// background scrubber can verify them and self-heal bit rot from
+    /// lineage. Off by default: the data directory stays bit-identical
+    /// to the pre-cold layout.
+    pub cold_columns: bool,
+    /// How many *consecutive* failed repair attempts (explicit
+    /// [`OptimizerServer::try_repair`] calls or the service front-end's
+    /// background repair loop) wedge the durability layer permanently.
+    /// Publish-entry opportunistic repairs never count toward this
+    /// limit — a publish storm during a disk outage must not wedge a
+    /// server that would have recovered.
+    pub max_repair_attempts: usize,
 }
 
 impl DurabilityConfig {
     /// Durability in `dir` with the safe defaults: fsync every append,
-    /// compact past 4 MiB of journal.
+    /// compact past 4 MiB of journal, no cold column files, wedge after
+    /// 8 consecutive failed repairs.
     #[must_use]
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::Always,
             compact_journal_bytes: 4 * 1024 * 1024,
+            cold_columns: false,
+            max_repair_attempts: 8,
         }
+    }
+
+    /// Directory holding the cold column files.
+    #[must_use]
+    pub fn cold_dir(&self) -> PathBuf {
+        self.dir.join("cold")
     }
 
     /// Path of the snapshot file (single-shard layout).
@@ -202,8 +224,78 @@ impl DurabilityConfig {
     }
 }
 
-const WEDGED_MSG: &str = "durability layer wedged by an earlier persistence failure; \
+const WEDGED_MSG: &str = "durability layer wedged after repeated failed repair attempts; \
      restart the server from its data directory";
+
+/// Backoff hint handed to rejected publishers while the durability
+/// layer is read-only (also the publish-entry repair throttle).
+pub const READ_ONLY_RETRY_HINT_MS: u64 = 250;
+
+/// Health of the durability layer — the graded replacement for the old
+/// binary wedge (DESIGN.md §15).
+///
+/// `Healthy → ReadOnly` on any persistence failure that leaves memory
+/// ahead of disk: the failed publish's delta moves to an in-memory
+/// backlog, reads/reuse/warm-starts keep serving, and only publishes
+/// are rejected — retriably, with [`GraphError::ReadOnly`]. Repair
+/// (reopen the journals, truncate torn tails, drop stray temp files,
+/// re-append the backlog) returns the layer to `Healthy`;
+/// [`DurabilityConfig::max_repair_attempts`] consecutive failed repairs
+/// degrade it to `Wedged`, the only permanent state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityHealth {
+    /// Disk and memory agree; publishes persist normally.
+    #[default]
+    Healthy,
+    /// A persistence failure left memory ahead of disk; publishes are
+    /// rejected retriably until repair drains the backlog.
+    ReadOnly,
+    /// Repair failed repeatedly; only a restart from the data
+    /// directory recovers.
+    Wedged,
+}
+
+impl DurabilityHealth {
+    /// Stable lowercase name (operator dashboards, stats wire codec).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DurabilityHealth::Healthy => "healthy",
+            DurabilityHealth::ReadOnly => "read-only",
+            DurabilityHealth::Wedged => "wedged",
+        }
+    }
+
+    /// Numeric code for wire encodings: 0 healthy, 1 read-only, 2 wedged.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        match self {
+            DurabilityHealth::Healthy => 0,
+            DurabilityHealth::ReadOnly => 1,
+            DurabilityHealth::Wedged => 2,
+        }
+    }
+
+    /// Inverse of [`as_u64`](DurabilityHealth::as_u64); unknown codes
+    /// conservatively decode as `Wedged`.
+    #[must_use]
+    pub fn from_u64(code: u64) -> Self {
+        match code {
+            0 => DurabilityHealth::Healthy,
+            1 => DurabilityHealth::ReadOnly,
+            _ => DurabilityHealth::Wedged,
+        }
+    }
+}
+
+/// Whether a persist error is an injected *crash* (the crash-matrix
+/// tests' "process died here" simulation) rather than a live I/O
+/// failure. A simulated crash wedges immediately — the process is
+/// notionally gone, so in-place repair would be cheating — while every
+/// real or injected I/O failure takes the ReadOnly + repair path.
+fn is_simulated_crash(e: &GraphError) -> bool {
+    matches!(e, GraphError::Io(msg) if msg.contains("injected crash at"))
+}
 
 /// Mutable durability state of the single-shard layout, locked *after*
 /// the EG write lock (lock order: eg → durability → stats).
@@ -213,17 +305,33 @@ struct DurabilityState {
     /// Quarantine entries as last persisted (op_hash → failures) — the
     /// baseline the publish path diffs against to emit Q+/Q- records.
     persisted_quarantine: HashMap<OpHash, usize>,
-    /// Set after a journal append fails: the in-memory graph is ahead
-    /// of the durable state, so further appends could write records
-    /// that reference vertices recovery will never see. Like a WAL
-    /// database after a write error, the server refuses further
-    /// publishes until restarted from the data directory.
-    wedged: bool,
+    /// Graded health: a failed journal append no longer wedges the
+    /// server — the delta joins `backlog`, the layer turns read-only,
+    /// and repair re-appends once the disk recovers.
+    health: DurabilityHealth,
+    /// Deltas that are live in memory but not yet durable, in append
+    /// order. Drained (front first) by a successful repair.
+    backlog: Vec<EgDelta>,
+    /// Consecutive failed counted repair attempts (see
+    /// [`DurabilityConfig::max_repair_attempts`]).
+    repair_attempts: usize,
+}
+
+/// One cross-shard publish awaiting re-append: its per-shard deltas
+/// (ascending shard order), the commit record that seals it, and the
+/// persisted-quarantine map to install once it lands.
+struct ShardedBacklog {
+    deltas: Vec<(usize, EgDelta)>,
+    record: CommitRecord,
+    quarantine: Option<HashMap<OpHash, usize>>,
 }
 
 /// Durability state of the sharded layout. Lock order within a publish:
 /// shard write locks (ascending) → `persisted_quarantine` → per-shard
-/// journal mutexes (ascending) → commit-log mutex → stats.
+/// journal mutexes (ascending) → commit-log mutex → stats. The
+/// `backlog` mutex is only ever taken with none of those held (the
+/// publish path drops the quarantine guard before backlogging; repair
+/// holds `backlog` outermost and takes the others transiently).
 struct ShardedDurability {
     config: DurabilityConfig,
     /// One write-ahead journal per shard.
@@ -234,12 +342,30 @@ struct ShardedDurability {
     /// Quarantine entries as last durably persisted. Advanced only
     /// after the commit record lands, so recovery's view matches.
     persisted_quarantine: parking_lot::Mutex<HashMap<OpHash, usize>>,
-    /// Sharded analogue of [`DurabilityState::wedged`].
-    wedged: AtomicBool,
+    /// Sharded analogue of [`DurabilityState::health`] (the
+    /// [`DurabilityHealth::as_u64`] code, narrowed to u8).
+    health: AtomicU8,
+    /// Sharded analogue of [`DurabilityState::backlog`]. Entries may
+    /// arrive out of sequence under concurrent failing publishers;
+    /// repair sorts by sequence number before draining.
+    backlog: parking_lot::Mutex<Vec<ShardedBacklog>>,
+    /// Consecutive failed counted repair attempts.
+    repair_attempts: AtomicUsize,
     /// Last assigned publish sequence number. Incremented only while
     /// the touched shards' write locks are held, so every shard journal
     /// sees its subset of sequence numbers in increasing order.
     seq: AtomicU64,
+}
+
+impl ShardedDurability {
+    fn health(&self) -> DurabilityHealth {
+        DurabilityHealth::from_u64(u64::from(self.health.load(Ordering::SeqCst)))
+    }
+
+    fn set_health(&self, health: DurabilityHealth) {
+        #[allow(clippy::cast_possible_truncation)]
+        self.health.store(health.as_u64() as u8, Ordering::SeqCst);
+    }
 }
 
 /// Which durability layout the server persists with — decided by
@@ -279,6 +405,24 @@ pub struct ServerStats {
     pub torn_tail_truncated: usize,
     /// Snapshot compactions performed (explicit or threshold-triggered).
     pub snapshots_compacted: usize,
+    /// Durability health at the moment of the stats read —
+    /// [`DurabilityHealth::as_u64`] (0 healthy, 1 read-only, 2 wedged).
+    /// Overwritten from the authoritative state by
+    /// [`OptimizerServer::stats`], never summed.
+    pub durability_health: u64,
+    /// Repair attempts made over the server's lifetime (counted and
+    /// opportunistic alike).
+    pub repair_attempts: usize,
+    /// Repairs that returned the durability layer to `Healthy`.
+    pub repairs_succeeded: usize,
+    /// Publishes rejected retriably while the layer was read-only.
+    pub publishes_rejected_readonly: usize,
+    /// Cold column files whose CRCs the scrubber verified.
+    pub scrub_checked: usize,
+    /// Corrupt cold files healed by lineage-based recomputation.
+    pub scrub_healed: usize,
+    /// Corrupt cold files quarantined as unrecoverable.
+    pub scrub_quarantined: usize,
 }
 
 impl ServerStats {
@@ -302,6 +446,13 @@ impl ServerStats {
         self.journal_records_replayed += other.journal_records_replayed;
         self.torn_tail_truncated += other.torn_tail_truncated;
         self.snapshots_compacted += other.snapshots_compacted;
+        self.durability_health = self.durability_health.max(other.durability_health);
+        self.repair_attempts += other.repair_attempts;
+        self.repairs_succeeded += other.repairs_succeeded;
+        self.publishes_rejected_readonly += other.publishes_rejected_readonly;
+        self.scrub_checked += other.scrub_checked;
+        self.scrub_healed += other.scrub_healed;
+        self.scrub_quarantined += other.scrub_quarantined;
     }
 
     /// Record one published workload's contribution. Runs inside the
@@ -347,6 +498,24 @@ pub struct OptimizerServer {
     stats: Vec<parking_lot::Mutex<ServerStats>>,
     quarantine: Option<Arc<Quarantine>>,
     durability: Option<Durability>,
+    /// Cold column store — `Some` iff durable with
+    /// [`DurabilityConfig::cold_columns`] on.
+    cold: Option<ColdStore>,
+    /// Lineage registry for the scrubber: artifact → (producing op,
+    /// ordered parents), captured at publish time. Only populated when
+    /// the cold store is on.
+    recipes: parking_lot::Mutex<HashMap<ArtifactId, Recipe>>,
+    /// Publish-entry opportunistic repairs are throttled through this
+    /// timestamp so a publish storm does not hammer a dead disk.
+    repair_throttle: parking_lot::Mutex<Option<Instant>>,
+}
+
+/// Lineage needed to recompute one artifact: the producing operation
+/// and its ordered parent artifacts.
+#[derive(Clone)]
+struct Recipe {
+    op: OpRef,
+    parents: Vec<ArtifactId>,
 }
 
 impl OptimizerServer {
@@ -414,6 +583,9 @@ impl OptimizerServer {
             planner,
             stats,
             durability: None,
+            cold: None,
+            recipes: parking_lot::Mutex::new(HashMap::new()),
+            repair_throttle: parking_lot::Mutex::new(None),
         }
     }
 
@@ -576,13 +748,20 @@ impl OptimizerServer {
         }
 
         let journal = Journal::open(&journal_path, durability.fsync)?;
+        let cold = durability
+            .cold_columns
+            .then(|| ColdStore::open(&durability.cold_dir()))
+            .transpose()?;
         let state = DurabilityState {
             config: durability,
             journal,
             persisted_quarantine: qmap.iter().map(|(op, (_, f))| (*op, *f)).collect(),
-            wedged: false,
+            health: DurabilityHealth::Healthy,
+            backlog: Vec::new(),
+            repair_attempts: 0,
         };
         let mut server = OptimizerServer::build(config, ShardedEg::from_graphs(vec![eg], None));
+        server.cold = cold;
         if let Some(quarantine) = &server.quarantine {
             for (op, (name, failures)) in &qmap {
                 quarantine.restore(*op, name, *failures);
@@ -653,6 +832,10 @@ impl OptimizerServer {
             .iter()
             .map(|q| (q.op_hash, (q.name.clone(), q.failures)))
             .collect();
+        let cold = durability
+            .cold_columns
+            .then(|| ColdStore::open(&durability.cold_dir()))
+            .transpose()?;
         let sharded = ShardedDurability {
             config: durability,
             journals,
@@ -660,12 +843,15 @@ impl OptimizerServer {
             persisted_quarantine: parking_lot::Mutex::new(
                 qmap.iter().map(|(op, (_, f))| (*op, *f)).collect(),
             ),
-            wedged: AtomicBool::new(false),
+            health: AtomicU8::new(0),
+            backlog: parking_lot::Mutex::new(Vec::new()),
+            repair_attempts: AtomicUsize::new(0),
             seq: AtomicU64::new(rec.max_seq),
         };
         let torn_tails = rec.torn.len();
         let mut server =
             OptimizerServer::build(config, ShardedEg::from_graphs(rec.graphs, rec.vault));
+        server.cold = cold;
         if let Some(quarantine) = &server.quarantine {
             for (op, (name, failures)) in &qmap {
                 quarantine.restore(*op, name, *failures);
@@ -827,6 +1013,14 @@ impl OptimizerServer {
             failure,
         } = executed;
         let start = Instant::now();
+        // Degraded durability rejects the publish *before* the merge:
+        // merging while read-only would put memory further ahead of
+        // disk with no backlog entry to repair from.
+        if let Some(error) = self.degraded_reject() {
+            self.reject_publish(&report, failure.as_ref(), &error);
+            report.materializer_seconds = start.elapsed().as_secs_f64();
+            return finish_publish(dag, report, failure, Some(error));
+        }
         let mut persist_error = None;
         {
             let mut eg = self.eg.write(0);
@@ -853,6 +1047,13 @@ impl OptimizerServer {
             self.materializer
                 .run(&mut eg, &available, &self.config.cost);
             reconcile_restored_flags(&mut eg);
+            if self.cold.is_some() {
+                self.record_recipes(&dag, failure.as_ref());
+                let faults = eg.storage().fault_injector().map(Arc::clone);
+                self.write_cold(&available, faults.as_deref(), |id| {
+                    eg.storage().contains(id)
+                });
+            }
             let baseline = baseline_cost(&dag, &eg);
             if let (Some(Durability::Legacy(durability)), Some(capture)) =
                 (&self.durability, capture)
@@ -894,6 +1095,12 @@ impl OptimizerServer {
             failure,
         } = executed;
         let start = Instant::now();
+        // Same pre-merge rejection as the single-shard path.
+        if let Some(error) = self.degraded_reject() {
+            self.reject_publish(&report, failure.as_ref(), &error);
+            report.materializer_seconds = start.elapsed().as_secs_f64();
+            return finish_publish(dag, report, failure, Some(error));
+        }
 
         // Which nodes merge — the same salvage rules as the single-shard
         // path (None: all; full taint mask: the untainted prefix;
@@ -1009,6 +1216,16 @@ impl OptimizerServer {
             for (_, g) in &mut guards {
                 reconcile_restored_flags(g);
             }
+            if self.cold.is_some() {
+                self.record_recipes(&dag, failure.as_ref());
+                let faults = guards
+                    .first()
+                    .and_then(|(_, g)| g.storage().fault_injector().map(Arc::clone));
+                self.write_cold(&available, faults.as_deref(), |id| {
+                    pos.get(&self.eg.shard_index(id))
+                        .is_some_and(|gi| guards[*gi].1.storage().contains(id))
+                });
+            }
             let baseline = baseline_cost_with(&dag, |id| {
                 pos.get(&self.eg.shard_index(id))
                     .and_then(|gi| guards[*gi].1.vertex(id).ok())
@@ -1050,7 +1267,7 @@ impl OptimizerServer {
         // threshold path.
         if persist_error.is_none() {
             if let Some(dur) = sharded_dur {
-                if !dur.wedged.load(Ordering::SeqCst)
+                if dur.health() == DurabilityHealth::Healthy
                     && dur
                         .journals
                         .iter()
@@ -1132,7 +1349,7 @@ impl OptimizerServer {
         current_quarantine: &[(OpHash, String, usize)],
         quarantine_dirty: bool,
     ) -> Result<()> {
-        if dur.wedged.load(Ordering::SeqCst) {
+        if dur.health() == DurabilityHealth::Wedged {
             return Err(GraphError::Io(WEDGED_MSG.to_owned()));
         }
         let mut deltas: Vec<EgDelta> = Vec::with_capacity(guards.len());
@@ -1178,49 +1395,100 @@ impl OptimizerServer {
         let faults = guards
             .first()
             .and_then(|(_, g)| g.storage().fault_injector().map(Arc::clone));
-        let mut shards_written: Vec<u32> = Vec::new();
+        let mut pending: Vec<(usize, EgDelta)> = Vec::new();
         for (gi, (k, _)) in guards.iter().enumerate() {
-            let delta = &mut deltas[gi];
-            if delta.is_empty() {
+            if deltas[gi].is_empty() {
                 continue;
             }
+            let mut delta = std::mem::take(&mut deltas[gi]);
             delta.seq = Some(seq);
-            if !shards_written.is_empty() {
+            pending.push((*k, delta));
+        }
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let record = CommitRecord {
+            seq,
+            shards: pending
+                .iter()
+                .map(|(k, _)| u32::try_from(*k).expect("shard index fits u32"))
+                .collect(),
+        };
+        // The persisted-quarantine map this publish installs once it is
+        // durable — either immediately below, or at backlog-drain time.
+        let quarantine_target: Option<HashMap<OpHash, usize>> = persisted.is_some().then(|| {
+            current_quarantine
+                .iter()
+                .map(|(op, _, f)| (*op, *f))
+                .collect()
+        });
+
+        // A publish that raced past the entry gate while the layer was
+        // already read-only goes straight to the backlog: its merge is
+        // live in memory, and the (possibly damaged, possibly being
+        // repaired) journals must not be touched from here.
+        if dur.health() == DurabilityHealth::ReadOnly {
+            persisted.take();
+            return Err(self.backlog_sharded(dur, pending, record, quarantine_target));
+        }
+
+        let mut append_error: Option<GraphError> = None;
+        for (i, (k, delta)) in pending.iter().enumerate() {
+            if i > 0 {
                 if let Some(f) = &faults {
                     if f.take_crash(CrashPoint::ShardGapAppend) {
-                        dur.wedged.store(true, Ordering::SeqCst);
+                        dur.set_health(DurabilityHealth::Wedged);
                         return Err(GraphError::Io(
-                            "crash injected between per-shard journal appends \
-                             (shard-gap-append)"
+                            "injected crash at shard-gap-append (between per-shard \
+                             journal appends)"
                                 .to_owned(),
                         ));
                     }
                 }
             }
             if let Err(e) = dur.journals[*k].lock().append(delta, faults.as_deref()) {
-                dur.wedged.store(true, Ordering::SeqCst);
+                append_error = Some(e);
+                break;
+            }
+        }
+        let commit_error = if append_error.is_none() {
+            dur.commit.lock().append(&record, faults.as_deref()).err()
+        } else {
+            None
+        };
+        if let Some(e) = append_error.or(commit_error) {
+            if is_simulated_crash(&e) {
+                dur.set_health(DurabilityHealth::Wedged);
                 return Err(e);
             }
-            shards_written.push(u32::try_from(*k).expect("shard index fits u32"));
+            persisted.take();
+            return Err(self.backlog_sharded(dur, pending, record, quarantine_target));
         }
-        if shards_written.is_empty() {
-            return Ok(());
-        }
-        let record = CommitRecord {
-            seq,
-            shards: shards_written,
-        };
-        if let Err(e) = dur.commit.lock().append(&record, faults.as_deref()) {
-            dur.wedged.store(true, Ordering::SeqCst);
-            return Err(e);
-        }
-        if let Some(persisted) = &mut persisted {
-            **persisted = current_quarantine
-                .iter()
-                .map(|(op, _, f)| (*op, *f))
-                .collect();
+        if let (Some(persisted), Some(target)) = (&mut persisted, quarantine_target) {
+            **persisted = target;
         }
         Ok(())
+    }
+
+    /// Move one failed cross-shard publish into the durability backlog
+    /// and degrade to read-only. Called with the shard write locks held
+    /// but *not* the persisted-quarantine guard (dropped by the caller:
+    /// the backlog mutex must never nest inside it — repair holds the
+    /// backlog outermost and takes the quarantine map while draining).
+    fn backlog_sharded(
+        &self,
+        dur: &ShardedDurability,
+        deltas: Vec<(usize, EgDelta)>,
+        record: CommitRecord,
+        quarantine: Option<HashMap<OpHash, usize>>,
+    ) -> GraphError {
+        dur.backlog.lock().push(ShardedBacklog {
+            deltas,
+            record,
+            quarantine,
+        });
+        dur.set_health(DurabilityHealth::ReadOnly);
+        GraphError::read_only(READ_ONLY_RETRY_HINT_MS)
     }
 
     /// Build and append this publish's journal delta, then compact if
@@ -1232,7 +1500,7 @@ impl OptimizerServer {
         dur: &mut DurabilityState,
         capture: &DeltaCapture,
     ) -> Result<()> {
-        if dur.wedged {
+        if dur.health == DurabilityHealth::Wedged {
             return Err(GraphError::Io(WEDGED_MSG.to_owned()));
         }
         let mut delta = EgDelta::default();
@@ -1265,10 +1533,24 @@ impl OptimizerServer {
         if delta.is_empty() {
             return Ok(());
         }
+        // A publish that raced past the entry gate while read-only:
+        // memory already merged it, so the delta must reach the backlog
+        // (not the damaged journal) for repair to re-append.
+        if dur.health == DurabilityHealth::ReadOnly {
+            dur.backlog.push(delta);
+            return Err(GraphError::read_only(READ_ONLY_RETRY_HINT_MS));
+        }
         let faults = eg.storage().fault_injector().map(|f| &**f);
         if let Err(e) = dur.journal.append(&delta, faults) {
-            dur.wedged = true;
-            return Err(e);
+            if is_simulated_crash(&e) {
+                dur.health = DurabilityHealth::Wedged;
+                return Err(e);
+            }
+            // Live I/O failure: keep serving read-only, queue the delta
+            // for repair, and reject this publish retriably.
+            dur.backlog.push(delta);
+            dur.health = DurabilityHealth::ReadOnly;
+            return Err(GraphError::read_only(READ_ONLY_RETRY_HINT_MS));
         }
         dur.persisted_quarantine = current
             .into_iter()
@@ -1294,7 +1576,7 @@ impl OptimizerServer {
         let entries = sorted_quarantine_entries(self.quarantine.as_deref());
         let faults = eg.storage().fault_injector().map(|f| &**f);
         snapshot::save_with(eg, &entries, &dur.config.snapshot_path(), faults)?;
-        dur.journal.reset()?;
+        dur.journal.reset(faults)?;
         dur.persisted_quarantine = entries.iter().map(|q| (q.op_hash, q.failures)).collect();
         Ok(())
     }
@@ -1309,6 +1591,13 @@ impl OptimizerServer {
     /// between leaves snapshots whose watermarks already cover every
     /// committed sequence number, so replay skips the stale records.
     pub fn compact(&self) -> Result<()> {
+        match self.durability_health() {
+            DurabilityHealth::Healthy => {}
+            DurabilityHealth::ReadOnly => {
+                return Err(GraphError::read_only(READ_ONLY_RETRY_HINT_MS))
+            }
+            DurabilityHealth::Wedged => return Err(GraphError::Io(WEDGED_MSG.to_owned())),
+        }
         match &self.durability {
             None => Ok(()),
             Some(Durability::Legacy(durability)) => {
@@ -1344,9 +1633,9 @@ impl OptimizerServer {
                         )?;
                     }
                     for journal in &dur.journals {
-                        journal.lock().reset()?;
+                        journal.lock().reset(faults.as_deref())?;
                     }
-                    dur.commit.lock().reset()?;
+                    dur.commit.lock().reset(faults.as_deref())?;
                     *dur.persisted_quarantine.lock() =
                         entries.iter().map(|q| (q.op_hash, q.failures)).collect();
                 }
@@ -1364,25 +1653,298 @@ impl OptimizerServer {
     ///
     /// [`compact`]: OptimizerServer::compact
     pub fn flush_durable(&self) -> Result<()> {
-        if self.is_wedged() {
-            return Err(GraphError::Io(
-                "durability layer wedged by an earlier persistence failure; \
-                 refusing to flush — restart the server from its data directory"
-                    .to_owned(),
-            ));
+        if self.durability_health() == DurabilityHealth::ReadOnly {
+            // A drain is a deliberate moment to catch up: repair first
+            // (counted), then compact from the repaired state.
+            self.try_repair()?;
         }
         self.compact()
     }
 
-    /// Whether durability is wedged: an earlier journal append failed,
-    /// the in-memory graph is ahead of disk, and every further persist
-    /// refuses until the server restarts from its data directory.
+    /// Current durability health. `Healthy` on a server without
+    /// durability (nothing can be behind).
+    #[must_use]
+    pub fn durability_health(&self) -> DurabilityHealth {
+        match &self.durability {
+            None => DurabilityHealth::Healthy,
+            Some(Durability::Legacy(d)) => d.lock().health,
+            Some(Durability::Sharded(d)) => d.health(),
+        }
+    }
+
+    /// Whether durability is wedged — the terminal state after
+    /// [`DurabilityConfig::max_repair_attempts`] consecutive failed
+    /// repairs (or a simulated crash): every further persist refuses
+    /// until the server restarts from its data directory.
     #[must_use]
     pub fn is_wedged(&self) -> bool {
+        self.durability_health() == DurabilityHealth::Wedged
+    }
+
+    /// Publish deltas queued in memory awaiting repair (0 when healthy).
+    #[must_use]
+    pub fn backlog_len(&self) -> usize {
         match &self.durability {
-            None => false,
-            Some(Durability::Legacy(d)) => d.lock().wedged,
-            Some(Durability::Sharded(d)) => d.wedged.load(Ordering::SeqCst),
+            None => 0,
+            Some(Durability::Legacy(d)) => d.lock().backlog.len(),
+            Some(Durability::Sharded(d)) => d.backlog.lock().len(),
+        }
+    }
+
+    /// The publish-entry health gate: `None` lets the publish proceed.
+    /// While read-only it first attempts a *throttled* opportunistic
+    /// repair (at most one per [`READ_ONLY_RETRY_HINT_MS`], never
+    /// counted toward the wedge limit), so a server whose disk has
+    /// recovered heals itself on the next publish — no restart, no
+    /// explicit operator action.
+    fn degraded_reject(&self) -> Option<GraphError> {
+        match self.durability_health() {
+            DurabilityHealth::Healthy => None,
+            DurabilityHealth::Wedged => Some(GraphError::Io(WEDGED_MSG.to_owned())),
+            DurabilityHealth::ReadOnly => {
+                self.maybe_repair();
+                match self.durability_health() {
+                    DurabilityHealth::Healthy => None,
+                    DurabilityHealth::Wedged => Some(GraphError::Io(WEDGED_MSG.to_owned())),
+                    DurabilityHealth::ReadOnly => {
+                        Some(GraphError::read_only(READ_ONLY_RETRY_HINT_MS))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold one rejected publish into the stats (the publish never
+    /// reached the merge, so only the failure counters move).
+    fn reject_publish(
+        &self,
+        report: &ExecutionReport,
+        failure: Option<&FailedExecution>,
+        error: &GraphError,
+    ) {
+        let mut stats = self.stats[0].lock();
+        if matches!(error, GraphError::ReadOnly { .. }) {
+            stats.publishes_rejected_readonly += 1;
+        }
+        stats.fold_publish(report, 0.0, failure, true);
+    }
+
+    /// Throttled, uncounted repair attempt (publish entry).
+    fn maybe_repair(&self) {
+        {
+            let mut last = self.repair_throttle.lock();
+            let ready = last.is_none_or(|t| {
+                t.elapsed() >= std::time::Duration::from_millis(READ_ONLY_RETRY_HINT_MS)
+            });
+            if !ready {
+                return;
+            }
+            *last = Some(Instant::now());
+        }
+        let _ = self.repair(false);
+    }
+
+    /// Attempt to return a read-only durability layer to `Healthy`:
+    /// discard stray temp files, truncate torn journal tails, reopen
+    /// every journal (and the commit log, sharded) on fresh handles,
+    /// re-append the in-memory backlog in sequence order, and sync.
+    ///
+    /// Returns `Ok(true)` when a repair ran and the layer is healthy
+    /// again, `Ok(false)` when there was nothing to repair (already
+    /// healthy, or no durability). Each *failed* call counts toward
+    /// [`DurabilityConfig::max_repair_attempts`]; at the limit the
+    /// layer wedges permanently and this returns the wedged error.
+    pub fn try_repair(&self) -> Result<bool> {
+        self.repair(true)
+    }
+
+    /// Shared repair driver. `counted` distinguishes deliberate repair
+    /// (explicit calls, the service front-end's background loop — these
+    /// burn the wedge budget) from publish-entry opportunism (which
+    /// must not: a publish storm during a long disk outage would wedge
+    /// a server that was going to recover).
+    fn repair(&self, counted: bool) -> Result<bool> {
+        let Some(durability) = &self.durability else {
+            return Ok(false);
+        };
+        let faults = {
+            let g = self.eg.read(0);
+            g.storage().fault_injector().map(Arc::clone)
+        };
+        match durability {
+            Durability::Legacy(d) => {
+                let mut dur = d.lock();
+                match dur.health {
+                    DurabilityHealth::Healthy => return Ok(false),
+                    DurabilityHealth::Wedged => return Err(GraphError::Io(WEDGED_MSG.to_owned())),
+                    DurabilityHealth::ReadOnly => {}
+                }
+                self.stats[0].lock().repair_attempts += 1;
+                match repair_single(&mut dur, faults.as_deref()) {
+                    Ok(()) => {
+                        dur.health = DurabilityHealth::Healthy;
+                        dur.repair_attempts = 0;
+                        self.stats[0].lock().repairs_succeeded += 1;
+                        Ok(true)
+                    }
+                    Err(e) => {
+                        if counted {
+                            dur.repair_attempts += 1;
+                            if dur.repair_attempts >= dur.config.max_repair_attempts {
+                                dur.health = DurabilityHealth::Wedged;
+                            }
+                        }
+                        Err(e)
+                    }
+                }
+            }
+            Durability::Sharded(dur) => {
+                // The backlog mutex is the repair critical section: it
+                // serializes concurrent repairers and keeps the drain
+                // atomic with respect to them. Publishers never take it
+                // while holding journal or quarantine locks.
+                let mut backlog = dur.backlog.lock();
+                match dur.health() {
+                    DurabilityHealth::Healthy => return Ok(false),
+                    DurabilityHealth::Wedged => return Err(GraphError::Io(WEDGED_MSG.to_owned())),
+                    DurabilityHealth::ReadOnly => {}
+                }
+                self.stats[0].lock().repair_attempts += 1;
+                match repair_sharded(dur, &mut backlog, faults.as_deref()) {
+                    Ok(()) => {
+                        dur.set_health(DurabilityHealth::Healthy);
+                        dur.repair_attempts.store(0, Ordering::SeqCst);
+                        self.stats[0].lock().repairs_succeeded += 1;
+                        Ok(true)
+                    }
+                    Err(e) => {
+                        if counted {
+                            let attempts = dur.repair_attempts.fetch_add(1, Ordering::SeqCst) + 1;
+                            if attempts >= dur.config.max_repair_attempts {
+                                dur.set_health(DurabilityHealth::Wedged);
+                            }
+                        }
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verify the CRCs of every cold column file, healing corrupt ones
+    /// by lineage-based recomputation (the producing operation re-run
+    /// over its parents, resolved from the in-memory store, clean cold
+    /// files, or recursively recomputed) and quarantining only the
+    /// genuinely unrecoverable — renamed aside, never deleted. The cold
+    /// encoding is deterministic, so a healed file is byte-identical to
+    /// the original. A no-op outcome on a server without a cold store.
+    pub fn scrub(&self) -> ScrubOutcome {
+        let mut outcome = ScrubOutcome::default();
+        let Some(cold) = &self.cold else {
+            return outcome;
+        };
+        let faults = {
+            let g = self.eg.read(0);
+            g.storage().fault_injector().map(Arc::clone)
+        };
+        let ids = cold.list().unwrap_or_default();
+        for id in ids {
+            match cold.read(id, faults.as_deref()) {
+                Ok(_) => outcome.checked += 1,
+                Err(_) => {
+                    outcome.checked += 1;
+                    let healed = self
+                        .resolve_value(id, &mut HashSet::new(), faults.as_deref())
+                        .is_some_and(|value| {
+                            cold.write(id, &value, faults.as_deref()).unwrap_or(false)
+                        });
+                    if healed {
+                        outcome.healed += 1;
+                    } else {
+                        let _ = cold.quarantine_file(id, faults.as_deref());
+                        outcome.quarantined += 1;
+                    }
+                }
+            }
+        }
+        let mut stats = self.stats[0].lock();
+        stats.scrub_checked += outcome.checked;
+        stats.scrub_healed += outcome.healed;
+        stats.scrub_quarantined += outcome.quarantined;
+        outcome
+    }
+
+    /// Resolve an artifact's content for healing: the in-memory store
+    /// first, then a clean cold file, then recompute from lineage.
+    /// `visiting` breaks cycles (impossible in a DAG, cheap insurance).
+    fn resolve_value(
+        &self,
+        id: ArtifactId,
+        visiting: &mut HashSet<ArtifactId>,
+        faults: Option<&FaultInjector>,
+    ) -> Option<Value> {
+        let k = self.eg.shard_index(id);
+        if let Some(value) = self.eg.read(k).storage().get(id) {
+            return Some(value);
+        }
+        if let Some(cold) = &self.cold {
+            if let Ok(Some(value)) = cold.read(id, faults) {
+                return Some(value);
+            }
+        }
+        if !visiting.insert(id) {
+            return None;
+        }
+        let recipe = self.recipes.lock().get(&id).cloned()?;
+        let parents: Option<Vec<Value>> = recipe
+            .parents
+            .iter()
+            .map(|p| self.resolve_value(*p, visiting, faults))
+            .collect();
+        let parents = parents?;
+        let refs: Vec<&Value> = parents.iter().collect();
+        recipe.op.run(&refs).ok()
+    }
+
+    /// Record the lineage of every merged workload node (cold store on).
+    fn record_recipes(&self, dag: &WorkloadDag, failure: Option<&FailedExecution>) {
+        let mut recipes = self.recipes.lock();
+        for (i, node) in dag.nodes().iter().enumerate() {
+            let merged = match failure {
+                None => true,
+                Some(f) if f.tainted.len() == dag.n_nodes() => !f.tainted[i],
+                Some(_) => false,
+            };
+            if !merged {
+                continue;
+            }
+            if let Some(edge) = dag.producer(co_graph::NodeId(i)) {
+                recipes.entry(node.artifact).or_insert_with(|| Recipe {
+                    op: Arc::clone(&edge.op),
+                    parents: edge
+                        .inputs
+                        .iter()
+                        .map(|n| dag.nodes()[n.0].artifact)
+                        .collect(),
+                });
+            }
+        }
+    }
+
+    /// Mirror newly materialized dataset artifacts into cold column
+    /// files. Best-effort: a cold write failure costs scrub coverage of
+    /// that artifact, never the publish.
+    fn write_cold(
+        &self,
+        available: &HashMap<ArtifactId, Value>,
+        faults: Option<&FaultInjector>,
+        stored: impl Fn(ArtifactId) -> bool,
+    ) {
+        let Some(cold) = &self.cold else { return };
+        for (id, value) in available {
+            if stored(*id) && !cold.path_for(*id).exists() {
+                let _ = cold.write(*id, value, faults);
+            }
         }
     }
 
@@ -1399,6 +1961,7 @@ impl OptimizerServer {
         for s in &self.stats {
             total.add(&s.lock());
         }
+        total.durability_health = self.durability_health().as_u64();
         total
     }
 
@@ -1518,43 +2081,68 @@ impl OptimizerServer {
         let bytes = eg.storage_mut().evict(id);
         let was_restored = eg.unmark_restored_materialized(id);
         if bytes > 0 || was_restored {
+            if let Some(cold) = &self.cold {
+                let faults = eg.storage().fault_injector().map(Arc::clone);
+                let _ = cold.remove(id, faults.as_deref());
+            }
             match &self.durability {
                 None => {}
                 Some(Durability::Legacy(durability)) => {
                     let mut dur = durability.lock();
-                    if !dur.wedged {
-                        let delta = EgDelta {
-                            mat_removed: vec![id],
-                            ..EgDelta::default()
-                        };
-                        let faults = eg.storage().fault_injector().map(|f| &**f);
-                        if dur.journal.append(&delta, faults).is_err() {
-                            dur.wedged = true;
+                    let delta = EgDelta {
+                        mat_removed: vec![id],
+                        ..EgDelta::default()
+                    };
+                    match dur.health {
+                        // A wedged layer drops the record: the restart
+                        // that un-wedges it resurrects the mat flag and
+                        // the next access re-evicts — consistent, cheap.
+                        DurabilityHealth::Wedged => {}
+                        DurabilityHealth::ReadOnly => dur.backlog.push(delta),
+                        DurabilityHealth::Healthy => {
+                            let faults = eg.storage().fault_injector().map(|f| &**f);
+                            if let Err(e) = dur.journal.append(&delta, faults) {
+                                if is_simulated_crash(&e) {
+                                    dur.health = DurabilityHealth::Wedged;
+                                } else {
+                                    dur.backlog.push(delta);
+                                    dur.health = DurabilityHealth::ReadOnly;
+                                }
+                            }
                         }
                     }
                 }
-                Some(Durability::Sharded(dur)) if !dur.wedged.load(Ordering::SeqCst) => {
+                Some(Durability::Sharded(dur)) => {
+                    if dur.health() == DurabilityHealth::Wedged {
+                        return bytes;
+                    }
                     let seq = dur.seq.fetch_add(1, Ordering::SeqCst) + 1;
                     let delta = EgDelta {
                         seq: Some(seq),
                         mat_removed: vec![id],
                         ..EgDelta::default()
                     };
-                    let faults = eg.storage().fault_injector().map(Arc::clone);
                     let record = CommitRecord {
                         seq,
                         shards: vec![u32::try_from(k).expect("shard index fits u32")],
                     };
-                    let ok = dur.journals[k]
+                    if dur.health() == DurabilityHealth::ReadOnly {
+                        let _ = self.backlog_sharded(dur, vec![(k, delta)], record, None);
+                        return bytes;
+                    }
+                    let faults = eg.storage().fault_injector().map(Arc::clone);
+                    let append = dur.journals[k]
                         .lock()
                         .append(&delta, faults.as_deref())
-                        .is_ok()
-                        && dur.commit.lock().append(&record, faults.as_deref()).is_ok();
-                    if !ok {
-                        dur.wedged.store(true, Ordering::SeqCst);
+                        .and_then(|()| dur.commit.lock().append(&record, faults.as_deref()));
+                    if let Err(e) = append {
+                        if is_simulated_crash(&e) {
+                            dur.set_health(DurabilityHealth::Wedged);
+                        } else {
+                            let _ = self.backlog_sharded(dur, vec![(k, delta)], record, None);
+                        }
                     }
                 }
-                Some(Durability::Sharded(_)) => {}
             }
         }
         bytes
@@ -1607,6 +2195,95 @@ fn finish_publish(
             })
         }
     }
+}
+
+/// Best-effort sweep of stray `.tmp` files (interrupted atomic
+/// snapshot saves) from a data directory. Losing the sweep to an I/O
+/// error is harmless — recovery ignores temp files anyway.
+fn remove_stray_tmps(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// One repair pass over the single-shard durability layer: sweep stray
+/// temp files, truncate any torn journal tail the failed write left,
+/// reopen the journal on a fresh handle (a failed fsync poisons the old
+/// one — fsyncgate — so the *handle itself* must be replaced), then
+/// re-append the backlog front-first and sync. A failure part-way is
+/// safe: the drained prefix is durable, the rest stays backlogged.
+fn repair_single(dur: &mut DurabilityState, faults: Option<&FaultInjector>) -> Result<()> {
+    remove_stray_tmps(&dur.config.dir);
+    let path = dur.config.journal_path();
+    let outcome = journal::replay_with(&path, faults)?;
+    if let Some(valid_len) = outcome.torn_at {
+        journal::truncate_with(&path, valid_len, faults)?;
+    }
+    dur.journal = Journal::open_with(&path, dur.config.fsync, faults)?;
+    while !dur.backlog.is_empty() {
+        dur.journal.append(&dur.backlog[0], faults)?;
+        let delta = dur.backlog.remove(0);
+        for q in &delta.quarantine_set {
+            dur.persisted_quarantine.insert(q.op_hash, q.failures);
+        }
+        for h in &delta.quarantine_cleared {
+            dur.persisted_quarantine.remove(h);
+        }
+    }
+    dur.journal.sync(faults)
+}
+
+/// One repair pass over the sharded durability layer (the backlog
+/// mutex is held by the caller — it is the repair critical section).
+/// Same shape as [`repair_single`] per shard journal plus the commit
+/// log, then the backlog drains in publish (sequence) order: entries
+/// can arrive out of order under concurrent failing publishers. A
+/// partially drained entry re-appends in full next pass — journal
+/// replay is idempotent and duplicate commit seqs are harmless.
+fn repair_sharded(
+    dur: &ShardedDurability,
+    backlog: &mut Vec<ShardedBacklog>,
+    faults: Option<&FaultInjector>,
+) -> Result<()> {
+    let dir = &dur.config.dir;
+    remove_stray_tmps(dir);
+    for (k, slot) in dur.journals.iter().enumerate() {
+        let path = dir.join(shard::shard_journal_file(k));
+        let outcome = journal::replay_with(&path, faults)?;
+        if let Some(valid_len) = outcome.torn_at {
+            journal::truncate_with(&path, valid_len, faults)?;
+        }
+        *slot.lock() = Journal::open_with(&path, dur.config.fsync, faults)?;
+    }
+    let commit_path = dir.join(shard::COMMIT_FILE);
+    let replay = journal::replay_commits_with(&commit_path, faults)?;
+    if let Some(valid_len) = replay.torn_at {
+        journal::truncate_with(&commit_path, valid_len, faults)?;
+    }
+    *dur.commit.lock() = CommitLog::open_with(&commit_path, faults)?;
+    backlog.sort_by_key(|e| e.record.seq);
+    while !backlog.is_empty() {
+        {
+            let entry = &backlog[0];
+            for (k, delta) in &entry.deltas {
+                dur.journals[*k].lock().append(delta, faults)?;
+            }
+            dur.commit.lock().append(&entry.record, faults)?;
+        }
+        let entry = backlog.remove(0);
+        if let Some(q) = entry.quarantine {
+            *dur.persisted_quarantine.lock() = q;
+        }
+    }
+    for slot in &dur.journals {
+        slot.lock().sync(faults)?;
+    }
+    Ok(())
 }
 
 /// What the publish path notes *before* merging a workload, so the

@@ -1,0 +1,515 @@
+//! Cold column files: on-disk copies of materialized dataset artifacts.
+//!
+//! The paper's storage manager keeps materialized content in memory
+//! (§3.2); the cold store is the opt-in disk tier behind it — one
+//! `cold-<artifact id>.col` file per materialized dataset, written
+//! through [`crate::vfs`] with per-column CRC-32 framing so bit rot is
+//! *detected* rather than silently served. Nothing here is required
+//! for correctness of recovery (the journal/snapshot layer never
+//! references cold files); the store exists so a background scrubber
+//! can verify artifact bytes and — because every artifact's lineage is
+//! in the Experiment Graph — self-heal a corrupt column by recomputing
+//! it from its parents and rewriting a byte-identical file.
+//!
+//! ## File format (`EGCOL 1`)
+//!
+//! ```text
+//! [8B magic "EGCOL 1\n"]
+//! [n_cols: u32 LE]
+//! per column:
+//!   [name_len: u32 LE] [name: UTF-8]
+//!   [column id: u64 LE]
+//!   [dtype: u8]               0=Int 1=Float 2=Str 3=Bool
+//!   [payload_len: u64 LE] [payload] [crc32(payload): u32 LE]
+//! [crc32 of every byte above: u32 LE]
+//! ```
+//!
+//! The per-column CRCs localise damage for diagnostics; the file
+//! footer covers headers, names and ids too, so *any* single-byte flip
+//! anywhere in the file is detected.
+//!
+//! Payloads are little-endian fixed-width for Int/Float (f64 bit
+//! patterns, so `NaN` round-trips exactly), one byte per Bool, and
+//! `[len: u32 LE][bytes]` per Str. The encoding is deterministic: the
+//! same logical dataframe always produces the same bytes, which is
+//! what lets the scrubber assert a healed file is byte-identical.
+
+use crate::artifact::ArtifactId;
+use crate::error::{GraphError, Result};
+use crate::faults::FaultInjector;
+use crate::journal::crc32;
+use crate::value::Value;
+use crate::vfs::{self, VfsFile};
+use co_dataframe::{Column, ColumnData, ColumnId, DataFrame};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every cold column file.
+pub const COLD_MAGIC: &[u8; 8] = b"EGCOL 1\n";
+
+/// Suffix given to quarantined (unrecoverable) cold files.
+pub const QUARANTINE_SUFFIX: &str = ".quarantined";
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> GraphError {
+    GraphError::Io(format!("cannot {what} cold file {}: {e}", path.display()))
+}
+
+/// Counters from one scrub pass over the cold store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// Cold files whose CRCs were verified.
+    pub checked: usize,
+    /// Corrupt files rewritten from lineage-based recomputation.
+    pub healed: usize,
+    /// Corrupt files with no recoverable lineage, set aside.
+    pub quarantined: usize,
+}
+
+impl ScrubOutcome {
+    /// Fold another pass's counters into this one.
+    pub fn add(&mut self, other: &ScrubOutcome) {
+        self.checked += other.checked;
+        self.healed += other.healed;
+        self.quarantined += other.quarantined;
+    }
+}
+
+/// Serialise a dataset value to its cold-file bytes. Returns `None`
+/// for non-dataset values (aggregates and models stay memory-only —
+/// they are cheap to recompute and have no column structure).
+#[must_use]
+pub fn encode(value: &Value) -> Option<Vec<u8>> {
+    let df = value.as_dataset()?;
+    let mut out = Vec::with_capacity(64 + value.nbytes());
+    out.extend_from_slice(COLD_MAGIC);
+    out.extend_from_slice(&u32::try_from(df.columns().len()).ok()?.to_le_bytes());
+    for col in df.columns() {
+        let name = col.name().as_bytes();
+        out.extend_from_slice(&u32::try_from(name.len()).ok()?.to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&col.id().0.to_le_bytes());
+        let data = col.to_data();
+        let (dtype, payload) = encode_data(&data);
+        out.push(dtype);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let crc = crc32(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+    let footer = crc32(&out);
+    out.extend_from_slice(&footer.to_le_bytes());
+    Some(out)
+}
+
+fn encode_data(data: &ColumnData) -> (u8, Vec<u8>) {
+    match data {
+        ColumnData::Int(v) => {
+            let mut p = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                p.extend_from_slice(&x.to_le_bytes());
+            }
+            (0, p)
+        }
+        ColumnData::Float(v) => {
+            let mut p = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                p.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            (1, p)
+        }
+        ColumnData::Str(v) => {
+            let mut p = Vec::new();
+            for s in v {
+                p.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                p.extend_from_slice(s.as_bytes());
+            }
+            (2, p)
+        }
+        ColumnData::Bool(v) => (3, v.iter().map(|&b| u8::from(b)).collect()),
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+    origin: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.off < n {
+            return Err(GraphError::corrupt(
+                self.origin,
+                0,
+                format!("truncated cold file: {what} needs {n} bytes"),
+            ));
+        }
+        let s = &self.bytes[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let s = self.take(8, what)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+/// Decode cold-file bytes back into a dataset [`Value`], verifying the
+/// magic and every column CRC. Any mismatch is [`GraphError::Corrupt`].
+pub fn decode(bytes: &[u8], origin: &str) -> Result<Value> {
+    if bytes.len() < COLD_MAGIC.len() + 4 || &bytes[..COLD_MAGIC.len()] != COLD_MAGIC {
+        return Err(GraphError::corrupt(origin, 0, "bad cold-file magic"));
+    }
+    let body_end = bytes.len() - 4;
+    let footer = u32::from_le_bytes(bytes[body_end..].try_into().unwrap_or([0; 4]));
+    if crc32(&bytes[..body_end]) != footer {
+        return Err(GraphError::corrupt(
+            origin,
+            0,
+            "cold file fails its whole-file CRC",
+        ));
+    }
+    let bytes = &bytes[..body_end];
+    let mut cur = Cursor {
+        bytes,
+        off: COLD_MAGIC.len(),
+        origin,
+    };
+    let n_cols = cur.u32("column count")? as usize;
+    let mut columns = Vec::with_capacity(n_cols);
+    for record in 1..=n_cols {
+        let name_len = cur.u32("name length")? as usize;
+        let name = std::str::from_utf8(cur.take(name_len, "column name")?)
+            .map_err(|_| GraphError::corrupt(origin, record, "column name is not UTF-8"))?
+            .to_owned();
+        let id = ColumnId(cur.u64("column id")?);
+        let dtype = cur.take(1, "dtype")?[0];
+        let payload_len = usize::try_from(cur.u64("payload length")?)
+            .map_err(|_| GraphError::corrupt(origin, record, "payload length overflows"))?;
+        let payload = cur.take(payload_len, "payload")?;
+        let crc = cur.u32("payload crc")?;
+        if crc32(payload) != crc {
+            return Err(GraphError::corrupt(
+                origin,
+                record,
+                format!("column {name:?} fails its CRC"),
+            ));
+        }
+        let data = decode_data(dtype, payload, origin, record)?;
+        columns.push(Column::derived(&name, id, data));
+    }
+    if cur.off != bytes.len() {
+        return Err(GraphError::corrupt(
+            origin,
+            0,
+            "trailing bytes after last column",
+        ));
+    }
+    let df = DataFrame::new(columns)
+        .map_err(|e| GraphError::corrupt(origin, 0, format!("columns do not form a frame: {e}")))?;
+    Ok(Value::dataset(df))
+}
+
+fn decode_data(dtype: u8, payload: &[u8], origin: &str, record: usize) -> Result<ColumnData> {
+    match dtype {
+        0 => {
+            if !payload.len().is_multiple_of(8) {
+                return Err(GraphError::corrupt(
+                    origin,
+                    record,
+                    "int payload not 8-aligned",
+                ));
+            }
+            Ok(ColumnData::Int(
+                payload
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap_or([0; 8])))
+                    .collect(),
+            ))
+        }
+        1 => {
+            if !payload.len().is_multiple_of(8) {
+                return Err(GraphError::corrupt(
+                    origin,
+                    record,
+                    "float payload not 8-aligned",
+                ));
+            }
+            Ok(ColumnData::Float(
+                payload
+                    .chunks_exact(8)
+                    .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap_or([0; 8]))))
+                    .collect(),
+            ))
+        }
+        2 => {
+            let mut v = Vec::new();
+            let mut cur = Cursor {
+                bytes: payload,
+                off: 0,
+                origin,
+            };
+            while cur.off < payload.len() {
+                let len = cur.u32("string length")? as usize;
+                let s = std::str::from_utf8(cur.take(len, "string bytes")?)
+                    .map_err(|_| GraphError::corrupt(origin, record, "string is not UTF-8"))?;
+                v.push(s.to_owned());
+            }
+            Ok(ColumnData::Str(v))
+        }
+        3 => Ok(ColumnData::Bool(payload.iter().map(|&b| b != 0).collect())),
+        other => Err(GraphError::corrupt(
+            origin,
+            record,
+            format!("unknown dtype tag {other}"),
+        )),
+    }
+}
+
+/// The cold store: a directory of `cold-*.col` files, one per
+/// materialized dataset artifact.
+#[derive(Debug)]
+pub struct ColdStore {
+    dir: PathBuf,
+}
+
+impl ColdStore {
+    /// Open (creating the directory if needed) a cold store rooted at
+    /// `dir`.
+    pub fn open(dir: &Path) -> Result<ColdStore> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create directory for", dir, &e))?;
+        Ok(ColdStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cold file path for an artifact.
+    #[must_use]
+    pub fn path_for(&self, id: ArtifactId) -> PathBuf {
+        self.dir.join(format!("cold-{:016x}.col", id.0))
+    }
+
+    /// Write an artifact's dataset content atomically (tmp + fsync +
+    /// rename through the vfs). Returns `false` — without touching the
+    /// disk — for non-dataset values.
+    pub fn write(
+        &self,
+        id: ArtifactId,
+        value: &Value,
+        faults: Option<&FaultInjector>,
+    ) -> Result<bool> {
+        let Some(bytes) = encode(value) else {
+            return Ok(false);
+        };
+        let path = self.path_for(id);
+        let tmp = crate::snapshot::tmp_path(&path);
+        {
+            let mut file = VfsFile::create(&tmp, faults).map_err(|e| io_err("create", &tmp, &e))?;
+            file.write_all(&bytes, faults)
+                .map_err(|e| io_err("write", &tmp, &e))?;
+            file.sync(faults).map_err(|e| io_err("sync", &tmp, &e))?;
+        }
+        vfs::rename(&tmp, &path, faults).map_err(|e| io_err("rename", &path, &e))?;
+        vfs::sync_dir(&self.dir);
+        Ok(true)
+    }
+
+    /// Read and fully verify an artifact's cold content. `Ok(None)`
+    /// when no cold file exists; [`GraphError::Corrupt`] when one
+    /// exists but fails verification.
+    pub fn read(&self, id: ArtifactId, faults: Option<&FaultInjector>) -> Result<Option<Value>> {
+        let path = self.path_for(id);
+        let bytes = match vfs::read(&path, faults) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read", &path, &e)),
+        };
+        decode(&bytes, &path.display().to_string()).map(Some)
+    }
+
+    /// Remove an artifact's cold file (eviction). Missing files are
+    /// not an error — eviction must be idempotent.
+    pub fn remove(&self, id: ArtifactId, faults: Option<&FaultInjector>) -> Result<()> {
+        let path = self.path_for(id);
+        match vfs::remove_file(&path, faults) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", &path, &e)),
+        }
+    }
+
+    /// Every artifact with a (non-quarantined) cold file, ascending.
+    pub fn list(&self) -> Result<Vec<ArtifactId>> {
+        let mut ids = Vec::new();
+        let entries =
+            std::fs::read_dir(&self.dir).map_err(|e| io_err("list directory of", &self.dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list directory of", &self.dir, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(hex) = name
+                .strip_prefix("cold-")
+                .and_then(|rest| rest.strip_suffix(".col"))
+            {
+                if let Ok(raw) = u64::from_str_radix(hex, 16) {
+                    ids.push(ArtifactId(raw));
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Set a genuinely unrecoverable cold file aside by renaming it to
+    /// `<file>.quarantined` — it stops being served and scrubbed, but
+    /// stays on disk for post-mortems.
+    pub fn quarantine_file(&self, id: ArtifactId, faults: Option<&FaultInjector>) -> Result<()> {
+        let path = self.path_for(id);
+        let mut os = path.as_os_str().to_owned();
+        os.push(QUARANTINE_SUFFIX);
+        vfs::rename(&path, &PathBuf::from(os), faults).map_err(|e| io_err("quarantine", &path, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::IoFault;
+    use std::fs;
+
+    fn sample_value() -> Value {
+        let df = DataFrame::new(vec![
+            Column::source("t", "ints", ColumnData::Int(vec![-1, 0, i64::MAX])),
+            Column::source(
+                "t",
+                "floats",
+                ColumnData::Float(vec![0.5, f64::NAN, f64::INFINITY]),
+            ),
+            Column::source(
+                "t",
+                "strs",
+                ColumnData::Str(vec![
+                    String::new(),
+                    "héllo\tworld".to_owned(),
+                    "z".to_owned(),
+                ]),
+            ),
+            Column::source("t", "bools", ColumnData::Bool(vec![true, false, true])),
+        ])
+        .unwrap();
+        Value::dataset(df)
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("co_graph_cold_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let value = sample_value();
+        let bytes = encode(&value).unwrap();
+        let back = decode(&bytes, "<memory>").unwrap();
+        // NaN != NaN under PartialEq, so compare re-encoded bytes: the
+        // encoding is deterministic and preserves f64 bit patterns.
+        assert_eq!(encode(&back).unwrap(), bytes);
+        assert_eq!(
+            back.as_dataset().unwrap().columns().len(),
+            value.as_dataset().unwrap().columns().len()
+        );
+    }
+
+    #[test]
+    fn non_datasets_are_not_stored() {
+        assert!(encode(&Value::Aggregate(co_dataframe::Scalar::Int(7))).is_none());
+        let dir = tmp_dir("nondata");
+        let store = ColdStore::open(&dir).unwrap();
+        let wrote = store
+            .write(
+                ArtifactId(1),
+                &Value::Aggregate(co_dataframe::Scalar::Int(7)),
+                None,
+            )
+            .unwrap();
+        assert!(!wrote);
+        assert!(store.list().unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_round_trips_and_lists() {
+        let dir = tmp_dir("round");
+        let store = ColdStore::open(&dir).unwrap();
+        let value = sample_value();
+        assert!(store.write(ArtifactId(0xabc), &value, None).unwrap());
+        assert_eq!(store.list().unwrap(), vec![ArtifactId(0xabc)]);
+        let back = store.read(ArtifactId(0xabc), None).unwrap().unwrap();
+        assert_eq!(encode(&back).unwrap(), encode(&value).unwrap());
+        assert!(store.read(ArtifactId(0xdef), None).unwrap().is_none());
+        store.remove(ArtifactId(0xabc), None).unwrap();
+        store.remove(ArtifactId(0xabc), None).unwrap(); // idempotent
+        assert!(store.list().unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode(&sample_value()).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode(&bad, "<memory>").is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_renames_the_file_aside() {
+        let dir = tmp_dir("quarantine");
+        let store = ColdStore::open(&dir).unwrap();
+        store.write(ArtifactId(5), &sample_value(), None).unwrap();
+        store.quarantine_file(ArtifactId(5), None).unwrap();
+        assert!(store.list().unwrap().is_empty());
+        assert!(store.read(ArtifactId(5), None).unwrap().is_none());
+        let quarantined: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(QUARANTINE_SUFFIX))
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_enospc_fails_the_write_cleanly() {
+        let dir = tmp_dir("enospc");
+        let store = ColdStore::open(&dir).unwrap();
+        let faults = FaultInjector::new();
+        faults.arm_io_fault(IoFault::Enospc, 1);
+        assert!(store
+            .write(ArtifactId(9), &sample_value(), Some(&faults))
+            .is_err());
+        assert!(store.list().unwrap().is_empty(), "no half-written file");
+        store
+            .write(ArtifactId(9), &sample_value(), Some(&faults))
+            .unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

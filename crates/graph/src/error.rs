@@ -47,6 +47,12 @@ pub enum GraphError {
     InvalidWorkload { diagnostics: Vec<String> },
     /// An I/O failure while persisting or restoring graph state.
     Io(String),
+    /// The durability layer is degraded to read-only: a persistence
+    /// failure left the disk behind memory and repair has not caught
+    /// up yet. Publishes are rejected — *retriably*: reads, reuse and
+    /// warm-starts continue, and once repair drains the backlog the
+    /// same publish will succeed. `retry_after_ms` hints when.
+    ReadOnly { retry_after_ms: u64 },
     /// A persisted file (snapshot or journal) failed validation. Carries
     /// the file path and the 1-based line/record number so operators can
     /// locate the damage without a hex dump (`record` 0 = the header).
@@ -104,6 +110,11 @@ impl fmt::Display for GraphError {
                 Ok(())
             }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::ReadOnly { retry_after_ms } => write!(
+                f,
+                "durability layer is read-only while repair catches up; \
+                 retry the publish in {retry_after_ms}ms"
+            ),
             GraphError::Corrupt {
                 path,
                 record,
@@ -181,11 +192,17 @@ impl GraphError {
         }
     }
 
+    /// A read-only-mode publish rejection with a backoff hint.
+    #[must_use]
+    pub fn read_only(retry_after_ms: u64) -> Self {
+        GraphError::ReadOnly { retry_after_ms }
+    }
+
     /// Whether retrying the failed work could plausibly succeed.
     ///
-    /// Only explicitly transient operation failures qualify; panics,
-    /// structural errors, deadline overruns, and quarantine fast-fails
-    /// are permanent by definition.
+    /// Explicitly transient operation failures and read-only-mode
+    /// publish rejections qualify; panics, structural errors, deadline
+    /// overruns, and quarantine fast-fails are permanent by definition.
     #[must_use]
     pub fn is_transient(&self) -> bool {
         matches!(
@@ -193,7 +210,7 @@ impl GraphError {
             GraphError::OperationFailed {
                 transient: true,
                 ..
-            }
+            } | GraphError::ReadOnly { .. }
         )
     }
 }
@@ -254,5 +271,9 @@ mod tests {
         .is_transient());
         assert!(!GraphError::not_materialized(1).is_transient());
         assert!(!GraphError::Io("x".into()).is_transient());
+        assert!(GraphError::read_only(250).is_transient());
+        let ro = GraphError::read_only(250).to_string();
+        assert!(ro.contains("read-only"), "{ro}");
+        assert!(ro.contains("250"), "{ro}");
     }
 }

@@ -138,6 +138,57 @@ impl NetFault {
     }
 }
 
+/// A storage I/O failure the [`crate::vfs`] layer can inject into any
+/// durability file operation (journal append, snapshot write, commit
+/// log, cold column files). Unlike [`CrashPoint`]s, the process
+/// survives: the *operation* fails, exactly as a full disk or a flaky
+/// device would make it fail, and the caller must degrade gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoFault {
+    /// A write fails with "no space left on device" before any byte
+    /// lands (ENOSPC).
+    Enospc,
+    /// A read fails with an I/O error (EIO) — unreadable sector.
+    ReadErr,
+    /// A write fails with an I/O error (EIO) before any byte lands.
+    WriteErr,
+    /// A write persists only a prefix of the buffer, then fails — the
+    /// torn-record case recovery must truncate.
+    ShortWrite,
+    /// `fsync` fails. Following fsyncgate semantics the file handle is
+    /// *poisoned*: the kernel may have dropped the dirty pages, so no
+    /// later write or fsync through the same handle may assume the
+    /// data persisted — every subsequent operation on the handle fails
+    /// until it is reopened.
+    FsyncFail,
+}
+
+impl IoFault {
+    /// Stable name, used in error messages and the chaos matrix.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFault::Enospc => "enospc",
+            IoFault::ReadErr => "read-err",
+            IoFault::WriteErr => "write-err",
+            IoFault::ShortWrite => "short-write",
+            IoFault::FsyncFail => "fsync-fail",
+        }
+    }
+
+    /// Every I/O fault point, for exhaustive fault-matrix tests.
+    #[must_use]
+    pub fn all() -> [IoFault; 5] {
+        [
+            IoFault::Enospc,
+            IoFault::ReadErr,
+            IoFault::WriteErr,
+            IoFault::ShortWrite,
+            IoFault::FsyncFail,
+        ]
+    }
+}
+
 #[derive(Debug)]
 struct OpFault {
     kind: FaultKind,
@@ -158,6 +209,9 @@ pub struct FaultInjector {
     /// Remaining firings per network fault point; `usize::MAX` = forever.
     net_faults: Mutex<HashMap<NetFault, usize>>,
     net_faults_fired: AtomicUsize,
+    /// Remaining firings per I/O fault; `usize::MAX` = forever.
+    io_faults: Mutex<HashMap<IoFault, usize>>,
+    io_faults_fired: AtomicUsize,
     /// Stall applied when [`NetFault::StalledWrite`] fires, in
     /// milliseconds (atomically adjustable mid-test).
     net_stall_ms: AtomicUsize,
@@ -310,6 +364,53 @@ impl FaultInjector {
         self.net_faults_fired.load(Ordering::SeqCst)
     }
 
+    /// Arm an I/O fault for the next `times` consultations
+    /// (`usize::MAX` = forever). Replaces any previous schedule for
+    /// `fault`; `times == 0` disarms it.
+    pub fn arm_io_fault(&self, fault: IoFault, times: usize) {
+        let mut faults = self.io_faults.lock().unwrap();
+        if times == 0 {
+            faults.remove(&fault);
+        } else {
+            faults.insert(fault, times);
+        }
+    }
+
+    /// Vfs hook: consume one firing of `fault` if armed. Returns
+    /// whether the caller should simulate the fault here.
+    pub fn take_io_fault(&self, fault: IoFault) -> bool {
+        let fired = {
+            let mut faults = self.io_faults.lock().unwrap();
+            match faults.get_mut(&fault) {
+                Some(remaining) if *remaining > 0 => {
+                    if *remaining != usize::MAX {
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            faults.remove(&fault);
+                        }
+                    }
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fired {
+            self.io_faults_fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    /// Disarm every I/O fault at once — "the disk came back".
+    pub fn clear_io_faults(&self) {
+        self.io_faults.lock().unwrap().clear();
+    }
+
+    /// I/O faults fired so far.
+    #[must_use]
+    pub fn io_faults_fired(&self) -> usize {
+        self.io_faults_fired.load(Ordering::SeqCst)
+    }
+
     /// Configure the stall applied when [`NetFault::StalledWrite`] fires.
     pub fn set_net_stall(&self, stall: Duration) {
         // Stalls beyond usize::MAX ms are clamped; tests use millis.
@@ -420,6 +521,30 @@ mod tests {
         assert_eq!(f.net_faults_fired(), 7);
         assert_eq!(NetFault::all().len(), 4);
         for p in NetFault::all() {
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_faults_count_down_and_clear() {
+        let f = FaultInjector::new();
+        assert!(!f.take_io_fault(IoFault::Enospc));
+        f.arm_io_fault(IoFault::Enospc, 2);
+        assert!(f.take_io_fault(IoFault::Enospc));
+        assert!(f.take_io_fault(IoFault::Enospc));
+        assert!(!f.take_io_fault(IoFault::Enospc), "budget exhausted");
+        f.arm_io_fault(IoFault::FsyncFail, usize::MAX);
+        for _ in 0..5 {
+            assert!(f.take_io_fault(IoFault::FsyncFail));
+        }
+        f.clear_io_faults(); // the disk comes back
+        assert!(!f.take_io_fault(IoFault::FsyncFail));
+        f.arm_io_fault(IoFault::ShortWrite, 3);
+        f.arm_io_fault(IoFault::ShortWrite, 0); // disarm
+        assert!(!f.take_io_fault(IoFault::ShortWrite));
+        assert_eq!(f.io_faults_fired(), 7);
+        assert_eq!(IoFault::all().len(), 5);
+        for p in IoFault::all() {
             assert!(!p.name().is_empty());
         }
     }

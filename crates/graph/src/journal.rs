@@ -52,9 +52,8 @@ use crate::error::{GraphError, Result};
 use crate::experiment::{EgVertex, ExperimentGraph};
 use crate::faults::{CrashPoint, FaultInjector};
 use crate::snapshot::{escape, parse_vertex_fields, unescape, vertex_fields, ParseCtx};
+use crate::vfs::{self, VfsFile};
 use std::fmt::Write as _;
-use std::fs;
-use std::io::{Read, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every journal file.
@@ -375,14 +374,20 @@ fn should_crash(faults: Option<&FaultInjector>, point: CrashPoint) -> bool {
     faults.is_some_and(|f| f.take_crash(point))
 }
 
-/// An open, append-only journal file.
+/// An open, append-only journal file. All I/O flows through
+/// [`crate::vfs`], so injected [`crate::faults::IoFault`]s surface here
+/// as ordinary errors — after any failed append the journal marks
+/// itself *damaged* and refuses further appends until reopened (the
+/// file may hold a torn record, and appending past it would orphan
+/// every later record behind the tear).
 #[derive(Debug)]
 pub struct Journal {
-    file: fs::File,
+    file: VfsFile,
     path: PathBuf,
     policy: FsyncPolicy,
     unsynced: u32,
     len: u64,
+    damaged: bool,
 }
 
 impl Journal {
@@ -391,17 +396,23 @@ impl Journal {
     /// with a valid magic — run [`replay`] (which truncates torn tails,
     /// including a torn magic) before opening.
     pub fn open(path: &Path, policy: FsyncPolicy) -> Result<Journal> {
-        let mut file = fs::OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| io_err("open", path, &e))?;
-        let mut len = file.metadata().map_err(|e| io_err("stat", path, &e))?.len();
+        Journal::open_with(path, policy, None)
+    }
+
+    /// [`Journal::open`] with a fault injector consulted by the
+    /// open-time magic write/validation (repair paths reopen journals
+    /// while faults may still be armed).
+    pub fn open_with(
+        path: &Path,
+        policy: FsyncPolicy,
+        faults: Option<&FaultInjector>,
+    ) -> Result<Journal> {
+        let mut file = VfsFile::open_append(path, faults).map_err(|e| io_err("open", path, &e))?;
+        let mut len = file.len().map_err(|e| io_err("stat", path, &e))?;
         if len == 0 {
-            file.write_all(WAL_MAGIC)
+            file.write_all(WAL_MAGIC, faults)
                 .map_err(|e| io_err("initialise", path, &e))?;
-            file.sync_all().map_err(|e| io_err("sync", path, &e))?;
+            file.sync(faults).map_err(|e| io_err("sync", path, &e))?;
             len = WAL_MAGIC.len() as u64;
         } else {
             if len < WAL_MAGIC.len() as u64 {
@@ -412,9 +423,7 @@ impl Journal {
                 ));
             }
             let mut magic = [0u8; 8];
-            let mut reader = &file;
-            reader
-                .read_exact(&mut magic)
+            file.read_exact(&mut magic, faults)
                 .map_err(|e| io_err("read", path, &e))?;
             if &magic != WAL_MAGIC {
                 return Err(GraphError::corrupt(
@@ -430,6 +439,7 @@ impl Journal {
             policy,
             unsynced: 0,
             len,
+            damaged: false,
         })
     }
 
@@ -445,13 +455,29 @@ impl Journal {
         &self.path
     }
 
+    /// Whether a failed append or sync has left this journal in an
+    /// unknown on-disk state (possible torn record, poisoned handle).
+    /// A damaged journal refuses appends until reopened by repair.
+    #[must_use]
+    pub fn is_damaged(&self) -> bool {
+        self.damaged || self.file.is_poisoned()
+    }
+
     /// Append one delta as a length-prefixed, CRC-checksummed record,
     /// honouring the fsync policy. With a fault injector armed, the
     /// journal crash points fire here: `JournalMidAppend` leaves a torn
     /// record on disk (for recovery to detect and truncate);
     /// `JournalPreFsync` models the worst case of an unsynced write —
-    /// the record never reaches the disk at all.
+    /// the record never reaches the disk at all. Injected
+    /// [`crate::faults::IoFault`]s fire inside the vfs write/sync calls;
+    /// any failure marks the journal damaged.
     pub fn append(&mut self, delta: &EgDelta, faults: Option<&FaultInjector>) -> Result<()> {
+        if self.is_damaged() {
+            return Err(GraphError::Io(format!(
+                "journal {} is damaged by an earlier failed append; reopen it before appending",
+                self.path.display()
+            )));
+        }
         let payload = delta.encode();
         let bytes = payload.as_bytes();
         if should_crash(faults, CrashPoint::JournalPreFsync) {
@@ -469,21 +495,23 @@ impl Journal {
         frame.extend_from_slice(bytes);
         if should_crash(faults, CrashPoint::JournalMidAppend) {
             let torn = &frame[..8 + bytes.len() / 2];
-            let _ = self.file.write_all(torn);
-            let _ = self.file.sync_all();
+            let _ = self.file.write_all(torn, None);
+            let _ = self.file.sync(None);
             self.len += torn.len() as u64;
+            self.damaged = true;
             return Err(crash_err(CrashPoint::JournalMidAppend));
         }
-        self.file
-            .write_all(&frame)
-            .map_err(|e| io_err("append to", &self.path, &e))?;
+        if let Err(e) = self.file.write_all(&frame, faults) {
+            self.damaged = true;
+            return Err(io_err("append to", &self.path, &e));
+        }
         self.len += frame.len() as u64;
         match self.policy {
-            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Always => self.sync(faults)?,
             FsyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n {
-                    self.sync()?;
+                    self.sync(faults)?;
                 }
             }
             FsyncPolicy::Never => {}
@@ -491,11 +519,14 @@ impl Journal {
         Ok(())
     }
 
-    /// Flush appended records to disk.
-    pub fn sync(&mut self) -> Result<()> {
-        self.file
-            .sync_all()
-            .map_err(|e| io_err("sync", &self.path, &e))?;
+    /// Flush appended records to disk. A failed fsync poisons the
+    /// underlying handle (fsyncgate — see [`crate::vfs`]): the journal
+    /// is damaged and must be reopened, never retried in place.
+    pub fn sync(&mut self, faults: Option<&FaultInjector>) -> Result<()> {
+        if let Err(e) = self.file.sync(faults) {
+            self.damaged = true;
+            return Err(io_err("sync", &self.path, &e));
+        }
         self.unsynced = 0;
         Ok(())
     }
@@ -503,13 +534,15 @@ impl Journal {
     /// Truncate the journal back to just its magic — called after a
     /// snapshot has durably captured everything the journal held
     /// (compaction).
-    pub fn reset(&mut self) -> Result<()> {
-        self.file
-            .set_len(WAL_MAGIC.len() as u64)
-            .map_err(|e| io_err("truncate", &self.path, &e))?;
-        self.file
-            .sync_all()
-            .map_err(|e| io_err("sync", &self.path, &e))?;
+    pub fn reset(&mut self, faults: Option<&FaultInjector>) -> Result<()> {
+        if let Err(e) = self.file.set_len(WAL_MAGIC.len() as u64, faults) {
+            self.damaged = true;
+            return Err(io_err("truncate", &self.path, &e));
+        }
+        if let Err(e) = self.file.sync(faults) {
+            self.damaged = true;
+            return Err(io_err("sync", &self.path, &e));
+        }
         self.len = WAL_MAGIC.len() as u64;
         self.unsynced = 0;
         Ok(())
@@ -533,10 +566,26 @@ pub struct ReplayOutcome {
 /// record whose frame is incomplete or whose CRC does not match, the
 /// signature of a crash mid-append — ends the scan; everything before
 /// it is returned and `torn_at` tells the caller where to truncate.
+/// Decode the 8-byte `(len, crc)` record header at `off`, or `None`
+/// when fewer than 8 bytes remain — the torn-tail case every replay
+/// loop handles, so header decoding itself can never panic.
+fn header_at(bytes: &[u8], off: usize) -> Option<(usize, u32)> {
+    let len: [u8; 4] = bytes.get(off..off + 4)?.try_into().ok()?;
+    let crc: [u8; 4] = bytes.get(off + 4..off + 8)?.try_into().ok()?;
+    Some((u32::from_le_bytes(len) as usize, u32::from_le_bytes(crc)))
+}
+
 /// A record that passes its CRC but does not parse is real corruption
 /// and is reported as an error naming the file and record number.
 pub fn replay(path: &Path) -> Result<ReplayOutcome> {
-    let bytes = match fs::read(path) {
+    replay_with(path, None)
+}
+
+/// [`replay`] with a fault injector consulted by the file read
+/// ([`crate::faults::IoFault::ReadErr`] makes the scan itself fail, as
+/// an unreadable sector would).
+pub fn replay_with(path: &Path, faults: Option<&FaultInjector>) -> Result<ReplayOutcome> {
+    let bytes = match vfs::read(path, faults) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReplayOutcome::default()),
         Err(e) => return Err(io_err("read", path, &e)),
@@ -567,12 +616,10 @@ pub fn replay(path: &Path) -> Result<ReplayOutcome> {
             outcome.torn_at = Some(off as u64);
             outcome.bytes_discarded = (bytes.len() - off) as u64;
         };
-        if bytes.len() - off < 8 {
+        let Some((len, crc)) = header_at(&bytes, off) else {
             torn(&mut outcome);
             break;
-        }
-        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        };
         let start = off + 8;
         if bytes.len() - start < len {
             torn(&mut outcome);
@@ -652,26 +699,28 @@ impl CommitRecord {
 /// magic, so torn tails are detected and truncated the same way.
 #[derive(Debug)]
 pub struct CommitLog {
-    file: fs::File,
+    file: VfsFile,
     path: PathBuf,
     len: u64,
+    damaged: bool,
 }
 
 impl CommitLog {
     /// Open (or create) a commit log for appending. Run
     /// [`replay_commits`] first so torn tails are truncated.
     pub fn open(path: &Path) -> Result<CommitLog> {
-        let mut file = fs::OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| io_err("open", path, &e))?;
-        let mut len = file.metadata().map_err(|e| io_err("stat", path, &e))?.len();
+        CommitLog::open_with(path, None)
+    }
+
+    /// [`CommitLog::open`] with a fault injector consulted by the
+    /// open-time magic write/validation.
+    pub fn open_with(path: &Path, faults: Option<&FaultInjector>) -> Result<CommitLog> {
+        let mut file = VfsFile::open_append(path, faults).map_err(|e| io_err("open", path, &e))?;
+        let mut len = file.len().map_err(|e| io_err("stat", path, &e))?;
         if len == 0 {
-            file.write_all(COMMIT_MAGIC)
+            file.write_all(COMMIT_MAGIC, faults)
                 .map_err(|e| io_err("initialise", path, &e))?;
-            file.sync_all().map_err(|e| io_err("sync", path, &e))?;
+            file.sync(faults).map_err(|e| io_err("sync", path, &e))?;
             len = COMMIT_MAGIC.len() as u64;
         } else {
             if len < COMMIT_MAGIC.len() as u64 {
@@ -682,9 +731,7 @@ impl CommitLog {
                 ));
             }
             let mut magic = [0u8; 8];
-            let mut reader = &file;
-            reader
-                .read_exact(&mut magic)
+            file.read_exact(&mut magic, faults)
                 .map_err(|e| io_err("read", path, &e))?;
             if &magic != COMMIT_MAGIC {
                 return Err(GraphError::corrupt(
@@ -698,6 +745,7 @@ impl CommitLog {
             file,
             path: path.to_path_buf(),
             len,
+            damaged: false,
         })
     }
 
@@ -707,10 +755,23 @@ impl CommitLog {
         self.len
     }
 
+    /// Whether a failed append or sync has left this log in an unknown
+    /// on-disk state. A damaged log refuses appends until reopened.
+    #[must_use]
+    pub fn is_damaged(&self) -> bool {
+        self.damaged || self.file.is_poisoned()
+    }
+
     /// Append one commit record and fsync it — the commit point of a
     /// cross-shard publish. With [`CrashPoint::CommitPreAppend`] armed
     /// the record is never written (the publish stays uncommitted).
     pub fn append(&mut self, record: &CommitRecord, faults: Option<&FaultInjector>) -> Result<()> {
+        if self.is_damaged() {
+            return Err(GraphError::Io(format!(
+                "commit log {} is damaged by an earlier failed append; reopen it before appending",
+                self.path.display()
+            )));
+        }
         if should_crash(faults, CrashPoint::CommitPreAppend) {
             return Err(crash_err(CrashPoint::CommitPreAppend));
         }
@@ -726,25 +787,29 @@ impl CommitLog {
         );
         frame.extend_from_slice(&crc32(bytes).to_le_bytes());
         frame.extend_from_slice(bytes);
-        self.file
-            .write_all(&frame)
-            .map_err(|e| io_err("append to", &self.path, &e))?;
+        if let Err(e) = self.file.write_all(&frame, faults) {
+            self.damaged = true;
+            return Err(io_err("append to", &self.path, &e));
+        }
         self.len += frame.len() as u64;
-        self.file
-            .sync_all()
-            .map_err(|e| io_err("sync", &self.path, &e))?;
+        if let Err(e) = self.file.sync(faults) {
+            self.damaged = true;
+            return Err(io_err("sync", &self.path, &e));
+        }
         Ok(())
     }
 
     /// Truncate the commit log back to just its magic (compaction: the
     /// shard snapshots now durably hold everything it decided).
-    pub fn reset(&mut self) -> Result<()> {
-        self.file
-            .set_len(COMMIT_MAGIC.len() as u64)
-            .map_err(|e| io_err("truncate", &self.path, &e))?;
-        self.file
-            .sync_all()
-            .map_err(|e| io_err("sync", &self.path, &e))?;
+    pub fn reset(&mut self, faults: Option<&FaultInjector>) -> Result<()> {
+        if let Err(e) = self.file.set_len(COMMIT_MAGIC.len() as u64, faults) {
+            self.damaged = true;
+            return Err(io_err("truncate", &self.path, &e));
+        }
+        if let Err(e) = self.file.sync(faults) {
+            self.damaged = true;
+            return Err(io_err("sync", &self.path, &e));
+        }
         self.len = COMMIT_MAGIC.len() as u64;
         Ok(())
     }
@@ -766,7 +831,12 @@ pub struct CommitReplay {
 /// publish whose commit record is torn was never committed); a record
 /// that passes its CRC but does not parse is real corruption.
 pub fn replay_commits(path: &Path) -> Result<CommitReplay> {
-    let bytes = match fs::read(path) {
+    replay_commits_with(path, None)
+}
+
+/// [`replay_commits`] with a fault injector consulted by the file read.
+pub fn replay_commits_with(path: &Path, faults: Option<&FaultInjector>) -> Result<CommitReplay> {
+    let bytes = match vfs::read(path, faults) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(CommitReplay::default()),
         Err(e) => return Err(io_err("read", path, &e)),
@@ -796,12 +866,10 @@ pub fn replay_commits(path: &Path) -> Result<CommitReplay> {
             outcome.torn_at = Some(off as u64);
             outcome.bytes_discarded = (bytes.len() - off) as u64;
         };
-        if bytes.len() - off < 8 {
+        let Some((len, crc)) = header_at(&bytes, off) else {
             torn(&mut outcome);
             break;
-        }
-        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        };
         let start = off + 8;
         if bytes.len() - start < len {
             torn(&mut outcome);
@@ -826,25 +894,25 @@ pub fn replay_commits(path: &Path) -> Result<CommitReplay> {
 /// found by [`replay`]. Lengths shorter than the magic truncate to
 /// empty (the next [`Journal::open`] re-initialises the file).
 pub fn truncate(path: &Path, valid_len: u64) -> Result<()> {
+    truncate_with(path, valid_len, None)
+}
+
+/// [`truncate`] with a fault injector consulted by the write (repair
+/// paths truncate torn tails while faults may still be armed).
+pub fn truncate_with(path: &Path, valid_len: u64, faults: Option<&FaultInjector>) -> Result<()> {
     let keep = if valid_len < WAL_MAGIC.len() as u64 {
         0
     } else {
         valid_len
     };
-    let file = fs::OpenOptions::new()
-        .write(true)
-        .open(path)
-        .map_err(|e| io_err("open", path, &e))?;
-    file.set_len(keep)
-        .map_err(|e| io_err("truncate", path, &e))?;
-    file.sync_all().map_err(|e| io_err("sync", path, &e))?;
-    Ok(())
+    vfs::truncate(path, keep, faults).map_err(|e| io_err("truncate", path, &e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::artifact::NodeKind;
+    use std::fs;
 
     fn vertex(id: u64, parents: &[u64]) -> EgVertex {
         EgVertex {
@@ -986,7 +1054,7 @@ mod tests {
         assert!(replay(&path).unwrap().deltas.is_empty());
         let mut journal = Journal::open(&path, FsyncPolicy::EveryN(2)).unwrap();
         journal.append(&sample_delta(), None).unwrap();
-        journal.reset().unwrap();
+        journal.reset(None).unwrap();
         assert_eq!(journal.len_bytes(), WAL_MAGIC.len() as u64);
         assert!(replay(&path).unwrap().deltas.is_empty());
         fs::remove_file(&path).ok();
@@ -1080,6 +1148,51 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn failed_append_damages_journal_until_reopen() {
+        use crate::faults::IoFault;
+        let path = tmp("io_damage");
+        let mut journal = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.append(&sample_delta(), None).unwrap();
+        let good_len = journal.len_bytes();
+        let faults = FaultInjector::new();
+        faults.arm_io_fault(IoFault::Enospc, 1);
+        assert!(journal.append(&sample_delta(), Some(&faults)).is_err());
+        assert!(journal.is_damaged());
+        // Fault budget is spent, but the journal still refuses appends:
+        // the on-disk state is unknown until reopened.
+        assert!(journal.append(&sample_delta(), Some(&faults)).is_err());
+        drop(journal);
+        // ENOSPC landed no bytes, so the committed prefix is intact.
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.deltas.len(), 1);
+        assert!(outcome.torn_at.is_none());
+        let mut reopened = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(reopened.len_bytes(), good_len);
+        reopened.append(&sample_delta(), None).unwrap();
+        assert_eq!(replay(&path).unwrap().deltas.len(), 2);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_write_leaves_truncatable_torn_tail() {
+        use crate::faults::IoFault;
+        let path = tmp("io_short");
+        let mut journal = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.append(&sample_delta(), None).unwrap();
+        let good_len = journal.len_bytes();
+        let faults = FaultInjector::new();
+        faults.arm_io_fault(IoFault::ShortWrite, 1);
+        assert!(journal.append(&sample_delta(), Some(&faults)).is_err());
+        drop(journal);
+        let outcome = replay(&path).unwrap();
+        assert_eq!(outcome.deltas.len(), 1);
+        assert_eq!(outcome.torn_at, Some(good_len));
+        truncate(&path, good_len).unwrap();
+        assert!(replay(&path).unwrap().torn_at.is_none());
+        fs::remove_file(&path).ok();
     }
 
     #[test]

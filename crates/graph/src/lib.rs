@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod artifact;
+pub mod cold;
 pub mod error;
 pub mod experiment;
 pub mod export;
@@ -35,16 +36,18 @@ pub mod shard;
 pub mod snapshot;
 pub mod storage;
 pub mod value;
+pub mod vfs;
 pub mod workload;
 
 pub use artifact::{ArtifactId, ArtifactMeta, NodeKind};
+pub use cold::{ColdStore, ScrubOutcome};
 pub use error::{GraphError, Result};
 pub use experiment::{EgVertex, ExperimentGraph};
-pub use faults::{CrashPoint, FaultInjector, FaultKind, NetFault};
+pub use faults::{CrashPoint, FaultInjector, FaultKind, IoFault, NetFault};
 pub use fsck::{FsckCode, FsckReport, Violation};
 pub use journal::{CommitLog, CommitRecord, EgDelta, FsyncPolicy, Journal, QuarantineEntry};
 pub use meta::{DatasetMeta, MetaCode, MetaError, MetaResult, ModelMeta, ValueMeta};
-pub use operation::{OpHash, Operation};
+pub use operation::{OpHash, OpRef, Operation};
 pub use shard::{shard_of, EgView, GraphQuery, ShardedEg};
 pub use storage::{ColumnVault, StorageManager};
 pub use value::{ModelArtifact, Value};

@@ -87,7 +87,10 @@ pub fn shard_of(id: ArtifactId, n_shards: usize) -> usize {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    usize::try_from(z % n_shards as u64).expect("shard index fits usize")
+    #[allow(clippy::cast_possible_truncation)] // < n_shards, which is a usize
+    {
+        (z % n_shards as u64) as usize
+    }
 }
 
 /// The read-side interface of the Experiment Graph: everything the
@@ -341,15 +344,21 @@ impl ShardedEg {
 pub fn rewire_children(shards: &mut [ExperimentGraph]) -> Vec<(ArtifactId, ArtifactId)> {
     let n = shards.len();
     let mut links: Vec<Vec<(ArtifactId, ArtifactId)>> = vec![Vec::new(); n];
+    let mut unresolved = Vec::new();
     for eg in shards.iter() {
         for id in eg.topo_order() {
-            let v = eg.vertex(*id).expect("topo order lists known vertices");
+            // Registration order does not matter, so a vertex the graph
+            // cannot resolve (in-memory corruption) surfaces as an
+            // unresolved self-link instead of panicking mid-recovery.
+            let Ok(v) = eg.vertex(*id) else {
+                unresolved.push((*id, *id));
+                continue;
+            };
             for &p in &v.parents {
                 links[shard_of(p, n)].push((p, v.id));
             }
         }
     }
-    let mut unresolved = Vec::new();
     for (k, pairs) in links.into_iter().enumerate() {
         for (p, c) in pairs {
             if shards[k].add_child_link(p, c).is_err() {

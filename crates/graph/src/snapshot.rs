@@ -39,7 +39,6 @@ use crate::experiment::{EgVertex, ExperimentGraph};
 use crate::faults::{CrashPoint, FaultInjector};
 use crate::journal::{crc32, QuarantineEntry};
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 const HEADER_V1: &str = "EGSNAP 1";
@@ -206,19 +205,39 @@ pub struct RestoredSnapshot {
 
 /// Serialise the graph's meta-data (no quarantine) to an `EGSNAP 2`
 /// string. See [`to_snapshot_with`].
-#[must_use]
-pub fn to_snapshot(eg: &ExperimentGraph) -> String {
+///
+/// # Errors
+///
+/// The graph's topological order lists a vertex the graph cannot
+/// resolve — internal corruption that must surface as a typed error
+/// (the durability layer degrades to read-only), never a panic.
+pub fn to_snapshot(eg: &ExperimentGraph) -> Result<String> {
     to_snapshot_with(eg, &[])
+}
+
+/// The typed error for a graph whose topological order lists a vertex
+/// the graph cannot resolve: in-memory corruption, reported like any
+/// other durability corruption instead of panicking mid-save.
+fn unknown_vertex(id: ArtifactId) -> GraphError {
+    GraphError::corrupt(
+        "<memory>",
+        0,
+        format!("topo order lists unknown vertex {:x}", id.0),
+    )
 }
 
 /// Serialise the graph's meta-data and the quarantine set to an
 /// `EGSNAP 2` string, CRC footer included.
-#[must_use]
-pub fn to_snapshot_with(eg: &ExperimentGraph, quarantine: &[QuarantineEntry]) -> String {
+///
+/// # Errors
+///
+/// The graph's topological order lists an unresolvable vertex (see
+/// [`to_snapshot`]).
+pub fn to_snapshot_with(eg: &ExperimentGraph, quarantine: &[QuarantineEntry]) -> Result<String> {
     let mut out = String::new();
     let _ = writeln!(out, "{HEADER_V2}");
     for id in eg.topo_order() {
-        let v = eg.vertex(*id).expect("topo order lists known vertices");
+        let v = eg.vertex(*id).map_err(|_| unknown_vertex(*id))?;
         let mat = u8::from(eg.was_materialized(*id));
         let _ = writeln!(out, "V\t{}\t{}", vertex_fields(v), mat);
     }
@@ -232,7 +251,7 @@ pub fn to_snapshot_with(eg: &ExperimentGraph, quarantine: &[QuarantineEntry]) ->
         );
     }
     let _ = writeln!(out, "{CRC_PREFIX}{:08x}", crc32(out.as_bytes()));
-    out
+    Ok(out)
 }
 
 /// Rebuild a graph from a snapshot string (either `EGSNAP 2` or the
@@ -397,17 +416,21 @@ pub struct RestoredShardSnapshot {
 
 /// Serialise one shard's meta-data, quarantine set and sequence
 /// watermark to an `EGSNAP 3` string, CRC footer included.
-#[must_use]
+///
+/// # Errors
+///
+/// The graph's topological order lists an unresolvable vertex (see
+/// [`to_snapshot`]).
 pub fn to_shard_snapshot(
     eg: &ExperimentGraph,
     quarantine: &[QuarantineEntry],
     watermark: u64,
-) -> String {
+) -> Result<String> {
     let mut out = String::new();
     let _ = writeln!(out, "{HEADER_V3}");
     let _ = writeln!(out, "W\t{watermark:x}");
     for id in eg.topo_order() {
-        let v = eg.vertex(*id).expect("topo order lists known vertices");
+        let v = eg.vertex(*id).map_err(|_| unknown_vertex(*id))?;
         let mat = u8::from(eg.was_materialized(*id));
         let _ = writeln!(out, "V\t{}\t{}", vertex_fields(v), mat);
     }
@@ -421,7 +444,7 @@ pub fn to_shard_snapshot(
         );
     }
     let _ = writeln!(out, "{CRC_PREFIX}{:08x}", crc32(out.as_bytes()));
-    out
+    Ok(out)
 }
 
 /// Rebuild one shard from an `EGSNAP 3` string. Parents are recorded
@@ -505,7 +528,7 @@ pub fn save_shard_with(
     path: &Path,
     faults: Option<&FaultInjector>,
 ) -> Result<()> {
-    let text = to_shard_snapshot(eg, quarantine, watermark);
+    let text = to_shard_snapshot(eg, quarantine, watermark)?;
     write_atomic(&text, path, faults)
 }
 
@@ -553,7 +576,7 @@ pub fn save_with(
     path: &Path,
     faults: Option<&FaultInjector>,
 ) -> Result<()> {
-    let text = to_snapshot_with(eg, quarantine);
+    let text = to_snapshot_with(eg, quarantine)?;
     write_atomic(&text, path, faults)
 }
 
@@ -561,28 +584,27 @@ fn write_atomic(text: &str, path: &Path, faults: Option<&FaultInjector>) -> Resu
     let bytes = text.as_bytes();
     let tmp = tmp_path(path);
     {
-        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
+        let mut file =
+            crate::vfs::VfsFile::create(&tmp, faults).map_err(|e| io_err("create", &tmp, &e))?;
         if should_crash(faults, CrashPoint::SnapshotMidWrite) {
-            let _ = file.write_all(&bytes[..bytes.len() / 2]);
-            let _ = file.sync_all();
+            let _ = file.write_all(&bytes[..bytes.len() / 2], None);
+            let _ = file.sync(None);
             return Err(crash_err(CrashPoint::SnapshotMidWrite));
         }
-        file.write_all(bytes)
+        file.write_all(bytes, faults)
             .map_err(|e| io_err("write", &tmp, &e))?;
         if should_crash(faults, CrashPoint::SnapshotPreFsync) {
             return Err(crash_err(CrashPoint::SnapshotPreFsync));
         }
-        file.sync_all().map_err(|e| io_err("sync", &tmp, &e))?;
+        file.sync(faults).map_err(|e| io_err("sync", &tmp, &e))?;
     }
     if should_crash(faults, CrashPoint::SnapshotPreRename) {
         return Err(crash_err(CrashPoint::SnapshotPreRename));
     }
-    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", path, &e))?;
+    crate::vfs::rename(&tmp, path, faults).map_err(|e| io_err("rename", path, &e))?;
     // Make the rename itself durable.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        crate::vfs::sync_dir(dir);
     }
     Ok(())
 }
@@ -650,7 +672,7 @@ mod tests {
     #[test]
     fn round_trips_meta_data() {
         let eg = populated();
-        let restored = from_snapshot(&to_snapshot(&eg), true).unwrap();
+        let restored = from_snapshot(&to_snapshot(&eg).unwrap(), true).unwrap();
         assert_eq!(restored.n_vertices(), eg.n_vertices());
         assert_eq!(restored.topo_order(), eg.topo_order());
         assert_eq!(restored.sources(), eg.sources());
@@ -690,7 +712,7 @@ mod tests {
             name: "train\tweird".to_owned(),
             failures: 4,
         }];
-        let text = to_snapshot_with(&eg, &quarantine);
+        let text = to_snapshot_with(&eg, &quarantine).unwrap();
         let restored = from_snapshot_full(&text, true, IN_MEMORY).unwrap();
         assert_eq!(restored.quarantine, quarantine);
         assert_eq!(restored.graph.n_vertices(), eg.n_vertices());
@@ -739,7 +761,7 @@ mod tests {
             name: "train\tweird".to_owned(),
             failures: 4,
         }];
-        let text = to_shard_snapshot(&eg, &quarantine, 0x2a);
+        let text = to_shard_snapshot(&eg, &quarantine, 0x2a).unwrap();
         let restored = from_shard_snapshot(&text, true, IN_MEMORY).unwrap();
         assert_eq!(restored.watermark, 0x2a);
         assert_eq!(restored.quarantine, quarantine);
@@ -784,7 +806,7 @@ mod tests {
 
     #[test]
     fn corruption_is_detected_by_the_crc_footer() {
-        let text = to_snapshot(&populated());
+        let text = to_snapshot(&populated()).unwrap();
         // Flip one byte in the middle of the body.
         let mut bytes = text.clone().into_bytes();
         let mid = bytes.len() / 2;
@@ -807,7 +829,7 @@ mod tests {
         // source is named "train\tcsv", serialised with an escaped tab —
         // turn that escape into an unknown one.
         let eg = populated();
-        let good = to_snapshot(&eg);
+        let good = to_snapshot(&eg).unwrap();
         assert!(good.contains("train\\tcsv"));
         let bad = good.replacen("train\\tcsv", "train\\zcsv", 1);
         // (fix the CRC so the escape error, not the checksum, fires)
@@ -825,7 +847,7 @@ mod tests {
     fn escaping_survives_hostile_names() {
         assert_eq!(unescape(&escape("a\tb\\c\nd")).unwrap(), "a\tb\\c\nd");
         let eg = populated();
-        let restored = from_snapshot(&to_snapshot(&eg), true).unwrap();
+        let restored = from_snapshot(&to_snapshot(&eg).unwrap(), true).unwrap();
         let src = restored.sources()[0];
         assert_eq!(
             restored.vertex(src).unwrap().source_name.as_deref(),

@@ -82,7 +82,10 @@ impl ColumnVault {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         id.hash(&mut h);
-        usize::try_from(h.finish() % self.shards.len() as u64).expect("shard index fits usize")
+        #[allow(clippy::cast_possible_truncation)] // < shards.len(), which is a usize
+        {
+            (h.finish() % self.shards.len() as u64) as usize
+        }
     }
 
     /// Number of column lock-shards.

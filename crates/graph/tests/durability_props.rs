@@ -250,7 +250,7 @@ proptest! {
         quarantine in proptest::collection::vec(arb_quarantine_entry(), 0..3),
     ) {
         let eg = hostile_graph(&names, &mat_mask);
-        let text = snapshot::to_snapshot_with(&eg, &quarantine);
+        let text = snapshot::to_snapshot_with(&eg, &quarantine).unwrap();
         let restored = snapshot::from_snapshot_full(&text, true, "prop").unwrap();
         prop_assert_eq!(restored.graph.n_vertices(), eg.n_vertices());
         prop_assert_eq!(restored.graph.topo_order(), eg.topo_order());
@@ -264,7 +264,7 @@ proptest! {
         }
         prop_assert_eq!(&restored.quarantine, &quarantine);
         prop_assert_eq!(
-            snapshot::to_snapshot_with(&restored.graph, &restored.quarantine),
+            snapshot::to_snapshot_with(&restored.graph, &restored.quarantine).unwrap(),
             text
         );
     }
@@ -282,7 +282,7 @@ proptest! {
         mask in 1u8..=255,
     ) {
         let eg = hostile_graph(&names, &mat_mask);
-        let good = snapshot::to_snapshot_with(&eg, &quarantine);
+        let good = snapshot::to_snapshot_with(&eg, &quarantine).unwrap();
         let mut bytes = good.clone().into_bytes();
         let at = idx % bytes.len();
         bytes[at] ^= mask;

@@ -187,7 +187,8 @@ impl Client {
     }
 
     /// Submit with capped-backoff retry, honoring the server's
-    /// retry-after hint on `Overloaded`. `Draining` is terminal (the
+    /// retry-after hint on `Overloaded` and `ReadOnly` (a durability
+    /// layer repairing itself). `Draining` is terminal (the
     /// server will not come back on this address); `TimedOut` and
     /// transient `Failed` responses are retried; permanent failures are
     /// surfaced immediately.
@@ -223,6 +224,15 @@ impl Client {
                     // Honor the hint, but never sleep less than our own
                     // backoff (the hint can be optimistic) nor more
                     // than the cap (the hint can be hostile).
+                    Duration::from_millis(retry_after_ms)
+                        .max(backoff)
+                        .min(retry.max_backoff)
+                }
+                Response::ReadOnly { retry_after_ms } => {
+                    // Same discipline as `Overloaded`: the durability
+                    // layer is repairing itself; the identical
+                    // submission succeeds once it catches up.
+                    last = format!("durability read-only (retry after {retry_after_ms} ms)");
                     Duration::from_millis(retry_after_ms)
                         .max(backoff)
                         .min(retry.max_backoff)

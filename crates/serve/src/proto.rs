@@ -115,6 +115,22 @@ pub struct StatsSnapshot {
     pub timed_out: u64,
     /// Connections torn down by a frame/decode error.
     pub protocol_errors: u64,
+    // ---- durability health -------------------------------------------
+    /// Durability health at snapshot time: 0 healthy, 1 read-only
+    /// (publishes rejected retriably while repair catches up), 2 wedged.
+    pub durability_health: u64,
+    /// Repair attempts over the server's lifetime.
+    pub repair_attempts: u64,
+    /// Repairs that returned the durability layer to healthy.
+    pub repairs_succeeded: u64,
+    /// Publishes rejected retriably while the layer was read-only.
+    pub publishes_rejected_readonly: u64,
+    /// Cold column files whose CRCs the scrubber verified.
+    pub scrub_checked: u64,
+    /// Corrupt cold files healed by lineage-based recomputation.
+    pub scrub_healed: u64,
+    /// Corrupt cold files quarantined as unrecoverable.
+    pub scrub_quarantined: u64,
     /// Whether a drain is in progress (or complete).
     pub draining: bool,
 }
@@ -134,6 +150,11 @@ pub enum Response {
     /// estimate of when capacity frees up; the client library's backoff
     /// honors it.
     Overloaded { retry_after_ms: u64 },
+    /// The durability layer is read-only — a persistence failure left
+    /// the disk behind memory and repair has not caught up. Retriable
+    /// exactly like `Overloaded`: the same submission succeeds once
+    /// repair drains the backlog. `retry_after_ms` hints when.
+    ReadOnly { retry_after_ms: u64 },
     /// The server is draining; it accepts no new workloads.
     Draining,
     /// The submission exceeded its deadline — either shed from the
@@ -567,6 +588,13 @@ fn put_stats(w: &mut Writer, s: &StatsSnapshot) {
         s.rejected_draining,
         s.timed_out,
         s.protocol_errors,
+        s.durability_health,
+        s.repair_attempts,
+        s.repairs_succeeded,
+        s.publishes_rejected_readonly,
+        s.scrub_checked,
+        s.scrub_healed,
+        s.scrub_quarantined,
     ] {
         w.u64(v);
     }
@@ -596,6 +624,13 @@ fn get_stats(r: &mut Reader<'_>) -> DecodeResult<StatsSnapshot> {
         &mut s.rejected_draining,
         &mut s.timed_out,
         &mut s.protocol_errors,
+        &mut s.durability_health,
+        &mut s.repair_attempts,
+        &mut s.repairs_succeeded,
+        &mut s.publishes_rejected_readonly,
+        &mut s.scrub_checked,
+        &mut s.scrub_healed,
+        &mut s.scrub_quarantined,
     ] {
         *field = r.u64()?;
     }
@@ -718,6 +753,10 @@ impl Response {
                 w.u8(11);
                 w.str(message);
             }
+            Response::ReadOnly { retry_after_ms } => {
+                w.u8(12);
+                w.u64(*retry_after_ms);
+            }
         }
         w.buf
     }
@@ -750,6 +789,9 @@ impl Response {
             9 => Response::Pong,
             10 => Response::DrainStarted,
             11 => Response::Bad { message: r.str()? },
+            12 => Response::ReadOnly {
+                retry_after_ms: r.u64()?,
+            },
             t => return malformed(format!("unknown response tag {t}")),
         };
         r.finish()?;
@@ -832,6 +874,9 @@ mod tests {
                 queue_ms: 1.5,
             }),
             Response::Overloaded { retry_after_ms: 40 },
+            Response::ReadOnly {
+                retry_after_ms: 250,
+            },
             Response::Draining,
             Response::TimedOut { waited_ms: 900 },
             Response::Failed {
@@ -847,6 +892,13 @@ mod tests {
                 run_seconds: 1.25,
                 shards: 8,
                 lock_wait_ns: 1234,
+                durability_health: 1,
+                repair_attempts: 3,
+                repairs_succeeded: 2,
+                publishes_rejected_readonly: 5,
+                scrub_checked: 12,
+                scrub_healed: 1,
+                scrub_quarantined: 1,
                 ..StatsSnapshot::default()
             }),
             Response::Pong,

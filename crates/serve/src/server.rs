@@ -36,7 +36,7 @@
 use crate::frame::{read_frame, write_frame, ProtocolError};
 use crate::proto::{Request, Response, StatsSnapshot, WorkloadSummary, PROTO_VERSION};
 use crate::spec::{compile, SessionDatasets};
-use co_core::{OptimizerServer, PrunedWorkload};
+use co_core::{DurabilityHealth, OptimizerServer, PrunedWorkload, READ_ONLY_RETRY_HINT_MS};
 use co_graph::{FaultInjector, GraphError, NetFault, WorkloadDag};
 use std::collections::VecDeque;
 use std::io::Write;
@@ -209,6 +209,13 @@ impl Shared {
             rejected_draining: c.rejected_draining.load(Ordering::Relaxed),
             timed_out: c.timed_out.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            durability_health: core.durability_health,
+            repair_attempts: core.repair_attempts as u64,
+            repairs_succeeded: core.repairs_succeeded as u64,
+            publishes_rejected_readonly: core.publishes_rejected_readonly as u64,
+            scrub_checked: core.scrub_checked as u64,
+            scrub_healed: core.scrub_healed as u64,
+            scrub_quarantined: core.scrub_quarantined as u64,
             draining: self.state() != RUNNING,
         }
     }
@@ -220,6 +227,7 @@ pub struct ServeHandle {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    repairer: Option<JoinHandle<()>>,
     conn_count: Arc<AtomicUsize>,
 }
 
@@ -260,13 +268,47 @@ pub fn start(server: Arc<OptimizerServer>, config: ServeConfig) -> std::io::Resu
             .spawn(move || acceptor_loop(&shared, &listener, &conn_count))
             .expect("spawn acceptor")
     };
+    let repairer = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("co-serve-repair".to_owned())
+            .spawn(move || repair_loop(&shared))
+            .expect("spawn repairer")
+    };
     Ok(ServeHandle {
         shared,
         addr,
         acceptor: Some(acceptor),
         workers,
+        repairer: Some(repairer),
         conn_count,
     })
+}
+
+/// Background self-healing: while the durability layer is read-only,
+/// attempt a counted repair with exponential backoff (the read-only
+/// retry hint up to 4s), so a server whose disk recovers returns to
+/// `Healthy` even with no publish traffic to trigger opportunistic
+/// repair. Healthy and wedged layers cost one health read per tick.
+fn repair_loop(shared: &Arc<Shared>) {
+    let floor = Duration::from_millis(READ_ONLY_RETRY_HINT_MS);
+    let ceil = Duration::from_secs(4);
+    let mut backoff = floor;
+    while shared.state() != STOPPED {
+        if shared.server.durability_health() == DurabilityHealth::ReadOnly {
+            backoff = match shared.server.try_repair() {
+                Ok(_) => floor,
+                Err(_) => (backoff * 2).min(ceil),
+            };
+        } else {
+            backoff = floor;
+        }
+        // Sleep in slices so a stop is noticed promptly.
+        let deadline = Instant::now() + backoff;
+        while Instant::now() < deadline && shared.state() != STOPPED {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
 }
 
 impl ServeHandle {
@@ -322,6 +364,9 @@ impl ServeHandle {
         }
         let flush = self.shared.server.flush_durable();
         self.shared.state.store(STOPPED, Ordering::SeqCst);
+        if let Some(repairer) = self.repairer.take() {
+            let _ = repairer.join();
+        }
         let patience = Instant::now() + Duration::from_secs(10);
         while self.conn_count.load(Ordering::SeqCst) > 0 && Instant::now() < patience {
             std::thread::sleep(Duration::from_millis(10));
@@ -341,6 +386,9 @@ impl Drop for ServeHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(repairer) = self.repairer.take() {
+            let _ = repairer.join();
         }
     }
 }
@@ -671,6 +719,12 @@ fn run_job(
                 return Response::TimedOut {
                     waited_ms: waited_ms(enqueued),
                 };
+            }
+            // A read-only durability layer rejects the publish
+            // retriably — surfaced like `Overloaded`, so the client
+            // library backs off and resubmits instead of failing.
+            if let GraphError::ReadOnly { retry_after_ms } = workload_error.error {
+                return Response::ReadOnly { retry_after_ms };
             }
             Response::Failed {
                 error: workload_error.error.to_string(),

@@ -142,8 +142,10 @@ fn arb_stats() -> impl Strategy<Value = StatsSnapshot> {
             0u64..1000,
         ),
         (0u64..1000, prop_bool::ANY, 1u64..16, 0u64..1_000_000),
+        (0u64..3, 0u64..1000, 0u64..1000, 0u64..1000),
+        (0u64..1000, 0u64..1000, 0u64..1000),
     )
-        .prop_map(|(a, b, c, d)| StatsSnapshot {
+        .prop_map(|(a, b, c, d, e, f)| StatsSnapshot {
             workloads: a.0,
             ops_executed: a.1,
             artifacts_loaded: a.2,
@@ -165,11 +167,18 @@ fn arb_stats() -> impl Strategy<Value = StatsSnapshot> {
             draining: d.1,
             shards: d.2,
             lock_wait_ns: d.3,
+            durability_health: e.0,
+            repair_attempts: e.1,
+            repairs_succeeded: e.2,
+            publishes_rejected_readonly: e.3,
+            scrub_checked: f.0,
+            scrub_healed: f.1,
+            scrub_quarantined: f.2,
         })
 }
 
 fn arb_response() -> BoxedStrategy<Response> {
-    (0u8..11)
+    (0u8..12)
         .prop_flat_map(|kind| match kind {
             0 => (0u64..1 << 32, 0u32..5)
                 .prop_map(|(session, proto)| Response::Welcome { session, proto })
@@ -207,6 +216,9 @@ fn arb_response() -> BoxedStrategy<Response> {
             7 => arb_stats().prop_map(Response::StatsReply).boxed(),
             8 => Just(Response::Pong).boxed(),
             9 => Just(Response::DrainStarted).boxed(),
+            10 => (1u64..60_000)
+                .prop_map(|retry_after_ms| Response::ReadOnly { retry_after_ms })
+                .boxed(),
             _ => arb_string()
                 .prop_map(|message| Response::Bad { message })
                 .boxed(),

@@ -1,13 +1,14 @@
 //! Fault tolerance in action: transient retries, panic isolation,
-//! partial-progress salvage, quarantine, and load-miss degradation.
+//! partial-progress salvage, quarantine, load-miss degradation, and
+//! graded storage degradation with self-healing (DESIGN.md §15).
 //!
 //! ```sh
 //! cargo run --release --example fault_tolerance
 //! ```
 
-use co_core::{OptimizerServer, ServerConfig};
+use co_core::{DurabilityConfig, DurabilityHealth, OptimizerServer, ServerConfig};
 use co_dataframe::Scalar;
-use co_graph::{FaultInjector, FaultKind, NodeKind, Operation, Value, WorkloadDag};
+use co_graph::{FaultInjector, FaultKind, IoFault, NodeKind, Operation, Value, WorkloadDag};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -181,5 +182,47 @@ fn main() {
         "after release: executed {} operations, workload ok",
         report.ops_executed
     );
+
+    // 8. Storage faults degrade gracefully too: a durable server whose
+    //    disk fills up mid-run rejects publishes with a *retriable*
+    //    read-only error (reads, reuse and planning keep serving),
+    //    queues the unpersisted deltas, and heals itself the moment
+    //    space is back — transient ENOSPC never needs a restart.
+    println!("\n== transient ENOSPC on a durable server ==");
+    let dir = std::env::temp_dir().join("co_fault_tolerance_example");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (durable, _) = OptimizerServer::open(
+        ServerConfig::collaborative(u64::MAX),
+        DurabilityConfig::new(&dir),
+    )
+    .expect("open data dir");
+    let disk = Arc::new(FaultInjector::new());
+    durable.set_fault_injector(Arc::clone(&disk));
+    durable.run_workload(pipeline(&fixed)).expect("persists");
+
+    disk.arm_io_fault(IoFault::Enospc, usize::MAX);
+    let err = durable
+        .run_workload(pipeline(&fixed))
+        .expect_err("the journal append hits ENOSPC");
+    println!(
+        "publish rejected: {} (transient: {}); health = {:?}, backlog = {}",
+        err.error,
+        err.error.is_transient(),
+        durable.durability_health(),
+        durable.backlog_len()
+    );
+
+    disk.clear_io_faults();
+    durable.try_repair().expect("space is back; repair heals");
+    assert_eq!(durable.durability_health(), DurabilityHealth::Healthy);
+    let (_, report) = durable.run_workload(pipeline(&fixed)).expect("healed");
+    println!(
+        "after repair: health = {:?}, backlog = {}, workload ran {} ops — no restart",
+        durable.durability_health(),
+        durable.backlog_len(),
+        report.ops_executed
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
     println!("\nserver stats: {:?}", q_server.stats());
 }

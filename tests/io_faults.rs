@@ -1,0 +1,468 @@
+//! Storage I/O fault injection: graded degradation and self-healing.
+//!
+//! Where the crash matrix (`crash_recovery.rs`) simulates a *dead
+//! process* — the durability layer wedges and a restart recovers the
+//! committed prefix — this suite simulates a *live process on a sick
+//! disk*: ENOSPC, failed fsyncs (with fsyncgate handle poisoning), and
+//! short writes. The server must degrade to read-only (reads, reuse and
+//! warm-starts keep serving; publishes are rejected retriably), queue
+//! the unpersisted deltas, and heal itself — no restart — once the
+//! faults clear. The scrubber half covers cold column files: bit rot is
+//! detected by CRC, healed byte-identically from lineage, and only the
+//! genuinely unrecoverable is quarantined.
+
+use co_core::{DurabilityConfig, DurabilityHealth, OptimizerServer, ServerConfig};
+use co_dataframe::{Column, ColumnData, DataFrame, Scalar};
+use co_graph::{
+    ArtifactId, FaultInjector, GraphError, IoFault, NodeKind, Operation, Value, WorkloadDag,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Step(String);
+impl Operation for Step {
+    fn name(&self) -> &str {
+        &self.0
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+        std::thread::sleep(Duration::from_millis(2));
+        Ok(Value::Aggregate(Scalar::Float(1.0)))
+    }
+}
+
+fn step(name: impl Into<String>) -> Arc<Step> {
+    Arc::new(Step(name.into()))
+}
+
+/// src → prep_step → <tail> (terminal).
+fn workload(tail: &str) -> WorkloadDag {
+    let mut dag = WorkloadDag::new();
+    let s = dag.add_source("src", Value::Aggregate(Scalar::Float(0.0)));
+    let prep = dag.add_op(step("prep_step"), &[s]).unwrap();
+    let t = dag.add_op(step(tail.to_owned()), &[prep]).unwrap();
+    dag.mark_terminal(t).unwrap();
+    dag
+}
+
+/// Everything durability must preserve across a restart.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    vertices: BTreeMap<u64, (u64, u64, u64, u64)>,
+    mat: BTreeSet<u64>,
+}
+
+fn fingerprint(server: &OptimizerServer) -> Fingerprint {
+    let guards = server.shards().read_all();
+    let vertices = guards
+        .iter()
+        .flat_map(|eg| {
+            eg.vertices().map(|v| {
+                (
+                    v.id.0,
+                    (
+                        v.frequency,
+                        v.compute_time.to_bits(),
+                        v.size,
+                        v.quality.to_bits(),
+                    ),
+                )
+            })
+        })
+        .collect();
+    let mat = guards
+        .iter()
+        .flat_map(|eg| {
+            eg.vertices()
+                .filter(|v| eg.was_materialized(v.id))
+                .map(|v| v.id.0)
+        })
+        .collect();
+    Fingerprint { vertices, mat }
+}
+
+fn data_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(config: ServerConfig, dir: &PathBuf) -> OptimizerServer {
+    OptimizerServer::open(config, DurabilityConfig::new(dir))
+        .unwrap()
+        .0
+}
+
+fn assert_fsck_clean(dir: &std::path::Path) {
+    let report = match co_graph::fsck::detect_shard_layout(dir) {
+        Some(n) => co_graph::fsck::check_sharded_data_dir(dir, n, true).unwrap(),
+        None => co_graph::fsck::check_data_dir(dir, true).unwrap(),
+    };
+    assert!(report.is_clean(), "data dir: {report}");
+}
+
+// ---------------------------------------------------------------------
+// Graded degradation: ReadOnly instead of wedge, self-heal, wedge cap
+// ---------------------------------------------------------------------
+
+#[test]
+fn failed_fsync_degrades_to_read_only_then_self_heals_without_restart() {
+    let dir = data_dir("io_fsync_heal");
+    let config = ServerConfig::collaborative(u64::MAX);
+    let server = open(config, &dir);
+    let faults = Arc::new(FaultInjector::new());
+    server.set_fault_injector(Arc::clone(&faults));
+
+    server.run_workload(workload("tail_one")).unwrap();
+    assert_eq!(server.durability_health(), DurabilityHealth::Healthy);
+
+    // The disk "goes bad": every fsync fails until further notice.
+    // fsyncgate semantics: the failed fsync poisons the journal handle,
+    // so even later writes through it fail until repair reopens it.
+    faults.arm_io_fault(IoFault::FsyncFail, usize::MAX);
+    let err = server.run_workload(workload("tail_two")).unwrap_err();
+    assert!(
+        matches!(err.error, GraphError::ReadOnly { retry_after_ms } if retry_after_ms > 0),
+        "{err}"
+    );
+    assert!(err.error.is_transient(), "read-only must invite a retry");
+    assert_eq!(server.durability_health(), DurabilityHealth::ReadOnly);
+    assert!(!server.is_wedged(), "a live I/O failure must not wedge");
+    assert_eq!(server.backlog_len(), 1, "the failed delta is queued");
+
+    // Still read-only: further publishes are rejected at the gate (and
+    // counted), but reads and planning still serve.
+    let err = server.run_workload(workload("tail_three")).unwrap_err();
+    assert!(err.error.is_transient(), "{err}");
+    assert!(server.stats().publishes_rejected_readonly >= 1);
+    server.explain(workload("tail_two")).unwrap();
+
+    // The disk "comes back": one explicit repair attempt heals the
+    // layer — torn tail truncated, journal reopened on a fresh handle,
+    // backlog re-appended — and publishes flow again. No restart.
+    faults.clear_io_faults();
+    assert!(server.try_repair().unwrap(), "repair should run and heal");
+    assert_eq!(server.durability_health(), DurabilityHealth::Healthy);
+    assert_eq!(server.backlog_len(), 0);
+    assert!(server.stats().repairs_succeeded >= 1);
+    server.run_workload(workload("tail_three")).unwrap();
+
+    // Disk now agrees with memory: a reopen sees tail_one (committed
+    // before the outage), tail_two (healed from the backlog), and
+    // tail_three (published after recovery).
+    let live = fingerprint(&server);
+    drop(server);
+    let reopened = open(config, &dir);
+    assert_eq!(fingerprint(&reopened), live);
+    assert_fsck_clean(&dir);
+}
+
+#[test]
+fn enospc_on_journal_append_keeps_exactly_the_committed_prefix_on_reopen() {
+    let dir = data_dir("io_enospc_reopen");
+    let config = ServerConfig::collaborative(u64::MAX);
+    let server = open(config, &dir);
+    let faults = Arc::new(FaultInjector::new());
+    server.set_fault_injector(Arc::clone(&faults));
+
+    server.run_workload(workload("tail_one")).unwrap();
+    let committed = fingerprint(&server);
+
+    // Disk full, and it never recovers in this process's lifetime: the
+    // failed publish is rejected retriably, its delta queued in memory.
+    faults.arm_io_fault(IoFault::Enospc, usize::MAX);
+    let err = server.run_workload(workload("tail_two")).unwrap_err();
+    assert!(err.error.is_transient(), "{err}");
+    assert_eq!(server.durability_health(), DurabilityHealth::ReadOnly);
+
+    // "Power cycle" with the fault still present: the reopened
+    // directory holds exactly the pre-outage committed prefix — the
+    // short write the ENOSPC produced must have been truncated away.
+    drop(server);
+    let reopened = open(config, &dir);
+    assert_eq!(fingerprint(&reopened), committed);
+    reopened.run_workload(workload("tail_two")).unwrap();
+    assert_fsck_clean(&dir);
+}
+
+#[test]
+fn short_write_mid_compaction_preserves_the_committed_prefix() {
+    let dir = data_dir("io_enospc_compact");
+    let config = ServerConfig::collaborative(u64::MAX);
+    let server = open(config, &dir);
+    let faults = Arc::new(FaultInjector::new());
+    server.set_fault_injector(Arc::clone(&faults));
+
+    server.run_workload(workload("tail_one")).unwrap();
+    server.compact().unwrap();
+    server.run_workload(workload("tail_two")).unwrap();
+    let committed = fingerprint(&server);
+
+    // ENOSPC mid-compaction: the snapshot temp file dies before the
+    // rename, so the live snapshot + journal are untouched.
+    faults.arm_io_fault(IoFault::Enospc, usize::MAX);
+    let err = server.compact().unwrap_err();
+    assert!(err.to_string().contains("enospc"), "{err}");
+
+    // A short write mid-compaction behaves the same way.
+    faults.clear_io_faults();
+    faults.arm_io_fault(IoFault::ShortWrite, 1);
+    let err = server.compact().unwrap_err();
+    assert!(err.to_string().contains("short-write"), "{err}");
+
+    // Back on a good disk: compaction succeeds and nothing was lost
+    // (the interrupted saves only ever touched the temp file).
+    faults.clear_io_faults();
+    if server.durability_health() == DurabilityHealth::ReadOnly {
+        server.try_repair().unwrap();
+    }
+    server.compact().unwrap();
+    assert_eq!(fingerprint(&server), committed);
+    drop(server);
+    let reopened = open(config, &dir);
+    assert_eq!(fingerprint(&reopened), committed);
+    assert_fsck_clean(&dir);
+}
+
+#[test]
+fn repeated_failed_repairs_wedge_permanently() {
+    let dir = data_dir("io_wedge_cap");
+    let config = ServerConfig::collaborative(u64::MAX);
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.max_repair_attempts = 3;
+    let (server, _) = OptimizerServer::open(config, durability).unwrap();
+    let faults = Arc::new(FaultInjector::new());
+    server.set_fault_injector(Arc::clone(&faults));
+
+    server.run_workload(workload("tail_one")).unwrap();
+    faults.arm_io_fault(IoFault::FsyncFail, usize::MAX);
+    let err = server.run_workload(workload("tail_two")).unwrap_err();
+    assert!(err.error.is_transient(), "{err}");
+
+    // Three *counted* failed repairs exhaust the budget.
+    for attempt in 1..=3 {
+        assert!(server.try_repair().is_err(), "attempt {attempt}");
+    }
+    assert!(server.is_wedged());
+    assert_eq!(server.durability_health(), DurabilityHealth::Wedged);
+    let err = server.try_repair().unwrap_err();
+    assert!(err.to_string().contains("wedged"), "{err}");
+
+    // Wedged is terminal: even with the disk healthy again, publishes
+    // refuse until a restart (which recovers the committed prefix).
+    faults.clear_io_faults();
+    let err = server.run_workload(workload("tail_three")).unwrap_err();
+    assert!(err.to_string().contains("wedged"), "{err}");
+    assert_eq!(server.stats().repair_attempts, 3);
+    drop(server);
+    let reopened = open(config, &dir);
+    reopened.run_workload(workload("tail_two")).unwrap();
+    assert_fsck_clean(&dir);
+}
+
+#[test]
+fn publish_storms_during_an_outage_never_wedge() {
+    let dir = data_dir("io_storm_no_wedge");
+    let config = ServerConfig::collaborative(u64::MAX);
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.max_repair_attempts = 2;
+    let (server, _) = OptimizerServer::open(config, durability).unwrap();
+    let faults = Arc::new(FaultInjector::new());
+    server.set_fault_injector(Arc::clone(&faults));
+
+    faults.arm_io_fault(IoFault::FsyncFail, usize::MAX);
+    // Far more failed publishes than the wedge cap: every one triggers
+    // (at most) an *opportunistic* repair, which must not burn the
+    // budget — only deliberate try_repair calls may wedge the layer.
+    for i in 0..10 {
+        let err = server
+            .run_workload(workload(&format!("storm_{i}")))
+            .unwrap_err();
+        assert!(err.error.is_transient(), "storm publish {i}: {err}");
+    }
+    assert_eq!(server.durability_health(), DurabilityHealth::ReadOnly);
+    assert!(!server.is_wedged());
+
+    faults.clear_io_faults();
+    assert!(server.try_repair().unwrap());
+    server.run_workload(workload("after_storm")).unwrap();
+    let live = fingerprint(&server);
+    drop(server);
+    let reopened = open(config, &dir);
+    assert_eq!(fingerprint(&reopened), live);
+    assert_fsck_clean(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Cold columns: scrub, lineage healing, quarantine
+// ---------------------------------------------------------------------
+
+fn make_df(seed: i64) -> DataFrame {
+    DataFrame::new(vec![
+        Column::source(
+            "cold_src",
+            "ints",
+            ColumnData::Int((0..64).map(|i| i * seed).collect()),
+        ),
+        Column::source(
+            "cold_src",
+            "floats",
+            ColumnData::Float((0..64).map(|i| f64::from(i) * 0.5).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+/// Source-independent dataset producer with real compute cost, so its
+/// output is materialized (and therefore cold-mirrored and usable as a
+/// lineage parent held in the memory store).
+struct Make;
+impl Operation for Make {
+    fn name(&self) -> &str {
+        "make_data"
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, _inputs: &[&Value]) -> co_graph::Result<Value> {
+        std::thread::sleep(Duration::from_millis(2));
+        Ok(Value::dataset(make_df(3)))
+    }
+}
+
+/// Dataset → dataset: doubles every Int column, deterministically, with
+/// real compute cost so the output is worth materializing.
+struct Double;
+impl Operation for Double {
+    fn name(&self) -> &str {
+        "double_cols"
+    }
+    fn params_digest(&self) -> String {
+        String::new()
+    }
+    fn output_kind(&self) -> NodeKind {
+        NodeKind::Dataset
+    }
+    fn run(&self, inputs: &[&Value]) -> co_graph::Result<Value> {
+        std::thread::sleep(Duration::from_millis(2));
+        let df = inputs[0]
+            .as_dataset()
+            .ok_or_else(|| GraphError::op_failed("double_cols", "expected a dataset input"))?;
+        let cols = df
+            .columns()
+            .iter()
+            .map(|c| {
+                let data = match c.to_data() {
+                    ColumnData::Int(v) => ColumnData::Int(v.into_iter().map(|x| x * 2).collect()),
+                    other => other,
+                };
+                Column::derived(c.name(), c.id().derive(0xD0B1), data)
+            })
+            .collect();
+        Ok(Value::dataset(DataFrame::new(cols).unwrap()))
+    }
+}
+
+fn cold_server(dir: &PathBuf) -> (OptimizerServer, ArtifactId) {
+    let config = ServerConfig::collaborative(u64::MAX);
+    let mut durability = DurabilityConfig::new(dir);
+    durability.cold_columns = true;
+    let (server, _) = OptimizerServer::open(config, durability).unwrap();
+
+    let mut dag = WorkloadDag::new();
+    let s = dag.add_source("cold_src", Value::Aggregate(Scalar::Float(0.0)));
+    let m = dag.add_op(Arc::new(Make), &[s]).unwrap();
+    let d = dag.add_op(Arc::new(Double), &[m]).unwrap();
+    dag.mark_terminal(d).unwrap();
+    let (dag, _) = server.run_workload(dag).unwrap();
+    let id = dag.nodes()[d.0].artifact;
+    (server, id)
+}
+
+fn cold_path(dir: &std::path::Path, id: ArtifactId) -> PathBuf {
+    dir.join("cold").join(format!("cold-{:016x}.col", id.0))
+}
+
+#[test]
+fn scrub_heals_a_bit_flipped_cold_column_byte_identically() {
+    let dir = data_dir("scrub_heal");
+    let (server, id) = cold_server(&dir);
+    let path = cold_path(&dir, id);
+    let original = std::fs::read(&path).expect("cold file written at publish");
+    assert!(original.len() > 32);
+
+    // Clean pass first: everything verifies, nothing to heal.
+    let outcome = server.scrub();
+    assert!(outcome.checked >= 1);
+    assert_eq!((outcome.healed, outcome.quarantined), (0, 0));
+
+    // Bit rot strikes a payload byte, and the in-memory copy is gone —
+    // the only way back is recomputing the artifact from its lineage
+    // (the producing op re-run over its parents).
+    let mut rotted = original.clone();
+    let mid = rotted.len() / 2;
+    rotted[mid] ^= 0x40;
+    std::fs::write(&path, &rotted).unwrap();
+    server.eg_mut().storage_mut().evict(id);
+
+    let outcome = server.scrub();
+    assert!(outcome.checked >= 1);
+    assert_eq!(outcome.healed, 1, "the rotted column heals from lineage");
+    assert_eq!(outcome.quarantined, 0);
+    // The cold encoding is deterministic, so healing is byte-exact.
+    assert_eq!(std::fs::read(&path).unwrap(), original);
+    let stats = server.stats();
+    assert!(stats.scrub_checked >= 2);
+    assert_eq!(stats.scrub_healed, 1);
+    assert_eq!(stats.scrub_quarantined, 0);
+}
+
+#[test]
+fn scrub_quarantines_the_unrecoverable_without_deleting() {
+    let dir = data_dir("scrub_quarantine");
+    let (server, _) = cold_server(&dir);
+
+    // A cold file for an artifact the graph knows nothing about — no
+    // memory copy, no lineage — with garbage contents.
+    let orphan = dir.join("cold").join("cold-00000000deadbeef.col");
+    std::fs::write(&orphan, b"EGCOL 1\n<<<garbage beyond repair>>>").unwrap();
+
+    let outcome = server.scrub();
+    assert_eq!(outcome.quarantined, 1);
+    assert_eq!(outcome.healed, 0);
+    // Set aside for forensics, not deleted.
+    assert!(!orphan.exists());
+    let quarantined = orphan.with_extension("col.quarantined");
+    assert!(
+        quarantined.exists(),
+        "expected {} to exist",
+        quarantined.display()
+    );
+
+    // A later scrub no longer sees the quarantined file.
+    let outcome = server.scrub();
+    assert_eq!(outcome.quarantined, 0);
+}
+
+#[test]
+fn cold_files_follow_evictions() {
+    let dir = data_dir("cold_evict");
+    let (server, id) = cold_server(&dir);
+    let path = cold_path(&dir, id);
+    assert!(path.exists());
+    assert!(server.evict_artifact(id) > 0);
+    assert!(
+        !path.exists(),
+        "evicting an artifact must drop its cold file"
+    );
+}

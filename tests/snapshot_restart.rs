@@ -14,7 +14,7 @@ fn restart_keeps_meta_and_regains_reuse() {
     let first = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
     first.run_workload(kaggle::w1(&data).unwrap()).unwrap();
     first.run_workload(kaggle::w2(&data).unwrap()).unwrap();
-    let text = snapshot::to_snapshot(&first.eg());
+    let text = snapshot::to_snapshot(&first.eg()).unwrap();
     let n_before = first.eg().n_vertices();
 
     // Session 2 (after a "restart"): restore the meta-data.
@@ -51,7 +51,7 @@ fn restore_rejects_mismatched_dedup_mode() {
     let data = home_credit(&HomeCreditScale::tiny());
     let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
     server.run_workload(kaggle::w1(&data).unwrap()).unwrap();
-    let text = snapshot::to_snapshot(&server.eg());
+    let text = snapshot::to_snapshot(&server.eg()).unwrap();
 
     // Restored with a plain (non-dedup) store, but the storage-aware
     // materializer budgets deduplicated bytes: the constructor refuses.
@@ -76,7 +76,7 @@ fn snapshot_is_stable_across_round_trips() {
     let data = home_credit(&HomeCreditScale::tiny());
     let server = OptimizerServer::new(ServerConfig::collaborative(u64::MAX));
     server.run_workload(kaggle::w4(&data).unwrap()).unwrap();
-    let once = snapshot::to_snapshot(&server.eg());
-    let twice = snapshot::to_snapshot(&snapshot::from_snapshot(&once, true).unwrap());
+    let once = snapshot::to_snapshot(&server.eg()).unwrap();
+    let twice = snapshot::to_snapshot(&snapshot::from_snapshot(&once, true).unwrap()).unwrap();
     assert_eq!(once, twice, "snapshot must be a fixpoint");
 }
