@@ -165,7 +165,7 @@ struct DrillReport {
 
 /// One full drill at a given shard count. Panics (non-zero exit) on any
 /// violated invariant.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines)] // lint:reason a drill reads as one linear script
 fn drill(base: &Path, shards: usize, seed: u64, quick: bool) -> DrillReport {
     let dir = base.join(format!("chaos_s{shards}"));
     let _ = std::fs::remove_dir_all(&dir);

@@ -30,6 +30,7 @@ use std::time::Instant;
 /// variant and drown out the kernel difference.
 fn table(rows: usize, keys: i64) -> DataFrame {
     #[allow(clippy::cast_precision_loss, clippy::cast_possible_wrap)]
+    // lint:reason synthetic key and value ranges are tiny
     DataFrame::new(vec![
         Column::source(
             "bench",

@@ -35,7 +35,7 @@ const SHARDS: usize = 8;
 
 /// Warm shared prefix, unique training op per `serial`.
 fn workload(data: &CreditG, serial: usize) -> WorkloadDag {
-    #[allow(clippy::cast_precision_loss)] // serials stay far below 2^52
+    #[allow(clippy::cast_precision_loss)] // lint:reason serials stay far below 2^52
     let lr = 0.05 + 1e-4 * (serial as f64);
     let mut s = Script::new();
     let train = s.load("creditg_train", data.train.clone());

@@ -43,7 +43,7 @@ pub fn run() {
             super::assert_graph_clean(&srv);
             per_system.push(sizes);
         }
-        #[allow(clippy::needless_range_loop)] // four parallel series
+        #[allow(clippy::needless_range_loop)] // lint:reason four parallel series
         for i in 0..8 {
             println!(
                 "W{}       {:>7.1}  {:>7.1}  {:>7.1}  {:>7.1}",

@@ -37,7 +37,7 @@ fn depth_of(eg: &ExperimentGraph, id: ArtifactId) -> usize {
     // Longest path from any source; graphs are modest, recompute per call.
     let mut depth = std::collections::HashMap::new();
     for v in eg.topo_order() {
-        let vertex = eg.vertex(*v).expect("topo lists known vertices");
+        let vertex = eg.vertex(*v).expect("topo lists known vertices"); // co-lint:allow(no-panic) topo_order only yields ids present in the graph
         let d = vertex
             .parents
             .iter()

@@ -557,7 +557,7 @@ pub(crate) fn execute_snapshot_parallel(
 
     // Resolve loads and count skips up front (loads are already-fetched
     // values plus a charged cost — not worth a thread).
-    #[allow(clippy::needless_range_loop)] // parallel arrays indexed by node id
+    #[allow(clippy::needless_range_loop)] // lint:reason parallel arrays indexed by node id
     for i in 0..n {
         match action[i] {
             Action::Skip => {
@@ -722,8 +722,9 @@ pub(crate) fn execute_snapshot_parallel(
                         dag.node_mut(NodeId(i))?.quality = m.quality;
                         report.best_model_quality = report.best_model_quality.max(m.quality);
                     }
-                    let op = Arc::clone(&dag.producer(NodeId(i)).expect("checked").op);
-                    let input_ids = dag.producer(NodeId(i)).expect("checked").inputs.clone();
+                    let producer = dag.producer(NodeId(i)).ok_or(GraphError::UnknownNode(i))?;
+                    let op = Arc::clone(&producer.op);
+                    let input_ids = producer.inputs.clone();
                     if op.is_evaluation() {
                         if let Some(score) = value.as_aggregate().and_then(|s| s.as_f64()) {
                             for p in &input_ids {

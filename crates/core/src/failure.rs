@@ -22,7 +22,7 @@ use crate::report::ExecutionReport;
 use co_graph::{GraphError, NodeId, OpHash};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// Retry configuration applied by the executor to transient failures.
@@ -103,7 +103,7 @@ impl Quarantine {
         if self.threshold == 0 {
             return None;
         }
-        let counts = self.counts.lock().unwrap();
+        let counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
         counts.get(&op).and_then(|(name, failures)| {
             (*failures >= self.threshold).then(|| GraphError::Quarantined {
                 op: name.clone(),
@@ -115,7 +115,7 @@ impl Quarantine {
     /// Record a terminal (non-retryable or retry-exhausted) failure.
     /// Returns the consecutive-failure count.
     pub fn record_failure(&self, op: OpHash, name: &str) -> usize {
-        let mut counts = self.counts.lock().unwrap();
+        let mut counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = counts.entry(op).or_insert_with(|| (name.to_owned(), 0));
         entry.1 += 1;
         entry.1
@@ -123,7 +123,10 @@ impl Quarantine {
 
     /// Record a success, clearing the operation's failure streak.
     pub fn record_success(&self, op: OpHash) {
-        self.counts.lock().unwrap().remove(&op);
+        self.counts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&op);
     }
 
     /// Manually release an operation from quarantine.
@@ -140,7 +143,7 @@ impl Quarantine {
         }
         self.counts
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .filter(|(_, (_, failures))| *failures >= self.threshold)
             .map(|(op, (name, failures))| (*op, name.clone(), *failures))
@@ -152,7 +155,7 @@ impl Quarantine {
     pub fn restore(&self, op: OpHash, name: &str, failures: usize) {
         self.counts
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(op, (name.to_owned(), failures));
     }
 
@@ -164,7 +167,7 @@ impl Quarantine {
         }
         self.counts
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .filter(|(_, failures)| *failures >= self.threshold)
             .cloned()

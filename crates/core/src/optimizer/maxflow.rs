@@ -85,14 +85,14 @@ impl FlowNetwork {
             let mut bottleneck = f64::INFINITY;
             let mut v = t;
             while v != s {
-                let eid = parent_edge[v].expect("path exists");
+                let eid = parent_edge[v].expect("path exists"); // co-lint:allow(no-panic) the BFS that just terminated found an augmenting path through v
                 bottleneck = bottleneck.min(self.edges[eid].cap);
                 v = self.edges[eid ^ 1].to;
             }
             // Augment.
             let mut v = t;
             while v != s {
-                let eid = parent_edge[v].expect("path exists");
+                let eid = parent_edge[v].expect("path exists"); // co-lint:allow(no-panic) the BFS that just terminated found an augmenting path through v
                 self.edges[eid].cap -= bottleneck;
                 self.edges[eid ^ 1].cap += bottleneck;
                 v = self.edges[eid ^ 1].to;

@@ -364,6 +364,7 @@ impl ShardedDurability {
 
     fn set_health(&self, health: DurabilityHealth) {
         #[allow(clippy::cast_possible_truncation)]
+        // lint:reason health states fit in a u8 by definition
         self.health.store(health.as_u64() as u8, Ordering::SeqCst);
     }
 }
@@ -644,7 +645,7 @@ impl OptimizerServer {
         config: ServerConfig,
         durability: DurabilityConfig,
     ) -> Result<(Self, RecoveryReport)> {
-        std::fs::create_dir_all(&durability.dir).map_err(|e| {
+        co_graph::vfs::create_dir_all(&durability.dir, None).map_err(|e| {
             GraphError::Io(format!(
                 "cannot create data directory {}: {e}",
                 durability.dir.display()
@@ -655,10 +656,10 @@ impl OptimizerServer {
         // A crash mid-save leaves `*.tmp` files behind; an interrupted
         // save never touches the live snapshot or journal, so these are
         // safe to discard.
-        if let Ok(entries) = std::fs::read_dir(&durability.dir) {
-            for entry in entries.flatten() {
-                if entry.file_name().to_string_lossy().ends_with(".tmp")
-                    && std::fs::remove_file(entry.path()).is_ok()
+        if let Ok(entries) = co_graph::vfs::read_dir_sorted(&durability.dir, None) {
+            for path in entries {
+                if path.to_string_lossy().ends_with(".tmp")
+                    && co_graph::vfs::remove_file(&path, None).is_ok()
                 {
                     recovery.stray_tmp_removed += 1;
                 }
@@ -1291,7 +1292,7 @@ impl OptimizerServer {
     /// nothing — identical to their single-shard behavior.
     fn materialize_sharded(
         &self,
-        guards: &mut [(usize, parking_lot::RwLockWriteGuard<'_, ExperimentGraph>)],
+        guards: &mut [(usize, co_graph::ShardWriteGuard<'_>)],
         pos: &HashMap<usize, usize>,
         dag: &WorkloadDag,
         merged: &[bool],
@@ -1338,11 +1339,11 @@ impl OptimizerServer {
     /// cross-shard commit record. Called with the touched shards'
     /// write locks held (ascending); journal mutexes are taken in the
     /// same ascending order, the commit-log mutex last.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // lint:reason the sharded persist pipeline threads its full context explicitly
     fn persist_sharded(
         &self,
         dur: &ShardedDurability,
-        guards: &[(usize, parking_lot::RwLockWriteGuard<'_, ExperimentGraph>)],
+        guards: &[(usize, co_graph::ShardWriteGuard<'_>)],
         new_ids: &[Vec<ArtifactId>],
         touched_ids: &[Vec<ArtifactId>],
         mat_before: &[BTreeSet<ArtifactId>],
@@ -1411,6 +1412,7 @@ impl OptimizerServer {
             seq,
             shards: pending
                 .iter()
+                // co-lint:allow(no-panic) shard counts are small configuration values, far below u32::MAX
                 .map(|(k, _)| u32::try_from(*k).expect("shard index fits u32"))
                 .collect(),
         };
@@ -2020,7 +2022,7 @@ impl OptimizerServer {
     ///
     /// Panics on a sharded server (shards > 1) — iterate
     /// [`shards`](OptimizerServer::shards) instead.
-    pub fn eg(&self) -> parking_lot::RwLockReadGuard<'_, ExperimentGraph> {
+    pub fn eg(&self) -> co_graph::ShardReadGuard<'_> {
         assert_eq!(
             self.eg.n_shards(),
             1,
@@ -2038,7 +2040,7 @@ impl OptimizerServer {
     ///
     /// Panics on a sharded server (shards > 1) — iterate
     /// [`shards`](OptimizerServer::shards) instead.
-    pub fn eg_mut(&self) -> parking_lot::RwLockWriteGuard<'_, ExperimentGraph> {
+    pub fn eg_mut(&self) -> co_graph::ShardWriteGuard<'_> {
         assert_eq!(
             self.eg.n_shards(),
             1,
@@ -2124,6 +2126,7 @@ impl OptimizerServer {
                     };
                     let record = CommitRecord {
                         seq,
+                        // co-lint:allow(no-panic) shard counts are small configuration values, far below u32::MAX
                         shards: vec![u32::try_from(k).expect("shard index fits u32")],
                     };
                     if dur.health() == DurabilityHealth::ReadOnly {
@@ -2201,12 +2204,12 @@ fn finish_publish(
 /// snapshot saves) from a data directory. Losing the sweep to an I/O
 /// error is harmless — recovery ignores temp files anyway.
 fn remove_stray_tmps(dir: &Path) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
+    let Ok(entries) = co_graph::vfs::read_dir_sorted(dir, None) else {
         return;
     };
-    for entry in entries.flatten() {
-        if entry.file_name().to_string_lossy().ends_with(".tmp") {
-            let _ = std::fs::remove_file(entry.path());
+    for path in entries {
+        if path.to_string_lossy().ends_with(".tmp") {
+            let _ = co_graph::vfs::remove_file(&path, None);
         }
     }
 }

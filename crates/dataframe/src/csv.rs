@@ -114,6 +114,7 @@ fn infer(values: Vec<String>) -> ColumnData {
             .iter()
             .all(|v| !is_missing(v) && v.parse::<i64>().is_ok());
     if all_int {
+        // co-lint:allow(no-panic) the all_int scan above proved every value parses
         return ColumnData::Int(values.iter().map(|v| v.parse().expect("checked")).collect());
     }
     let all_num = !values.is_empty()
@@ -128,6 +129,7 @@ fn infer(values: Vec<String>) -> ColumnData {
                     if is_missing(v) {
                         f64::NAN
                     } else {
+                        // co-lint:allow(no-panic) non-missing values were parse-checked above
                         v.parse().expect("checked")
                     }
                 })

@@ -247,6 +247,7 @@ impl DataFrame {
         let cols = self
             .columns
             .iter()
+            // co-lint:allow(no-panic) n is min-clamped to the row count just above
             .map(|c| c.slice(0, n).expect("head length clamped to row count"))
             .collect();
         DataFrame {

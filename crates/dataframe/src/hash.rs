@@ -172,7 +172,7 @@ pub(crate) fn dense_key_span(keys: impl Iterator<Item = i64>, n: usize) -> Optio
     }
     let span = i128::from(max) - i128::from(min) + 1;
     if span <= (n as i128) * 4 + 1024 {
-        #[allow(clippy::cast_possible_truncation)] // bounded by 4n + 1024
+        #[allow(clippy::cast_possible_truncation)] // lint:reason bounded by 4n + 1024
         Some((min, span as usize))
     } else {
         None

@@ -64,6 +64,7 @@ fn assign_gids<K: Clone + Eq + std::hash::Hash>(
     let mut uniq: Vec<K> = Vec::new();
     let mut gids: Vec<u32> = Vec::with_capacity(size_hint);
     for k in keys {
+        // co-lint:allow(lossy-cast) group ids are u32 and uniq <= row count < u32::MAX
         let next = uniq.len() as u32;
         let gid = *map.entry(k.clone()).or_insert(next);
         if gid == next {
@@ -113,9 +114,10 @@ impl GroupKey for i64 {
         let mut gids: Vec<u32> = Vec::with_capacity(n);
         let mut assign = |k: i64| {
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            // lint:reason k - min is in [0, span), and span fits usize
             let slot = &mut table[(k - min) as usize];
             if *slot == ABSENT {
-                #[allow(clippy::cast_possible_truncation)] // uniq <= n < u32::MAX
+                #[allow(clippy::cast_possible_truncation)] // lint:reason uniq <= n < u32::MAX
                 {
                     *slot = uniq.len() as u32;
                 }
@@ -173,6 +175,7 @@ fn group_index<K: GroupKey>(keys: &[K]) -> Result<GroupIndex<K>> {
     let mut order: Vec<(u32, u32)> = parts
         .iter()
         .enumerate()
+        // co-lint:allow(lossy-cast) per-partition uniq and partition counts are < u32::MAX
         .flat_map(|(p, part)| (0..part.uniq.len() as u32).map(move |g| (p as u32, g)))
         .collect();
     // Keys are unique across partitions, so an unstable sort is fine.
@@ -283,6 +286,7 @@ where
             }
             Some(rows) => {
                 for (&row, &g) in rows.iter().zip(&part.gids) {
+                    // co-lint:allow(lossy-cast) u32 to usize widens on every supported platform
                     acc.push(g, values[row as usize]);
                 }
             }
@@ -290,6 +294,7 @@ where
         stream(&mut acc);
         if f == AggFn::Std {
             // Phase 2: center on the per-group means from phase 1.
+            // co-lint:allow(lossy-cast) uniq <= row count < u32::MAX
             let means: Vec<f64> = (0..part.uniq.len() as u32)
                 .map(|g| {
                     let n = acc.n[g as usize];

@@ -92,9 +92,10 @@ impl RightIndex {
         let lookup = if let Some((min, span)) = dense_span(rkey, rows, n) {
             let mut table = vec![ABSENT; span];
             let mut assign = |k: i64| {
-                #[allow(clippy::cast_possible_truncation)] // distinct <= n < u32::MAX
+                #[allow(clippy::cast_possible_truncation)] // lint:reason distinct <= n < u32::MAX
                 let next = counts.len() as u32;
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                // lint:reason k - min is in [0, span), and span fits usize
                 let slot = &mut table[(k - min) as usize];
                 let gid = if *slot == ABSENT {
                     *slot = next;
@@ -114,7 +115,7 @@ impl RightIndex {
         } else {
             let mut map: FastMap<i64, u32> = fast_map_with_capacity(n / 2);
             let mut assign = |k: i64| {
-                #[allow(clippy::cast_possible_truncation)] // distinct <= n < u32::MAX
+                #[allow(clippy::cast_possible_truncation)] // lint:reason distinct <= n < u32::MAX
                 let next = counts.len() as u32;
                 let gid = *map.entry(k).or_insert(next);
                 if gid == next {
@@ -136,7 +137,7 @@ impl RightIndex {
         let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
         let mut flat = vec![0u32; n];
         for (i, &g) in gids.iter().enumerate() {
-            #[allow(clippy::cast_possible_truncation)] // i < n < u32::MAX
+            #[allow(clippy::cast_possible_truncation)] // lint:reason i < n < u32::MAX
             let row = rows.map_or(i as u32, |rs| rs[i]);
             flat[cursor[g as usize] as usize] = row;
             cursor[g as usize] += 1;
@@ -154,6 +155,7 @@ impl RightIndex {
         let g = match &self.lookup {
             KeyLookup::Dense { min, gids } => {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                // lint:reason wrapping offset is range-checked against the table below
                 let off = k.wrapping_sub(*min) as u64;
                 let g = *gids.get(usize::try_from(off).ok()?)?;
                 if g == ABSENT {
@@ -248,7 +250,7 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
         let chunked: Vec<Vec<Vec<u32>>> = par::run_chunks(rkey.len(), |_ci, s, e| {
             let mut scatter: Vec<Vec<u32>> = vec![Vec::new(); parts];
             for (off, k) in rkey[s..e].iter().enumerate() {
-                #[allow(clippy::cast_possible_truncation)] // checked above
+                #[allow(clippy::cast_possible_truncation)] // lint:reason checked above
                 scatter[partition_of(k, parts)].push((s + off) as u32);
             }
             Ok(scatter)
@@ -287,7 +289,7 @@ fn join_impl(left: &DataFrame, right: &DataFrame, on: &str, outer: bool) -> Resu
                 }
             };
         }
-        #[allow(clippy::cast_possible_truncation)] // row counts checked above
+        #[allow(clippy::cast_possible_truncation)] // lint:reason row counts checked above
         if parts == 1 {
             // Single partition: the per-key partition hash would be pure
             // overhead (everything lands in partition 0).
@@ -413,7 +415,7 @@ fn gather_right(c: &Column, rows: &[u32], any_missing: bool) -> Result<ColumnDat
                             value: x,
                         });
                     }
-                    #[allow(clippy::cast_precision_loss)] // |x| <= 2^53: exact
+                    #[allow(clippy::cast_precision_loss)] // lint:reason |x| <= 2^53: exact
                     Ok(x as f64)
                 })?))
             } else {

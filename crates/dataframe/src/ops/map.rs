@@ -143,6 +143,7 @@ impl BinFn {
             BinFn::Sub => a - b,
             BinFn::Mul => a * b,
             BinFn::Div => {
+                // co-lint:allow(float-eq) exact-zero guard: only division by exact zero maps to NaN; near-zero must still divide
                 if b == 0.0 {
                     f64::NAN
                 } else {

@@ -177,6 +177,7 @@ fn pearson(x: &[f64], y: &[f64]) -> f64 {
         vx += (a - mx).powi(2);
         vy += (b - my).powi(2);
     }
+    // co-lint:allow(float-eq) exact-zero variance sentinel: correlation is undefined for a constant series
     if vx == 0.0 || vy == 0.0 {
         return f64::NAN;
     }

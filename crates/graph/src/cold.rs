@@ -119,6 +119,7 @@ fn encode_data(data: &ColumnData) -> (u8, Vec<u8>) {
         ColumnData::Str(v) => {
             let mut p = Vec::new();
             for s in v {
+                // co-lint:allow(lossy-cast) the cold format stores cell byte lengths as u32; cells are far below 4 GiB
                 p.extend_from_slice(&(s.len() as u32).to_le_bytes());
                 p.extend_from_slice(s.as_bytes());
             }
@@ -284,7 +285,7 @@ impl ColdStore {
     /// Open (creating the directory if needed) a cold store rooted at
     /// `dir`.
     pub fn open(dir: &Path) -> Result<ColdStore> {
-        std::fs::create_dir_all(dir).map_err(|e| io_err("create directory for", dir, &e))?;
+        vfs::create_dir_all(dir, None).map_err(|e| io_err("create directory for", dir, &e))?;
         Ok(ColdStore {
             dir: dir.to_path_buf(),
         })
@@ -354,12 +355,12 @@ impl ColdStore {
     /// Every artifact with a (non-quarantined) cold file, ascending.
     pub fn list(&self) -> Result<Vec<ArtifactId>> {
         let mut ids = Vec::new();
-        let entries =
-            std::fs::read_dir(&self.dir).map_err(|e| io_err("list directory of", &self.dir, &e))?;
+        let entries = vfs::read_dir_sorted(&self.dir, None)
+            .map_err(|e| io_err("list directory of", &self.dir, &e))?;
         for entry in entries {
-            let entry = entry.map_err(|e| io_err("list directory of", &self.dir, &e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+            let Some(name) = entry.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
             if let Some(hex) = name
                 .strip_prefix("cold-")
                 .and_then(|rest| rest.strip_suffix(".col"))

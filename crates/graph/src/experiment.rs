@@ -298,7 +298,7 @@ impl ExperimentGraph {
             self.sources.push(id);
         }
         for p in parents {
-            let pv = self.vertices.get_mut(&p).expect("checked above");
+            let pv = self.vertices.get_mut(&p).expect("checked above"); // co-lint:allow(no-panic) every parent was presence-checked before any mutation
             if !pv.children.contains(&id) {
                 pv.children.push(id);
             }

@@ -22,7 +22,7 @@
 use crate::error::{GraphError, Result};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// How an injected operation fault manifests.
@@ -227,19 +227,25 @@ impl FaultInjector {
     /// Make the `n`-th call to `StorageManager::get` (0-based, counted
     /// over the store's lifetime) miss.
     pub fn fail_nth_load(&self, n: usize) {
-        self.fail_loads.lock().unwrap().insert(n);
+        self.fail_loads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(n);
     }
 
     /// Make the next `times` runs of the operation named `op` fail with
     /// the given kind. Replaces any previous schedule for `op`.
     pub fn fail_op(&self, op: &str, kind: FaultKind, times: usize) {
-        self.op_faults.lock().unwrap().insert(
-            op.to_owned(),
-            OpFault {
-                kind,
-                remaining: times,
-            },
-        );
+        self.op_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                op.to_owned(),
+                OpFault {
+                    kind,
+                    remaining: times,
+                },
+            );
     }
 
     /// Make every run of `op` fail with the given kind, forever.
@@ -251,7 +257,7 @@ impl FaultInjector {
     pub fn inject_latency(&self, op: &str, latency: Duration) {
         self.op_latency
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(op.to_owned(), latency);
     }
 
@@ -259,7 +265,11 @@ impl FaultInjector {
     /// should be dropped (treated as a miss).
     pub fn on_load(&self) -> bool {
         let n = self.load_calls.fetch_add(1, Ordering::SeqCst);
-        let drop = self.fail_loads.lock().unwrap().remove(&n);
+        let drop = self
+            .fail_loads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&n);
         if drop {
             self.failed_loads.fetch_add(1, Ordering::SeqCst);
         }
@@ -270,12 +280,20 @@ impl FaultInjector {
     /// Returns an error (or panics, for [`FaultKind::Panic`]) when a
     /// fault fires.
     pub fn before_run(&self, op: &str) -> Result<()> {
-        let latency = self.op_latency.lock().unwrap().get(op).copied();
+        let latency = self
+            .op_latency
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(op)
+            .copied();
         if let Some(latency) = latency {
             std::thread::sleep(latency);
         }
         let kind = {
-            let mut faults = self.op_faults.lock().unwrap();
+            let mut faults = self
+                .op_faults
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             match faults.get_mut(op) {
                 Some(fault) if fault.remaining > 0 => {
                     if fault.remaining != usize::MAX {
@@ -295,6 +313,7 @@ impl FaultInjector {
             Some(FaultKind::Permanent) => {
                 Err(GraphError::op_failed(op, "injected permanent fault"))
             }
+            // co-lint:allow(no-panic) the armed fault IS a panic; the executor catches and accounts it
             Some(FaultKind::Panic) => panic!("injected panic in operation {op:?}"),
         }
     }
@@ -303,13 +322,20 @@ impl FaultInjector {
     /// "crashes" (one-shot — the point disarms when it fires, so the
     /// recovery that follows runs cleanly).
     pub fn arm_crash(&self, point: CrashPoint) {
-        self.crash_points.lock().unwrap().insert(point);
+        self.crash_points
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(point);
     }
 
     /// Durability hook: consume `point` if armed. Returns whether the
     /// caller should simulate a crash here.
     pub fn take_crash(&self, point: CrashPoint) -> bool {
-        let fired = self.crash_points.lock().unwrap().remove(&point);
+        let fired = self
+            .crash_points
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&point);
         if fired {
             self.crashes_fired.fetch_add(1, Ordering::SeqCst);
         }
@@ -326,7 +352,10 @@ impl FaultInjector {
     /// (`usize::MAX` = forever). Replaces any previous schedule for
     /// `fault`; `times == 0` disarms it.
     pub fn arm_net_fault(&self, fault: NetFault, times: usize) {
-        let mut faults = self.net_faults.lock().unwrap();
+        let mut faults = self
+            .net_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if times == 0 {
             faults.remove(&fault);
         } else {
@@ -338,7 +367,10 @@ impl FaultInjector {
     /// Returns whether the caller should simulate the fault here.
     pub fn take_net_fault(&self, fault: NetFault) -> bool {
         let fired = {
-            let mut faults = self.net_faults.lock().unwrap();
+            let mut faults = self
+                .net_faults
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             match faults.get_mut(&fault) {
                 Some(remaining) if *remaining > 0 => {
                     if *remaining != usize::MAX {
@@ -368,7 +400,10 @@ impl FaultInjector {
     /// (`usize::MAX` = forever). Replaces any previous schedule for
     /// `fault`; `times == 0` disarms it.
     pub fn arm_io_fault(&self, fault: IoFault, times: usize) {
-        let mut faults = self.io_faults.lock().unwrap();
+        let mut faults = self
+            .io_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if times == 0 {
             faults.remove(&fault);
         } else {
@@ -380,7 +415,10 @@ impl FaultInjector {
     /// whether the caller should simulate the fault here.
     pub fn take_io_fault(&self, fault: IoFault) -> bool {
         let fired = {
-            let mut faults = self.io_faults.lock().unwrap();
+            let mut faults = self
+                .io_faults
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             match faults.get_mut(&fault) {
                 Some(remaining) if *remaining > 0 => {
                     if *remaining != usize::MAX {
@@ -402,7 +440,10 @@ impl FaultInjector {
 
     /// Disarm every I/O fault at once — "the disk came back".
     pub fn clear_io_faults(&self) {
-        self.io_faults.lock().unwrap().clear();
+        self.io_faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// I/O faults fired so far.

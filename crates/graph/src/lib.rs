@@ -30,6 +30,7 @@ pub mod export;
 pub mod faults;
 pub mod fsck;
 pub mod journal;
+pub mod lockorder;
 pub mod meta;
 pub mod operation;
 pub mod shard;
@@ -48,7 +49,7 @@ pub use fsck::{FsckCode, FsckReport, Violation};
 pub use journal::{CommitLog, CommitRecord, EgDelta, FsyncPolicy, Journal, QuarantineEntry};
 pub use meta::{DatasetMeta, MetaCode, MetaError, MetaResult, ModelMeta, ValueMeta};
 pub use operation::{OpHash, OpRef, Operation};
-pub use shard::{shard_of, EgView, GraphQuery, ShardedEg};
+pub use shard::{shard_of, EgView, GraphQuery, ShardReadGuard, ShardWriteGuard, ShardedEg};
 pub use storage::{ColumnVault, StorageManager};
 pub use value::{ModelArtifact, Value};
 pub use workload::{NodeId, WorkloadDag, WorkloadEdge, WorkloadNode};

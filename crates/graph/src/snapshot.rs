@@ -534,7 +534,7 @@ pub fn save_shard_with(
 
 /// Load one shard's snapshot from disk.
 pub fn load_shard_full(path: &Path, dedup: bool) -> Result<RestoredShardSnapshot> {
-    let text = std::fs::read_to_string(path)
+    let text = crate::vfs::read_to_string(path, None)
         .map_err(|e| GraphError::Io(format!("cannot read snapshot {}: {e}", path.display())))?;
     from_shard_snapshot(&text, dedup, &path.display().to_string())
 }
@@ -616,7 +616,7 @@ pub fn load(path: &Path, dedup: bool) -> Result<ExperimentGraph> {
 
 /// Load a snapshot and the persisted quarantine set from disk.
 pub fn load_full(path: &Path, dedup: bool) -> Result<RestoredSnapshot> {
-    let text = std::fs::read_to_string(path)
+    let text = crate::vfs::read_to_string(path, None)
         .map_err(|e| GraphError::Io(format!("cannot read snapshot {}: {e}", path.display())))?;
     from_snapshot_full(&text, dedup, &path.display().to_string())
 }

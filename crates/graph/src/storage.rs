@@ -34,7 +34,7 @@ struct StoredColumn {
 struct ColumnRef {
     name: String,
     id: ColumnId,
-    #[allow(dead_code)] // kept as artifact meta-data (paper §3.2)
+    #[allow(dead_code)] // lint:reason kept as artifact meta-data (paper §3.2)
     dtype: DType,
 }
 
@@ -82,7 +82,7 @@ impl ColumnVault {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         id.hash(&mut h);
-        #[allow(clippy::cast_possible_truncation)] // < shards.len(), which is a usize
+        #[allow(clippy::cast_possible_truncation)] // lint:reason < shards.len(), which is a usize
         {
             (h.finish() % self.shards.len() as u64) as usize
         }

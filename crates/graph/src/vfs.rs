@@ -187,6 +187,36 @@ pub fn read(path: &Path, faults: Option<&FaultInjector>) -> io::Result<Vec<u8>> 
     fs::read(path)
 }
 
+/// Read a whole file as UTF-8 text (snapshot load).
+pub fn read_to_string(path: &Path, faults: Option<&FaultInjector>) -> io::Result<String> {
+    if fires(faults, IoFault::ReadErr) {
+        return Err(injected(IoFault::ReadErr));
+    }
+    fs::read_to_string(path)
+}
+
+/// Create a directory and all its parents (store/cold-dir setup).
+pub fn create_dir_all(dir: &Path, faults: Option<&FaultInjector>) -> io::Result<()> {
+    if fires(faults, IoFault::Enospc) {
+        return Err(injected(IoFault::Enospc));
+    }
+    fs::create_dir_all(dir)
+}
+
+/// List a directory's entry paths, sorted for deterministic iteration
+/// (cold-store scans, stray-tmp sweeps).
+pub fn read_dir_sorted(dir: &Path, faults: Option<&FaultInjector>) -> io::Result<Vec<PathBuf>> {
+    if fires(faults, IoFault::ReadErr) {
+        return Err(injected(IoFault::ReadErr));
+    }
+    let mut entries = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        entries.push(entry?.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
 /// Atomically rename `from` onto `to` (the snapshot publish step).
 pub fn rename(from: &Path, to: &Path, faults: Option<&FaultInjector>) -> io::Result<()> {
     if fires(faults, IoFault::WriteErr) {

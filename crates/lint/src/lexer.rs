@@ -1,0 +1,569 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The linter's rules operate on token streams, not syntax trees, so
+//! the lexer's one job is to split source text into tokens *correctly
+//! enough that no rule ever fires inside a comment or a string
+//! literal*. That means it must understand everything Rust allows to
+//! contain arbitrary text: line and (nested) block comments, string
+//! and byte-string literals with escapes, raw strings with any number
+//! of `#` guards, character literals, and the `'a` lifetime vs `'a'`
+//! char ambiguity. It does not need to understand Rust's grammar —
+//! the rules reconstruct just enough structure (brace depth, `fn`
+//! spans, `#[cfg(test)]` regions) from the token list.
+//!
+//! Comments are not tokens: they are collected separately with their
+//! line numbers so the suppression scanner ([`crate::suppress`]) and
+//! the `allow-reason` rule can see them without every other rule
+//! having to skip them.
+
+/// What kind of token this is. `Punct` covers operators and
+/// delimiters; multi-character operators (`::`, `==`, `->`, …) are
+/// single tokens so rules can match them without lookahead and so a
+/// shift `>>` is never mistaken for two comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Integer literal, including any suffix (`42`, `0xff_u32`).
+    Int,
+    /// Float literal, including any suffix (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// String, byte-string, raw-string or raw-byte-string literal.
+    Str,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Operator or delimiter.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (line or block) with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    /// Text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    /// Doc text *describes* code — suppression markers inside it are
+    /// prose, not directives.
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: the token stream plus the comment list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    /// Consume bytes while `f` holds, returning the consumed slice.
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) -> &'a [u8] {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if f(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.src[start..self.pos]
+    }
+}
+
+/// Tokenize `src`. The lexer is error-tolerant: malformed input (an
+/// unterminated string, a stray byte) never panics — it produces a
+/// best-effort token and moves on, because a linter that dies on the
+/// one file it most needed to inspect is worse than useless.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let doc = matches!(cur.peek_at(2), Some(b'/' | b'!'));
+                let start = cur.pos + 2;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos])
+                    .trim_start_matches(['/', '!'])
+                    .trim()
+                    .to_owned();
+                out.comments.push(Comment { line, text, doc });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let doc =
+                    matches!(cur.peek_at(2), Some(b'*' | b'!')) && cur.peek_at(3) != Some(b'/');
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            end = cur.pos;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => {
+                            end = cur.pos;
+                            break;
+                        }
+                    }
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..end])
+                    .trim_start_matches(['*', '!'])
+                    .trim()
+                    .to_owned();
+                out.comments.push(Comment { line, text, doc });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_string_prefix(&cur) => {
+                lex_prefixed_string(&mut cur, &mut out, line);
+            }
+            b'\'' => {
+                lex_quote(&mut cur, &mut out, line);
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur, &mut out, line);
+            }
+            _ if is_ident_start(b as char) || b >= 0x80 => {
+                let bytes = cur.eat_while(|c| is_ident_continue(c as char) || c >= 0x80);
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(bytes).into_owned(),
+                    line,
+                });
+            }
+            _ => {
+                lex_punct(&mut cur, &mut out, line);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the cursor sits on `r"`, `r#`-string, `b"`, `b'`, `br"`,
+/// or `br#` — i.e. a literal with a prefix letter rather than an
+/// identifier that merely starts with `r`/`b`.
+fn starts_string_prefix(cur: &Cursor<'_>) -> bool {
+    let (b0, b1, b2) = (cur.peek(), cur.peek_at(1), cur.peek_at(2));
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"')) | (Some(b'b'), Some(b'"' | b'\'')) => true,
+        // `r#"…"#` is a raw string; `r#ident` is a raw identifier.
+        (Some(b'r'), Some(b'#')) => !matches!(b2, Some(c) if is_ident_start(c as char)),
+        (Some(b'b'), Some(b'r')) => matches!(b2, Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+/// Consume a plain `"…"` string body (cursor on the opening quote).
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` forms.
+fn lex_prefixed_string(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    let first = cur.bump(); // r or b
+    if first == Some(b'b') && cur.peek() == Some(b'\'') {
+        cur.bump();
+        while let Some(c) = cur.bump() {
+            match c {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Char,
+            text: String::new(),
+            line,
+        });
+        return;
+    }
+    if cur.peek() == Some(b'r') {
+        cur.bump(); // the r of br
+    }
+    if cur.peek() == Some(b'"') {
+        lex_string(cur);
+    } else {
+        // `#`-guarded raw string: count the guards, then scan for the
+        // closing quote followed by that many `#`.
+        let mut guards = 0usize;
+        while cur.peek() == Some(b'#') {
+            guards += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        'scan: while let Some(c) = cur.bump() {
+            if c == b'"' {
+                for i in 0..guards {
+                    if cur.peek_at(i) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..guards {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    }
+    out.toks.push(Tok {
+        kind: TokKind::Str,
+        text: String::new(),
+        line,
+    });
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime); cursor on the `'`.
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal.
+            while let Some(c) = cur.bump() {
+                if c == b'\'' && cur.src.get(cur.pos.wrapping_sub(2)) != Some(&b'\\') {
+                    break;
+                }
+                if c == b'\'' {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+        }
+        Some(c) if is_ident_start(c as char) => {
+            if cur.peek_at(1) == Some(b'\'') {
+                // 'x' — a one-character char literal.
+                cur.bump();
+                cur.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+            } else {
+                // 'ident — a lifetime.
+                let bytes = cur.eat_while(|c| is_ident_continue(c as char));
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: String::from_utf8_lossy(bytes).into_owned(),
+                    line,
+                });
+            }
+        }
+        Some(_) => {
+            // '(' etc: a non-identifier char literal.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+        }
+        None => {}
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    let start = cur.pos;
+    let mut float = false;
+    if cur.peek() == Some(b'0') && matches!(cur.peek_at(1), Some(b'x' | b'o' | b'b' | b'X')) {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_hexdigit() || c == b'_');
+    } else {
+        cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+        // A fractional part only if the dot is followed by a digit
+        // (so `1..n` and `1.max(2)` stay an Int).
+        if cur.peek() == Some(b'.') && matches!(cur.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            float = true;
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+        }
+        // `1.` with nothing after the dot is also a float.
+        if !float
+            && cur.peek() == Some(b'.')
+            && !matches!(cur.peek_at(1), Some(c) if is_ident_start(c as char) || c == b'.')
+        {
+            float = true;
+            cur.bump();
+        }
+        if matches!(cur.peek(), Some(b'e' | b'E'))
+            && matches!(cur.peek_at(1), Some(c) if c.is_ascii_digit() || c == b'+' || c == b'-')
+        {
+            float = true;
+            cur.bump();
+            if matches!(cur.peek(), Some(b'+' | b'-')) {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+        }
+    }
+    // Suffix (u32, f64, …) — an f-suffix makes it a float.
+    let suffix_start = cur.pos;
+    cur.eat_while(|c| is_ident_continue(c as char));
+    let suffix = &cur.src[suffix_start..cur.pos];
+    if suffix == b"f32" || suffix == b"f64" {
+        float = true;
+    }
+    out.toks.push(Tok {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+        line,
+    });
+}
+
+fn lex_punct(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    for op in MULTI_PUNCT {
+        let bytes = op.as_bytes();
+        if cur.src[cur.pos..].starts_with(bytes) {
+            for _ in 0..bytes.len() {
+                cur.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (*op).to_owned(),
+                line,
+            });
+            return;
+        }
+    }
+    let b = cur.bump().unwrap_or(b' ');
+    out.toks.push(Tok {
+        kind: TokKind::Punct,
+        text: (b as char).to_string(),
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let x = 1; // unwrap() in a comment\n/* panic! in\n a block */ let y;");
+        assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("panic")));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("unwrap()"));
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(
+            idents("/* outer /* inner */ still */ fn f() {}"),
+            ["fn", "f"]
+        );
+        assert_eq!(l.toks[0].text, "fn");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "unwrap() \" panic!"; let t = 'x';"#;
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r###"let s = r#"unwrap() " still "# ; done"###;
+        let names = idents(src);
+        assert_eq!(names, ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"panic!\"; let c = b'x'; let d = br#\"todo!\"#;";
+        assert_eq!(idents(src), ["let", "a", "let", "c", "let", "d"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let l = lex("let r#type = 1;");
+        assert!(l.toks.iter().any(|t| t.is_ident("type")));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let l = lex("1 1.0 0xff_u32 2e-3 1f64 0..n 3.max(4)");
+        let kinds: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(kinds[0], (TokKind::Int, "1".into()));
+        assert_eq!(kinds[1], (TokKind::Float, "1.0".into()));
+        assert_eq!(kinds[2], (TokKind::Int, "0xff_u32".into()));
+        assert_eq!(kinds[3], (TokKind::Float, "2e-3".into()));
+        assert_eq!(kinds[4], (TokKind::Float, "1f64".into()));
+        assert_eq!(kinds[5], (TokKind::Int, "0".into()));
+        assert_eq!(kinds[6], (TokKind::Int, "3".into()));
+    }
+
+    #[test]
+    fn multichar_punct_is_one_token() {
+        let l = lex("a == b != c :: d -> e => f >> g <= h");
+        let puncts: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "::", "->", "=>", ">>", "<="]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<_> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        let _ = lex("let s = \"unterminated");
+        let _ = lex("/* unterminated");
+        let _ = lex("let c = '");
+        let _ = lex("r#\"unterminated");
+    }
+}

@@ -1,0 +1,259 @@
+//! # co-lint
+//!
+//! A workspace-level concurrency & durability analyzer for the
+//! collaborative-optimizer engine. The engine's hardest-won
+//! invariants — ascending-index shard lock acquisition, all
+//! durability I/O routed through `co_graph::vfs`, panic-free kernel
+//! and durability paths — were enforced only by convention and code
+//! review. `co-lint` turns them into machine-checked rules: a
+//! hand-rolled token-level lexer (no external parser dependencies)
+//! feeds eight rule passes, each suppressible in place via
+//! `// co-lint:allow(<rule>) <reason>` with the reason mandatory.
+//!
+//! The static side pairs with a dynamic witness
+//! (`co_graph::lockorder`): the linter proves what it can from the
+//! source, the witness checks the rest — actual acquisition order of
+//! every `ShardedEg` lock — at runtime under the stress and chaos
+//! suites.
+//!
+//! Use the library API ([`lint_source`], [`run_workspace`]) from
+//! tests, or the `co_lint` example binary from CI:
+//!
+//! ```text
+//! cargo run -p co-lint --example co_lint -- [--json] [workspace root]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O
+//! error.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use rules::RULES;
+
+/// One reportable violation, bound to a file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+    /// Violations silenced by a `co-lint:allow` with a reason.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Whether the run found nothing to report.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The process exit code this report maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.is_clean())
+    }
+}
+
+/// Lint one file's source text. `path` is the label diagnostics
+/// carry; rule applicability (durability modules, kernel code, bench
+/// exemptions) keys off it, so pass workspace-relative paths like
+/// `crates/graph/src/journal.rs`.
+#[must_use]
+pub fn lint_source(path: &str, src: &str) -> Report {
+    let lexed = lexer::lex(src);
+    let st = context::analyze(&lexed.toks);
+    let ctx = rules::FileCtx {
+        path,
+        toks: &lexed.toks,
+        comments: &lexed.comments,
+        st: &st,
+    };
+    let raw = rules::run_all(&ctx);
+    let (sups, marker_issues) = suppress::scan(&lexed.comments);
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+    for v in raw {
+        if suppress::covers(&sups, v.rule, v.line) {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(Diagnostic {
+                rule: v.rule,
+                path: path.to_owned(),
+                line: v.line,
+                message: v.message,
+            });
+        }
+    }
+    for issue in marker_issues {
+        report.diagnostics.push(Diagnostic {
+            rule: "allow-reason",
+            path: path.to_owned(),
+            line: issue.line,
+            message: issue.message,
+        });
+    }
+    report.diagnostics.sort_by_key(|d| d.line);
+    report
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for
+/// deterministic output.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every crate source file in the workspace rooted at `root`:
+/// all of `crates/*/src/**/*.rs`. Test directories, examples and
+/// benches are out of scope by construction (the rules target
+/// production code; `#[cfg(test)]` regions inside scanned files are
+/// masked token-by-token).
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!(
+                "{} has no crates/ directory — pass the workspace root",
+                root.display()
+            ),
+        ));
+    }
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for c in crate_dirs {
+        let src = c.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let mut report = Report::default();
+    for f in &files {
+        let text = std::fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file_report = lint_source(&rel, &text);
+        report.diagnostics.extend(file_report.diagnostics);
+        report.suppressed += file_report.suppressed;
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a report as machine-readable JSON (the `--json` mode).
+#[must_use]
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            d.rule,
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"clean\": {}\n}}\n",
+        report.files_scanned,
+        report.suppressed,
+        report.is_clean()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_filters_suppressed() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    \
+                   x.unwrap() // co-lint:allow(no-panic) caller guarantees Some\n}\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn json_escapes_and_reports() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(r.exit_code(), 1);
+        let json = to_json(&r);
+        assert!(json.contains("\"rule\": \"no-panic\""));
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"clean\": false"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Suppression comments: `// co-lint:allow(<rule>[,<rule>…]) <reason>`.
+//!
+//! A suppression covers its own line **and the next line**, so it can
+//! either trail the offending code or sit on its own line directly
+//! above it. The reason is mandatory — a reasonless allow is itself a
+//! violation (rule `allow-reason`), because an unexplained suppression
+//! is exactly the silent convention-erosion this linter exists to
+//! stop. Rule names must be real: suppressing a rule the linter does
+//! not have is reported rather than ignored, so typos cannot quietly
+//! disable nothing.
+
+use crate::lexer::Comment;
+use crate::rules::RULES;
+
+/// One parsed `co-lint:allow` marker.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule names inside the parentheses.
+    pub rules: Vec<String>,
+    /// Justification text after the closing parenthesis.
+    pub reason: String,
+    /// Set when a rule actually used this suppression (for the
+    /// unused-suppression report and the suppressed count).
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Problems with the markers themselves (missing reason, unknown
+/// rule); reported under the `allow-reason` rule.
+#[derive(Debug)]
+pub struct MarkerIssue {
+    pub line: u32,
+    pub message: String,
+}
+
+const MARKER: &str = "co-lint:allow";
+
+/// Scan the comment list for suppression markers.
+#[must_use]
+pub fn scan(comments: &[Comment]) -> (Vec<Suppression>, Vec<MarkerIssue>) {
+    let mut sups = Vec::new();
+    let mut issues = Vec::new();
+    for c in comments {
+        if c.doc {
+            // Doc comments describe the marker syntax; they never
+            // *are* markers.
+            continue;
+        }
+        let Some(at) = c.text.find(MARKER) else {
+            continue;
+        };
+        let rest = &c.text[at + MARKER.len()..];
+        let Some(open) = rest.find('(') else {
+            issues.push(MarkerIssue {
+                line: c.line,
+                message: "malformed co-lint:allow marker: expected `(<rule>)` after it".into(),
+            });
+            continue;
+        };
+        // Nothing but whitespace may sit between the marker and `(`.
+        if !rest[..open].trim().is_empty() {
+            issues.push(MarkerIssue {
+                line: c.line,
+                message: "malformed co-lint:allow marker: expected `(<rule>)` after it".into(),
+            });
+            continue;
+        }
+        let Some(close) = rest[open..].find(')') else {
+            issues.push(MarkerIssue {
+                line: c.line,
+                message: "malformed co-lint:allow marker: unclosed rule list".into(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[open + 1..open + close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = rest[open + close + 1..].trim().to_owned();
+        if rules.is_empty() {
+            issues.push(MarkerIssue {
+                line: c.line,
+                message: "co-lint:allow names no rule".into(),
+            });
+            continue;
+        }
+        for r in &rules {
+            if !RULES.contains(&r.as_str()) {
+                issues.push(MarkerIssue {
+                    line: c.line,
+                    message: format!(
+                        "co-lint:allow names unknown rule `{r}` (known: {})",
+                        RULES.join(", ")
+                    ),
+                });
+            }
+        }
+        if reason.is_empty() {
+            issues.push(MarkerIssue {
+                line: c.line,
+                message: format!(
+                    "co-lint:allow({}) carries no reason — every suppression must say why",
+                    rules.join(",")
+                ),
+            });
+            continue;
+        }
+        sups.push(Suppression {
+            line: c.line,
+            rules,
+            reason,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    (sups, issues)
+}
+
+/// Whether a violation of `rule` at `line` is suppressed; marks the
+/// matching suppression used.
+#[must_use]
+pub fn covers(sups: &[Suppression], rule: &str, line: u32) -> bool {
+    for s in sups {
+        if (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule) {
+            s.used.set(true);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_marker_with_reason() {
+        let l = lex("x(); // co-lint:allow(no-panic) startup only, config is validated\n");
+        let (sups, issues) = scan(&l.comments);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rules, ["no-panic"]);
+        assert!(sups[0].reason.contains("startup"));
+        assert!(covers(&sups, "no-panic", 1));
+        assert!(covers(&sups, "no-panic", 2));
+        assert!(!covers(&sups, "no-panic", 3));
+        assert!(!covers(&sups, "float-eq", 1));
+    }
+
+    #[test]
+    fn reasonless_marker_is_an_issue_not_a_suppression() {
+        let l = lex("// co-lint:allow(no-panic)\nx();");
+        let (sups, issues) = scan(&l.comments);
+        assert!(sups.is_empty());
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_issue() {
+        let l = lex("// co-lint:allow(no-such-rule) because\nx();");
+        let (_, issues) = scan(&l.comments);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn multi_rule_marker() {
+        let l = lex("// co-lint:allow(no-panic, lossy-cast) both fine here\n");
+        let (sups, issues) = scan(&l.comments);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert!(covers(&sups, "no-panic", 2));
+        assert!(covers(&sups, "lossy-cast", 2));
+    }
+}

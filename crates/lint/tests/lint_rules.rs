@@ -1,0 +1,372 @@
+//! Fixture tests: one seeded-violation (positive) and one
+//! suppressed (negative) fixture per rule, plus structural edge
+//! cases and the workspace self-check that keeps the real tree clean.
+
+use co_lint::{lint_source, run_workspace, Report};
+
+fn lines_for(report: &Report, rule: &str) -> Vec<u32> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+// ------------------------------------------------------- shard-lock-order
+
+#[test]
+fn shard_lock_order_flags_descending_constants() {
+    let src = "fn publish(eg: &ShardedEg) {\n\
+               let a = eg.write(2);\n\
+               let b = eg.write(0);\n\
+               }\n";
+    let r = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(
+        lines_for(&r, "shard-lock-order"),
+        [3],
+        "{:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn shard_lock_order_flags_unprovable_indices() {
+    let src = "fn publish(eg: &ShardedEg, k: usize) {\n\
+               let a = eg.write(k);\n\
+               let b = eg.write(3);\n\
+               }\n";
+    let r = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(
+        lines_for(&r, "shard-lock-order"),
+        [2],
+        "{:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn shard_lock_order_accepts_ascending_and_suppression() {
+    let ascending = "fn publish(eg: &ShardedEg) {\n\
+                     let a = eg.write(0);\n\
+                     let b = eg.write(2);\n\
+                     }\n";
+    assert!(lint_source("crates/core/src/x.rs", ascending).is_clean());
+
+    let suppressed = "fn publish(eg: &ShardedEg) {\n\
+                      let a = eg.write(2);\n\
+                      // co-lint:allow(shard-lock-order) guards dropped between acquisitions\n\
+                      let b = eg.write(0);\n\
+                      }\n";
+    let r = lint_source("crates/core/src/x.rs", suppressed);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn shard_lock_order_ignores_non_shard_receivers() {
+    // Two io::Write::write calls are not lock acquisitions.
+    let src = "fn f(w: &mut impl Write) {\n\
+               let a = w.write(2);\n\
+               let b = w.write(0);\n\
+               }\n";
+    assert!(lint_source("crates/core/src/x.rs", src).is_clean());
+}
+
+// ------------------------------------------------------------ vfs-bypass
+
+#[test]
+fn vfs_bypass_flags_direct_fs_in_graph() {
+    let src = "fn save(p: &Path) {\n\
+               let _ = std::fs::write(p, b\"x\");\n\
+               }\n";
+    let r = lint_source("crates/graph/src/journal.rs", src);
+    assert_eq!(lines_for(&r, "vfs-bypass"), [2], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn vfs_bypass_suppressed_and_scoped() {
+    let suppressed = "fn save(p: &Path) {\n\
+                      // co-lint:allow(vfs-bypass) metadata-only probe, no durability bytes\n\
+                      let _ = std::fs::metadata(p);\n\
+                      }\n";
+    let r = lint_source("crates/graph/src/journal.rs", suppressed);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+
+    // vfs.rs itself is the choke point; other crates are out of scope.
+    let src = "fn save(p: &Path) { let _ = std::fs::write(p, b\"x\"); }\n";
+    assert!(lint_source("crates/graph/src/vfs.rs", src).is_clean());
+    assert!(lint_source("crates/core/src/x.rs", src).is_clean());
+}
+
+// -------------------------------------------------------------- no-panic
+
+#[test]
+fn no_panic_flags_unwrap_expect_panic_todo() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               let a = x.unwrap();\n\
+               let b = x.expect(\"why\");\n\
+               if a > b { panic!(\"boom\"); }\n\
+               todo!()\n\
+               }\n";
+    let r = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(
+        lines_for(&r, "no-panic"),
+        [2, 3, 4, 5],
+        "{:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn no_panic_suppressed_with_reason() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               x.unwrap() // co-lint:allow(no-panic) caller guarantees Some\n\
+               }\n";
+    let r = lint_source("crates/core/src/x.rs", src);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn no_panic_exempts_tests_and_benches() {
+    let test_mod = "fn prod() {}\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                    #[test]\n\
+                    fn t() { None::<u32>.unwrap(); }\n\
+                    }\n";
+    assert!(lint_source("crates/core/src/x.rs", test_mod).is_clean());
+
+    let bench = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_source("crates/bench/src/bin/b.rs", bench).is_clean());
+}
+
+// ------------------------------------------------------------ lossy-cast
+
+#[test]
+fn lossy_cast_flags_quantity_truncation() {
+    let src = "fn f(n_rows: u64) -> u32 {\n\
+               n_rows as u32\n\
+               }\n";
+    let r = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(lines_for(&r, "lossy-cast"), [2], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn lossy_cast_suppressed_or_clippy_allowed() {
+    let suppressed = "fn f(n_rows: u64) -> u32 {\n\
+                      // co-lint:allow(lossy-cast) row counts are < 2^32 by protocol\n\
+                      n_rows as u32\n\
+                      }\n";
+    let r = lint_source("crates/core/src/x.rs", suppressed);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+
+    // A justified clippy cast allow covers the statement too (one
+    // written reason satisfies both linters).
+    let clippy = "fn f(n_rows: u64) -> u32 {\n\
+                  #[allow(clippy::cast_possible_truncation)] // lint:reason bounded above\n\
+                  { n_rows as u32 }\n\
+                  }\n";
+    let r = lint_source("crates/core/src/x.rs", clippy);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+
+    // Non-quantity names and widening-direction helpers stay legal.
+    let fine = "fn f(flags: u64, b: [u8; 8]) -> u32 {\n\
+                let x = flags as u32;\n\
+                let y = u64::from_le_bytes(b) as u32;\n\
+                x + y as u32\n\
+                }\n";
+    assert!(lint_source("crates/core/src/x.rs", fine).is_clean());
+}
+
+// --------------------------------------------------- blocking-under-lock
+
+#[test]
+fn blocking_under_lock_flags_sleep_with_live_guard() {
+    let src = "fn f(eg: &ShardedEg) {\n\
+               let g = eg.write(0);\n\
+               std::thread::sleep(d);\n\
+               }\n";
+    let r = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(
+        lines_for(&r, "blocking-under-lock"),
+        [3],
+        "{:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn blocking_under_lock_respects_drop_and_scope() {
+    let dropped = "fn f(eg: &ShardedEg) {\n\
+                   let g = eg.write(0);\n\
+                   drop(g);\n\
+                   std::thread::sleep(d);\n\
+                   }\n";
+    assert!(lint_source("crates/core/src/x.rs", dropped).is_clean());
+
+    let scoped = "fn f(eg: &ShardedEg) {\n\
+                  { let g = eg.write(0); }\n\
+                  std::thread::sleep(d);\n\
+                  }\n";
+    assert!(lint_source("crates/core/src/x.rs", scoped).is_clean());
+
+    let suppressed = "fn f(eg: &ShardedEg) {\n\
+                      let g = eg.write_all();\n\
+                      // co-lint:allow(blocking-under-lock) quiesced flush: all writers must wait\n\
+                      let _ = fs::write(p, b);\n\
+                      }\n";
+    let r = lint_source("crates/core/src/x.rs", suppressed);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+}
+
+// -------------------------------------------------------- relaxed-control
+
+#[test]
+fn relaxed_control_flags_branch_on_relaxed_load() {
+    let src = "fn f(c: &AtomicUsize) {\n\
+               if c.load(Ordering::Relaxed) > LIMIT {\n\
+               reject();\n\
+               }\n\
+               }\n";
+    let r = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(lines_for(&r, "relaxed-control"), [2], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn relaxed_control_allows_stats_and_suppression() {
+    // A counter folded into a snapshot struct is not control flow.
+    let stats = "fn f(c: &AtomicUsize) -> Stats {\n\
+                 Stats { served: c.load(Ordering::Relaxed), }\n\
+                 }\n";
+    assert!(lint_source("crates/core/src/x.rs", stats).is_clean());
+
+    let suppressed = "fn f(c: &AtomicUsize) {\n\
+                      // co-lint:allow(relaxed-control) hint only: stale reads shed load late, never corrupt\n\
+                      if c.load(Ordering::Relaxed) > LIMIT { reject(); }\n\
+                      }\n";
+    let r = lint_source("crates/core/src/x.rs", suppressed);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+}
+
+// -------------------------------------------------------------- float-eq
+
+#[test]
+fn float_eq_flags_literal_comparison_in_kernel() {
+    let src = "fn f(x: f64) -> bool {\n\
+               x == 0.5\n\
+               }\n";
+    let r = lint_source("crates/dataframe/src/ops/x.rs", src);
+    assert_eq!(lines_for(&r, "float-eq"), [2], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn float_eq_suppressed_and_kernel_scoped() {
+    let suppressed = "fn f(x: f64) -> bool {\n\
+                      // co-lint:allow(float-eq) exact-zero sentinel: counts increment by 1.0\n\
+                      x == 0.0\n\
+                      }\n";
+    let r = lint_source("crates/ml/src/metrics.rs", suppressed);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+
+    // Non-kernel crates are out of scope; int comparisons are fine.
+    let src = "fn f(x: f64) -> bool { x == 0.5 }\n";
+    assert!(lint_source("crates/core/src/x.rs", src).is_clean());
+    let ints = "fn f(x: u64) -> bool { x == 5 }\n";
+    assert!(lint_source("crates/dataframe/src/ops/x.rs", ints).is_clean());
+}
+
+// ---------------------------------------------------------- allow-reason
+
+#[test]
+fn allow_reason_flags_bare_attribute() {
+    let src = "#[allow(clippy::too_many_lines)]\n\
+               fn f() {}\n";
+    let r = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(lines_for(&r, "allow-reason"), [1], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn allow_reason_accepts_justified_attribute() {
+    let trailing = "#[allow(clippy::too_many_lines)] // lint:reason one linear recovery script\n\
+                    fn f() {}\n";
+    assert!(lint_source("crates/core/src/x.rs", trailing).is_clean());
+
+    let above = "// lint:reason one linear recovery script\n\
+                 #[allow(clippy::too_many_lines)]\n\
+                 fn f() {}\n";
+    assert!(lint_source("crates/core/src/x.rs", above).is_clean());
+}
+
+#[test]
+fn allow_reason_flags_reasonless_and_unknown_markers() {
+    let reasonless = "fn f(x: Option<u32>) -> u32 {\n\
+                      x.unwrap() // co-lint:allow(no-panic)\n\
+                      }\n";
+    let r = lint_source("crates/core/src/x.rs", reasonless);
+    // The reasonless marker does NOT suppress, and is itself reported.
+    assert_eq!(lines_for(&r, "no-panic"), [2], "{:?}", r.diagnostics);
+    assert_eq!(lines_for(&r, "allow-reason"), [2], "{:?}", r.diagnostics);
+
+    let unknown = "fn f() {} // co-lint:allow(no-such-rule) because\n";
+    let r = lint_source("crates/core/src/x.rs", unknown);
+    assert_eq!(lines_for(&r, "allow-reason"), [1], "{:?}", r.diagnostics);
+}
+
+// ------------------------------------------------------- structure cases
+
+#[test]
+fn lexer_is_not_fooled_by_strings_and_comments() {
+    // Panicky text inside strings/comments must not trip rules.
+    let src = "fn f() -> &'static str {\n\
+               // x.unwrap() in a comment\n\
+               let s = \"x.unwrap() and panic!()\";\n\
+               let r = r#\"std::fs::write inside raw \"quotes\" here\"#;\n\
+               s\n\
+               }\n";
+    let r = lint_source("crates/graph/src/journal.rs", src);
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn cfg_test_block_masks_everything_inside() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn helper(eg: &ShardedEg) {\n\
+               let a = eg.write(5);\n\
+               let b = eg.write(1);\n\
+               b.unwrap();\n\
+               }\n\
+               }\n";
+    assert!(lint_source("crates/core/src/x.rs", src).is_clean());
+}
+
+// -------------------------------------------------- workspace self-check
+
+/// The real workspace must stay clean under its own analyzer — the
+/// same invariant CI enforces via the `co_lint` example with `--json`.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = run_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "scanned {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+    assert_eq!(report.exit_code(), 0);
+}

@@ -53,7 +53,7 @@ pub fn impute(df: &DataFrame, strategy: ImputeStrategy, columns: &[&str]) -> Res
             ImputeStrategy::Mean => present.iter().sum::<f64>() / present.len() as f64,
             ImputeStrategy::Median if present.is_empty() => 0.0,
             ImputeStrategy::Median => {
-                present.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                present.sort_unstable_by(f64::total_cmp);
                 let mid = present.len() / 2;
                 if present.len().is_multiple_of(2) {
                     (present[mid - 1] + present[mid]) / 2.0

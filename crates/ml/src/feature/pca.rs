@@ -49,7 +49,7 @@ pub fn pca_signature(columns: &[&str], params: &PcaParams) -> u64 {
 /// Output columns are `pc0..pc{k-1}` (`Float`), each deriving from all
 /// input column ids. Missing values are treated as the column mean
 /// (i.e. they contribute zero after centring).
-#[allow(clippy::needless_range_loop)]
+#[allow(clippy::needless_range_loop)] // lint:reason loops index multiple matrices in lockstep
 pub fn pca(df: &DataFrame, columns: &[&str], params: &PcaParams) -> Result<DataFrame> {
     if params.n_components == 0 || params.n_components > columns.len() {
         return Err(MlError::InvalidParam(format!(

@@ -41,6 +41,7 @@ pub fn select_k_best(df: &DataFrame, label: &str, k: usize) -> Result<DataFrame>
     keep.sort_unstable(); // restore original column order
     let names: Vec<&str> = keep
         .iter()
+        // co-lint:allow(no-panic) kept indices come from enumerating this frame
         .map(|&i| df.column_at(i).expect("index valid").name())
         .collect();
     df.select(&names).map_err(MlError::from)

@@ -95,6 +95,7 @@ pub fn f1_score(y_true: &[f64], scores: &[f64]) -> f64 {
             (false, false) => {}
         }
     }
+    // co-lint:allow(float-eq) tp counts by +1.0 increments, exact in f64
     if tp == 0.0 {
         return 0.0;
     }

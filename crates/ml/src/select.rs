@@ -88,7 +88,7 @@ pub fn grid_search<P>(
             best = Some((i, score));
         }
     }
-    Ok(best.expect("non-empty grid"))
+    best.ok_or_else(|| MlError::InvalidParam("empty candidate grid".into()))
 }
 
 #[cfg(test)]

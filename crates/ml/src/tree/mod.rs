@@ -226,7 +226,7 @@ fn best_split(
         if candidates.len() < 2 {
             continue;
         }
-        candidates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        candidates.sort_unstable_by(f64::total_cmp);
         candidates.dedup();
         if candidates.len() < 2 {
             continue;

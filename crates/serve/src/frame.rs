@@ -112,7 +112,7 @@ impl ProtocolError {
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     debug_assert!(payload.len() <= MAX_FRAME);
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
-    #[allow(clippy::cast_possible_truncation)] // guarded by MAX_FRAME
+    #[allow(clippy::cast_possible_truncation)] // lint:reason guarded by MAX_FRAME
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(payload).to_le_bytes());
     frame.extend_from_slice(payload);
@@ -237,7 +237,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtocolError> {
             got,
         });
     }
+    // co-lint:allow(no-panic) the header buffer is exactly 8 bytes; 4-byte subslices are infallible
     let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    // co-lint:allow(no-panic) the header buffer is exactly 8 bytes; 4-byte subslices are infallible
     let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     if len > MAX_FRAME {
         return Err(ProtocolError::Oversized { len: len as u64 });

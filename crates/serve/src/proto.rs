@@ -209,6 +209,7 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     fn len(&mut self, n: usize) {
+        // co-lint:allow(no-panic) encoded sequences are bounded by MAX_FRAME, far below u32::MAX
         self.u32(u32::try_from(n).expect("sequence length fits u32"));
     }
     fn str(&mut self, s: &str) {
@@ -264,15 +265,19 @@ impl<'a> Reader<'a> {
         }
     }
     fn u32(&mut self) -> DecodeResult<u32> {
+        // co-lint:allow(no-panic) take(4) returned exactly 4 bytes; the conversion is infallible
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
     fn u64(&mut self) -> DecodeResult<u64> {
+        // co-lint:allow(no-panic) take(8) returned exactly 8 bytes; the conversion is infallible
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
     fn i64(&mut self) -> DecodeResult<i64> {
+        // co-lint:allow(no-panic) take(8) returned exactly 8 bytes; the conversion is infallible
         Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
     fn f64(&mut self) -> DecodeResult<f64> {
+        // co-lint:allow(no-panic) take(8) returned exactly 8 bytes; the conversion is infallible
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
     /// A sequence count, validated against the bytes remaining given a

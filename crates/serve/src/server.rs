@@ -43,7 +43,7 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -154,16 +154,17 @@ impl Shared {
             .compare_exchange(RUNNING, DRAINING, Ordering::SeqCst, Ordering::SeqCst);
         // Take the queue lock so the transition is ordered against
         // concurrent admission checks, then wake everyone.
-        drop(self.queue.lock().unwrap());
+        drop(self.queue.lock().unwrap_or_else(PoisonError::into_inner));
         self.queue_cv.notify_all();
     }
 
     /// Retry-after hint: how long until the backlog plausibly clears.
     fn retry_after_ms(&self, queued: usize) -> u64 {
-        let ewma = *self.ewma_ms.lock().unwrap();
+        let ewma = *self.ewma_ms.lock().unwrap_or_else(PoisonError::into_inner);
         let per_job = if ewma > 0.0 { ewma } else { 25.0 };
         let backlog = queued + self.in_flight.load(Ordering::Relaxed);
         let workers = self.config.workers.max(1);
+        // lint:reason backlog and the clamped ms estimate are tiny relative to f64/u64 range
         #[allow(
             clippy::cast_precision_loss,
             clippy::cast_possible_truncation,
@@ -175,7 +176,7 @@ impl Shared {
 
     fn observe_service(&self, elapsed: Duration) {
         let ms = elapsed.as_secs_f64() * 1e3;
-        let mut ewma = self.ewma_ms.lock().unwrap();
+        let mut ewma = self.ewma_ms.lock().unwrap_or_else(PoisonError::into_inner);
         *ewma = if *ewma == 0.0 {
             ms
         } else {
@@ -188,6 +189,7 @@ impl Shared {
         let core = self.server.stats();
         let c = &self.counters;
         #[allow(clippy::cast_possible_truncation)]
+        // lint:reason run_seconds millis fit u64 for any realistic uptime
         StatsSnapshot {
             workloads: core.workloads as u64,
             ops_executed: core.ops_executed as u64,
@@ -257,6 +259,7 @@ pub fn start(server: Arc<OptimizerServer>, config: ServeConfig) -> std::io::Resu
             std::thread::Builder::new()
                 .name(format!("co-serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared))
+                // co-lint:allow(no-panic) server startup: failing to spawn an OS thread is unrecoverable
                 .expect("spawn worker"),
         );
     }
@@ -266,6 +269,7 @@ pub fn start(server: Arc<OptimizerServer>, config: ServeConfig) -> std::io::Resu
         std::thread::Builder::new()
             .name("co-serve-acceptor".to_owned())
             .spawn(move || acceptor_loop(&shared, &listener, &conn_count))
+            // co-lint:allow(no-panic) server startup: failing to spawn an OS thread is unrecoverable
             .expect("spawn acceptor")
     };
     let repairer = {
@@ -273,6 +277,7 @@ pub fn start(server: Arc<OptimizerServer>, config: ServeConfig) -> std::io::Resu
         std::thread::Builder::new()
             .name("co-serve-repair".to_owned())
             .spawn(move || repair_loop(&shared))
+            // co-lint:allow(no-panic) server startup: failing to spawn an OS thread is unrecoverable
             .expect("spawn repairer")
     };
     Ok(ServeHandle {
@@ -584,7 +589,7 @@ fn handle_submit(
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let (reply_tx, reply_rx) = sync_channel(1);
     {
-        let mut queue = shared.queue.lock().unwrap();
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
         // Re-check under the lock: `begin_drain` orders its transition
         // through this mutex, so a submission admitted here is always
         // seen (and finished) by the draining workers.
@@ -632,7 +637,7 @@ fn handle_submit(
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -645,7 +650,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 let (guard, _timeout) = shared
                     .queue_cv
                     .wait_timeout(queue, Duration::from_millis(50))
-                    .unwrap();
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = guard;
             }
         };
@@ -663,7 +668,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-#[allow(clippy::cast_possible_truncation)]
+#[allow(clippy::cast_possible_truncation)] // lint:reason queue waits are far below u64 milliseconds
 fn waited_ms(enqueued: Instant) -> u64 {
     enqueued.elapsed().as_millis() as u64
 }
@@ -705,6 +710,7 @@ fn run_job(
         Ok((_, report)) => {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            // lint:reason report counters are small non-negative counts
             Response::Done(WorkloadSummary {
                 ops_executed: report.ops_executed as u64,
                 artifacts_loaded: report.artifacts_loaded as u64,

@@ -109,7 +109,7 @@ pub fn creditg(rows: usize, seed: u64) -> CreditG {
         ColumnData::Str(foreign),
     ));
     cols.push(Column::source("credit-g", "class", ColumnData::Int(label)));
-    let full = DataFrame::new(cols).expect("equal lengths");
+    let full = DataFrame::new(cols).expect("equal lengths"); // co-lint:allow(no-panic) generated columns share one row count by construction
 
     let n_train = rows * 7 / 10;
     let train_rows: Vec<usize> = (0..n_train).collect();
@@ -118,10 +118,12 @@ pub fn creditg(rows: usize, seed: u64) -> CreditG {
     // train/test are distinct source artifacts.
     let train = full
         .take_rows(&train_rows)
+        // co-lint:allow(no-panic) split indices are generated within the row count
         .expect("train rows in range")
         .map_ids(|id| id.derive(1));
     let test = full
         .take_rows(&test_rows)
+        // co-lint:allow(no-panic) split indices are generated within the row count
         .expect("test rows in range")
         .map_ids(|id| id.derive(2));
     CreditG { train, test }

@@ -230,7 +230,7 @@ fn application_table(name: &str, rows: usize, with_target: bool, rng: &mut StdRn
         Column::source(name, "cnt_children", ColumnData::Int(cnt_children)),
         Column::source(name, "region_rating", ColumnData::Int(region_rating)),
     ]);
-    DataFrame::new(cols).expect("columns are equal length by construction")
+    DataFrame::new(cols).expect("columns are equal length by construction") // co-lint:allow(no-panic) generated columns share one row count
 }
 
 fn bureau_table(rows: usize, n_applicants: usize, rng: &mut StdRng) -> DataFrame {
@@ -275,6 +275,7 @@ fn bureau_table(rows: usize, n_applicants: usize, rng: &mut StdRng) -> DataFrame
         Column::source("bureau", "credit_active", ColumnData::Str(credit_active)),
         Column::source("bureau", "credit_type", ColumnData::Str(credit_type)),
     ])
+    // co-lint:allow(no-panic) generated columns share one row count
     .expect("equal lengths")
 }
 
@@ -318,6 +319,7 @@ fn previous_table(rows: usize, n_applicants: usize, rng: &mut StdRng) -> DataFra
         ),
         Column::source("previous", "cnt_payment", ColumnData::Int(cnt_payment)),
     ])
+    // co-lint:allow(no-panic) generated columns share one row count
     .expect("equal lengths")
 }
 
@@ -365,6 +367,7 @@ fn installments_table(rows: usize, n_previous: usize, rng: &mut StdRng) -> DataF
             ColumnData::Float(days_entry_payment),
         ),
     ])
+    // co-lint:allow(no-panic) generated columns share one row count
     .expect("equal lengths")
 }
 
